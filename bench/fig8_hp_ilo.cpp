@@ -1,0 +1,31 @@
+// Figure 8 + Section 4.2: HP Integrated Lights-Out management cards.
+//
+// Paper narrative: vulnerable population peaked in 2012 and declined
+// steadily; the *total* HP population drops noticeably after Heartbleed
+// (iLO cards reportedly crashed when scanned for it).
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace weakkeys;
+  auto& study = bench::shared_study();
+
+  std::printf("== Figure 8: HP iLO ==\n");
+  bench::print_vendor_figure(study, "Hewlett-Packard");
+
+  const auto series = study.series_builder().vendor_series("Hewlett-Packard");
+  std::size_t peak_vuln = 0;
+  util::Date peak_date;
+  for (const auto& p : series.points) {
+    if (p.vulnerable_hosts > peak_vuln) {
+      peak_vuln = p.vulnerable_hosts;
+      peak_date = p.date;
+    }
+  }
+  std::printf(
+      "\nvulnerable peak: %zu at %s (paper: peak in 2012, steady decline "
+      "after)\n",
+      peak_vuln, peak_date.to_string().c_str());
+  return 0;
+}

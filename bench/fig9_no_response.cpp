@@ -1,0 +1,45 @@
+// Figure 9 + Section 4.3: the vendors that never responded to notification.
+//
+// Paper narrative: vulnerable populations decline gradually; for Thomson,
+// Linksys, ZyXEL and McAfee the vulnerable decline tracks the decline of the
+// total population (device attrition, not patching); Fritz!Box rises first
+// and falls only after the flaw left new firmware around 2014. Also checks
+// the Dell / Xerox shared-prime overlap and the Internet Rimon middlebox.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main() {
+  using namespace weakkeys;
+  auto& study = bench::shared_study();
+
+  std::printf("== Figure 9: vendors that never responded ==\n\n");
+  for (const char* vendor :
+       {"Thomson", "Fritz!Box", "Linksys", "Fortinet", "ZyXEL", "Dell",
+        "Kronos", "Xerox", "McAfee", "TP-LINK"}) {
+    std::printf("-- %s --\n", vendor);
+    bench::print_vendor_figure(study, vendor);
+    std::printf("\n");
+  }
+
+  // Cross-vendor prime-pool overlap (Section 3.3.2: Dell printers are Fuji
+  // Xerox imaging hardware).
+  std::printf("-- shared-prime overlaps between vendor pools --\n");
+  for (const auto& overlap : study.prime_pools().overlaps()) {
+    std::printf("  %s / %s: %zu shared primes\n", overlap.vendor_a.c_str(),
+                overlap.vendor_b.c_str(), overlap.shared_primes);
+  }
+
+  // The Internet Rimon fixed-key middlebox (Section 3.3.3): an unfactored
+  // modulus served from many IPs under many different subjects.
+  std::printf("\n-- fixed-key MITM candidates (Internet Rimon) --\n");
+  for (const auto& candidate : study.mitm_candidates()) {
+    if (candidate.ever_factored) continue;  // degenerate generators
+    std::printf(
+        "  modulus %.16s... : %zu IPs, %zu distinct subjects, %zu records, "
+        "never factored\n",
+        candidate.modulus.to_hex().c_str(), candidate.distinct_ips,
+        candidate.distinct_subjects, candidate.records);
+  }
+  return 0;
+}

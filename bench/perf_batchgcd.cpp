@@ -1,0 +1,103 @@
+// Microbenchmarks for the batch-GCD machinery, including the RAM-resident
+// vs recompute remainder-tree ablation (the paper's key optimization over
+// the original disk-spilling implementation).
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "batchgcd/distributed.hpp"
+#include "batchgcd/product_tree.hpp"
+#include "batchgcd/remainder_tree.hpp"
+#include "rng/prng_source.hpp"
+#include "rsa/keygen.hpp"
+
+namespace {
+
+using namespace weakkeys;
+using bn::BigInt;
+
+const std::vector<BigInt>& corpus(std::size_t count) {
+  static std::map<std::size_t, std::vector<BigInt>> cache;
+  auto& moduli = cache[count];
+  if (moduli.empty()) {
+    rng::PrngRandomSource rng(1234);
+    rsa::KeygenOptions opts;
+    opts.modulus_bits = 256;
+    opts.style = rsa::PrimeStyle::kPlain;
+    opts.sieve_primes = 256;  // cheap synthetic corpus
+    opts.miller_rabin_rounds = 4;
+    moduli.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      moduli.push_back(rsa::generate_key(rng, opts).pub.n);
+    }
+  }
+  return moduli;
+}
+
+void BM_ProductTree(benchmark::State& state) {
+  const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    batchgcd::ProductTree tree(moduli);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_ProductTree)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_BatchGcd(benchmark::State& state) {
+  const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batchgcd::batch_gcd(moduli));
+  }
+}
+BENCHMARK(BM_BatchGcd)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_NaivePairwise(benchmark::State& state) {
+  const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batchgcd::naive_pairwise_gcd(moduli));
+  }
+}
+BENCHMARK(BM_NaivePairwise)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+// Ablation: remainder tree reading RAM-resident levels vs recomputing
+// internal products on the way down (the memory-lean strategy the original
+// factorable.net hardware was forced into).
+void BM_RemainderTreeRam(benchmark::State& state) {
+  const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  const batchgcd::ProductTree tree(moduli);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        batchgcd::remainder_tree_squares(tree, tree.root()));
+  }
+}
+BENCHMARK(BM_RemainderTreeRam)->Arg(1024)->Arg(4096)->Unit(benchmark::kMillisecond);
+
+void BM_RemainderTreeRecompute(benchmark::State& state) {
+  const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  const batchgcd::ProductTree tree(moduli);
+  const BigInt root = tree.root();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        batchgcd::remainder_tree_squares_recompute(moduli, root));
+  }
+}
+BENCHMARK(BM_RemainderTreeRecompute)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DistributedK(benchmark::State& state) {
+  const auto& moduli = corpus(2048);
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        batchgcd::batch_gcd_distributed(moduli, k, nullptr));
+  }
+}
+BENCHMARK(BM_DistributedK)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

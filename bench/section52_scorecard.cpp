@@ -1,0 +1,52 @@
+// Section 5.2: "Our data does not appear to show any correlation between
+// company size or customer population and response to vulnerability
+// notification, nor between vendor response and end-user vulnerability
+// rates." This binary quantifies that claim on the reproduced corpus:
+// remediation outcomes (final/peak vulnerable hosts) grouped by Table 2
+// response class.
+#include <cstdio>
+
+#include "analysis/scorecard.hpp"
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace weakkeys;
+  auto& study = bench::shared_study();
+  const auto builder = study.series_builder();
+
+  // Fingerprint vendor names -> Table 2 notification names.
+  const std::map<std::string, std::string> aliases = {
+      {"Thomson", "Technicolor"},
+      {"Fritz!Box", "AVM"},
+      {"Hewlett-Packard", "HP"},
+      {"TP-LINK", "TP-Link"},
+  };
+  const auto summary = analysis::build_scorecard(
+      builder, netsim::standard_notifications(), aliases);
+
+  std::printf("== Section 5.2: response class vs remediation outcome ==\n");
+  analysis::TextTable table({"vendor", "response class", "peak vulnerable",
+                             "final vulnerable", "final/peak"});
+  for (const auto& score : summary.scores) {
+    char ratio[16];
+    std::snprintf(ratio, sizeof ratio, "%.2f", score.remediation_ratio());
+    table.add_row({score.vendor, to_string(score.response),
+                   std::to_string(score.peak_vulnerable),
+                   std::to_string(score.final_vulnerable), ratio});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nmean final/peak ratio by response class:\n");
+  for (const auto& [cls, mean] : summary.mean_ratio_by_class) {
+    std::printf("  %-28s %.2f\n", to_string(cls).c_str(), mean);
+  }
+  std::printf(
+      "overall mean %.2f, spread between class means %.2f\n"
+      "shape check (paper): all classes hover near the same ratio — public "
+      "advisories bought\nno better end-user outcomes than silence "
+      "(newly-vulnerable vendors excepted, whose\npopulations are still "
+      "growing by construction).\n",
+      summary.overall_mean, summary.class_mean_spread);
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Table 1: dataset summary — host records, distinct certificates, distinct
+// moduli, and the vulnerable counts, over the six simulated years of scans.
+#include <cstdio>
+#include <unordered_set>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace weakkeys;
+  auto& study = bench::shared_study();
+  const auto& ds = study.dataset();
+  const auto& stats = study.factor_stats();
+
+  // HTTPS-restricted views (Table 1 reports HTTPS-specific rows).
+  std::size_t https_records = 0;
+  std::unordered_set<std::string> https_certs, https_vuln_certs;
+  std::size_t https_vuln_records = 0;
+  for (const auto& snap : ds.snapshots) {
+    if (snap.protocol != netsim::Protocol::kHttps) continue;
+    https_records += snap.records.size();
+    for (const auto& rec : snap.records) {
+      const std::string key =
+          std::to_string(rec.cert().serial) + "/" + rec.cert().key.n.to_hex();
+      https_certs.insert(key);
+      if (study.vulnerable().contains(rec.cert().key.n)) {
+        ++https_vuln_records;
+        https_vuln_certs.insert(key);
+      }
+    }
+  }
+  const std::size_t https_moduli =
+      ds.distinct_moduli(netsim::Protocol::kHttps).size();
+
+  analysis::TextTable table({"quantity", "value"});
+  table.add_row({"HTTPS host records", analysis::with_commas(https_records)});
+  table.add_row({"Distinct HTTPS certificates",
+                 analysis::with_commas(https_certs.size())});
+  table.add_row({"Distinct HTTPS moduli", analysis::with_commas(https_moduli)});
+  table.add_rule();
+  table.add_row({"Total distinct RSA moduli (all protocols)",
+                 analysis::with_commas(stats.distinct_moduli)});
+  table.add_row({"Vulnerable RSA moduli",
+                 analysis::with_commas(study.vulnerable().size())});
+  table.add_row({"Vulnerable HTTPS host records",
+                 analysis::with_commas(https_vuln_records)});
+  table.add_row({"Vulnerable HTTPS certificates",
+                 analysis::with_commas(https_vuln_certs.size())});
+  table.add_rule();
+  table.add_row({"Bit-error (non-well-formed) moduli excluded",
+                 analysis::with_commas(stats.bit_errors)});
+
+  std::printf("== Table 1: dataset summary ==\n%s", table.render().c_str());
+  std::printf(
+      "vulnerable fraction of distinct moduli: %.2f%% (paper: 0.37%%; the "
+      "simulated background\npopulation is compressed ~4x relative to the "
+      "device families, which inflates the fraction\nbut preserves every "
+      "per-vendor shape)\n",
+      100.0 * static_cast<double>(study.vulnerable().size()) /
+          static_cast<double>(stats.distinct_moduli));
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 2: the 37 vendors notified in February/March 2012 about weak TLS or
+// SSH RSA key generation, by response class — plus the Section 4.4 vendors
+// notified in May 2016 about newly introduced flaws.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+#include "netsim/catalog.hpp"
+
+int main() {
+  using namespace weakkeys;
+  using netsim::ResponseClass;
+
+  const auto notifications = netsim::standard_notifications();
+  std::map<ResponseClass, std::vector<const netsim::VendorNotification*>> by_class;
+  for (const auto& n : notifications) by_class[n.response].push_back(&n);
+
+  std::printf("== Table 2: vendor notification outcomes ==\n");
+  analysis::TextTable table({"response class", "vendors", "count"});
+  for (const auto cls :
+       {ResponseClass::kPublicAdvisory, ResponseClass::kPrivateResponse,
+        ResponseClass::kAutoResponse, ResponseClass::kNoResponse,
+        ResponseClass::kNewSince2012}) {
+    std::string vendors;
+    for (const auto* n : by_class[cls]) {
+      if (!vendors.empty()) vendors += ", ";
+      vendors += n->vendor;
+    }
+    table.add_row({to_string(cls), vendors,
+                   std::to_string(by_class[cls].size())});
+  }
+  std::printf("%s", table.render().c_str());
+
+  int notified_2012 = 0, advisories = 0;
+  for (const auto& n : notifications) {
+    if (n.notified_2012) ++notified_2012;
+    if (n.response == ResponseClass::kPublicAdvisory) ++advisories;
+  }
+  std::printf(
+      "%d vendors notified in 2012 (paper: 37); %d released a public "
+      "security advisory (paper: 5).\n\nNotes:\n",
+      notified_2012, advisories);
+  for (const auto& n : notifications) {
+    if (!n.notes.empty()) {
+      std::printf("  %-16s %s\n", n.vendor.c_str(), n.notes.c_str());
+    }
+  }
+  return 0;
+}

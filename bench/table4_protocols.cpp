@@ -1,0 +1,41 @@
+// Table 4: cross-protocol scans (HTTPS / SSH / POP3S / IMAPS / SMTPS) —
+// total hosts, RSA hosts, and vulnerable hosts per protocol. The batch GCD
+// runs over the union of all protocols' moduli (as in the paper), but
+// vulnerable keys concentrate overwhelmingly in HTTPS.
+#include <cstdio>
+
+#include "analysis/report.hpp"
+#include "common.hpp"
+
+int main() {
+  using namespace weakkeys;
+  auto& study = bench::shared_study();
+
+  std::printf("== Table 4: vulnerable keys per protocol ==\n");
+  analysis::TextTable table(
+      {"protocol", "scan date", "hosts with RSA keys", "vulnerable hosts"});
+
+  for (const auto proto :
+       {netsim::Protocol::kHttps, netsim::Protocol::kSsh,
+        netsim::Protocol::kPop3s, netsim::Protocol::kImaps,
+        netsim::Protocol::kSmtps}) {
+    // Most recent snapshot for the protocol (mirrors the paper's table).
+    const netsim::ScanSnapshot* snap = nullptr;
+    for (const auto* candidate : study.dataset().snapshots_for(proto)) {
+      snap = candidate;
+    }
+    if (!snap) continue;
+    std::size_t vulnerable = 0;
+    for (const auto& rec : snap->records) {
+      if (study.vulnerable().contains(rec.cert().key.n)) ++vulnerable;
+    }
+    table.add_row({to_string(proto), snap->date.to_string(),
+                   analysis::with_commas(snap->records.size()),
+                   analysis::with_commas(vulnerable)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "shape check (paper): HTTPS 59,628 vulnerable; SSH 723; all three mail "
+      "protocols 0.\nExpected here: HTTPS >> SSH > 0, mail == 0.\n");
+  return 0;
+}

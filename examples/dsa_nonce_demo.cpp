@@ -1,0 +1,63 @@
+// dsa_nonce_demo: the DSA half of the 2012 disclosures.
+//
+// A simulated switch signs periodic telemetry with DSA. Its RNG has the
+// boot-time entropy hole, so two reboots land in the same pool state and the
+// device signs two different messages with the same nonce. A passive
+// observer scanning the signature transcript for repeated r values recovers
+// the private key and forges a message.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dsa/dsa.hpp"
+#include "dsa/nonce_attack.hpp"
+#include "rng/prng_source.hpp"
+#include "rng/urandom.hpp"
+
+int main() {
+  using namespace weakkeys;
+
+  std::printf("generating DSA domain parameters (512/160)...\n");
+  rng::PrngRandomSource setup(20120201);
+  const dsa::DsaParams params = dsa::generate_params(setup, 512, 160);
+  const dsa::DsaPrivateKey device_key = dsa::generate_key(params, setup);
+
+  auto bytes = [](const std::string& s) {
+    return std::vector<std::uint8_t>(s.begin(), s.end());
+  };
+
+  // The device's life: sign a message after each boot. Boot entropy: 3 bits.
+  const rng::RngFlawModel flaw{.boot_entropy_bits = 3,
+                               .divergence_entropy_bits = -1};
+  util::Xoshiro256 boot_draws(5);
+  std::vector<dsa::ObservedSignature> transcript;
+  for (int boot = 0; boot < 12; ++boot) {
+    rng::SimulatedUrandom urandom("switch-fw-2.1", flaw, boot_draws(), 0);
+    const auto message = bytes("status report #" + std::to_string(boot));
+    transcript.push_back({message, dsa::sign(device_key, message, urandom)});
+  }
+  std::printf("observed %zu signatures from 12 boots of a flawed device\n",
+              transcript.size());
+
+  const auto hits =
+      dsa::scan_for_nonce_reuse(params, transcript, &device_key.pub);
+  if (hits.empty()) {
+    std::printf("no nonce reuse in this draw (boot space not yet collided)\n");
+    return 1;
+  }
+  std::printf("nonce reuse found between signatures #%zu and #%zu\n",
+              hits[0].first_index, hits[0].second_index);
+  std::printf("recovered private key matches: %s\n",
+              hits[0].private_key == device_key.x ? "yes" : "no");
+
+  // Forge: sign an attacker-chosen message with the recovered key.
+  dsa::DsaPrivateKey stolen;
+  stolen.pub = device_key.pub;
+  stolen.x = hits[0].private_key;
+  rng::PrngRandomSource attacker(99);
+  const auto forged_message = bytes("firmware update: attacker.example/fw.bin");
+  const auto forged = dsa::sign(stolen, forged_message, attacker);
+  std::printf("forged signature verifies under the device's public key: %s\n",
+              dsa::verify(device_key.pub, forged_message, forged) ? "yes" : "no");
+  return 0;
+}

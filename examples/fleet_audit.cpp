@@ -1,0 +1,116 @@
+// fleet_audit: what a vendor PSIRT (or network operator) would run.
+//
+// Simulates a product fleet across firmware revisions, audits every issued
+// certificate with batch GCD, classifies implementations with the OpenSSL
+// prime fingerprint, and prints a per-firmware risk report — the auditing
+// workflow the paper argues vendors never performed.
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "batchgcd/distributed.hpp"
+#include "fingerprint/openssl_fingerprint.hpp"
+#include "netsim/device.hpp"
+#include "util/thread_pool.hpp"
+
+int main() {
+  using namespace weakkeys;
+
+  // Three firmware generations of one product line:
+  //   v1.0  - flawed, no mid-keygen stir: identical default keys
+  //   v2.0  - flawed with stir: factorable shared-prime keys
+  //   v3.0  - fixed: full boot entropy
+  struct Firmware {
+    const char* name;
+    netsim::DeviceModel model;
+    int units;
+  };
+  std::vector<Firmware> firmwares;
+  {
+    netsim::DeviceModel base;
+    base.vendor = "Acme";
+    base.key_bits = 256;
+    base.flawed_from = util::Date(2005, 1, 1);
+
+    netsim::DeviceModel v1 = base;
+    v1.model = "CPE-v1.0";
+    v1.flawed_rng = rng::RngFlawModel{.boot_entropy_bits = 2,
+                                      .divergence_entropy_bits = -1};
+    firmwares.push_back({"v1.0 (no stir)", v1, 40});
+
+    netsim::DeviceModel v2 = base;
+    v2.model = "CPE-v2.0";
+    v2.flawed_rng = rng::RngFlawModel{.boot_entropy_bits = 5,
+                                      .divergence_entropy_bits = 40};
+    firmwares.push_back({"v2.0 (stir, low boot entropy)", v2, 40});
+
+    netsim::DeviceModel v3 = base;
+    v3.model = "CPE-v3.0";
+    v3.flawed_from.reset();  // healthy
+    firmwares.push_back({"v3.0 (fixed)", v3, 40});
+  }
+
+  netsim::DeviceFactory factory(20160707, 8);
+  std::vector<netsim::Device> fleet;
+  std::vector<std::size_t> firmware_of_device;
+  for (std::size_t f = 0; f < firmwares.size(); ++f) {
+    for (int i = 0; i < firmwares[f].units; ++i) {
+      fleet.push_back(factory.create(firmwares[f].model, util::Date(2012, 1, 1),
+                                     util::Date(2012, 1, 1)));
+      firmware_of_device.push_back(f);
+    }
+  }
+
+  // Audit: batch GCD over every issued certificate + duplicate detection.
+  std::vector<bn::BigInt> moduli;
+  moduli.reserve(fleet.size());
+  for (const auto& device : fleet) moduli.push_back(device.https_cert->key.n);
+
+  util::ThreadPool pool(0);
+  const auto result = batchgcd::batch_gcd_distributed(moduli, 4, &pool);
+
+  std::map<std::string, std::size_t> duplicate_count;
+  for (const auto& n : moduli) ++duplicate_count[n.to_hex()];
+
+  struct Row {
+    std::size_t factorable = 0;
+    std::size_t duplicated = 0;
+    std::size_t sound = 0;
+    std::vector<bn::BigInt> recovered_primes;
+  };
+  std::vector<Row> rows(firmwares.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    Row& row = rows[firmware_of_device[i]];
+    const auto& divisor = result.divisors[i];
+    if (duplicate_count[moduli[i].to_hex()] > 1) {
+      ++row.duplicated;
+    } else if (!divisor.is_one() && divisor != moduli[i]) {
+      ++row.factorable;
+      const auto factors = batchgcd::recover_factors(moduli[i], divisor);
+      row.recovered_primes.push_back(factors->p);
+      row.recovered_primes.push_back(factors->q);
+    } else {
+      ++row.sound;
+    }
+  }
+
+  std::printf("== Acme CPE fleet audit (%zu certificates) ==\n", fleet.size());
+  analysis::TextTable table({"firmware", "units", "identical keys",
+                             "factorable", "sound", "prime generator"});
+  for (std::size_t f = 0; f < firmwares.size(); ++f) {
+    const auto verdict = fingerprint::classify_openssl(rows[f].recovered_primes);
+    table.add_row({firmwares[f].name, std::to_string(firmwares[f].units),
+                   std::to_string(rows[f].duplicated),
+                   std::to_string(rows[f].factorable),
+                   std::to_string(rows[f].sound),
+                   to_string(verdict.cls)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nexpected: v1.0 collapses to a handful of identical default keys, "
+      "v2.0 is factorable\nby batch GCD, v3.0 is clean. This audit takes "
+      "seconds — the study's point is that no\nvendor appears to have run "
+      "it before (or after) shipping.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the library in ~60 lines.
+//
+//   1. Generate RSA keys — one healthy, two from a simulated device with the
+//      boot-time entropy hole.
+//   2. Run batch GCD over the moduli.
+//   3. Factor the weak pair and rebuild the private key.
+//
+// Build & run:   cmake -B build -G Ninja && cmake --build build
+//                ./build/examples/quickstart
+#include <cstdio>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "rng/prng_source.hpp"
+#include "rng/urandom.hpp"
+#include "rsa/keygen.hpp"
+
+int main() {
+  using namespace weakkeys;
+
+  // A healthy key: seeded from a full-entropy source.
+  rng::PrngRandomSource healthy_rng(2024);
+  rsa::KeygenOptions opts;
+  opts.modulus_bits = 512;
+  const rsa::RsaPrivateKey healthy = rsa::generate_key(healthy_rng, opts);
+
+  // Two devices of the same model, booting into the same 4-bit entropy
+  // state. Each stirs a (device-unique) low-entropy event between its two
+  // prime generations — the exact failure mode of Section 2.4.
+  const rng::RngFlawModel flaw{.boot_entropy_bits = 4,
+                               .divergence_entropy_bits = 40};
+  rng::SimulatedUrandom device_a("router-fw-1.0", flaw, /*boot_state=*/7,
+                                 /*divergence_seed=*/1111);
+  rng::SimulatedUrandom device_b("router-fw-1.0", flaw, /*boot_state=*/7,
+                                 /*divergence_seed=*/2222);
+  rsa::KeygenEvents stir_a{[&](int prime) {
+    if (prime == 1) device_a.stir_divergence_event();
+  }};
+  rsa::KeygenEvents stir_b{[&](int prime) {
+    if (prime == 1) device_b.stir_divergence_event();
+  }};
+  const rsa::RsaPrivateKey weak_a = rsa::generate_key(device_a, opts, &stir_a);
+  const rsa::RsaPrivateKey weak_b = rsa::generate_key(device_b, opts, &stir_b);
+
+  // The attacker's view: three public moduli.
+  const std::vector<bn::BigInt> moduli = {healthy.pub.n, weak_a.pub.n,
+                                          weak_b.pub.n};
+  const auto result = batchgcd::batch_gcd(moduli);
+
+  std::printf("batch GCD over 3 moduli:\n");
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    std::printf("  modulus %zu: divisor %s\n", i,
+                result.divisors[i].is_one() ? "1 (safe)"
+                                            : result.divisors[i].to_hex().c_str());
+  }
+
+  const auto factors = batchgcd::recover_factors(moduli[1], result.divisors[1]);
+  if (!factors) {
+    std::printf("no factorization recovered (unexpected)\n");
+    return 1;
+  }
+  const rsa::RsaPrivateKey recovered =
+      rsa::assemble_private_key(factors->p, factors->q, weak_a.pub.e);
+  std::printf("\nrecovered private key matches the device's: %s\n",
+              recovered.d == weak_a.d ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// weak_key_attack: the end-to-end attack from Section 2.1, against a
+// simulated vulnerable firewall fleet.
+//
+// A passive adversary records (a) the TLS certificates a scan would see and
+// (b) one RSA-key-exchange handshake against a victim device. Because the
+// fleet's RNG has the boot-time entropy hole, batch GCD over the observed
+// certificates factors the victim's modulus; the adversary rebuilds the
+// private key, decrypts the recorded session key, and re-signs a forged
+// certificate to demonstrate impersonation.
+#include <cstdio>
+#include <vector>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "cert/certificate.hpp"
+#include "netsim/device.hpp"
+#include "rng/prng_source.hpp"
+#include "rsa/pkcs1.hpp"
+
+int main() {
+  using namespace weakkeys;
+
+  // --- The fleet: 24 firewalls of one model with a flawed RNG -------------
+  netsim::DeviceModel model;
+  model.vendor = "Acme";
+  model.model = "FireShield-100";
+  model.key_bits = 512;
+  model.flawed_rng = rng::RngFlawModel{.boot_entropy_bits = 3,
+                                       .divergence_entropy_bits = 40};
+  model.flawed_from = util::Date(2008, 1, 1);
+
+  netsim::DeviceFactory factory(/*seed=*/1337, /*miller_rabin_rounds=*/8);
+  std::vector<netsim::Device> fleet;
+  for (int i = 0; i < 24; ++i) {
+    fleet.push_back(factory.create(model, util::Date(2011, 3, 1),
+                                   util::Date(2011, 3, 1)));
+  }
+
+  // --- The victim encrypts a session key to its own certificate ----------
+  const netsim::Device& victim = fleet[5];
+  rng::PrngRandomSource client_rng(42);
+  const std::vector<std::uint8_t> premaster = {0x03, 0x03, 0xaa, 0xbb, 0xcc,
+                                               0xdd, 0xee, 0xff};
+  const auto recorded_handshake =
+      rsa::encrypt(victim.https_cert->key, premaster, client_rng);
+  std::printf("recorded one RSA key exchange against %s (victim device #5)\n",
+              victim.ip.to_string().c_str());
+
+  // --- The adversary: certificates only -----------------------------------
+  std::vector<bn::BigInt> observed;
+  observed.reserve(fleet.size());
+  for (const auto& device : fleet) observed.push_back(device.https_cert->key.n);
+  const auto result = batchgcd::batch_gcd(observed);
+
+  const auto& divisor = result.divisors[5];
+  if (divisor.is_one() || divisor == observed[5]) {
+    std::printf("victim not factorable in this draw — fleet too small\n");
+    return 1;
+  }
+  const auto factors = batchgcd::recover_factors(observed[5], divisor);
+  const rsa::RsaPrivateKey stolen = rsa::assemble_private_key(
+      factors->p, factors->q, victim.https_cert->key.e);
+  std::printf("batch GCD factored the victim's modulus "
+              "(shares a prime with %zu fleet keys)\n",
+              result.vulnerable_indices().size() - 1);
+
+  // --- Passive decryption --------------------------------------------------
+  const auto decrypted = rsa::decrypt(stolen, recorded_handshake);
+  std::printf("decrypted session key matches: %s\n",
+              decrypted == premaster ? "yes" : "no");
+
+  // --- Active impersonation: forge a certificate for the victim's name ----
+  cert::Certificate forged = *victim.https_cert;
+  forged.serial += 1;  // a "renewed" certificate
+  forged.signature = rsa::sign(stolen, forged.encode_tbs());
+  std::printf("forged certificate verifies under the victim's public key: %s\n",
+              forged.verify_signature(victim.https_cert->key) ? "yes" : "no");
+
+  std::printf(
+      "\nmitigation check: a healthy device (full boot entropy) in the same "
+      "fleet is unaffected:\n");
+  netsim::DeviceModel healthy = model;
+  healthy.flawed_from.reset();
+  const auto safe = factory.create(healthy, util::Date(2011, 3, 1),
+                                   util::Date(2011, 3, 1));
+  auto with_safe = observed;
+  with_safe.push_back(safe.https_key.pub.n);
+  const auto recheck = batchgcd::batch_gcd(with_safe);
+  std::printf("  divisor for the healthy key: %s\n",
+              recheck.divisors.back().is_one() ? "1 (safe)" : "FACTORED?!");
+  return 0;
+}

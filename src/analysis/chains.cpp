@@ -1,0 +1,43 @@
+#include "analysis/chains.hpp"
+
+#include <map>
+#include <set>
+
+namespace weakkeys::analysis {
+
+netsim::ScanSnapshot exclude_intermediates(const netsim::ScanSnapshot& snap) {
+  // issuer DNs of non-self-signed certificates, per IP.
+  std::map<std::uint32_t, std::set<std::string>> issuers_at_ip;
+  for (const auto& rec : snap.records) {
+    const auto& c = rec.cert();
+    if (!c.is_self_signed()) {
+      issuers_at_ip[rec.ip.value()].insert(c.issuer.to_string());
+    }
+  }
+
+  netsim::ScanSnapshot out;
+  out.date = snap.date;
+  out.source = snap.source;
+  out.protocol = snap.protocol;
+  out.records.reserve(snap.records.size());
+  for (const auto& rec : snap.records) {
+    const auto it = issuers_at_ip.find(rec.ip.value());
+    if (it != issuers_at_ip.end() &&
+        it->second.contains(rec.cert().subject.to_string())) {
+      continue;  // this certificate issued another cert seen at the same IP
+    }
+    out.records.push_back(rec);
+  }
+  return out;
+}
+
+netsim::ScanDataset exclude_intermediates(const netsim::ScanDataset& dataset) {
+  netsim::ScanDataset out;
+  out.snapshots.reserve(dataset.snapshots.size());
+  for (const auto& snap : dataset.snapshots) {
+    out.snapshots.push_back(exclude_intermediates(snap));
+  }
+  return out;
+}
+
+}  // namespace weakkeys::analysis

@@ -1,0 +1,20 @@
+// Chain reconstruction (paper Section 3.1).
+//
+// Rapid7's Sonar data surfaced intermediate certificates without explicit
+// chaining; the paper reconstructed chains per IP and kept only the lowest
+// certificate. We do the same: within one snapshot, a record is dropped if
+// its certificate's subject is the *issuer* of another certificate observed
+// at the same IP (i.e. it sits above a leaf we also saw).
+#pragma once
+
+#include "netsim/dataset.hpp"
+
+namespace weakkeys::analysis {
+
+/// Copy of `snap` with intermediate (issuer) records removed.
+netsim::ScanSnapshot exclude_intermediates(const netsim::ScanSnapshot& snap);
+
+/// Applies exclude_intermediates to every snapshot.
+netsim::ScanDataset exclude_intermediates(const netsim::ScanDataset& dataset);
+
+}  // namespace weakkeys::analysis

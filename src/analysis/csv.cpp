@@ -1,0 +1,62 @@
+#include "analysis/csv.hpp"
+
+#include <map>
+#include <ostream>
+
+namespace weakkeys::analysis {
+
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+void write_series_csv(std::ostream& os, const VendorSeries& series) {
+  os << "date,source,total_hosts,vulnerable_hosts\n";
+  for (const auto& p : series.points) {
+    os << p.date.to_string() << ',' << csv_escape(p.source) << ','
+       << p.total_hosts << ',' << p.vulnerable_hosts << '\n';
+  }
+}
+
+void write_multi_series_csv(std::ostream& os,
+                            const std::vector<VendorSeries>& series) {
+  os << "date,source";
+  for (const auto& s : series) {
+    const std::string name = s.model.empty() ? s.vendor : s.vendor + " " + s.model;
+    os << ',' << csv_escape(name + " total") << ','
+       << csv_escape(name + " vulnerable");
+  }
+  os << '\n';
+
+  // Join on (date, source); map keeps rows date-ordered.
+  using Key = std::pair<std::string, std::string>;
+  std::map<Key, std::vector<const SeriesPoint*>> rows;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (const auto& p : series[i].points) {
+      auto& row = rows[{p.date.to_string(), p.source}];
+      row.resize(series.size(), nullptr);
+      row[i] = &p;
+    }
+  }
+  for (const auto& [key, row] : rows) {
+    os << key.first << ',' << csv_escape(key.second);
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (i < row.size() && row[i]) {
+        os << ',' << row[i]->total_hosts << ',' << row[i]->vulnerable_hosts;
+      } else {
+        os << ",,";
+      }
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace weakkeys::analysis

@@ -1,0 +1,26 @@
+// CSV export for series and tables, so results can be plotted externally
+// (gnuplot/matplotlib) instead of read off the ASCII renderings.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/timeseries.hpp"
+
+namespace weakkeys::analysis {
+
+/// RFC-4180-style escaping: quotes a field when it contains a comma, quote,
+/// or newline; embedded quotes are doubled.
+std::string csv_escape(const std::string& field);
+
+/// One row per point: date,source,total_hosts,vulnerable_hosts.
+void write_series_csv(std::ostream& os, const VendorSeries& series);
+
+/// Several series joined on (date, source):
+/// date,source,<vendor1>_total,<vendor1>_vuln,<vendor2>_total,...
+/// Missing points are left empty.
+void write_multi_series_csv(std::ostream& os,
+                            const std::vector<VendorSeries>& series);
+
+}  // namespace weakkeys::analysis

@@ -1,0 +1,40 @@
+#include "analysis/events.hpp"
+
+namespace weakkeys::analysis {
+
+std::optional<EventWindowDelta> event_window_delta(const VendorSeries& series,
+                                                   const util::Date& event,
+                                                   int settle_months) {
+  const SeriesPoint* before = nullptr;
+  const SeriesPoint* after = nullptr;
+  const util::Date settle = event.add_months(settle_months);
+  for (const auto& p : series.points) {
+    if (p.date <= event && (!before || p.date > before->date)) before = &p;
+    if (p.date >= settle && (!after || p.date < after->date)) after = &p;
+  }
+  if (!before || !after) return std::nullopt;
+  return EventWindowDelta{before->total_hosts, after->total_hosts,
+                          before->vulnerable_hosts, after->vulnerable_hosts};
+}
+
+EolOnset eol_onset(const VendorSeries& series, const std::string& model,
+                   const util::Date& eol_announced) {
+  EolOnset onset;
+  onset.model = model;
+  onset.eol_announced = eol_announced;
+  const SeriesPoint* peak = nullptr;
+  for (const auto& p : series.points) {
+    if (!peak || p.total_hosts > peak->total_hosts) peak = &p;
+  }
+  if (peak) {
+    onset.peak_date = peak->date;
+    onset.peak_total = peak->total_hosts;
+    onset.peak_to_eol_months = util::months_between(eol_announced, peak->date);
+  }
+  if (!series.points.empty()) {
+    onset.final_total = series.points.back().total_hosts;
+  }
+  return onset;
+}
+
+}  // namespace weakkeys::analysis

@@ -1,0 +1,52 @@
+// Event-window analysis: the Heartbleed drop (Section 4.1 / Figures 3, 5,
+// 8) and the Cisco end-of-life onset correlation (Section 4.2 / Figure 7).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/timeseries.hpp"
+#include "util/date.hpp"
+
+namespace weakkeys::analysis {
+
+struct EventWindowDelta {
+  std::size_t total_before = 0;
+  std::size_t total_after = 0;
+  std::size_t vulnerable_before = 0;
+  std::size_t vulnerable_after = 0;
+
+  [[nodiscard]] double total_drop_fraction() const {
+    return total_before == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(total_after) / total_before;
+  }
+  [[nodiscard]] double vulnerable_drop_fraction() const {
+    return vulnerable_before == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(vulnerable_after) / vulnerable_before;
+  }
+};
+
+/// Compares the last scan at/before `event` with the first scan at least
+/// `settle_months` after it. Returns nullopt when the series lacks points
+/// on either side.
+std::optional<EventWindowDelta> event_window_delta(const VendorSeries& series,
+                                                   const util::Date& event,
+                                                   int settle_months = 2);
+
+struct EolOnset {
+  std::string model;
+  util::Date eol_announced;
+  util::Date peak_date;       ///< date of the maximum total population
+  int peak_to_eol_months = 0; ///< peak month minus EOL month (<= 0 means the
+                              ///< decline starts at/after the announcement)
+  std::size_t peak_total = 0;
+  std::size_t final_total = 0;
+};
+
+/// Locates the population peak relative to the end-of-life announcement.
+EolOnset eol_onset(const VendorSeries& series, const std::string& model,
+                   const util::Date& eol_announced);
+
+}  // namespace weakkeys::analysis

@@ -1,0 +1,96 @@
+#include "analysis/lifetimes.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace weakkeys::analysis {
+
+std::vector<CertificateLifetime> certificate_lifetimes(
+    const netsim::ScanDataset& dataset) {
+  struct Accumulator {
+    CertificateLifetime lifetime;
+    std::set<std::uint32_t> ips;
+  };
+  // Certificates are shared objects; accumulate by pointer, then emit keyed
+  // by fingerprint.
+  std::unordered_map<const cert::Certificate*, Accumulator> acc;
+  for (const auto& snap : dataset.snapshots) {
+    if (snap.protocol != netsim::Protocol::kHttps) continue;
+    for (const auto& rec : snap.records) {
+      auto [it, fresh] = acc.try_emplace(rec.certificate.get());
+      auto& a = it->second;
+      if (fresh) {
+        a.lifetime.first_seen = snap.date;
+        a.lifetime.last_seen = snap.date;
+      }
+      a.lifetime.first_seen = std::min(a.lifetime.first_seen, snap.date);
+      a.lifetime.last_seen = std::max(a.lifetime.last_seen, snap.date);
+      a.ips.insert(rec.ip.value());
+      ++a.lifetime.sightings;
+    }
+  }
+
+  std::vector<CertificateLifetime> out;
+  out.reserve(acc.size());
+  for (auto& [ptr, a] : acc) {
+    a.lifetime.fingerprint_hex = ptr->fingerprint_hex();
+    a.lifetime.distinct_ips = a.ips.size();
+    out.push_back(std::move(a.lifetime));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CertificateLifetime& a, const CertificateLifetime& b) {
+              if (a.first_seen != b.first_seen) return a.first_seen < b.first_seen;
+              return a.fingerprint_hex < b.fingerprint_hex;
+            });
+  return out;
+}
+
+std::vector<Replacement> certificate_replacements(
+    const netsim::ScanDataset& dataset) {
+  struct LastSeen {
+    const cert::Certificate* certificate = nullptr;
+    util::Date when;
+  };
+  std::unordered_map<std::uint32_t, LastSeen> latest;
+  std::vector<Replacement> out;
+
+  for (const auto& snap : dataset.snapshots) {
+    if (snap.protocol != netsim::Protocol::kHttps) continue;
+    for (const auto& rec : snap.records) {
+      auto [it, fresh] = latest.try_emplace(rec.ip.value());
+      LastSeen& prev = it->second;
+      const auto* current = rec.certificate.get();
+      if (!fresh && prev.certificate != current &&
+          prev.certificate->key.n != current->key.n) {
+        Replacement rep;
+        rep.ip = rec.ip.value();
+        rep.when = snap.date;
+        rep.old_subject = prev.certificate->subject.to_string();
+        rep.new_subject = current->subject.to_string();
+        rep.kind = rep.old_subject == rep.new_subject
+                       ? ReplacementKind::kRenewal
+                       : ReplacementKind::kTakeover;
+        out.push_back(std::move(rep));
+      }
+      prev.certificate = current;
+      prev.when = snap.date;
+    }
+  }
+  return out;
+}
+
+ReplacementSummary summarize_replacements(
+    const std::vector<Replacement>& replacements) {
+  ReplacementSummary summary;
+  for (const auto& r : replacements) {
+    if (r.kind == ReplacementKind::kRenewal) {
+      ++summary.renewals;
+    } else {
+      ++summary.takeovers;
+    }
+  }
+  return summary;
+}
+
+}  // namespace weakkeys::analysis

@@ -1,0 +1,62 @@
+// Certificate lifetime and replacement analysis (paper Section 4.1).
+//
+// The paper distinguished "patched" from "offlined" by looking at how long
+// certificates lived on each host and what replaced them: a patched device
+// renews its certificate in place (same IP, new key, similar subject); a
+// recycled IP serves an unrelated certificate. These helpers compute both
+// views from a scan dataset.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netsim/dataset.hpp"
+#include "util/date.hpp"
+
+namespace weakkeys::analysis {
+
+struct CertificateLifetime {
+  std::string fingerprint_hex;
+  util::Date first_seen;
+  util::Date last_seen;
+  std::size_t distinct_ips = 0;
+  std::size_t sightings = 0;
+
+  [[nodiscard]] int observed_months() const {
+    return util::months_between(first_seen, last_seen);
+  }
+};
+
+/// Lifetime record per distinct certificate across HTTPS snapshots.
+std::vector<CertificateLifetime> certificate_lifetimes(
+    const netsim::ScanDataset& dataset);
+
+enum class ReplacementKind {
+  kRenewal,    ///< same subject, different key: certificate regenerated
+  kTakeover,   ///< different subject: another device behind the address
+};
+
+struct Replacement {
+  std::uint32_t ip = 0;
+  util::Date when;
+  ReplacementKind kind = ReplacementKind::kTakeover;
+  std::string old_subject;
+  std::string new_subject;
+};
+
+/// Certificate changes observed at a stable IP across consecutive HTTPS
+/// sightings. Renewals (same subject, new key) indicate in-place key
+/// regeneration; takeovers indicate IP churn.
+std::vector<Replacement> certificate_replacements(
+    const netsim::ScanDataset& dataset);
+
+struct ReplacementSummary {
+  std::size_t renewals = 0;
+  std::size_t takeovers = 0;
+};
+
+ReplacementSummary summarize_replacements(
+    const std::vector<Replacement>& replacements);
+
+}  // namespace weakkeys::analysis

@@ -1,0 +1,95 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace weakkeys::analysis {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_rule() { rows_.emplace_back(); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_rule = [&] {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << '+' << std::string(widths[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      os << "| " << cell << std::string(widths[c] - cell.size() + 1, ' ');
+    }
+    os << "|\n";
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      emit_rule();
+    } else {
+      emit_row(row);
+    }
+  }
+  emit_rule();
+  return os.str();
+}
+
+std::string with_commas(std::size_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i > 0 && (digits.size() - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string render_series(const VendorSeries& series, int width) {
+  std::size_t max_total = 1, max_vulnerable = 1;
+  for (const auto& p : series.points) {
+    max_total = std::max(max_total, p.total_hosts);
+    max_vulnerable = std::max(max_vulnerable, p.vulnerable_hosts);
+  }
+
+  std::ostringstream os;
+  os << "# " << series.vendor;
+  if (!series.model.empty()) os << " " << series.model;
+  os << "  (max total " << with_commas(max_total) << ", max vulnerable "
+     << with_commas(max_vulnerable) << ")\n";
+  os << "#  date       source      total      vuln   total-bar / vuln-bar\n";
+  for (const auto& p : series.points) {
+    const int tb = static_cast<int>(
+        static_cast<double>(p.total_hosts) / static_cast<double>(max_total) * width);
+    const int vb = static_cast<int>(static_cast<double>(p.vulnerable_hosts) /
+                                    static_cast<double>(max_vulnerable) * width);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s %-10s %9zu %9zu  ",
+                  p.date.to_string().c_str(), p.source.c_str(), p.total_hosts,
+                  p.vulnerable_hosts);
+    os << buf << '|' << std::string(static_cast<std::size_t>(tb), '#')
+       << std::string(static_cast<std::size_t>(width - tb), ' ') << '|'
+       << std::string(static_cast<std::size_t>(vb), '*') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace weakkeys::analysis

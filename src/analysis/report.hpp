@@ -1,0 +1,36 @@
+// Text rendering for the table/figure reproduction binaries: aligned ASCII
+// tables and a two-band series plot (total above, vulnerable below — the
+// layout every population figure in the paper uses).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/timeseries.hpp"
+
+namespace weakkeys::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Adds a horizontal rule before the next row.
+  void add_rule();
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = rule
+};
+
+/// Formats n with thousands separators ("1,441,437").
+std::string with_commas(std::size_t n);
+
+/// Renders a VendorSeries as a table of (date, source, total, vulnerable)
+/// plus crude bar charts mirroring the paper's stacked-band figures.
+std::string render_series(const VendorSeries& series, int width = 46);
+
+}  // namespace weakkeys::analysis

@@ -1,0 +1,60 @@
+#include "analysis/scorecard.hpp"
+
+#include <algorithm>
+
+namespace weakkeys::analysis {
+
+ScorecardSummary build_scorecard(
+    const TimeSeriesBuilder& builder,
+    const std::vector<netsim::VendorNotification>& notifications,
+    const std::map<std::string, std::string>& vendor_aliases) {
+  ScorecardSummary summary;
+
+  std::map<std::string, netsim::ResponseClass> response_of;
+  for (const auto& n : notifications) response_of[n.vendor] = n.response;
+
+  for (const std::string& vendor : builder.vendors()) {
+    // Resolve fingerprint names to Table 2 names (e.g. Thomson ->
+    // Technicolor, Fritz!Box -> AVM, Hewlett-Packard -> HP).
+    std::string table_name = vendor;
+    if (const auto alias = vendor_aliases.find(vendor);
+        alias != vendor_aliases.end()) {
+      table_name = alias->second;
+    }
+    const auto response = response_of.find(table_name);
+    if (response == response_of.end()) continue;
+
+    const VendorSeries series = builder.vendor_series(vendor);
+    VendorScore score;
+    score.vendor = vendor;
+    score.response = response->second;
+    score.peak_vulnerable = series.peak_vulnerable();
+    score.final_vulnerable =
+        series.points.empty() ? 0 : series.points.back().vulnerable_hosts;
+    if (score.peak_vulnerable == 0) continue;  // never vulnerable: no signal
+    summary.scores.push_back(score);
+  }
+
+  std::map<netsim::ResponseClass, std::pair<double, int>> accumulator;
+  double total = 0.0;
+  for (const auto& score : summary.scores) {
+    auto& [sum, count] = accumulator[score.response];
+    sum += score.remediation_ratio();
+    ++count;
+    total += score.remediation_ratio();
+  }
+  if (!summary.scores.empty()) {
+    summary.overall_mean = total / static_cast<double>(summary.scores.size());
+  }
+  double lo = 1e9, hi = -1e9;
+  for (const auto& [cls, pair] : accumulator) {
+    const double mean = pair.first / pair.second;
+    summary.mean_ratio_by_class[cls] = mean;
+    lo = std::min(lo, mean);
+    hi = std::max(hi, mean);
+  }
+  if (hi >= lo) summary.class_mean_spread = hi - lo;
+  return summary;
+}
+
+}  // namespace weakkeys::analysis

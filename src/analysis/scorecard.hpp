@@ -1,0 +1,52 @@
+// Vendor response scorecards (paper Section 5.2).
+//
+// The paper's discussion point: neither company size nor response class
+// (public advisory / private response / silence) correlates with end-user
+// vulnerability outcomes. The scorecard quantifies each vendor's outcome as
+// the ratio of end-of-study vulnerable hosts to the peak, grouped by
+// response class, so the (non-)correlation is measurable.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/timeseries.hpp"
+#include "netsim/device_model.hpp"
+
+namespace weakkeys::analysis {
+
+struct VendorScore {
+  std::string vendor;
+  netsim::ResponseClass response = netsim::ResponseClass::kNoResponse;
+  std::size_t peak_vulnerable = 0;
+  std::size_t final_vulnerable = 0;
+
+  /// final/peak: 1.0 = no improvement at all, 0.0 = fully cleaned up.
+  [[nodiscard]] double remediation_ratio() const {
+    return peak_vulnerable == 0
+               ? 0.0
+               : static_cast<double>(final_vulnerable) /
+                     static_cast<double>(peak_vulnerable);
+  }
+};
+
+struct ScorecardSummary {
+  std::vector<VendorScore> scores;
+  /// Mean remediation ratio per response class.
+  std::map<netsim::ResponseClass, double> mean_ratio_by_class;
+  /// Spread of the class means: a small value (relative to the overall
+  /// mean) is the paper's "no correlation" finding.
+  double class_mean_spread = 0.0;
+  double overall_mean = 0.0;
+};
+
+/// Builds scorecards for every vendor that (a) has a notification record and
+/// (b) ever had vulnerable hosts. `vendor_to_response` maps the fingerprint
+/// vendor names onto Table 2's notification entries.
+ScorecardSummary build_scorecard(
+    const TimeSeriesBuilder& builder,
+    const std::vector<netsim::VendorNotification>& notifications,
+    const std::map<std::string, std::string>& vendor_aliases = {});
+
+}  // namespace weakkeys::analysis

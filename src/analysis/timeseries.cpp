@@ -1,0 +1,92 @@
+#include "analysis/timeseries.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace weakkeys::analysis {
+
+const SeriesPoint* VendorSeries::at_or_before(const util::Date& d) const {
+  const SeriesPoint* best = nullptr;
+  for (const auto& p : points) {
+    if (p.date <= d && (!best || p.date > best->date)) best = &p;
+  }
+  return best;
+}
+
+std::size_t VendorSeries::peak_vulnerable() const {
+  std::size_t peak = 0;
+  for (const auto& p : points) peak = std::max(peak, p.vulnerable_hosts);
+  return peak;
+}
+
+std::size_t VendorSeries::peak_total() const {
+  std::size_t peak = 0;
+  for (const auto& p : points) peak = std::max(peak, p.total_hosts);
+  return peak;
+}
+
+TimeSeriesBuilder::TimeSeriesBuilder(const netsim::ScanDataset& dataset,
+                                     VulnerableSet vulnerable,
+                                     RecordLabeler labeler)
+    : dataset_(dataset),
+      vulnerable_(std::move(vulnerable)),
+      labeler_(std::move(labeler)) {}
+
+VendorSeries TimeSeriesBuilder::vendor_series(const std::string& vendor,
+                                              const std::string& model) const {
+  VendorSeries series;
+  series.vendor = vendor;
+  series.model = model;
+  for (const auto& snap : dataset_.snapshots) {
+    if (snap.protocol != netsim::Protocol::kHttps) continue;
+    SeriesPoint point{snap.date, snap.source, 0, 0};
+    for (const auto& rec : snap.records) {
+      const auto label = labeler_(rec);
+      if (!label || label->vendor != vendor) continue;
+      if (!model.empty() && label->model != model) continue;
+      ++point.total_hosts;
+      if (vulnerable_.contains(rec.cert().key.n)) ++point.vulnerable_hosts;
+    }
+    series.points.push_back(point);
+  }
+  return series;
+}
+
+VendorSeries TimeSeriesBuilder::overall_series() const {
+  VendorSeries series;
+  series.vendor = "(all)";
+  for (const auto& snap : dataset_.snapshots) {
+    if (snap.protocol != netsim::Protocol::kHttps) continue;
+    SeriesPoint point{snap.date, snap.source, snap.records.size(), 0};
+    for (const auto& rec : snap.records) {
+      if (vulnerable_.contains(rec.cert().key.n)) ++point.vulnerable_hosts;
+    }
+    series.points.push_back(point);
+  }
+  return series;
+}
+
+std::vector<std::string> TimeSeriesBuilder::vendors() const {
+  std::map<std::string, std::size_t> vulnerable_count;
+  for (const auto& snap : dataset_.snapshots) {
+    if (snap.protocol != netsim::Protocol::kHttps) continue;
+    for (const auto& rec : snap.records) {
+      const auto label = labeler_(rec);
+      if (!label) continue;
+      auto& count = vulnerable_count[label->vendor];
+      if (vulnerable_.contains(rec.cert().key.n)) ++count;
+    }
+  }
+  std::vector<std::pair<std::string, std::size_t>> items(
+      vulnerable_count.begin(), vulnerable_count.end());
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<std::string> out;
+  out.reserve(items.size());
+  for (auto& [vendor, count] : items) out.push_back(vendor);
+  return out;
+}
+
+}  // namespace weakkeys::analysis

@@ -1,0 +1,82 @@
+// Per-vendor longitudinal series: total fingerprinted hosts and vulnerable
+// hosts per scan — the quantity plotted in Figures 1, 3-6 and 8-10.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "fingerprint/subject_rules.hpp"
+#include "netsim/dataset.hpp"
+
+namespace weakkeys::analysis {
+
+/// The set of factored (vulnerable) moduli, keyed by hex.
+class VulnerableSet {
+ public:
+  VulnerableSet() = default;
+  explicit VulnerableSet(std::unordered_set<std::string> hex)
+      : hex_(std::move(hex)) {}
+
+  void insert(const bn::BigInt& n) { hex_.insert(n.to_hex()); }
+  [[nodiscard]] bool contains(const bn::BigInt& n) const {
+    return hex_.contains(n.to_hex());
+  }
+  [[nodiscard]] std::size_t size() const { return hex_.size(); }
+  [[nodiscard]] const std::unordered_set<std::string>& hex() const {
+    return hex_;
+  }
+
+ private:
+  std::unordered_set<std::string> hex_;
+};
+
+/// Maps a record to its vendor/model label ("" = unidentified). Includes
+/// both the subject rules and whatever extrapolation the caller layered on.
+using RecordLabeler =
+    std::function<std::optional<fingerprint::VendorLabel>(const netsim::HostRecord&)>;
+
+struct SeriesPoint {
+  util::Date date;
+  std::string source;
+  std::size_t total_hosts = 0;
+  std::size_t vulnerable_hosts = 0;
+};
+
+struct VendorSeries {
+  std::string vendor;
+  std::string model;  ///< empty = all models
+  std::vector<SeriesPoint> points;
+
+  [[nodiscard]] const SeriesPoint* at_or_before(const util::Date& d) const;
+  [[nodiscard]] std::size_t peak_vulnerable() const;
+  [[nodiscard]] std::size_t peak_total() const;
+};
+
+class TimeSeriesBuilder {
+ public:
+  /// `dataset` must outlive the builder; the vulnerable set and labeler are
+  /// captured by value (so temporaries are safe to pass).
+  TimeSeriesBuilder(const netsim::ScanDataset& dataset,
+                    VulnerableSet vulnerable, RecordLabeler labeler);
+
+  /// Series over one vendor's fingerprinted hosts (HTTPS snapshots only).
+  /// `model` filters to one product when non-empty.
+  [[nodiscard]] VendorSeries vendor_series(const std::string& vendor,
+                                           const std::string& model = "") const;
+
+  /// Series over every HTTPS host regardless of label (Figure 1).
+  [[nodiscard]] VendorSeries overall_series() const;
+
+  /// All vendors seen by the labeler, most-vulnerable first.
+  [[nodiscard]] std::vector<std::string> vendors() const;
+
+ private:
+  const netsim::ScanDataset& dataset_;
+  VulnerableSet vulnerable_;
+  RecordLabeler labeler_;
+};
+
+}  // namespace weakkeys::analysis

@@ -1,0 +1,50 @@
+#include "analysis/transitions.hpp"
+
+#include <map>
+#include <vector>
+
+namespace weakkeys::analysis {
+
+TransitionCounts count_transitions(const netsim::ScanDataset& dataset,
+                                   const std::string& vendor,
+                                   const VulnerableSet& vulnerable,
+                                   const RecordLabeler& labeler) {
+  // Status history per IP, in snapshot order (snapshots are date-sorted).
+  std::map<std::uint32_t, std::vector<bool>> history;
+  for (const auto& snap : dataset.snapshots) {
+    if (snap.protocol != netsim::Protocol::kHttps) continue;
+    for (const auto& rec : snap.records) {
+      const auto label = labeler(rec);
+      if (!label || label->vendor != vendor) continue;
+      history[rec.ip.value()].push_back(vulnerable.contains(rec.cert().key.n));
+    }
+  }
+
+  TransitionCounts counts;
+  counts.ips_ever = history.size();
+  for (const auto& [ip, states] : history) {
+    bool ever_vulnerable = false;
+    std::size_t switches = 0;
+    bool first_direction_v_to_c = false;
+    for (std::size_t i = 0; i < states.size(); ++i) {
+      ever_vulnerable |= states[i];
+      if (i > 0 && states[i] != states[i - 1]) {
+        if (switches == 0) first_direction_v_to_c = states[i - 1];
+        ++switches;
+      }
+    }
+    if (ever_vulnerable) ++counts.ips_ever_vulnerable;
+    if (switches == 1) {
+      if (first_direction_v_to_c) {
+        ++counts.vulnerable_to_clean;
+      } else {
+        ++counts.clean_to_vulnerable;
+      }
+    } else if (switches > 1) {
+      ++counts.multiple_switches;
+    }
+  }
+  return counts;
+}
+
+}  // namespace weakkeys::analysis

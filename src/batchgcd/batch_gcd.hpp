@@ -1,0 +1,49 @@
+// Batch GCD (Bernstein; as deployed by Heninger et al. and this paper).
+//
+// Given moduli N_1..N_n, computes for every i the divisor
+//   d_i = gcd(N_i, (P / N_i) mod N_i),   P = prod_j N_j,
+// in quasilinear total time via a product tree and a remainder tree. A
+// d_i > 1 means N_i shares a factor with some other modulus — the key is
+// factorable. The quadratic naive baseline exists for the crossover
+// benchmark; it is infeasible at corpus scale, which is the point.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bn/bigint.hpp"
+
+namespace weakkeys::batchgcd {
+
+struct BatchGcdResult {
+  /// divisors[i] = gcd(N_i, prod_{j != i} N_j); 1 when N_i is coprime to
+  /// every other input. Equal to N_i itself when N_i appears twice or both
+  /// of its prime factors are shared.
+  std::vector<bn::BigInt> divisors;
+
+  /// Indices with a nontrivial divisor (> 1).
+  [[nodiscard]] std::vector<std::size_t> vulnerable_indices() const;
+};
+
+/// Single-tree batch GCD. Inputs should be deduplicated: duplicates are
+/// reported with divisor == N_i, which factors nothing.
+BatchGcdResult batch_gcd(std::span<const bn::BigInt> moduli);
+
+/// Quadratic baseline: pairwise gcd of every pair. Identical output
+/// semantics to batch_gcd(). Only viable for small n.
+BatchGcdResult naive_pairwise_gcd(std::span<const bn::BigInt> moduli);
+
+/// The factors recovered from a vulnerable modulus.
+struct Factorization {
+  bn::BigInt p;  ///< the shared divisor found by batch GCD
+  bn::BigInt q;  ///< n / p
+};
+
+/// Splits `n` by `divisor` (a batch-GCD output). Returns nullopt when the
+/// divisor is trivial (1) or total (n itself: a duplicated modulus cannot be
+/// split by GCD alone).
+std::optional<Factorization> recover_factors(const bn::BigInt& n,
+                                             const bn::BigInt& divisor);
+
+}  // namespace weakkeys::batchgcd

@@ -1,0 +1,34 @@
+// The paper's cluster-parallel batch GCD (Section 3.2, Figure 2).
+//
+// The moduli are split into k subsets with products P_1..P_k; every product
+// is pushed through a remainder tree over every subset. Total work grows
+// (quadratically in k) but no node ever computes with the full
+// corpus product — the central bottleneck of the single-tree algorithm — so
+// the k^2 independent (product, subset) tasks parallelize across a cluster.
+// Here the "cluster" is a thread pool; the per-task cost statistics the
+// benchmark reports are the machine-independent story.
+#pragma once
+
+#include <cstddef>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace weakkeys::batchgcd {
+
+struct DistributedStats {
+  std::size_t subsets = 0;
+  std::size_t tasks = 0;              ///< k * k (product x subset) pairs
+  std::size_t max_node_limbs = 0;     ///< largest tree node anywhere
+  std::size_t total_tree_limbs = 0;   ///< sum of subset product-tree storage
+};
+
+/// k-subset batch GCD. Output is element-for-element identical to
+/// batch_gcd(). `k` is clamped to [1, moduli.size()]. With a pool, the k^2
+/// remainder-tree tasks run concurrently; pass nullptr to run serially.
+BatchGcdResult batch_gcd_distributed(std::span<const bn::BigInt> moduli,
+                                     std::size_t k,
+                                     util::ThreadPool* pool = nullptr,
+                                     DistributedStats* stats = nullptr);
+
+}  // namespace weakkeys::batchgcd

@@ -1,0 +1,59 @@
+#include "batchgcd/incremental.hpp"
+
+#include "batchgcd/product_tree.hpp"
+#include "batchgcd/remainder_tree.hpp"
+
+namespace weakkeys::batchgcd {
+
+using bn::BigInt;
+
+IncrementalBatchGcd::BatchResult IncrementalBatchGcd::add_batch(
+    std::span<const BigInt> moduli) {
+  BatchResult result;
+  result.divisors.assign(moduli.size(), BigInt(1));
+  if (moduli.empty()) return result;
+
+  const ProductTree batch_tree(moduli);
+  const BigInt& batch_product = batch_tree.root();
+  const BigInt one(1);
+
+  // 1. Batch vs itself: standard batch GCD over the new moduli.
+  {
+    const auto rem = remainder_tree_squares(batch_tree, batch_product);
+    for (std::size_t i = 0; i < moduli.size(); ++i) {
+      result.divisors[i] = bn::gcd(moduli[i], rem[i] / moduli[i]);
+    }
+  }
+
+  // 2. Batch vs the accumulated corpus product: one remainder tree.
+  bool any_cross = false;
+  if (!corpus_.empty()) {
+    const auto rem = remainder_tree_squares(batch_tree, product_);
+    for (std::size_t i = 0; i < moduli.size(); ++i) {
+      const BigInt g = bn::gcd(moduli[i], rem[i] % moduli[i]);
+      if (g > one) {
+        any_cross = true;
+        result.divisors[i] = bn::gcd(moduli[i], result.divisors[i] * g);
+      }
+    }
+  }
+
+  // 3. Retroactive hits: old moduli sharing a factor with the batch. One
+  // remainder tree of the batch product over the (rebuilt) corpus tree —
+  // only needed when step 2 found anything, since sharing is symmetric.
+  if (any_cross) {
+    const ProductTree corpus_tree(corpus_);
+    const auto rem = remainder_tree_squares(corpus_tree, batch_product);
+    for (std::size_t j = 0; j < corpus_.size(); ++j) {
+      const BigInt g = bn::gcd(corpus_[j], rem[j] % corpus_[j]);
+      if (g > one) result.retroactive.push_back({j, g});
+    }
+  }
+
+  // 4. Fold the batch into the corpus.
+  corpus_.insert(corpus_.end(), moduli.begin(), moduli.end());
+  product_ = product_ * batch_product;
+  return result;
+}
+
+}  // namespace weakkeys::batchgcd

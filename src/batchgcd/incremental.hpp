@@ -1,0 +1,53 @@
+// Incremental batch GCD.
+//
+// The study appends a new internet-wide scan every month; refactoring the
+// entire 81M-modulus corpus each time would be wasteful. This maintains a
+// corpus product so that a new batch of b moduli costs roughly one
+// remainder tree over the batch plus a product update — instead of a full
+// recomputation over n + b moduli. Results are exactly what a from-scratch
+// batch GCD over the union would report for the *new* moduli, plus
+// retroactive hits: old moduli that newly share a factor with the batch.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "bn/bigint.hpp"
+
+namespace weakkeys::batchgcd {
+
+class IncrementalBatchGcd {
+ public:
+  IncrementalBatchGcd() = default;
+
+  struct BatchResult {
+    /// divisor for each modulus of the batch against (old corpus + batch),
+    /// same semantics as BatchGcdResult::divisors.
+    std::vector<bn::BigInt> divisors;
+    /// Indices (into the accumulated corpus, see corpus()) of *previously
+    /// added* moduli that share a factor with this batch, with the factor.
+    struct RetroHit {
+      std::size_t corpus_index;
+      bn::BigInt divisor;
+    };
+    std::vector<RetroHit> retroactive;
+  };
+
+  /// Adds a batch and reports its vulnerability against everything seen so
+  /// far. Duplicate moduli (within the batch or vs the corpus) report the
+  /// full modulus as divisor, like batch_gcd().
+  BatchResult add_batch(std::span<const bn::BigInt> moduli);
+
+  /// Every modulus added so far, in insertion order.
+  [[nodiscard]] const std::vector<bn::BigInt>& corpus() const { return corpus_; }
+
+  /// Product of the corpus (1 when empty).
+  [[nodiscard]] const bn::BigInt& product() const { return product_; }
+
+ private:
+  std::vector<bn::BigInt> corpus_;
+  bn::BigInt product_{1};
+};
+
+}  // namespace weakkeys::batchgcd

@@ -1,0 +1,40 @@
+#include "batchgcd/product_tree.hpp"
+
+namespace weakkeys::batchgcd {
+
+ProductTree::ProductTree(std::span<const bn::BigInt> inputs) {
+  if (inputs.empty()) return;
+  levels_.emplace_back(inputs.begin(), inputs.end());
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<bn::BigInt> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(prev[i] * prev[i + 1]);
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());
+    levels_.push_back(std::move(next));
+  }
+}
+
+const bn::BigInt& ProductTree::root() const {
+  return levels_.empty() ? one_ : levels_.back().front();
+}
+
+std::size_t ProductTree::total_limbs() const {
+  std::size_t total = 0;
+  for (const auto& level : levels_) {
+    for (const auto& node : level) total += node.limb_count();
+  }
+  return total;
+}
+
+std::size_t ProductTree::max_node_limbs() const {
+  std::size_t max = 0;
+  for (const auto& level : levels_) {
+    for (const auto& node : level) max = std::max(max, node.limb_count());
+  }
+  return max;
+}
+
+}  // namespace weakkeys::batchgcd

@@ -1,0 +1,46 @@
+// Product tree (Bernstein): computes the product of n inputs as a binary
+// tree, keeping every level. The remainder tree walks the levels back down.
+//
+// The whole tree is held in RAM — the paper's key optimization over the
+// original factorable.net code, which spilled levels to disk (Section 3.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "bn/bigint.hpp"
+
+namespace weakkeys::batchgcd {
+
+class ProductTree {
+ public:
+  /// Builds the tree over `inputs` (level 0 = the inputs themselves).
+  /// An empty input set yields a tree whose root is 1.
+  explicit ProductTree(std::span<const bn::BigInt> inputs);
+
+  [[nodiscard]] std::size_t leaf_count() const {
+    return levels_.empty() ? 0 : levels_.front().size();
+  }
+
+  /// The product of all inputs (1 for an empty tree).
+  [[nodiscard]] const bn::BigInt& root() const;
+
+  /// levels()[0] are the leaves; levels().back() is {root}.
+  [[nodiscard]] const std::vector<std::vector<bn::BigInt>>& levels() const {
+    return levels_;
+  }
+
+  /// Total storage across all levels, in limbs (the paper reports 70-100 GB
+  /// per cluster node at full scale; this is the equivalent metric here).
+  [[nodiscard]] std::size_t total_limbs() const;
+
+  /// Size of the largest node, in limbs — the central-bottleneck metric the
+  /// distributed variant exists to shrink.
+  [[nodiscard]] std::size_t max_node_limbs() const;
+
+ private:
+  std::vector<std::vector<bn::BigInt>> levels_;
+  bn::BigInt one_{1};
+};
+
+}  // namespace weakkeys::batchgcd

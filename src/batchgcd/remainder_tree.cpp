@@ -1,0 +1,70 @@
+#include "batchgcd/remainder_tree.hpp"
+
+namespace weakkeys::batchgcd {
+
+using bn::BigInt;
+
+namespace {
+
+/// x mod node^2, skipping the squaring when x is provably below it
+/// (x < 2^(2B-2) <= node^2 for a B-bit node). The root of a batch-GCD
+/// remainder tree always hits the cheap path: P mod P^2 == P.
+BigInt reduce_mod_square(const BigInt& x, const BigInt& node) {
+  const std::size_t node_bits = node.bit_length();
+  if (node_bits >= 1 && x.bit_length() <= 2 * node_bits - 2) return x;
+  return x % node.squared();
+}
+
+}  // namespace
+
+std::vector<BigInt> remainder_tree_squares(const ProductTree& tree,
+                                           const BigInt& x) {
+  const auto& levels = tree.levels();
+  if (levels.empty()) return {};
+
+  // rem[i] holds X mod node_i^2 for the current level. A level's odd
+  // trailing node is carried up unchanged by the product tree, so rem[i/2]
+  // is its own remainder already and the reduction below is a cheap no-op.
+  std::vector<BigInt> rem = {
+      reduce_mod_square(x, levels.back().front())};
+  for (std::size_t li = levels.size() - 1; li-- > 0;) {
+    const auto& level = levels[li];
+    std::vector<BigInt> next(level.size());
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      next[i] = reduce_mod_square(rem[i / 2], level[i]);
+    }
+    rem = std::move(next);
+  }
+  return rem;
+}
+
+std::vector<BigInt> remainder_tree_squares_recompute(
+    std::span<const bn::BigInt> moduli, const BigInt& x) {
+  if (moduli.empty()) return {};
+  if (moduli.size() == 1) {
+    return {reduce_mod_square(x, moduli[0])};
+  }
+  // Split in half, recompute each half's product, and recurse with the
+  // reduced remainder. Costs an extra product per node but holds only the
+  // current path in memory.
+  const std::size_t half = moduli.size() / 2;
+  const auto left = moduli.subspan(0, half);
+  const auto right = moduli.subspan(half);
+
+  auto product = [](std::span<const bn::BigInt> range) {
+    ProductTree t(range);
+    return t.root();
+  };
+  const BigInt left_product = product(left);
+  const BigInt right_product = product(right);
+
+  std::vector<BigInt> out = remainder_tree_squares_recompute(
+      left, reduce_mod_square(x, left_product));
+  std::vector<BigInt> rhs = remainder_tree_squares_recompute(
+      right, reduce_mod_square(x, right_product));
+  out.insert(out.end(), std::make_move_iterator(rhs.begin()),
+             std::make_move_iterator(rhs.end()));
+  return out;
+}
+
+}  // namespace weakkeys::batchgcd

@@ -1,0 +1,72 @@
+// Internal magnitude-level primitives shared by the BigInt algorithm files.
+// Magnitudes are little-endian limb vectors with no trailing zero limbs.
+// Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bn/bigint.hpp"
+
+namespace weakkeys::bn {
+
+/// Grants the algorithm translation units access to BigInt internals without
+/// exposing them publicly.
+struct BigIntOps {
+  static std::vector<Limb>& limbs(BigInt& x) { return x.limbs_; }
+  static const std::vector<Limb>& limbs(const BigInt& x) { return x.limbs_; }
+  static int sign(const BigInt& x) { return x.sign_; }
+  static BigInt make(std::vector<Limb> limbs, int sign) {
+    return BigInt::from_limbs(std::move(limbs), sign);
+  }
+};
+
+namespace detail {
+
+using LimbVec = std::vector<Limb>;
+
+/// Removes trailing zero limbs.
+void trim(LimbVec& v);
+
+/// Three-way magnitude comparison: -1, 0, +1.
+int cmp(const LimbVec& a, const LimbVec& b);
+
+/// a + b.
+LimbVec add(const LimbVec& a, const LimbVec& b);
+
+/// a - b; requires a >= b.
+LimbVec sub(const LimbVec& a, const LimbVec& b);
+
+/// a << bits / a >> bits.
+LimbVec shl(const LimbVec& a, std::size_t bits);
+LimbVec shr(const LimbVec& a, std::size_t bits);
+
+/// a * b; dispatches schoolbook vs Karatsuba on operand size.
+LimbVec mul(const LimbVec& a, const LimbVec& b);
+
+/// Schoolbook product, exposed for threshold benchmarking.
+LimbVec mul_schoolbook(const LimbVec& a, const LimbVec& b);
+
+/// Karatsuba product (recursive; falls back to schoolbook below threshold).
+LimbVec mul_karatsuba(const LimbVec& a, const LimbVec& b);
+
+/// Toom-3 product (five-point evaluation/interpolation; recursive through
+/// the mul() dispatcher, falling back to Karatsuba below threshold).
+LimbVec mul_toom3(const LimbVec& a, const LimbVec& b);
+
+/// Floor division of magnitudes: a = q*b + r, 0 <= r < b. b must be nonzero.
+/// Dispatches Knuth Algorithm D vs Newton-reciprocal division on size.
+void divmod(const LimbVec& a, const LimbVec& b, LimbVec& q, LimbVec& r);
+
+/// Knuth Algorithm D (quadratic), exposed for threshold benchmarking.
+void divmod_knuth(const LimbVec& a, const LimbVec& b, LimbVec& q, LimbVec& r);
+
+/// Newton-reciprocal division (O(M(n))), exposed for benchmarking. Requires
+/// b larger than a handful of limbs.
+void divmod_newton(const LimbVec& a, const LimbVec& b, LimbVec& q, LimbVec& r);
+
+/// Significant bits of the magnitude (0 for empty).
+std::size_t bit_length(const LimbVec& v);
+
+}  // namespace detail
+}  // namespace weakkeys::bn

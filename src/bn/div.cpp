@@ -1,0 +1,242 @@
+// Division.
+//
+// Two algorithms, dispatched on operand shape:
+//  * Knuth Algorithm D (TAOCP vol. 2, 4.3.1; the divmnu64 formulation) —
+//    quadratic, excellent for modulus-sized operands.
+//  * Newton-reciprocal division — computes I = floor(beta^(2n)/B) by
+//    recursive Newton iteration (precision doubling), then reduces the
+//    dividend in Barrett steps of 2n limbs. Costs O(M(n)) per step and keeps
+//    the remainder tree of the batch GCD computation quasilinear, which is
+//    what makes the paper's 81M-key computation (and our corpus-scale one)
+//    feasible at all.
+//
+// Every approximate step ends in an exact correction loop, so correctness
+// never depends on the error analysis; the analysis only guarantees the
+// loops run O(1) iterations.
+#include <bit>
+#include <stdexcept>
+
+#include "bn/detail.hpp"
+
+namespace weakkeys::bn {
+
+std::size_t& Tuning::newton_div_threshold() {
+  // Measured crossover vs Knuth-D is ~7-8k divisor limbs (1.7x at 16k,
+  // 2.2x at 32k, and widening as O(n^2) pulls away). Only the top few
+  // levels of a corpus-scale remainder tree clear this bar — but those
+  // levels are where nearly all the division time goes.
+  static std::size_t threshold = 6000;  // limbs; tuned by bench/perf_bn
+  return threshold;
+}
+
+namespace detail {
+
+namespace {
+
+constexpr unsigned __int128 kBase = static_cast<unsigned __int128>(1) << 64;
+
+void divmod_single_limb(const LimbVec& a, Limb d, LimbVec& q, LimbVec& r) {
+  q.assign(a.size(), 0);
+  unsigned __int128 rem = 0;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    const unsigned __int128 cur = (rem << 64) | a[i];
+    q[i] = static_cast<Limb>(cur / d);
+    rem = cur % d;
+  }
+  trim(q);
+  r.clear();
+  if (rem != 0) r.push_back(static_cast<Limb>(rem));
+}
+
+}  // namespace
+
+void divmod_knuth(const LimbVec& a, const LimbVec& b, LimbVec& q, LimbVec& r) {
+  if (b.empty()) throw std::domain_error("division by zero");
+  if (cmp(a, b) < 0) {
+    q.clear();
+    r = a;
+    trim(r);
+    return;
+  }
+  if (b.size() == 1) {
+    divmod_single_limb(a, b[0], q, r);
+    return;
+  }
+
+  // Normalize so the divisor's top bit is set.
+  const unsigned s = static_cast<unsigned>(std::countl_zero(b.back()));
+  LimbVec v = shl(b, s);
+  LimbVec u = shl(a, s);
+  const std::size_t n = v.size();
+  u.push_back(0);  // extra high limb for the first iteration
+  const std::size_t m = u.size() - n - 1;  // quotient has m+1 digits
+
+  q.assign(m + 1, 0);
+  for (std::size_t j = m + 1; j-- > 0;) {
+    // Estimate q[j] from the top two dividend limbs and top divisor limb.
+    const unsigned __int128 num =
+        (static_cast<unsigned __int128>(u[j + n]) << 64) | u[j + n - 1];
+    unsigned __int128 qhat = num / v[n - 1];
+    unsigned __int128 rhat = num % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > ((rhat << 64) | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+
+    // Multiply-subtract qhat * v from u[j .. j+n].
+    Limb qh = static_cast<Limb>(qhat);
+    unsigned __int128 borrow = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const unsigned __int128 p = static_cast<unsigned __int128>(qh) * v[i];
+      const __int128 t = static_cast<__int128>(static_cast<unsigned __int128>(u[i + j])) -
+                         static_cast<__int128>(borrow) -
+                         static_cast<__int128>(static_cast<Limb>(p));
+      u[i + j] = static_cast<Limb>(t);
+      borrow = static_cast<unsigned __int128>(p >> 64) -
+               static_cast<unsigned __int128>(t >> 64);
+    }
+    const __int128 t = static_cast<__int128>(static_cast<unsigned __int128>(u[j + n])) -
+                       static_cast<__int128>(borrow);
+    u[j + n] = static_cast<Limb>(t);
+
+    if (t < 0) {  // estimate was one too large: add divisor back
+      --qh;
+      unsigned __int128 carry = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        carry += static_cast<unsigned __int128>(u[i + j]) + v[i];
+        u[i + j] = static_cast<Limb>(carry);
+        carry >>= 64;
+      }
+      u[j + n] += static_cast<Limb>(carry);
+    }
+    q[j] = qh;
+  }
+
+  trim(q);
+  u.resize(n);
+  r = shr(u, s);
+}
+
+namespace {
+
+using Ops = BigIntOps;
+
+BigInt make_pos(LimbVec v) { return Ops::make(std::move(v), 1); }
+
+/// One limb-vector beta power: 2^(64*limbs).
+BigInt beta_pow(std::size_t limbs) {
+  LimbVec v(limbs + 1, 0);
+  v[limbs] = 1;
+  return make_pos(std::move(v));
+}
+
+/// Exact reciprocal I = floor(beta^(2n) / B) for a normalized n-limb B
+/// (top bit set). Recursive Newton iteration with exact final correction.
+BigInt invert(const BigInt& b) {
+  const std::size_t n = Ops::limbs(b).size();
+  constexpr std::size_t kBaseCase = 16;
+  if (n <= kBaseCase) {
+    LimbVec num(2 * n + 1, 0);
+    num[2 * n] = 1;
+    LimbVec q, r;
+    divmod_knuth(num, Ops::limbs(b), q, r);
+    return make_pos(std::move(q));
+  }
+
+  // Reciprocal of the top h limbs, then one Newton refinement to n limbs.
+  const std::size_t h = (n + 1) / 2;
+  const BigInt bh = b.high_limbs_from(n - h);
+  const BigInt ih = invert(bh);
+
+  const BigInt x0 = ih << (64 * (n - h));
+  const BigInt beta2n = beta_pow(2 * n);
+  const BigInt e = beta2n - x0 * b;                 // signed residual
+  BigInt x1 = x0 + ((x0 * e) >> (64 * 2 * n));      // Newton step
+
+  // Exact correction: make beta^(2n) - x1*b land in [0, b).
+  BigInt d = beta2n - x1 * b;
+  while (d.is_negative()) {
+    x1 -= 1;
+    d += b;
+  }
+  while (d >= b) {
+    x1 += 1;
+    d -= b;
+  }
+  return x1;
+}
+
+/// Barrett step: divides A (< beta^(2n)) by normalized n-limb B using the
+/// precomputed exact reciprocal I = floor(beta^(2n)/B).
+void barrett_step(const BigInt& a, const BigInt& b, const BigInt& i,
+                  std::size_t n, BigInt& q, BigInt& r) {
+  const BigInt a1 = a.high_limbs_from(n);
+  q = (a1 * i) >> (64 * n);
+  r = a - q * b;
+  while (r.is_negative()) {
+    q -= 1;
+    r += b;
+  }
+  while (r >= b) {
+    q += 1;
+    r -= b;
+  }
+}
+
+}  // namespace
+
+void divmod_newton(const LimbVec& a, const LimbVec& b, LimbVec& q, LimbVec& r) {
+  if (b.empty()) throw std::domain_error("division by zero");
+  if (cmp(a, b) < 0) {
+    q.clear();
+    r = a;
+    trim(r);
+    return;
+  }
+
+  const unsigned s = static_cast<unsigned>(std::countl_zero(b.back()));
+  const BigInt bb = make_pos(shl(b, s));
+  BigInt rem = make_pos(shl(a, s));
+  const std::size_t n = Ops::limbs(bb).size();
+  const BigInt inv = invert(bb);
+
+  BigInt quot;  // accumulated quotient
+  while (rem >= bb) {
+    const std::size_t k = rem.limb_count();
+    if (k <= 2 * n) {
+      BigInt qs, rs;
+      barrett_step(rem, bb, inv, n, qs, rs);
+      quot += qs;
+      rem = std::move(rs);
+    } else {
+      // Peel off the top 2n limbs, divide them, and fold the remainder back.
+      const std::size_t j = k - 2 * n;
+      const BigInt hi = rem.high_limbs_from(j);
+      const BigInt lo = rem.low_limbs(j);
+      BigInt qs, rs;
+      barrett_step(hi, bb, inv, n, qs, rs);
+      quot += qs << (64 * j);
+      rem = (rs << (64 * j)) + lo;
+    }
+  }
+
+  q = Ops::limbs(quot);
+  trim(q);
+  r = shr(Ops::limbs(rem), s);
+}
+
+void divmod(const LimbVec& a, const LimbVec& b, LimbVec& q, LimbVec& r) {
+  const std::size_t threshold = Tuning::newton_div_threshold();
+  const bool big_divisor = b.size() >= threshold;
+  const bool big_quotient = a.size() >= b.size() + threshold / 2;
+  if (big_divisor && big_quotient) {
+    divmod_newton(a, b, q, r);
+  } else {
+    divmod_knuth(a, b, q, r);
+  }
+}
+
+}  // namespace detail
+}  // namespace weakkeys::bn

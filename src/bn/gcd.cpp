@@ -1,0 +1,85 @@
+// GCD and extended GCD.
+//
+// Pairwise gcd is the last step of the batch GCD pipeline (recovering
+// p = gcd(N_i, z_i / N_i)); operand sizes there are modulus-sized, so the
+// O(bits^2 / 64) binary GCD is the right tool. Extended GCD (classic
+// Euclid on quotients) backs modular inversion for RSA private exponents.
+#include <bit>
+#include <stdexcept>
+#include <utility>
+
+#include "bn/detail.hpp"
+
+namespace weakkeys::bn {
+
+namespace {
+
+std::size_t trailing_zero_bits(const BigInt& v) {
+  const auto limbs = v.limbs();
+  std::size_t bits = 0;
+  for (std::size_t i = 0; i < limbs.size(); ++i) {
+    if (limbs[i] == 0) {
+      bits += 64;
+      continue;
+    }
+    return bits + static_cast<std::size_t>(std::countr_zero(limbs[i]));
+  }
+  return bits;
+}
+
+}  // namespace
+
+BigInt gcd(const BigInt& a_in, const BigInt& b_in) {
+  BigInt a = a_in.abs();
+  BigInt b = b_in.abs();
+  if (a.is_zero()) return b;
+  if (b.is_zero()) return a;
+
+  const std::size_t za = trailing_zero_bits(a);
+  const std::size_t zb = trailing_zero_bits(b);
+  const std::size_t shared = std::min(za, zb);
+  a >>= za;
+  b >>= zb;
+  // Binary GCD: both odd from here on.
+  while (a != b) {
+    if (a < b) std::swap(a, b);
+    a -= b;  // even, nonzero
+    a >>= trailing_zero_bits(a);
+  }
+  return a << shared;
+}
+
+ExtendedGcd extended_gcd(const BigInt& a, const BigInt& b) {
+  // Invariant: r0 = a*x0 + b*y0, r1 = a*x1 + b*y1.
+  BigInt r0 = a, r1 = b;
+  BigInt x0 = 1, x1 = 0;
+  BigInt y0 = 0, y1 = 1;
+  while (!r1.is_zero()) {
+    const auto [q, r] = BigInt::divmod(r0, r1);
+    r0 = std::move(r1);
+    r1 = r;
+    BigInt x2 = x0 - q * x1;
+    x0 = std::move(x1);
+    x1 = std::move(x2);
+    BigInt y2 = y0 - q * y1;
+    y0 = std::move(y1);
+    y1 = std::move(y2);
+  }
+  if (r0.is_negative()) {
+    r0 = -r0;
+    x0 = -x0;
+    y0 = -y0;
+  }
+  return {std::move(r0), std::move(x0), std::move(y0)};
+}
+
+BigInt mod_inverse(const BigInt& a, const BigInt& m) {
+  if (m <= BigInt(1)) throw std::domain_error("modulus must exceed 1");
+  const ExtendedGcd eg = extended_gcd(a % m, m);
+  if (!eg.g.is_one()) throw std::domain_error("value is not invertible");
+  BigInt x = eg.x % m;
+  if (x.is_negative()) x += m;
+  return x;
+}
+
+}  // namespace weakkeys::bn

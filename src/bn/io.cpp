@@ -1,0 +1,150 @@
+// String and byte conversions for BigInt.
+#include <algorithm>
+#include <stdexcept>
+
+#include "bn/detail.hpp"
+
+namespace weakkeys::bn {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument(std::string("bad hex digit: ") + c);
+}
+
+/// Strips an optional sign, returning (text-after-sign, negative?).
+std::pair<std::string_view, bool> strip_sign(const std::string& text) {
+  std::string_view sv = text;
+  bool negative = false;
+  if (!sv.empty() && (sv.front() == '+' || sv.front() == '-')) {
+    negative = sv.front() == '-';
+    sv.remove_prefix(1);
+  }
+  if (sv.empty()) throw std::invalid_argument("empty number literal");
+  return {sv, negative};
+}
+
+}  // namespace
+
+BigInt BigInt::from_decimal(const std::string& text) {
+  const auto [digits, negative] = strip_sign(text);
+  BigInt out;
+  // Consume 19 digits at a time (19 digits fit a 64-bit limb).
+  constexpr std::uint64_t kPow10[] = {
+      1ULL,
+      10ULL,
+      100ULL,
+      1000ULL,
+      10000ULL,
+      100000ULL,
+      1000000ULL,
+      10000000ULL,
+      100000000ULL,
+      1000000000ULL,
+      10000000000ULL,
+      100000000000ULL,
+      1000000000000ULL,
+      10000000000000ULL,
+      100000000000000ULL,
+      1000000000000000ULL,
+      10000000000000000ULL,
+      100000000000000000ULL,
+      1000000000000000000ULL,
+      10000000000000000000ULL};
+  std::size_t pos = 0;
+  while (pos < digits.size()) {
+    const std::size_t take = std::min<std::size_t>(19, digits.size() - pos);
+    std::uint64_t chunk = 0;
+    for (std::size_t i = 0; i < take; ++i) {
+      const char c = digits[pos + i];
+      if (c < '0' || c > '9')
+        throw std::invalid_argument(std::string("bad decimal digit: ") + c);
+      chunk = chunk * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    out = out * BigInt(kPow10[take]) + BigInt(chunk);
+    pos += take;
+  }
+  return negative ? -out : out;
+}
+
+BigInt BigInt::from_hex(const std::string& text) {
+  const auto [digits, negative] = strip_sign(text);
+  BigInt out;
+  // Build limbs directly, 16 hex digits per limb, from the low end.
+  std::vector<Limb> limbs;
+  std::size_t end = digits.size();
+  while (end > 0) {
+    const std::size_t begin = end >= 16 ? end - 16 : 0;
+    Limb limb = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      limb = limb << 4 | static_cast<Limb>(hex_digit(digits[i]));
+    }
+    limbs.push_back(limb);
+    end = begin;
+  }
+  out = from_limbs(std::move(limbs), negative ? -1 : 1);
+  return out;
+}
+
+BigInt BigInt::from_bytes(std::span<const std::uint8_t> bytes) {
+  std::vector<Limb> limbs((bytes.size() + 7) / 8, 0);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    // bytes are big-endian; byte i contributes to bit offset 8*(size-1-i).
+    const std::size_t bit = 8 * (bytes.size() - 1 - i);
+    limbs[bit / 64] |= static_cast<Limb>(bytes[i]) << (bit % 64);
+  }
+  return from_limbs(std::move(limbs), 1);
+}
+
+std::string BigInt::to_decimal() const {
+  if (is_zero()) return "0";
+  std::string out;
+  BigInt value = abs();
+  const BigInt chunk_div(std::uint64_t{10000000000000000000ULL});  // 10^19
+  std::vector<std::uint64_t> chunks;
+  while (!value.is_zero()) {
+    auto [q, r] = divmod(value, chunk_div);
+    chunks.push_back(r.is_zero() ? 0 : r.to_uint64());
+    value = std::move(q);
+  }
+  // Highest chunk without padding, the rest zero-padded to 19 digits.
+  out = std::to_string(chunks.back());
+  for (std::size_t i = chunks.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(chunks[i]);
+    out.append(19 - part.size(), '0');
+    out += part;
+  }
+  if (is_negative()) out.insert(out.begin(), '-');
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(limbs_[i] >> shift) & 0xf]);
+    }
+  }
+  const std::size_t first = out.find_first_not_of('0');
+  out.erase(0, first);
+  if (is_negative()) out.insert(out.begin(), '-');
+  return out;
+}
+
+std::vector<std::uint8_t> BigInt::to_bytes() const {
+  if (is_zero()) return {0};
+  const std::size_t bytes = (bit_length() + 7) / 8;
+  std::vector<std::uint8_t> out(bytes, 0);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    const std::size_t bit = 8 * (bytes - 1 - i);
+    out[i] = static_cast<std::uint8_t>(limbs_[bit / 64] >> (bit % 64));
+  }
+  return out;
+}
+
+}  // namespace weakkeys::bn

@@ -1,0 +1,178 @@
+// Multiplication: schoolbook below the Karatsuba threshold, Karatsuba above.
+//
+// The product tree over the full key corpus multiplies numbers of hundreds of
+// thousands of limbs; a quadratic multiply would make the batch GCD
+// computation infeasible (Section 3.2 of the paper), so the subquadratic path
+// is load-bearing, not an optimization nicety.
+#include "bn/detail.hpp"
+
+namespace weakkeys::bn {
+
+std::size_t& Tuning::karatsuba_threshold() {
+  static std::size_t threshold = 24;  // limbs; tuned by bench/perf_bn
+  return threshold;
+}
+
+std::size_t& Tuning::toom3_threshold() {
+  // Measured crossover vs Karatsuba on this implementation is ~16k limbs
+  // (1.2x at 64k, 1.6x at 256k — the product-tree root scale). Below that
+  // the extra evaluation/interpolation passes cost more than the saved
+  // multiplication.
+  static std::size_t threshold = 12000;  // limbs; tuned by bench/perf_bn
+  return threshold;
+}
+
+namespace detail {
+
+LimbVec mul_schoolbook(const LimbVec& a, const LimbVec& b) {
+  if (a.empty() || b.empty()) return {};
+  LimbVec out(a.size() + b.size(), 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    unsigned __int128 carry = 0;
+    const Limb ai = a[i];
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      carry += static_cast<unsigned __int128>(ai) * b[j] + out[i + j];
+      out[i + j] = static_cast<Limb>(carry);
+      carry >>= 64;
+    }
+    out[i + b.size()] = static_cast<Limb>(carry);
+  }
+  trim(out);
+  return out;
+}
+
+namespace {
+
+LimbVec take_low(const LimbVec& v, std::size_t count) {
+  LimbVec out(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(
+                                         std::min(count, v.size())));
+  trim(out);
+  return out;
+}
+
+LimbVec take_high(const LimbVec& v, std::size_t from) {
+  if (from >= v.size()) return {};
+  LimbVec out(v.begin() + static_cast<std::ptrdiff_t>(from), v.end());
+  trim(out);
+  return out;
+}
+
+/// out += v << (shift limbs). out must already be large enough.
+void add_shifted_into(LimbVec& out, const LimbVec& v, std::size_t shift) {
+  unsigned __int128 carry = 0;
+  std::size_t i = 0;
+  for (; i < v.size(); ++i) {
+    carry += out[shift + i];
+    carry += v[i];
+    out[shift + i] = static_cast<Limb>(carry);
+    carry >>= 64;
+  }
+  while (carry) {
+    carry += out[shift + i];
+    out[shift + i] = static_cast<Limb>(carry);
+    carry >>= 64;
+    ++i;
+  }
+}
+
+/// out -= v << (shift limbs); requires out >= v << shift.
+void sub_shifted_into(LimbVec& out, const LimbVec& v, std::size_t shift) {
+  std::uint64_t borrow = 0;
+  std::size_t i = 0;
+  for (; i < v.size(); ++i) {
+    const Limb oi = out[shift + i];
+    const Limb d1 = oi - v[i];
+    const std::uint64_t b1 = oi < v[i];
+    const Limb d2 = d1 - borrow;
+    const std::uint64_t b2 = d1 < borrow;
+    out[shift + i] = d2;
+    borrow = b1 | b2;
+  }
+  while (borrow) {
+    const Limb oi = out[shift + i];
+    out[shift + i] = oi - borrow;
+    borrow = oi < borrow;
+    ++i;
+  }
+}
+
+}  // namespace
+
+LimbVec mul_karatsuba(const LimbVec& a, const LimbVec& b) {
+  const std::size_t threshold = Tuning::karatsuba_threshold();
+  if (std::min(a.size(), b.size()) < threshold) return mul_schoolbook(a, b);
+
+  // Split at half of the larger operand: x = x1*B^m + x0.
+  const std::size_t m = std::max(a.size(), b.size()) / 2;
+  const LimbVec a0 = take_low(a, m), a1 = take_high(a, m);
+  const LimbVec b0 = take_low(b, m), b1 = take_high(b, m);
+
+  const LimbVec z0 = mul_karatsuba(a0, b0);
+  const LimbVec z2 = mul_karatsuba(a1, b1);
+  const LimbVec z1 = mul_karatsuba(add(a0, a1), add(b0, b1));
+
+  // result = z2*B^2m + (z1 - z2 - z0)*B^m + z0.
+  LimbVec out(a.size() + b.size() + 1, 0);
+  add_shifted_into(out, z0, 0);
+  add_shifted_into(out, z1, m);
+  sub_shifted_into(out, z0, m);
+  sub_shifted_into(out, z2, m);
+  add_shifted_into(out, z2, 2 * m);
+  trim(out);
+  return out;
+}
+
+// Toom-3: split x = x2*B^2m + x1*B^m + x0 and evaluate the product
+// polynomial c(t) = c0 + c1 t + ... + c4 t^4 at t in {0, 1, -1, 2, inf}.
+// Implemented over signed BigInts (v(-1) can be negative); the exact
+// divisions in the interpolation all act on provably nonnegative values.
+LimbVec mul_toom3(const LimbVec& a, const LimbVec& b) {
+  if (std::min(a.size(), b.size()) < Tuning::toom3_threshold())
+    return mul_karatsuba(a, b);
+
+  using Ops = BigIntOps;
+  const std::size_t m = (std::max(a.size(), b.size()) + 2) / 3;
+  auto piece = [m](const LimbVec& v, std::size_t index) {
+    const std::size_t begin = std::min(index * m, v.size());
+    const std::size_t end = std::min(begin + m, v.size());
+    LimbVec out(v.begin() + static_cast<std::ptrdiff_t>(begin),
+                v.begin() + static_cast<std::ptrdiff_t>(end));
+    trim(out);
+    return Ops::make(std::move(out), 1);
+  };
+  const BigInt a0 = piece(a, 0), a1 = piece(a, 1), a2 = piece(a, 2);
+  const BigInt b0 = piece(b, 0), b1 = piece(b, 1), b2 = piece(b, 2);
+
+  // Five point evaluations (each multiplication recurses through mul()).
+  const BigInt v0 = a0 * b0;
+  const BigInt a02 = a0 + a2, b02 = b0 + b2;
+  const BigInt v1 = (a02 + a1) * (b02 + b1);
+  const BigInt vm1 = (a02 - a1) * (b02 - b1);
+  const BigInt v2 =
+      (a0 + (a1 << 1) + (a2 << 2)) * (b0 + (b1 << 1) + (b2 << 2));
+  const BigInt vinf = a2 * b2;
+
+  // Interpolation. All shifts divide nonnegative even values exactly.
+  const BigInt c0 = v0;
+  const BigInt c4 = vinf;
+  const BigInt c2 = ((v1 + vm1) >> 1) - c0 - c4;           // (v1+vm1)/2 - c0 - c4
+  const BigInt s = (v1 - vm1) >> 1;                        // c1 + c3
+  const BigInt t = (v2 - vm1) / BigInt(3);                 // c1 + c2 + 3c3 + 5c4
+  const BigInt u = t - c2 - (c4 * BigInt(5));              // c1 + 3c3
+  const BigInt c3 = (u - s) >> 1;
+  const BigInt c1 = s - c3;
+
+  const BigInt result = c0 + (c1 << (64 * m)) + (c2 << (128 * m)) +
+                        (c3 << (192 * m)) + (c4 << (256 * m));
+  return Ops::limbs(result);
+}
+
+LimbVec mul(const LimbVec& a, const LimbVec& b) {
+  const std::size_t smaller = std::min(a.size(), b.size());
+  if (smaller >= Tuning::toom3_threshold()) return mul_toom3(a, b);
+  if (smaller >= Tuning::karatsuba_threshold()) return mul_karatsuba(a, b);
+  return mul_schoolbook(a, b);
+}
+
+}  // namespace detail
+}  // namespace weakkeys::bn

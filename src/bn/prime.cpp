@@ -1,0 +1,112 @@
+// Primality testing and random generation.
+//
+// Miller-Rabin with random bases drawn from the caller's RandomSource keeps
+// the whole key-generation path deterministic under a simulated device RNG —
+// which is precisely how the flawed devices in the study end up sharing
+// primes.
+#include <cmath>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "bn/detail.hpp"
+
+namespace weakkeys::bn {
+
+const std::vector<std::uint32_t>& small_primes(std::size_t count) {
+  static std::mutex mutex;
+  static std::vector<std::uint32_t> primes;
+  // One stable vector per requested count, so returned references stay valid.
+  static std::map<std::size_t, std::vector<std::uint32_t>> views;
+
+  std::lock_guard lock(mutex);
+  if (primes.size() < count) {
+    // Sieve with a generous bound; the nth prime is below
+    // n*(ln n + ln ln n) for n >= 6.
+    const double n = static_cast<double>(std::max<std::size_t>(count, 6));
+    const double bound_d = n * (std::log(n) + std::log(std::log(n))) + 16;
+    const auto bound = static_cast<std::size_t>(bound_d);
+    std::vector<bool> composite(bound + 1, false);
+    primes.clear();
+    for (std::size_t i = 2; i <= bound; ++i) {
+      if (composite[i]) continue;
+      primes.push_back(static_cast<std::uint32_t>(i));
+      for (std::size_t j = i * i; j <= bound; j += i) composite[j] = true;
+    }
+  }
+  auto& view = views[count];
+  if (view.size() != count) {
+    view.assign(primes.begin(),
+                primes.begin() + static_cast<std::ptrdiff_t>(count));
+  }
+  return view;
+}
+
+std::uint64_t mod_small(const BigInt& n, std::uint64_t p) {
+  if (p == 0) throw std::domain_error("mod by zero");
+  unsigned __int128 rem = 0;
+  const auto limbs = n.limbs();
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    rem = ((rem << 64) | limbs[i]) % p;
+  }
+  return static_cast<std::uint64_t>(rem);
+}
+
+BigInt random_bits(RandomSource& src, std::size_t bits) {
+  if (bits == 0) return BigInt{};
+  const std::size_t bytes = (bits + 7) / 8;
+  std::vector<std::uint8_t> buf(bytes);
+  src.fill(buf);
+  const unsigned excess = static_cast<unsigned>(bytes * 8 - bits);
+  buf[0] &= static_cast<std::uint8_t>(0xffu >> excess);
+  return BigInt::from_bytes(buf);
+}
+
+BigInt random_range(RandomSource& src, const BigInt& low, const BigInt& high) {
+  if (low > high) throw std::invalid_argument("random_range: low > high");
+  const BigInt span = high - low + BigInt(1);
+  const std::size_t bits = span.bit_length();
+  // Rejection sampling: expected < 2 draws.
+  for (;;) {
+    const BigInt candidate = random_bits(src, bits);
+    if (candidate < span) return low + candidate;
+  }
+}
+
+bool is_probable_prime(const BigInt& n, RandomSource& src, int rounds) {
+  if (n < BigInt(2)) return false;
+  // Deterministic handling of small values and small factors.
+  const auto& primes = small_primes(64);
+  for (const std::uint32_t p : primes) {
+    if (n == BigInt(std::uint64_t{p})) return true;
+    if (mod_small(n, p) == 0) return false;
+  }
+
+  // n - 1 = d * 2^r with d odd.
+  const BigInt n_minus_1 = n - BigInt(1);
+  std::size_t r = 0;
+  BigInt d = n_minus_1;
+  while (d.is_even()) {
+    d >>= 1;
+    ++r;
+  }
+
+  const BigInt two(2);
+  for (int round = 0; round < rounds; ++round) {
+    const BigInt a = random_range(src, two, n - two);
+    BigInt x = mod_pow(a, d, n);
+    if (x.is_one() || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 1; i < r; ++i) {
+      x = x.squared() % n;
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+}  // namespace weakkeys::bn

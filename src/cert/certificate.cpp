@@ -1,0 +1,153 @@
+#include "cert/certificate.hpp"
+
+#include "rsa/pkcs1.hpp"
+#include "util/hex.hpp"
+
+namespace weakkeys::cert {
+
+namespace {
+
+// TLV tags for certificate fields.
+enum Tag : std::uint8_t {
+  kTagCertificate = 0x01,
+  kTagTbs = 0x02,
+  kTagSerial = 0x03,
+  kTagSubject = 0x04,
+  kTagIssuer = 0x05,
+  kTagSan = 0x06,
+  kTagSanEntry = 0x07,
+  kTagNotBefore = 0x08,
+  kTagNotAfter = 0x09,
+  kTagModulus = 0x0a,
+  kTagExponent = 0x0b,
+  kTagSigAlg = 0x0c,
+  kTagSignature = 0x0d,
+  kTagDn = 0x0e,
+  kTagDnType = 0x0f,
+  kTagDnValue = 0x10,
+};
+
+void put_dn(TlvWriter& w, std::uint8_t tag, const DistinguishedName& dn) {
+  TlvWriter inner;
+  for (const auto& [t, v] : dn.attributes()) {
+    inner.put_string(kTagDnType, t);
+    inner.put_string(kTagDnValue, v);
+  }
+  w.put_nested(tag, inner);
+}
+
+DistinguishedName read_dn(TlvReader& r, std::uint8_t tag) {
+  TlvReader inner = r.read_nested(tag);
+  DistinguishedName dn;
+  while (!inner.at_end()) {
+    std::string t = inner.read_string(kTagDnType);
+    std::string v = inner.read_string(kTagDnValue);
+    dn.add(std::move(t), std::move(v));
+  }
+  return dn;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Certificate::encode_tbs() const {
+  TlvWriter tbs;
+  tbs.put_u64(kTagSerial, serial);
+  put_dn(tbs, kTagSubject, subject);
+  put_dn(tbs, kTagIssuer, issuer);
+  TlvWriter san;
+  for (const auto& name : san_dns) san.put_string(kTagSanEntry, name);
+  tbs.put_nested(kTagSan, san);
+  tbs.put_string(kTagNotBefore, validity.not_before.to_string());
+  tbs.put_string(kTagNotAfter, validity.not_after.to_string());
+  tbs.put_bytes(kTagModulus, key.n.to_bytes());
+  tbs.put_bytes(kTagExponent, key.e.to_bytes());
+  tbs.put_string(kTagSigAlg, signature_algorithm);
+  return tbs.bytes();
+}
+
+std::vector<std::uint8_t> Certificate::encode() const {
+  TlvWriter w;
+  w.put_bytes(kTagTbs, encode_tbs());
+  w.put_bytes(kTagSignature, signature);
+  TlvWriter outer;
+  outer.put_nested(kTagCertificate, w);
+  return outer.bytes();
+}
+
+Certificate Certificate::decode(std::span<const std::uint8_t> data) {
+  TlvReader outer(data);
+  TlvReader r = outer.read_nested(kTagCertificate);
+  const auto tbs_bytes = r.read_bytes(kTagTbs);
+  Certificate cert;
+  {
+    TlvReader tbs(tbs_bytes);
+    cert.serial = tbs.read_u64(kTagSerial);
+    cert.subject = read_dn(tbs, kTagSubject);
+    cert.issuer = read_dn(tbs, kTagIssuer);
+    TlvReader san = tbs.read_nested(kTagSan);
+    while (!san.at_end()) cert.san_dns.push_back(san.read_string(kTagSanEntry));
+    cert.validity.not_before = util::Date::parse(tbs.read_string(kTagNotBefore));
+    cert.validity.not_after = util::Date::parse(tbs.read_string(kTagNotAfter));
+    cert.key.n = bn::BigInt::from_bytes(tbs.read_bytes(kTagModulus));
+    cert.key.e = bn::BigInt::from_bytes(tbs.read_bytes(kTagExponent));
+    cert.signature_algorithm = tbs.read_string(kTagSigAlg);
+  }
+  const auto sig = r.read_bytes(kTagSignature);
+  cert.signature.assign(sig.begin(), sig.end());
+  return cert;
+}
+
+crypto::Sha256::Digest Certificate::fingerprint() const {
+  return crypto::Sha256::hash(encode());
+}
+
+std::string Certificate::fingerprint_hex() const {
+  return crypto::digest_hex(fingerprint());
+}
+
+bool Certificate::verify_signature(const rsa::RsaPublicKey& signer) const {
+  return rsa::verify(signer, encode_tbs(), signature);
+}
+
+Certificate Certificate::with_modulus_bit_flipped(std::size_t bit_index) const {
+  Certificate out = *this;
+  const bn::BigInt mask = bn::BigInt(1) << bit_index;
+  out.key.n = out.key.n.bit(bit_index) ? out.key.n - mask : out.key.n + mask;
+  return out;
+}
+
+Certificate make_issued(const DistinguishedName& subject,
+                        const std::vector<std::string>& san_dns,
+                        const Validity& validity,
+                        const rsa::RsaPublicKey& subject_key,
+                        const DistinguishedName& issuer,
+                        const rsa::RsaPrivateKey& issuer_key,
+                        std::uint64_t serial) {
+  Certificate cert;
+  cert.serial = serial;
+  cert.subject = subject;
+  cert.issuer = issuer;
+  cert.san_dns = san_dns;
+  cert.validity = validity;
+  cert.key = subject_key;
+  cert.signature = rsa::sign(issuer_key, cert.encode_tbs());
+  return cert;
+}
+
+Certificate make_self_signed(const DistinguishedName& subject,
+                             const std::vector<std::string>& san_dns,
+                             const Validity& validity,
+                             const rsa::RsaPrivateKey& key,
+                             std::uint64_t serial) {
+  Certificate cert;
+  cert.serial = serial;
+  cert.subject = subject;
+  cert.issuer = subject;
+  cert.san_dns = san_dns;
+  cert.validity = validity;
+  cert.key = key.pub;
+  cert.signature = rsa::sign(key, cert.encode_tbs());
+  return cert;
+}
+
+}  // namespace weakkeys::cert

@@ -1,0 +1,90 @@
+// A simplified X.509-style certificate.
+//
+// Carries exactly the fields the study's pipeline uses: subject and issuer
+// DNs, subject alternative names, validity window, serial, the RSA public
+// key, and a signature over the TBS ("to be signed") body. Serialization is
+// the compact TLV format in tlv.hpp; fingerprints are SHA-256 over the full
+// encoding, like real certificate SHA-256 fingerprints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cert/distinguished_name.hpp"
+#include "cert/tlv.hpp"
+#include "crypto/sha256.hpp"
+#include "rsa/key.hpp"
+#include "util/date.hpp"
+
+namespace weakkeys::cert {
+
+struct Validity {
+  util::Date not_before;
+  util::Date not_after;
+
+  [[nodiscard]] bool contains(const util::Date& d) const {
+    return not_before <= d && d <= not_after;
+  }
+  friend bool operator==(const Validity&, const Validity&) = default;
+};
+
+class Certificate {
+ public:
+  Certificate() = default;
+
+  std::uint64_t serial = 0;
+  DistinguishedName subject;
+  DistinguishedName issuer;
+  std::vector<std::string> san_dns;  ///< dNSName subject alternative names
+  Validity validity;
+  rsa::RsaPublicKey key;
+  std::string signature_algorithm = "sha256WithRSAEncryption";
+  std::vector<std::uint8_t> signature;
+
+  [[nodiscard]] bool is_self_signed() const { return subject == issuer; }
+
+  /// Encodes the TBS body (everything except the signature).
+  [[nodiscard]] std::vector<std::uint8_t> encode_tbs() const;
+
+  /// Encodes the full certificate.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Decodes an encode() buffer. Throws TlvError on malformed input.
+  static Certificate decode(std::span<const std::uint8_t> data);
+
+  /// SHA-256 over the full encoding.
+  [[nodiscard]] crypto::Sha256::Digest fingerprint() const;
+  [[nodiscard]] std::string fingerprint_hex() const;
+
+  /// Verifies the signature against `signer` (use the certificate's own key
+  /// for self-signed certificates).
+  [[nodiscard]] bool verify_signature(const rsa::RsaPublicKey& signer) const;
+
+  /// Copy of this certificate with bit `bit_index` of the modulus flipped —
+  /// models the wire/memory corruption behind the paper's 107 non-well-formed
+  /// moduli (Section 3.3.5). The signature is left untouched (and thus no
+  /// longer verifies, as the paper observed).
+  [[nodiscard]] Certificate with_modulus_bit_flipped(std::size_t bit_index) const;
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+/// Creates and signs a self-signed certificate for `key`.
+Certificate make_self_signed(const DistinguishedName& subject,
+                             const std::vector<std::string>& san_dns,
+                             const Validity& validity,
+                             const rsa::RsaPrivateKey& key,
+                             std::uint64_t serial);
+
+/// Creates a certificate for `subject_key` signed by `issuer_key` under
+/// `issuer` (a CA-issued leaf or an intermediate).
+Certificate make_issued(const DistinguishedName& subject,
+                        const std::vector<std::string>& san_dns,
+                        const Validity& validity,
+                        const rsa::RsaPublicKey& subject_key,
+                        const DistinguishedName& issuer,
+                        const rsa::RsaPrivateKey& issuer_key,
+                        std::uint64_t serial);
+
+}  // namespace weakkeys::cert

@@ -1,0 +1,48 @@
+#include "cert/distinguished_name.hpp"
+
+#include <stdexcept>
+
+namespace weakkeys::cert {
+
+std::string DistinguishedName::get(const std::string& type) const {
+  for (const auto& [t, v] : attributes_) {
+    if (t == type) return v;
+  }
+  return "";
+}
+
+bool DistinguishedName::has(const std::string& type) const {
+  for (const auto& [t, v] : attributes_) {
+    if (t == type) return true;
+  }
+  return false;
+}
+
+std::string DistinguishedName::to_string() const {
+  std::string out;
+  for (const auto& [t, v] : attributes_) {
+    if (!out.empty()) out += ", ";
+    out += t;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+DistinguishedName DistinguishedName::parse(const std::string& text) {
+  DistinguishedName dn;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find(", ", pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string part = text.substr(pos, end - pos);
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("bad DN component: " + part);
+    dn.add(part.substr(0, eq), part.substr(eq + 1));
+    pos = end == text.size() ? end : end + 2;
+  }
+  return dn;
+}
+
+}  // namespace weakkeys::cert

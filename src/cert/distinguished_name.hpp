@@ -1,0 +1,51 @@
+// X.500-style distinguished names as used in certificate subjects/issuers.
+//
+// Vendor fingerprinting (paper Section 3.3.1) keys almost entirely off
+// these: "O=vendor" organizations, Cisco model names in OU fields, Juniper's
+// constant "CN=system generated", McAfee's "CN=Default Common Name", etc.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace weakkeys::cert {
+
+class DistinguishedName {
+ public:
+  using Attribute = std::pair<std::string, std::string>;  // e.g. {"CN", "..."}
+
+  DistinguishedName() = default;
+  explicit DistinguishedName(std::vector<Attribute> attributes)
+      : attributes_(std::move(attributes)) {}
+
+  void add(std::string type, std::string value) {
+    attributes_.emplace_back(std::move(type), std::move(value));
+  }
+
+  /// First value for `type` ("" if absent). Types compare case-sensitively
+  /// and are conventionally upper-case (CN, O, OU, C, L, ST).
+  [[nodiscard]] std::string get(const std::string& type) const;
+
+  [[nodiscard]] bool has(const std::string& type) const;
+
+  [[nodiscard]] const std::vector<Attribute>& attributes() const {
+    return attributes_;
+  }
+
+  [[nodiscard]] bool empty() const { return attributes_.empty(); }
+
+  /// "CN=foo, O=bar" form.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the to_string() form. Values may not contain ',' or '='.
+  static DistinguishedName parse(const std::string& text);
+
+  friend bool operator==(const DistinguishedName&,
+                         const DistinguishedName&) = default;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace weakkeys::cert

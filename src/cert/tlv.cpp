@@ -1,0 +1,65 @@
+#include "cert/tlv.hpp"
+
+namespace weakkeys::cert {
+
+void TlvWriter::put_bytes(std::uint8_t tag, std::span<const std::uint8_t> value) {
+  buf_.push_back(tag);
+  const auto len = static_cast<std::uint32_t>(value.size());
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  buf_.insert(buf_.end(), value.begin(), value.end());
+}
+
+void TlvWriter::put_string(std::uint8_t tag, const std::string& value) {
+  put_bytes(tag, std::span(reinterpret_cast<const std::uint8_t*>(value.data()),
+                           value.size()));
+}
+
+void TlvWriter::put_u64(std::uint8_t tag, std::uint64_t value) {
+  std::uint8_t buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  put_bytes(tag, std::span<const std::uint8_t>(buf, 8));
+}
+
+void TlvWriter::put_nested(std::uint8_t tag, const TlvWriter& inner) {
+  put_bytes(tag, inner.buf_);
+}
+
+std::uint8_t TlvReader::peek_tag() const {
+  if (pos_ >= data_.size()) throw TlvError("read past end of TLV buffer");
+  return data_[pos_];
+}
+
+std::span<const std::uint8_t> TlvReader::read_bytes(std::uint8_t tag) {
+  if (pos_ + 5 > data_.size()) throw TlvError("truncated TLV header");
+  if (data_[pos_] != tag)
+    throw TlvError("unexpected TLV tag " + std::to_string(data_[pos_]) +
+                   ", wanted " + std::to_string(tag));
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i)
+    len |= static_cast<std::uint32_t>(data_[pos_ + 1 + i]) << (8 * i);
+  if (pos_ + 5 + len > data_.size()) throw TlvError("TLV length overruns buffer");
+  auto out = data_.subspan(pos_ + 5, len);
+  pos_ += 5 + len;
+  return out;
+}
+
+std::string TlvReader::read_string(std::uint8_t tag) {
+  const auto bytes = read_bytes(tag);
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+std::uint64_t TlvReader::read_u64(std::uint8_t tag) {
+  const auto bytes = read_bytes(tag);
+  if (bytes.size() != 8) throw TlvError("u64 field with wrong length");
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i)
+    out |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return out;
+}
+
+TlvReader TlvReader::read_nested(std::uint8_t tag) {
+  return TlvReader(read_bytes(tag));
+}
+
+}  // namespace weakkeys::cert

@@ -1,0 +1,57 @@
+// A compact tag-length-value encoding, our stand-in for DER.
+//
+// Certificates in the simulated scans are serialized with this format; the
+// fingerprinting pipeline decodes them back. Tags are one byte; lengths are
+// 32-bit little-endian. Nested structures are encoded as TLV values whose
+// payload is itself a TLV sequence.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace weakkeys::cert {
+
+class TlvError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class TlvWriter {
+ public:
+  void put_bytes(std::uint8_t tag, std::span<const std::uint8_t> value);
+  void put_string(std::uint8_t tag, const std::string& value);
+  void put_u64(std::uint8_t tag, std::uint64_t value);
+  /// Nested structure: the payload of `tag` is `inner`'s serialized buffer.
+  void put_nested(std::uint8_t tag, const TlvWriter& inner);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class TlvReader {
+ public:
+  explicit TlvReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+
+  /// Tag of the next element. Throws TlvError at end of input.
+  [[nodiscard]] std::uint8_t peek_tag() const;
+
+  /// Reads the next element; throws TlvError if its tag differs or the
+  /// length overruns the buffer.
+  std::span<const std::uint8_t> read_bytes(std::uint8_t tag);
+  std::string read_string(std::uint8_t tag);
+  std::uint64_t read_u64(std::uint8_t tag);
+  TlvReader read_nested(std::uint8_t tag);
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace weakkeys::cert

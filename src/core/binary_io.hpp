@@ -1,0 +1,94 @@
+// Minimal binary file I/O used by the corpus and factor-result caches.
+// Fixed-width little-endian integers (we only target little-endian hosts;
+// the cache is a local artifact, not an interchange format).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace weakkeys::core {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "wb")) {
+    if (!file_) throw std::runtime_error("cannot open for write: " + path);
+  }
+  ~BinaryWriter() {
+    if (file_) std::fclose(file_);
+  }
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void u32(std::uint32_t v) { raw(&v, sizeof v); }
+  void u64(std::uint64_t v) { raw(&v, sizeof v); }
+  void i64(std::int64_t v) { raw(&v, sizeof v); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  void bytes(const std::vector<std::uint8_t>& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    raw(b.data(), b.size());
+  }
+
+ private:
+  void raw(const void* data, std::size_t size) {
+    if (size && std::fwrite(data, 1, size, file_) != size)
+      throw std::runtime_error("short write");
+  }
+  std::FILE* file_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path)
+      : file_(std::fopen(path.c_str(), "rb")) {}
+  ~BinaryReader() {
+    if (file_) std::fclose(file_);
+  }
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::int64_t i64() {
+    std::int64_t v = 0;
+    raw(&v, sizeof v);
+    return v;
+  }
+  std::string str() {
+    const std::uint32_t n = u32();
+    std::string s(n, '\0');
+    raw(s.data(), n);
+    return s;
+  }
+  std::vector<std::uint8_t> bytes() {
+    const std::uint32_t n = u32();
+    std::vector<std::uint8_t> b(n);
+    raw(b.data(), n);
+    return b;
+  }
+
+ private:
+  void raw(void* data, std::size_t size) {
+    if (size && std::fread(data, 1, size, file_) != size)
+      throw std::runtime_error("short read");
+  }
+  std::FILE* file_;
+};
+
+}  // namespace weakkeys::core

@@ -1,0 +1,107 @@
+#include "core/scan_store.hpp"
+
+#include "core/binary_io.hpp"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace weakkeys::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x574b5331;  // "WKS1"
+
+}  // namespace
+
+void save_dataset(const netsim::ScanDataset& dataset, const StoreKey& key,
+                  const std::string& path) {
+  // Build the certificate table (records share certificate objects).
+  std::map<const cert::Certificate*, std::uint32_t> cert_index;
+  std::vector<const cert::Certificate*> certs;
+  for (const auto& snap : dataset.snapshots) {
+    for (const auto& rec : snap.records) {
+      const auto* ptr = rec.certificate.get();
+      if (cert_index.emplace(ptr, static_cast<std::uint32_t>(certs.size())).second) {
+        certs.push_back(ptr);
+      }
+    }
+  }
+
+  BinaryWriter w(path);
+  w.u32(kMagic);
+  w.u64(key.seed);
+  w.u64(key.scale_millionths);
+  w.u32(key.mr_rounds);
+  w.u32(key.catalog_version);
+
+  w.u32(static_cast<std::uint32_t>(certs.size()));
+  for (const auto* c : certs) w.bytes(c->encode());
+
+  w.u32(static_cast<std::uint32_t>(dataset.snapshots.size()));
+  for (const auto& snap : dataset.snapshots) {
+    w.i64(snap.date.days_since_epoch());
+    w.str(snap.source);
+    w.u32(static_cast<std::uint32_t>(snap.protocol));
+    w.u32(static_cast<std::uint32_t>(snap.records.size()));
+    for (const auto& rec : snap.records) {
+      w.i64(rec.date.days_since_epoch());
+      w.u32(rec.ip.value());
+      w.u32(cert_index.at(rec.certificate.get()));
+      w.str(rec.banner);
+    }
+  }
+}
+
+std::optional<netsim::ScanDataset> load_dataset(const StoreKey& key,
+                                                const std::string& path) {
+  BinaryReader r(path);
+  if (!r.ok()) return std::nullopt;
+  try {
+    if (r.u32() != kMagic) return std::nullopt;
+    StoreKey found;
+    found.seed = r.u64();
+    found.scale_millionths = r.u64();
+    found.mr_rounds = r.u32();
+    found.catalog_version = r.u32();
+    if (!(found == key)) return std::nullopt;
+
+    const std::uint32_t cert_count = r.u32();
+    std::vector<netsim::CertHandle> certs;
+    certs.reserve(cert_count);
+    for (std::uint32_t i = 0; i < cert_count; ++i) {
+      certs.push_back(std::make_shared<cert::Certificate>(
+          cert::Certificate::decode(r.bytes())));
+    }
+
+    netsim::ScanDataset dataset;
+    const std::uint32_t snap_count = r.u32();
+    dataset.snapshots.reserve(snap_count);
+    for (std::uint32_t s = 0; s < snap_count; ++s) {
+      netsim::ScanSnapshot snap;
+      snap.date = util::Date::from_days_since_epoch(r.i64());
+      snap.source = r.str();
+      snap.protocol = static_cast<netsim::Protocol>(r.u32());
+      const std::uint32_t rec_count = r.u32();
+      snap.records.reserve(rec_count);
+      for (std::uint32_t i = 0; i < rec_count; ++i) {
+        netsim::HostRecord rec;
+        rec.date = util::Date::from_days_since_epoch(r.i64());
+        rec.source = snap.source;
+        rec.ip = netsim::Ipv4(r.u32());
+        rec.protocol = snap.protocol;
+        rec.certificate = certs.at(r.u32());
+        rec.banner = r.str();
+        snap.records.push_back(std::move(rec));
+      }
+      dataset.snapshots.push_back(std::move(snap));
+    }
+    return dataset;
+  } catch (const std::exception&) {
+    return std::nullopt;  // truncated or corrupt cache: rebuild
+  }
+}
+
+}  // namespace weakkeys::core

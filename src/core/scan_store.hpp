@@ -1,0 +1,38 @@
+// Binary persistence for scan datasets.
+//
+// The paper kept 1.5B host records in MySQL behind a 6TB SSD cache; our
+// equivalent is a compact single-file store so the expensive corpus
+// simulation runs once and every table/figure binary reloads it. Certificates
+// are stored once (TLV-encoded) and referenced by index from records.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "netsim/dataset.hpp"
+
+namespace weakkeys::core {
+
+/// Identifies the configuration a store was built from; a mismatch on load
+/// forces a rebuild.
+struct StoreKey {
+  std::uint64_t seed = 0;
+  std::uint64_t scale_millionths = 0;
+  std::uint32_t mr_rounds = 0;
+  std::uint32_t catalog_version = 0;
+
+  friend bool operator==(const StoreKey&, const StoreKey&) = default;
+};
+
+/// Writes `dataset` to `path`. Throws std::runtime_error on I/O failure.
+void save_dataset(const netsim::ScanDataset& dataset, const StoreKey& key,
+                  const std::string& path);
+
+/// Loads a dataset if `path` exists, parses, and matches `key`; nullopt
+/// otherwise (including on version/key mismatch — never throws for a stale
+/// or missing cache).
+std::optional<netsim::ScanDataset> load_dataset(const StoreKey& key,
+                                                const std::string& path);
+
+}  // namespace weakkeys::core

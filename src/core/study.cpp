@@ -1,0 +1,351 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "analysis/chains.hpp"
+#include "batchgcd/distributed.hpp"
+#include "core/binary_io.hpp"
+#include "core/scan_store.hpp"
+#include "netsim/catalog.hpp"
+#include "util/thread_pool.hpp"
+
+namespace weakkeys::core {
+
+namespace {
+/// Bump when the catalog or simulation semantics change, so stale corpus
+/// caches are rebuilt.
+constexpr std::uint32_t kCatalogVersion = 4;
+constexpr std::uint32_t kFactorMagic = 0x574b4631;  // "WKF1"
+}  // namespace
+
+Study::Study(StudyConfig config)
+    : config_(std::move(config)),
+      subject_rules_(fingerprint::SubjectRules::standard()) {}
+
+Study::~Study() = default;
+
+void Study::log(const std::string& message) const {
+  if (config_.log) config_.log(message);
+}
+
+void Study::run() {
+  if (ran_) return;
+  build_dataset();
+  factor_moduli();
+  fingerprint_corpus();
+  ran_ = true;
+}
+
+void Study::build_dataset() {
+  const StoreKey key{
+      config_.sim.seed,
+      static_cast<std::uint64_t>(config_.sim.scale * 1e6),
+      static_cast<std::uint32_t>(config_.sim.miller_rabin_rounds),
+      kCatalogVersion,
+  };
+  if (!config_.cache_path.empty()) {
+    if (auto cached = load_dataset(key, config_.cache_path)) {
+      log("loaded corpus from " + config_.cache_path);
+      raw_dataset_ = std::move(*cached);
+      dataset_ = analysis::exclude_intermediates(raw_dataset_);
+      return;
+    }
+  }
+
+  log("simulating six years of scans (first run builds the corpus cache)...");
+  internet_ = std::make_unique<netsim::Internet>(
+      netsim::standard_models(config_.sim.scale), config_.sim);
+  raw_dataset_ = internet_->run(netsim::standard_campaigns());
+  log("simulated " + std::to_string(raw_dataset_.total_host_records()) +
+      " host records");
+  if (!config_.cache_path.empty()) {
+    save_dataset(raw_dataset_, key, config_.cache_path);
+    log("corpus cached to " + config_.cache_path);
+  }
+  dataset_ = analysis::exclude_intermediates(raw_dataset_);
+}
+
+namespace {
+
+bn::BigInt read_bigint(BinaryReader& r) {
+  return bn::BigInt::from_bytes(r.bytes());
+}
+
+void write_bigint(BinaryWriter& w, const bn::BigInt& v) {
+  w.bytes(v.to_bytes());
+}
+
+}  // namespace
+
+bool Study::load_factor_cache(const std::string& path) {
+  BinaryReader r(path);
+  if (!r.ok()) return false;
+  try {
+    if (r.u32() != kFactorMagic) return false;
+    if (r.u64() != config_.sim.seed) return false;
+    if (r.u64() != static_cast<std::uint64_t>(config_.sim.scale * 1e6))
+      return false;
+    if (r.u32() != kCatalogVersion) return false;
+    stats_.distinct_moduli = r.u64();
+    stats_.nontrivial_divisors = r.u64();
+    stats_.shared_prime = r.u64();
+    stats_.full_modulus = r.u64();
+    stats_.bit_errors = r.u64();
+    stats_.other = r.u64();
+    stats_.second_pass_factored = r.u64();
+    const std::uint32_t count = r.u32();
+    factored_.clear();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      FactorRecord f;
+      f.n = read_bigint(r);
+      f.p = read_bigint(r);
+      f.q = read_bigint(r);
+      f.divisor_class = static_cast<fingerprint::DivisorClass>(r.u32());
+      vulnerable_.insert(f.n);
+      factored_.push_back(std::move(f));
+    }
+    for (std::size_t i = 0; i < factored_.size(); ++i) {
+      factored_index_[factored_[i].n.to_hex()] = i;
+    }
+    return true;
+  } catch (const std::exception&) {
+    factored_.clear();
+    factored_index_.clear();
+    vulnerable_ = analysis::VulnerableSet();
+    stats_ = FactorStats{};
+    return false;
+  }
+}
+
+void Study::save_factor_cache(const std::string& path) const {
+  BinaryWriter w(path);
+  w.u32(kFactorMagic);
+  w.u64(config_.sim.seed);
+  w.u64(static_cast<std::uint64_t>(config_.sim.scale * 1e6));
+  w.u32(kCatalogVersion);
+  w.u64(stats_.distinct_moduli);
+  w.u64(stats_.nontrivial_divisors);
+  w.u64(stats_.shared_prime);
+  w.u64(stats_.full_modulus);
+  w.u64(stats_.bit_errors);
+  w.u64(stats_.other);
+  w.u64(stats_.second_pass_factored);
+  w.u32(static_cast<std::uint32_t>(factored_.size()));
+  for (const auto& f : factored_) {
+    write_bigint(w, f.n);
+    write_bigint(w, f.p);
+    write_bigint(w, f.q);
+    w.u32(static_cast<std::uint32_t>(f.divisor_class));
+  }
+}
+
+void Study::factor_moduli() {
+  const std::string factor_cache =
+      config_.cache_path.empty() ? "" : config_.cache_path + ".factors";
+  if (!factor_cache.empty() && load_factor_cache(factor_cache)) {
+    log("loaded " + std::to_string(factored_.size()) +
+        " factored moduli from " + factor_cache);
+    return;
+  }
+
+  const std::vector<bn::BigInt> moduli = dataset_.distinct_moduli();
+  stats_.distinct_moduli = moduli.size();
+  log("running batch GCD over " + std::to_string(moduli.size()) +
+      " distinct moduli (k=" + std::to_string(config_.batch_gcd_subsets) + ")");
+
+  util::ThreadPool pool(config_.threads);
+  const batchgcd::BatchGcdResult result = batchgcd::batch_gcd_distributed(
+      moduli, config_.batch_gcd_subsets, &pool);
+
+  std::vector<std::size_t> full_modulus_indices;
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    const bn::BigInt& d = result.divisors[i];
+    if (d <= bn::BigInt(1)) continue;
+    ++stats_.nontrivial_divisors;
+
+    const auto verdict = fingerprint::classify_divisor(moduli[i], d);
+    switch (verdict.cls) {
+      case fingerprint::DivisorClass::kSharedPrime: {
+        const auto split = batchgcd::recover_factors(moduli[i], d);
+        factored_.push_back(
+            {moduli[i], split->p, split->q, verdict.cls});
+        vulnerable_.insert(moduli[i]);
+        ++stats_.shared_prime;
+        break;
+      }
+      case fingerprint::DivisorClass::kFullModulus:
+        full_modulus_indices.push_back(i);
+        ++stats_.full_modulus;
+        break;
+      case fingerprint::DivisorClass::kSmoothBitError:
+        ++stats_.bit_errors;
+        break;
+      case fingerprint::DivisorClass::kOther:
+        ++stats_.other;
+        break;
+    }
+  }
+
+  // Second pass: moduli whose divisor equals the modulus share *both* primes
+  // with the rest of the corpus (degenerate-generator cliques). Pairwise GCD
+  // within this small set splits them.
+  for (const std::size_t i : full_modulus_indices) {
+    for (const std::size_t j : full_modulus_indices) {
+      if (i == j) continue;
+      const bn::BigInt g = bn::gcd(moduli[i], moduli[j]);
+      if (g > bn::BigInt(1) && g < moduli[i]) {
+        factored_.push_back({moduli[i], g, moduli[i] / g,
+                             fingerprint::DivisorClass::kFullModulus});
+        vulnerable_.insert(moduli[i]);
+        ++stats_.second_pass_factored;
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < factored_.size(); ++i) {
+    factored_index_[factored_[i].n.to_hex()] = i;
+  }
+  log("factored " + std::to_string(factored_.size()) + " moduli (" +
+      std::to_string(stats_.bit_errors) + " bit errors excluded)");
+  if (!factor_cache.empty()) save_factor_cache(factor_cache);
+}
+
+const FactorRecord* Study::find_factor(const bn::BigInt& n) const {
+  const auto it = factored_index_.find(n.to_hex());
+  return it == factored_index_.end() ? nullptr : &factored_[it->second];
+}
+
+void Study::fingerprint_corpus() {
+  // Degenerate-generator cliques.
+  std::vector<fingerprint::FactoredModulus> triples;
+  triples.reserve(factored_.size());
+  for (const auto& f : factored_) triples.push_back({f.p, f.q, f.n});
+  cliques_ = fingerprint::find_degenerate_cliques(triples);
+  std::set<std::string> clique_prime_hex;
+  for (const auto& clique : cliques_) {
+    for (const auto& n : clique.moduli) clique_moduli_.insert(n);
+    for (const auto& p : clique.primes) clique_prime_hex.insert(p.to_hex());
+  }
+  log("found " + std::to_string(cliques_.size()) +
+      " degenerate-generator cliques");
+
+  // Subject labels per unique certificate, and per-modulus subject vendors.
+  std::unordered_map<std::string, std::set<std::string>> subject_vendors;
+  for (const auto& snap : dataset_.snapshots) {
+    for (const auto& rec : snap.records) {
+      const auto* ptr = rec.certificate.get();
+      auto [it, fresh] = subject_label_cache_.try_emplace(ptr);
+      if (fresh) it->second = subject_rules_.classify(*ptr, rec.banner);
+      if (it->second) {
+        subject_vendors[ptr->key.n.to_hex()].insert(it->second->vendor);
+      }
+    }
+  }
+
+  // Vendor prime pools from subject-labeled factored moduli (clique primes
+  // stay out: the clique label takes precedence, as in the paper).
+  for (const auto& f : factored_) {
+    if (clique_moduli_.contains(f.n)) continue;
+    const auto it = subject_vendors.find(f.n.to_hex());
+    if (it == subject_vendors.end() || it->second.size() != 1) continue;
+    const std::string& vendor = *it->second.begin();
+    pools_.add(vendor, f.p);
+    pools_.add(vendor, f.q);
+  }
+
+  // Shared-prime extrapolation for factored moduli with no subject label.
+  for (const auto& f : factored_) {
+    if (clique_moduli_.contains(f.n)) continue;
+    const std::string hex = f.n.to_hex();
+    if (subject_vendors.contains(hex)) continue;
+    const std::string vendor = pools_.extrapolate(f.p, f.q);
+    if (!vendor.empty()) extrapolated_[hex] = vendor;
+  }
+  log("shared-prime extrapolation labeled " +
+      std::to_string(extrapolated_.size()) + " moduli");
+
+  // Fixed-key MITM candidates.
+  std::vector<std::string> factored_hex;
+  factored_hex.reserve(factored_.size());
+  for (const auto& f : factored_) factored_hex.push_back(f.n.to_hex());
+  mitm_ = fingerprint::detect_fixed_key_mitm(dataset_, factored_hex,
+                                             fingerprint::MitmOptions{});
+}
+
+analysis::RecordLabeler Study::labeler() const {
+  return [this](const netsim::HostRecord& rec)
+             -> std::optional<fingerprint::VendorLabel> {
+    const auto& c = rec.cert();
+    // 1. Degenerate-generator clique: every certificate carrying a clique
+    //    modulus is the IBM implementation, whatever the subject says
+    //    (this is how the paper labeled the Siemens-subject overlap).
+    if (clique_moduli_.contains(c.key.n)) {
+      return fingerprint::VendorLabel{"IBM", "RSA-II", "prime-clique"};
+    }
+    // 2. Subject / SAN / banner rules.
+    const auto* ptr = rec.certificate.get();
+    auto [it, fresh] = subject_label_cache_.try_emplace(ptr);
+    if (fresh) it->second = subject_rules_.classify(c, rec.banner);
+    if (it->second) return it->second;
+    // 3. Shared-prime extrapolation.
+    const auto ex = extrapolated_.find(c.key.n.to_hex());
+    if (ex != extrapolated_.end()) {
+      return fingerprint::VendorLabel{ex->second, "", "shared-prime"};
+    }
+    return std::nullopt;
+  };
+}
+
+std::map<std::string, std::vector<bn::BigInt>>
+Study::recovered_primes_by_vendor() const {
+  // Rebuild per-modulus vendor attribution the way the labeler does, but at
+  // modulus granularity.
+  std::unordered_map<std::string, std::set<std::string>> subject_vendors;
+  for (const auto& [ptr, label] : subject_label_cache_) {
+    if (label) subject_vendors[ptr->key.n.to_hex()].insert(label->vendor);
+  }
+
+  std::map<std::string, std::vector<bn::BigInt>> out;
+  for (const auto& f : factored_) {
+    std::string vendor;
+    if (clique_moduli_.contains(f.n)) {
+      vendor = "IBM";
+    } else {
+      const std::string hex = f.n.to_hex();
+      const auto it = subject_vendors.find(hex);
+      if (it != subject_vendors.end() && it->second.size() == 1) {
+        vendor = *it->second.begin();
+      } else if (const auto ex = extrapolated_.find(hex);
+                 ex != extrapolated_.end()) {
+        vendor = ex->second;
+      }
+    }
+    if (vendor.empty()) continue;
+    out[vendor].push_back(f.p);
+    out[vendor].push_back(f.q);
+  }
+  return out;
+}
+
+analysis::TimeSeriesBuilder Study::series_builder() const {
+  return analysis::TimeSeriesBuilder(dataset_, vulnerable_, labeler());
+}
+
+const netsim::ScanDataset& Study::raw_dataset() const { return raw_dataset_; }
+const netsim::ScanDataset& Study::dataset() const { return dataset_; }
+const FactorStats& Study::factor_stats() const { return stats_; }
+const std::vector<FactorRecord>& Study::factored() const { return factored_; }
+const analysis::VulnerableSet& Study::vulnerable() const { return vulnerable_; }
+const std::vector<fingerprint::PrimeClique>& Study::cliques() const {
+  return cliques_;
+}
+const fingerprint::PrimePools& Study::prime_pools() const { return pools_; }
+const std::vector<fingerprint::MitmCandidate>& Study::mitm_candidates() const {
+  return mitm_;
+}
+const netsim::Internet* Study::ground_truth() const { return internet_.get(); }
+
+}  // namespace weakkeys::core

@@ -1,0 +1,149 @@
+// The end-to-end study pipeline — the library's primary public API.
+//
+// Study reproduces the paper's methodology section for section:
+//   1. obtain six years of scan data (simulate, or load the cached corpus);
+//   2. reconstruct chains and drop Rapid7 intermediates (Section 3.1);
+//   3. extract all distinct RSA moduli across protocols and run the
+//      distributed batch GCD (Section 3.2);
+//   4. classify divisors (shared prime / duplicate / bit error), splitting
+//      both-primes-shared moduli with a pairwise second pass;
+//   5. fingerprint implementations: subject rules, degenerate-generator
+//      cliques, shared-prime-pool extrapolation, OpenSSL prime fingerprint,
+//      fixed-key MITM detection (Section 3.3).
+//
+// Everything the table/figure binaries need hangs off the accessors.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/timeseries.hpp"
+#include "batchgcd/batch_gcd.hpp"
+#include "fingerprint/divisor_class.hpp"
+#include "fingerprint/ibm_clique.hpp"
+#include "fingerprint/mitm_detector.hpp"
+#include "fingerprint/openssl_fingerprint.hpp"
+#include "fingerprint/prime_pools.hpp"
+#include "fingerprint/subject_rules.hpp"
+#include "netsim/internet.hpp"
+
+namespace weakkeys::core {
+
+struct StudyConfig {
+  netsim::SimConfig sim;
+  /// Batch-GCD subset count (the paper used k=16 on 22 machines).
+  std::size_t batch_gcd_subsets = 4;
+  /// Worker threads for the distributed batch GCD (0 = hardware).
+  std::size_t threads = 0;
+  /// Dataset cache path; empty disables caching. A stale or mismatched
+  /// cache is silently rebuilt.
+  std::string cache_path = "weakkeys_corpus.cache";
+  /// Progress sink (the simulation and factoring take a while at full
+  /// scale); null discards.
+  std::function<void(const std::string&)> log;
+};
+
+/// One factored modulus with everything later stages need.
+struct FactorRecord {
+  bn::BigInt n;
+  bn::BigInt p;
+  bn::BigInt q;
+  fingerprint::DivisorClass divisor_class;
+};
+
+struct FactorStats {
+  std::size_t distinct_moduli = 0;
+  std::size_t nontrivial_divisors = 0;
+  std::size_t shared_prime = 0;   ///< factored via a single shared prime
+  std::size_t full_modulus = 0;   ///< both primes shared (clique members)
+  std::size_t bit_errors = 0;     ///< smooth divisors: corrupted moduli
+  std::size_t other = 0;
+  std::size_t second_pass_factored = 0;  ///< full-modulus cases split pairwise
+};
+
+class Study {
+ public:
+  explicit Study(StudyConfig config = {});
+  ~Study();
+
+  /// Runs the full pipeline. Idempotent.
+  void run();
+
+  // -- Data ------------------------------------------------------------
+  /// Records exactly as scanned (including Rapid7 intermediates).
+  [[nodiscard]] const netsim::ScanDataset& raw_dataset() const;
+  /// After chain reconstruction (this is what all analyses use).
+  [[nodiscard]] const netsim::ScanDataset& dataset() const;
+
+  // -- Factoring ---------------------------------------------------------
+  [[nodiscard]] const FactorStats& factor_stats() const;
+  [[nodiscard]] const std::vector<FactorRecord>& factored() const;
+  /// Moduli counted as vulnerable: genuinely weak keys (shared-prime and
+  /// clique factorizations; bit errors excluded, as in the paper).
+  [[nodiscard]] const analysis::VulnerableSet& vulnerable() const;
+
+  // -- Fingerprinting ------------------------------------------------------
+  /// Degenerate-generator cliques found among the factored moduli.
+  [[nodiscard]] const std::vector<fingerprint::PrimeClique>& cliques() const;
+  /// Per-vendor recovered-prime pools (after subject labeling).
+  [[nodiscard]] const fingerprint::PrimePools& prime_pools() const;
+  /// Fixed-key MITM candidates (Internet Rimon).
+  [[nodiscard]] const std::vector<fingerprint::MitmCandidate>& mitm_candidates() const;
+
+  /// The full labeler: clique -> subject rules -> shared-prime
+  /// extrapolation. Safe to copy into analysis builders.
+  [[nodiscard]] analysis::RecordLabeler labeler() const;
+
+  /// Vendor -> recovered primes (for Table 5 classification).
+  [[nodiscard]] std::map<std::string, std::vector<bn::BigInt>>
+  recovered_primes_by_vendor() const;
+
+  /// Convenience: a TimeSeriesBuilder over dataset() with this study's
+  /// vulnerable set and labeler. The Study must outlive the builder.
+  [[nodiscard]] analysis::TimeSeriesBuilder series_builder() const;
+
+  /// Ground-truth device list — only available when the corpus was simulated
+  /// this run (not loaded from cache). For tests and validation only.
+  [[nodiscard]] const netsim::Internet* ground_truth() const;
+
+  /// The factor record for modulus `n`, if it was factored.
+  [[nodiscard]] const FactorRecord* find_factor(const bn::BigInt& n) const;
+
+ private:
+  void build_dataset();
+  void factor_moduli();
+  void fingerprint_corpus();
+  bool load_factor_cache(const std::string& path);
+  void save_factor_cache(const std::string& path) const;
+  void log(const std::string& message) const;
+
+  StudyConfig config_;
+  bool ran_ = false;
+  netsim::ScanDataset raw_dataset_;
+  netsim::ScanDataset dataset_;
+  std::unique_ptr<netsim::Internet> internet_;
+
+  FactorStats stats_;
+  std::vector<FactorRecord> factored_;
+  analysis::VulnerableSet vulnerable_;
+
+  fingerprint::SubjectRules subject_rules_;
+  std::vector<fingerprint::PrimeClique> cliques_;
+  analysis::VulnerableSet clique_moduli_;
+  fingerprint::PrimePools pools_;
+  std::vector<fingerprint::MitmCandidate> mitm_;
+  /// modulus hex -> extrapolated vendor (shared-prime pass).
+  std::map<std::string, std::string> extrapolated_;
+  /// modulus hex -> index into factored_.
+  std::map<std::string, std::size_t> factored_index_;
+  /// per-certificate subject-label cache (pointers owned by the dataset).
+  mutable std::map<const cert::Certificate*,
+                   std::optional<fingerprint::VendorLabel>>
+      subject_label_cache_;
+};
+
+}  // namespace weakkeys::core

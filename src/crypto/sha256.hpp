@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for (a) entropy extraction in the simulated Linux-style entropy pool
+// and (b) certificate fingerprints. Streaming interface plus one-shot helper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace weakkeys::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs `data`. May be called repeatedly.
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& text);
+
+  /// Finalizes and returns the digest. The object is then reset and can be
+  /// reused for a new message.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(const std::string& text);
+
+ private:
+  void process_block(const std::uint8_t* block);
+  void reset();
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Lowercase hex of a digest.
+std::string digest_hex(const Sha256::Digest& digest);
+
+}  // namespace weakkeys::crypto

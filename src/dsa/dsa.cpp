@@ -1,0 +1,119 @@
+#include "dsa/dsa.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace weakkeys::dsa {
+
+using bn::BigInt;
+
+bn::BigInt message_digest(std::span<const std::uint8_t> message,
+                          const BigInt& q) {
+  const auto digest = crypto::Sha256::hash(message);
+  BigInt h = BigInt::from_bytes(digest);
+  const std::size_t q_bits = q.bit_length();
+  const std::size_t h_bits = h.bit_length();
+  if (h_bits > q_bits) h >>= (h_bits - q_bits);  // FIPS leftmost-bits rule
+  return h;
+}
+
+DsaParams generate_params(bn::RandomSource& rng, std::size_t p_bits,
+                          std::size_t q_bits) {
+  if (q_bits + 32 > p_bits) throw std::invalid_argument("q too large for p");
+
+  DsaParams params;
+  // q: a random prime of exactly q_bits.
+  for (;;) {
+    BigInt q = bn::random_bits(rng, q_bits);
+    if (!q.bit(q_bits - 1)) q += BigInt(1) << (q_bits - 1);
+    if (q.is_even()) q += BigInt(1);
+    if (bn::is_probable_prime(q, rng, 16)) {
+      params.q = std::move(q);
+      break;
+    }
+  }
+
+  // p: a prime of exactly p_bits with q | p-1.
+  const BigInt two_q = params.q << 1;
+  for (;;) {
+    BigInt x = bn::random_bits(rng, p_bits);
+    if (!x.bit(p_bits - 1)) x += BigInt(1) << (p_bits - 1);
+    // p = x - (x mod 2q) + 1  =>  p ≡ 1 (mod 2q)
+    BigInt p = x - (x % two_q) + BigInt(1);
+    if (p.bit_length() != p_bits) continue;
+    // Cheap trial division before Miller-Rabin.
+    bool has_small_factor = false;
+    for (const std::uint32_t sp : bn::small_primes(128)) {
+      if (bn::mod_small(p, sp) == 0) {
+        has_small_factor = true;
+        break;
+      }
+    }
+    if (has_small_factor) continue;
+    if (bn::is_probable_prime(p, rng, 12)) {
+      params.p = std::move(p);
+      break;
+    }
+  }
+
+  // g = h^((p-1)/q) mod p for the first h giving g > 1.
+  const BigInt exponent = (params.p - BigInt(1)) / params.q;
+  for (std::uint64_t h = 2;; ++h) {
+    BigInt g = bn::mod_pow(BigInt(h), exponent, params.p);
+    if (g > BigInt(1)) {
+      params.g = std::move(g);
+      break;
+    }
+  }
+  return params;
+}
+
+bool DsaParams::is_valid(bn::RandomSource& rng) const {
+  if (!bn::is_probable_prime(q, rng, 12)) return false;
+  if (!bn::is_probable_prime(p, rng, 12)) return false;
+  if ((p - bn::BigInt(1)) % q != bn::BigInt(0)) return false;
+  if (g <= bn::BigInt(1) || g >= p) return false;
+  return bn::mod_pow(g, q, p).is_one();
+}
+
+DsaPrivateKey generate_key(const DsaParams& params, bn::RandomSource& rng) {
+  DsaPrivateKey key;
+  key.pub.params = params;
+  key.x = bn::random_range(rng, bn::BigInt(1), params.q - bn::BigInt(1));
+  key.pub.y = bn::mod_pow(params.g, key.x, params.p);
+  return key;
+}
+
+DsaSignature sign(const DsaPrivateKey& key,
+                  std::span<const std::uint8_t> message,
+                  bn::RandomSource& nonce_rng) {
+  const DsaParams& d = key.pub.params;
+  const BigInt h = message_digest(message, d.q);
+  for (;;) {
+    const BigInt k = bn::random_range(nonce_rng, BigInt(1), d.q - BigInt(1));
+    const BigInt r = bn::mod_pow(d.g, k, d.p) % d.q;
+    if (r.is_zero()) continue;
+    const BigInt k_inv = bn::mod_inverse(k, d.q);
+    const BigInt s = (k_inv * (h + key.x * r)) % d.q;
+    if (s.is_zero()) continue;
+    return DsaSignature{r, s};
+  }
+}
+
+bool verify(const DsaPublicKey& key, std::span<const std::uint8_t> message,
+            const DsaSignature& sig) {
+  const DsaParams& d = key.params;
+  const BigInt zero;
+  if (sig.r <= zero || sig.r >= d.q) return false;
+  if (sig.s <= zero || sig.s >= d.q) return false;
+  const BigInt w = bn::mod_inverse(sig.s, d.q);
+  const BigInt h = message_digest(message, d.q);
+  const BigInt u1 = (h * w) % d.q;
+  const BigInt u2 = (sig.r * w) % d.q;
+  const BigInt v =
+      ((bn::mod_pow(d.g, u1, d.p) * bn::mod_pow(key.y, u2, d.p)) % d.p) % d.q;
+  return v == sig.r;
+}
+
+}  // namespace weakkeys::dsa

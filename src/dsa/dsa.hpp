@@ -1,0 +1,64 @@
+// DSA (FIPS 186-style), from scratch.
+//
+// Of the 61 vendors notified in 2012, the non-RSA remainder produced
+// *vulnerable DSA signatures* (paper Section 2.5): the same entropy failures
+// that make RSA moduli share primes make DSA devices reuse per-signature
+// nonces, which leaks the private key from two signatures. This module plus
+// nonce_attack.hpp implements that side of the disclosure.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bn/bigint.hpp"
+
+namespace weakkeys::dsa {
+
+struct DsaParams {
+  bn::BigInt p;  ///< prime modulus
+  bn::BigInt q;  ///< prime divisor of p-1 (the subgroup order)
+  bn::BigInt g;  ///< generator of the order-q subgroup
+
+  /// Structural validity: p and q prime sizes, q | p-1, g^q == 1 (mod p).
+  [[nodiscard]] bool is_valid(bn::RandomSource& rng) const;
+};
+
+struct DsaPublicKey {
+  DsaParams params;
+  bn::BigInt y;  ///< g^x mod p
+};
+
+struct DsaPrivateKey {
+  DsaPublicKey pub;
+  bn::BigInt x;  ///< private exponent, 0 < x < q
+};
+
+struct DsaSignature {
+  bn::BigInt r;
+  bn::BigInt s;
+
+  friend bool operator==(const DsaSignature&, const DsaSignature&) = default;
+};
+
+/// Generates domain parameters with |p| = p_bits, |q| = q_bits.
+/// (Simulation sizes: 512/160 runs in tens of milliseconds.)
+DsaParams generate_params(bn::RandomSource& rng, std::size_t p_bits = 512,
+                          std::size_t q_bits = 160);
+
+/// Generates a key pair under `params`.
+DsaPrivateKey generate_key(const DsaParams& params, bn::RandomSource& rng);
+
+/// Signs SHA-256(message) truncated to |q| bits. The per-signature nonce k
+/// comes from `nonce_rng` — pass a flawed source to reproduce the
+/// vulnerability, a healthy one for sound signatures.
+DsaSignature sign(const DsaPrivateKey& key, std::span<const std::uint8_t> message,
+                  bn::RandomSource& nonce_rng);
+
+bool verify(const DsaPublicKey& key, std::span<const std::uint8_t> message,
+            const DsaSignature& signature);
+
+/// The truncated message hash used by sign/verify (exposed for the attack).
+bn::BigInt message_digest(std::span<const std::uint8_t> message,
+                          const bn::BigInt& q);
+
+}  // namespace weakkeys::dsa

@@ -1,0 +1,72 @@
+#include "dsa/nonce_attack.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace weakkeys::dsa {
+
+using bn::BigInt;
+
+namespace {
+
+BigInt mod_q(const BigInt& v, const BigInt& q) {
+  BigInt out = v % q;
+  if (out.is_negative()) out += q;
+  return out;
+}
+
+}  // namespace
+
+std::optional<BigInt> recover_private_key(const DsaParams& params,
+                                          const ObservedSignature& a,
+                                          const ObservedSignature& b) {
+  if (a.signature.r != b.signature.r) return std::nullopt;
+  const BigInt& q = params.q;
+  const BigInt h1 = message_digest(a.message, q);
+  const BigInt h2 = message_digest(b.message, q);
+  const BigInt ds = mod_q(a.signature.s - b.signature.s, q);
+  if (ds.is_zero() || h1 == h2) return std::nullopt;
+  // k = (h1 - h2) / (s1 - s2) mod q
+  BigInt k;
+  try {
+    k = mod_q((h1 - h2) * bn::mod_inverse(ds, q), q);
+  } catch (const std::domain_error&) {
+    return std::nullopt;  // s1 - s2 not invertible
+  }
+  // x = (s1 * k - h1) / r mod q
+  try {
+    const BigInt numerator = mod_q(a.signature.s * k - h1, q);
+    return mod_q(numerator * bn::mod_inverse(a.signature.r, q), q);
+  } catch (const std::domain_error&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<NonceReuseHit> scan_for_nonce_reuse(
+    const DsaParams& params, const std::vector<ObservedSignature>& observed,
+    const DsaPublicKey* verify_against) {
+  std::map<std::string, std::vector<std::size_t>> by_r;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    by_r[observed[i].signature.r.to_hex()].push_back(i);
+  }
+
+  std::vector<NonceReuseHit> hits;
+  for (const auto& [r_hex, indices] : by_r) {
+    if (indices.size() < 2) continue;
+    for (std::size_t a = 0; a < indices.size(); ++a) {
+      for (std::size_t b = a + 1; b < indices.size(); ++b) {
+        const auto x = recover_private_key(params, observed[indices[a]],
+                                           observed[indices[b]]);
+        if (!x) continue;
+        if (verify_against &&
+            bn::mod_pow(params.g, *x, params.p) != verify_against->y) {
+          continue;
+        }
+        hits.push_back({indices[a], indices[b], *x});
+      }
+    }
+  }
+  return hits;
+}
+
+}  // namespace weakkeys::dsa

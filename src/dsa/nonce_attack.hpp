@@ -1,0 +1,44 @@
+// Nonce-reuse key recovery against DSA.
+//
+// Two signatures under the same key with the same nonce k (visible as a
+// repeated r) leak the private key:
+//     k = (h1 - h2) / (s1 - s2)  (mod q)
+//     x = (s1 * k - h1) / r      (mod q)
+// A device with the boot-time entropy hole reuses nonces exactly the way it
+// reuses RSA primes, so an observer of its signatures recovers x — the DSA
+// half of the 2012 disclosures (Section 2.5 / Moxa / Intel / Tropos).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dsa/dsa.hpp"
+
+namespace weakkeys::dsa {
+
+struct ObservedSignature {
+  std::vector<std::uint8_t> message;
+  DsaSignature signature;
+};
+
+/// Recovers the private key from two signatures with identical r over
+/// different message digests. Returns nullopt when r differs, the digests
+/// coincide, or the arithmetic degenerates.
+std::optional<bn::BigInt> recover_private_key(const DsaParams& params,
+                                              const ObservedSignature& a,
+                                              const ObservedSignature& b);
+
+struct NonceReuseHit {
+  std::size_t first_index = 0;
+  std::size_t second_index = 0;
+  bn::BigInt private_key;
+};
+
+/// Scans a signature transcript for repeated r values and attempts recovery
+/// on each colliding pair. `verify_against` (optional) filters candidates to
+/// those reproducing the public key.
+std::vector<NonceReuseHit> scan_for_nonce_reuse(
+    const DsaParams& params, const std::vector<ObservedSignature>& observed,
+    const DsaPublicKey* verify_against = nullptr);
+
+}  // namespace weakkeys::dsa

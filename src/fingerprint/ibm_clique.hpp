@@ -1,0 +1,42 @@
+// Degenerate-generator clique detection (paper Sections 3.3.2 / 4.1).
+//
+// The IBM RSA II / BladeCenter bug produced only nine primes, so the 36
+// possible moduli form a dense clique in the graph whose nodes are primes
+// and whose edges are factored moduli. Detection works from recovered
+// factors alone: find small connected prime sets whose observed modulus
+// count is an outsized fraction of C(k, 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bn/bigint.hpp"
+
+namespace weakkeys::fingerprint {
+
+struct PrimeClique {
+  std::vector<bn::BigInt> primes;
+  std::vector<bn::BigInt> moduli;  ///< distinct factored moduli in the clique
+  /// moduli.size() / C(primes.size(), 2): near 1.0 for a degenerate
+  /// generator, near 0 for ordinary shared-prime clusters.
+  double density = 0.0;
+};
+
+/// Finds prime cliques among factored moduli. `factored` holds (p, q, n)
+/// triples. Cliques are connected components with at least `min_primes`
+/// primes and density >= `min_density`.
+struct FactoredModulus {
+  bn::BigInt p;
+  bn::BigInt q;
+  bn::BigInt n;
+};
+
+/// Density separates generator bugs from ordinary shared-prime clusters: a
+/// "star" of m moduli sharing one prime has m+1 primes and density
+/// 2/(m+1) -> 0 (0.4 already at five primes), while a k-prime degenerate
+/// generator approaches 1.0 once enough of its moduli have been observed.
+std::vector<PrimeClique> find_degenerate_cliques(
+    const std::vector<FactoredModulus>& factored, std::size_t min_primes = 5,
+    std::size_t max_primes = 24, double min_density = 0.5);
+
+}  // namespace weakkeys::fingerprint

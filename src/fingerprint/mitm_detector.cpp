@@ -1,0 +1,49 @@
+#include "fingerprint/mitm_detector.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace weakkeys::fingerprint {
+
+std::vector<MitmCandidate> detect_fixed_key_mitm(
+    const netsim::ScanDataset& dataset,
+    const std::vector<std::string>& factored_hex, const MitmOptions& options) {
+  struct Stats {
+    bn::BigInt modulus;
+    std::set<std::uint32_t> ips;
+    std::set<std::string> subjects;
+    std::size_t records = 0;
+  };
+  std::map<std::string, Stats> by_modulus;
+  for (const auto& snap : dataset.snapshots) {
+    if (snap.protocol != netsim::Protocol::kHttps) continue;
+    for (const auto& rec : snap.records) {
+      const auto& c = rec.cert();
+      auto& stats = by_modulus[c.key.n.to_hex()];
+      if (stats.records == 0) stats.modulus = c.key.n;
+      stats.ips.insert(rec.ip.value());
+      stats.subjects.insert(c.subject.to_string());
+      ++stats.records;
+    }
+  }
+
+  const std::unordered_set<std::string> factored(factored_hex.begin(),
+                                                 factored_hex.end());
+  std::vector<MitmCandidate> out;
+  for (const auto& [hex, stats] : by_modulus) {
+    if (stats.ips.size() < options.min_ips) continue;
+    if (stats.subjects.size() < options.min_subjects) continue;
+    out.push_back(MitmCandidate{stats.modulus, stats.ips.size(),
+                                stats.subjects.size(), stats.records,
+                                factored.contains(hex)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MitmCandidate& a, const MitmCandidate& b) {
+              return a.distinct_ips > b.distinct_ips;
+            });
+  return out;
+}
+
+}  // namespace weakkeys::fingerprint

@@ -1,0 +1,46 @@
+#include "fingerprint/openssl_fingerprint.hpp"
+
+namespace weakkeys::fingerprint {
+
+bool satisfies_openssl_fingerprint(const bn::BigInt& prime,
+                                   std::size_t sieve_primes) {
+  for (const std::uint32_t q : bn::small_primes(sieve_primes)) {
+    if (q == 2) continue;  // p - 1 is even for every odd prime; 2 carries no signal
+    if (prime <= bn::BigInt(std::uint64_t{q})) break;
+    if (bn::mod_small(prime, q) == 1) return false;
+  }
+  return true;
+}
+
+std::string to_string(ImplementationClass c) {
+  switch (c) {
+    case ImplementationClass::kLikelyOpenSsl:
+      return "satisfies OpenSSL fingerprint";
+    case ImplementationClass::kNotOpenSsl:
+      return "does not satisfy";
+    case ImplementationClass::kInsufficientData:
+      return "insufficient data";
+  }
+  return "?";
+}
+
+OpensslVerdict classify_openssl(std::span<const bn::BigInt> recovered_primes,
+                                std::size_t sieve_primes) {
+  OpensslVerdict verdict;
+  verdict.factors_tested = recovered_primes.size();
+  for (const auto& p : recovered_primes) {
+    if (satisfies_openssl_fingerprint(p, sieve_primes)) {
+      ++verdict.factors_satisfying;
+    }
+  }
+  if (verdict.factors_tested == 0) {
+    verdict.cls = ImplementationClass::kInsufficientData;
+  } else if (verdict.factors_satisfying == verdict.factors_tested) {
+    verdict.cls = ImplementationClass::kLikelyOpenSsl;
+  } else {
+    verdict.cls = ImplementationClass::kNotOpenSsl;
+  }
+  return verdict;
+}
+
+}  // namespace weakkeys::fingerprint

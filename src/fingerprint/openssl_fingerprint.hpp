@@ -1,0 +1,44 @@
+// The Mironov OpenSSL prime fingerprint (paper Section 3.3.4, Table 5).
+//
+// OpenSSL's prime generator rejects candidates p for which p-1 is divisible
+// by any of the first 2048 primes, so every prime factor recovered from an
+// OpenSSL-generated key satisfies p % q_i != 1. A randomly chosen prime
+// satisfies this only ~7.5% of the time, so a handful of recovered factors
+// suffices to classify an implementation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bn/bigint.hpp"
+
+namespace weakkeys::fingerprint {
+
+/// True when `prime` % q != 1 for the first `sieve_primes` primes q — the
+/// property every OpenSSL-generated prime has.
+bool satisfies_openssl_fingerprint(const bn::BigInt& prime,
+                                   std::size_t sieve_primes = 2048);
+
+enum class ImplementationClass {
+  kLikelyOpenSsl,     ///< every recovered factor satisfies the property
+  kNotOpenSsl,        ///< at least one factor violates it (definite)
+  kInsufficientData,  ///< no recovered factors
+};
+
+std::string to_string(ImplementationClass c);
+
+struct OpensslVerdict {
+  ImplementationClass cls = ImplementationClass::kInsufficientData;
+  std::size_t factors_tested = 0;
+  std::size_t factors_satisfying = 0;
+};
+
+/// Classifies one implementation from the prime factors recovered from its
+/// keys (the fingerprint needs private material, so it only covers factored
+/// keys — exactly as in the paper).
+OpensslVerdict classify_openssl(std::span<const bn::BigInt> recovered_primes,
+                                std::size_t sieve_primes = 2048);
+
+}  // namespace weakkeys::fingerprint

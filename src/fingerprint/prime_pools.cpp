@@ -1,0 +1,49 @@
+#include "fingerprint/prime_pools.hpp"
+
+namespace weakkeys::fingerprint {
+
+void PrimePools::add(const std::string& vendor, const bn::BigInt& prime) {
+  const std::string key = prime.to_hex();
+  primes_of_vendor_[vendor].insert(key);
+  vendors_of_prime_[key].insert(vendor);
+}
+
+std::vector<std::string> PrimePools::owners(const bn::BigInt& prime) const {
+  const auto it = vendors_of_prime_.find(prime.to_hex());
+  if (it == vendors_of_prime_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::string PrimePools::extrapolate(const bn::BigInt& p,
+                                    const bn::BigInt& q) const {
+  std::set<std::string> candidates;
+  for (const auto& owner : owners(p)) candidates.insert(owner);
+  for (const auto& owner : owners(q)) candidates.insert(owner);
+  if (candidates.size() == 1) return *candidates.begin();
+  return "";  // unknown or ambiguous
+}
+
+std::vector<PrimePools::Overlap> PrimePools::overlaps() const {
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (const auto& [prime, vendors] : vendors_of_prime_) {
+    if (vendors.size() < 2) continue;
+    for (auto a = vendors.begin(); a != vendors.end(); ++a) {
+      for (auto b = std::next(a); b != vendors.end(); ++b) {
+        ++counts[{*a, *b}];
+      }
+    }
+  }
+  std::vector<Overlap> out;
+  out.reserve(counts.size());
+  for (const auto& [pair, count] : counts) {
+    out.push_back({pair.first, pair.second, count});
+  }
+  return out;
+}
+
+std::size_t PrimePools::pool_size(const std::string& vendor) const {
+  const auto it = primes_of_vendor_.find(vendor);
+  return it == primes_of_vendor_.end() ? 0 : it->second.size();
+}
+
+}  // namespace weakkeys::fingerprint

@@ -1,0 +1,49 @@
+// Shared-prime-pool extrapolation (paper Section 3.3.2).
+//
+// For every vendor with subject-identifiable certificates, pool the prime
+// factors recovered from that vendor's keys. Any otherwise-unlabeled
+// factored modulus built from a pooled prime inherits the vendor label
+// (this is how the paper attributed the tens of thousands of bare-IP
+// Fritz!Box certificates). Primes landing in two different vendors' pools
+// expose cross-vendor hardware sharing (Dell / Fuji Xerox).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bn/bigint.hpp"
+
+namespace weakkeys::fingerprint {
+
+class PrimePools {
+ public:
+  /// Adds a recovered prime for a subject-labeled vendor.
+  void add(const std::string& vendor, const bn::BigInt& prime);
+
+  /// Vendors whose pools contain `prime` (usually zero or one; two or more
+  /// signals shared hardware/firmware across vendors).
+  [[nodiscard]] std::vector<std::string> owners(const bn::BigInt& prime) const;
+
+  /// Extrapolated label for an unlabeled factored modulus: the unique vendor
+  /// owning either recovered factor, or "" when none/ambiguous.
+  [[nodiscard]] std::string extrapolate(const bn::BigInt& p,
+                                        const bn::BigInt& q) const;
+
+  struct Overlap {
+    std::string vendor_a;
+    std::string vendor_b;
+    std::size_t shared_primes = 0;
+  };
+  /// Every unordered vendor pair sharing at least one pooled prime.
+  [[nodiscard]] std::vector<Overlap> overlaps() const;
+
+  [[nodiscard]] std::size_t pool_size(const std::string& vendor) const;
+
+ private:
+  std::map<std::string, std::set<std::string>> primes_of_vendor_;
+  std::map<std::string, std::set<std::string>> vendors_of_prime_;  // hex key
+};
+
+}  // namespace weakkeys::fingerprint

@@ -1,0 +1,552 @@
+#include "netsim/catalog.hpp"
+
+#include <cmath>
+#include <tuple>
+
+namespace weakkeys::netsim {
+
+using util::Date;
+
+Date study_start() { return Date(2010, 6, 1); }
+Date study_end() { return Date(2016, 5, 31); }
+Date heartbleed_date() { return Date(2014, 4, 8); }
+
+std::vector<CiscoEol> cisco_eol_dates() {
+  // Announcement precedes end-of-sale by several months (Section 4.2).
+  return {
+      {"RV082", Date(2013, 1, 15), Date(2013, 7, 15)},
+      {"RV120W", Date(2014, 3, 10), Date(2014, 9, 10)},
+      {"RV220W", Date(2014, 10, 6), Date(2015, 4, 6)},
+      {"RV180", Date(2015, 6, 1), Date(2015, 12, 1)},
+      {"SA520", Date(2015, 12, 7), Date(2016, 4, 30)},
+  };
+}
+
+namespace {
+
+/// Convenience: RngFlawModel with the usual divergence space.
+rng::RngFlawModel flaw(int boot_bits, int divergence_bits = 44) {
+  return rng::RngFlawModel{.boot_entropy_bits = boot_bits,
+                           .divergence_entropy_bits = divergence_bits};
+}
+
+void scale_counts(DeviceModel& m, double scale) {
+  m.initial_count *= scale;
+  m.deploy_per_month *= scale;
+  // Shrinking the population shrinks the expected number of boot-state
+  // collisions; narrowing the boot-entropy space by log2(scale) keeps the
+  // collision *fraction* — the vulnerable share of each family — invariant
+  // under scaling.
+  if (m.flawed_from) {
+    const int delta = static_cast<int>(std::lround(std::log2(scale)));
+    m.flawed_rng.boot_entropy_bits =
+        std::max(1, m.flawed_rng.boot_entropy_bits + delta);
+  }
+}
+
+}  // namespace
+
+std::vector<DeviceModel> standard_models(double scale) {
+  std::vector<DeviceModel> models;
+  const Date always(1995, 1, 1);  // "flawed since before the study window"
+
+  // ---- Background populations (healthy keys; they size Table 1 / Fig 1) ---
+  {
+    DeviceModel m;
+    m.vendor = "_Web";
+    m.model = "Server";
+    m.subject_style = SubjectStyle::kCustomerOrg;
+    m.initial_count = 5200;
+    m.deploy_per_month = 190;
+    m.retire_rate = 0.004;
+    m.churn_rate = 0.03;
+    m.bit_error_rate = 2.0e-4;
+    m.ca_issued = true;  // browser-trusted sites; Rapid7 intermediates quirk
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // larger-key servers, for corpus heterogeneity
+    m.vendor = "_Web";
+    m.model = "Server512";
+    m.subject_style = SubjectStyle::kCustomerOrg;
+    m.key_bits = 512;
+    m.prime_style = rsa::PrimeStyle::kPlain;
+    m.initial_count = 350;
+    m.deploy_per_month = 12;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;
+    m.vendor = "_SSH";
+    m.model = "Host";
+    m.protocol = Protocol::kSsh;
+    m.subject_style = SubjectStyle::kCustomerOrg;
+    m.initial_count = 900;
+    m.deploy_per_month = 22;
+    models.push_back(m);
+  }
+  for (auto [proto, name, count] :
+       {std::tuple{Protocol::kImaps, "IMAPS", 550.0},
+        std::tuple{Protocol::kPop3s, "POP3S", 520.0},
+        std::tuple{Protocol::kSmtps, "SMTPS", 420.0}}) {
+    DeviceModel m;
+    m.vendor = "_Mail";
+    m.model = name;
+    m.protocol = proto;
+    m.subject_style = SubjectStyle::kCustomerOrg;
+    m.initial_count = count;
+    m.deploy_per_month = count / 45;
+    models.push_back(m);
+  }
+
+  // ---- Vendors with public advisories (Section 4.1) -----------------------
+  {
+    DeviceModel m;  // Juniper SRX branch devices
+    m.vendor = "Juniper";
+    m.subject_style = SubjectStyle::kSystemGenerated;
+    m.prime_style = rsa::PrimeStyle::kPlain;  // Table 5: does not satisfy
+    m.flawed_rng = flaw(14);
+    m.flawed_from = always;
+    m.flawed_until = Date(2014, 2, 1);  // vulnerable units shipped for years
+    m.initial_count = 900;
+    m.deploy_per_month = 55;
+    m.churn_rate = 0.02;
+    m.regen_rate = 0.004;  // source of the paper's 1,100/1,200/250 transitions
+    m.heartbleed_crash = true;  // NetScreen crash anecdotes [38]
+    m.heartbleed_offline_frac = 0.22;
+    m.ssh_frac = 0.12;  // vulnerable SSH host keys (Table 4)
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // Innominate mGuard
+    m.vendor = "Innominate";
+    m.model = "mGuard";
+    m.flawed_rng = flaw(8);
+    m.flawed_from = always;
+    m.flawed_until = Date(2012, 7, 1);  // fixed after the June 2012 advisory
+    m.initial_count = 140;
+    m.deploy_per_month = 7;
+    m.retire_rate = 0.002;  // industrial gear stays deployed
+    m.regen_rate = 0.0008;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // IBM RSA II / BladeCenter MM: the 9-prime clique
+    m.vendor = "IBM";
+    m.model = "RSA-II";
+    m.subject_style = SubjectStyle::kCustomerOrg;
+    m.uses_ibm_nine_primes = true;
+    m.flawed_from = always;
+    m.initial_count = 1300;
+    m.deploy_per_month = 8;
+    m.eol_announced = Date(2011, 6, 1);  // population already declining by 2012
+    m.post_eol_retire_rate = 0.014;
+    m.heartbleed_crash = true;
+    m.heartbleed_offline_frac = 0.28;
+    m.churn_rate = 0.035;  // the paper traced apparent IBM fixes to IP churn
+    models.push_back(m);
+  }
+
+  // ---- Vendors that responded privately (Section 4.2) --------------------
+  struct CiscoSpec {
+    const char* model;
+    double initial;
+    double deploy;
+    int eol_index;  // into cisco_eol_dates(), -1 = none
+  };
+  // Populations are back-loaded (small initial fleet, strong deployment
+  // until EOL) so the vulnerable count keeps growing through 2014, as in
+  // Figure 6: collisions accumulate quadratically with the flawed fleet.
+  const auto eols = cisco_eol_dates();
+  for (const CiscoSpec spec : {CiscoSpec{"RV082", 360, 45, 0},
+                               CiscoSpec{"RV120W", 180, 32, 1},
+                               CiscoSpec{"RV220W", 130, 26, 2},
+                               CiscoSpec{"RV180", 70, 24, 3},
+                               CiscoSpec{"SA520", 100, 16, 4},
+                               CiscoSpec{"SG300", 700, 28, -1}}) {
+    DeviceModel m;
+    m.vendor = "Cisco";
+    m.model = spec.model;
+    m.flawed_rng = flaw(13);
+    if (std::string(spec.model) != "SG300") {
+      m.flawed_from = always;  // never publicly patched
+    }
+    m.initial_count = spec.initial;
+    m.deploy_per_month = spec.deploy;
+    m.retire_rate = 0.003;
+    if (spec.eol_index >= 0) {
+      m.eol_announced = eols[static_cast<std::size_t>(spec.eol_index)].announced;
+      m.post_eol_retire_rate = 0.02;
+    }
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // HP Integrated Lights-Out
+    m.vendor = "Hewlett-Packard";
+    m.model = "iLO";
+    m.flawed_rng = flaw(17);
+    m.flawed_from = always;
+    m.flawed_until = Date(2012, 5, 1);  // vulnerable peak in 2012
+    m.initial_count = 2200;
+    m.deploy_per_month = 45;
+    m.retire_rate = 0.007;
+    m.heartbleed_crash = true;  // iLO crash reports [38]
+    m.heartbleed_offline_frac = 0.13;
+    models.push_back(m);
+  }
+
+  // ---- Siemens / IBM overlap (Section 3.3.2) ------------------------------
+  {
+    DeviceModel m;  // bulk of Siemens certs: healthy
+    m.vendor = "Siemens";
+    m.model = "Desigo";
+    m.initial_count = 380;
+    m.deploy_per_month = 6;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // building-automation interface serving one IBM modulus
+    m.vendor = "Siemens";
+    m.model = "BACnet";
+    m.uses_ibm_nine_primes = true;
+    m.fixed_ibm_key = true;
+    m.flawed_from = always;
+    m.initial_count = 0;
+    m.deploy_per_month = 4;  // first appears February 2013
+    m.deploy_ramp_start = Date(2013, 2, 1);
+    m.deploy_ramp_end = Date(2013, 3, 1);
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // the handful of Siemens certs with their own weak keys
+    m.vendor = "Siemens";
+    m.model = "SCALANCE";
+    m.prime_style = rsa::PrimeStyle::kPlain;  // Table 5: does not satisfy
+    m.flawed_rng = flaw(4);
+    m.flawed_from = always;
+    m.initial_count = 8;
+    m.deploy_per_month = 0.2;
+    models.push_back(m);
+  }
+
+  // ---- Vendors that never responded (Figure 9) ----------------------------
+  {
+    DeviceModel m;
+    m.vendor = "Thomson";
+    m.model = "TG";
+    m.flawed_rng = flaw(17);
+    m.flawed_from = always;
+    m.flawed_until = Date(2011, 6, 1);
+    m.initial_count = 4800;
+    m.deploy_per_month = 18;
+    m.retire_rate = 0.012;  // consumer modems age out; decline tracks total
+    m.rimon_mitm_frac = 0.008;  // some customers behind the Rimon middlebox
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // Fritz!Box units with myfritz.net / fritz.box names
+    m.vendor = "Fritz!Box";
+    m.model = "7390";
+    m.subject_style = SubjectStyle::kFritzDomains;
+    m.shared_pool_tag = "avm/fritzos";
+    m.flawed_rng = flaw(16);
+    m.flawed_from = always;
+    m.flawed_until = Date(2014, 3, 1);  // fixed for new devices during 2014
+    m.initial_count = 2300;
+    m.deploy_per_month = 85;
+    m.retire_rate = 0.008;  // visible post-2014 decline of the vulnerable band
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // Fritz!Box units whose subject is just the IP
+    m.vendor = "Fritz!Box";
+    m.model = "7170";
+    m.subject_style = SubjectStyle::kIpOctets;
+    m.shared_pool_tag = "avm/fritzos";  // same firmware: shared prime pool
+    m.flawed_rng = flaw(16);
+    m.flawed_from = always;
+    m.flawed_until = Date(2014, 3, 1);
+    m.initial_count = 1400;
+    m.deploy_per_month = 45;
+    m.rimon_mitm_frac = 0.004;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;
+    m.vendor = "Linksys";
+    m.model = "WRT";
+    m.flawed_rng = flaw(16);
+    m.flawed_from = always;
+    m.flawed_until = Date(2011, 1, 1);
+    m.initial_count = 2900;
+    m.deploy_per_month = 14;
+    m.retire_rate = 0.011;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;
+    m.vendor = "Fortinet";
+    m.model = "FortiGate";
+    m.prime_style = rsa::PrimeStyle::kPlain;  // Table 5: does not satisfy
+    m.flawed_rng = flaw(5);
+    // Only a narrow manufacture window shipped the flaw: the paper shows a
+    // tiny, flat vulnerable population against a large, growing total.
+    m.flawed_from = Date(2010, 2, 1);
+    m.flawed_until = Date(2010, 7, 1);
+    m.initial_count = 1400;
+    m.deploy_per_month = 34;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;
+    m.vendor = "ZyXEL";
+    m.model = "ZyWALL";
+    m.prime_style = rsa::PrimeStyle::kPlain;
+    m.flawed_rng = flaw(15);
+    m.flawed_from = always;
+    m.flawed_until = Date(2012, 1, 1);
+    m.initial_count = 1700;
+    m.deploy_per_month = 10;
+    m.retire_rate = 0.009;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // Dell printers built on Fuji Xerox imaging hardware
+    m.vendor = "Dell";
+    m.model = "Laser";
+    m.subject_style = SubjectStyle::kDellImaging;
+    m.shared_pool_tag = "fuji-xerox/imaging";
+    m.flawed_rng = flaw(10);
+    m.flawed_from = always;
+    m.flawed_until = Date(2013, 1, 1);
+    m.initial_count = 330;
+    m.deploy_per_month = 6;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // Xerox units sharing the imaging firmware
+    m.vendor = "Xerox";
+    m.model = "WorkCentre";
+    m.shared_pool_tag = "fuji-xerox/imaging";
+    m.flawed_rng = flaw(10);
+    m.flawed_from = always;
+    m.flawed_until = Date(2013, 1, 1);
+    m.initial_count = 260;
+    m.deploy_per_month = 4;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // Xerox's own (larger) flawed family
+    m.vendor = "Xerox";
+    m.model = "Phaser";
+    m.prime_style = rsa::PrimeStyle::kPlain;  // dominates: Xerox "not OpenSSL"
+    m.flawed_rng = flaw(12);
+    m.flawed_from = always;
+    m.flawed_until = Date(2012, 6, 1);
+    m.initial_count = 650;
+    m.deploy_per_month = 5;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;
+    m.vendor = "Kronos";
+    m.model = "InTouch";
+    m.prime_style = rsa::PrimeStyle::kPlain;
+    m.flawed_rng = flaw(13);
+    m.flawed_from = always;
+    m.flawed_until = Date(2013, 1, 1);
+    m.initial_count = 650;
+    m.deploy_per_month = 5;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // McAfee SnapGear: identified by banner, not subject
+    m.vendor = "McAfee";
+    m.model = "SnapGear";
+    m.subject_style = SubjectStyle::kDefaultNames;
+    m.banner = "SnapGear Management Console";
+    m.flawed_rng = flaw(13);
+    m.flawed_from = always;
+    m.flawed_until = Date(2011, 9, 1);
+    m.initial_count = 560;
+    m.deploy_per_month = 3;
+    m.retire_rate = 0.009;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // TP-Link: nearly the whole population vulnerable
+    m.vendor = "TP-LINK";
+    m.model = "TL-WR";
+    m.flawed_rng = flaw(3);
+    m.flawed_from = always;
+    m.flawed_until = Date(2014, 6, 1);
+    m.initial_count = 450;
+    m.deploy_per_month = 24;
+    m.retire_rate = 0.008;
+    models.push_back(m);
+  }
+
+  // ---- Newly vulnerable since 2012 (Section 4.4, Figure 10) --------------
+  {
+    DeviceModel m;  // Huawei: first vulnerable hosts April 2015, sharp rise
+    m.vendor = "Huawei";
+    m.model = "HG";
+    m.prime_style = rsa::PrimeStyle::kPlain;  // Table 5: does not satisfy
+    m.flawed_rng = flaw(10);
+    m.flawed_from = Date(2015, 4, 1);
+    m.initial_count = 700;
+    m.deploy_per_month = 70;
+    m.deploy_ramp_start = Date(2014, 10, 1);
+    m.deploy_ramp_end = Date(2015, 8, 1);
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // D-Link: small in 2012, dramatic rise afterwards
+    m.vendor = "D-Link";
+    m.model = "DIR";
+    m.flawed_rng = flaw(12);
+    m.flawed_from = Date(2012, 1, 1);
+    m.initial_count = 2400;
+    m.deploy_per_month = 65;
+    m.deploy_ramp_start = Date(2013, 6, 1);
+    m.deploy_ramp_end = Date(2014, 6, 1);
+    m.rimon_mitm_frac = 0.003;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // ADTRAN: large total population, flaw introduced 2015
+    m.vendor = "ADTRAN";
+    m.model = "NetVanta";
+    m.flawed_rng = flaw(9);
+    m.flawed_from = Date(2015, 1, 1);
+    m.initial_count = 620;
+    m.deploy_per_month = 12;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;
+    m.vendor = "Sangfor";
+    m.model = "NGAF";
+    m.flawed_rng = flaw(10);
+    m.flawed_from = Date(2014, 6, 1);
+    m.initial_count = 140;
+    m.deploy_per_month = 9;
+    models.push_back(m);
+  }
+  {
+    DeviceModel m;  // Schmid Telecom: Indian subsidiary certificates
+    m.vendor = "Schmid Telecom";
+    m.model = "Watson";
+    m.flawed_rng = flaw(7);
+    m.flawed_from = Date(2013, 1, 1);
+    m.initial_count = 110;
+    m.deploy_per_month = 3;
+    models.push_back(m);
+  }
+
+  for (auto& m : models) scale_counts(m, scale);
+  return models;
+}
+
+std::vector<VendorNotification> standard_notifications() {
+  using R = ResponseClass;
+  std::vector<VendorNotification> out;
+  auto add = [&out](const char* vendor, R response, bool tls_rsa = true,
+                    const char* notes = "") {
+    out.push_back({vendor, response, true, tls_rsa, notes});
+  };
+  // Table 2, column by column.
+  add("IBM", R::kPublicAdvisory, true, "CVE-2012-2187, September 2012");
+  add("Emerson", R::kPublicAdvisory);
+  add("Fortinet", R::kPublicAdvisory);
+  add("Innominate", R::kPublicAdvisory, true, "mGuard advisory, June 2012");
+  add("Juniper", R::kPublicAdvisory, true,
+      "Security Bulletin April 2012; Out-of-Cycle Notice July 2012");
+  add("Cisco", R::kPrivateResponse);
+  add("McAfee", R::kPrivateResponse);
+  add("Sentry", R::kPrivateResponse);
+  add("Dell", R::kPrivateResponse);
+  add("Hillstone Networks", R::kPrivateResponse);
+  add("2-Wire", R::kPrivateResponse);
+  add("D-Link", R::kPrivateResponse);
+  add("Motorola", R::kPrivateResponse);
+  add("SkyStream", R::kPrivateResponse);
+  add("Tropos", R::kPrivateResponse, false, "SSH host keys on port 22");
+  add("Kyocera", R::kPrivateResponse);
+  add("Simton", R::kPrivateResponse);
+  add("AVM", R::kPrivateResponse, true, "Fritz!Box");
+  add("JDSU", R::kPrivateResponse);
+  add("Pogoplug", R::kAutoResponse);
+  add("HP", R::kAutoResponse);
+  add("Intel", R::kAutoResponse, false, "SSH host keys; public disclosure");
+  add("Haivision", R::kAutoResponse);
+  add("AudioCodes", R::kAutoResponse);
+  add("Pronto", R::kAutoResponse);
+  add("Kronos", R::kAutoResponse);
+  add("Linksys", R::kAutoResponse);
+  add("MRV", R::kAutoResponse);
+  add("Brocade", R::kNoResponse);
+  add("NTI", R::kNoResponse);
+  add("Technicolor", R::kNoResponse, true, "Thomson");
+  add("Sinetica", R::kNoResponse);
+  add("Xerox", R::kNoResponse);
+  add("Ruckus", R::kNoResponse);
+  add("BelAir", R::kNoResponse);
+  add("ZyXEL", R::kNoResponse);
+  add("TP-Link", R::kNoResponse);
+  // Section 4.4: vendors notified in May 2016 about new products.
+  out.push_back({"Huawei", R::kNewSince2012, false, true,
+                 "responded; advisory + update August 2016 (CVE-2016-6670)"});
+  out.push_back({"ADTRAN", R::kNewSince2012, false, true,
+                 "responded substantively; no advisory yet"});
+  out.push_back({"Sangfor", R::kNewSince2012, false, true,
+                 "support request closed without response"});
+  out.push_back({"Schmid Telecom", R::kNewSince2012, false, true,
+                 "no security contact; information-request form only"});
+  return out;
+}
+
+std::vector<ScanCampaign> standard_campaigns() {
+  return {
+      // EFF SSL Observatory: two Nmap-based passes, lower coverage.
+      {"EFF", Date(2010, 7, 15), Date(2010, 12, 15), 5, 0.82, Protocol::kHttps},
+      // Heninger et al. single October 2011 scan.
+      {"PQ", Date(2011, 10, 15), Date(2011, 10, 15), 1, 0.90, Protocol::kHttps},
+      // Durumeric et al. HTTPS Ecosystem scans (ZMap), June 2012 - Jan 2014.
+      {"Ecosystem", Date(2012, 6, 15), Date(2014, 1, 15), 1, 0.96,
+       Protocol::kHttps},
+      // Rapid7 Project Sonar, Oct 2013 - May 2015 (includes intermediates).
+      {"Rapid7", Date(2013, 10, 15), Date(2015, 5, 15), 1, 0.94,
+       Protocol::kHttps},
+      // Censys daily scans, one representative per month.
+      {"Censys", Date(2015, 7, 15), Date(2016, 4, 11), 1, 0.985,
+       Protocol::kHttps},
+      // Censys cross-protocol scans used for Table 4.
+      {"Censys", Date(2015, 10, 29), Date(2015, 10, 29), 1, 0.98,
+       Protocol::kSsh},
+      {"Censys", Date(2016, 4, 25), Date(2016, 4, 25), 1, 0.98,
+       Protocol::kImaps},
+      {"Censys", Date(2016, 4, 25), Date(2016, 4, 25), 1, 0.98,
+       Protocol::kPop3s},
+      {"Censys", Date(2016, 4, 25), Date(2016, 4, 25), 1, 0.98,
+       Protocol::kSmtps},
+  };
+}
+
+std::string to_string(ResponseClass c) {
+  switch (c) {
+    case ResponseClass::kPublicAdvisory:
+      return "Public Advisory";
+    case ResponseClass::kPrivateResponse:
+      return "Private Response";
+    case ResponseClass::kAutoResponse:
+      return "Auto-Response";
+    case ResponseClass::kNoResponse:
+      return "No Response";
+    case ResponseClass::kNewSince2012:
+      return "Newly Vulnerable Since 2012";
+  }
+  return "?";
+}
+
+}  // namespace weakkeys::netsim

@@ -1,0 +1,43 @@
+// The standard study population: device-family profiles, notification
+// outcomes, scan campaigns, and key dates, all transcribed from the paper.
+//
+// Counts are roughly 1:1000 of the real populations so the full six-year
+// corpus factors on a single machine; `scale` multiplies them further.
+#pragma once
+
+#include <vector>
+
+#include "netsim/dataset.hpp"
+#include "netsim/device_model.hpp"
+#include "util/date.hpp"
+
+namespace weakkeys::netsim {
+
+/// First scan month (EFF, July 2010).
+util::Date study_start();
+
+/// Last scan month (Censys, May 2016).
+util::Date study_end();
+
+/// Heartbleed public disclosure (April 2014).
+util::Date heartbleed_date();
+
+/// Every device family in the study, populations multiplied by `scale`.
+std::vector<DeviceModel> standard_models(double scale = 1.0);
+
+/// Table 2: the 37 vendors notified in Feb/Mar 2012 and their responses,
+/// plus the vendors newly notified in May 2016 (Section 4.4).
+std::vector<VendorNotification> standard_notifications();
+
+/// The five historical scan campaigns plus the Censys SSH/mail scans.
+std::vector<ScanCampaign> standard_campaigns();
+
+/// Cisco end-of-life announcements used in Figure 7.
+struct CiscoEol {
+  std::string model;
+  util::Date announced;
+  util::Date end_of_sale;
+};
+std::vector<CiscoEol> cisco_eol_dates();
+
+}  // namespace weakkeys::netsim

@@ -1,0 +1,93 @@
+#include "netsim/dataset.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace weakkeys::netsim {
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kHttps:
+      return "HTTPS";
+    case Protocol::kSsh:
+      return "SSH";
+    case Protocol::kImaps:
+      return "IMAPS";
+    case Protocol::kPop3s:
+      return "POP3S";
+    case Protocol::kSmtps:
+      return "SMTPS";
+  }
+  throw std::logic_error("unknown protocol");
+}
+
+namespace {
+
+/// Identity key for certificate deduplication. Serial numbers are unique per
+/// issued certificate in the simulation, but derived variants (Rimon
+/// substitution, bit errors) reuse the original serial with a different
+/// modulus, so the key includes both.
+std::string cert_key(const cert::Certificate& c) {
+  return std::to_string(c.serial) + '/' + c.key.n.to_hex();
+}
+
+}  // namespace
+
+std::size_t ScanDataset::total_host_records() const {
+  std::size_t total = 0;
+  for (const auto& snap : snapshots) total += snap.records.size();
+  return total;
+}
+
+std::size_t ScanDataset::distinct_certificates() const {
+  // Records overwhelmingly share certificate objects; dedup by pointer
+  // before hashing content.
+  std::unordered_set<const cert::Certificate*> seen_ptr;
+  std::unordered_set<std::string> seen;
+  for (const auto& snap : snapshots) {
+    for (const auto& rec : snap.records) {
+      if (!seen_ptr.insert(rec.certificate.get()).second) continue;
+      seen.insert(cert_key(rec.cert()));
+    }
+  }
+  return seen.size();
+}
+
+namespace {
+
+std::vector<bn::BigInt> collect_moduli(const ScanDataset& ds,
+                                       const Protocol* filter) {
+  std::unordered_set<const cert::Certificate*> seen_ptr;
+  std::unordered_set<std::string> seen;
+  std::vector<bn::BigInt> out;
+  for (const auto& snap : ds.snapshots) {
+    if (filter && snap.protocol != *filter) continue;
+    for (const auto& rec : snap.records) {
+      if (!seen_ptr.insert(rec.certificate.get()).second) continue;
+      if (seen.insert(rec.cert().key.n.to_hex()).second) {
+        out.push_back(rec.cert().key.n);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<bn::BigInt> ScanDataset::distinct_moduli() const {
+  return collect_moduli(*this, nullptr);
+}
+
+std::vector<bn::BigInt> ScanDataset::distinct_moduli(Protocol p) const {
+  return collect_moduli(*this, &p);
+}
+
+std::vector<const ScanSnapshot*> ScanDataset::snapshots_for(Protocol p) const {
+  std::vector<const ScanSnapshot*> out;
+  for (const auto& snap : snapshots) {
+    if (snap.protocol == p) out.push_back(&snap);
+  }
+  return out;
+}
+
+}  // namespace weakkeys::netsim

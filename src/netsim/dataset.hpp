@@ -1,0 +1,74 @@
+// Scan records and datasets: the schema the analysis pipeline consumes.
+//
+// A HostRecord is exactly what one TLS handshake (or SSH key exchange) with
+// one IP on one date yields — the paper's "host record" unit (Table 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cert/certificate.hpp"
+#include "netsim/ipv4.hpp"
+#include "netsim/protocol.hpp"
+#include "util/date.hpp"
+
+namespace weakkeys::netsim {
+
+/// Certificates are shared between the many host records that present them;
+/// a record therefore holds a shared handle, not a copy.
+using CertHandle = std::shared_ptr<const cert::Certificate>;
+
+struct HostRecord {
+  util::Date date;
+  std::string source;  ///< "EFF", "PQ", "Ecosystem", "Rapid7", "Censys"
+  Ipv4 ip;
+  Protocol protocol = Protocol::kHttps;
+  CertHandle certificate;
+  std::string banner;  ///< HTTPS landing-page hint (may be empty)
+
+  [[nodiscard]] const cert::Certificate& cert() const { return *certificate; }
+};
+
+/// One scan: every host record collected in a single campaign pass.
+struct ScanSnapshot {
+  util::Date date;
+  std::string source;
+  Protocol protocol = Protocol::kHttps;
+  std::vector<HostRecord> records;
+};
+
+/// A scan campaign: one historical data source with its cadence and quirks.
+struct ScanCampaign {
+  std::string name;
+  util::Date first;
+  util::Date last;
+  int months_between_scans = 1;
+  double coverage = 0.97;  ///< fraction of alive hosts a pass observes
+  Protocol protocol = Protocol::kHttps;
+};
+
+/// The aggregated corpus: all snapshots from all campaigns, ordered by date.
+class ScanDataset {
+ public:
+  std::vector<ScanSnapshot> snapshots;
+
+  [[nodiscard]] std::size_t total_host_records() const;
+
+  /// Distinct certificate fingerprints across all snapshots.
+  [[nodiscard]] std::size_t distinct_certificates() const;
+
+  /// Distinct RSA moduli across all snapshots (hex-keyed).
+  [[nodiscard]] std::vector<bn::BigInt> distinct_moduli() const;
+
+  /// Distinct moduli restricted to one protocol.
+  [[nodiscard]] std::vector<bn::BigInt> distinct_moduli(Protocol p) const;
+
+  /// Snapshots restricted to one protocol, date-ordered.
+  [[nodiscard]] std::vector<const ScanSnapshot*> snapshots_for(Protocol p) const;
+};
+
+}  // namespace weakkeys::netsim

@@ -1,0 +1,133 @@
+// Device-family profiles: the knobs that reproduce each vendor's behaviour
+// in the paper's Section 4 figures.
+//
+// A DeviceModel describes one product family: how its certificates name it,
+// how its firmware generates keys (prime style, RNG flaw, the manufacture
+// window during which the flaw shipped), its population dynamics (deploy /
+// retire / churn, end-of-life), and its behaviour around the Heartbleed
+// disclosure. The catalog in catalog.cpp instantiates one profile per vendor
+// or model discussed in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/protocol.hpp"
+#include "rng/urandom.hpp"
+#include "rsa/keygen.hpp"
+#include "util/date.hpp"
+
+namespace weakkeys::netsim {
+
+/// Table 2 categories plus the post-2012 newcomers of Section 4.4.
+enum class ResponseClass {
+  kPublicAdvisory,   ///< released a public security advisory
+  kPrivateResponse,  ///< responded substantively, no public advisory
+  kAutoResponse,     ///< automated acknowledgement only
+  kNoResponse,       ///< never responded
+  kNewSince2012,     ///< newly vulnerable product after the 2012 disclosure
+};
+
+std::string to_string(ResponseClass c);
+
+/// How a family's default certificates identify (or fail to identify) it.
+enum class SubjectStyle {
+  kOrgAndModel,      ///< O=<vendor>, OU=<model>, CN=<model>-<serial>
+  kSystemGenerated,  ///< CN=system generated (Juniper; no vendor string)
+  kDefaultNames,     ///< CN=Default Common Name, O=Default Organization...
+  kIpOctets,         ///< CN=<dotted IP> only (identified via shared primes)
+  kFritzDomains,     ///< CN=<id>.myfritz.net, SANs fritz.box etc.
+  kCustomerOrg,      ///< org-specific subject, no vendor info (IBM RSA II)
+  kDellImaging,      ///< OU=Dell Imaging Group (hardware shared with Xerox)
+};
+
+struct DeviceModel {
+  std::string vendor;  ///< display vendor name ("Cisco")
+  std::string model;   ///< product/model ("RV082"); may be empty
+
+  /// Primary service this family exposes (mail-server families exist so the
+  /// Table 4 protocol scans have realistic populations).
+  Protocol protocol = Protocol::kHttps;
+
+  SubjectStyle subject_style = SubjectStyle::kOrgAndModel;
+  /// HTTPS landing-page banner (how McAfee SnapGear was identified).
+  std::string banner;
+
+  // --- Key generation -----------------------------------------------------
+  rsa::PrimeStyle prime_style = rsa::PrimeStyle::kOpenSsl;
+  std::size_t key_bits = 256;
+  /// RNG behaviour of flawed firmware builds.
+  rng::RngFlawModel flawed_rng;
+  /// Firmware manufactured in [flawed_from, flawed_until) has the flaw;
+  /// outside the window devices get a healthy RNG. An unset flawed_until
+  /// means the flaw was never fixed.
+  std::optional<util::Date> flawed_from;
+  std::optional<util::Date> flawed_until;
+  /// Devices whose boot-state space is shared with another family draw from
+  /// the pool named here (Dell imaging hardware shares Xerox's primes).
+  /// Empty = the family's own "<vendor>/<model>" tag.
+  std::string shared_pool_tag;
+  /// IBM RSA II / BladeCenter degenerate generator (9 primes, 36 moduli).
+  bool uses_ibm_nine_primes = false;
+  /// All flawed devices of this family serve one fixed key drawn from the
+  /// IBM pool (the Siemens Building Automation overlap).
+  bool fixed_ibm_key = false;
+
+  // --- Population dynamics (monthly rates) --------------------------------
+  double initial_count = 0;      ///< alive devices at simulation start
+  double deploy_per_month = 0;   ///< new deployments per month
+  /// Linear ramp of deployments: deploy rate is multiplied by
+  /// clamp((t - ramp_start)/(ramp_end - ramp_start), 0, 1) when set.
+  std::optional<util::Date> deploy_ramp_start;
+  std::optional<util::Date> deploy_ramp_end;
+  double retire_rate = 0.004;    ///< fraction of devices retired per month
+  double churn_rate = 0.02;      ///< fraction re-IP'd per month
+  double regen_rate = 0.0015;    ///< fraction regenerating keys per month
+  std::optional<util::Date> eol_announced;  ///< deployments stop, decline begins
+  double post_eol_retire_rate = 0.02;
+
+  // --- Heartbleed (April 2014) ---------------------------------------------
+  /// Device crashes / is taken offline when scanned during the Heartbleed
+  /// scanning wave (Juniper NetScreen, HP iLO anecdotes).
+  bool heartbleed_crash = false;
+  double heartbleed_offline_frac = 0.0;
+
+  // --- Misc ----------------------------------------------------------------
+  /// Fraction of this family's devices behind the Internet Rimon ISP, whose
+  /// middlebox substitutes a fixed public key into served certificates.
+  double rimon_mitm_frac = 0.0;
+  /// Fraction of devices also exposing an SSH host key generated from the
+  /// same (possibly flawed) pool.
+  double ssh_frac = 0.0;
+  /// Probability per scan record of a single-bit transmission error in the
+  /// modulus (the paper's 107 non-well-formed moduli).
+  double bit_error_rate = 0.0;
+  /// Certificate is issued by one of the simulation's intermediate CAs
+  /// rather than self-signed (browser-trusted web servers). Enables the
+  /// Rapid7 intermediate-certificate quirk.
+  bool ca_issued = false;
+
+  [[nodiscard]] std::string pool_tag() const {
+    return shared_pool_tag.empty() ? vendor + "/" + model : shared_pool_tag;
+  }
+
+  /// True when firmware manufactured on `d` carries the flawed RNG.
+  [[nodiscard]] bool flawed_at(const util::Date& d) const {
+    if (!flawed_from) return false;
+    if (d < *flawed_from) return false;
+    return !flawed_until || d < *flawed_until;
+  }
+};
+
+/// One row of Table 2 (notification outcomes), plus study notes.
+struct VendorNotification {
+  std::string vendor;
+  ResponseClass response;
+  bool notified_2012 = true;
+  bool has_tls_rsa_vulnerability = true;
+  std::string notes;
+};
+
+}  // namespace weakkeys::netsim

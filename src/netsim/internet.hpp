@@ -1,0 +1,63 @@
+// The internet simulator: runs device populations through the 2010-2016
+// timeline and executes the historical scan campaigns against them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/catalog.hpp"
+#include "netsim/dataset.hpp"
+#include "netsim/device.hpp"
+#include "netsim/device_model.hpp"
+#include "util/prng.hpp"
+
+namespace weakkeys::netsim {
+
+struct SimConfig {
+  std::uint64_t seed = 20160414;
+  /// Population scale. Applied by the *catalog* (standard_models(scale)),
+  /// which also widens/narrows boot-entropy spaces by log2(scale) so that
+  /// prime-collision fractions are scale-invariant. Internet itself uses
+  /// the model counts as given.
+  double scale = 1.0;
+  /// Miller-Rabin rounds for simulated key generation (the corpus builder's
+  /// throughput knob; primality errors are vanishingly unlikely either way).
+  int miller_rabin_rounds = 6;
+  /// Probability that a Rapid7 record of a CA-issued host also surfaces the
+  /// unchained intermediate certificate (the Section 3.1 quirk).
+  double rapid7_intermediate_rate = 0.10;
+};
+
+class Internet {
+ public:
+  /// `models` describe the population; the Internet takes ownership (device
+  /// records point into the stored copy).
+  Internet(std::vector<DeviceModel> models, const SimConfig& config);
+
+  /// Simulates month-by-month from study_start() to study_end(), executing
+  /// every scheduled scan of every campaign. Snapshots come back
+  /// date-ordered.
+  ScanDataset run(const std::vector<ScanCampaign>& campaigns);
+
+  /// Ground truth (for tests and validation; the measurement pipeline uses
+  /// only the ScanDataset).
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  [[nodiscard]] const std::vector<DeviceModel>& models() const { return models_; }
+  [[nodiscard]] DeviceFactory& factory() { return factory_; }
+
+ private:
+  void seed_initial_population();
+  void advance_month(const util::Date& month_start);
+  ScanSnapshot scan(const ScanCampaign& campaign, const util::Date& when);
+  [[nodiscard]] double deploy_rate(const DeviceModel& m,
+                                   const util::Date& month) const;
+
+  std::vector<DeviceModel> models_;
+  SimConfig config_;
+  DeviceFactory factory_;
+  util::Xoshiro256 events_rng_;
+  std::vector<Device> devices_;
+  std::vector<double> deploy_accumulator_;
+};
+
+}  // namespace weakkeys::netsim

@@ -1,0 +1,36 @@
+#include "netsim/ip_allocator.hpp"
+
+namespace weakkeys::netsim {
+
+Ipv4 IpAllocator::fresh() {
+  // Avoid reserved-looking prefixes so addresses render plausibly.
+  for (;;) {
+    const auto v = static_cast<std::uint32_t>(rng_());
+    const std::uint32_t top = v >> 24;
+    if (top == 0 || top == 10 || top == 127 || top >= 224) continue;
+    const Ipv4 ip(v);
+    if (!in_use_.contains(ip)) return ip;
+  }
+}
+
+Ipv4 IpAllocator::allocate() {
+  if (!free_.empty() && rng_.chance(reuse_probability_)) {
+    // Pop a uniformly random released address.
+    const std::size_t index = rng_.below(free_.size());
+    const Ipv4 ip = free_[index];
+    free_[index] = free_.back();
+    free_.pop_back();
+    in_use_.insert(ip);
+    return ip;
+  }
+  const Ipv4 ip = fresh();
+  in_use_.insert(ip);
+  return ip;
+}
+
+void IpAllocator::release(Ipv4 ip) {
+  in_use_.erase(ip);
+  free_.push_back(ip);
+}
+
+}  // namespace weakkeys::netsim

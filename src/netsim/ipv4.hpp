@@ -1,0 +1,40 @@
+// IPv4 address value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace weakkeys::netsim {
+
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  explicit constexpr Ipv4(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_(std::uint32_t{a} << 24 | std::uint32_t{b} << 16 |
+               std::uint32_t{c} << 8 | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  [[nodiscard]] std::string to_string() const {
+    return std::to_string(value_ >> 24) + '.' +
+           std::to_string((value_ >> 16) & 0xff) + '.' +
+           std::to_string((value_ >> 8) & 0xff) + '.' +
+           std::to_string(value_ & 0xff);
+  }
+
+  friend constexpr auto operator<=>(const Ipv4&, const Ipv4&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace weakkeys::netsim
+
+template <>
+struct std::hash<weakkeys::netsim::Ipv4> {
+  std::size_t operator()(const weakkeys::netsim::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

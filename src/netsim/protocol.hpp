@@ -1,0 +1,12 @@
+// Scanned protocols (Table 4).
+#pragma once
+
+#include <string>
+
+namespace weakkeys::netsim {
+
+enum class Protocol { kHttps, kSsh, kImaps, kPop3s, kSmtps };
+
+std::string to_string(Protocol p);
+
+}  // namespace weakkeys::netsim

@@ -1,0 +1,50 @@
+// A simulated Linux-style entropy pool.
+//
+// The 2012 studies traced widespread weak keys to a boot-time "entropy hole":
+// on headless and embedded devices, /dev/urandom could return deterministic
+// output early in boot because the pool had not yet been seeded with any
+// device-unique entropy. This class models the relevant mechanics — mixing
+// events into a pool and extracting pseudorandom output with SHA-256 — so the
+// simulated devices in src/netsim exhibit exactly that failure mode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "crypto/sha256.hpp"
+
+namespace weakkeys::rng {
+
+class EntropyPool {
+ public:
+  /// An empty pool with zero entropy estimate. Deterministic: two pools that
+  /// receive identical mix() sequences produce identical extract() streams.
+  EntropyPool() = default;
+
+  /// Stirs `data` into the pool, crediting `entropy_bits` of estimated
+  /// entropy (the caller's estimate, exactly like the kernel's accounting).
+  void mix(std::span<const std::uint8_t> data, double entropy_bits);
+  void mix(const std::string& data, double entropy_bits);
+  void mix_u64(std::uint64_t value, double entropy_bits);
+
+  /// Extracts `out.size()` pseudorandom bytes (SHA-256 in counter mode over
+  /// the pool state, with state feedback after each block).
+  void extract(std::span<std::uint8_t> out);
+
+  /// The kernel-style entropy estimate, saturating at 256 bits.
+  [[nodiscard]] double entropy_estimate_bits() const { return entropy_estimate_; }
+
+  /// True once the pool has been credited at least `threshold` bits.
+  /// getrandom(2) semantics: properly seeded pools block until this holds.
+  [[nodiscard]] bool seeded(double threshold = 128.0) const {
+    return entropy_estimate_ >= threshold;
+  }
+
+ private:
+  crypto::Sha256::Digest state_{};
+  std::uint64_t extract_counter_ = 0;
+  double entropy_estimate_ = 0.0;
+};
+
+}  // namespace weakkeys::rng

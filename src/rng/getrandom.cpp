@@ -1,0 +1,30 @@
+#include "rng/getrandom.hpp"
+
+#include <stdexcept>
+
+namespace weakkeys::rng {
+
+GetrandomSource::GetrandomSource(EntropyPool pool, EntropyGatherer gather,
+                                 double seed_threshold_bits)
+    : pool_(std::move(pool)),
+      gather_(std::move(gather)),
+      threshold_(seed_threshold_bits) {
+  if (!gather_) throw std::invalid_argument("entropy gatherer required");
+}
+
+void GetrandomSource::fill(std::span<std::uint8_t> out) {
+  while (!pool_.seeded(threshold_)) {
+    // getrandom(2) semantics: the caller sleeps while the kernel keeps
+    // crediting interrupt entropy; no output until the pool is seeded.
+    ever_blocked_ = true;
+    const double before = pool_.entropy_estimate_bits();
+    gather_(pool_);
+    if (pool_.entropy_estimate_bits() <= before) {
+      throw std::runtime_error(
+          "entropy gatherer made no progress; pool can never seed");
+    }
+  }
+  pool_.extract(out);
+}
+
+}  // namespace weakkeys::rng

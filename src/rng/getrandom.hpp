@@ -1,0 +1,47 @@
+// The post-2012 kernel mitigation, as a RandomSource.
+//
+// After the disclosure, the Linux maintainers shipped /dev/random fixups
+// (July 2012) and later the getrandom(2) system call (2014), which returns
+// data only once the pool is properly seeded (paper Section 2.5). The paper
+// hypothesizes the eventual per-vendor declines trace to new products
+// inheriting these mitigations. GetrandomSource models the semantics: a
+// fill() against an unseeded pool *blocks* — in simulation, it invokes an
+// entropy-gathering callback (interrupt timing, device-unique state) and
+// records that it had to wait — so key generation can never consume
+// deterministic boot state, whatever the firmware does.
+#pragma once
+
+#include <functional>
+
+#include "bn/bigint.hpp"
+#include "rng/entropy_pool.hpp"
+
+namespace weakkeys::rng {
+
+class GetrandomSource final : public bn::RandomSource {
+ public:
+  using EntropyGatherer = std::function<void(EntropyPool&)>;
+
+  /// `pool` is the device's pool in whatever state boot left it;
+  /// `gather` supplies the entropy the kernel would accumulate while a
+  /// getrandom() caller blocks (must credit >= the seed threshold).
+  /// Throws std::invalid_argument if `gather` is empty.
+  GetrandomSource(EntropyPool pool, EntropyGatherer gather,
+                  double seed_threshold_bits = 128.0);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+  /// True if any fill() had to wait for seeding (i.e. the old urandom
+  /// behaviour would have produced deterministic output here).
+  [[nodiscard]] bool ever_blocked() const { return ever_blocked_; }
+
+  [[nodiscard]] const EntropyPool& pool() const { return pool_; }
+
+ private:
+  EntropyPool pool_;
+  EntropyGatherer gather_;
+  double threshold_;
+  bool ever_blocked_ = false;
+};
+
+}  // namespace weakkeys::rng

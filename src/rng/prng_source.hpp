@@ -1,0 +1,31 @@
+// A healthy, deterministic RandomSource backed by xoshiro256**.
+// Used by tests, examples, and any simulated device without the RNG flaw.
+#pragma once
+
+#include "bn/bigint.hpp"
+#include "util/prng.hpp"
+
+namespace weakkeys::rng {
+
+class PrngRandomSource final : public bn::RandomSource {
+ public:
+  explicit PrngRandomSource(std::uint64_t seed) : gen_(seed) {}
+
+  void fill(std::span<std::uint8_t> out) override {
+    std::size_t i = 0;
+    while (i < out.size()) {
+      std::uint64_t word = gen_();
+      const std::size_t take = std::min<std::size_t>(8, out.size() - i);
+      for (std::size_t j = 0; j < take; ++j) {
+        out[i + j] = static_cast<std::uint8_t>(word);
+        word >>= 8;
+      }
+      i += take;
+    }
+  }
+
+ private:
+  util::Xoshiro256 gen_;
+};
+
+}  // namespace weakkeys::rng

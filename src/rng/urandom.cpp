@@ -1,0 +1,34 @@
+#include "rng/urandom.hpp"
+
+namespace weakkeys::rng {
+
+std::uint64_t clamp_to_bits(std::uint64_t raw, int bits) {
+  if (bits <= 0) return 0;
+  if (bits >= 64) return raw;
+  return raw & ((std::uint64_t{1} << bits) - 1);
+}
+
+SimulatedUrandom::SimulatedUrandom(const std::string& model_tag,
+                                   const RngFlawModel& flaw,
+                                   std::uint64_t boot_state,
+                                   std::uint64_t divergence_seed)
+    : flaw_(flaw), divergence_stream_(divergence_seed) {
+  // Boot: the pool sees only the firmware identity plus whatever the
+  // boot-time entropy hole lets through.
+  pool_.mix("firmware:" + model_tag, 0.0);
+  pool_.mix_u64(clamp_to_bits(boot_state, flaw.boot_entropy_bits),
+                static_cast<double>(flaw.boot_entropy_bits));
+}
+
+void SimulatedUrandom::fill(std::span<std::uint8_t> out) {
+  pool_.extract(out);
+}
+
+void SimulatedUrandom::stir_divergence_event() {
+  if (!flaw_.stirs_between_primes()) return;
+  pool_.mix_u64(clamp_to_bits(divergence_stream_.next(),
+                              flaw_.divergence_entropy_bits),
+                static_cast<double>(flaw_.divergence_entropy_bits));
+}
+
+}  // namespace weakkeys::rng

@@ -1,0 +1,71 @@
+// Simulated /dev/urandom for a (possibly flawed) embedded device.
+//
+// RngFlawModel captures the paper's mechanism (Section 2.4): on boot the pool
+// is seeded only from a small device-state space (the boot-time entropy
+// hole); if the key-generation process stirs in additional low-entropy events
+// (time, packet arrivals) *between* the two prime generations, devices that
+// booted into the same state produce RSA moduli that share exactly one prime
+// factor — the batch-GCD-vulnerable pattern.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bn/bigint.hpp"
+#include "rng/entropy_pool.hpp"
+#include "util/prng.hpp"
+
+namespace weakkeys::rng {
+
+/// Parameters describing the quality of a device family's boot-time RNG.
+struct RngFlawModel {
+  /// log2 of the space of possible pool states right after boot. Healthy
+  /// devices have >= 64 (collisions never happen); the flawed families in
+  /// the study behave like 8-20 bits. 0 means fully deterministic per model.
+  int boot_entropy_bits = 64;
+
+  /// log2 of the space of the event stirred into the pool between the two
+  /// prime generations (e.g. a 1-second-resolution clock). < 0 disables the
+  /// mid-keygen stir entirely: colliding devices then produce *identical*
+  /// keys (default-certificate behaviour) rather than shared-prime keys.
+  int divergence_entropy_bits = 48;
+
+  [[nodiscard]] bool stirs_between_primes() const {
+    return divergence_entropy_bits >= 0;
+  }
+};
+
+/// A deterministic RandomSource that behaves like /dev/urandom on one
+/// simulated device boot.
+class SimulatedUrandom final : public bn::RandomSource {
+ public:
+  /// `model_tag` identifies the firmware build (same for every device of a
+  /// model); `boot_state` is the device's draw from the boot-state space;
+  /// `divergence_seed` seeds the stream of mid-keygen entropy events (each
+  /// event's value is clamped to the divergence space, so events can still
+  /// collide across devices when that space is small). The caller — the
+  /// population simulator — supplies the raw draws so collision statistics
+  /// are explicit.
+  SimulatedUrandom(const std::string& model_tag, const RngFlawModel& flaw,
+                   std::uint64_t boot_state, std::uint64_t divergence_seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+  /// A mid-keygen entropy event: called by the key generator between the
+  /// first and second prime (mirrors OpenSSL stirring in the current time).
+  /// May be called once per generated key. No-op when the model does not
+  /// stir.
+  void stir_divergence_event();
+
+  [[nodiscard]] const EntropyPool& pool() const { return pool_; }
+
+ private:
+  EntropyPool pool_;
+  RngFlawModel flaw_;
+  util::SplitMix64 divergence_stream_;
+};
+
+/// Masks `raw` down to a space of 2^bits values (bits in [0, 64]).
+std::uint64_t clamp_to_bits(std::uint64_t raw, int bits);
+
+}  // namespace weakkeys::rng

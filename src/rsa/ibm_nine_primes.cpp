@@ -1,0 +1,52 @@
+#include "rsa/ibm_nine_primes.hpp"
+
+#include <algorithm>
+
+#include "rng/prng_source.hpp"
+#include "rsa/keygen.hpp"
+
+namespace weakkeys::rsa {
+
+IbmNinePrimeGenerator::IbmNinePrimeGenerator(std::size_t modulus_bits,
+                                             std::uint64_t tag) {
+  rng::PrngRandomSource pool_rng(tag ^ 0x49424d0000000000ULL);  // "IBM"
+  KeygenOptions opts;
+  opts.modulus_bits = modulus_bits;
+  // The real firmware generated its primes with OpenSSL, so the pool
+  // satisfies the Mironov fingerprint (Table 5 lists IBM under "satisfy").
+  opts.style = PrimeStyle::kOpenSsl;
+  primes_.reserve(kPrimeCount);
+  while (primes_.size() < kPrimeCount) {
+    bn::BigInt p = generate_prime(pool_rng, modulus_bits / 2, opts);
+    if (std::find(primes_.begin(), primes_.end(), p) == primes_.end()) {
+      primes_.push_back(std::move(p));
+    }
+  }
+  std::sort(primes_.begin(), primes_.end());
+}
+
+RsaPrivateKey IbmNinePrimeGenerator::generate(bn::RandomSource& rng) const {
+  // Draw two distinct indices from the 9-prime pool.
+  std::uint8_t raw[2];
+  std::size_t i = 0, j = 0;
+  do {
+    rng.fill(raw);
+    i = raw[0] % kPrimeCount;
+    j = raw[1] % kPrimeCount;
+  } while (i == j);
+  return assemble_private_key(primes_[i], primes_[j], bn::BigInt(65537));
+}
+
+std::vector<bn::BigInt> IbmNinePrimeGenerator::possible_moduli() const {
+  std::vector<bn::BigInt> out;
+  out.reserve(kPossibleModuli);
+  for (int i = 0; i < kPrimeCount; ++i) {
+    for (int j = i + 1; j < kPrimeCount; ++j) {
+      out.push_back(primes_[i] * primes_[j]);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace weakkeys::rsa

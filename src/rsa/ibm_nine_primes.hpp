@@ -1,0 +1,41 @@
+// The degenerate IBM prime generator (paper Sections 3.3.2 and 4.1).
+//
+// A bug in the prime-generation code of certain IBM Remote Supervisor
+// Adapter II cards and BladeCenter Management Modules meant only nine
+// distinct primes could ever be produced; every key from these devices is a
+// product of two of them, giving C(9,2) = 36 possible public moduli. We
+// reproduce the generator so the fingerprinting pipeline can detect the
+// clique the way the paper did.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bn/bigint.hpp"
+#include "rsa/key.hpp"
+
+namespace weakkeys::rsa {
+
+class IbmNinePrimeGenerator {
+ public:
+  static constexpr int kPrimeCount = 9;
+  /// Distinct unordered prime pairs == distinct possible moduli.
+  static constexpr int kPossibleModuli = kPrimeCount * (kPrimeCount - 1) / 2;
+
+  /// Deterministically derives the nine primes from `tag` (same tag =>
+  /// same prime pool, like a firmware build).
+  IbmNinePrimeGenerator(std::size_t modulus_bits, std::uint64_t tag);
+
+  /// Generates a key from two distinct pool primes chosen by `rng`.
+  [[nodiscard]] RsaPrivateKey generate(bn::RandomSource& rng) const;
+
+  [[nodiscard]] const std::vector<bn::BigInt>& primes() const { return primes_; }
+
+  /// All 36 possible moduli, ascending.
+  [[nodiscard]] std::vector<bn::BigInt> possible_moduli() const;
+
+ private:
+  std::vector<bn::BigInt> primes_;
+};
+
+}  // namespace weakkeys::rsa

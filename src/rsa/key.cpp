@@ -1,0 +1,40 @@
+#include "rsa/key.hpp"
+
+#include <stdexcept>
+
+namespace weakkeys::rsa {
+
+RsaPrivateKey assemble_private_key(const bn::BigInt& p, const bn::BigInt& q,
+                                   const bn::BigInt& e) {
+  using bn::BigInt;
+  const BigInt one(1);
+  const BigInt p1 = p - one;
+  const BigInt q1 = q - one;
+  const BigInt lambda = (p1 * q1) / bn::gcd(p1, q1);
+
+  RsaPrivateKey key;
+  key.pub.n = p * q;
+  key.pub.e = e;
+  key.p = p;
+  key.q = q;
+  key.d = bn::mod_inverse(e, lambda);
+  key.dp = key.d % p1;
+  key.dq = key.d % q1;
+  key.qinv = bn::mod_inverse(q, p);
+  return key;
+}
+
+bool RsaPrivateKey::is_consistent() const {
+  using bn::BigInt;
+  const BigInt one(1);
+  if (pub.n != p * q) return false;
+  const BigInt p1 = p - one;
+  const BigInt q1 = q - one;
+  const BigInt lambda = (p1 * q1) / bn::gcd(p1, q1);
+  if ((pub.e * d) % lambda != one) return false;
+  if (dp != d % p1 || dq != d % q1) return false;
+  if ((q * qinv) % p != one) return false;
+  return true;
+}
+
+}  // namespace weakkeys::rsa

@@ -1,0 +1,38 @@
+// RSA key types.
+#pragma once
+
+#include <cstdint>
+
+#include "bn/bigint.hpp"
+
+namespace weakkeys::rsa {
+
+struct RsaPublicKey {
+  bn::BigInt n;  ///< modulus
+  bn::BigInt e;  ///< public exponent
+
+  [[nodiscard]] std::size_t modulus_bits() const { return n.bit_length(); }
+
+  friend bool operator==(const RsaPublicKey&, const RsaPublicKey&) = default;
+};
+
+struct RsaPrivateKey {
+  RsaPublicKey pub;
+  bn::BigInt p;     ///< first prime factor (generated first)
+  bn::BigInt q;     ///< second prime factor
+  bn::BigInt d;     ///< private exponent, e^-1 mod lcm(p-1, q-1)
+  bn::BigInt dp;    ///< d mod (p-1)
+  bn::BigInt dq;    ///< d mod (q-1)
+  bn::BigInt qinv;  ///< q^-1 mod p
+
+  /// Checks the multiplicative structure: n == p*q, e*d == 1 (mod lcm),
+  /// CRT parameters consistent. Cheap (no primality testing).
+  [[nodiscard]] bool is_consistent() const;
+};
+
+/// Recomputes d and the CRT parameters for given (p, q, e).
+/// Throws std::domain_error if e is not invertible mod lcm(p-1, q-1).
+RsaPrivateKey assemble_private_key(const bn::BigInt& p, const bn::BigInt& q,
+                                   const bn::BigInt& e);
+
+}  // namespace weakkeys::rsa

@@ -1,0 +1,57 @@
+// RSA key generation, from scratch.
+//
+// Two prime-generation styles matter for the study:
+//  * kOpenSsl — mirrors OpenSSL's distinctive sieve (Mironov): a candidate p
+//    is rejected if p - 1 is divisible by any of the first `sieve_primes`
+//    small primes. Every prime OpenSSL emits therefore satisfies
+//    p % q_i != 1 for those primes — the Table 5 fingerprint.
+//  * kPlain — plain trial-division sieve, as non-OpenSSL stacks behave.
+//
+// The generator draws all randomness (candidates and Miller-Rabin bases)
+// from the caller's RandomSource, so two simulated devices whose entropy
+// pools collide generate byte-identical primes — the mechanism behind the
+// factorable-key corpus.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "bn/bigint.hpp"
+#include "rsa/key.hpp"
+
+namespace weakkeys::rsa {
+
+enum class PrimeStyle {
+  kOpenSsl,  ///< reject p when p-1 has a small prime factor (fingerprintable)
+  kPlain,    ///< plain sieve + Miller-Rabin
+};
+
+struct KeygenOptions {
+  std::size_t modulus_bits = 1024;
+  PrimeStyle style = PrimeStyle::kOpenSsl;
+  std::uint64_t public_exponent = 65537;
+  /// Trial-division depth (the paper's OpenSSL fingerprint uses 2048).
+  std::size_t sieve_primes = 2048;
+  int miller_rabin_rounds = 12;
+};
+
+/// Hooks into the generation sequence. before_prime(i) fires immediately
+/// before prime i (0 or 1) is generated; the device simulation uses it to
+/// stir the mid-keygen entropy event that makes colliding devices diverge
+/// after the first prime.
+struct KeygenEvents {
+  std::function<void(int prime_index)> before_prime;
+};
+
+/// Generates a random prime of exactly `bits` bits (top two bits set, so a
+/// product of two such primes has exactly 2*bits bits), compatible with
+/// `opts.public_exponent`.
+bn::BigInt generate_prime(bn::RandomSource& rng, std::size_t bits,
+                          const KeygenOptions& opts);
+
+/// Generates a full RSA key pair. Throws std::invalid_argument for
+/// unsupported option combinations (modulus under 64 bits, even exponent).
+RsaPrivateKey generate_key(bn::RandomSource& rng, const KeygenOptions& opts,
+                           const KeygenEvents* events = nullptr);
+
+}  // namespace weakkeys::rsa

@@ -1,0 +1,140 @@
+#include "rsa/pkcs1.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace weakkeys::rsa {
+
+using bn::BigInt;
+
+namespace {
+
+/// Left-pads big-endian bytes of `v` to exactly `size` bytes.
+std::vector<std::uint8_t> to_fixed_bytes(const BigInt& v, std::size_t size) {
+  std::vector<std::uint8_t> raw = v.to_bytes();
+  if (raw.size() == 1 && raw[0] == 0) raw.clear();
+  if (raw.size() > size) throw std::runtime_error("value too large for field");
+  std::vector<std::uint8_t> out(size - raw.size(), 0);
+  out.insert(out.end(), raw.begin(), raw.end());
+  return out;
+}
+
+std::size_t modulus_bytes(const RsaPublicKey& key) {
+  return (key.modulus_bits() + 7) / 8;
+}
+
+}  // namespace
+
+BigInt public_op(const RsaPublicKey& key, const BigInt& m) {
+  if (m.is_negative() || m >= key.n) throw std::domain_error("message out of range");
+  return bn::mod_pow(m, key.e, key.n);
+}
+
+BigInt private_op(const RsaPrivateKey& key, const BigInt& c) {
+  if (c.is_negative() || c >= key.pub.n)
+    throw std::domain_error("ciphertext out of range");
+  // Garner's CRT recombination.
+  const BigInt m1 = bn::mod_pow(c % key.p, key.dp, key.p);
+  const BigInt m2 = bn::mod_pow(c % key.q, key.dq, key.q);
+  BigInt h = ((m1 - m2) * key.qinv) % key.p;
+  if (h.is_negative()) h += key.p;
+  return m2 + h * key.q;
+}
+
+std::vector<std::uint8_t> encrypt(const RsaPublicKey& key,
+                                  std::span<const std::uint8_t> message,
+                                  bn::RandomSource& rng) {
+  const std::size_t k = modulus_bytes(key);
+  if (message.size() + 11 > k) throw std::invalid_argument("message too long");
+
+  // EM = 0x00 || 0x02 || PS (nonzero random) || 0x00 || M
+  std::vector<std::uint8_t> em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.push_back(0x02);
+  const std::size_t pad_len = k - message.size() - 3;
+  for (std::size_t i = 0; i < pad_len; ++i) {
+    std::uint8_t b = 0;
+    do {
+      rng.fill(std::span(&b, 1));
+    } while (b == 0);
+    em.push_back(b);
+  }
+  em.push_back(0x00);
+  em.insert(em.end(), message.begin(), message.end());
+
+  const BigInt c = public_op(key, BigInt::from_bytes(em));
+  return to_fixed_bytes(c, k);
+}
+
+std::vector<std::uint8_t> decrypt(const RsaPrivateKey& key,
+                                  std::span<const std::uint8_t> ciphertext) {
+  const std::size_t k = modulus_bytes(key.pub);
+  const BigInt m = private_op(key, BigInt::from_bytes(ciphertext));
+  const std::vector<std::uint8_t> em = to_fixed_bytes(m, k);
+  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02)
+    throw std::runtime_error("bad PKCS#1 padding");
+  std::size_t sep = 2;
+  while (sep < em.size() && em[sep] != 0x00) ++sep;
+  if (sep == em.size() || sep < 10) throw std::runtime_error("bad PKCS#1 padding");
+  return {em.begin() + static_cast<std::ptrdiff_t>(sep) + 1, em.end()};
+}
+
+namespace {
+
+/// Digest length that fits a k-byte PKCS#1 type-1 block. Small simulation
+/// keys (256-bit) cannot carry a full SHA-256 digest, so the digest is
+/// truncated to the block capacity — the signature stays collision-bound by
+/// the truncated hash, which is all the simulated certificates need.
+std::size_t fitted_digest_len(std::size_t k) {
+  constexpr std::size_t kOverhead = 11;
+  if (k <= kOverhead + 4) throw std::invalid_argument("modulus too small");
+  return std::min<std::size_t>(crypto::Sha256::kDigestSize, k - kOverhead);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> sign(const RsaPrivateKey& key,
+                               std::span<const std::uint8_t> message) {
+  const std::size_t k = modulus_bytes(key.pub);
+  const auto digest = crypto::Sha256::hash(message);
+  const std::size_t hlen = fitted_digest_len(k);
+
+  // EM = 0x00 || 0x01 || 0xFF... || 0x00 || H (possibly truncated)
+  std::vector<std::uint8_t> em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), k - hlen - 3, 0xff);
+  em.push_back(0x00);
+  em.insert(em.end(), digest.begin(),
+            digest.begin() + static_cast<std::ptrdiff_t>(hlen));
+
+  const BigInt s = private_op(key, BigInt::from_bytes(em));
+  return to_fixed_bytes(s, k);
+}
+
+bool verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+            std::span<const std::uint8_t> signature) {
+  const std::size_t k = modulus_bytes(key);
+  if (signature.size() != k) return false;
+  BigInt s = BigInt::from_bytes(signature);
+  if (s >= key.n) return false;
+  const std::vector<std::uint8_t> em = to_fixed_bytes(public_op(key, s), k);
+
+  const auto digest = crypto::Sha256::hash(message);
+  const std::size_t hlen = fitted_digest_len(k);
+  if (em.size() < hlen + 11) return false;
+  if (em[0] != 0x00 || em[1] != 0x01) return false;
+  const std::size_t pad_end = em.size() - hlen - 1;
+  for (std::size_t i = 2; i < pad_end; ++i) {
+    if (em[i] != 0xff) return false;
+  }
+  if (em[pad_end] != 0x00) return false;
+  return std::equal(digest.begin(),
+                    digest.begin() + static_cast<std::ptrdiff_t>(hlen),
+                    em.begin() + static_cast<std::ptrdiff_t>(pad_end) + 1);
+}
+
+}  // namespace weakkeys::rsa

@@ -1,0 +1,41 @@
+// RSA primitives and PKCS#1 v1.5-style padding.
+//
+// The study's threat model (Section 2.1) is that a factored certificate key
+// lets an attacker passively decrypt RSA key exchange or impersonate the
+// server; these primitives exist so the examples can demonstrate that attack
+// end-to-end on a recovered private key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bn/bigint.hpp"
+#include "rsa/key.hpp"
+
+namespace weakkeys::rsa {
+
+/// m^e mod n. Requires 0 <= m < n.
+bn::BigInt public_op(const RsaPublicKey& key, const bn::BigInt& m);
+
+/// c^d mod n via CRT (uses p, q, dp, dq, qinv). Requires 0 <= c < n.
+bn::BigInt private_op(const RsaPrivateKey& key, const bn::BigInt& c);
+
+/// PKCS#1 v1.5 type-2 encryption of `message` (must leave >= 11 bytes of
+/// padding room). Nonzero pad bytes come from `rng`.
+std::vector<std::uint8_t> encrypt(const RsaPublicKey& key,
+                                  std::span<const std::uint8_t> message,
+                                  bn::RandomSource& rng);
+
+/// Inverse of encrypt(). Throws std::runtime_error on bad padding.
+std::vector<std::uint8_t> decrypt(const RsaPrivateKey& key,
+                                  std::span<const std::uint8_t> ciphertext);
+
+/// PKCS#1 v1.5 type-1 signature over SHA-256(message).
+std::vector<std::uint8_t> sign(const RsaPrivateKey& key,
+                               std::span<const std::uint8_t> message);
+
+/// Verifies a sign() signature.
+bool verify(const RsaPublicKey& key, std::span<const std::uint8_t> message,
+            std::span<const std::uint8_t> signature);
+
+}  // namespace weakkeys::rsa

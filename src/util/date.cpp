@@ -1,0 +1,118 @@
+#include "util/date.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace weakkeys::util {
+
+namespace {
+
+// Howard Hinnant's days_from_civil / civil_from_days algorithms.
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);            // [0,399]
+  const unsigned doy = (153u * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;       // [0,146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+struct Civil {
+  int year;
+  int month;
+  int day;
+};
+
+Civil civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(z - era * 146097);          // [0,146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);      // [0,365]
+  const unsigned mp = (5 * doy + 2) / 153;                           // [0,11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                   // [1,31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                        // [1,12]
+  return Civil{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+               static_cast<int>(d)};
+}
+
+}  // namespace
+
+bool Date::is_leap_year(int year) {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+int Date::days_in_month(int year, int month) {
+  static constexpr int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) throw std::invalid_argument("bad month");
+  if (month == 2 && is_leap_year(year)) return 29;
+  return kDays[month - 1];
+}
+
+Date::Date(int year, int month, int day)
+    : year_(static_cast<std::int16_t>(year)),
+      month_(static_cast<std::int8_t>(month)),
+      day_(static_cast<std::int8_t>(day)) {
+  if (year < -9999 || year > 9999) throw std::invalid_argument("year out of range");
+  if (month < 1 || month > 12) throw std::invalid_argument("bad month");
+  if (day < 1 || day > days_in_month(year, month))
+    throw std::invalid_argument("bad day of month");
+}
+
+std::int64_t Date::days_since_epoch() const {
+  return days_from_civil(year_, month_, day_);
+}
+
+Date Date::from_days_since_epoch(std::int64_t days) {
+  const Civil c = civil_from_days(days);
+  return Date(c.year, c.month, c.day);
+}
+
+Date Date::month_start() const { return Date(year_, month_, 1); }
+
+Date Date::add_months(int n) const {
+  const int idx = month_index() + n;
+  const int y = idx >= 0 ? idx / 12 : (idx - 11) / 12;
+  const int m = idx - y * 12 + 1;
+  const int d = std::min(static_cast<int>(day_), days_in_month(y, m));
+  return Date(y, m, d);
+}
+
+Date Date::add_days(std::int64_t n) const {
+  return from_days_since_epoch(days_since_epoch() + n);
+}
+
+Date Date::parse(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-')
+    throw std::invalid_argument("expected YYYY-MM-DD: " + text);
+  auto parse_int = [&](std::size_t pos, std::size_t len, int& out) {
+    auto [p, ec] = std::from_chars(text.data() + pos, text.data() + pos + len, out);
+    if (ec != std::errc() || p != text.data() + pos + len)
+      throw std::invalid_argument("expected YYYY-MM-DD: " + text);
+  };
+  parse_int(0, 4, y);
+  parse_int(5, 2, m);
+  parse_int(8, 2, d);
+  return Date(y, m, d);
+}
+
+std::string Date::to_string() const {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", static_cast<int>(year_),
+                static_cast<int>(month_), static_cast<int>(day_));
+  return buf;
+}
+
+std::ostream& operator<<(std::ostream& os, const Date& d) {
+  return os << d.to_string();
+}
+
+int months_between(const Date& from, const Date& to) {
+  return to.month_index() - from.month_index();
+}
+
+}  // namespace weakkeys::util

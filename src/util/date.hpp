@@ -1,0 +1,73 @@
+// Civil-calendar date type used to timestamp scan records and series.
+//
+// The study spans July 2010 - May 2016 with monthly resolution, so the type
+// offers both day-level arithmetic (days_from_civil, the proleptic Gregorian
+// algorithm) and month-index arithmetic for building time series.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace weakkeys::util {
+
+/// A calendar date (proleptic Gregorian). Regular value type.
+class Date {
+ public:
+  /// Constructs 1970-01-01.
+  constexpr Date() = default;
+
+  /// Constructs the given civil date. Throws std::invalid_argument if the
+  /// combination is not a real calendar date (e.g. 2015-02-30).
+  Date(int year, int month, int day);
+
+  [[nodiscard]] constexpr int year() const { return year_; }
+  [[nodiscard]] constexpr int month() const { return month_; }
+  [[nodiscard]] constexpr int day() const { return day_; }
+
+  /// Days since the civil epoch 1970-01-01 (negative before it).
+  [[nodiscard]] std::int64_t days_since_epoch() const;
+
+  /// Months since January of year 0; useful as a dense series index.
+  [[nodiscard]] constexpr int month_index() const {
+    return year_ * 12 + (month_ - 1);
+  }
+
+  /// First day of this date's month.
+  [[nodiscard]] Date month_start() const;
+
+  /// This date shifted by n months (day clamped to the target month length).
+  [[nodiscard]] Date add_months(int n) const;
+
+  /// This date shifted by n days.
+  [[nodiscard]] Date add_days(std::int64_t n) const;
+
+  /// Parses "YYYY-MM-DD". Throws std::invalid_argument on malformed input.
+  static Date parse(const std::string& text);
+
+  /// Builds a date from a days_since_epoch() value.
+  static Date from_days_since_epoch(std::int64_t days);
+
+  /// Number of days in the given month of the given year.
+  static int days_in_month(int year, int month);
+
+  static bool is_leap_year(int year);
+
+  /// "YYYY-MM-DD".
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Date&, const Date&) = default;
+
+ private:
+  std::int16_t year_ = 1970;
+  std::int8_t month_ = 1;
+  std::int8_t day_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Date& d);
+
+/// Whole months from `from` to `to` by calendar month (ignores day-of-month).
+int months_between(const Date& from, const Date& to);
+
+}  // namespace weakkeys::util

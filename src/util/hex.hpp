@@ -1,0 +1,18 @@
+// Hex encoding/decoding for byte buffers (certificate fingerprints, key dumps).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace weakkeys::util {
+
+/// Lowercase hex encoding of `bytes`.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+/// Decodes a hex string (case-insensitive, even length). Throws
+/// std::invalid_argument on malformed input.
+std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+}  // namespace weakkeys::util

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/chains.hpp"
+#include "analysis/csv.hpp"
+#include "analysis/lifetimes.hpp"
+#include "analysis/events.hpp"
+#include "analysis/report.hpp"
+#include "analysis/timeseries.hpp"
+#include "analysis/transitions.hpp"
+
+namespace weakkeys::analysis {
+namespace {
+
+using bn::BigInt;
+using netsim::HostRecord;
+using netsim::Ipv4;
+using netsim::Protocol;
+using netsim::ScanDataset;
+using netsim::ScanSnapshot;
+using util::Date;
+
+netsim::CertHandle make_cert(const std::string& vendor, std::uint64_t modulus,
+                             const std::string& issuer_cn = "") {
+  auto c = std::make_shared<cert::Certificate>();
+  c->subject.add("CN", "host");
+  c->subject.add("O", vendor);
+  if (issuer_cn.empty()) {
+    c->issuer = c->subject;
+  } else {
+    c->issuer.add("CN", issuer_cn);
+  }
+  c->key.n = BigInt(modulus);
+  c->key.e = BigInt(65537);
+  return c;
+}
+
+HostRecord record(const Date& date, std::uint32_t ip, netsim::CertHandle cert) {
+  return HostRecord{date, "Test", Ipv4(ip), Protocol::kHttps, std::move(cert),
+                    ""};
+}
+
+RecordLabeler org_labeler() {
+  return [](const HostRecord& rec)
+             -> std::optional<fingerprint::VendorLabel> {
+    const std::string org = rec.cert().subject.get("O");
+    if (org.empty()) return std::nullopt;
+    return fingerprint::VendorLabel{org, "", "subject"};
+  };
+}
+
+/// Three monthly snapshots; vendor "V" has 3, 4, then 2 hosts; modulus 1001
+/// is vulnerable and appears on one host throughout.
+ScanDataset sample_dataset() {
+  ScanDataset ds;
+  const auto vuln = make_cert("V", 1001);
+  const auto clean1 = make_cert("V", 2001);
+  const auto clean2 = make_cert("V", 2003);
+  const auto clean3 = make_cert("V", 2005);
+  const auto other = make_cert("W", 3001);
+
+  ScanSnapshot s1{Date(2014, 1, 15), "Test", Protocol::kHttps, {}};
+  s1.records = {record(s1.date, 1, vuln), record(s1.date, 2, clean1),
+                record(s1.date, 3, clean2), record(s1.date, 9, other)};
+  ScanSnapshot s2{Date(2014, 2, 15), "Test", Protocol::kHttps, {}};
+  s2.records = {record(s2.date, 1, vuln), record(s2.date, 2, clean1),
+                record(s2.date, 3, clean2), record(s2.date, 4, clean3)};
+  ScanSnapshot s3{Date(2014, 6, 15), "Test", Protocol::kHttps, {}};
+  s3.records = {record(s3.date, 1, vuln), record(s3.date, 2, clean1)};
+  ds.snapshots = {s1, s2, s3};
+  return ds;
+}
+
+VulnerableSet vulnerable_1001() {
+  VulnerableSet v;
+  v.insert(BigInt(1001));
+  return v;
+}
+
+// --------------------------------------------------------- TimeSeries ----
+
+TEST(TimeSeries, VendorCountsPerSnapshot) {
+  const ScanDataset ds = sample_dataset();
+  const VulnerableSet vuln = vulnerable_1001();
+  const TimeSeriesBuilder builder(ds, vuln, org_labeler());
+  const VendorSeries series = builder.vendor_series("V");
+  ASSERT_EQ(series.points.size(), 3u);
+  EXPECT_EQ(series.points[0].total_hosts, 3u);
+  EXPECT_EQ(series.points[1].total_hosts, 4u);
+  EXPECT_EQ(series.points[2].total_hosts, 2u);
+  for (const auto& p : series.points) EXPECT_EQ(p.vulnerable_hosts, 1u);
+  EXPECT_EQ(series.peak_total(), 4u);
+  EXPECT_EQ(series.peak_vulnerable(), 1u);
+}
+
+TEST(TimeSeries, OverallIncludesUnlabeled) {
+  const ScanDataset ds = sample_dataset();
+  const VulnerableSet vuln = vulnerable_1001();
+  const TimeSeriesBuilder builder(ds, vuln, org_labeler());
+  const VendorSeries series = builder.overall_series();
+  EXPECT_EQ(series.points[0].total_hosts, 4u);  // includes vendor W
+}
+
+TEST(TimeSeries, VendorsRankedByVulnerability) {
+  const ScanDataset ds = sample_dataset();
+  const VulnerableSet vuln = vulnerable_1001();
+  const TimeSeriesBuilder builder(ds, vuln, org_labeler());
+  const auto vendors = builder.vendors();
+  ASSERT_EQ(vendors.size(), 2u);
+  EXPECT_EQ(vendors[0], "V");  // vulnerable hits rank first
+}
+
+TEST(TimeSeries, AtOrBefore) {
+  const ScanDataset ds = sample_dataset();
+  const VulnerableSet vuln = vulnerable_1001();
+  const VendorSeries s =
+      TimeSeriesBuilder(ds, vuln, org_labeler()).vendor_series("V");
+  EXPECT_EQ(s.at_or_before(Date(2014, 3, 1))->date, Date(2014, 2, 15));
+  EXPECT_EQ(s.at_or_before(Date(2014, 1, 15))->date, Date(2014, 1, 15));
+  EXPECT_EQ(s.at_or_before(Date(2013, 12, 31)), nullptr);
+}
+
+// ------------------------------------------------------------- chains ----
+
+TEST(Chains, DropsIntermediateAtSameIp) {
+  ScanSnapshot snap{Date(2014, 1, 15), "Rapid7", Protocol::kHttps, {}};
+  const auto ca = make_cert("CA Org", 5001);        // self-signed CA
+  auto ca_subject_cn = ca->subject.to_string();
+  auto leaf = std::make_shared<cert::Certificate>();
+  leaf->subject.add("CN", "www.example.com");
+  leaf->issuer = ca->subject;  // issued by the CA
+  leaf->key.n = BigInt(7001);
+  leaf->key.e = BigInt(65537);
+
+  snap.records = {record(snap.date, 1, leaf), record(snap.date, 1, ca),
+                  record(snap.date, 2, make_cert("V", 1001))};
+  const ScanSnapshot filtered = exclude_intermediates(snap);
+  ASSERT_EQ(filtered.records.size(), 2u);
+  for (const auto& rec : filtered.records) {
+    EXPECT_NE(rec.cert().key.n, BigInt(5001));
+  }
+}
+
+TEST(Chains, KeepsCaCertAtUnrelatedIp) {
+  ScanSnapshot snap{Date(2014, 1, 15), "Rapid7", Protocol::kHttps, {}};
+  const auto ca = make_cert("CA Org", 5001);
+  auto leaf = std::make_shared<cert::Certificate>();
+  leaf->subject.add("CN", "www.example.com");
+  leaf->issuer = ca->subject;
+  leaf->key.n = BigInt(7001);
+  leaf->key.e = BigInt(65537);
+  // CA appears at a *different* IP: no chain there, keep it.
+  snap.records = {record(snap.date, 1, leaf), record(snap.date, 2, ca)};
+  EXPECT_EQ(exclude_intermediates(snap).records.size(), 2u);
+}
+
+// -------------------------------------------------------- transitions ----
+
+TEST(Transitions, CountsDirectionalSwitches) {
+  ScanDataset ds;
+  const auto vuln_cert = make_cert("V", 1001);
+  const auto clean_cert = make_cert("V", 2001);
+  // ip 1: vulnerable -> clean. ip 2: clean -> vulnerable.
+  // ip 3: vulnerable throughout. ip 4: flaps twice.
+  for (int month = 0; month < 4; ++month) {
+    ScanSnapshot snap{Date(2014, 1 + month, 15), "Test", Protocol::kHttps, {}};
+    snap.records = {
+        record(snap.date, 1, month < 2 ? vuln_cert : clean_cert),
+        record(snap.date, 2, month < 2 ? clean_cert : vuln_cert),
+        record(snap.date, 3, vuln_cert),
+        record(snap.date, 4, month % 2 == 0 ? vuln_cert : clean_cert),
+    };
+    ds.snapshots.push_back(std::move(snap));
+  }
+  const auto counts =
+      count_transitions(ds, "V", vulnerable_1001(), org_labeler());
+  EXPECT_EQ(counts.ips_ever, 4u);
+  EXPECT_EQ(counts.ips_ever_vulnerable, 4u);
+  EXPECT_EQ(counts.vulnerable_to_clean, 1u);
+  EXPECT_EQ(counts.clean_to_vulnerable, 1u);
+  EXPECT_EQ(counts.multiple_switches, 1u);
+}
+
+TEST(Transitions, OtherVendorsExcluded) {
+  const ScanDataset ds = sample_dataset();
+  const auto counts =
+      count_transitions(ds, "W", vulnerable_1001(), org_labeler());
+  EXPECT_EQ(counts.ips_ever, 1u);
+  EXPECT_EQ(counts.ips_ever_vulnerable, 0u);
+}
+
+// ------------------------------------------------------------- events ----
+
+TEST(Events, HeartbleedWindowDelta) {
+  const ScanDataset ds = sample_dataset();
+  const VendorSeries series =
+      TimeSeriesBuilder(ds, vulnerable_1001(), org_labeler()).vendor_series("V");
+  const auto delta = event_window_delta(series, Date(2014, 3, 1), 2);
+  ASSERT_TRUE(delta.has_value());
+  EXPECT_EQ(delta->total_before, 4u);   // 2014-02 snapshot
+  EXPECT_EQ(delta->total_after, 2u);    // 2014-06 snapshot
+  EXPECT_DOUBLE_EQ(delta->total_drop_fraction(), 0.5);
+}
+
+TEST(Events, DeltaRequiresBothSides) {
+  const ScanDataset ds = sample_dataset();
+  const VendorSeries series =
+      TimeSeriesBuilder(ds, vulnerable_1001(), org_labeler()).vendor_series("V");
+  EXPECT_FALSE(event_window_delta(series, Date(2013, 1, 1), 2).has_value());
+  EXPECT_FALSE(event_window_delta(series, Date(2016, 1, 1), 2).has_value());
+}
+
+TEST(Events, EolOnsetFindsPeak) {
+  VendorSeries series;
+  series.vendor = "Cisco";
+  series.model = "RV082";
+  for (int m = 0; m < 10; ++m) {
+    // Peak at month 5.
+    const std::size_t total = static_cast<std::size_t>(100 + 10 * m - (m > 5 ? 25 * (m - 5) : 0));
+    series.points.push_back(
+        {Date(2013, 1 + m, 15), "Test", total, 0});
+  }
+  const auto onset = eol_onset(series, "RV082", Date(2013, 5, 1));
+  EXPECT_EQ(onset.peak_date, Date(2013, 6, 15));
+  EXPECT_EQ(onset.peak_to_eol_months, 1);
+  EXPECT_EQ(onset.peak_total, 150u);
+  EXPECT_EQ(onset.final_total, series.points.back().total_hosts);
+}
+
+// ------------------------------------------------------------- report ----
+
+TEST(Report, TextTableAlignsColumns) {
+  TextTable table({"name", "count"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"beta-long-name", "22"});
+  table.add_rule();
+  table.add_row({"total", "23"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("| alpha"), std::string::npos);
+  EXPECT_NE(out.find("| beta-long-name"), std::string::npos);
+  // All lines equal width.
+  std::size_t width = 0;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    if (width == 0) width = eol - pos;
+    EXPECT_EQ(eol - pos, width);
+    pos = eol + 1;
+  }
+}
+
+TEST(Report, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1441437), "1,441,437");
+  EXPECT_EQ(with_commas(1526222329ULL), "1,526,222,329");
+}
+
+// ---------------------------------------------------------- lifetimes ----
+
+TEST(Lifetimes, TracksFirstLastAndIps) {
+  const ScanDataset ds = sample_dataset();
+  const auto lifetimes = certificate_lifetimes(ds);
+  // 5 distinct certificates in the fixture.
+  ASSERT_EQ(lifetimes.size(), 5u);
+  // The vulnerable cert (ip 1) appears in all three snapshots.
+  const auto vuln_it =
+      std::find_if(lifetimes.begin(), lifetimes.end(),
+                   [](const CertificateLifetime& l) { return l.sightings == 3; });
+  ASSERT_NE(vuln_it, lifetimes.end());
+  EXPECT_EQ(vuln_it->first_seen, Date(2014, 1, 15));
+  EXPECT_EQ(vuln_it->last_seen, Date(2014, 6, 15));
+  EXPECT_EQ(vuln_it->observed_months(), 5);
+  EXPECT_EQ(vuln_it->distinct_ips, 1u);
+}
+
+TEST(Lifetimes, ReplacementClassification) {
+  ScanDataset ds;
+  const auto original = make_cert("V", 1001);
+  // Renewal: same subject string, different key.
+  const auto renewed = make_cert("V", 1003);
+  // Takeover: different subject entirely.
+  const auto stranger = make_cert("W", 7007);
+
+  ScanSnapshot s1{Date(2014, 1, 15), "Test", Protocol::kHttps, {}};
+  s1.records = {record(s1.date, 1, original), record(s1.date, 2, original)};
+  ScanSnapshot s2{Date(2014, 2, 15), "Test", Protocol::kHttps, {}};
+  s2.records = {record(s2.date, 1, renewed), record(s2.date, 2, stranger)};
+  ds.snapshots = {s1, s2};
+
+  const auto replacements = certificate_replacements(ds);
+  ASSERT_EQ(replacements.size(), 2u);
+  const auto summary = summarize_replacements(replacements);
+  EXPECT_EQ(summary.renewals, 1u);
+  EXPECT_EQ(summary.takeovers, 1u);
+  for (const auto& r : replacements) {
+    if (r.ip == 1) EXPECT_EQ(r.kind, ReplacementKind::kRenewal);
+    if (r.ip == 2) EXPECT_EQ(r.kind, ReplacementKind::kTakeover);
+  }
+}
+
+TEST(Lifetimes, StableCertNoReplacement) {
+  const ScanDataset ds = sample_dataset();  // same cert objects re-presented
+  EXPECT_TRUE(certificate_replacements(ds).empty());
+}
+
+// ---------------------------------------------------------------- csv ----
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(Csv, SingleSeriesRows) {
+  const ScanDataset ds = sample_dataset();
+  const VendorSeries series =
+      TimeSeriesBuilder(ds, vulnerable_1001(), org_labeler()).vendor_series("V");
+  std::ostringstream os;
+  write_series_csv(os, series);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("date,source,total_hosts,vulnerable_hosts\n"),
+            std::string::npos);
+  EXPECT_NE(out.find("2014-01-15,Test,3,1\n"), std::string::npos);
+  EXPECT_NE(out.find("2014-02-15,Test,4,1\n"), std::string::npos);
+  EXPECT_NE(out.find("2014-06-15,Test,2,1\n"), std::string::npos);
+}
+
+TEST(Csv, MultiSeriesJoinsAndPadsGaps) {
+  const ScanDataset ds = sample_dataset();
+  const TimeSeriesBuilder builder(ds, vulnerable_1001(), org_labeler());
+  VendorSeries v = builder.vendor_series("V");
+  VendorSeries w = builder.vendor_series("W");
+  w.points.pop_back();  // make W miss the last snapshot
+  w.points.erase(w.points.begin());  // ...and the first
+
+  std::ostringstream os;
+  write_multi_series_csv(os, {v, w});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("V total"), std::string::npos);
+  EXPECT_NE(out.find("W vulnerable"), std::string::npos);
+  // First row: V present, W padded empty.
+  EXPECT_NE(out.find("2014-01-15,Test,3,1,,\n"), std::string::npos);
+  // Middle row: both present.
+  EXPECT_NE(out.find("2014-02-15,Test,4,1,0,0\n"), std::string::npos);
+}
+
+TEST(Report, RenderSeriesIncludesEveryPoint) {
+  const ScanDataset ds = sample_dataset();
+  const VendorSeries series =
+      TimeSeriesBuilder(ds, vulnerable_1001(), org_labeler()).vendor_series("V");
+  const std::string out = render_series(series);
+  EXPECT_NE(out.find("2014-01-15"), std::string::npos);
+  EXPECT_NE(out.find("2014-02-15"), std::string::npos);
+  EXPECT_NE(out.find("2014-06-15"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace weakkeys::analysis

@@ -1,0 +1,121 @@
+// Differential tests: BigInt against GMP as an oracle. GMP is linked by the
+// tests only — the library itself is self-contained.
+#include <gmp.h>
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bn/bigint.hpp"
+#include "util/prng.hpp"
+
+namespace weakkeys::bn {
+namespace {
+
+class Mpz {
+ public:
+  Mpz() { mpz_init(v); }
+  explicit Mpz(const std::string& hex) { mpz_init_set_str(v, hex.c_str(), 16); }
+  ~Mpz() { mpz_clear(v); }
+  Mpz(const Mpz&) = delete;
+  Mpz& operator=(const Mpz&) = delete;
+
+  [[nodiscard]] std::string hex() const {
+    char* s = mpz_get_str(nullptr, 16, v);
+    std::string out = s;
+    free(s);  // NOLINT: GMP allocates with malloc
+    return out;
+  }
+
+  mpz_t v;
+};
+
+class GmpDifferential : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  GmpDifferential() : rng_(GetParam()) { gmp_randinit_default(state_); }
+  ~GmpDifferential() override { gmp_randclear(state_); }
+
+  /// A random value of up to max_bits, materialized on both sides.
+  std::pair<BigInt, std::string> draw(std::size_t max_bits) {
+    Mpz m;
+    mpz_urandomb(m.v, state_, 1 + rng_.below(max_bits));
+    const std::string hex = m.hex();
+    return {BigInt::from_hex(hex), hex};
+  }
+
+  util::Xoshiro256 rng_;
+  gmp_randstate_t state_;
+};
+
+TEST_P(GmpDifferential, MulDivModAgree) {
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto [a, ah] = draw(6000);
+    auto [b, bh] = draw(3000);
+    if (b.is_zero()) b = BigInt(1);
+    Mpz A(ah), B(b.to_hex()), R;
+
+    mpz_mul(R.v, A.v, B.v);
+    EXPECT_EQ((a * b).to_hex(), R.hex());
+
+    Mpz Q, Rem;
+    mpz_tdiv_qr(Q.v, Rem.v, A.v, B.v);
+    const auto dm = BigInt::divmod(a, b);
+    EXPECT_EQ(dm.quotient.to_hex(), Q.hex());
+    EXPECT_EQ(dm.remainder.to_hex(), Rem.hex());
+  }
+}
+
+TEST_P(GmpDifferential, AddSubAgree) {
+  for (int iter = 0; iter < 60; ++iter) {
+    const auto [a, ah] = draw(4000);
+    const auto [b, bh] = draw(4000);
+    Mpz A(ah), B(bh), R;
+    mpz_add(R.v, A.v, B.v);
+    EXPECT_EQ((a + b).to_hex(), R.hex());
+    mpz_sub(R.v, A.v, B.v);
+    std::string expected = R.hex();
+    EXPECT_EQ((a - b).to_hex(), expected);
+  }
+}
+
+TEST_P(GmpDifferential, GcdAgrees) {
+  for (int iter = 0; iter < 40; ++iter) {
+    const auto [a, ah] = draw(2000);
+    const auto [b, bh] = draw(2000);
+    Mpz A(ah), B(bh), R;
+    mpz_gcd(R.v, A.v, B.v);
+    EXPECT_EQ(gcd(a, b).to_hex(), R.hex());
+  }
+}
+
+TEST_P(GmpDifferential, ModPowAgrees) {
+  for (int iter = 0; iter < 15; ++iter) {
+    const auto [a, ah] = draw(400);
+    const auto [e, eh] = draw(200);
+    auto [m, mh] = draw(300);
+    if (m.is_zero()) m = BigInt(7);
+    Mpz A(ah), E(eh), M(m.to_hex()), R;
+    mpz_powm(R.v, A.v, E.v, M.v);
+    EXPECT_EQ(mod_pow(a, e, m).to_hex(), R.hex());
+  }
+}
+
+TEST_P(GmpDifferential, HugeOperandsAgree) {
+  // Forces the Karatsuba and Newton-division paths.
+  const auto [a, ah] = draw(400000);
+  auto [b, bh] = draw(150000);
+  if (b.is_zero()) b = BigInt(1);
+  Mpz A(ah), B(b.to_hex()), R;
+  mpz_mul(R.v, A.v, B.v);
+  EXPECT_EQ((a * b).to_hex(), R.hex());
+  Mpz Q, Rem;
+  mpz_tdiv_qr(Q.v, Rem.v, A.v, B.v);
+  const auto dm = BigInt::divmod(a, b);
+  EXPECT_EQ(dm.quotient.to_hex(), Q.hex());
+  EXPECT_EQ(dm.remainder.to_hex(), Rem.hex());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GmpDifferential,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace weakkeys::bn

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "cert/certificate.hpp"
+#include "cert/distinguished_name.hpp"
+#include "cert/tlv.hpp"
+#include "rng/prng_source.hpp"
+#include "rsa/keygen.hpp"
+
+namespace weakkeys::cert {
+namespace {
+
+rsa::RsaPrivateKey test_key(std::uint64_t seed = 21) {
+  rng::PrngRandomSource rng(seed);
+  rsa::KeygenOptions opts;
+  opts.modulus_bits = 256;
+  opts.miller_rabin_rounds = 8;
+  return rsa::generate_key(rng, opts);
+}
+
+Certificate sample_cert() {
+  DistinguishedName dn;
+  dn.add("CN", "gateway-01");
+  dn.add("O", "Acme Networks");
+  return make_self_signed(dn, {"acme.example", "www.acme.example"},
+                          {util::Date(2012, 1, 1), util::Date(2022, 1, 1)},
+                          test_key(), 777);
+}
+
+// ------------------------------------------------------------- TLV ----
+
+TEST(Tlv, RoundTripsPrimitives) {
+  TlvWriter w;
+  w.put_string(1, "hello");
+  w.put_u64(2, 0xdeadbeefcafef00dULL);
+  w.put_bytes(3, std::vector<std::uint8_t>{0x00, 0xff});
+
+  TlvReader r(w.bytes());
+  EXPECT_EQ(r.peek_tag(), 1);
+  EXPECT_EQ(r.read_string(1), "hello");
+  EXPECT_EQ(r.read_u64(2), 0xdeadbeefcafef00dULL);
+  const auto bytes = r.read_bytes(3);
+  EXPECT_EQ(bytes.size(), 2u);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Tlv, NestedStructures) {
+  TlvWriter inner;
+  inner.put_string(5, "deep");
+  TlvWriter outer;
+  outer.put_nested(4, inner);
+
+  TlvReader r(outer.bytes());
+  TlvReader nested = r.read_nested(4);
+  EXPECT_EQ(nested.read_string(5), "deep");
+  EXPECT_TRUE(nested.at_end());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Tlv, WrongTagThrows) {
+  TlvWriter w;
+  w.put_string(1, "x");
+  TlvReader r(w.bytes());
+  EXPECT_THROW(r.read_string(2), TlvError);
+}
+
+TEST(Tlv, TruncationThrows) {
+  TlvWriter w;
+  w.put_string(1, "a long enough payload");
+  auto buf = w.bytes();
+  buf.resize(buf.size() - 3);
+  TlvReader r(buf);
+  EXPECT_THROW(r.read_string(1), TlvError);
+  TlvReader empty(std::span<const std::uint8_t>{});
+  EXPECT_THROW((void)empty.peek_tag(), TlvError);
+  EXPECT_THROW(empty.read_u64(1), TlvError);
+}
+
+TEST(Tlv, U64LengthValidated) {
+  TlvWriter w;
+  w.put_bytes(1, std::vector<std::uint8_t>{1, 2, 3});  // not 8 bytes
+  TlvReader r(w.bytes());
+  EXPECT_THROW(r.read_u64(1), TlvError);
+}
+
+// ----------------------------------------------- DistinguishedName ----
+
+TEST(DistinguishedName, GetAndHas) {
+  DistinguishedName dn;
+  dn.add("CN", "host");
+  dn.add("O", "Org");
+  dn.add("OU", "Unit");
+  EXPECT_EQ(dn.get("CN"), "host");
+  EXPECT_EQ(dn.get("O"), "Org");
+  EXPECT_EQ(dn.get("missing"), "");
+  EXPECT_TRUE(dn.has("OU"));
+  EXPECT_FALSE(dn.has("ou"));  // case-sensitive
+}
+
+TEST(DistinguishedName, ToStringAndParse) {
+  DistinguishedName dn;
+  dn.add("CN", "system generated");
+  dn.add("O", "Juniper");
+  const std::string text = dn.to_string();
+  EXPECT_EQ(text, "CN=system generated, O=Juniper");
+  EXPECT_EQ(DistinguishedName::parse(text), dn);
+  EXPECT_EQ(DistinguishedName::parse(""), DistinguishedName());
+  EXPECT_THROW(DistinguishedName::parse("no-equals-sign"),
+               std::invalid_argument);
+}
+
+TEST(DistinguishedName, FirstValueWinsOnDuplicates) {
+  DistinguishedName dn;
+  dn.add("CN", "first");
+  dn.add("CN", "second");
+  EXPECT_EQ(dn.get("CN"), "first");
+}
+
+// --------------------------------------------------------- Certificate ----
+
+TEST(Certificate, EncodeDecodeRoundTrip) {
+  const Certificate original = sample_cert();
+  const Certificate decoded = Certificate::decode(original.encode());
+  EXPECT_EQ(decoded, original);
+  EXPECT_EQ(decoded.fingerprint_hex(), original.fingerprint_hex());
+}
+
+TEST(Certificate, SelfSignedVerifies) {
+  const Certificate cert = sample_cert();
+  EXPECT_TRUE(cert.is_self_signed());
+  EXPECT_TRUE(cert.verify_signature(cert.key));
+}
+
+TEST(Certificate, IssuedCertificateVerifiesAgainstIssuerOnly) {
+  const auto ca_key = test_key(31);
+  DistinguishedName ca_dn;
+  ca_dn.add("CN", "Intermediate CA 1");
+  const auto leaf_key = test_key(32);
+  DistinguishedName leaf_dn;
+  leaf_dn.add("CN", "www.example.com");
+
+  const Certificate leaf = make_issued(
+      leaf_dn, {}, {util::Date(2013, 1, 1), util::Date(2015, 1, 1)},
+      leaf_key.pub, ca_dn, ca_key, 9);
+  EXPECT_FALSE(leaf.is_self_signed());
+  EXPECT_TRUE(leaf.verify_signature(ca_key.pub));
+  EXPECT_FALSE(leaf.verify_signature(leaf.key));
+}
+
+TEST(Certificate, ValidityWindow) {
+  const Certificate cert = sample_cert();
+  EXPECT_TRUE(cert.validity.contains(util::Date(2014, 4, 8)));
+  EXPECT_FALSE(cert.validity.contains(util::Date(2011, 12, 31)));
+  EXPECT_FALSE(cert.validity.contains(util::Date(2022, 1, 2)));
+}
+
+TEST(Certificate, FingerprintSensitiveToContent) {
+  const Certificate a = sample_cert();
+  Certificate b = a;
+  b.serial += 1;
+  EXPECT_NE(a.fingerprint_hex(), b.fingerprint_hex());
+}
+
+TEST(Certificate, BitFlipChangesExactlyOneBit) {
+  const Certificate original = sample_cert();
+  for (std::size_t bit : {0u, 1u, 100u, 255u}) {
+    const Certificate flipped = original.with_modulus_bit_flipped(bit);
+    EXPECT_NE(flipped.key.n, original.key.n);
+    // XOR distance is exactly one bit: flipping back restores the modulus.
+    EXPECT_EQ(flipped.with_modulus_bit_flipped(bit).key.n, original.key.n);
+    // Signature untouched and therefore now invalid.
+    EXPECT_EQ(flipped.signature, original.signature);
+    EXPECT_FALSE(flipped.verify_signature(flipped.key));
+  }
+}
+
+TEST(Certificate, DecodeRejectsGarbage) {
+  const std::vector<std::uint8_t> junk = {0x01, 0x02, 0x03};
+  EXPECT_THROW(Certificate::decode(junk), TlvError);
+}
+
+}  // namespace
+}  // namespace weakkeys::cert

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "dsa/dsa.hpp"
+#include "dsa/nonce_attack.hpp"
+#include "rng/prng_source.hpp"
+#include "rng/urandom.hpp"
+
+namespace weakkeys::dsa {
+namespace {
+
+using bn::BigInt;
+
+/// Shared small domain parameters (generation is the slow part).
+const DsaParams& test_params() {
+  static const DsaParams params = [] {
+    rng::PrngRandomSource rng(77);
+    return generate_params(rng, 512, 160);
+  }();
+  return params;
+}
+
+std::vector<std::uint8_t> bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(DsaParams, GeneratedParamsAreValid) {
+  rng::PrngRandomSource rng(1);
+  const DsaParams& params = test_params();
+  EXPECT_EQ(params.p.bit_length(), 512u);
+  EXPECT_EQ(params.q.bit_length(), 160u);
+  EXPECT_TRUE(params.is_valid(rng));
+}
+
+TEST(DsaParams, InvalidCombinationsRejected) {
+  rng::PrngRandomSource rng(2);
+  EXPECT_THROW(generate_params(rng, 160, 160), std::invalid_argument);
+
+  DsaParams broken = test_params();
+  broken.g = BigInt(1);
+  EXPECT_FALSE(broken.is_valid(rng));
+  broken = test_params();
+  broken.q += BigInt(2);
+  EXPECT_FALSE(broken.is_valid(rng));
+}
+
+TEST(Dsa, SignVerifyRoundTrip) {
+  rng::PrngRandomSource rng(3);
+  const DsaPrivateKey key = generate_key(test_params(), rng);
+  const auto message = bytes("the quick brown fox");
+  const DsaSignature sig = sign(key, message, rng);
+  EXPECT_TRUE(verify(key.pub, message, sig));
+}
+
+TEST(Dsa, TamperedMessageFails) {
+  rng::PrngRandomSource rng(4);
+  const DsaPrivateKey key = generate_key(test_params(), rng);
+  const DsaSignature sig = sign(key, bytes("original"), rng);
+  EXPECT_FALSE(verify(key.pub, bytes("tampered"), sig));
+}
+
+TEST(Dsa, TamperedSignatureFails) {
+  rng::PrngRandomSource rng(5);
+  const DsaPrivateKey key = generate_key(test_params(), rng);
+  const auto message = bytes("message");
+  DsaSignature sig = sign(key, message, rng);
+  sig.s += BigInt(1);
+  EXPECT_FALSE(verify(key.pub, message, sig));
+  sig = sign(key, message, rng);
+  sig.r = BigInt(0);  // out-of-range components rejected outright
+  EXPECT_FALSE(verify(key.pub, message, sig));
+}
+
+TEST(Dsa, WrongKeyFails) {
+  rng::PrngRandomSource rng(6);
+  const DsaPrivateKey alice = generate_key(test_params(), rng);
+  const DsaPrivateKey bob = generate_key(test_params(), rng);
+  const auto message = bytes("hello");
+  EXPECT_FALSE(verify(bob.pub, message, sign(alice, message, rng)));
+}
+
+TEST(Dsa, FreshNoncesGiveDistinctR) {
+  rng::PrngRandomSource rng(7);
+  const DsaPrivateKey key = generate_key(test_params(), rng);
+  const DsaSignature a = sign(key, bytes("one"), rng);
+  const DsaSignature b = sign(key, bytes("two"), rng);
+  EXPECT_NE(a.r, b.r);
+}
+
+TEST(NonceAttack, RecoversKeyFromReusedNonce) {
+  rng::PrngRandomSource rng(8);
+  const DsaPrivateKey key = generate_key(test_params(), rng);
+
+  // Two signatures with the same nonce stream state: identical k.
+  rng::PrngRandomSource nonce_a(99), nonce_b(99);
+  const ObservedSignature sig1{bytes("message one"),
+                               sign(key, bytes("message one"), nonce_a)};
+  const ObservedSignature sig2{bytes("message two"),
+                               sign(key, bytes("message two"), nonce_b)};
+  ASSERT_EQ(sig1.signature.r, sig2.signature.r);
+
+  const auto recovered = recover_private_key(test_params(), sig1, sig2);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(*recovered, key.x);
+}
+
+TEST(NonceAttack, DistinctNoncesNotRecoverable) {
+  rng::PrngRandomSource rng(9);
+  const DsaPrivateKey key = generate_key(test_params(), rng);
+  const ObservedSignature sig1{bytes("a"), sign(key, bytes("a"), rng)};
+  const ObservedSignature sig2{bytes("b"), sign(key, bytes("b"), rng)};
+  EXPECT_FALSE(recover_private_key(test_params(), sig1, sig2).has_value());
+}
+
+TEST(NonceAttack, SameMessageGivesNothing) {
+  rng::PrngRandomSource rng(10);
+  const DsaPrivateKey key = generate_key(test_params(), rng);
+  rng::PrngRandomSource nonce_a(5), nonce_b(5);
+  const ObservedSignature sig1{bytes("same"),
+                               sign(key, bytes("same"), nonce_a)};
+  const ObservedSignature sig2{bytes("same"),
+                               sign(key, bytes("same"), nonce_b)};
+  EXPECT_FALSE(recover_private_key(test_params(), sig1, sig2).has_value());
+}
+
+// The full scenario: a device with the boot-time entropy hole reboots,
+// landing in the same pool state, and signs different messages with the
+// same nonce. A transcript scan recovers its key.
+TEST(NonceAttack, FlawedDeviceTranscriptScan) {
+  rng::PrngRandomSource rng(11);
+  const DsaPrivateKey key = generate_key(test_params(), rng);
+
+  const rng::RngFlawModel flaw{.boot_entropy_bits = 2,
+                               .divergence_entropy_bits = -1};
+  std::vector<ObservedSignature> transcript;
+  // A couple of sound signatures...
+  transcript.push_back({bytes("boot banner"), sign(key, bytes("boot banner"), rng)});
+  // ...then two boots colliding into pool state 1.
+  {
+    rng::SimulatedUrandom boot1("switch-fw", flaw, 1, 0);
+    transcript.push_back(
+        {bytes("syslog tick 17"), sign(key, bytes("syslog tick 17"), boot1)});
+  }
+  {
+    rng::SimulatedUrandom boot2("switch-fw", flaw, 1, 0);
+    transcript.push_back(
+        {bytes("syslog tick 42"), sign(key, bytes("syslog tick 42"), boot2)});
+  }
+
+  const auto hits = scan_for_nonce_reuse(test_params(), transcript, &key.pub);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].private_key, key.x);
+  EXPECT_EQ(hits[0].first_index, 1u);
+  EXPECT_EQ(hits[0].second_index, 2u);
+}
+
+TEST(NonceAttack, ScanIgnoresKeysFailingVerification) {
+  rng::PrngRandomSource rng(12);
+  const DsaPrivateKey key = generate_key(test_params(), rng);
+  const DsaPrivateKey other = generate_key(test_params(), rng);
+
+  rng::PrngRandomSource nonce_a(31), nonce_b(31);
+  std::vector<ObservedSignature> transcript = {
+      {bytes("m1"), sign(key, bytes("m1"), nonce_a)},
+      {bytes("m2"), sign(key, bytes("m2"), nonce_b)},
+  };
+  // Verifying against the *wrong* public key filters the hit out.
+  EXPECT_TRUE(scan_for_nonce_reuse(test_params(), transcript, &other.pub).empty());
+  EXPECT_EQ(scan_for_nonce_reuse(test_params(), transcript, &key.pub).size(), 1u);
+}
+
+}  // namespace
+}  // namespace weakkeys::dsa

@@ -1,0 +1,190 @@
+// Failure-injection and randomized property tests across module boundaries.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "batchgcd/distributed.hpp"
+#include "cert/certificate.hpp"
+#include "core/scan_store.hpp"
+#include "netsim/catalog.hpp"
+#include "netsim/internet.hpp"
+#include "rng/prng_source.hpp"
+#include "rsa/keygen.hpp"
+#include "util/prng.hpp"
+
+namespace weakkeys {
+namespace {
+
+// ------------------------------------------------- scan store truncation ----
+
+class StoreTruncation : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = "truncation_test.tmp";
+};
+
+TEST_P(StoreTruncation, TruncatedFilesNeverCrash) {
+  // Build one small dataset, save it, then chop the file at a fraction of
+  // its length. Loading must return nullopt (or, only for the full file, the
+  // dataset) — never throw, never crash.
+  netsim::SimConfig sim;
+  sim.seed = 11;
+  sim.miller_rabin_rounds = 4;
+  netsim::Internet net(netsim::standard_models(0.002), sim);
+  const auto dataset = net.run(netsim::standard_campaigns());
+  const core::StoreKey key{11, 2000, 4, 1};
+  core::save_dataset(dataset, key, path_);
+
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  const int percent = GetParam();
+  const std::size_t keep = bytes.size() * static_cast<std::size_t>(percent) / 100;
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(keep));
+  }
+
+  const auto loaded = core::load_dataset(key, path_);
+  if (percent == 100) {
+    EXPECT_TRUE(loaded.has_value());
+  } else {
+    EXPECT_FALSE(loaded.has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CutPoints, StoreTruncation,
+                         ::testing::Values(0, 1, 5, 25, 50, 75, 95, 99, 100));
+
+// ------------------------------------------------- certificate fuzzing ----
+
+TEST(CertificateFuzz, CorruptedEncodingsThrowOrParse) {
+  rng::PrngRandomSource key_rng(7);
+  rsa::KeygenOptions opts;
+  opts.modulus_bits = 256;
+  opts.miller_rabin_rounds = 6;
+  const auto key = rsa::generate_key(key_rng, opts);
+  cert::DistinguishedName dn;
+  dn.add("CN", "fuzz-target");
+  dn.add("O", "Fuzz Org");
+  const cert::Certificate original = cert::make_self_signed(
+      dn, {"a.example"}, {util::Date(2012, 1, 1), util::Date(2020, 1, 1)},
+      key, 42);
+  const auto encoded = original.encode();
+
+  util::Xoshiro256 rng(99);
+  int parsed = 0, rejected = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    auto corrupted = encoded;
+    // 1-4 random byte mutations.
+    const int mutations = 1 + static_cast<int>(rng.below(4));
+    for (int m = 0; m < mutations; ++m) {
+      corrupted[rng.below(corrupted.size())] ^=
+          static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    try {
+      const auto decoded = cert::Certificate::decode(corrupted);
+      ++parsed;  // structurally valid mutation (e.g. flipped key byte)
+      (void)decoded.fingerprint_hex();
+    } catch (const std::exception&) {
+      ++rejected;  // malformed: must be a clean failure, not UB
+    }
+  }
+  EXPECT_EQ(parsed + rejected, 400);
+  EXPECT_GT(rejected, 0);  // some mutations must break framing
+  EXPECT_GT(parsed, 0);    // and some must survive (payload-only flips)
+}
+
+TEST(CertificateFuzz, TruncatedEncodingsRejected) {
+  rng::PrngRandomSource key_rng(8);
+  rsa::KeygenOptions opts;
+  opts.modulus_bits = 256;
+  opts.miller_rabin_rounds = 6;
+  const auto key = rsa::generate_key(key_rng, opts);
+  cert::DistinguishedName dn;
+  dn.add("CN", "x");
+  const cert::Certificate original = cert::make_self_signed(
+      dn, {}, {util::Date(2012, 1, 1), util::Date(2020, 1, 1)}, key, 1);
+  const auto encoded = original.encode();
+  for (std::size_t keep = 0; keep < encoded.size(); keep += 7) {
+    const std::vector<std::uint8_t> cut(encoded.begin(),
+                                        encoded.begin() + static_cast<std::ptrdiff_t>(keep));
+    EXPECT_THROW((void)cert::Certificate::decode(cut), cert::TlvError)
+        << "kept " << keep;
+  }
+}
+
+// --------------------------------------- randomized batch-GCD agreement ----
+
+class BatchGcdRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BatchGcdRandomized, AllAlgorithmsAgreeOnRandomStructure) {
+  util::Xoshiro256 structure(GetParam());
+  rng::PrngRandomSource rng(GetParam() * 7 + 1);
+  rsa::KeygenOptions opts;
+  opts.modulus_bits = 128;
+  opts.style = rsa::PrimeStyle::kPlain;
+  opts.sieve_primes = 128;
+  opts.miller_rabin_rounds = 5;
+
+  // Random mixture: healthy keys, shared-prime clusters of random width,
+  // occasional duplicates.
+  std::vector<bn::BigInt> moduli;
+  while (moduli.size() < 70) {
+    const double roll = structure.uniform();
+    if (roll < 0.6) {
+      moduli.push_back(rsa::generate_key(rng, opts).pub.n);
+    } else if (roll < 0.9) {
+      const bn::BigInt shared = rsa::generate_prime(rng, 64, opts);
+      const std::size_t width = 2 + structure.below(4);
+      for (std::size_t i = 0; i < width; ++i) {
+        moduli.push_back(shared * rsa::generate_prime(rng, 64, opts));
+      }
+    } else {
+      const bn::BigInt dup = rsa::generate_key(rng, opts).pub.n;
+      moduli.push_back(dup);
+      moduli.push_back(dup);
+    }
+  }
+
+  const auto reference = batchgcd::naive_pairwise_gcd(moduli);
+  EXPECT_EQ(batchgcd::batch_gcd(moduli).divisors, reference.divisors);
+  const std::size_t k = 1 + structure.below(9);
+  EXPECT_EQ(batchgcd::batch_gcd_distributed(moduli, k, nullptr).divisors,
+            reference.divisors)
+      << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchGcdRandomized,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ------------------------------------------------------ modular edges ----
+
+TEST(ModularEdges, ModPowDegenerateInputs) {
+  using bn::BigInt;
+  EXPECT_EQ(bn::mod_pow(BigInt(5), BigInt(3), BigInt(1)), BigInt(0));
+  EXPECT_EQ(bn::mod_pow(BigInt(0), BigInt(0), BigInt(7)), BigInt(1));  // 0^0 = 1
+  EXPECT_EQ(bn::mod_pow(BigInt(-3), BigInt(2), BigInt(7)), BigInt(2));
+  // (-3 mod 7) = 4; 4^3 = 64 = 1 (mod 7).
+  EXPECT_EQ(bn::mod_pow(BigInt(-3), BigInt(3), BigInt(7)), BigInt(1));
+  EXPECT_THROW(bn::mod_pow(BigInt(2), BigInt(-1), BigInt(7)), std::domain_error);
+  EXPECT_THROW(bn::mod_pow(BigInt(2), BigInt(3), BigInt(0)), std::domain_error);
+  EXPECT_THROW(bn::mod_pow(BigInt(2), BigInt(3), BigInt(-5)), std::domain_error);
+}
+
+TEST(ModularEdges, DivModEqualOperands) {
+  using bn::BigInt;
+  const auto [q, r] = BigInt::divmod(BigInt(17), BigInt(17));
+  EXPECT_EQ(q, BigInt(1));
+  EXPECT_EQ(r, BigInt(0));
+  const auto [q2, r2] = BigInt::divmod(BigInt(16), BigInt(17));
+  EXPECT_EQ(q2, BigInt(0));
+  EXPECT_EQ(r2, BigInt(16));
+}
+
+}  // namespace
+}  // namespace weakkeys

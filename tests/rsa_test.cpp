@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bn/bigint.hpp"
+#include "fingerprint/openssl_fingerprint.hpp"
+#include "rng/prng_source.hpp"
+#include "rng/urandom.hpp"
+#include "rsa/ibm_nine_primes.hpp"
+#include "rsa/keygen.hpp"
+#include "rsa/pkcs1.hpp"
+
+namespace weakkeys::rsa {
+namespace {
+
+using bn::BigInt;
+using rng::PrngRandomSource;
+
+KeygenOptions small_opts(PrimeStyle style = PrimeStyle::kOpenSsl) {
+  KeygenOptions opts;
+  opts.modulus_bits = 256;
+  opts.style = style;
+  opts.miller_rabin_rounds = 8;
+  return opts;
+}
+
+// ------------------------------------------------------------ keygen ----
+
+TEST(Keygen, ProducesConsistentKey) {
+  PrngRandomSource rng(1);
+  const RsaPrivateKey key = generate_key(rng, small_opts());
+  EXPECT_TRUE(key.is_consistent());
+  EXPECT_EQ(key.pub.n.bit_length(), 256u);
+  EXPECT_EQ(key.pub.e, BigInt(65537));
+  EXPECT_NE(key.p, key.q);
+}
+
+TEST(Keygen, ExactModulusSizeAcrossSizes) {
+  PrngRandomSource rng(2);
+  for (std::size_t bits : {128u, 192u, 256u, 384u, 512u}) {
+    KeygenOptions opts = small_opts();
+    opts.modulus_bits = bits;
+    const RsaPrivateKey key = generate_key(rng, opts);
+    EXPECT_EQ(key.pub.n.bit_length(), bits);
+    EXPECT_TRUE(key.is_consistent());
+  }
+}
+
+TEST(Keygen, DeterministicGivenSameStream) {
+  PrngRandomSource a(7), b(7);
+  const auto ka = generate_key(a, small_opts());
+  const auto kb = generate_key(b, small_opts());
+  EXPECT_EQ(ka.pub.n, kb.pub.n);
+  EXPECT_EQ(ka.p, kb.p);
+}
+
+TEST(Keygen, RejectsBadOptions) {
+  PrngRandomSource rng(1);
+  KeygenOptions opts = small_opts();
+  opts.modulus_bits = 32;
+  EXPECT_THROW(generate_key(rng, opts), std::invalid_argument);
+  opts = small_opts();
+  opts.public_exponent = 4;
+  EXPECT_THROW(generate_key(rng, opts), std::invalid_argument);
+}
+
+TEST(Keygen, PrimesAreProbablePrimes) {
+  PrngRandomSource rng(3);
+  const RsaPrivateKey key = generate_key(rng, small_opts());
+  EXPECT_TRUE(bn::is_probable_prime(key.p, rng, 20));
+  EXPECT_TRUE(bn::is_probable_prime(key.q, rng, 20));
+}
+
+TEST(Keygen, PublicExponentCoprimality) {
+  PrngRandomSource rng(4);
+  const RsaPrivateKey key = generate_key(rng, small_opts());
+  EXPECT_EQ(bn::gcd(key.pub.e, (key.p - BigInt(1)) * (key.q - BigInt(1))),
+            BigInt(1));
+}
+
+TEST(Keygen, BeforePrimeHookFiresTwice) {
+  PrngRandomSource rng(5);
+  std::vector<int> calls;
+  KeygenEvents events;
+  events.before_prime = [&calls](int i) { calls.push_back(i); };
+  (void)generate_key(rng, small_opts(), &events);
+  ASSERT_GE(calls.size(), 2u);
+  EXPECT_EQ(calls[0], 0);
+  EXPECT_EQ(calls[1], 1);
+}
+
+// The load-bearing fingerprint property: OpenSSL-style primes satisfy the
+// Mironov test; plain primes usually do not.
+TEST(Keygen, OpensslStylePrimesSatisfyFingerprint) {
+  PrngRandomSource rng(6);
+  KeygenOptions opts = small_opts(PrimeStyle::kOpenSsl);
+  for (int i = 0; i < 6; ++i) {
+    const BigInt p = generate_prime(rng, 128, opts);
+    EXPECT_TRUE(fingerprint::satisfies_openssl_fingerprint(p));
+  }
+}
+
+TEST(Keygen, PlainPrimesMostlyViolateFingerprint) {
+  PrngRandomSource rng(7);
+  KeygenOptions opts = small_opts(PrimeStyle::kPlain);
+  int satisfying = 0;
+  constexpr int kTrials = 24;
+  for (int i = 0; i < kTrials; ++i) {
+    if (fingerprint::satisfies_openssl_fingerprint(
+            generate_prime(rng, 128, opts))) {
+      ++satisfying;
+    }
+  }
+  // ~7.5% expected; 24 trials all satisfying would be astronomical.
+  EXPECT_LT(satisfying, kTrials / 2);
+}
+
+// The mechanism behind the entire study: boot-state collision + mid-keygen
+// stir => shared first prime, distinct second prime.
+TEST(Keygen, FlawedDevicesShareExactlyOnePrime) {
+  const rng::RngFlawModel flaw{.boot_entropy_bits = 4,
+                               .divergence_entropy_bits = 40};
+  rng::SimulatedUrandom dev_a("acme-1.0", flaw, 9, 111);
+  rng::SimulatedUrandom dev_b("acme-1.0", flaw, 9, 222);
+  KeygenEvents ev_a{[&dev_a](int i) { if (i == 1) dev_a.stir_divergence_event(); }};
+  KeygenEvents ev_b{[&dev_b](int i) { if (i == 1) dev_b.stir_divergence_event(); }};
+
+  const auto ka = generate_key(dev_a, small_opts(), &ev_a);
+  const auto kb = generate_key(dev_b, small_opts(), &ev_b);
+  EXPECT_EQ(ka.p, kb.p);
+  EXPECT_NE(ka.q, kb.q);
+  EXPECT_NE(ka.pub.n, kb.pub.n);
+  EXPECT_EQ(bn::gcd(ka.pub.n, kb.pub.n), ka.p);
+}
+
+TEST(Keygen, NoStirFlawYieldsIdenticalKeys) {
+  const rng::RngFlawModel flaw{.boot_entropy_bits = 4,
+                               .divergence_entropy_bits = -1};
+  rng::SimulatedUrandom dev_a("acme-1.0", flaw, 9, 111);
+  rng::SimulatedUrandom dev_b("acme-1.0", flaw, 9, 222);
+  KeygenEvents ev_a{[&dev_a](int i) { if (i == 1) dev_a.stir_divergence_event(); }};
+  KeygenEvents ev_b{[&dev_b](int i) { if (i == 1) dev_b.stir_divergence_event(); }};
+  const auto ka = generate_key(dev_a, small_opts(), &ev_a);
+  const auto kb = generate_key(dev_b, small_opts(), &ev_b);
+  EXPECT_EQ(ka.pub.n, kb.pub.n);  // default-certificate behaviour
+}
+
+// ------------------------------------------------------------- IBM ----
+
+TEST(IbmNinePrimes, PoolProperties) {
+  const IbmNinePrimeGenerator gen(256, 42);
+  EXPECT_EQ(gen.primes().size(), 9u);
+  const auto moduli = gen.possible_moduli();
+  EXPECT_EQ(moduli.size(), 36u);
+  const std::set<std::string> unique(
+      [&] {
+        std::set<std::string> s;
+        for (const auto& m : moduli) s.insert(m.to_hex());
+        return s;
+      }());
+  EXPECT_EQ(unique.size(), 36u);
+}
+
+TEST(IbmNinePrimes, DeterministicByTag) {
+  const IbmNinePrimeGenerator a(256, 42), b(256, 42), c(256, 43);
+  EXPECT_EQ(a.primes(), b.primes());
+  EXPECT_NE(a.primes(), c.primes());
+}
+
+TEST(IbmNinePrimes, GeneratedKeysStayInClique) {
+  const IbmNinePrimeGenerator gen(256, 42);
+  const auto moduli = gen.possible_moduli();
+  PrngRandomSource rng(8);
+  for (int i = 0; i < 20; ++i) {
+    const RsaPrivateKey key = gen.generate(rng);
+    EXPECT_TRUE(key.is_consistent());
+    EXPECT_TRUE(std::find(moduli.begin(), moduli.end(), key.pub.n) !=
+                moduli.end());
+  }
+}
+
+// ------------------------------------------------------------ pkcs1 ----
+
+class Pkcs1RoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Pkcs1RoundTrip, EncryptDecrypt) {
+  PrngRandomSource rng(11);
+  KeygenOptions opts = small_opts();
+  opts.modulus_bits = GetParam();
+  const RsaPrivateKey key = generate_key(rng, opts);
+
+  const std::vector<std::uint8_t> message = {'s', 'e', 'c', 'r', 'e', 't'};
+  const auto ciphertext = encrypt(key.pub, message, rng);
+  EXPECT_EQ(ciphertext.size(), (GetParam() + 7) / 8);
+  EXPECT_EQ(decrypt(key, ciphertext), message);
+}
+
+TEST_P(Pkcs1RoundTrip, SignVerify) {
+  PrngRandomSource rng(12);
+  KeygenOptions opts = small_opts();
+  opts.modulus_bits = GetParam();
+  const RsaPrivateKey key = generate_key(rng, opts);
+
+  const std::vector<std::uint8_t> message = {'h', 'i'};
+  const auto signature = sign(key, message);
+  EXPECT_TRUE(verify(key.pub, message, signature));
+
+  std::vector<std::uint8_t> tampered = message;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(verify(key.pub, tampered, signature));
+
+  auto bad_sig = signature;
+  bad_sig.back() ^= 1;
+  EXPECT_FALSE(verify(key.pub, message, bad_sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, Pkcs1RoundTrip,
+                         ::testing::Values(256, 384, 512));
+
+TEST(Pkcs1, MessageTooLongRejected) {
+  PrngRandomSource rng(13);
+  const RsaPrivateKey key = generate_key(rng, small_opts());  // 32-byte k
+  const std::vector<std::uint8_t> long_message(30, 'x');      // needs 41
+  EXPECT_THROW(encrypt(key.pub, long_message, rng), std::invalid_argument);
+}
+
+TEST(Pkcs1, RawOpsRoundTrip) {
+  PrngRandomSource rng(14);
+  const RsaPrivateKey key = generate_key(rng, small_opts());
+  const BigInt m(123456789);
+  EXPECT_EQ(private_op(key, public_op(key.pub, m)), m);
+  EXPECT_EQ(public_op(key.pub, private_op(key, m)), m);
+  EXPECT_THROW(public_op(key.pub, key.pub.n), std::domain_error);
+  EXPECT_THROW(private_op(key, -BigInt(1)), std::domain_error);
+}
+
+// The attack the paper warns about: recovering a private key from two
+// moduli sharing a prime, then decrypting traffic.
+TEST(Pkcs1, FactoredKeyDecryptsTraffic) {
+  const rng::RngFlawModel flaw{.boot_entropy_bits = 2,
+                               .divergence_entropy_bits = 40};
+  rng::SimulatedUrandom dev_a("vuln-fw", flaw, 1, 10);
+  rng::SimulatedUrandom dev_b("vuln-fw", flaw, 1, 20);
+  KeygenEvents ev_a{[&dev_a](int i) { if (i == 1) dev_a.stir_divergence_event(); }};
+  KeygenEvents ev_b{[&dev_b](int i) { if (i == 1) dev_b.stir_divergence_event(); }};
+  const auto victim = generate_key(dev_a, small_opts(), &ev_a);
+  const auto other = generate_key(dev_b, small_opts(), &ev_b);
+
+  // Attacker sees only the two public keys.
+  const BigInt p = bn::gcd(victim.pub.n, other.pub.n);
+  ASSERT_GT(p, BigInt(1));
+  const BigInt q = victim.pub.n / p;
+  const RsaPrivateKey recovered = assemble_private_key(p, q, victim.pub.e);
+
+  PrngRandomSource rng(15);
+  const std::vector<std::uint8_t> session_key = {0xde, 0xad, 0xbe, 0xef};
+  const auto ciphertext = encrypt(victim.pub, session_key, rng);
+  EXPECT_EQ(decrypt(recovered, ciphertext), session_key);
+}
+
+TEST(AssemblePrivateKey, RejectsNonInvertibleExponent) {
+  // e divides p-1 => not invertible mod lcm.
+  const BigInt p(23), q(11);
+  EXPECT_THROW(assemble_private_key(p, q, BigInt(11)), std::domain_error);
+}
+
+}  // namespace
+}  // namespace weakkeys::rsa

@@ -1,0 +1,245 @@
+// Integration tests: the full pipeline on a small, freshly simulated corpus,
+// plus the cache layer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "analysis/transitions.hpp"
+#include "core/scan_store.hpp"
+#include "core/study.hpp"
+#include "netsim/catalog.hpp"
+
+namespace weakkeys::core {
+namespace {
+
+/// One shared small study for all pipeline assertions (building it is the
+/// expensive part; the assertions are read-only).
+class StudyIntegration : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    StudyConfig config;
+    config.sim.seed = 424242;
+    config.sim.scale = 0.03;
+    config.sim.miller_rabin_rounds = 4;
+    config.batch_gcd_subsets = 3;
+    config.threads = 2;
+    config.cache_path = "";  // always fresh
+    study_ = new Study(config);
+    study_->run();
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    study_ = nullptr;
+  }
+
+  static Study* study_;
+};
+
+Study* StudyIntegration::study_ = nullptr;
+
+TEST_F(StudyIntegration, CorpusHasExpectedShape) {
+  const auto& stats = study_->factor_stats();
+  EXPECT_GT(stats.distinct_moduli, 500u);
+  EXPECT_GT(study_->dataset().total_host_records(), 10000u);
+  // Some keys factored, but far from all.
+  EXPECT_GT(study_->vulnerable().size(), 20u);
+  EXPECT_LT(study_->vulnerable().size(), stats.distinct_moduli / 2);
+}
+
+TEST_F(StudyIntegration, FactoredKeysActuallyFactor) {
+  for (const auto& f : study_->factored()) {
+    EXPECT_EQ(f.p * f.q, f.n);
+    EXPECT_GT(f.p, bn::BigInt(1));
+    EXPECT_GT(f.q, bn::BigInt(1));
+  }
+}
+
+TEST_F(StudyIntegration, GroundTruthAgreesWithFactoring) {
+  // Every factored HTTPS modulus must belong to a device the simulation
+  // marked flawed (or to the IBM pool family) — no false positives.
+  const auto* net = study_->ground_truth();
+  ASSERT_NE(net, nullptr);
+  std::set<std::string> flawed_moduli;
+  std::set<std::string> all_moduli;
+  for (const auto& device : net->devices()) {
+    if (device.https_cert) {
+      const std::string hex = device.https_cert->key.n.to_hex();
+      all_moduli.insert(hex);
+      if (device.flawed || device.model->uses_ibm_nine_primes) {
+        flawed_moduli.insert(hex);
+      }
+    }
+    if (device.ssh_cert) {
+      const std::string hex = device.ssh_cert->key.n.to_hex();
+      all_moduli.insert(hex);
+      if (device.flawed) flawed_moduli.insert(hex);
+    }
+  }
+  for (const auto& f : study_->factored()) {
+    const std::string hex = f.n.to_hex();
+    // Factored moduli not present in the device ground truth would indicate
+    // the pipeline factored something corrupted or synthetic.
+    if (all_moduli.contains(hex)) {
+      EXPECT_TRUE(flawed_moduli.contains(hex))
+          << "healthy device key factored: " << hex;
+    }
+  }
+}
+
+TEST_F(StudyIntegration, IbmCliqueDetected) {
+  ASSERT_FALSE(study_->cliques().empty());
+  const auto& top = study_->cliques().front();
+  EXPECT_EQ(top.primes.size(), 9u);
+  EXPECT_GE(top.density, 0.5);
+  EXPECT_LE(top.moduli.size(), 36u);
+}
+
+TEST_F(StudyIntegration, LabelerUsesCliqueBeforeSubject) {
+  // Every record carrying a clique modulus is labeled IBM, including
+  // Siemens-subject certificates (the paper's Section 3.3.2 behaviour).
+  const auto labeler = study_->labeler();
+  const auto& top = study_->cliques().front();
+  std::set<std::string> clique_hex;
+  for (const auto& n : top.moduli) clique_hex.insert(n.to_hex());
+
+  std::size_t clique_records = 0;
+  for (const auto& snap : study_->dataset().snapshots) {
+    for (const auto& rec : snap.records) {
+      if (!clique_hex.contains(rec.cert().key.n.to_hex())) continue;
+      ++clique_records;
+      const auto label = labeler(rec);
+      ASSERT_TRUE(label.has_value());
+      EXPECT_EQ(label->vendor, "IBM");
+    }
+  }
+  EXPECT_GT(clique_records, 0u);
+}
+
+TEST_F(StudyIntegration, SeriesBuilderProducesJuniperSeries) {
+  const auto builder = study_->series_builder();
+  const auto series = builder.vendor_series("Juniper");
+  ASSERT_FALSE(series.points.empty());
+  EXPECT_GT(series.peak_total(), 0u);
+}
+
+TEST_F(StudyIntegration, VulnerableExcludesBitErrors) {
+  // Bit-error divisors must not be counted as vulnerable keys.
+  for (const auto& f : study_->factored()) {
+    EXPECT_NE(f.divisor_class, fingerprint::DivisorClass::kSmoothBitError);
+  }
+}
+
+TEST_F(StudyIntegration, FindFactorLookup) {
+  ASSERT_FALSE(study_->factored().empty());
+  const auto& first = study_->factored().front();
+  const auto* found = study_->find_factor(first.n);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->p, first.p);
+  EXPECT_EQ(study_->find_factor(bn::BigInt(35)), nullptr);
+}
+
+TEST_F(StudyIntegration, RunIsIdempotent) {
+  const std::size_t before = study_->factored().size();
+  study_->run();
+  EXPECT_EQ(study_->factored().size(), before);
+}
+
+TEST(StudyCache, SecondRunLoadsIdenticalResults) {
+  const std::string cache = "study_cache_test.tmp";
+  std::remove(cache.c_str());
+  std::remove((cache + ".factors").c_str());
+
+  StudyConfig config;
+  config.sim.seed = 777;
+  config.sim.scale = 0.01;
+  config.sim.miller_rabin_rounds = 4;
+  config.batch_gcd_subsets = 2;
+  config.cache_path = cache;
+
+  Study first(config);
+  first.run();
+  const auto first_stats = first.factor_stats();
+  const auto first_records = first.dataset().total_host_records();
+
+  // Second study: must reload both caches and agree exactly.
+  Study second(config);
+  second.run();
+  EXPECT_EQ(second.dataset().total_host_records(), first_records);
+  EXPECT_EQ(second.factor_stats().distinct_moduli, first_stats.distinct_moduli);
+  EXPECT_EQ(second.factored().size(), first.factored().size());
+  EXPECT_EQ(second.vulnerable().size(), first.vulnerable().size());
+  for (std::size_t i = 0; i < first.factored().size(); ++i) {
+    EXPECT_EQ(second.factored()[i].n, first.factored()[i].n);
+    EXPECT_EQ(second.factored()[i].p, first.factored()[i].p);
+  }
+  // Loaded-from-cache runs have no simulation ground truth.
+  EXPECT_EQ(second.ground_truth(), nullptr);
+  EXPECT_NE(first.ground_truth(), nullptr);
+
+  std::remove(cache.c_str());
+  std::remove((cache + ".factors").c_str());
+}
+
+// ---------------------------------------------------------- scan store ----
+
+class ScanStoreTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = "test_scan_store.tmp";
+};
+
+TEST_F(ScanStoreTest, RoundTripsDataset) {
+  netsim::SimConfig sim;
+  sim.seed = 5;
+  sim.miller_rabin_rounds = 4;
+  netsim::Internet net(netsim::standard_models(0.005), sim);
+  const netsim::ScanDataset original = net.run(netsim::standard_campaigns());
+
+  const StoreKey key{5, 5000, 4, 1};
+  save_dataset(original, key, path_);
+  const auto loaded = load_dataset(key, path_);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->snapshots.size(), original.snapshots.size());
+  EXPECT_EQ(loaded->total_host_records(), original.total_host_records());
+  EXPECT_EQ(loaded->distinct_certificates(), original.distinct_certificates());
+  for (std::size_t s = 0; s < original.snapshots.size(); ++s) {
+    const auto& a = original.snapshots[s];
+    const auto& b = loaded->snapshots[s];
+    EXPECT_EQ(a.date, b.date);
+    EXPECT_EQ(a.source, b.source);
+    EXPECT_EQ(a.protocol, b.protocol);
+    ASSERT_EQ(a.records.size(), b.records.size());
+    for (std::size_t i = 0; i < a.records.size(); ++i) {
+      EXPECT_EQ(a.records[i].ip, b.records[i].ip);
+      EXPECT_EQ(a.records[i].cert(), b.records[i].cert());
+    }
+  }
+}
+
+TEST_F(ScanStoreTest, KeyMismatchForcesRebuild) {
+  netsim::SimConfig sim;
+  sim.seed = 6;
+  sim.miller_rabin_rounds = 4;
+  netsim::Internet net(netsim::standard_models(0.003), sim);
+  const netsim::ScanDataset original = net.run(netsim::standard_campaigns());
+  save_dataset(original, StoreKey{6, 3000, 4, 1}, path_);
+
+  EXPECT_FALSE(load_dataset(StoreKey{7, 3000, 4, 1}, path_).has_value());
+  EXPECT_FALSE(load_dataset(StoreKey{6, 9999, 4, 1}, path_).has_value());
+  EXPECT_FALSE(load_dataset(StoreKey{6, 3000, 4, 2}, path_).has_value());
+  EXPECT_TRUE(load_dataset(StoreKey{6, 3000, 4, 1}, path_).has_value());
+}
+
+TEST_F(ScanStoreTest, MissingAndCorruptFilesReturnNullopt) {
+  EXPECT_FALSE(load_dataset(StoreKey{}, "no_such_file.tmp").has_value());
+  {
+    std::FILE* f = std::fopen(path_.c_str(), "wb");
+    std::fputs("garbage", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_dataset(StoreKey{}, path_).has_value());
+}
+
+}  // namespace
+}  // namespace weakkeys::core

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "util/date.hpp"
+#include "util/hex.hpp"
+#include "util/prng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace weakkeys::util {
+namespace {
+
+// ---------------------------------------------------------------- Date ----
+
+TEST(Date, DefaultIsEpoch) {
+  const Date d;
+  EXPECT_EQ(d.year(), 1970);
+  EXPECT_EQ(d.month(), 1);
+  EXPECT_EQ(d.day(), 1);
+  EXPECT_EQ(d.days_since_epoch(), 0);
+}
+
+TEST(Date, RoundTripsToString) {
+  const Date d(2014, 4, 8);
+  EXPECT_EQ(d.to_string(), "2014-04-08");
+  EXPECT_EQ(Date::parse("2014-04-08"), d);
+}
+
+TEST(Date, RejectsMalformedParse) {
+  EXPECT_THROW(Date::parse("2014/04/08"), std::invalid_argument);
+  EXPECT_THROW(Date::parse("2014-4-8"), std::invalid_argument);
+  EXPECT_THROW(Date::parse("hello"), std::invalid_argument);
+  EXPECT_THROW(Date::parse("2014-13-01"), std::invalid_argument);
+  EXPECT_THROW(Date::parse("2015-02-29"), std::invalid_argument);
+}
+
+TEST(Date, RejectsInvalidCivilDates) {
+  EXPECT_THROW(Date(2015, 2, 29), std::invalid_argument);
+  EXPECT_THROW(Date(2015, 0, 1), std::invalid_argument);
+  EXPECT_THROW(Date(2015, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Date(2015, 4, 31), std::invalid_argument);
+  EXPECT_NO_THROW(Date(2016, 2, 29));  // leap year
+}
+
+TEST(Date, LeapYearRules) {
+  EXPECT_TRUE(Date::is_leap_year(2016));
+  EXPECT_TRUE(Date::is_leap_year(2000));
+  EXPECT_FALSE(Date::is_leap_year(1900));
+  EXPECT_FALSE(Date::is_leap_year(2015));
+  EXPECT_EQ(Date::days_in_month(2016, 2), 29);
+  EXPECT_EQ(Date::days_in_month(2015, 2), 28);
+}
+
+TEST(Date, DaysSinceEpochKnownValues) {
+  EXPECT_EQ(Date(2000, 3, 1).days_since_epoch(), 11017);
+  EXPECT_EQ(Date(1969, 12, 31).days_since_epoch(), -1);
+}
+
+TEST(Date, DayRoundTripAcrossRange) {
+  for (std::int64_t days = -200000; days <= 200000; days += 379) {
+    const Date d = Date::from_days_since_epoch(days);
+    EXPECT_EQ(d.days_since_epoch(), days);
+  }
+}
+
+TEST(Date, AddMonthsClampsDay) {
+  EXPECT_EQ(Date(2014, 1, 31).add_months(1), Date(2014, 2, 28));
+  EXPECT_EQ(Date(2016, 1, 31).add_months(1), Date(2016, 2, 29));
+  EXPECT_EQ(Date(2014, 1, 15).add_months(-13), Date(2012, 12, 15));
+}
+
+TEST(Date, AddDays) {
+  EXPECT_EQ(Date(2014, 12, 31).add_days(1), Date(2015, 1, 1));
+  EXPECT_EQ(Date(2014, 1, 1).add_days(-1), Date(2013, 12, 31));
+}
+
+TEST(Date, MonthsBetween) {
+  EXPECT_EQ(months_between(Date(2010, 7, 1), Date(2016, 5, 30)), 70);
+  EXPECT_EQ(months_between(Date(2016, 5, 1), Date(2010, 7, 31)), -70);
+  EXPECT_EQ(months_between(Date(2014, 4, 30), Date(2014, 4, 1)), 0);
+}
+
+TEST(Date, Ordering) {
+  EXPECT_LT(Date(2014, 4, 7), Date(2014, 4, 8));
+  EXPECT_LT(Date(2013, 12, 31), Date(2014, 1, 1));
+  EXPECT_GT(Date(2014, 4, 8), Date(2013, 4, 8));
+}
+
+// ----------------------------------------------------------------- hex ----
+
+TEST(Hex, RoundTrip) {
+  const std::vector<std::uint8_t> data = {0x00, 0x01, 0xab, 0xff, 0x10};
+  EXPECT_EQ(to_hex(data), "0001abff10");
+  EXPECT_EQ(from_hex("0001abff10"), data);
+  EXPECT_EQ(from_hex("0001ABFF10"), data);
+}
+
+TEST(Hex, EmptyIsEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);   // odd length
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);    // bad digit
+}
+
+// ---------------------------------------------------------------- PRNG ----
+
+TEST(Prng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, XoshiroDeterministicAndSeedSensitive) {
+  Xoshiro256 a(1), b(1), c(2);
+  bool differs = false;
+  for (int i = 0; i < 64; ++i) {
+    const auto av = a();
+    EXPECT_EQ(av, b());
+    if (av != c()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Prng, BelowIsInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Prng, BelowCoversSmallRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Prng, UniformInUnitInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Prng, ChanceExtremes) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+// ---------------------------------------------------------- ThreadPool ----
+
+TEST(ThreadPool, RunsSubmittedWork) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksDrainBeforeDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 500; ++i) {
+      futures.push_back(pool.submit([&count] { count++; }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(count.load(), 500);
+}
+
+}  // namespace
+}  // namespace weakkeys::util
