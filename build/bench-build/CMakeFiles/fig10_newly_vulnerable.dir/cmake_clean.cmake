@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_newly_vulnerable"
+  "../bench/fig10_newly_vulnerable.pdb"
+  "CMakeFiles/fig10_newly_vulnerable.dir/fig10_newly_vulnerable.cpp.o"
+  "CMakeFiles/fig10_newly_vulnerable.dir/fig10_newly_vulnerable.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_newly_vulnerable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_hosts_over_time"
+  "../bench/fig1_hosts_over_time.pdb"
+  "CMakeFiles/fig1_hosts_over_time.dir/fig1_hosts_over_time.cpp.o"
+  "CMakeFiles/fig1_hosts_over_time.dir/fig1_hosts_over_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_hosts_over_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

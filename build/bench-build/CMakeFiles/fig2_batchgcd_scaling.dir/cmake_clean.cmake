@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_batchgcd_scaling"
+  "../bench/fig2_batchgcd_scaling.pdb"
+  "CMakeFiles/fig2_batchgcd_scaling.dir/fig2_batchgcd_scaling.cpp.o"
+  "CMakeFiles/fig2_batchgcd_scaling.dir/fig2_batchgcd_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_batchgcd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_juniper"
+  "../bench/fig3_juniper.pdb"
+  "CMakeFiles/fig3_juniper.dir/fig3_juniper.cpp.o"
+  "CMakeFiles/fig3_juniper.dir/fig3_juniper.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_juniper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

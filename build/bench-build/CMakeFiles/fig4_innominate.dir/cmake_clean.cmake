@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_innominate"
+  "../bench/fig4_innominate.pdb"
+  "CMakeFiles/fig4_innominate.dir/fig4_innominate.cpp.o"
+  "CMakeFiles/fig4_innominate.dir/fig4_innominate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_innominate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

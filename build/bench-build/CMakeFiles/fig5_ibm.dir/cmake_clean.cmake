@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_ibm"
+  "../bench/fig5_ibm.pdb"
+  "CMakeFiles/fig5_ibm.dir/fig5_ibm.cpp.o"
+  "CMakeFiles/fig5_ibm.dir/fig5_ibm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_ibm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_cisco"
+  "../bench/fig6_cisco.pdb"
+  "CMakeFiles/fig6_cisco.dir/fig6_cisco.cpp.o"
+  "CMakeFiles/fig6_cisco.dir/fig6_cisco.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cisco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_cisco_eol"
+  "../bench/fig7_cisco_eol.pdb"
+  "CMakeFiles/fig7_cisco_eol.dir/fig7_cisco_eol.cpp.o"
+  "CMakeFiles/fig7_cisco_eol.dir/fig7_cisco_eol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cisco_eol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_cisco_eol.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_hp_ilo"
+  "../bench/fig8_hp_ilo.pdb"
+  "CMakeFiles/fig8_hp_ilo.dir/fig8_hp_ilo.cpp.o"
+  "CMakeFiles/fig8_hp_ilo.dir/fig8_hp_ilo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_hp_ilo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

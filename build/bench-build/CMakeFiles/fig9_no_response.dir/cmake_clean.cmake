@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_no_response"
+  "../bench/fig9_no_response.pdb"
+  "CMakeFiles/fig9_no_response.dir/fig9_no_response.cpp.o"
+  "CMakeFiles/fig9_no_response.dir/fig9_no_response.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_no_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9_no_response.
+# This may be replaced when dependencies are built.

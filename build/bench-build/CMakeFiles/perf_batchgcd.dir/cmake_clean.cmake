@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_batchgcd"
+  "../bench/perf_batchgcd.pdb"
+  "CMakeFiles/perf_batchgcd.dir/perf_batchgcd.cpp.o"
+  "CMakeFiles/perf_batchgcd.dir/perf_batchgcd.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_batchgcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

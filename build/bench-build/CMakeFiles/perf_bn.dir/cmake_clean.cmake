@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/perf_bn"
+  "../bench/perf_bn.pdb"
+  "CMakeFiles/perf_bn.dir/perf_bn.cpp.o"
+  "CMakeFiles/perf_bn.dir/perf_bn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

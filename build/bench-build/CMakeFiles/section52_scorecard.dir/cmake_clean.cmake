@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/section52_scorecard"
+  "../bench/section52_scorecard.pdb"
+  "CMakeFiles/section52_scorecard.dir/section52_scorecard.cpp.o"
+  "CMakeFiles/section52_scorecard.dir/section52_scorecard.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/section52_scorecard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_dataset_summary"
+  "../bench/table1_dataset_summary.pdb"
+  "CMakeFiles/table1_dataset_summary.dir/table1_dataset_summary.cpp.o"
+  "CMakeFiles/table1_dataset_summary.dir/table1_dataset_summary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_dataset_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

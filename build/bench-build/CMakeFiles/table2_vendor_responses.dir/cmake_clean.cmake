@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_vendor_responses"
+  "../bench/table2_vendor_responses.pdb"
+  "CMakeFiles/table2_vendor_responses.dir/table2_vendor_responses.cpp.o"
+  "CMakeFiles/table2_vendor_responses.dir/table2_vendor_responses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vendor_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_protocols"
+  "../bench/table4_protocols.pdb"
+  "CMakeFiles/table4_protocols.dir/table4_protocols.cpp.o"
+  "CMakeFiles/table4_protocols.dir/table4_protocols.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

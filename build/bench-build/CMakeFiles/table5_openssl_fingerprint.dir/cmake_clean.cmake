@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_openssl_fingerprint"
+  "../bench/table5_openssl_fingerprint.pdb"
+  "CMakeFiles/table5_openssl_fingerprint.dir/table5_openssl_fingerprint.cpp.o"
+  "CMakeFiles/table5_openssl_fingerprint.dir/table5_openssl_fingerprint.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_openssl_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsa_nonce_demo.dir/dsa_nonce_demo.cpp.o"
+  "CMakeFiles/dsa_nonce_demo.dir/dsa_nonce_demo.cpp.o.d"
+  "dsa_nonce_demo"
+  "dsa_nonce_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsa_nonce_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

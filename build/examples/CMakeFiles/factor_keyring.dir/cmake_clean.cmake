@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factor_keyring.dir/factor_keyring.cpp.o"
+  "CMakeFiles/factor_keyring.dir/factor_keyring.cpp.o.d"
+  "factor_keyring"
+  "factor_keyring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factor_keyring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weak_key_attack.dir/weak_key_attack.cpp.o"
+  "CMakeFiles/weak_key_attack.dir/weak_key_attack.cpp.o.d"
+  "weak_key_attack"
+  "weak_key_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weak_key_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for weak_key_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/chains.cpp" "src/analysis/CMakeFiles/wk_analysis.dir/chains.cpp.o" "gcc" "src/analysis/CMakeFiles/wk_analysis.dir/chains.cpp.o.d"
+  "/root/repo/src/analysis/csv.cpp" "src/analysis/CMakeFiles/wk_analysis.dir/csv.cpp.o" "gcc" "src/analysis/CMakeFiles/wk_analysis.dir/csv.cpp.o.d"
+  "/root/repo/src/analysis/events.cpp" "src/analysis/CMakeFiles/wk_analysis.dir/events.cpp.o" "gcc" "src/analysis/CMakeFiles/wk_analysis.dir/events.cpp.o.d"
+  "/root/repo/src/analysis/lifetimes.cpp" "src/analysis/CMakeFiles/wk_analysis.dir/lifetimes.cpp.o" "gcc" "src/analysis/CMakeFiles/wk_analysis.dir/lifetimes.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/wk_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/wk_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/scorecard.cpp" "src/analysis/CMakeFiles/wk_analysis.dir/scorecard.cpp.o" "gcc" "src/analysis/CMakeFiles/wk_analysis.dir/scorecard.cpp.o.d"
+  "/root/repo/src/analysis/timeseries.cpp" "src/analysis/CMakeFiles/wk_analysis.dir/timeseries.cpp.o" "gcc" "src/analysis/CMakeFiles/wk_analysis.dir/timeseries.cpp.o.d"
+  "/root/repo/src/analysis/transitions.cpp" "src/analysis/CMakeFiles/wk_analysis.dir/transitions.cpp.o" "gcc" "src/analysis/CMakeFiles/wk_analysis.dir/transitions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netsim/CMakeFiles/wk_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/wk_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/wk_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsa/CMakeFiles/wk_rsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wk_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wk_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/wk_bn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

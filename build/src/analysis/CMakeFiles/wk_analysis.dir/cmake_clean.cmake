@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_analysis.dir/chains.cpp.o"
+  "CMakeFiles/wk_analysis.dir/chains.cpp.o.d"
+  "CMakeFiles/wk_analysis.dir/csv.cpp.o"
+  "CMakeFiles/wk_analysis.dir/csv.cpp.o.d"
+  "CMakeFiles/wk_analysis.dir/events.cpp.o"
+  "CMakeFiles/wk_analysis.dir/events.cpp.o.d"
+  "CMakeFiles/wk_analysis.dir/lifetimes.cpp.o"
+  "CMakeFiles/wk_analysis.dir/lifetimes.cpp.o.d"
+  "CMakeFiles/wk_analysis.dir/report.cpp.o"
+  "CMakeFiles/wk_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/wk_analysis.dir/scorecard.cpp.o"
+  "CMakeFiles/wk_analysis.dir/scorecard.cpp.o.d"
+  "CMakeFiles/wk_analysis.dir/timeseries.cpp.o"
+  "CMakeFiles/wk_analysis.dir/timeseries.cpp.o.d"
+  "CMakeFiles/wk_analysis.dir/transitions.cpp.o"
+  "CMakeFiles/wk_analysis.dir/transitions.cpp.o.d"
+  "libwk_analysis.a"
+  "libwk_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/batchgcd/batch_gcd.cpp" "src/batchgcd/CMakeFiles/wk_batchgcd.dir/batch_gcd.cpp.o" "gcc" "src/batchgcd/CMakeFiles/wk_batchgcd.dir/batch_gcd.cpp.o.d"
+  "/root/repo/src/batchgcd/distributed.cpp" "src/batchgcd/CMakeFiles/wk_batchgcd.dir/distributed.cpp.o" "gcc" "src/batchgcd/CMakeFiles/wk_batchgcd.dir/distributed.cpp.o.d"
+  "/root/repo/src/batchgcd/incremental.cpp" "src/batchgcd/CMakeFiles/wk_batchgcd.dir/incremental.cpp.o" "gcc" "src/batchgcd/CMakeFiles/wk_batchgcd.dir/incremental.cpp.o.d"
+  "/root/repo/src/batchgcd/product_tree.cpp" "src/batchgcd/CMakeFiles/wk_batchgcd.dir/product_tree.cpp.o" "gcc" "src/batchgcd/CMakeFiles/wk_batchgcd.dir/product_tree.cpp.o.d"
+  "/root/repo/src/batchgcd/remainder_tree.cpp" "src/batchgcd/CMakeFiles/wk_batchgcd.dir/remainder_tree.cpp.o" "gcc" "src/batchgcd/CMakeFiles/wk_batchgcd.dir/remainder_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bn/CMakeFiles/wk_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

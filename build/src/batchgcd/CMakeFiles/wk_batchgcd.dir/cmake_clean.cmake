@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_batchgcd.dir/batch_gcd.cpp.o"
+  "CMakeFiles/wk_batchgcd.dir/batch_gcd.cpp.o.d"
+  "CMakeFiles/wk_batchgcd.dir/distributed.cpp.o"
+  "CMakeFiles/wk_batchgcd.dir/distributed.cpp.o.d"
+  "CMakeFiles/wk_batchgcd.dir/incremental.cpp.o"
+  "CMakeFiles/wk_batchgcd.dir/incremental.cpp.o.d"
+  "CMakeFiles/wk_batchgcd.dir/product_tree.cpp.o"
+  "CMakeFiles/wk_batchgcd.dir/product_tree.cpp.o.d"
+  "CMakeFiles/wk_batchgcd.dir/remainder_tree.cpp.o"
+  "CMakeFiles/wk_batchgcd.dir/remainder_tree.cpp.o.d"
+  "libwk_batchgcd.a"
+  "libwk_batchgcd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_batchgcd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

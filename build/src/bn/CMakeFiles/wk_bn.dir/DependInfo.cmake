@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bn/bigint.cpp" "src/bn/CMakeFiles/wk_bn.dir/bigint.cpp.o" "gcc" "src/bn/CMakeFiles/wk_bn.dir/bigint.cpp.o.d"
+  "/root/repo/src/bn/div.cpp" "src/bn/CMakeFiles/wk_bn.dir/div.cpp.o" "gcc" "src/bn/CMakeFiles/wk_bn.dir/div.cpp.o.d"
+  "/root/repo/src/bn/gcd.cpp" "src/bn/CMakeFiles/wk_bn.dir/gcd.cpp.o" "gcc" "src/bn/CMakeFiles/wk_bn.dir/gcd.cpp.o.d"
+  "/root/repo/src/bn/io.cpp" "src/bn/CMakeFiles/wk_bn.dir/io.cpp.o" "gcc" "src/bn/CMakeFiles/wk_bn.dir/io.cpp.o.d"
+  "/root/repo/src/bn/modular.cpp" "src/bn/CMakeFiles/wk_bn.dir/modular.cpp.o" "gcc" "src/bn/CMakeFiles/wk_bn.dir/modular.cpp.o.d"
+  "/root/repo/src/bn/mul.cpp" "src/bn/CMakeFiles/wk_bn.dir/mul.cpp.o" "gcc" "src/bn/CMakeFiles/wk_bn.dir/mul.cpp.o.d"
+  "/root/repo/src/bn/prime.cpp" "src/bn/CMakeFiles/wk_bn.dir/prime.cpp.o" "gcc" "src/bn/CMakeFiles/wk_bn.dir/prime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_bn.dir/bigint.cpp.o"
+  "CMakeFiles/wk_bn.dir/bigint.cpp.o.d"
+  "CMakeFiles/wk_bn.dir/div.cpp.o"
+  "CMakeFiles/wk_bn.dir/div.cpp.o.d"
+  "CMakeFiles/wk_bn.dir/gcd.cpp.o"
+  "CMakeFiles/wk_bn.dir/gcd.cpp.o.d"
+  "CMakeFiles/wk_bn.dir/io.cpp.o"
+  "CMakeFiles/wk_bn.dir/io.cpp.o.d"
+  "CMakeFiles/wk_bn.dir/modular.cpp.o"
+  "CMakeFiles/wk_bn.dir/modular.cpp.o.d"
+  "CMakeFiles/wk_bn.dir/mul.cpp.o"
+  "CMakeFiles/wk_bn.dir/mul.cpp.o.d"
+  "CMakeFiles/wk_bn.dir/prime.cpp.o"
+  "CMakeFiles/wk_bn.dir/prime.cpp.o.d"
+  "libwk_bn.a"
+  "libwk_bn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_bn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

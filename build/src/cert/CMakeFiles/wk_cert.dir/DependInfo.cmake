@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cert/certificate.cpp" "src/cert/CMakeFiles/wk_cert.dir/certificate.cpp.o" "gcc" "src/cert/CMakeFiles/wk_cert.dir/certificate.cpp.o.d"
+  "/root/repo/src/cert/distinguished_name.cpp" "src/cert/CMakeFiles/wk_cert.dir/distinguished_name.cpp.o" "gcc" "src/cert/CMakeFiles/wk_cert.dir/distinguished_name.cpp.o.d"
+  "/root/repo/src/cert/tlv.cpp" "src/cert/CMakeFiles/wk_cert.dir/tlv.cpp.o" "gcc" "src/cert/CMakeFiles/wk_cert.dir/tlv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rsa/CMakeFiles/wk_rsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wk_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wk_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/wk_bn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_cert.dir/certificate.cpp.o"
+  "CMakeFiles/wk_cert.dir/certificate.cpp.o.d"
+  "CMakeFiles/wk_cert.dir/distinguished_name.cpp.o"
+  "CMakeFiles/wk_cert.dir/distinguished_name.cpp.o.d"
+  "CMakeFiles/wk_cert.dir/tlv.cpp.o"
+  "CMakeFiles/wk_cert.dir/tlv.cpp.o.d"
+  "libwk_cert.a"
+  "libwk_cert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_cert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_core.dir/scan_store.cpp.o"
+  "CMakeFiles/wk_core.dir/scan_store.cpp.o.d"
+  "CMakeFiles/wk_core.dir/study.cpp.o"
+  "CMakeFiles/wk_core.dir/study.cpp.o.d"
+  "libwk_core.a"
+  "libwk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

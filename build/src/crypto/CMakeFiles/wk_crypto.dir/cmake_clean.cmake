@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/wk_crypto.dir/sha256.cpp.o.d"
+  "libwk_crypto.a"
+  "libwk_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

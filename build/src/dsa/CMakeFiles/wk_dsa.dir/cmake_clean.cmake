@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_dsa.dir/dsa.cpp.o"
+  "CMakeFiles/wk_dsa.dir/dsa.cpp.o.d"
+  "CMakeFiles/wk_dsa.dir/nonce_attack.cpp.o"
+  "CMakeFiles/wk_dsa.dir/nonce_attack.cpp.o.d"
+  "libwk_dsa.a"
+  "libwk_dsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_dsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

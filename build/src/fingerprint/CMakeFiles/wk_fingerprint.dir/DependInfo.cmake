@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fingerprint/divisor_class.cpp" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/divisor_class.cpp.o" "gcc" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/divisor_class.cpp.o.d"
+  "/root/repo/src/fingerprint/ibm_clique.cpp" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/ibm_clique.cpp.o" "gcc" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/ibm_clique.cpp.o.d"
+  "/root/repo/src/fingerprint/mitm_detector.cpp" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/mitm_detector.cpp.o" "gcc" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/mitm_detector.cpp.o.d"
+  "/root/repo/src/fingerprint/openssl_fingerprint.cpp" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/openssl_fingerprint.cpp.o" "gcc" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/openssl_fingerprint.cpp.o.d"
+  "/root/repo/src/fingerprint/prime_pools.cpp" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/prime_pools.cpp.o" "gcc" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/prime_pools.cpp.o.d"
+  "/root/repo/src/fingerprint/subject_rules.cpp" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/subject_rules.cpp.o" "gcc" "src/fingerprint/CMakeFiles/wk_fingerprint.dir/subject_rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cert/CMakeFiles/wk_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/wk_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/wk_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsa/CMakeFiles/wk_rsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wk_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wk_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_fingerprint.dir/divisor_class.cpp.o"
+  "CMakeFiles/wk_fingerprint.dir/divisor_class.cpp.o.d"
+  "CMakeFiles/wk_fingerprint.dir/ibm_clique.cpp.o"
+  "CMakeFiles/wk_fingerprint.dir/ibm_clique.cpp.o.d"
+  "CMakeFiles/wk_fingerprint.dir/mitm_detector.cpp.o"
+  "CMakeFiles/wk_fingerprint.dir/mitm_detector.cpp.o.d"
+  "CMakeFiles/wk_fingerprint.dir/openssl_fingerprint.cpp.o"
+  "CMakeFiles/wk_fingerprint.dir/openssl_fingerprint.cpp.o.d"
+  "CMakeFiles/wk_fingerprint.dir/prime_pools.cpp.o"
+  "CMakeFiles/wk_fingerprint.dir/prime_pools.cpp.o.d"
+  "CMakeFiles/wk_fingerprint.dir/subject_rules.cpp.o"
+  "CMakeFiles/wk_fingerprint.dir/subject_rules.cpp.o.d"
+  "libwk_fingerprint.a"
+  "libwk_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

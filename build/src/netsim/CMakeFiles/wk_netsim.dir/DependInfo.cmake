@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/catalog.cpp" "src/netsim/CMakeFiles/wk_netsim.dir/catalog.cpp.o" "gcc" "src/netsim/CMakeFiles/wk_netsim.dir/catalog.cpp.o.d"
+  "/root/repo/src/netsim/dataset.cpp" "src/netsim/CMakeFiles/wk_netsim.dir/dataset.cpp.o" "gcc" "src/netsim/CMakeFiles/wk_netsim.dir/dataset.cpp.o.d"
+  "/root/repo/src/netsim/device.cpp" "src/netsim/CMakeFiles/wk_netsim.dir/device.cpp.o" "gcc" "src/netsim/CMakeFiles/wk_netsim.dir/device.cpp.o.d"
+  "/root/repo/src/netsim/internet.cpp" "src/netsim/CMakeFiles/wk_netsim.dir/internet.cpp.o" "gcc" "src/netsim/CMakeFiles/wk_netsim.dir/internet.cpp.o.d"
+  "/root/repo/src/netsim/ip_allocator.cpp" "src/netsim/CMakeFiles/wk_netsim.dir/ip_allocator.cpp.o" "gcc" "src/netsim/CMakeFiles/wk_netsim.dir/ip_allocator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cert/CMakeFiles/wk_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsa/CMakeFiles/wk_rsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wk_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/wk_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wk_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

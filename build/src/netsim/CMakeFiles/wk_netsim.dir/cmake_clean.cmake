@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_netsim.dir/catalog.cpp.o"
+  "CMakeFiles/wk_netsim.dir/catalog.cpp.o.d"
+  "CMakeFiles/wk_netsim.dir/dataset.cpp.o"
+  "CMakeFiles/wk_netsim.dir/dataset.cpp.o.d"
+  "CMakeFiles/wk_netsim.dir/device.cpp.o"
+  "CMakeFiles/wk_netsim.dir/device.cpp.o.d"
+  "CMakeFiles/wk_netsim.dir/internet.cpp.o"
+  "CMakeFiles/wk_netsim.dir/internet.cpp.o.d"
+  "CMakeFiles/wk_netsim.dir/ip_allocator.cpp.o"
+  "CMakeFiles/wk_netsim.dir/ip_allocator.cpp.o.d"
+  "libwk_netsim.a"
+  "libwk_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

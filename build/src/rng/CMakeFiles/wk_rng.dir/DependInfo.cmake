@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/entropy_pool.cpp" "src/rng/CMakeFiles/wk_rng.dir/entropy_pool.cpp.o" "gcc" "src/rng/CMakeFiles/wk_rng.dir/entropy_pool.cpp.o.d"
+  "/root/repo/src/rng/getrandom.cpp" "src/rng/CMakeFiles/wk_rng.dir/getrandom.cpp.o" "gcc" "src/rng/CMakeFiles/wk_rng.dir/getrandom.cpp.o.d"
+  "/root/repo/src/rng/urandom.cpp" "src/rng/CMakeFiles/wk_rng.dir/urandom.cpp.o" "gcc" "src/rng/CMakeFiles/wk_rng.dir/urandom.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bn/CMakeFiles/wk_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wk_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

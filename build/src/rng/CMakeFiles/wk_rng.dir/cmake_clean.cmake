@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_rng.dir/entropy_pool.cpp.o"
+  "CMakeFiles/wk_rng.dir/entropy_pool.cpp.o.d"
+  "CMakeFiles/wk_rng.dir/getrandom.cpp.o"
+  "CMakeFiles/wk_rng.dir/getrandom.cpp.o.d"
+  "CMakeFiles/wk_rng.dir/urandom.cpp.o"
+  "CMakeFiles/wk_rng.dir/urandom.cpp.o.d"
+  "libwk_rng.a"
+  "libwk_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

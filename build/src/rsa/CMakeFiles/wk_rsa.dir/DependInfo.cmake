@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rsa/ibm_nine_primes.cpp" "src/rsa/CMakeFiles/wk_rsa.dir/ibm_nine_primes.cpp.o" "gcc" "src/rsa/CMakeFiles/wk_rsa.dir/ibm_nine_primes.cpp.o.d"
+  "/root/repo/src/rsa/key.cpp" "src/rsa/CMakeFiles/wk_rsa.dir/key.cpp.o" "gcc" "src/rsa/CMakeFiles/wk_rsa.dir/key.cpp.o.d"
+  "/root/repo/src/rsa/keygen.cpp" "src/rsa/CMakeFiles/wk_rsa.dir/keygen.cpp.o" "gcc" "src/rsa/CMakeFiles/wk_rsa.dir/keygen.cpp.o.d"
+  "/root/repo/src/rsa/pkcs1.cpp" "src/rsa/CMakeFiles/wk_rsa.dir/pkcs1.cpp.o" "gcc" "src/rsa/CMakeFiles/wk_rsa.dir/pkcs1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bn/CMakeFiles/wk_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wk_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wk_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wk_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_rsa.dir/ibm_nine_primes.cpp.o"
+  "CMakeFiles/wk_rsa.dir/ibm_nine_primes.cpp.o.d"
+  "CMakeFiles/wk_rsa.dir/key.cpp.o"
+  "CMakeFiles/wk_rsa.dir/key.cpp.o.d"
+  "CMakeFiles/wk_rsa.dir/keygen.cpp.o"
+  "CMakeFiles/wk_rsa.dir/keygen.cpp.o.d"
+  "CMakeFiles/wk_rsa.dir/pkcs1.cpp.o"
+  "CMakeFiles/wk_rsa.dir/pkcs1.cpp.o.d"
+  "libwk_rsa.a"
+  "libwk_rsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_rsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wk_rsa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wk_util.dir/date.cpp.o"
+  "CMakeFiles/wk_util.dir/date.cpp.o.d"
+  "CMakeFiles/wk_util.dir/hex.cpp.o"
+  "CMakeFiles/wk_util.dir/hex.cpp.o.d"
+  "CMakeFiles/wk_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/wk_util.dir/thread_pool.cpp.o.d"
+  "libwk_util.a"
+  "libwk_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wk_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/wk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/fingerprint/CMakeFiles/wk_fingerprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/batchgcd/CMakeFiles/wk_batchgcd.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsa/CMakeFiles/wk_dsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/wk_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cert/CMakeFiles/wk_cert.dir/DependInfo.cmake"
+  "/root/repo/build/src/rsa/CMakeFiles/wk_rsa.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wk_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/bn/CMakeFiles/wk_bn.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/wk_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wk_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bn_gmp_test.dir/bn_gmp_test.cpp.o"
+  "CMakeFiles/bn_gmp_test.dir/bn_gmp_test.cpp.o.d"
+  "bn_gmp_test"
+  "bn_gmp_test.pdb"
+  "bn_gmp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bn_gmp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scorecard_test.dir/scorecard_test.cpp.o"
+  "CMakeFiles/scorecard_test.dir/scorecard_test.cpp.o.d"
+  "scorecard_test"
+  "scorecard_test.pdb"
+  "scorecard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scorecard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

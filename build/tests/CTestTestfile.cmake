@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/bn_test[1]_include.cmake")
+include("/root/repo/build/tests/rng_test[1]_include.cmake")
+include("/root/repo/build/tests/rsa_test[1]_include.cmake")
+include("/root/repo/build/tests/dsa_test[1]_include.cmake")
+include("/root/repo/build/tests/cert_test[1]_include.cmake")
+include("/root/repo/build/tests/netsim_test[1]_include.cmake")
+include("/root/repo/build/tests/batchgcd_test[1]_include.cmake")
+include("/root/repo/build/tests/fingerprint_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/study_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/scorecard_test[1]_include.cmake")
+include("/root/repo/build/tests/bn_gmp_test[1]_include.cmake")
