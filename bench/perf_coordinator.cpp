@@ -1,0 +1,134 @@
+// Fault-tolerant coordinator benchmarks: fault-free overhead against the
+// batch_gcd_distributed() fast path, journaling cost, and recovery cost
+// under 5/20/50% per-task failure rates. The acceptance bar is fault-free
+// overhead under ~10% — verification plus queue bookkeeping is cheap next
+// to the remainder trees themselves.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "batchgcd/coordinator.hpp"
+#include "batchgcd/distributed.hpp"
+#include "rng/prng_source.hpp"
+#include "rsa/keygen.hpp"
+#include "util/fault_injector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace weakkeys;
+using bn::BigInt;
+
+constexpr std::size_t kSubsets = 8;
+constexpr std::size_t kWorkers = 4;
+
+const std::vector<BigInt>& corpus(std::size_t count) {
+  static std::map<std::size_t, std::vector<BigInt>> cache;
+  auto& moduli = cache[count];
+  if (moduli.empty()) {
+    rng::PrngRandomSource rng(1234);
+    rsa::KeygenOptions opts;
+    opts.modulus_bits = 256;
+    opts.style = rsa::PrimeStyle::kPlain;
+    opts.sieve_primes = 256;  // cheap synthetic corpus
+    opts.miller_rabin_rounds = 4;
+    moduli.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      moduli.push_back(rsa::generate_key(rng, opts).pub.n);
+    }
+  }
+  return moduli;
+}
+
+batchgcd::CoordinatorConfig base_config() {
+  batchgcd::CoordinatorConfig config;
+  config.subsets = kSubsets;
+  config.workers = kWorkers;
+  config.backoff_base = std::chrono::milliseconds(1);
+  config.backoff_cap = std::chrono::milliseconds(8);
+  config.straggler_deadline = std::chrono::milliseconds(1);
+  return config;
+}
+
+/// The fault-free fast path this PR keeps: k^2 tasks on a plain thread
+/// pool, no verification, no retry, no journal. Pool construction is
+/// inside the loop to match the coordinator spawning its workers per run.
+void BM_DistributedFastPath(benchmark::State& state) {
+  const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    util::ThreadPool pool(kWorkers);
+    benchmark::DoNotOptimize(
+        batchgcd::batch_gcd_distributed(moduli, kSubsets, &pool));
+  }
+}
+BENCHMARK(BM_DistributedFastPath)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// Coordinator with no injected faults and no checkpoint: the pure cost of
+/// the work queue + per-result verification. Compare against
+/// BM_DistributedFastPath at the same arg for the overhead figure.
+void BM_CoordinatorFaultFree(benchmark::State& state) {
+  const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  batchgcd::CoordinatorStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        batchgcd::batch_gcd_coordinated(moduli, base_config(), &stats));
+  }
+  state.counters["tasks"] = static_cast<double>(stats.tasks);
+  state.counters["attempts"] = static_cast<double>(stats.attempts);
+}
+BENCHMARK(BM_CoordinatorFaultFree)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// Fault-free run with the CRC-guarded journal enabled: checkpointing cost.
+void BM_CoordinatorCheckpointed(benchmark::State& state) {
+  const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  auto config = base_config();
+  config.checkpoint_path = "perf_coordinator_ckpt.tmp";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        batchgcd::batch_gcd_coordinated(moduli, config));
+  }
+  std::remove(config.checkpoint_path.c_str());
+}
+BENCHMARK(BM_CoordinatorCheckpointed)->Arg(512)->Unit(benchmark::kMillisecond);
+
+/// Recovery cost: per-task failure probability of 5/20/50%, split evenly
+/// between crashes, stragglers, and corrupted results.
+void BM_CoordinatorFaultRate(benchmark::State& state) {
+  const auto& moduli = corpus(512);
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  util::FaultConfig faults;
+  faults.seed = 99;
+  faults.crash_probability = rate / 3;
+  faults.straggle_probability = rate / 3;
+  faults.corrupt_probability = rate / 3;
+  const util::FaultInjector injector(faults);
+  auto config = base_config();
+  config.injector = &injector;
+  batchgcd::CoordinatorStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        batchgcd::batch_gcd_coordinated(moduli, config, &stats));
+  }
+  state.counters["retries"] = static_cast<double>(stats.retries);
+  state.counters["crashes"] = static_cast<double>(stats.crashes);
+  state.counters["stragglers"] = static_cast<double>(stats.stragglers_killed);
+  state.counters["corruptions"] =
+      static_cast<double>(stats.corruptions_caught);
+}
+BENCHMARK(BM_CoordinatorFaultRate)
+    ->Arg(5)
+    ->Arg(20)
+    ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,525 @@
+#include "batchgcd/coordinator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "batchgcd/product_tree.hpp"
+#include "batchgcd/remainder_tree.hpp"
+#include "core/binary_io.hpp"
+
+namespace weakkeys::batchgcd {
+
+namespace {
+
+using bn::BigInt;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kCheckpointMagic = 0x574b4350;  // "WKCP"
+constexpr std::uint32_t kCheckpointVersion = 1;
+constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
+
+/// Identity of (moduli, k) a checkpoint belongs to; FNV-1a over the input
+/// bytes. A mismatch on resume discards the journal and starts fresh.
+std::uint64_t corpus_fingerprint(std::span<const BigInt> moduli,
+                                 std::size_t k) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto byte = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  };
+  const auto word = [&byte](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  word(k);
+  word(moduli.size());
+  for (const auto& n : moduli) {
+    const auto bytes = n.to_bytes();
+    word(bytes.size());
+    for (const std::uint8_t b : bytes) byte(b);
+  }
+  return h;
+}
+
+/// One nontrivial divisor candidate claimed by a task: `leaf` indexes into
+/// the task's subset.
+struct Claim {
+  std::uint32_t leaf = 0;
+  BigInt divisor;
+};
+
+class Coordinator {
+ public:
+  Coordinator(std::span<const BigInt> moduli, const CoordinatorConfig& config)
+      : config_(config), moduli_(moduli) {
+    k_ = std::clamp<std::size_t>(config.subsets, 1,
+                                 std::max<std::size_t>(moduli.size(), 1));
+    total_ = k_ * k_;
+    workers_n_ = config.workers != 0
+                     ? config.workers
+                     : std::max(1u, std::thread::hardware_concurrency());
+
+    // Partition into k contiguous subsets (identical to
+    // batch_gcd_distributed, so outputs line up element for element).
+    subsets_.resize(k_);
+    const std::size_t base = moduli.size() / k_;
+    const std::size_t extra = moduli.size() % k_;
+    std::size_t offset = 0;
+    for (std::size_t a = 0; a < k_; ++a) {
+      const std::size_t len = base + (a < extra ? 1 : 0);
+      subsets_[a].offset = offset;
+      subsets_[a].moduli = moduli.subspan(offset, len);
+      offset += len;
+    }
+    trees_.resize(k_);
+    partial_.resize(k_);
+    for (std::size_t a = 0; a < k_; ++a) {
+      partial_[a].assign(subsets_[a].moduli.size(), BigInt(1));
+    }
+  }
+
+  BatchGcdResult run(CoordinatorStats* stats) {
+    BatchGcdResult result;
+    result.divisors.assign(moduli_.size(), BigInt(1));
+    if (moduli_.empty()) {
+      if (stats) *stats = stats_;
+      return result;
+    }
+    stats_.subsets = k_;
+    stats_.tasks = total_;
+
+    std::vector<bool> done(total_, false);
+    if (!config_.checkpoint_path.empty()) open_journal(done);
+
+    for (std::size_t t = 0; t < total_; ++t) {
+      if (!done[t]) {
+        pending_.push_back({t, 0, Clock::now(), kNoWorker});
+      }
+    }
+    if (committed_ > 0) {
+      log("checkpoint: resumed " + std::to_string(committed_) + "/" +
+          std::to_string(total_) + " tasks from " + config_.checkpoint_path);
+    }
+
+    if (!pending_.empty()) {
+      build_trees_parallel();
+      std::vector<std::thread> workers;
+      workers.reserve(workers_n_);
+      for (std::size_t w = 0; w < workers_n_; ++w) {
+        workers.emplace_back([this, w] { worker_loop(w); });
+      }
+      for (auto& t : workers) t.join();
+    }
+
+    if (stats) *stats = stats_;
+    if (fatal_) std::rethrow_exception(fatal_);
+    if (halted_) {
+      journal_.reset();  // flush and close: the journal is the resume point
+      throw CoordinatorInterrupted(
+          "coordinator halted after " + std::to_string(stats_.tasks_executed) +
+          " tasks (checkpoint retained)");
+    }
+
+    for (std::size_t a = 0; a < k_; ++a) {
+      for (std::size_t i = 0; i < subsets_[a].moduli.size(); ++i) {
+        result.divisors[subsets_[a].offset + i] =
+            bn::gcd(subsets_[a].moduli[i], partial_[a][i]);
+      }
+    }
+    journal_.reset();
+    if (!config_.checkpoint_path.empty() &&
+        config_.remove_checkpoint_on_success) {
+      std::remove(config_.checkpoint_path.c_str());
+    }
+    if (stats) *stats = stats_;
+    return result;
+  }
+
+ private:
+  struct Subset {
+    std::size_t offset = 0;
+    std::span<const BigInt> moduli;
+  };
+
+  struct Pending {
+    std::size_t task = 0;
+    std::size_t attempt = 0;  ///< 0-based attempt about to run
+    Clock::time_point ready_at;
+    std::size_t banned_worker = kNoWorker;  ///< who failed it last
+  };
+
+  enum class OutcomeKind { kOk, kCrash, kStraggle, kCorrupt };
+
+  struct Outcome {
+    OutcomeKind kind = OutcomeKind::kOk;
+    std::vector<Claim> claims;
+    bool lost_tree = false;
+    std::uint64_t ns = 0;
+  };
+
+  void log(const std::string& message) const {
+    if (config_.log) config_.log(message);
+  }
+
+  // -- checkpoint journal --------------------------------------------------
+
+  /// Loads any valid committed-task prefix from the journal, applies it to
+  /// partial_ and `done`, then rewrites the file to exactly that prefix
+  /// (dropping a torn tail) and leaves it open for appending new commits.
+  void open_journal(std::vector<bool>& done) {
+    const std::uint64_t fingerprint = corpus_fingerprint(moduli_, k_);
+    std::vector<std::vector<std::uint8_t>> loaded;
+    if (const auto file = core::read_file_bytes(config_.checkpoint_path)) {
+      core::BufferReader r(*file);
+      try {
+        if (r.u32() == kCheckpointMagic && r.u32() == kCheckpointVersion &&
+            r.u64() == fingerprint &&
+            r.u32() == static_cast<std::uint32_t>(total_)) {
+          while (!r.exhausted()) {
+            const auto payload = r.bytes();
+            if (r.u32() != core::crc32(payload)) break;  // corrupted: drop tail
+            if (apply_record(payload, done)) loaded.push_back(payload);
+          }
+        }
+      } catch (const std::exception&) {
+        // Torn header or record framing: keep whatever applied cleanly.
+      }
+    }
+
+    journal_ = std::make_unique<core::BinaryWriter>(config_.checkpoint_path);
+    journal_->u32(kCheckpointMagic);
+    journal_->u32(kCheckpointVersion);
+    journal_->u64(fingerprint);
+    journal_->u32(static_cast<std::uint32_t>(total_));
+    for (const auto& payload : loaded) {
+      journal_->bytes(payload);
+      journal_->u32(core::crc32(payload));
+    }
+    journal_->flush();
+  }
+
+  /// Parses one journal record and folds its claims into partial_. False
+  /// for duplicates/garbage (record is then not preserved on rewrite).
+  bool apply_record(const std::vector<std::uint8_t>& payload,
+                    std::vector<bool>& done) {
+    try {
+      core::BufferReader r(payload);
+      const std::uint32_t task = r.u32();
+      if (task >= total_ || done[task]) return false;
+      const std::size_t a = task % k_;
+      const std::uint32_t count = r.u32();
+      std::vector<Claim> claims;
+      claims.reserve(count);
+      for (std::uint32_t c = 0; c < count; ++c) {
+        Claim claim;
+        claim.leaf = r.u32();
+        claim.divisor = BigInt::from_bytes(r.bytes());
+        if (claim.leaf >= subsets_[a].moduli.size()) return false;
+        claims.push_back(std::move(claim));
+      }
+      if (!verify(a, claims)) return false;
+      for (const auto& claim : claims) {
+        partial_[a][claim.leaf] = partial_[a][claim.leaf] * claim.divisor;
+      }
+      done[task] = true;
+      ++committed_;
+      ++stats_.tasks_resumed;
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+
+  void journal_commit(std::size_t task, const std::vector<Claim>& claims) {
+    if (!journal_) return;
+    core::BufferWriter w;
+    w.u32(static_cast<std::uint32_t>(task));
+    w.u32(static_cast<std::uint32_t>(claims.size()));
+    for (const auto& claim : claims) {
+      w.u32(claim.leaf);
+      w.bytes(claim.divisor.to_bytes());
+    }
+    journal_->bytes(w.data());
+    journal_->u32(core::crc32(w.data()));
+    journal_->flush();
+  }
+
+  // -- product trees -------------------------------------------------------
+
+  void build_trees_parallel() {
+    std::atomic<std::size_t> next{0};
+    const std::size_t nthreads = std::min(workers_n_, k_);
+    auto build = [this, &next] {
+      for (std::size_t a = next++; a < k_; a = next++) {
+        auto tree = std::make_shared<ProductTree>(subsets_[a].moduli);
+        std::lock_guard guard(tree_mu_);
+        trees_[a] = std::move(tree);
+      }
+    };
+    if (nthreads <= 1) {
+      build();
+      return;
+    }
+    std::vector<std::thread> builders;
+    builders.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) builders.emplace_back(build);
+    for (auto& t : builders) t.join();
+  }
+
+  std::shared_ptr<const ProductTree> acquire_tree(std::size_t a) {
+    std::lock_guard guard(tree_mu_);
+    if (!trees_[a]) {
+      trees_[a] = std::make_shared<ProductTree>(subsets_[a].moduli);
+    }
+    return trees_[a];
+  }
+
+  void drop_tree(std::size_t a) {
+    std::lock_guard guard(tree_mu_);
+    trees_[a].reset();
+  }
+
+  // -- task execution ------------------------------------------------------
+
+  /// One attempt on the simulated worker, faults included. Runs unlocked.
+  Outcome execute(const Pending& p) {
+    const auto t0 = Clock::now();
+    Outcome out;
+    const util::FaultDecision decision =
+        config_.injector ? config_.injector->decide(p.task, p.attempt)
+                         : util::FaultDecision{};
+    const std::size_t b = p.task / k_;  // product index
+    const std::size_t a = p.task % k_;  // subset index
+
+    if (decision.lose_tree) {
+      // The subset's product tree evaporates (node reboot, evicted cache).
+      // Not a task failure: the next acquire_tree() rebuilds it.
+      drop_tree(a);
+      out.lost_tree = true;
+    }
+    if (decision.kind == util::FaultKind::kCrash) {
+      out.kind = OutcomeKind::kCrash;
+      out.ns = elapsed_ns(t0);
+      return out;
+    }
+    if (decision.kind == util::FaultKind::kStraggle) {
+      // The worker limps along past the deadline; the coordinator kills it
+      // and discards whatever it would eventually have produced.
+      std::this_thread::sleep_for(config_.straggler_deadline);
+      out.kind = OutcomeKind::kStraggle;
+      out.ns = elapsed_ns(t0);
+      return out;
+    }
+
+    const Subset& subset = subsets_[a];
+    const auto tree_a = acquire_tree(a);
+    const BigInt product = acquire_tree(b)->root();
+    const std::vector<BigInt> rem = remainder_tree_squares(*tree_a, product);
+    const BigInt one(1);
+    for (std::size_t i = 0; i < subset.moduli.size(); ++i) {
+      const BigInt& n = subset.moduli[i];
+      BigInt g = (b == a) ? bn::gcd(n, rem[i] / n) : bn::gcd(n, rem[i] % n);
+      if (g > one) {
+        out.claims.push_back({static_cast<std::uint32_t>(i), std::move(g)});
+      }
+    }
+
+    if (decision.kind == util::FaultKind::kCorruptResult &&
+        !subset.moduli.empty()) {
+      const std::size_t slot = decision.corrupt_slot % subset.moduli.size();
+      const BigInt& n = subset.moduli[slot];
+      if (n > BigInt(2)) {
+        // n-1 never divides n for n > 2, so verification is guaranteed to
+        // reject this claim — the corruption cannot leak into the output.
+        const BigInt bogus = n - one;
+        const auto it = std::find_if(
+            out.claims.begin(), out.claims.end(),
+            [slot](const Claim& c) { return c.leaf == slot; });
+        if (it != out.claims.end()) {
+          it->divisor = bogus;
+        } else {
+          out.claims.push_back({static_cast<std::uint32_t>(slot), bogus});
+        }
+      }
+    }
+
+    if (!verify(a, out.claims)) out.kind = OutcomeKind::kCorrupt;
+    out.ns = elapsed_ns(t0);
+    return out;
+  }
+
+  /// A claimed divisor is accepted only if it is nontrivial, bounded by its
+  /// modulus, and actually divides it.
+  [[nodiscard]] bool verify(std::size_t a,
+                            const std::vector<Claim>& claims) const {
+    const BigInt one(1);
+    for (const auto& claim : claims) {
+      if (claim.leaf >= subsets_[a].moduli.size()) return false;
+      const BigInt& n = subsets_[a].moduli[claim.leaf];
+      if (!(claim.divisor > one) || claim.divisor > n) return false;
+      if (!(n % claim.divisor == BigInt(0))) return false;
+    }
+    return true;
+  }
+
+  static std::uint64_t elapsed_ns(Clock::time_point t0) {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count());
+  }
+
+  // -- scheduling ----------------------------------------------------------
+
+  std::chrono::milliseconds backoff_for(std::size_t failed_attempt) const {
+    auto delay = config_.backoff_base;
+    for (std::size_t i = 0; i < failed_attempt && delay < config_.backoff_cap;
+         ++i) {
+      delay *= 2;
+    }
+    return std::min(delay, config_.backoff_cap);
+  }
+
+  void worker_loop(std::size_t w) {
+    std::unique_lock lock(mu_);
+    for (;;) {
+      if (fatal_ || halted_) return;
+      if (committed_ == total_) return;
+
+      const auto now = Clock::now();
+      std::size_t pick = pending_.size();
+      auto earliest = Clock::time_point::max();
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const Pending& p = pending_[i];
+        if (p.banned_worker == w) continue;
+        if (p.ready_at <= now) {
+          pick = i;
+          break;
+        }
+        earliest = std::min(earliest, p.ready_at);
+      }
+      if (pick == pending_.size()) {
+        if (pending_.empty() && inflight_ == 0) return;  // fully drained
+        if (earliest == Clock::time_point::max()) {
+          cv_.wait(lock);
+        } else {
+          cv_.wait_until(lock, earliest);
+        }
+        continue;
+      }
+
+      Pending p = pending_[pick];
+      pending_.erase(pending_.begin() +
+                     static_cast<std::ptrdiff_t>(pick));
+      ++inflight_;
+      ++stats_.attempts;
+      if (p.attempt > 0) ++stats_.retries;
+      lock.unlock();
+
+      Outcome out;
+      try {
+        out = execute(p);
+      } catch (...) {
+        lock.lock();
+        --inflight_;
+        if (!fatal_) fatal_ = std::current_exception();
+        cv_.notify_all();
+        return;
+      }
+
+      lock.lock();
+      --inflight_;
+      stats_.total_task_ns += out.ns;
+      stats_.max_task_ns = std::max(stats_.max_task_ns, out.ns);
+      if (out.lost_tree) ++stats_.trees_rebuilt;
+
+      if (out.kind == OutcomeKind::kOk) {
+        commit(p.task, out.claims);
+      } else {
+        switch (out.kind) {
+          case OutcomeKind::kCrash:
+            ++stats_.crashes;
+            break;
+          case OutcomeKind::kStraggle:
+            ++stats_.stragglers_killed;
+            break;
+          case OutcomeKind::kCorrupt:
+            ++stats_.corruptions_caught;
+            break;
+          case OutcomeKind::kOk:
+            break;
+        }
+        const std::size_t next_attempt = p.attempt + 1;
+        if (next_attempt >= config_.max_attempts) {
+          if (!fatal_) {
+            fatal_ = std::make_exception_ptr(CoordinatorError(
+                "task " + std::to_string(p.task) + " failed after " +
+                std::to_string(next_attempt) + " attempts"));
+          }
+          cv_.notify_all();
+          return;
+        }
+        // Retry with capped exponential backoff, preferring a different
+        // worker (with a single worker there is no one else to blame).
+        pending_.push_back({p.task, next_attempt,
+                            Clock::now() + backoff_for(p.attempt),
+                            workers_n_ > 1 ? w : kNoWorker});
+      }
+      cv_.notify_all();
+    }
+  }
+
+  /// Accepts a verified result: folds claims into the divisor accumulators,
+  /// journals the task, and checks the simulated-kill hook. Caller holds mu_.
+  void commit(std::size_t task, const std::vector<Claim>& claims) {
+    const std::size_t a = task % k_;
+    for (const auto& claim : claims) {
+      partial_[a][claim.leaf] = partial_[a][claim.leaf] * claim.divisor;
+    }
+    journal_commit(task, claims);
+    ++committed_;
+    ++stats_.tasks_executed;
+    if (config_.halt_after_tasks != 0 &&
+        stats_.tasks_executed >= config_.halt_after_tasks &&
+        committed_ < total_) {
+      halted_ = true;
+    }
+  }
+
+  CoordinatorConfig config_;
+  std::span<const BigInt> moduli_;
+  std::size_t k_ = 1;
+  std::size_t total_ = 0;
+  std::size_t workers_n_ = 1;
+  std::vector<Subset> subsets_;
+
+  std::mutex tree_mu_;
+  std::vector<std::shared_ptr<const ProductTree>> trees_;
+
+  std::mutex mu_;  ///< guards everything below
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;
+  std::size_t inflight_ = 0;
+  std::size_t committed_ = 0;  ///< resumed + executed
+  bool halted_ = false;
+  std::exception_ptr fatal_;
+  std::vector<std::vector<BigInt>> partial_;  ///< per subset, per leaf
+  std::unique_ptr<core::BinaryWriter> journal_;
+  CoordinatorStats stats_;
+};
+
+}  // namespace
+
+BatchGcdResult batch_gcd_coordinated(std::span<const BigInt> moduli,
+                                     const CoordinatorConfig& config,
+                                     CoordinatorStats* stats) {
+  Coordinator coordinator(moduli, config);
+  return coordinator.run(stats);
+}
+
+}  // namespace weakkeys::batchgcd

@@ -1,0 +1,103 @@
+// Fault-tolerant cluster coordinator for the distributed batch GCD.
+//
+// batch_gcd_distributed() models the paper's 22-machine cluster (Section
+// 3.2) as a thread pool where every one of the k^2 (product, subset) tasks
+// succeeds exactly once. At cluster scale that assumption is false: workers
+// crash mid-task, straggle past deadlines, and occasionally return garbage.
+// The coordinator treats the k^2 remainder-tree tasks as a work queue over
+// simulated workers and survives all three failure modes:
+//
+//   - every claimed result is *verified* before acceptance (a nontrivial
+//     divisor must actually divide its modulus); corrupted results are
+//     rejected and the task re-executed;
+//   - failed and timed-out attempts retry with capped exponential backoff,
+//     reassigned to a different worker where possible;
+//   - completed tasks are journaled to a CRC-guarded binary checkpoint, so
+//     an interrupted run resumes re-executing only the unfinished tasks;
+//   - a lost subset product tree is rebuilt on demand instead of aborting
+//     the whole factoring run.
+//
+// The task decomposition is exactly batch_gcd_distributed()'s, and divisor
+// accumulation is commutative, so under *any* fault schedule the output is
+// element-for-element identical to batch_gcd().
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "util/fault_injector.hpp"
+
+namespace weakkeys::batchgcd {
+
+struct CoordinatorConfig {
+  /// Subset count k (the paper used k=16 on 22 machines). Clamped to
+  /// [1, moduli.size()].
+  std::size_t subsets = 4;
+  /// Simulated workers (0 = hardware_concurrency).
+  std::size_t workers = 0;
+  /// Attempts per task before the run is declared failed.
+  std::size_t max_attempts = 64;
+  /// Retry backoff: min(backoff_base * 2^(attempt-1), backoff_cap).
+  std::chrono::milliseconds backoff_base{1};
+  std::chrono::milliseconds backoff_cap{64};
+  /// Deadline after which a straggling worker is killed and its (eventual)
+  /// result discarded. In this in-process simulation the straggler sleeps
+  /// to the deadline and then abandons the attempt.
+  std::chrono::milliseconds straggler_deadline{2};
+  /// Checkpoint journal path; empty disables journaling (and resume).
+  std::string checkpoint_path;
+  /// Delete the journal once every task has committed (the factor cache
+  /// supersedes it). Keep it only for checkpoint-format debugging.
+  bool remove_checkpoint_on_success = true;
+  /// Test hook simulating the coordinator process being killed mid-run:
+  /// stop dispatching once this many tasks have committed this run and
+  /// throw CoordinatorInterrupted (0 = disabled). In-flight tasks still
+  /// commit, so the journal may hold slightly more than this count.
+  std::size_t halt_after_tasks = 0;
+  /// Fault source; nullptr = fault-free run.
+  const util::FaultInjector* injector = nullptr;
+  /// Progress sink; null discards.
+  std::function<void(const std::string&)> log;
+};
+
+struct CoordinatorStats {
+  std::size_t subsets = 0;
+  std::size_t tasks = 0;               ///< k * k (product x subset) pairs
+  std::size_t attempts = 0;            ///< task executions started
+  std::size_t retries = 0;             ///< attempts beyond each task's first
+  std::size_t crashes = 0;             ///< worker crashes observed
+  std::size_t stragglers_killed = 0;   ///< deadline-exceeded attempts killed
+  std::size_t corruptions_caught = 0;  ///< results rejected by verification
+  std::size_t trees_rebuilt = 0;       ///< lost subset product trees rebuilt
+  std::size_t tasks_resumed = 0;       ///< loaded from checkpoint, not re-run
+  std::size_t tasks_executed = 0;      ///< committed by this run's workers
+  std::uint64_t total_task_ns = 0;     ///< wall-clock summed over attempts
+  std::uint64_t max_task_ns = 0;       ///< slowest single attempt
+};
+
+/// A task exhausted max_attempts, or the checkpoint could not be written.
+class CoordinatorError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by the halt_after_tasks test hook: the simulated kill. The
+/// checkpoint journal (if any) holds everything committed so far.
+class CoordinatorInterrupted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Runs the k-subset batch GCD through the fault-tolerant coordinator.
+/// Output is element-for-element identical to batch_gcd() under any fault
+/// schedule. Resumes from `config.checkpoint_path` when it holds a journal
+/// for the same moduli and k.
+BatchGcdResult batch_gcd_coordinated(std::span<const bn::BigInt> moduli,
+                                     const CoordinatorConfig& config,
+                                     CoordinatorStats* stats = nullptr);
+
+}  // namespace weakkeys::batchgcd

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "analysis/chains.hpp"
+#include "batchgcd/coordinator.hpp"
 #include "batchgcd/distributed.hpp"
 #include "core/binary_io.hpp"
 #include "core/scan_store.hpp"
@@ -17,7 +18,7 @@ namespace {
 /// Bump when the catalog or simulation semantics change, so stale corpus
 /// caches are rebuilt.
 constexpr std::uint32_t kCatalogVersion = 4;
-constexpr std::uint32_t kFactorMagic = 0x574b4631;  // "WKF1"
+constexpr std::uint32_t kFactorMagic = 0x574b4632;  // "WKF2" (adds footer)
 }  // namespace
 
 Study::Study(StudyConfig config)
@@ -80,6 +81,9 @@ void write_bigint(BinaryWriter& w, const bn::BigInt& v) {
 }  // namespace
 
 bool Study::load_factor_cache(const std::string& path) {
+  // Truncated or bit-flipped caches fail the length+CRC footer and fall
+  // back to recomputation, mirroring the dataset cache's truncation safety.
+  if (!verify_checksum_footer(path)) return false;
   BinaryReader r(path);
   if (!r.ok()) return false;
   try {
@@ -120,7 +124,14 @@ bool Study::load_factor_cache(const std::string& path) {
 }
 
 void Study::save_factor_cache(const std::string& path) const {
-  BinaryWriter w(path);
+  {
+    BinaryWriter w(path);
+    write_factor_cache_payload(w);
+  }
+  append_checksum_footer(path);
+}
+
+void Study::write_factor_cache_payload(BinaryWriter& w) const {
   w.u32(kFactorMagic);
   w.u64(config_.sim.seed);
   w.u64(static_cast<std::uint64_t>(config_.sim.scale * 1e6));
@@ -155,9 +166,34 @@ void Study::factor_moduli() {
   log("running batch GCD over " + std::to_string(moduli.size()) +
       " distinct moduli (k=" + std::to_string(config_.batch_gcd_subsets) + ")");
 
-  util::ThreadPool pool(config_.threads);
-  const batchgcd::BatchGcdResult result = batchgcd::batch_gcd_distributed(
-      moduli, config_.batch_gcd_subsets, &pool);
+  batchgcd::BatchGcdResult result;
+  if (config_.fault_tolerant) {
+    // Fault-tolerant path: verified results, retries, and a checkpoint
+    // journal so a killed run resumes with only the unfinished tasks.
+    batchgcd::CoordinatorConfig coord;
+    coord.subsets = config_.batch_gcd_subsets;
+    coord.workers = config_.threads;
+    coord.checkpoint_path =
+        config_.cache_path.empty() ? "" : config_.cache_path + ".gcdckpt";
+    coord.log = config_.log;
+    util::FaultInjector injector(config_.faults);
+    if (config_.faults.any_faults()) coord.injector = &injector;
+    result = batchgcd::batch_gcd_coordinated(moduli, coord, &coordinator_stats_);
+    log("coordinator: " + std::to_string(coordinator_stats_.attempts) +
+        " attempts for " + std::to_string(coordinator_stats_.tasks) +
+        " tasks (" + std::to_string(coordinator_stats_.retries) + " retries, " +
+        std::to_string(coordinator_stats_.corruptions_caught) +
+        " corruptions caught, " +
+        std::to_string(coordinator_stats_.stragglers_killed) +
+        " stragglers killed, " +
+        std::to_string(coordinator_stats_.tasks_resumed) +
+        " resumed from checkpoint)");
+  } else {
+    // Fault-free fast path: every task assumed to succeed exactly once.
+    util::ThreadPool pool(config_.threads);
+    result = batchgcd::batch_gcd_distributed(moduli,
+                                             config_.batch_gcd_subsets, &pool);
+  }
 
   std::vector<std::size_t> full_modulus_indices;
   for (std::size_t i = 0; i < moduli.size(); ++i) {
@@ -337,6 +373,9 @@ analysis::TimeSeriesBuilder Study::series_builder() const {
 const netsim::ScanDataset& Study::raw_dataset() const { return raw_dataset_; }
 const netsim::ScanDataset& Study::dataset() const { return dataset_; }
 const FactorStats& Study::factor_stats() const { return stats_; }
+const batchgcd::CoordinatorStats& Study::coordinator_stats() const {
+  return coordinator_stats_;
+}
 const std::vector<FactorRecord>& Study::factored() const { return factored_; }
 const analysis::VulnerableSet& Study::vulnerable() const { return vulnerable_; }
 const std::vector<fingerprint::PrimeClique>& Study::cliques() const {

@@ -23,6 +23,7 @@
 
 #include "analysis/timeseries.hpp"
 #include "batchgcd/batch_gcd.hpp"
+#include "batchgcd/coordinator.hpp"
 #include "fingerprint/divisor_class.hpp"
 #include "fingerprint/ibm_clique.hpp"
 #include "fingerprint/mitm_detector.hpp"
@@ -42,6 +43,15 @@ struct StudyConfig {
   /// Dataset cache path; empty disables caching. A stale or mismatched
   /// cache is silently rebuilt.
   std::string cache_path = "weakkeys_corpus.cache";
+  /// Route the factoring stage through the fault-tolerant cluster
+  /// coordinator (batch_gcd_coordinated) instead of the fault-free
+  /// batch_gcd_distributed fast path. Enables checkpoint/resume: completed
+  /// remainder-tree tasks journal to `cache_path + ".gcdckpt"`, so an
+  /// interrupted factoring run re-executes only the unfinished tasks.
+  bool fault_tolerant = false;
+  /// Fault injection for the coordinator (all-zero = no injected faults).
+  /// Only meaningful with fault_tolerant = true.
+  util::FaultConfig faults;
   /// Progress sink (the simulation and factoring take a while at full
   /// scale); null discards.
   std::function<void(const std::string&)> log;
@@ -81,6 +91,9 @@ class Study {
 
   // -- Factoring ---------------------------------------------------------
   [[nodiscard]] const FactorStats& factor_stats() const;
+  /// Coordinator telemetry (attempts, retries, corruptions caught, ...).
+  /// All zero when the fast path ran or the factor cache was hit.
+  [[nodiscard]] const batchgcd::CoordinatorStats& coordinator_stats() const;
   [[nodiscard]] const std::vector<FactorRecord>& factored() const;
   /// Moduli counted as vulnerable: genuinely weak keys (shared-prime and
   /// clique factorizations; bit errors excluded, as in the paper).
@@ -119,6 +132,7 @@ class Study {
   void fingerprint_corpus();
   bool load_factor_cache(const std::string& path);
   void save_factor_cache(const std::string& path) const;
+  void write_factor_cache_payload(class BinaryWriter& w) const;
   void log(const std::string& message) const;
 
   StudyConfig config_;
@@ -128,6 +142,7 @@ class Study {
   std::unique_ptr<netsim::Internet> internet_;
 
   FactorStats stats_;
+  batchgcd::CoordinatorStats coordinator_stats_;
   std::vector<FactorRecord> factored_;
   analysis::VulnerableSet vulnerable_;
 

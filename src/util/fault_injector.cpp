@@ -1,0 +1,42 @@
+#include "util/fault_injector.hpp"
+
+#include "util/prng.hpp"
+
+namespace weakkeys::util {
+
+namespace {
+
+/// SplitMix64 finalizer — mixes one word into an avalanche-quality hash.
+constexpr std::uint64_t mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultDecision FaultInjector::decide(std::uint64_t task,
+                                    std::uint64_t attempt) const {
+  // Key the stream on (seed, task, attempt) only — never on wall-clock or
+  // scheduling state — so schedules replay identically across worker counts.
+  const std::uint64_t key =
+      mix(mix(config_.seed + 0x9e3779b97f4a7c15ULL * (task + 1)) +
+          0xd1b54a32d192ed03ULL * (attempt + 1));
+  Xoshiro256 rng(key);
+
+  FaultDecision decision;
+  decision.lose_tree = rng.chance(config_.tree_loss_probability);
+  const double roll = rng.uniform();
+  if (roll < config_.crash_probability) {
+    decision.kind = FaultKind::kCrash;
+  } else if (roll < config_.crash_probability + config_.straggle_probability) {
+    decision.kind = FaultKind::kStraggle;
+  } else if (roll < config_.crash_probability + config_.straggle_probability +
+                        config_.corrupt_probability) {
+    decision.kind = FaultKind::kCorruptResult;
+    decision.corrupt_slot = rng();
+  }
+  return decision;
+}
+
+}  // namespace weakkeys::util

@@ -1,0 +1,71 @@
+// Deterministic fault injection for the distributed batch-GCD coordinator.
+//
+// The paper's 86-minute, 22-machine cluster run (Section 3.2) lives in a
+// world where workers crash, straggle, and return garbage. The injector
+// models those failure modes as a pure function of (seed, task, attempt):
+// the schedule of injected faults does not depend on thread timing, worker
+// count, or execution order, so every experiment — including the recovery
+// benchmarks — is reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+
+namespace weakkeys::util {
+
+struct FaultConfig {
+  std::uint64_t seed = 0;
+  /// Per-attempt probability that the worker crashes mid-task (no result).
+  double crash_probability = 0.0;
+  /// Per-attempt probability that the worker straggles past the
+  /// coordinator's deadline and is killed (its late result is discarded).
+  double straggle_probability = 0.0;
+  /// Per-attempt probability that the worker returns a corrupted divisor
+  /// (one that does not divide its modulus — result verification must
+  /// catch it).
+  double corrupt_probability = 0.0;
+  /// Per-attempt probability that the subset's cached product tree is lost
+  /// before the task runs; the coordinator must rebuild it rather than
+  /// abort. Orthogonal to the three failure outcomes above.
+  double tree_loss_probability = 0.0;
+
+  [[nodiscard]] bool any_faults() const {
+    return crash_probability > 0 || straggle_probability > 0 ||
+           corrupt_probability > 0 || tree_loss_probability > 0;
+  }
+};
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,      ///< attempt runs to completion with a correct result
+  kCrash,         ///< worker dies mid-task; nothing is returned
+  kStraggle,      ///< worker misses the deadline; coordinator kills it
+  kCorruptResult  ///< worker returns a divisor that fails verification
+};
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  /// Evict the subset's product tree at task start (graceful-degradation
+  /// path); independent of `kind`.
+  bool lose_tree = false;
+  /// Which result slot to corrupt when kind == kCorruptResult (taken
+  /// modulo the subset size by the worker).
+  std::uint64_t corrupt_slot = 0;
+};
+
+/// Seeded source of per-(task, attempt) fault decisions. Stateless after
+/// construction; safe to share across worker threads.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config) : config_(config) {}
+
+  /// The fault outcome for attempt number `attempt` (0-based) of `task`.
+  /// Pure: the same (seed, task, attempt) always yields the same decision.
+  [[nodiscard]] FaultDecision decide(std::uint64_t task,
+                                     std::uint64_t attempt) const;
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+};
+
+}  // namespace weakkeys::util

@@ -17,7 +17,10 @@ class ThreadPool {
   /// Starts `workers` threads (at least 1; 0 means hardware_concurrency).
   explicit ThreadPool(std::size_t workers = 0);
 
-  /// Drains outstanding work, then joins all workers.
+  /// Drain guarantee: destruction runs every task already submitted to
+  /// completion before joining — pending work is never discarded, so a
+  /// future obtained from submit() always becomes ready (with a value or
+  /// an exception), even when the pool is destroyed first.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -26,7 +29,13 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const { return threads_.size(); }
 
   /// Schedules `fn` and returns a future for its result. Exceptions thrown
-  /// by `fn` propagate through the future.
+  /// by `fn` propagate through the future (and never touch the worker
+  /// thread, so one throwing task cannot wedge the pool).
+  ///
+  /// Contract: submitting to a pool whose destructor has begun throws
+  /// std::runtime_error. Reaching that state requires racing submit()
+  /// against destruction, which is a caller lifetime bug; the throw makes
+  /// it loud instead of deadlocking on a task that will never run.
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
     using R = std::invoke_result_t<Fn>;
@@ -42,7 +51,8 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// The first exception (if any) is rethrown in the caller.
+  /// Waits for *all* n tasks even when some throw — `fn` is only borrowed
+  /// for the duration of the call — then rethrows the first exception.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

@@ -1,0 +1,381 @@
+// Fault-tolerant coordinator: output equivalence under injected faults,
+// fault-schedule determinism, checkpoint/resume, and Study integration.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "batchgcd/coordinator.hpp"
+#include "core/study.hpp"
+#include "rng/prng_source.hpp"
+#include "rsa/keygen.hpp"
+#include "util/fault_injector.hpp"
+
+namespace weakkeys::batchgcd {
+namespace {
+
+using bn::BigInt;
+
+/// Small corpus with planted shared-prime structure (and a duplicate), so
+/// every subset has real divisors for corruption/verification to bite on.
+std::vector<BigInt> make_moduli(std::uint64_t seed, std::size_t healthy) {
+  std::vector<BigInt> moduli;
+  rng::PrngRandomSource rng(seed);
+  rsa::KeygenOptions opts;
+  opts.modulus_bits = 128;
+  opts.style = rsa::PrimeStyle::kPlain;
+  opts.miller_rabin_rounds = 6;
+  for (std::size_t i = 0; i < healthy; ++i) {
+    moduli.push_back(rsa::generate_key(rng, opts).pub.n);
+  }
+  std::vector<BigInt> primes;
+  for (int i = 0; i < 8; ++i) {
+    primes.push_back(rsa::generate_prime(rng, 64, opts));
+  }
+  moduli.push_back(primes[0] * primes[1]);  // pair sharing primes[0]
+  moduli.push_back(primes[0] * primes[2]);
+  moduli.push_back(primes[3] * primes[4]);  // star of three sharing primes[3]
+  moduli.push_back(primes[3] * primes[5]);
+  moduli.push_back(primes[3] * primes[6]);
+  moduli.push_back(primes[1] * primes[7]);
+  moduli.push_back(primes[1] * primes[7]);  // duplicate
+  return moduli;
+}
+
+CoordinatorConfig fast_config(std::size_t k, std::size_t workers) {
+  CoordinatorConfig config;
+  config.subsets = k;
+  config.workers = workers;
+  config.backoff_base = std::chrono::milliseconds(1);
+  config.backoff_cap = std::chrono::milliseconds(8);
+  config.straggler_deadline = std::chrono::milliseconds(1);
+  return config;
+}
+
+// ------------------------------------------------------ fault-free path ----
+
+TEST(Coordinator, FaultFreeMatchesBatchGcd) {
+  const auto moduli = make_moduli(101, 25);
+  const auto reference = batch_gcd(moduli);
+  for (const std::size_t k : {1u, 3u, 5u}) {
+    CoordinatorStats stats;
+    const auto result =
+        batch_gcd_coordinated(moduli, fast_config(k, 4), &stats);
+    EXPECT_EQ(result.divisors, reference.divisors) << "k=" << k;
+    EXPECT_EQ(stats.tasks, k * k);
+    EXPECT_EQ(stats.attempts, k * k);  // every task succeeds first try
+    EXPECT_EQ(stats.retries, 0u);
+    EXPECT_EQ(stats.tasks_executed, k * k);
+    EXPECT_EQ(stats.tasks_resumed, 0u);
+  }
+}
+
+TEST(Coordinator, EmptyAndSingleInputs) {
+  CoordinatorStats stats;
+  const auto empty =
+      batch_gcd_coordinated({}, fast_config(4, 2), &stats);
+  EXPECT_TRUE(empty.divisors.empty());
+
+  const std::vector<BigInt> one = {BigInt(77)};
+  const auto single = batch_gcd_coordinated(one, fast_config(4, 2), &stats);
+  ASSERT_EQ(single.divisors.size(), 1u);
+  EXPECT_EQ(single.divisors[0], BigInt(1));
+}
+
+// -------------------------------------------------- equivalence w/ faults ----
+
+class CoordinatorFaults : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CoordinatorFaults, HeavyFaultsStillMatchBatchGcd) {
+  // >= 20% per-task fault probability across all three failure modes plus
+  // tree loss — the acceptance bar from the issue.
+  const auto moduli = make_moduli(GetParam(), 20);
+  const auto reference = batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = GetParam() * 31 + 7;
+  faults.crash_probability = 0.10;
+  faults.straggle_probability = 0.08;
+  faults.corrupt_probability = 0.10;
+  faults.tree_loss_probability = 0.05;
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(4, 3);
+  config.injector = &injector;
+  CoordinatorStats stats;
+  const auto result = batch_gcd_coordinated(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_EQ(stats.tasks_executed, stats.tasks);
+  EXPECT_EQ(stats.retries,
+            stats.crashes + stats.stragglers_killed + stats.corruptions_caught);
+  EXPECT_EQ(stats.attempts, stats.tasks + stats.retries);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoordinatorFaults,
+                         ::testing::Values(11, 12, 13, 14));
+
+TEST(Coordinator, CorruptedResultsAreCaughtNotAccepted) {
+  const auto moduli = make_moduli(55, 18);
+  const auto reference = batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 99;
+  faults.corrupt_probability = 0.5;  // half of all attempts return garbage
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(3, 2);
+  config.injector = &injector;
+  CoordinatorStats stats;
+  const auto result = batch_gcd_coordinated(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_GT(stats.corruptions_caught, 0u);
+  EXPECT_EQ(stats.crashes, 0u);
+  EXPECT_EQ(stats.stragglers_killed, 0u);
+}
+
+TEST(Coordinator, ExhaustedRetriesThrow) {
+  const auto moduli = make_moduli(77, 6);
+  util::FaultConfig faults;
+  faults.seed = 5;
+  faults.crash_probability = 1.0;  // every attempt crashes
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(2, 2);
+  config.injector = &injector;
+  config.max_attempts = 3;
+  EXPECT_THROW(batch_gcd_coordinated(moduli, config), CoordinatorError);
+}
+
+// ------------------------------------------------ schedule determinism ----
+
+TEST(FaultInjector, DecisionIsPureFunctionOfTaskAndAttempt) {
+  util::FaultConfig faults;
+  faults.seed = 42;
+  faults.crash_probability = 0.2;
+  faults.straggle_probability = 0.2;
+  faults.corrupt_probability = 0.2;
+  faults.tree_loss_probability = 0.1;
+  const util::FaultInjector a(faults);
+  const util::FaultInjector b(faults);
+  bool saw_fault = false, saw_none = false;
+  for (std::uint64_t task = 0; task < 64; ++task) {
+    for (std::uint64_t attempt = 0; attempt < 4; ++attempt) {
+      const auto da = a.decide(task, attempt);
+      const auto db = b.decide(task, attempt);
+      EXPECT_EQ(da.kind, db.kind);
+      EXPECT_EQ(da.lose_tree, db.lose_tree);
+      EXPECT_EQ(da.corrupt_slot, db.corrupt_slot);
+      (da.kind == util::FaultKind::kNone ? saw_none : saw_fault) = true;
+    }
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_none);
+
+  faults.seed = 43;  // different seed, different schedule
+  const util::FaultInjector c(faults);
+  bool differs = false;
+  for (std::uint64_t task = 0; task < 64 && !differs; ++task) {
+    differs = c.decide(task, 0).kind != a.decide(task, 0).kind;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Coordinator, SameSeedSameScheduleAcrossWorkerCounts) {
+  // The same FaultInjector seed must yield the same injected
+  // crash/straggler/corruption sequence and the same final BatchGcdResult
+  // across 1-, 2-, and 8-worker coordinators.
+  const auto moduli = make_moduli(202, 16);
+  const auto reference = batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 2024;
+  faults.crash_probability = 0.12;
+  faults.straggle_probability = 0.08;
+  faults.corrupt_probability = 0.12;
+  faults.tree_loss_probability = 0.05;
+  const util::FaultInjector injector(faults);
+
+  CoordinatorStats baseline;
+  bool have_baseline = false;
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    auto config = fast_config(4, workers);
+    config.injector = &injector;
+    CoordinatorStats stats;
+    const auto result = batch_gcd_coordinated(moduli, config, &stats);
+    EXPECT_EQ(result.divisors, reference.divisors) << "workers=" << workers;
+    if (!have_baseline) {
+      baseline = stats;
+      have_baseline = true;
+      EXPECT_GT(stats.retries, 0u);  // the schedule must actually inject
+    } else {
+      EXPECT_EQ(stats.attempts, baseline.attempts) << "workers=" << workers;
+      EXPECT_EQ(stats.retries, baseline.retries) << "workers=" << workers;
+      EXPECT_EQ(stats.crashes, baseline.crashes) << "workers=" << workers;
+      EXPECT_EQ(stats.stragglers_killed, baseline.stragglers_killed)
+          << "workers=" << workers;
+      EXPECT_EQ(stats.corruptions_caught, baseline.corruptions_caught)
+          << "workers=" << workers;
+      EXPECT_EQ(stats.trees_rebuilt, baseline.trees_rebuilt)
+          << "workers=" << workers;
+    }
+  }
+}
+
+// -------------------------------------------------- checkpoint / resume ----
+
+class CoordinatorCheckpoint : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  const std::string path_ = "coordinator_ckpt_test.tmp";
+};
+
+TEST_F(CoordinatorCheckpoint, KilledRunResumesExecutingOnlyUnfinishedTasks) {
+  const auto moduli = make_moduli(301, 20);
+  const auto reference = batch_gcd(moduli);
+  const std::size_t k = 4;
+
+  auto config = fast_config(k, 2);
+  config.checkpoint_path = path_;
+  config.halt_after_tasks = 5;  // simulate being killed mid-flight
+  CoordinatorStats first;
+  EXPECT_THROW(batch_gcd_coordinated(moduli, config, &first),
+               CoordinatorInterrupted);
+  EXPECT_GE(first.tasks_executed, 5u);
+  EXPECT_LT(first.tasks_executed, k * k);
+
+  config.halt_after_tasks = 0;
+  CoordinatorStats second;
+  const auto result = batch_gcd_coordinated(moduli, config, &second);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  // The resumed run loads exactly what the killed run committed and
+  // re-executes only the remainder.
+  EXPECT_EQ(second.tasks_resumed, first.tasks_executed);
+  EXPECT_EQ(second.tasks_executed, k * k - first.tasks_executed);
+  // Success removes the journal; a third run starts from scratch.
+  CoordinatorStats third;
+  batch_gcd_coordinated(moduli, config, &third);
+  EXPECT_EQ(third.tasks_resumed, 0u);
+}
+
+TEST_F(CoordinatorCheckpoint, ResumeSurvivesInjectedFaults) {
+  const auto moduli = make_moduli(302, 18);
+  const auto reference = batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 7;
+  faults.crash_probability = 0.15;
+  faults.corrupt_probability = 0.15;
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(4, 2);
+  config.checkpoint_path = path_;
+  config.injector = &injector;
+  config.halt_after_tasks = 6;
+  CoordinatorStats first;
+  EXPECT_THROW(batch_gcd_coordinated(moduli, config, &first),
+               CoordinatorInterrupted);
+
+  config.halt_after_tasks = 0;
+  CoordinatorStats second;
+  const auto result = batch_gcd_coordinated(moduli, config, &second);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_EQ(second.tasks_resumed, first.tasks_executed);
+}
+
+TEST_F(CoordinatorCheckpoint, TruncatedOrFlippedJournalIsDiscardedSafely) {
+  const auto moduli = make_moduli(303, 16);
+  const auto reference = batch_gcd(moduli);
+
+  auto config = fast_config(3, 2);
+  config.checkpoint_path = path_;
+  config.halt_after_tasks = 4;
+  EXPECT_THROW(batch_gcd_coordinated(moduli, config), CoordinatorInterrupted);
+
+  std::ifstream in(path_, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  ASSERT_FALSE(bytes.empty());
+
+  config.halt_after_tasks = 0;
+  for (const double keep_fraction : {0.3, 0.65, 0.95}) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() * keep_fraction));
+    }
+    CoordinatorStats stats;
+    const auto result = batch_gcd_coordinated(moduli, config, &stats);
+    EXPECT_EQ(result.divisors, reference.divisors)
+        << "keep=" << keep_fraction;
+    EXPECT_EQ(stats.tasks_resumed + stats.tasks_executed, stats.tasks);
+  }
+
+  // Bit flip in the record region: the CRC rejects the tail, the run
+  // still completes correctly.
+  {
+    std::string flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x40;
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(flipped.data(), static_cast<std::streamsize>(flipped.size()));
+  }
+  const auto result = batch_gcd_coordinated(moduli, config);
+  EXPECT_EQ(result.divisors, reference.divisors);
+}
+
+TEST_F(CoordinatorCheckpoint, MismatchedCorpusInvalidatesJournal) {
+  const auto moduli = make_moduli(304, 16);
+  auto config = fast_config(3, 2);
+  config.checkpoint_path = path_;
+  config.halt_after_tasks = 4;
+  EXPECT_THROW(batch_gcd_coordinated(moduli, config), CoordinatorInterrupted);
+
+  // Different corpus, same journal path: nothing may be resumed.
+  const auto other = make_moduli(305, 16);
+  config.halt_after_tasks = 0;
+  CoordinatorStats stats;
+  const auto result = batch_gcd_coordinated(other, config, &stats);
+  EXPECT_EQ(stats.tasks_resumed, 0u);
+  EXPECT_EQ(result.divisors, batch_gcd(other).divisors);
+}
+
+// ------------------------------------------------------ Study integration ----
+
+TEST(StudyCoordinator, FaultTolerantStudyMatchesFastPath) {
+  core::StudyConfig config;
+  config.sim.seed = 9090;
+  config.sim.scale = 0.01;
+  config.sim.miller_rabin_rounds = 4;
+  config.batch_gcd_subsets = 3;
+  config.threads = 2;
+  config.cache_path = "";  // fresh simulation both times
+
+  core::Study fast(config);
+  fast.run();
+
+  config.fault_tolerant = true;
+  config.faults.seed = 31337;
+  config.faults.crash_probability = 0.10;
+  config.faults.straggle_probability = 0.05;
+  config.faults.corrupt_probability = 0.10;
+  core::Study tolerant(config);
+  tolerant.run();
+
+  ASSERT_EQ(tolerant.factored().size(), fast.factored().size());
+  for (std::size_t i = 0; i < fast.factored().size(); ++i) {
+    EXPECT_EQ(tolerant.factored()[i].n, fast.factored()[i].n);
+    EXPECT_EQ(tolerant.factored()[i].p, fast.factored()[i].p);
+    EXPECT_EQ(tolerant.factored()[i].q, fast.factored()[i].q);
+  }
+  EXPECT_EQ(tolerant.vulnerable().size(), fast.vulnerable().size());
+  const auto& stats = tolerant.coordinator_stats();
+  EXPECT_EQ(stats.tasks, 9u);
+  EXPECT_EQ(stats.tasks_executed, stats.tasks);
+  EXPECT_EQ(stats.attempts, stats.tasks + stats.retries);
+  // The fast path leaves coordinator telemetry untouched.
+  EXPECT_EQ(fast.coordinator_stats().tasks, 0u);
+}
+
+}  // namespace
+}  // namespace weakkeys::batchgcd

@@ -7,7 +7,9 @@
 #include "batchgcd/batch_gcd.hpp"
 #include "batchgcd/distributed.hpp"
 #include "cert/certificate.hpp"
+#include "core/binary_io.hpp"
 #include "core/scan_store.hpp"
+#include "core/study.hpp"
 #include "netsim/catalog.hpp"
 #include "netsim/internet.hpp"
 #include "rng/prng_source.hpp"
@@ -59,6 +61,110 @@ TEST_P(StoreTruncation, TruncatedFilesNeverCrash) {
 
 INSTANTIATE_TEST_SUITE_P(CutPoints, StoreTruncation,
                          ::testing::Values(0, 1, 5, 25, 50, 75, 95, 99, 100));
+
+// ---------------------------------------------- factor cache corruption ----
+
+/// StoreTruncation's counterpart for the factor-result cache: a truncated
+/// or bit-flipped `*.cache.factors` file must fail the length+CRC footer
+/// and fall back to recomputation, never crash, and recompute identically.
+class FactorCacheCorruption : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    std::remove(kCachePath);
+    std::remove(kFactorsPath);
+    core::Study study(study_config());
+    study.run();
+    baseline_factored_ = study.factored().size();
+    ASSERT_GT(baseline_factored_, 0u);
+    std::ifstream in(kFactorsPath, std::ios::binary);
+    pristine_.assign((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ASSERT_FALSE(pristine_.empty());
+  }
+  static void TearDownTestSuite() {
+    std::remove(kCachePath);
+    std::remove(kFactorsPath);
+  }
+
+  static core::StudyConfig study_config() {
+    core::StudyConfig config;
+    config.sim.seed = 313;
+    config.sim.scale = 0.01;
+    config.sim.miller_rabin_rounds = 4;
+    config.batch_gcd_subsets = 2;
+    config.cache_path = kCachePath;
+    return config;
+  }
+
+  void write_factors(const std::string& bytes) {
+    std::ofstream out(kFactorsPath, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  static constexpr const char* kCachePath = "factor_corruption_test.tmp";
+  static constexpr const char* kFactorsPath =
+      "factor_corruption_test.tmp.factors";
+  static std::string pristine_;
+  static std::size_t baseline_factored_;
+};
+
+std::string FactorCacheCorruption::pristine_;
+std::size_t FactorCacheCorruption::baseline_factored_ = 0;
+
+// Params <= 100 truncate the file to that percentage; 101 flips a bit a
+// third of the way in; 102 flips a bit inside the CRC footer.
+TEST_P(FactorCacheCorruption, CorruptedCachesRecomputeIdentically) {
+  const int param = GetParam();
+  if (param <= 100) {
+    const std::size_t keep =
+        pristine_.size() * static_cast<std::size_t>(param) / 100;
+    write_factors(pristine_.substr(0, keep));
+  } else {
+    const std::size_t offset =
+        param == 101 ? pristine_.size() / 3 : pristine_.size() - 2;
+    std::string flipped = pristine_;
+    flipped[offset] = static_cast<char>(flipped[offset] ^ 0x04);
+    write_factors(flipped);
+  }
+
+  core::Study study(study_config());
+  study.run();  // corpus cache hit; factor cache rejected unless intact
+  EXPECT_EQ(study.factored().size(), baseline_factored_);
+  for (const auto& f : study.factored()) {
+    EXPECT_EQ(f.p * f.q, f.n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CorruptionModes, FactorCacheCorruption,
+                         ::testing::Values(0, 30, 75, 99, 100, 101, 102));
+
+TEST(ChecksumFooter, RoundTripAndTamperDetection) {
+  const std::string path = "footer_test.tmp";
+  {
+    core::BinaryWriter w(path);
+    w.str("payload bytes");
+    w.u64(12345);
+  }
+  EXPECT_FALSE(core::verify_checksum_footer(path));  // no footer yet
+  core::append_checksum_footer(path);
+  EXPECT_TRUE(core::verify_checksum_footer(path));
+
+  // Any flipped bit — payload or footer — must invalidate the file.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string tampered = bytes;
+    tampered[i] = static_cast<char>(tampered[i] ^ 0x10);
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(tampered.data(), static_cast<std::streamsize>(tampered.size()));
+    }
+    EXPECT_FALSE(core::verify_checksum_footer(path)) << "byte " << i;
+  }
+  std::remove(path.c_str());
+}
 
 // ------------------------------------------------- certificate fuzzing ----
 

@@ -181,6 +181,34 @@ TEST(ThreadPool, PropagatesExceptions) {
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 
+TEST(ThreadPool, TaskExceptionsDoNotWedgeThePool) {
+  // A throwing task must surface through its future and leave the worker
+  // alive: later submissions still run on the same pool.
+  ThreadPool pool(2);
+  for (int round = 0; round < 8; ++round) {
+    auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+  }
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, ParallelForDrainsAllTasksWhenOneThrows) {
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallel_for(64,
+                                 [&](std::size_t i) {
+                                   executed++;
+                                   if (i == 3) {
+                                     throw std::invalid_argument("task 3");
+                                   }
+                                 }),
+               std::invalid_argument);
+  // parallel_for's contract: every task finished before the rethrow, so
+  // nothing still references the closure after the call returns.
+  EXPECT_EQ(executed.load(), 64);
+}
+
 TEST(ThreadPool, ManyTasksDrainBeforeDestruction) {
   std::atomic<int> count{0};
   {
