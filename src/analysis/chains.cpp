@@ -9,6 +9,7 @@ netsim::ScanSnapshot exclude_intermediates(const netsim::ScanSnapshot& snap) {
   // issuer DNs of non-self-signed certificates, per IP.
   std::map<std::uint32_t, std::set<std::string>> issuers_at_ip;
   for (const auto& rec : snap.records) {
+    if (!rec.has_cert()) continue;  // undecoded raw capture: no chain info
     const auto& c = rec.cert();
     if (!c.is_self_signed()) {
       issuers_at_ip[rec.ip.value()].insert(c.issuer.to_string());
@@ -21,6 +22,7 @@ netsim::ScanSnapshot exclude_intermediates(const netsim::ScanSnapshot& snap) {
   out.protocol = snap.protocol;
   out.records.reserve(snap.records.size());
   for (const auto& rec : snap.records) {
+    if (!rec.has_cert()) continue;  // quarantine input, never analysis input
     const auto it = issuers_at_ip.find(rec.ip.value());
     if (it != issuers_at_ip.end() &&
         it->second.contains(rec.cert().subject.to_string())) {

@@ -36,15 +36,39 @@ void put_dn(TlvWriter& w, std::uint8_t tag, const DistinguishedName& dn) {
   w.put_nested(tag, inner);
 }
 
-DistinguishedName read_dn(TlvReader& r, std::uint8_t tag) {
-  TlvReader inner = r.read_nested(tag);
+/// Total DN decoder: a nested payload whose inner TLV sequence is malformed
+/// in any way (framing, tags, truncation) reads as kBadDn — the taxonomy
+/// groups every broken-attribute-list shape under one reason.
+ParseError try_read_dn(TlvReader& r, std::uint8_t tag, DistinguishedName& out) {
+  TlvReader inner;
+  if (const ParseError e = r.try_read_nested(tag, inner); e != ParseError::kNone)
+    return e;
   DistinguishedName dn;
   while (!inner.at_end()) {
-    std::string t = inner.read_string(kTagDnType);
-    std::string v = inner.read_string(kTagDnValue);
+    std::string t;
+    std::string v;
+    if (inner.try_read_string(kTagDnType, t) != ParseError::kNone ||
+        inner.try_read_string(kTagDnValue, v) != ParseError::kNone) {
+      return ParseError::kBadDn;
+    }
     dn.add(std::move(t), std::move(v));
   }
-  return dn;
+  out = std::move(dn);
+  return ParseError::kNone;
+}
+
+/// Total date decoder: a string field that is not a real YYYY-MM-DD calendar
+/// date reads as kBadDate.
+ParseError try_read_date(TlvReader& r, std::uint8_t tag, util::Date& out) {
+  std::string text;
+  if (const ParseError e = r.try_read_string(tag, text); e != ParseError::kNone)
+    return e;
+  try {
+    out = util::Date::parse(text);
+  } catch (const std::exception&) {
+    return ParseError::kBadDate;
+  }
+  return ParseError::kNone;
 }
 
 }  // namespace
@@ -74,27 +98,104 @@ std::vector<std::uint8_t> Certificate::encode() const {
   return outer.bytes();
 }
 
-Certificate Certificate::decode(std::span<const std::uint8_t> data) {
+DecodeResult Certificate::try_decode(
+    std::span<const std::uint8_t> data) {
+  DecodeResult result;
+  // On failure: record the reason and the field it surfaced in, leave
+  // result.cert empty.
+  const auto fail = [&result](ParseError e, const char* field) {
+    result.error = e;
+    result.field = field;
+    return result;
+  };
+
   TlvReader outer(data);
-  TlvReader r = outer.read_nested(kTagCertificate);
-  const auto tbs_bytes = r.read_bytes(kTagTbs);
+  TlvReader r;
+  if (const ParseError e = outer.try_read_nested(kTagCertificate, r);
+      e != ParseError::kNone) {
+    return fail(e, "certificate");
+  }
+  if (!outer.at_end()) return fail(ParseError::kTrailingGarbage, "certificate");
+  std::span<const std::uint8_t> tbs_bytes;
+  if (const ParseError e = r.try_read_bytes(kTagTbs, tbs_bytes);
+      e != ParseError::kNone) {
+    return fail(e, "tbs");
+  }
+
   Certificate cert;
   {
     TlvReader tbs(tbs_bytes);
-    cert.serial = tbs.read_u64(kTagSerial);
-    cert.subject = read_dn(tbs, kTagSubject);
-    cert.issuer = read_dn(tbs, kTagIssuer);
-    TlvReader san = tbs.read_nested(kTagSan);
-    while (!san.at_end()) cert.san_dns.push_back(san.read_string(kTagSanEntry));
-    cert.validity.not_before = util::Date::parse(tbs.read_string(kTagNotBefore));
-    cert.validity.not_after = util::Date::parse(tbs.read_string(kTagNotAfter));
-    cert.key.n = bn::BigInt::from_bytes(tbs.read_bytes(kTagModulus));
-    cert.key.e = bn::BigInt::from_bytes(tbs.read_bytes(kTagExponent));
-    cert.signature_algorithm = tbs.read_string(kTagSigAlg);
+    if (const ParseError e = tbs.try_read_u64(kTagSerial, cert.serial);
+        e != ParseError::kNone) {
+      return fail(e, "serial");
+    }
+    if (const ParseError e = try_read_dn(tbs, kTagSubject, cert.subject);
+        e != ParseError::kNone) {
+      return fail(e, "subject");
+    }
+    if (const ParseError e = try_read_dn(tbs, kTagIssuer, cert.issuer);
+        e != ParseError::kNone) {
+      return fail(e, "issuer");
+    }
+    TlvReader san;
+    if (const ParseError e = tbs.try_read_nested(kTagSan, san);
+        e != ParseError::kNone) {
+      return fail(e, "san");
+    }
+    while (!san.at_end()) {
+      std::string name;
+      if (const ParseError e = san.try_read_string(kTagSanEntry, name);
+          e != ParseError::kNone) {
+        return fail(e, "san entry");
+      }
+      cert.san_dns.push_back(std::move(name));
+    }
+    if (const ParseError e =
+            try_read_date(tbs, kTagNotBefore, cert.validity.not_before);
+        e != ParseError::kNone) {
+      return fail(e, "not-before");
+    }
+    if (const ParseError e =
+            try_read_date(tbs, kTagNotAfter, cert.validity.not_after);
+        e != ParseError::kNone) {
+      return fail(e, "not-after");
+    }
+    std::span<const std::uint8_t> field;
+    if (const ParseError e = tbs.try_read_bytes(kTagModulus, field);
+        e != ParseError::kNone) {
+      return fail(e, "modulus");
+    }
+    cert.key.n = bn::BigInt::from_bytes(field);
+    if (const ParseError e = tbs.try_read_bytes(kTagExponent, field);
+        e != ParseError::kNone) {
+      return fail(e, "exponent");
+    }
+    cert.key.e = bn::BigInt::from_bytes(field);
+    if (const ParseError e =
+            tbs.try_read_string(kTagSigAlg, cert.signature_algorithm);
+        e != ParseError::kNone) {
+      return fail(e, "signature-algorithm");
+    }
+    if (!tbs.at_end()) return fail(ParseError::kTrailingGarbage, "tbs");
   }
-  const auto sig = r.read_bytes(kTagSignature);
+  std::span<const std::uint8_t> sig;
+  if (const ParseError e = r.try_read_bytes(kTagSignature, sig);
+      e != ParseError::kNone) {
+    return fail(e, "signature");
+  }
   cert.signature.assign(sig.begin(), sig.end());
-  return cert;
+  if (!r.at_end()) return fail(ParseError::kTrailingGarbage, "certificate");
+  result.cert = std::move(cert);
+  return result;
+}
+
+Certificate Certificate::decode(std::span<const std::uint8_t> data) {
+  DecodeResult result = try_decode(data);
+  if (!result.ok()) {
+    throw TlvError(std::string(to_string(result.error)) + " in " +
+                   result.field);
+  }
+  return *std::move(result.cert);
 }
 
 crypto::Sha256::Digest Certificate::fingerprint() const {

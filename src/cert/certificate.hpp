@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,14 @@ struct Validity {
   }
   friend bool operator==(const Validity&, const Validity&) = default;
 };
+
+class Certificate;
+
+/// Outcome of the total (non-throwing) decoder: either a certificate, or
+/// the parse-failure reason plus the field it surfaced in. Defined after
+/// Certificate (std::optional needs the complete type); declared here so
+/// Certificate::try_decode can name it.
+struct DecodeResult;
 
 class Certificate {
  public:
@@ -50,7 +59,13 @@ class Certificate {
   /// Encodes the full certificate.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
 
-  /// Decodes an encode() buffer. Throws TlvError on malformed input.
+  /// Decodes an encode() buffer without throwing: arbitrary garbage maps to
+  /// a ParseError, never UB or an exception. The ingest/quarantine pipeline
+  /// is built on this entry point.
+  static DecodeResult try_decode(std::span<const std::uint8_t> data);
+
+  /// Decodes an encode() buffer. Throws TlvError on malformed input (a thin
+  /// wrapper over try_decode).
   static Certificate decode(std::span<const std::uint8_t> data);
 
   /// SHA-256 over the full encoding.
@@ -68,6 +83,15 @@ class Certificate {
   [[nodiscard]] Certificate with_modulus_bit_flipped(std::size_t bit_index) const;
 
   friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+struct DecodeResult {
+  std::optional<Certificate> cert;
+  ParseError error = ParseError::kNone;
+  std::string field;  ///< e.g. "serial", "subject" ("" on success)
+
+  [[nodiscard]] bool ok() const { return cert.has_value(); }
+  explicit operator bool() const { return ok(); }
 };
 
 /// Creates and signs a self-signed certificate for `key`.

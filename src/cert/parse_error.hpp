@@ -1,0 +1,28 @@
+// The parse-failure taxonomy for the TLV / certificate decoders.
+//
+// Real scan corpora are full of mangled encodings (the paper's raw data had
+// truncated handshakes, bit-flipped certificates, and outright junk), so the
+// decoders expose a *total* non-throwing API: every malformed input maps to
+// one of these reasons instead of undefined behaviour or an abort. The
+// throwing decode entry points are thin wrappers that convert a ParseError
+// into a TlvError.
+#pragma once
+
+namespace weakkeys::cert {
+
+enum class ParseError {
+  kNone = 0,
+  kEndOfInput,       ///< read attempted with no bytes left
+  kTruncatedHeader,  ///< fewer than the 5 tag+length bytes remain
+  kLengthOverrun,    ///< declared length exceeds the remaining bytes
+  kUnexpectedTag,    ///< element present but with a different tag
+  kBadFieldWidth,    ///< fixed-width field (u64) with the wrong payload size
+  kBadDn,            ///< distinguished-name payload is not a valid attribute list
+  kBadDate,          ///< validity field that does not parse as YYYY-MM-DD
+  kTrailingGarbage,  ///< bytes left over after a complete structure
+};
+
+/// Stable human-readable name; never returns null.
+const char* to_string(ParseError e);
+
+}  // namespace weakkeys::cert

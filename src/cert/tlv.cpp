@@ -2,6 +2,36 @@
 
 namespace weakkeys::cert {
 
+namespace {
+
+constexpr std::size_t kHeaderSize = 5;  // 1 tag byte + 4 length bytes
+
+}  // namespace
+
+const char* to_string(ParseError e) {
+  switch (e) {
+    case ParseError::kNone:
+      return "ok";
+    case ParseError::kEndOfInput:
+      return "end of input";
+    case ParseError::kTruncatedHeader:
+      return "truncated TLV header";
+    case ParseError::kLengthOverrun:
+      return "TLV length overruns buffer";
+    case ParseError::kUnexpectedTag:
+      return "unexpected TLV tag";
+    case ParseError::kBadFieldWidth:
+      return "fixed-width field with wrong length";
+    case ParseError::kBadDn:
+      return "malformed distinguished name";
+    case ParseError::kBadDate:
+      return "malformed date";
+    case ParseError::kTrailingGarbage:
+      return "trailing bytes after structure";
+  }
+  return "unknown parse error";
+}
+
 void TlvWriter::put_bytes(std::uint8_t tag, std::span<const std::uint8_t> value) {
   buf_.push_back(tag);
   const auto len = static_cast<std::uint32_t>(value.size());
@@ -25,41 +55,102 @@ void TlvWriter::put_nested(std::uint8_t tag, const TlvWriter& inner) {
   put_bytes(tag, inner.buf_);
 }
 
-std::uint8_t TlvReader::peek_tag() const {
-  if (pos_ >= data_.size()) throw TlvError("read past end of TLV buffer");
-  return data_[pos_];
+ParseError TlvReader::try_peek_tag(std::uint8_t& tag) const {
+  if (at_end()) return ParseError::kEndOfInput;
+  tag = data_[pos_];
+  return ParseError::kNone;
 }
 
-std::span<const std::uint8_t> TlvReader::read_bytes(std::uint8_t tag) {
-  if (pos_ + 5 > data_.size()) throw TlvError("truncated TLV header");
-  if (data_[pos_] != tag)
-    throw TlvError("unexpected TLV tag " + std::to_string(data_[pos_]) +
-                   ", wanted " + std::to_string(tag));
+ParseError TlvReader::try_read_bytes(std::uint8_t tag,
+                                     std::span<const std::uint8_t>& out) {
+  const std::size_t left = remaining();
+  if (left == 0) return ParseError::kEndOfInput;
+  if (left < kHeaderSize) return ParseError::kTruncatedHeader;
+  if (data_[pos_] != tag) return ParseError::kUnexpectedTag;
   std::uint32_t len = 0;
   for (int i = 0; i < 4; ++i)
     len |= static_cast<std::uint32_t>(data_[pos_ + 1 + i]) << (8 * i);
-  if (pos_ + 5 + len > data_.size()) throw TlvError("TLV length overruns buffer");
-  auto out = data_.subspan(pos_ + 5, len);
-  pos_ += 5 + len;
+  // Compare against the bytes that remain *after* the header; `pos_ + 5 +
+  // len` arithmetic would wrap for len near SIZE_MAX on 32-bit targets.
+  if (len > left - kHeaderSize) return ParseError::kLengthOverrun;
+  out = data_.subspan(pos_ + kHeaderSize, len);
+  pos_ += kHeaderSize + len;
+  return ParseError::kNone;
+}
+
+ParseError TlvReader::try_read_string(std::uint8_t tag, std::string& out) {
+  std::span<const std::uint8_t> bytes;
+  if (const ParseError e = try_read_bytes(tag, bytes); e != ParseError::kNone)
+    return e;
+  out.assign(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  return ParseError::kNone;
+}
+
+ParseError TlvReader::try_read_u64(std::uint8_t tag, std::uint64_t& out) {
+  const std::size_t saved = pos_;
+  std::span<const std::uint8_t> bytes;
+  if (const ParseError e = try_read_bytes(tag, bytes); e != ParseError::kNone)
+    return e;
+  if (bytes.size() != 8) {
+    pos_ = saved;  // leave the reader where it was, like other failures
+    return ParseError::kBadFieldWidth;
+  }
+  out = 0;
+  for (int i = 0; i < 8; ++i)
+    out |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  return ParseError::kNone;
+}
+
+ParseError TlvReader::try_read_nested(std::uint8_t tag, TlvReader& out) {
+  std::span<const std::uint8_t> bytes;
+  if (const ParseError e = try_read_bytes(tag, bytes); e != ParseError::kNone)
+    return e;
+  out = TlvReader(bytes);
+  return ParseError::kNone;
+}
+
+namespace {
+
+[[noreturn]] void throw_tlv(ParseError e, std::uint8_t tag) {
+  throw TlvError(std::string(to_string(e)) + " (tag " + std::to_string(tag) +
+                 ")");
+}
+
+}  // namespace
+
+std::uint8_t TlvReader::peek_tag() const {
+  std::uint8_t tag = 0;
+  if (const ParseError e = try_peek_tag(tag); e != ParseError::kNone)
+    throw TlvError("read past end of TLV buffer");
+  return tag;
+}
+
+std::span<const std::uint8_t> TlvReader::read_bytes(std::uint8_t tag) {
+  std::span<const std::uint8_t> out;
+  if (const ParseError e = try_read_bytes(tag, out); e != ParseError::kNone)
+    throw_tlv(e, tag);
   return out;
 }
 
 std::string TlvReader::read_string(std::uint8_t tag) {
-  const auto bytes = read_bytes(tag);
-  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+  std::string out;
+  if (const ParseError e = try_read_string(tag, out); e != ParseError::kNone)
+    throw_tlv(e, tag);
+  return out;
 }
 
 std::uint64_t TlvReader::read_u64(std::uint8_t tag) {
-  const auto bytes = read_bytes(tag);
-  if (bytes.size() != 8) throw TlvError("u64 field with wrong length");
   std::uint64_t out = 0;
-  for (int i = 0; i < 8; ++i)
-    out |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+  if (const ParseError e = try_read_u64(tag, out); e != ParseError::kNone)
+    throw_tlv(e, tag);
   return out;
 }
 
 TlvReader TlvReader::read_nested(std::uint8_t tag) {
-  return TlvReader(read_bytes(tag));
+  TlvReader out;
+  if (const ParseError e = try_read_nested(tag, out); e != ParseError::kNone)
+    throw_tlv(e, tag);
+  return out;
 }
 
 }  // namespace weakkeys::cert

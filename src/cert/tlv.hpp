@@ -4,6 +4,11 @@
 // fingerprinting pipeline decodes them back. Tags are one byte; lengths are
 // 32-bit little-endian. Nested structures are encoded as TLV values whose
 // payload is itself a TLV sequence.
+//
+// The reader has two faces: a total, non-throwing `try_*` API returning a
+// ParseError (used by the ingest/quarantine pipeline, which must survive
+// arbitrary scan garbage), and the original throwing API, now a thin wrapper
+// over the total one.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +16,8 @@
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "cert/parse_error.hpp"
 
 namespace weakkeys::cert {
 
@@ -35,9 +42,29 @@ class TlvWriter {
 
 class TlvReader {
  public:
+  /// A reader over no bytes; at_end() immediately.
+  TlvReader() = default;
   explicit TlvReader(std::span<const std::uint8_t> data) : data_(data) {}
 
   [[nodiscard]] bool at_end() const { return pos_ == data_.size(); }
+
+  /// Bytes not yet consumed. All bounds checks compare lengths against this
+  /// count — never `pos_ + len` sums, which can wrap on 32-bit size_t for
+  /// hostile 0xFFFFFFFF length headers.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  // -- Total (non-throwing) API ------------------------------------------
+  // Each call either fills the out-parameter and returns kNone, or leaves
+  // the reader position untouched and returns the failure reason.
+
+  [[nodiscard]] ParseError try_peek_tag(std::uint8_t& tag) const;
+  [[nodiscard]] ParseError try_read_bytes(std::uint8_t tag,
+                                          std::span<const std::uint8_t>& out);
+  [[nodiscard]] ParseError try_read_string(std::uint8_t tag, std::string& out);
+  [[nodiscard]] ParseError try_read_u64(std::uint8_t tag, std::uint64_t& out);
+  [[nodiscard]] ParseError try_read_nested(std::uint8_t tag, TlvReader& out);
+
+  // -- Throwing wrappers --------------------------------------------------
 
   /// Tag of the next element. Throws TlvError at end of input.
   [[nodiscard]] std::uint8_t peek_tag() const;

@@ -1,0 +1,230 @@
+#include "core/ingest.hpp"
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "cert/certificate.hpp"
+
+namespace weakkeys::core {
+
+namespace {
+
+/// Any real device key is >= 256 bits even in this scaled-down simulation;
+/// half that is a safe floor below which a modulus is scan garbage.
+constexpr std::size_t kMinModulusBits = 128;
+
+QuarantineReason reason_for(cert::ParseError e) {
+  switch (e) {
+    case cert::ParseError::kTruncatedHeader:
+      return QuarantineReason::kParseTruncatedHeader;
+    case cert::ParseError::kLengthOverrun:
+      return QuarantineReason::kParseLengthOverrun;
+    case cert::ParseError::kUnexpectedTag:
+      return QuarantineReason::kParseBadTag;
+    case cert::ParseError::kBadFieldWidth:
+      return QuarantineReason::kParseBadFieldWidth;
+    case cert::ParseError::kBadDn:
+      return QuarantineReason::kParseBadDn;
+    case cert::ParseError::kBadDate:
+      return QuarantineReason::kParseBadDate;
+    case cert::ParseError::kNone:
+    case cert::ParseError::kEndOfInput:
+    case cert::ParseError::kTrailingGarbage:
+      break;
+  }
+  return QuarantineReason::kParseOther;
+}
+
+/// True for the reasons whose modulus goes to the divisor-class triage.
+bool is_degenerate_modulus(QuarantineReason r) {
+  return r == QuarantineReason::kZeroModulus ||
+         r == QuarantineReason::kTinyModulus ||
+         r == QuarantineReason::kEvenModulus;
+}
+
+class Validator {
+ public:
+  /// Semantic validation of a decoded certificate; nullopt means keep.
+  /// `register_serial` controls whether a passing certificate claims its
+  /// serial in the duplicate map — recovered wire damage must not (a
+  /// bit-flipped serial could otherwise poison the map and quarantine a
+  /// later legitimate certificate).
+  std::optional<QuarantineReason> check(const cert::Certificate& c,
+                                        bool register_serial = true) {
+    const bn::BigInt& n = c.key.n;
+    if (n <= bn::BigInt(1)) return QuarantineReason::kZeroModulus;
+    if (n.bit_length() < kMinModulusBits) return QuarantineReason::kTinyModulus;
+    if (n.is_even()) return QuarantineReason::kEvenModulus;
+    if (c.key.e <= bn::BigInt(1)) return QuarantineReason::kBadExponent;
+    if (c.validity.not_after < c.validity.not_before)
+      return QuarantineReason::kInvertedValidity;
+    // Serial reuse under a different subject marks junk echoing a real
+    // certificate. Legitimate same-serial variants (per-observation bit
+    // flips, MITM key substitution) keep the victim's subject and pass.
+    const std::string subject = c.subject.to_string();
+    const auto it = serial_subjects_.find(c.serial);
+    if (it != serial_subjects_.end()) {
+      if (it->second != subject) return QuarantineReason::kDuplicateSerial;
+    } else if (register_serial) {
+      serial_subjects_.emplace(c.serial, subject);
+    }
+    return std::nullopt;
+  }
+
+  /// check() memoized per certificate object — records overwhelmingly share
+  /// certificate handles, and the verdict is a property of the object.
+  std::optional<QuarantineReason> check_shared(const cert::Certificate* c) {
+    const auto cached = verdicts_.find(c);
+    if (cached != verdicts_.end()) return cached->second;
+    const auto verdict = check(*c);
+    verdicts_.emplace(c, verdict);
+    return verdict;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, std::string> serial_subjects_;
+  std::unordered_map<const cert::Certificate*,
+                     std::optional<QuarantineReason>>
+      verdicts_;
+};
+
+}  // namespace
+
+const char* to_string(QuarantineReason r) {
+  switch (r) {
+    case QuarantineReason::kParseTruncatedHeader:
+      return "parse:truncated-header";
+    case QuarantineReason::kParseLengthOverrun:
+      return "parse:length-overrun";
+    case QuarantineReason::kParseBadTag:
+      return "parse:bad-tag";
+    case QuarantineReason::kParseBadFieldWidth:
+      return "parse:bad-field-width";
+    case QuarantineReason::kParseBadDn:
+      return "parse:bad-dn";
+    case QuarantineReason::kParseBadDate:
+      return "parse:bad-date";
+    case QuarantineReason::kParseOther:
+      return "parse:other";
+    case QuarantineReason::kMissingCertificate:
+      return "missing-certificate";
+    case QuarantineReason::kZeroModulus:
+      return "zero-modulus";
+    case QuarantineReason::kTinyModulus:
+      return "tiny-modulus";
+    case QuarantineReason::kEvenModulus:
+      return "even-modulus";
+    case QuarantineReason::kBadExponent:
+      return "bad-exponent";
+    case QuarantineReason::kInvertedValidity:
+      return "inverted-validity";
+    case QuarantineReason::kDuplicateSerial:
+      return "duplicate-serial";
+  }
+  return "unknown";
+}
+
+std::size_t IngestStats::parse_failures() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0;
+       i <= static_cast<std::size_t>(QuarantineReason::kParseOther); ++i) {
+    total += by_reason[i];
+  }
+  return total;
+}
+
+std::string IngestStats::summary() const {
+  std::string out = "kept " + std::to_string(records_kept) + "/" +
+                    std::to_string(records_seen) + " records";
+  if (raw_records > 0) {
+    out += ", " + std::to_string(raw_recovered) + "/" +
+           std::to_string(raw_records) + " raw recovered";
+  }
+  if (records_quarantined == 0) return out;
+  out += ", quarantined " + std::to_string(records_quarantined) + " (";
+  bool first = true;
+  for (std::size_t i = 0; i < kQuarantineReasonCount; ++i) {
+    if (by_reason[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += std::string(to_string(static_cast<QuarantineReason>(i))) + "=" +
+           std::to_string(by_reason[i]);
+  }
+  return out + ")";
+}
+
+IngestResult ingest_dataset(const netsim::ScanDataset& raw) {
+  IngestResult result;
+  Validator validator;
+  std::unordered_set<std::string> degenerate_seen;
+
+  result.kept.snapshots.reserve(raw.snapshots.size());
+  for (const auto& snap : raw.snapshots) {
+    netsim::ScanSnapshot kept;
+    kept.date = snap.date;
+    kept.source = snap.source;
+    kept.protocol = snap.protocol;
+    kept.records.reserve(snap.records.size());
+
+    for (const auto& rec : snap.records) {
+      ++result.stats.records_seen;
+
+      const auto quarantine = [&](QuarantineReason reason,
+                                  const cert::Certificate* c) {
+        ++result.stats.records_quarantined;
+        ++result.stats.by_reason[static_cast<std::size_t>(reason)];
+        if (c && is_degenerate_modulus(reason) &&
+            degenerate_seen.insert(c->key.n.to_hex()).second) {
+          result.degenerate_moduli.push_back(c->key.n);
+          ++result.stats.degenerate_moduli;
+        }
+      };
+
+      if (rec.has_cert()) {
+        if (const auto verdict = validator.check_shared(rec.certificate.get())) {
+          quarantine(*verdict, rec.certificate.get());
+          continue;
+        }
+        kept.records.push_back(rec);
+        ++result.stats.records_kept;
+        continue;
+      }
+
+      if (rec.raw_der.empty()) {
+        quarantine(QuarantineReason::kMissingCertificate, nullptr);
+        continue;
+      }
+
+      // Undecoded wire bytes: attempt a total decode, then the same
+      // semantic validation as everything else.
+      ++result.stats.raw_records;
+      auto decoded = cert::Certificate::try_decode(rec.raw_der);
+      if (!decoded.ok()) {
+        quarantine(reason_for(decoded.error), nullptr);
+        continue;
+      }
+      auto handle =
+          std::make_shared<const cert::Certificate>(*std::move(decoded.cert));
+      // check(), not check_shared(): freshly decoded objects are unique, and
+      // memoizing a short-lived pointer could alias a later allocation.
+      if (const auto verdict =
+              validator.check(*handle, /*register_serial=*/false)) {
+        quarantine(*verdict, handle.get());
+        continue;
+      }
+      netsim::HostRecord recovered = rec;
+      recovered.certificate = std::move(handle);
+      recovered.raw_der.clear();
+      kept.records.push_back(std::move(recovered));
+      ++result.stats.records_kept;
+      ++result.stats.raw_recovered;
+    }
+    result.kept.snapshots.push_back(std::move(kept));
+  }
+  return result;
+}
+
+}  // namespace weakkeys::core

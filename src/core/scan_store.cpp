@@ -16,13 +16,34 @@ constexpr std::uint32_t kMagic = 0x574b5331;  // "WKS1"
 
 }  // namespace
 
+const char* to_string(DatasetLoadStatus s) {
+  switch (s) {
+    case DatasetLoadStatus::kLoaded:
+      return "loaded";
+    case DatasetLoadStatus::kMissing:
+      return "missing";
+    case DatasetLoadStatus::kBadChecksum:
+      return "checksum mismatch";
+    case DatasetLoadStatus::kBadMagic:
+      return "bad magic";
+    case DatasetLoadStatus::kKeyMismatch:
+      return "key mismatch";
+    case DatasetLoadStatus::kParseError:
+      return "parse error";
+  }
+  return "unknown";
+}
+
 void save_dataset(const netsim::ScanDataset& dataset, const StoreKey& key,
                   const std::string& path) {
-  // Build the certificate table (records share certificate objects).
+  // Build the certificate table (records share certificate objects). Records
+  // without a decoded certificate — dirty-corpus raw bytes awaiting
+  // quarantine — are not corpus data and are skipped.
   std::map<const cert::Certificate*, std::uint32_t> cert_index;
   std::vector<const cert::Certificate*> certs;
   for (const auto& snap : dataset.snapshots) {
     for (const auto& rec : snap.records) {
+      if (!rec.has_cert()) continue;
       const auto* ptr = rec.certificate.get();
       if (cert_index.emplace(ptr, static_cast<std::uint32_t>(certs.size())).second) {
         certs.push_back(ptr);
@@ -30,43 +51,67 @@ void save_dataset(const netsim::ScanDataset& dataset, const StoreKey& key,
     }
   }
 
-  BinaryWriter w(path);
-  w.u32(kMagic);
-  w.u64(key.seed);
-  w.u64(key.scale_millionths);
-  w.u32(key.mr_rounds);
-  w.u32(key.catalog_version);
+  {
+    BinaryWriter w(path);
+    w.u32(kMagic);
+    w.u64(key.seed);
+    w.u64(key.scale_millionths);
+    w.u32(key.mr_rounds);
+    w.u32(key.catalog_version);
 
-  w.u32(static_cast<std::uint32_t>(certs.size()));
-  for (const auto* c : certs) w.bytes(c->encode());
+    w.u32(static_cast<std::uint32_t>(certs.size()));
+    for (const auto* c : certs) w.bytes(c->encode());
 
-  w.u32(static_cast<std::uint32_t>(dataset.snapshots.size()));
-  for (const auto& snap : dataset.snapshots) {
-    w.i64(snap.date.days_since_epoch());
-    w.str(snap.source);
-    w.u32(static_cast<std::uint32_t>(snap.protocol));
-    w.u32(static_cast<std::uint32_t>(snap.records.size()));
-    for (const auto& rec : snap.records) {
-      w.i64(rec.date.days_since_epoch());
-      w.u32(rec.ip.value());
-      w.u32(cert_index.at(rec.certificate.get()));
-      w.str(rec.banner);
+    w.u32(static_cast<std::uint32_t>(dataset.snapshots.size()));
+    for (const auto& snap : dataset.snapshots) {
+      w.i64(snap.date.days_since_epoch());
+      w.str(snap.source);
+      w.u32(static_cast<std::uint32_t>(snap.protocol));
+      std::uint32_t kept = 0;
+      for (const auto& rec : snap.records) kept += rec.has_cert() ? 1 : 0;
+      w.u32(kept);
+      for (const auto& rec : snap.records) {
+        if (!rec.has_cert()) continue;
+        w.i64(rec.date.days_since_epoch());
+        w.u32(rec.ip.value());
+        w.u32(cert_index.at(rec.certificate.get()));
+        w.str(rec.banner);
+      }
     }
   }
+  // Truncation/bit-rot guard; load_dataset refuses files without it.
+  append_checksum_footer(path);
 }
 
 std::optional<netsim::ScanDataset> load_dataset(const StoreKey& key,
-                                                const std::string& path) {
+                                                const std::string& path,
+                                                DatasetLoadStatus* status) {
+  DatasetLoadStatus local = DatasetLoadStatus::kParseError;
+  DatasetLoadStatus& out = status ? *status : local;
+
   BinaryReader r(path);
-  if (!r.ok()) return std::nullopt;
+  if (!r.ok()) {
+    out = DatasetLoadStatus::kMissing;
+    return std::nullopt;
+  }
+  if (!verify_checksum_footer(path)) {
+    out = DatasetLoadStatus::kBadChecksum;
+    return std::nullopt;
+  }
   try {
-    if (r.u32() != kMagic) return std::nullopt;
+    if (r.u32() != kMagic) {
+      out = DatasetLoadStatus::kBadMagic;
+      return std::nullopt;
+    }
     StoreKey found;
     found.seed = r.u64();
     found.scale_millionths = r.u64();
     found.mr_rounds = r.u32();
     found.catalog_version = r.u32();
-    if (!(found == key)) return std::nullopt;
+    if (!(found == key)) {
+      out = DatasetLoadStatus::kKeyMismatch;
+      return std::nullopt;
+    }
 
     const std::uint32_t cert_count = r.u32();
     std::vector<netsim::CertHandle> certs;
@@ -83,7 +128,9 @@ std::optional<netsim::ScanDataset> load_dataset(const StoreKey& key,
       netsim::ScanSnapshot snap;
       snap.date = util::Date::from_days_since_epoch(r.i64());
       snap.source = r.str();
-      snap.protocol = static_cast<netsim::Protocol>(r.u32());
+      const auto protocol = netsim::protocol_from_index(r.u32());
+      if (!protocol) throw std::runtime_error("invalid protocol index");
+      snap.protocol = *protocol;
       const std::uint32_t rec_count = r.u32();
       snap.records.reserve(rec_count);
       for (std::uint32_t i = 0; i < rec_count; ++i) {
@@ -98,8 +145,10 @@ std::optional<netsim::ScanDataset> load_dataset(const StoreKey& key,
       }
       dataset.snapshots.push_back(std::move(snap));
     }
+    out = DatasetLoadStatus::kLoaded;
     return dataset;
   } catch (const std::exception&) {
+    out = DatasetLoadStatus::kParseError;
     return std::nullopt;  // truncated or corrupt cache: rebuild
   }
 }

@@ -25,14 +25,31 @@ struct StoreKey {
   friend bool operator==(const StoreKey&, const StoreKey&) = default;
 };
 
-/// Writes `dataset` to `path`. Throws std::runtime_error on I/O failure.
+/// Why a load_dataset() call did not (or did) produce a dataset. Surfaced
+/// through the Study progress log so cache rebuilds are attributable
+/// instead of silent.
+enum class DatasetLoadStatus {
+  kLoaded,       ///< cache hit
+  kMissing,      ///< file absent or unreadable
+  kBadChecksum,  ///< length+CRC footer absent or wrong (truncation/bit rot)
+  kBadMagic,     ///< not a scan-store file
+  kKeyMismatch,  ///< built from a different seed/scale/version
+  kParseError,   ///< framing/content failed to parse
+};
+
+const char* to_string(DatasetLoadStatus s);
+
+/// Writes `dataset` to `path`, guarded by a length+CRC-32 footer. Records
+/// holding only raw (undecoded) bytes are quarantine input, not corpus, and
+/// are not persisted. Throws std::runtime_error on I/O failure.
 void save_dataset(const netsim::ScanDataset& dataset, const StoreKey& key,
                   const std::string& path);
 
-/// Loads a dataset if `path` exists, parses, and matches `key`; nullopt
-/// otherwise (including on version/key mismatch — never throws for a stale
-/// or missing cache).
-std::optional<netsim::ScanDataset> load_dataset(const StoreKey& key,
-                                                const std::string& path);
+/// Loads a dataset if `path` exists, passes the checksum, parses, and
+/// matches `key`; nullopt otherwise — never throws for a stale, truncated,
+/// or corrupt cache. When `status` is non-null it receives the outcome.
+std::optional<netsim::ScanDataset> load_dataset(
+    const StoreKey& key, const std::string& path,
+    DatasetLoadStatus* status = nullptr);
 
 }  // namespace weakkeys::core

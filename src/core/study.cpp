@@ -8,8 +8,10 @@
 #include "batchgcd/coordinator.hpp"
 #include "batchgcd/distributed.hpp"
 #include "core/binary_io.hpp"
+#include "core/ingest.hpp"
 #include "core/scan_store.hpp"
 #include "netsim/catalog.hpp"
+#include "netsim/noise.hpp"
 #include "util/thread_pool.hpp"
 
 namespace weakkeys::core {
@@ -18,7 +20,7 @@ namespace {
 /// Bump when the catalog or simulation semantics change, so stale corpus
 /// caches are rebuilt.
 constexpr std::uint32_t kCatalogVersion = 4;
-constexpr std::uint32_t kFactorMagic = 0x574b4632;  // "WKF2" (adds footer)
+constexpr std::uint32_t kFactorMagic = 0x574b4633;  // "WKF3" (adds noise key)
 }  // namespace
 
 Study::Study(StudyConfig config)
@@ -46,26 +48,51 @@ void Study::build_dataset() {
       static_cast<std::uint32_t>(config_.sim.miller_rabin_rounds),
       kCatalogVersion,
   };
+  bool have_corpus = false;
   if (!config_.cache_path.empty()) {
-    if (auto cached = load_dataset(key, config_.cache_path)) {
+    if (auto cached =
+            load_dataset(key, config_.cache_path, &dataset_cache_status_)) {
       log("loaded corpus from " + config_.cache_path);
       raw_dataset_ = std::move(*cached);
-      dataset_ = analysis::exclude_intermediates(raw_dataset_);
-      return;
+      have_corpus = true;
+    } else if (dataset_cache_status_ != DatasetLoadStatus::kMissing) {
+      // A present-but-unusable cache is worth attributing: silent rebuilds
+      // hide both corruption and stale-key bugs.
+      log("corpus cache unusable (" +
+          std::string(to_string(dataset_cache_status_)) + "), rebuilding " +
+          config_.cache_path);
     }
   }
 
-  log("simulating six years of scans (first run builds the corpus cache)...");
-  internet_ = std::make_unique<netsim::Internet>(
-      netsim::standard_models(config_.sim.scale), config_.sim);
-  raw_dataset_ = internet_->run(netsim::standard_campaigns());
-  log("simulated " + std::to_string(raw_dataset_.total_host_records()) +
-      " host records");
-  if (!config_.cache_path.empty()) {
-    save_dataset(raw_dataset_, key, config_.cache_path);
-    log("corpus cached to " + config_.cache_path);
+  if (!have_corpus) {
+    log("simulating six years of scans (first run builds the corpus cache)...");
+    internet_ = std::make_unique<netsim::Internet>(
+        netsim::standard_models(config_.sim.scale), config_.sim);
+    raw_dataset_ = internet_->run(netsim::standard_campaigns());
+    log("simulated " + std::to_string(raw_dataset_.total_host_records()) +
+        " host records");
+    if (!config_.cache_path.empty()) {
+      save_dataset(raw_dataset_, key, config_.cache_path);
+      log("corpus cached to " + config_.cache_path);
+    }
   }
-  dataset_ = analysis::exclude_intermediates(raw_dataset_);
+
+  // The cache stores the clean corpus; scan noise is layered on afterwards
+  // so one cached simulation serves any NoiseConfig.
+  if (config_.noise.any()) {
+    noise_summary_ = netsim::apply_noise(raw_dataset_, config_.noise);
+    log("noise: injected " + std::to_string(noise_summary_.total()) +
+        " corrupted records into the scanned corpus");
+  }
+
+  // Ingest/quarantine: after this pass every record carries a decoded,
+  // plausibly well-formed certificate; everything else is accounted for in
+  // ingest_stats_ and (for degenerate moduli) rerouted to factor triage.
+  IngestResult ingest = ingest_dataset(raw_dataset_);
+  ingest_stats_ = std::move(ingest.stats);
+  degenerate_moduli_ = std::move(ingest.degenerate_moduli);
+  log("ingest: " + ingest_stats_.summary());
+  dataset_ = analysis::exclude_intermediates(ingest.kept);
 }
 
 namespace {
@@ -92,6 +119,9 @@ bool Study::load_factor_cache(const std::string& path) {
     if (r.u64() != static_cast<std::uint64_t>(config_.sim.scale * 1e6))
       return false;
     if (r.u32() != kCatalogVersion) return false;
+    // Noisy and pristine runs must never share factoring results: the
+    // degenerate-modulus triage below folds quarantine output into stats_.
+    if (r.u64() != config_.noise.fingerprint()) return false;
     stats_.distinct_moduli = r.u64();
     stats_.nontrivial_divisors = r.u64();
     stats_.shared_prime = r.u64();
@@ -136,6 +166,7 @@ void Study::write_factor_cache_payload(BinaryWriter& w) const {
   w.u64(config_.sim.seed);
   w.u64(static_cast<std::uint64_t>(config_.sim.scale * 1e6));
   w.u32(kCatalogVersion);
+  w.u64(config_.noise.fingerprint());
   w.u64(stats_.distinct_moduli);
   w.u64(stats_.nontrivial_divisors);
   w.u64(stats_.shared_prime);
@@ -239,6 +270,26 @@ void Study::factor_moduli() {
         break;
       }
     }
+  }
+
+  // Quarantined degenerate moduli (zero/tiny/even) never reach the GCD
+  // input — an even modulus alone would smear a factor of 2 across the whole
+  // corpus — but the paper still accounts for them as malformed keys, so
+  // triage each into the bit-error/other buckets here.
+  std::size_t triaged_bit_errors = 0;
+  for (const auto& n : degenerate_moduli_) {
+    if (fingerprint::triage_degenerate_modulus(n) ==
+        fingerprint::DivisorClass::kSmoothBitError) {
+      ++stats_.bit_errors;
+      ++triaged_bit_errors;
+    } else {
+      ++stats_.other;
+    }
+  }
+  if (!degenerate_moduli_.empty()) {
+    log("triaged " + std::to_string(degenerate_moduli_.size()) +
+        " quarantined degenerate moduli (" +
+        std::to_string(triaged_bit_errors) + " as bit errors)");
   }
 
   for (std::size_t i = 0; i < factored_.size(); ++i) {
@@ -372,6 +423,13 @@ analysis::TimeSeriesBuilder Study::series_builder() const {
 
 const netsim::ScanDataset& Study::raw_dataset() const { return raw_dataset_; }
 const netsim::ScanDataset& Study::dataset() const { return dataset_; }
+const IngestStats& Study::ingest_stats() const { return ingest_stats_; }
+const netsim::NoiseSummary& Study::noise_summary() const {
+  return noise_summary_;
+}
+DatasetLoadStatus Study::dataset_cache_status() const {
+  return dataset_cache_status_;
+}
 const FactorStats& Study::factor_stats() const { return stats_; }
 const batchgcd::CoordinatorStats& Study::coordinator_stats() const {
   return coordinator_stats_;

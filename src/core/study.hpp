@@ -29,8 +29,11 @@
 #include "fingerprint/mitm_detector.hpp"
 #include "fingerprint/openssl_fingerprint.hpp"
 #include "fingerprint/prime_pools.hpp"
+#include "core/ingest.hpp"
+#include "core/scan_store.hpp"
 #include "fingerprint/subject_rules.hpp"
 #include "netsim/internet.hpp"
+#include "netsim/noise.hpp"
 
 namespace weakkeys::core {
 
@@ -52,6 +55,11 @@ struct StudyConfig {
   /// Fault injection for the coordinator (all-zero = no injected faults).
   /// Only meaningful with fault_tolerant = true.
   util::FaultConfig faults;
+  /// Scan-noise injection: appends corrupted records to the scanned corpus
+  /// after simulation or cache load (the cache always stores the clean
+  /// corpus). All-zero = pristine. The ingest quarantine pass absorbs the
+  /// damage; results on the clean subset are invariant under any setting.
+  netsim::NoiseConfig noise;
   /// Progress sink (the simulation and factoring take a while at full
   /// scale); null discards.
   std::function<void(const std::string&)> log;
@@ -88,6 +96,13 @@ class Study {
   [[nodiscard]] const netsim::ScanDataset& raw_dataset() const;
   /// After chain reconstruction (this is what all analyses use).
   [[nodiscard]] const netsim::ScanDataset& dataset() const;
+  /// Quarantine accounting from the ingest/validation pass (all records
+  /// kept and zero quarantined on a pristine corpus).
+  [[nodiscard]] const IngestStats& ingest_stats() const;
+  /// What apply_noise injected this run (all-zero when noise is off).
+  [[nodiscard]] const netsim::NoiseSummary& noise_summary() const;
+  /// Outcome of the corpus-cache probe (kMissing when caching is disabled).
+  [[nodiscard]] DatasetLoadStatus dataset_cache_status() const;
 
   // -- Factoring ---------------------------------------------------------
   [[nodiscard]] const FactorStats& factor_stats() const;
@@ -140,6 +155,11 @@ class Study {
   netsim::ScanDataset raw_dataset_;
   netsim::ScanDataset dataset_;
   std::unique_ptr<netsim::Internet> internet_;
+  IngestStats ingest_stats_;
+  netsim::NoiseSummary noise_summary_;
+  DatasetLoadStatus dataset_cache_status_ = DatasetLoadStatus::kMissing;
+  /// Distinct quarantined degenerate moduli, triaged into FactorStats.
+  std::vector<bn::BigInt> degenerate_moduli_;
 
   FactorStats stats_;
   batchgcd::CoordinatorStats coordinator_stats_;

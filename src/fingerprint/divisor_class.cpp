@@ -56,6 +56,14 @@ bool plausibly_well_formed(const BigInt& n, std::uint32_t bound) {
   return true;
 }
 
+DivisorClass triage_degenerate_modulus(const BigInt& n,
+                                       std::uint32_t smooth_bound) {
+  if (n <= BigInt(1)) return DivisorClass::kSmoothBitError;  // 0/1/negative: corruption
+  const SmoothSplit split = smooth_split(n, smooth_bound);
+  return split.smooth.is_one() ? DivisorClass::kOther
+                               : DivisorClass::kSmoothBitError;
+}
+
 DivisorVerdict classify_divisor(const BigInt& n, const BigInt& d,
                                 std::uint32_t smooth_bound) {
   DivisorVerdict verdict;

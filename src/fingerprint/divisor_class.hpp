@@ -46,4 +46,12 @@ SmoothSplit smooth_split(const bn::BigInt& x, std::uint32_t bound);
 /// large primes.
 bool plausibly_well_formed(const bn::BigInt& n, std::uint32_t bound = 100000);
 
+/// Triage for moduli the ingest quarantine rejected before batch GCD (zero,
+/// even, or tiny): routes them into the same buckets the paper used for
+/// non-well-formed moduli. Anything degenerate (n <= 1) or carrying a
+/// small-prime factor lands in the smooth/bit-error bucket; the remainder
+/// (e.g. a tiny odd prime) in kOther. Total — never throws, any input.
+DivisorClass triage_degenerate_modulus(const bn::BigInt& n,
+                                       std::uint32_t smooth_bound = 100000);
+
 }  // namespace weakkeys::fingerprint

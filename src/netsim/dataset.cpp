@@ -1,11 +1,14 @@
 #include "netsim/dataset.hpp"
 
-#include <stdexcept>
 #include <unordered_set>
 
 namespace weakkeys::netsim {
 
 std::string to_string(Protocol p) {
+  // Exhaustive switch with no default: adding a Protocol enumerator without
+  // a case here is a compile-time -Wswitch diagnostic. Out-of-enum values
+  // (cast from corrupted serialized bytes) fall through to the total
+  // fallback instead of aborting mid-study.
   switch (p) {
     case Protocol::kHttps:
       return "HTTPS";
@@ -18,7 +21,13 @@ std::string to_string(Protocol p) {
     case Protocol::kSmtps:
       return "SMTPS";
   }
-  throw std::logic_error("unknown protocol");
+  return "unknown-protocol(" + std::to_string(static_cast<std::uint32_t>(p)) +
+         ")";
+}
+
+std::optional<Protocol> protocol_from_index(std::uint32_t value) {
+  if (value >= kProtocolCount) return std::nullopt;
+  return static_cast<Protocol>(value);
 }
 
 namespace {
@@ -46,6 +55,7 @@ std::size_t ScanDataset::distinct_certificates() const {
   std::unordered_set<std::string> seen;
   for (const auto& snap : snapshots) {
     for (const auto& rec : snap.records) {
+      if (!rec.has_cert()) continue;  // undecoded dirty-corpus bytes
       if (!seen_ptr.insert(rec.certificate.get()).second) continue;
       seen.insert(cert_key(rec.cert()));
     }
@@ -63,6 +73,7 @@ std::vector<bn::BigInt> collect_moduli(const ScanDataset& ds,
   for (const auto& snap : ds.snapshots) {
     if (filter && snap.protocol != *filter) continue;
     for (const auto& rec : snap.records) {
+      if (!rec.has_cert()) continue;  // undecoded dirty-corpus bytes
       if (!seen_ptr.insert(rec.certificate.get()).second) continue;
       if (seen.insert(rec.cert().key.n.to_hex()).second) {
         out.push_back(rec.cert().key.n);

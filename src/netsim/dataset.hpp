@@ -29,8 +29,17 @@ struct HostRecord {
   Protocol protocol = Protocol::kHttps;
   CertHandle certificate;
   std::string banner;  ///< HTTPS landing-page hint (may be empty)
+  /// Undecoded wire bytes for records whose certificate did not (or may
+  /// not) decode — the dirty-corpus representation of truncated/mangled
+  /// handshakes. When non-empty and `certificate` is null, the ingest
+  /// quarantine pass owns the decode attempt; such records never reach the
+  /// analysis pipeline directly.
+  std::vector<std::uint8_t> raw_der;
 
   [[nodiscard]] const cert::Certificate& cert() const { return *certificate; }
+  /// True when the record carries a decoded certificate (the only records
+  /// the analysis layers consume).
+  [[nodiscard]] bool has_cert() const { return certificate != nullptr; }
 };
 
 /// One scan: every host record collected in a single campaign pass.

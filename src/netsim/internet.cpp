@@ -126,14 +126,14 @@ ScanSnapshot Internet::scan(const ScanCampaign& campaign, const Date& when) {
 
     snap.records.push_back(HostRecord{when, campaign.name, device.ip,
                                       campaign.protocol, presented,
-                                      model.banner});
+                                      model.banner, {}});
 
     // Rapid7 surfaced unchained intermediates alongside some leaves.
     if (campaign.name == "Rapid7" && device.issuer_cert &&
         events_rng_.chance(config_.rapid7_intermediate_rate)) {
       snap.records.push_back(HostRecord{when, campaign.name, device.ip,
                                         campaign.protocol, device.issuer_cert,
-                                        ""});
+                                        "", {}});
     }
   }
   return snap;

@@ -1,0 +1,71 @@
+// Dirty-corpus simulation: deterministic scan-garbage injection.
+//
+// Six years of raw internet-wide scanning is not a pristine dataset. The
+// paper's pipeline had to digest truncated handshakes, bit-flipped
+// certificate encodings, and keys that were never well-formed RSA at all
+// (even moduli, e = 1, nonsense validity windows). This module reproduces
+// that reality on top of the clean simulation: apply_noise() walks a
+// ScanDataset and *appends* corrupted junk records derived from real ones —
+// the clean records are never touched, so the measurement results on the
+// clean subset are invariant under any NoiseConfig. The core::Study ingest
+// pass is the component under test: it must quarantine every one of these
+// by reason without aborting the run.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/dataset.hpp"
+
+namespace weakkeys::netsim {
+
+/// Per-record injection probabilities. All-zero (the default) means a
+/// pristine corpus; each rate is evaluated once per scanned host record.
+struct NoiseConfig {
+  std::uint64_t seed = 0xd1a7c0a905ULL;  // "dirt corpus"
+
+  // Wire/encoding damage: records arriving as undecoded bytes.
+  double truncated_rate = 0.0;  ///< encoding cut short mid-structure
+  double bitflip_rate = 0.0;    ///< 1-4 random bytes of the encoding XORed
+
+  // Degenerate keys: records that decode but are not plausible RSA.
+  double zero_modulus_rate = 0.0;       ///< n = 0
+  double even_modulus_rate = 0.0;       ///< n even (corrupted low limb)
+  double tiny_modulus_rate = 0.0;       ///< n far below any real key size
+  double bad_exponent_rate = 0.0;       ///< e in {0, 1}
+  double inverted_validity_rate = 0.0;  ///< not_after < not_before
+  double duplicate_serial_rate = 0.0;   ///< junk host echoing a seen serial
+
+  [[nodiscard]] bool any() const;
+  /// Stable hash over seed and rates, used to key result caches so a run
+  /// with different noise never reuses another run's factoring output.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// What apply_noise injected, by kind (ground truth for ingest accounting).
+struct NoiseSummary {
+  std::size_t truncated = 0;
+  std::size_t bitflipped = 0;
+  std::size_t zero_modulus = 0;
+  std::size_t even_modulus = 0;
+  std::size_t tiny_modulus = 0;
+  std::size_t bad_exponent = 0;
+  std::size_t inverted_validity = 0;
+  std::size_t duplicate_serial = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return truncated + bitflipped + zero_modulus + even_modulus +
+           tiny_modulus + bad_exponent + inverted_validity + duplicate_serial;
+  }
+  /// Injected records that arrive as raw bytes rather than decoded objects.
+  [[nodiscard]] std::size_t raw_records() const {
+    return truncated + bitflipped;
+  }
+};
+
+/// Appends corrupted records to `dataset`, deterministically from
+/// `config.seed`. Junk derived from a record lands at the end of the same
+/// snapshot, so a corruption's victim always precedes it in scan order.
+/// Existing records are never modified or removed.
+NoiseSummary apply_noise(ScanDataset& dataset, const NoiseConfig& config);
+
+}  // namespace weakkeys::netsim

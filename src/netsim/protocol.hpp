@@ -1,12 +1,26 @@
 // Scanned protocols (Table 4).
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 namespace weakkeys::netsim {
 
 enum class Protocol { kHttps, kSsh, kImaps, kPop3s, kSmtps };
 
+/// Number of enumerators; keep in sync with Protocol (protocol_from_index
+/// and the to_string switch are the compile-time checked users).
+inline constexpr std::uint32_t kProtocolCount = 5;
+
+/// Total: any value — including out-of-range ones cast from corrupted cache
+/// bytes — maps to a string; never throws. A new enumerator without a switch
+/// case is a compile-time -Wswitch diagnostic, not a runtime abort.
 std::string to_string(Protocol p);
+
+/// Total inverse of `static_cast<u32>(Protocol)` for untrusted serialized
+/// values: nullopt (quarantine/rebuild, caller's choice) instead of yielding
+/// an invalid enumerator.
+std::optional<Protocol> protocol_from_index(std::uint32_t value);
 
 }  // namespace weakkeys::netsim

@@ -39,7 +39,7 @@ netsim::CertHandle make_cert(const std::string& vendor, std::uint64_t modulus,
 
 HostRecord record(const Date& date, std::uint32_t ip, netsim::CertHandle cert) {
   return HostRecord{date, "Test", Ipv4(ip), Protocol::kHttps, std::move(cert),
-                    ""};
+                    "", {}};
 }
 
 RecordLabeler org_labeler() {

@@ -82,6 +82,55 @@ TEST(Tlv, U64LengthValidated) {
   EXPECT_THROW(r.read_u64(1), TlvError);
 }
 
+TEST(Tlv, TotalApiReportsReasonsAndPreservesPosition) {
+  TlvWriter w;
+  w.put_string(1, "payload");
+  TlvReader r(w.bytes());
+
+  std::string out;
+  EXPECT_EQ(r.try_read_string(2, out), ParseError::kUnexpectedTag);
+  EXPECT_EQ(r.remaining(), w.bytes().size());  // untouched on failure
+  std::uint64_t v = 0;
+  EXPECT_EQ(r.try_read_u64(1, v), ParseError::kBadFieldWidth);
+  EXPECT_EQ(r.remaining(), w.bytes().size());  // rewound after payload read
+  EXPECT_EQ(r.try_read_string(1, out), ParseError::kNone);
+  EXPECT_EQ(out, "payload");
+  EXPECT_EQ(r.try_read_string(1, out), ParseError::kEndOfInput);
+}
+
+TEST(Tlv, HugeLengthHeaderRejectedWithoutOverflow) {
+  // Regression: the old bounds check computed pos_ + 5 + len, which wraps
+  // for a hostile 0xFFFFFFFF length on 32-bit size_t and reads out of
+  // bounds. The remaining()-based check must reject, not wrap.
+  for (const std::uint32_t len : {0xffffffffu, 0xfffffffbu, 0xfffffff0u}) {
+    std::vector<std::uint8_t> buf = {
+        0x01, static_cast<std::uint8_t>(len), static_cast<std::uint8_t>(len >> 8),
+        static_cast<std::uint8_t>(len >> 16),
+        static_cast<std::uint8_t>(len >> 24)};
+    buf.insert(buf.end(), {0xaa, 0xbb, 0xcc});  // a little real payload
+    TlvReader r(buf);
+    std::span<const std::uint8_t> out;
+    EXPECT_EQ(r.try_read_bytes(1, out), ParseError::kLengthOverrun);
+    EXPECT_EQ(r.remaining(), buf.size());
+    TlvReader throwing(buf);
+    EXPECT_THROW(throwing.read_bytes(1), TlvError);
+    TlvReader nested(buf);
+    TlvReader inner;
+    EXPECT_EQ(nested.try_read_nested(1, inner), ParseError::kLengthOverrun);
+  }
+}
+
+TEST(Tlv, TruncatedHeaderDistinctFromEndOfInput) {
+  const std::vector<std::uint8_t> partial = {0x01, 0x02};
+  TlvReader r(partial);
+  std::span<const std::uint8_t> out;
+  EXPECT_EQ(r.try_read_bytes(1, out), ParseError::kTruncatedHeader);
+  TlvReader empty(std::span<const std::uint8_t>{});
+  EXPECT_EQ(empty.try_read_bytes(1, out), ParseError::kEndOfInput);
+  std::uint8_t tag = 0;
+  EXPECT_EQ(empty.try_peek_tag(tag), ParseError::kEndOfInput);
+}
+
 // ----------------------------------------------- DistinguishedName ----
 
 TEST(DistinguishedName, GetAndHas) {
@@ -176,6 +225,159 @@ TEST(Certificate, BitFlipChangesExactlyOneBit) {
 TEST(Certificate, DecodeRejectsGarbage) {
   const std::vector<std::uint8_t> junk = {0x01, 0x02, 0x03};
   EXPECT_THROW(Certificate::decode(junk), TlvError);
+}
+
+// ------------------------------------------- malformed-encoding table ----
+
+// Mirrors the private tag enum in certificate.cpp — the table hand-builds
+// encodings at the TLV level, below the Certificate API.
+enum BadTag : std::uint8_t {
+  kCert = 0x01,
+  kTbs = 0x02,
+  kSerial = 0x03,
+  kSubject = 0x04,
+  kIssuer = 0x05,
+  kSan = 0x06,
+  kNotBefore = 0x08,
+  kNotAfter = 0x09,
+  kModulus = 0x0a,
+  kExponent = 0x0b,
+  kSigAlg = 0x0c,
+  kSignature = 0x0d,
+  kDnType = 0x0f,
+  kDnValue = 0x10,
+};
+
+/// Knobs for building a certificate encoding with exactly one field broken.
+struct BadEncodingSpec {
+  std::vector<std::uint8_t> serial =
+      std::vector<std::uint8_t>(8, 0x11);  ///< must be 8 bytes to be valid
+  bool bad_subject_inner = false;  ///< wrong tag inside the subject DN
+  std::string not_before = "2012-01-01";
+  bool trailing_in_tbs = false;
+  bool trailing_after_cert = false;
+};
+
+std::vector<std::uint8_t> build_encoding(const BadEncodingSpec& spec) {
+  TlvWriter tbs;
+  tbs.put_bytes(kSerial, spec.serial);
+  {
+    TlvWriter dn;
+    if (spec.bad_subject_inner) {
+      dn.put_string(kDnValue, "value-without-type");  // kDnType expected first
+    } else {
+      dn.put_string(kDnType, "CN");
+      dn.put_string(kDnValue, "host");
+    }
+    tbs.put_nested(kSubject, dn);
+  }
+  {
+    TlvWriter dn;
+    dn.put_string(kDnType, "CN");
+    dn.put_string(kDnValue, "host");
+    tbs.put_nested(kIssuer, dn);
+  }
+  tbs.put_nested(kSan, TlvWriter{});
+  tbs.put_string(kNotBefore, spec.not_before);
+  tbs.put_string(kNotAfter, "2022-01-01");
+  tbs.put_bytes(kModulus, std::vector<std::uint8_t>{0x01, 0x02, 0x03});
+  tbs.put_bytes(kExponent, std::vector<std::uint8_t>{0x01, 0x00, 0x01});
+  tbs.put_string(kSigAlg, "sha256WithRSAEncryption");
+  if (spec.trailing_in_tbs) tbs.put_string(0x7f, "junk after sig-alg");
+
+  TlvWriter body;
+  body.put_bytes(kTbs, tbs.bytes());
+  body.put_bytes(kSignature, std::vector<std::uint8_t>{0xde, 0xad});
+  TlvWriter outer;
+  outer.put_nested(kCert, body);
+  auto bytes = outer.bytes();
+  if (spec.trailing_after_cert) bytes.insert(bytes.end(), {0x00, 0x00});
+  return bytes;
+}
+
+TEST(Certificate, MalformedEncodingTableMapsToExactParseError) {
+  struct Case {
+    const char* name;
+    std::vector<std::uint8_t> bytes;
+    ParseError expected;
+    const char* field;
+  };
+
+  auto wrong_outer_tag = build_encoding({});
+  wrong_outer_tag[0] = 0x2a;
+  auto huge_outer_length = build_encoding({});
+  huge_outer_length[1] = 0xff;
+  huge_outer_length[2] = 0xff;
+  huge_outer_length[3] = 0xff;
+  huge_outer_length[4] = 0xff;
+
+  const std::vector<Case> cases = {
+      {"empty buffer", {}, ParseError::kEndOfInput, "certificate"},
+      {"bare tag byte", {kCert}, ParseError::kTruncatedHeader, "certificate"},
+      {"partial length header",
+       {kCert, 0x10, 0x00},
+       ParseError::kTruncatedHeader,
+       "certificate"},
+      {"wrong outer tag", wrong_outer_tag, ParseError::kUnexpectedTag,
+       "certificate"},
+      {"overlong outer length", huge_outer_length, ParseError::kLengthOverrun,
+       "certificate"},
+      {"3-byte serial", build_encoding({.serial = {0x01, 0x02, 0x03}}),
+       ParseError::kBadFieldWidth, "serial"},
+      {"wrong tag inside subject DN",
+       build_encoding({.bad_subject_inner = true}), ParseError::kBadDn,
+       "subject"},
+      {"unparseable not-before", build_encoding({.not_before = "yesterday"}),
+       ParseError::kBadDate, "not-before"},
+      {"trailing field in tbs", build_encoding({.trailing_in_tbs = true}),
+       ParseError::kTrailingGarbage, "tbs"},
+      {"trailing bytes after certificate",
+       build_encoding({.trailing_after_cert = true}),
+       ParseError::kTrailingGarbage, "certificate"},
+  };
+
+  // Control: the unmutated template decodes.
+  ASSERT_TRUE(Certificate::try_decode(build_encoding({})).ok());
+
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    const DecodeResult result = Certificate::try_decode(c.bytes);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.error, c.expected);
+    EXPECT_EQ(result.field, c.field);
+    // The throwing wrapper reports the same reason in its message.
+    try {
+      (void)Certificate::decode(c.bytes);
+      FAIL() << "decode did not throw";
+    } catch (const TlvError& e) {
+      EXPECT_NE(std::string(e.what()).find(to_string(c.expected)),
+                std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Certificate, TruncationAtEveryByteBoundaryFailsCleanly) {
+  const auto full = build_encoding({});
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(full.begin(),
+                                           full.begin() + cut);
+    const DecodeResult result = Certificate::try_decode(prefix);
+    ASSERT_FALSE(result.ok()) << "cut at " << cut;
+    // Every prefix breaks the outer framing: missing header or short payload.
+    const ParseError expected = cut == 0 ? ParseError::kEndOfInput
+                                : cut < 5 ? ParseError::kTruncatedHeader
+                                          : ParseError::kLengthOverrun;
+    EXPECT_EQ(result.error, expected) << "cut at " << cut;
+  }
+}
+
+TEST(Certificate, TryDecodeRoundTripsWhatEncodeProduces) {
+  const Certificate original = sample_cert();
+  const DecodeResult result = Certificate::try_decode(original.encode());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.error, ParseError::kNone);
+  EXPECT_EQ(*result.cert, original);
 }
 
 }  // namespace

@@ -300,7 +300,7 @@ TEST(MitmDetector, FlagsFixedKeyAcrossManyIps) {
     c->key.e = BigInt(65537);
     snap.records.push_back(netsim::HostRecord{
         snap.date, snap.source, netsim::Ipv4(static_cast<std::uint32_t>(0x0a000000 + i)),
-        snap.protocol, std::move(c), ""});
+        snap.protocol, std::move(c), "", {}});
   }
   // One ordinary host, unique key.
   auto ordinary = std::make_shared<cert::Certificate>();
@@ -310,7 +310,7 @@ TEST(MitmDetector, FlagsFixedKeyAcrossManyIps) {
   ordinary->key.e = BigInt(65537);
   snap.records.push_back(netsim::HostRecord{snap.date, snap.source,
                                             netsim::Ipv4(0x0b000001),
-                                            snap.protocol, ordinary, ""});
+                                            snap.protocol, ordinary, "", {}});
   dataset.snapshots.push_back(std::move(snap));
 
   const auto candidates = detect_fixed_key_mitm(dataset, {}, MitmOptions{});
@@ -335,7 +335,7 @@ TEST(MitmDetector, FactoredCliqueMarked) {
     c->key.e = BigInt(65537);
     snap.records.push_back(netsim::HostRecord{
         snap.date, snap.source, netsim::Ipv4(static_cast<std::uint32_t>(0x0c000000 + i)),
-        netsim::Protocol::kHttps, std::move(c), ""});
+        netsim::Protocol::kHttps, std::move(c), "", {}});
   }
   dataset.snapshots.push_back(std::move(snap));
   const auto candidates =
@@ -359,7 +359,7 @@ TEST(MitmDetector, SameSubjectEverywhereNotFlagged) {
   for (int i = 0; i < 20; ++i) {
     snap.records.push_back(netsim::HostRecord{
         snap.date, snap.source, netsim::Ipv4(static_cast<std::uint32_t>(0x0d000000 + i)),
-        netsim::Protocol::kHttps, shared_cert, ""});
+        netsim::Protocol::kHttps, shared_cert, "", {}});
   }
   dataset.snapshots.push_back(std::move(snap));
   EXPECT_TRUE(detect_fixed_key_mitm(dataset, {}, MitmOptions{}).empty());

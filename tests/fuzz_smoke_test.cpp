@@ -1,0 +1,268 @@
+// Deterministic fuzz harness for the total-parsing surfaces.
+//
+// The contract under test: for ANY input bytes, Certificate::try_decode and
+// the TlvReader try_* API return an error or a valid object — no crash, no
+// exception, no UB (the CI fuzz-smoke job runs this under ASan/UBSan) — and
+// the throwing wrappers throw exactly when the total API reports an error.
+// Everything is seeded, so a failure reproduces from the iteration count.
+//
+// Iteration count comes from WEAKKEYS_FUZZ_ITERS (default keeps the suite
+// fast; CI cranks it up).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cert/certificate.hpp"
+#include "cert/tlv.hpp"
+#include "core/scan_store.hpp"
+#include "rng/prng_source.hpp"
+#include "rsa/keygen.hpp"
+#include "util/prng.hpp"
+
+namespace weakkeys::cert {
+namespace {
+
+std::size_t fuzz_iters(std::size_t default_iters) {
+  if (const char* env = std::getenv("WEAKKEYS_FUZZ_ITERS")) {
+    const long v = std::atol(env);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return default_iters;
+}
+
+std::vector<std::vector<std::uint8_t>> seed_encodings() {
+  std::vector<std::vector<std::uint8_t>> seeds;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    rng::PrngRandomSource rng(s);
+    rsa::KeygenOptions opts;
+    opts.modulus_bits = 256;
+    opts.miller_rabin_rounds = 8;
+    DistinguishedName dn;
+    dn.add("CN", "fuzz-host-" + std::to_string(s));
+    dn.add("O", "Fuzz Networks");
+    seeds.push_back(
+        make_self_signed(dn, {"fuzz.example"},
+                         {util::Date(2010, 1, 1), util::Date(2020, 1, 1)},
+                         rsa::generate_key(rng, opts), s)
+            .encode());
+  }
+  return seeds;
+}
+
+/// Applies 1-8 structure-unaware mutations: truncation, byte flips, inserts,
+/// erases, cross-seed splices, and 32-bit length-field extremes.
+std::vector<std::uint8_t> mutate(
+    const std::vector<std::vector<std::uint8_t>>& seeds,
+    util::Xoshiro256& rng) {
+  std::vector<std::uint8_t> buf = seeds[rng.below(seeds.size())];
+  const std::uint64_t mutations = 1 + rng.below(8);
+  for (std::uint64_t m = 0; m < mutations && !buf.empty(); ++m) {
+    switch (rng.below(6)) {
+      case 0:  // truncate
+        buf.resize(rng.below(buf.size() + 1));
+        break;
+      case 1:  // flip a byte
+        buf[rng.below(buf.size())] ^=
+            static_cast<std::uint8_t>(1 + rng.below(255));
+        break;
+      case 2:  // insert a random byte
+        buf.insert(buf.begin() + static_cast<std::ptrdiff_t>(
+                                     rng.below(buf.size() + 1)),
+                   static_cast<std::uint8_t>(rng.below(256)));
+        break;
+      case 3:  // erase a byte
+        buf.erase(buf.begin() +
+                  static_cast<std::ptrdiff_t>(rng.below(buf.size())));
+        break;
+      case 4: {  // splice a chunk from another seed
+        const auto& other = seeds[rng.below(seeds.size())];
+        const std::size_t src = rng.below(other.size());
+        const std::size_t dst = rng.below(buf.size());
+        const std::size_t len =
+            rng.below(std::min(other.size() - src, buf.size() - dst) + 1);
+        std::copy(other.begin() + static_cast<std::ptrdiff_t>(src),
+                  other.begin() + static_cast<std::ptrdiff_t>(src + len),
+                  buf.begin() + static_cast<std::ptrdiff_t>(dst));
+        break;
+      }
+      case 5: {  // overwrite a presumed length field with an extreme value
+        if (buf.size() < 5) break;
+        const std::size_t pos = rng.below(buf.size() - 4);
+        const std::uint32_t extreme =
+            rng.chance(0.5) ? 0xffffffffu
+                            : 0xfffffff0u + static_cast<std::uint32_t>(
+                                                rng.below(16));
+        buf[pos] = static_cast<std::uint8_t>(extreme);
+        buf[pos + 1] = static_cast<std::uint8_t>(extreme >> 8);
+        buf[pos + 2] = static_cast<std::uint8_t>(extreme >> 16);
+        buf[pos + 3] = static_cast<std::uint8_t>(extreme >> 24);
+        break;
+      }
+    }
+  }
+  return buf;
+}
+
+TEST(FuzzSmoke, TryDecodeIsTotalOnMutatedCertificates) {
+  const auto seeds = seed_encodings();
+  util::Xoshiro256 rng(0xf022deca7ULL);
+  const std::size_t iters = fuzz_iters(20000);
+  std::size_t survived = 0;
+
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto buf = mutate(seeds, rng);
+    DecodeResult result;
+    ASSERT_NO_THROW(result = Certificate::try_decode(buf)) << "iteration " << i;
+    // Exactly one of: a certificate, or an error with a field attribution.
+    ASSERT_EQ(result.ok(), result.error == ParseError::kNone)
+        << "iteration " << i;
+    if (result.ok()) {
+      ++survived;
+      EXPECT_TRUE(result.field.empty());
+      // A decoded certificate must be re-encodable without incident.
+      ASSERT_NO_THROW((void)result.cert->encode()) << "iteration " << i;
+    } else {
+      EXPECT_FALSE(result.field.empty()) << "iteration " << i;
+      EXPECT_NE(std::string(to_string(result.error)), "");
+    }
+    // The throwing wrapper is a thin veneer: throws iff try_decode fails.
+    if (i % 16 == 0) {
+      if (result.ok()) {
+        EXPECT_NO_THROW((void)Certificate::decode(buf));
+      } else {
+        EXPECT_THROW((void)Certificate::decode(buf), TlvError);
+      }
+    }
+  }
+  // Mutations that only touch the signature payload survive decoding; the
+  // corpus must exercise both outcomes.
+  EXPECT_GT(survived, 0u);
+  EXPECT_LT(survived, iters);
+}
+
+TEST(FuzzSmoke, TryDecodeIsTotalOnRandomGarbage) {
+  util::Xoshiro256 rng(0xbadbadbadULL);
+  const std::size_t iters = fuzz_iters(20000);
+  for (std::size_t i = 0; i < iters; ++i) {
+    std::vector<std::uint8_t> buf(rng.below(300));
+    for (auto& b : buf) b = static_cast<std::uint8_t>(rng.below(256));
+    DecodeResult result;
+    ASSERT_NO_THROW(result = Certificate::try_decode(buf)) << "iteration " << i;
+    ASSERT_EQ(result.ok(), result.error == ParseError::kNone)
+        << "iteration " << i;
+  }
+}
+
+TEST(FuzzSmoke, TlvReaderOpSequencesNeverCrash) {
+  const auto seeds = seed_encodings();
+  util::Xoshiro256 rng(0x7175ebffULL);
+  const std::size_t iters = fuzz_iters(20000);
+
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto buf = mutate(seeds, rng);
+    TlvReader r(buf);
+    // Random op sequence with random tags: must never throw from the try_*
+    // API, and the position must stay inside the buffer.
+    for (int op = 0; op < 12; ++op) {
+      const auto tag = static_cast<std::uint8_t>(rng.below(256));
+      switch (rng.below(5)) {
+        case 0: {
+          std::uint8_t t = 0;
+          (void)r.try_peek_tag(t);
+          break;
+        }
+        case 1: {
+          std::span<const std::uint8_t> out;
+          (void)r.try_read_bytes(tag, out);
+          break;
+        }
+        case 2: {
+          std::string out;
+          (void)r.try_read_string(tag, out);
+          break;
+        }
+        case 3: {
+          std::uint64_t out = 0;
+          (void)r.try_read_u64(tag, out);
+          break;
+        }
+        case 4: {
+          TlvReader nested;
+          (void)r.try_read_nested(tag, nested);
+          break;
+        }
+      }
+      ASSERT_LE(r.remaining(), buf.size()) << "iteration " << i;
+    }
+  }
+}
+
+TEST(FuzzSmoke, LoadDatasetNeverThrowsOnMutatedStores) {
+  // A minimal hand-built dataset keeps each iteration's I/O tiny.
+  rng::PrngRandomSource krng(77);
+  rsa::KeygenOptions opts;
+  opts.modulus_bits = 256;
+  opts.miller_rabin_rounds = 8;
+  DistinguishedName dn;
+  dn.add("CN", "store-host");
+  const Certificate cert = make_self_signed(
+      dn, {}, {util::Date(2012, 1, 1), util::Date(2020, 1, 1)},
+      rsa::generate_key(krng, opts), 1);
+
+  netsim::ScanSnapshot snap;
+  snap.date = util::Date(2013, 1, 1);
+  snap.source = "fuzz";
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    netsim::HostRecord rec;
+    rec.date = snap.date;
+    rec.ip = netsim::Ipv4(i);
+    rec.certificate = std::make_shared<const Certificate>(cert);
+    snap.records.push_back(std::move(rec));
+  }
+  netsim::ScanDataset ds;
+  ds.snapshots.push_back(std::move(snap));
+
+  const core::StoreKey key{1, 2, 3, 4};
+  const std::string path = "fuzz_store_test.tmp";
+  core::save_dataset(ds, key, path);
+  std::vector<std::uint8_t> pristine;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    int c = 0;
+    while ((c = std::fgetc(f)) != EOF) {
+      pristine.push_back(static_cast<std::uint8_t>(c));
+    }
+    std::fclose(f);
+  }
+
+  util::Xoshiro256 rng(0x570fefa11ULL);
+  const std::size_t iters = fuzz_iters(20000) / 40;
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto buf = mutate({pristine}, rng);
+    {
+      std::FILE* f = std::fopen(path.c_str(), "wb");
+      ASSERT_NE(f, nullptr);
+      if (!buf.empty()) std::fwrite(buf.data(), 1, buf.size(), f);
+      std::fclose(f);
+    }
+    std::optional<netsim::ScanDataset> loaded;
+    core::DatasetLoadStatus status = core::DatasetLoadStatus::kLoaded;
+    ASSERT_NO_THROW(loaded = core::load_dataset(key, path, &status))
+        << "iteration " << i;
+    if (!loaded.has_value()) {
+      ++rejected;
+      EXPECT_NE(status, core::DatasetLoadStatus::kLoaded) << "iteration " << i;
+    }
+  }
+  // The length+CRC footer rejects essentially every mutation.
+  EXPECT_GT(rejected, 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace weakkeys::cert

@@ -477,5 +477,28 @@ TEST_F(InternetSim, DistinctModuliMatchesKeyCount) {
   EXPECT_GE(ds.distinct_certificates(), moduli.size());
 }
 
+// ----------------------------------------------------------- Protocol ----
+
+TEST(Protocol, ToStringIsTotal) {
+  EXPECT_EQ(to_string(Protocol::kHttps), "HTTPS");
+  EXPECT_EQ(to_string(Protocol::kSmtps), "SMTPS");
+  // Out-of-enum values (cast from corrupted serialized bytes) map to a
+  // diagnostic string instead of throwing mid-study.
+  EXPECT_EQ(to_string(static_cast<Protocol>(99)), "unknown-protocol(99)");
+  EXPECT_EQ(to_string(static_cast<Protocol>(kProtocolCount)),
+            "unknown-protocol(" + std::to_string(kProtocolCount) + ")");
+}
+
+TEST(Protocol, FromIndexIsTotalInverse) {
+  for (std::uint32_t i = 0; i < kProtocolCount; ++i) {
+    const auto p = protocol_from_index(i);
+    ASSERT_TRUE(p.has_value()) << i;
+    EXPECT_EQ(static_cast<std::uint32_t>(*p), i);
+    EXPECT_EQ(to_string(*p).find("unknown"), std::string::npos);
+  }
+  EXPECT_FALSE(protocol_from_index(kProtocolCount).has_value());
+  EXPECT_FALSE(protocol_from_index(0xffffffffu).has_value());
+}
+
 }  // namespace
 }  // namespace weakkeys::netsim

@@ -45,21 +45,21 @@ netsim::ScanDataset dataset() {
   std::uint32_t ip = 1;
   for (const auto& c : a_vuln)
     peak.records.push_back({peak.date, "Test", netsim::Ipv4(ip++),
-                            netsim::Protocol::kHttps, c, ""});
+                            netsim::Protocol::kHttps, c, "", {}});
   for (const auto& c : b_vuln)
     peak.records.push_back({peak.date, "Test", netsim::Ipv4(ip++),
-                            netsim::Protocol::kHttps, c, ""});
+                            netsim::Protocol::kHttps, c, "", {}});
   peak.records.push_back({peak.date, "Test", netsim::Ipv4(ip++),
-                          netsim::Protocol::kHttps, c_clean, ""});
+                          netsim::Protocol::kHttps, c_clean, "", {}});
 
   netsim::ScanSnapshot end{util::Date(2016, 1, 15), "Test",
                            netsim::Protocol::kHttps, {}};
   end.records.push_back({end.date, "Test", netsim::Ipv4(1),
-                         netsim::Protocol::kHttps, a_vuln[0], ""});
+                         netsim::Protocol::kHttps, a_vuln[0], "", {}});
   end.records.push_back({end.date, "Test", netsim::Ipv4(5),
-                         netsim::Protocol::kHttps, b_vuln[0], ""});
+                         netsim::Protocol::kHttps, b_vuln[0], "", {}});
   end.records.push_back({end.date, "Test", netsim::Ipv4(9),
-                         netsim::Protocol::kHttps, c_clean, ""});
+                         netsim::Protocol::kHttps, c_clean, "", {}});
   ds.snapshots = {peak, end};
   return ds;
 }

@@ -181,6 +181,51 @@ TEST(StudyCache, SecondRunLoadsIdenticalResults) {
   std::remove((cache + ".factors").c_str());
 }
 
+TEST(StudyCache, RebuildReasonIsLoggedAndExposed) {
+  const std::string cache = "study_rebuild_reason_test.tmp";
+  std::remove(cache.c_str());
+  std::remove((cache + ".factors").c_str());
+
+  StudyConfig config;
+  config.sim.seed = 778;
+  config.sim.scale = 0.005;
+  config.sim.miller_rabin_rounds = 4;
+  config.batch_gcd_subsets = 2;
+  config.cache_path = cache;
+
+  {
+    Study first(config);
+    first.run();
+    EXPECT_EQ(first.dataset_cache_status(), DatasetLoadStatus::kMissing);
+  }
+
+  // Corrupt the corpus cache: the CRC footer no longer verifies, and the
+  // rebuild must say so instead of silently resimulating.
+  {
+    std::FILE* f = std::fopen(cache.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a scan store", f);
+    std::fclose(f);
+  }
+
+  std::vector<std::string> lines;
+  config.log = [&lines](const std::string& line) { lines.push_back(line); };
+  Study second(config);
+  second.run();
+  EXPECT_EQ(second.dataset_cache_status(), DatasetLoadStatus::kBadChecksum);
+  bool attributed = false;
+  for (const auto& line : lines) {
+    if (line.find("corpus cache unusable (checksum mismatch)") !=
+        std::string::npos) {
+      attributed = true;
+    }
+  }
+  EXPECT_TRUE(attributed);
+
+  std::remove(cache.c_str());
+  std::remove((cache + ".factors").c_str());
+}
+
 // ---------------------------------------------------------- scan store ----
 
 class ScanStoreTest : public ::testing::Test {
