@@ -7,9 +7,12 @@
 #include <vector>
 
 #include "batchgcd/batch_gcd.hpp"
+#include "batchgcd/coordinator.hpp"
 #include "batchgcd/distributed.hpp"
 #include "batchgcd/product_tree.hpp"
 #include "batchgcd/remainder_tree.hpp"
+#include "bench_json.hpp"
+#include "obs/telemetry.hpp"
 #include "rng/prng_source.hpp"
 #include "rsa/keygen.hpp"
 
@@ -98,6 +101,37 @@ void BM_DistributedK(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedK)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 
+/// Suite-wide telemetry: the enabled arm of the overhead ablation records
+/// into it, and its metrics snapshot is embedded in BENCH_perf_batchgcd.json.
+obs::Telemetry& bench_telemetry() {
+  static obs::Telemetry telemetry(/*tracing_enabled=*/true);
+  return telemetry;
+}
+
+/// Telemetry overhead ablation: the fault-tolerant coordinator with full
+/// instrumentation (one span per task attempt, mirrored global and
+/// per-worker counters, task-latency histogram) vs the identical run with
+/// telemetry off. Arg: 0 = disabled, 1 = enabled. The acceptance bar is
+/// <= 5% overhead for the enabled arm.
+void BM_CoordinatedTelemetry(benchmark::State& state) {
+  const auto& moduli = corpus(512);
+  const bool enabled = state.range(0) != 0;
+  batchgcd::CoordinatorConfig config;
+  config.subsets = 8;
+  config.workers = 4;
+  config.telemetry = enabled ? &bench_telemetry() : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batchgcd::batch_gcd_coordinated(moduli, config));
+  }
+}
+BENCHMARK(BM_CoordinatedTelemetry)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return weakkeys::bench::run_benchmarks_with_json("perf_batchgcd", argc, argv,
+                                                   &bench_telemetry());
+}

@@ -5,6 +5,7 @@
 // plus Montgomery modexp and RSA keygen throughput.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "bn/detail.hpp"
 #include "rng/prng_source.hpp"
 #include "rsa/keygen.hpp"
@@ -115,4 +116,6 @@ BENCHMARK(BM_RsaKeygen)->Arg(256)->Arg(512)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return weakkeys::bench::run_benchmarks_with_json("perf_bn", argc, argv);
+}

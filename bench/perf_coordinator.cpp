@@ -11,6 +11,8 @@
 
 #include "batchgcd/coordinator.hpp"
 #include "batchgcd/distributed.hpp"
+#include "bench_json.hpp"
+#include "obs/telemetry.hpp"
 #include "rng/prng_source.hpp"
 #include "rsa/keygen.hpp"
 #include "util/fault_injector.hpp"
@@ -42,6 +44,14 @@ const std::vector<BigInt>& corpus(std::size_t count) {
   return moduli;
 }
 
+/// Suite-wide telemetry, embedded in BENCH_perf_coordinator.json. Tracing
+/// is off so task spans stay near-free across thousands of iterations; the
+/// coordinator.* counters and task-latency histogram are still recorded.
+obs::Telemetry& bench_telemetry() {
+  static obs::Telemetry telemetry(/*tracing_enabled=*/false);
+  return telemetry;
+}
+
 batchgcd::CoordinatorConfig base_config() {
   batchgcd::CoordinatorConfig config;
   config.subsets = kSubsets;
@@ -49,6 +59,7 @@ batchgcd::CoordinatorConfig base_config() {
   config.backoff_base = std::chrono::milliseconds(1);
   config.backoff_cap = std::chrono::milliseconds(8);
   config.straggler_deadline = std::chrono::milliseconds(1);
+  config.telemetry = &bench_telemetry();
   return config;
 }
 
@@ -131,4 +142,7 @@ BENCHMARK(BM_CoordinatorFaultRate)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return weakkeys::bench::run_benchmarks_with_json("perf_coordinator", argc,
+                                                   argv, &bench_telemetry());
+}

@@ -58,6 +58,18 @@ class Coordinator {
  public:
   Coordinator(std::span<const BigInt> moduli, const CoordinatorConfig& config)
       : config_(config), moduli_(moduli) {
+    if (config_.telemetry) {
+      auto& m = config_.telemetry->metrics();
+      m_attempts_ = &m.counter("coordinator.attempts");
+      m_retries_ = &m.counter("coordinator.retries");
+      m_crashes_ = &m.counter("coordinator.crashes");
+      m_stragglers_ = &m.counter("coordinator.stragglers_killed");
+      m_corruptions_ = &m.counter("coordinator.corruptions_caught");
+      m_trees_rebuilt_ = &m.counter("coordinator.trees_rebuilt");
+      m_tasks_resumed_ = &m.counter("coordinator.tasks_resumed");
+      m_tasks_executed_ = &m.counter("coordinator.tasks_executed");
+      m_task_us_ = &m.histogram("coordinator.task_us");
+    }
     k_ = std::clamp<std::size_t>(config.subsets, 1,
                                  std::max<std::size_t>(moduli.size(), 1));
     total_ = k_ * k_;
@@ -230,6 +242,7 @@ class Coordinator {
       done[task] = true;
       ++committed_;
       ++stats_.tasks_resumed;
+      if (m_tasks_resumed_) m_tasks_resumed_->inc();
       return true;
     } catch (const std::exception&) {
       return false;
@@ -253,6 +266,10 @@ class Coordinator {
   // -- product trees -------------------------------------------------------
 
   void build_trees_parallel() {
+    obs::Span span;
+    if (config_.telemetry) {
+      span = config_.telemetry->tracer().span("gcd.build_trees");
+    }
     std::atomic<std::size_t> next{0};
     const std::size_t nthreads = std::min(workers_n_, k_);
     auto build = [this, &next] {
@@ -288,7 +305,7 @@ class Coordinator {
   // -- task execution ------------------------------------------------------
 
   /// One attempt on the simulated worker, faults included. Runs unlocked.
-  Outcome execute(const Pending& p) {
+  Outcome execute(const Pending& p, std::size_t worker) {
     const auto t0 = Clock::now();
     Outcome out;
     const util::FaultDecision decision =
@@ -296,6 +313,16 @@ class Coordinator {
                          : util::FaultDecision{};
     const std::size_t b = p.task / k_;  // product index
     const std::size_t a = p.task % k_;  // subset index
+
+    obs::Span span;
+    if (config_.telemetry) {
+      span = config_.telemetry->tracer().span("gcd.task");
+      span.arg("task", static_cast<std::int64_t>(p.task));
+      span.arg("product", static_cast<std::int64_t>(b));
+      span.arg("subset", static_cast<std::int64_t>(a));
+      span.arg("attempt", static_cast<std::int64_t>(p.attempt));
+      span.arg("worker", static_cast<std::int64_t>(worker));
+    }
 
     if (decision.lose_tree) {
       // The subset's product tree evaporates (node reboot, evicted cache).
@@ -386,6 +413,16 @@ class Coordinator {
   }
 
   void worker_loop(std::size_t w) {
+    obs::Counter* w_attempts = nullptr;
+    obs::Counter* w_retries = nullptr;
+    obs::Counter* w_straggles = nullptr;
+    if (config_.telemetry) {
+      auto& m = config_.telemetry->metrics();
+      const std::string prefix = "coordinator.worker." + std::to_string(w);
+      w_attempts = &m.counter(prefix + ".attempts");
+      w_retries = &m.counter(prefix + ".retries");
+      w_straggles = &m.counter(prefix + ".straggles");
+    }
     std::unique_lock lock(mu_);
     for (;;) {
       if (fatal_ || halted_) return;
@@ -418,12 +455,18 @@ class Coordinator {
                      static_cast<std::ptrdiff_t>(pick));
       ++inflight_;
       ++stats_.attempts;
-      if (p.attempt > 0) ++stats_.retries;
+      if (m_attempts_) m_attempts_->inc();
+      if (w_attempts) w_attempts->inc();
+      if (p.attempt > 0) {
+        ++stats_.retries;
+        if (m_retries_) m_retries_->inc();
+        if (w_retries) w_retries->inc();
+      }
       lock.unlock();
 
       Outcome out;
       try {
-        out = execute(p);
+        out = execute(p, w);
       } catch (...) {
         lock.lock();
         --inflight_;
@@ -436,7 +479,11 @@ class Coordinator {
       --inflight_;
       stats_.total_task_ns += out.ns;
       stats_.max_task_ns = std::max(stats_.max_task_ns, out.ns);
-      if (out.lost_tree) ++stats_.trees_rebuilt;
+      if (m_task_us_) m_task_us_->record(out.ns / 1000);
+      if (out.lost_tree) {
+        ++stats_.trees_rebuilt;
+        if (m_trees_rebuilt_) m_trees_rebuilt_->inc();
+      }
 
       if (out.kind == OutcomeKind::kOk) {
         commit(p.task, out.claims);
@@ -444,12 +491,16 @@ class Coordinator {
         switch (out.kind) {
           case OutcomeKind::kCrash:
             ++stats_.crashes;
+            if (m_crashes_) m_crashes_->inc();
             break;
           case OutcomeKind::kStraggle:
             ++stats_.stragglers_killed;
+            if (m_stragglers_) m_stragglers_->inc();
+            if (w_straggles) w_straggles->inc();
             break;
           case OutcomeKind::kCorrupt:
             ++stats_.corruptions_caught;
+            if (m_corruptions_) m_corruptions_->inc();
             break;
           case OutcomeKind::kOk:
             break;
@@ -484,6 +535,7 @@ class Coordinator {
     journal_commit(task, claims);
     ++committed_;
     ++stats_.tasks_executed;
+    if (m_tasks_executed_) m_tasks_executed_->inc();
     if (config_.halt_after_tasks != 0 &&
         stats_.tasks_executed >= config_.halt_after_tasks &&
         committed_ < total_) {
@@ -511,6 +563,19 @@ class Coordinator {
   std::vector<std::vector<BigInt>> partial_;  ///< per subset, per leaf
   std::unique_ptr<core::BinaryWriter> journal_;
   CoordinatorStats stats_;
+
+  // Telemetry instruments, resolved once at construction (null without a
+  // telemetry bundle). Updated under mu_ alongside the stats_ fields they
+  // mirror, except m_task_us_ (atomic, recorded where the timing is known).
+  obs::Counter* m_attempts_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_crashes_ = nullptr;
+  obs::Counter* m_stragglers_ = nullptr;
+  obs::Counter* m_corruptions_ = nullptr;
+  obs::Counter* m_trees_rebuilt_ = nullptr;
+  obs::Counter* m_tasks_resumed_ = nullptr;
+  obs::Counter* m_tasks_executed_ = nullptr;
+  obs::Histogram* m_task_us_ = nullptr;
 };
 
 }  // namespace

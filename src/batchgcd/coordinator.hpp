@@ -29,6 +29,7 @@
 #include <string>
 
 #include "batchgcd/batch_gcd.hpp"
+#include "obs/telemetry.hpp"
 #include "util/fault_injector.hpp"
 
 namespace weakkeys::batchgcd {
@@ -62,6 +63,13 @@ struct CoordinatorConfig {
   const util::FaultInjector* injector = nullptr;
   /// Progress sink; null discards.
   std::function<void(const std::string&)> log;
+  /// Telemetry bundle; nullptr disables instrumentation. When set, the
+  /// coordinator records one `gcd.task` span per task attempt (annotated
+  /// with task/product/subset/attempt/worker), a `coordinator.task_us`
+  /// per-attempt latency histogram, global `coordinator.*` counters mirroring
+  /// CoordinatorStats, and per-worker `coordinator.worker.<w>.*` counters
+  /// (attempts, retries, straggles). Must outlive the call.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 struct CoordinatorStats {

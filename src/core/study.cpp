@@ -1,6 +1,7 @@
 #include "core/study.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <unordered_map>
 
@@ -21,27 +22,58 @@ namespace {
 /// caches are rebuilt.
 constexpr std::uint32_t kCatalogVersion = 4;
 constexpr std::uint32_t kFactorMagic = 0x574b4633;  // "WKF3" (adds noise key)
+
+/// DatasetLoadStatus text as a metric-name segment (lowercase, dashes).
+std::string metric_segment(std::string s) {
+  for (char& c : s) {
+    if (c == ' ') c = '-';
+  }
+  return s;
+}
 }  // namespace
 
 Study::Study(StudyConfig config)
     : config_(std::move(config)),
-      subject_rules_(fingerprint::SubjectRules::standard()) {}
+      subject_rules_(fingerprint::SubjectRules::standard()) {
+  // The telemetry sink is the primary log: events are always counted and
+  // ring-buffered, and the configured string log (if any) is just a text
+  // mirror. A null config_.log no longer silently discards progress.
+  if (config_.log) telemetry_.sink().set_text_sink(config_.log);
+}
 
 Study::~Study() = default;
 
-void Study::log(const std::string& message) const {
-  if (config_.log) config_.log(message);
+void Study::log(const std::string& message) {
+  telemetry_.sink().info(message);
 }
 
 void Study::run() {
   if (ran_) return;
-  build_dataset();
-  factor_moduli();
-  fingerprint_corpus();
+  {
+    obs::Span run_span = telemetry_.tracer().span("study.run");
+    build_dataset();
+    factor_moduli();
+    fingerprint_corpus();
+  }
   ran_ = true;
+  write_trace_if_configured();
+}
+
+void Study::write_trace_if_configured() {
+  std::string path = config_.trace_path;
+  if (path.empty()) {
+    if (const char* env = std::getenv("WEAKKEYS_TRACE")) path = env;
+  }
+  if (path.empty()) return;
+  if (telemetry_.write_trace_files(path)) {
+    log("telemetry: trace written to " + path + " (metrics snapshot at " +
+        path + ".metrics.json)");
+  }
 }
 
 void Study::build_dataset() {
+  obs::Span stage = telemetry_.tracer().span("study.build_dataset");
+  auto& metrics = telemetry_.metrics();
   const StoreKey key{
       config_.sim.seed,
       static_cast<std::uint64_t>(config_.sim.scale * 1e6),
@@ -50,24 +82,37 @@ void Study::build_dataset() {
   };
   bool have_corpus = false;
   if (!config_.cache_path.empty()) {
+    obs::Span probe = telemetry_.tracer().span("study.load_corpus");
     if (auto cached =
             load_dataset(key, config_.cache_path, &dataset_cache_status_)) {
       log("loaded corpus from " + config_.cache_path);
+      metrics.counter("cache.corpus.hit").inc();
       raw_dataset_ = std::move(*cached);
       have_corpus = true;
-    } else if (dataset_cache_status_ != DatasetLoadStatus::kMissing) {
-      // A present-but-unusable cache is worth attributing: silent rebuilds
-      // hide both corruption and stale-key bugs.
-      log("corpus cache unusable (" +
-          std::string(to_string(dataset_cache_status_)) + "), rebuilding " +
-          config_.cache_path);
+    } else {
+      metrics.counter("cache.corpus.miss").inc();
+      // Attribute the rebuild reason as its own counter family: silent
+      // rebuilds hide both corruption and stale-key bugs.
+      metrics
+          .counter("cache.corpus.rebuild." +
+                   metric_segment(to_string(dataset_cache_status_)))
+          .inc();
+      if (dataset_cache_status_ != DatasetLoadStatus::kMissing) {
+        log("corpus cache unusable (" +
+            std::string(to_string(dataset_cache_status_)) + "), rebuilding " +
+            config_.cache_path);
+      }
     }
   }
 
   if (!have_corpus) {
+    obs::Span simulate = telemetry_.tracer().span("study.simulate");
     log("simulating six years of scans (first run builds the corpus cache)...");
+    netsim::SimConfig sim = config_.sim;
+    sim.telemetry = &telemetry_;
+    sim.log = [this](const std::string& message) { log("sim: " + message); };
     internet_ = std::make_unique<netsim::Internet>(
-        netsim::standard_models(config_.sim.scale), config_.sim);
+        netsim::standard_models(config_.sim.scale), sim);
     raw_dataset_ = internet_->run(netsim::standard_campaigns());
     log("simulated " + std::to_string(raw_dataset_.total_host_records()) +
         " host records");
@@ -80,7 +125,9 @@ void Study::build_dataset() {
   // The cache stores the clean corpus; scan noise is layered on afterwards
   // so one cached simulation serves any NoiseConfig.
   if (config_.noise.any()) {
+    obs::Span noise = telemetry_.tracer().span("study.apply_noise");
     noise_summary_ = netsim::apply_noise(raw_dataset_, config_.noise);
+    metrics.counter("noise.records_injected").inc(noise_summary_.total());
     log("noise: injected " + std::to_string(noise_summary_.total()) +
         " corrupted records into the scanned corpus");
   }
@@ -88,11 +135,38 @@ void Study::build_dataset() {
   // Ingest/quarantine: after this pass every record carries a decoded,
   // plausibly well-formed certificate; everything else is accounted for in
   // ingest_stats_ and (for degenerate moduli) rerouted to factor triage.
-  IngestResult ingest = ingest_dataset(raw_dataset_);
-  ingest_stats_ = std::move(ingest.stats);
-  degenerate_moduli_ = std::move(ingest.degenerate_moduli);
-  log("ingest: " + ingest_stats_.summary());
-  dataset_ = analysis::exclude_intermediates(ingest.kept);
+  {
+    obs::Span ingest_span = telemetry_.tracer().span("study.ingest");
+    IngestResult ingest = ingest_dataset(raw_dataset_);
+    ingest_stats_ = std::move(ingest.stats);
+    degenerate_moduli_ = std::move(ingest.degenerate_moduli);
+    record_ingest_metrics();
+    log("ingest: " + ingest_stats_.summary());
+    obs::Span chains = telemetry_.tracer().span("study.exclude_intermediates");
+    dataset_ = analysis::exclude_intermediates(ingest.kept);
+  }
+}
+
+/// Mirrors IngestStats into the metrics registry. Counters agree exactly
+/// with the stats struct (pinned by the telemetry e2e test): per-reason
+/// drops are `ingest.drop.<reason>` using the QuarantineReason names.
+void Study::record_ingest_metrics() {
+  auto& metrics = telemetry_.metrics();
+  metrics.counter("ingest.records_seen").inc(ingest_stats_.records_seen);
+  metrics.counter("ingest.records_kept").inc(ingest_stats_.records_kept);
+  metrics.counter("ingest.records_quarantined")
+      .inc(ingest_stats_.records_quarantined);
+  metrics.counter("ingest.raw_records").inc(ingest_stats_.raw_records);
+  metrics.counter("ingest.raw_recovered").inc(ingest_stats_.raw_recovered);
+  metrics.counter("ingest.degenerate_moduli")
+      .inc(ingest_stats_.degenerate_moduli);
+  for (std::size_t i = 0; i < kQuarantineReasonCount; ++i) {
+    if (ingest_stats_.by_reason[i] == 0) continue;
+    metrics
+        .counter(std::string("ingest.drop.") +
+                 to_string(static_cast<QuarantineReason>(i)))
+        .inc(ingest_stats_.by_reason[i]);
+  }
 }
 
 namespace {
@@ -184,13 +258,18 @@ void Study::write_factor_cache_payload(BinaryWriter& w) const {
 }
 
 void Study::factor_moduli() {
+  obs::Span stage = telemetry_.tracer().span("study.factor_moduli");
+  auto& metrics = telemetry_.metrics();
   const std::string factor_cache =
       config_.cache_path.empty() ? "" : config_.cache_path + ".factors";
   if (!factor_cache.empty() && load_factor_cache(factor_cache)) {
+    metrics.counter("cache.factors.hit").inc();
+    record_factor_metrics();
     log("loaded " + std::to_string(factored_.size()) +
         " factored moduli from " + factor_cache);
     return;
   }
+  if (!factor_cache.empty()) metrics.counter("cache.factors.miss").inc();
 
   const std::vector<bn::BigInt> moduli = dataset_.distinct_moduli();
   stats_.distinct_moduli = moduli.size();
@@ -199,6 +278,7 @@ void Study::factor_moduli() {
 
   batchgcd::BatchGcdResult result;
   if (config_.fault_tolerant) {
+    obs::Span gcd_span = telemetry_.tracer().span("gcd.coordinated");
     // Fault-tolerant path: verified results, retries, and a checkpoint
     // journal so a killed run resumes with only the unfinished tasks.
     batchgcd::CoordinatorConfig coord;
@@ -206,10 +286,12 @@ void Study::factor_moduli() {
     coord.workers = config_.threads;
     coord.checkpoint_path =
         config_.cache_path.empty() ? "" : config_.cache_path + ".gcdckpt";
-    coord.log = config_.log;
+    coord.log = [this](const std::string& message) { log(message); };
+    coord.telemetry = &telemetry_;
     util::FaultInjector injector(config_.faults);
     if (config_.faults.any_faults()) coord.injector = &injector;
     result = batchgcd::batch_gcd_coordinated(moduli, coord, &coordinator_stats_);
+    gcd_span.end();
     log("coordinator: " + std::to_string(coordinator_stats_.attempts) +
         " attempts for " + std::to_string(coordinator_stats_.tasks) +
         " tasks (" + std::to_string(coordinator_stats_.retries) + " retries, " +
@@ -221,11 +303,13 @@ void Study::factor_moduli() {
         " resumed from checkpoint)");
   } else {
     // Fault-free fast path: every task assumed to succeed exactly once.
-    util::ThreadPool pool(config_.threads);
+    obs::Span gcd_span = telemetry_.tracer().span("gcd.distributed");
+    util::ThreadPool pool(config_.threads, &telemetry_);
     result = batchgcd::batch_gcd_distributed(moduli,
                                              config_.batch_gcd_subsets, &pool);
   }
 
+  obs::Span classify_span = telemetry_.tracer().span("study.classify_divisors");
   std::vector<std::size_t> full_modulus_indices;
   for (std::size_t i = 0; i < moduli.size(); ++i) {
     const bn::BigInt& d = result.divisors[i];
@@ -255,9 +339,12 @@ void Study::factor_moduli() {
     }
   }
 
+  classify_span.end();
+
   // Second pass: moduli whose divisor equals the modulus share *both* primes
   // with the rest of the corpus (degenerate-generator cliques). Pairwise GCD
   // within this small set splits them.
+  obs::Span second_pass_span = telemetry_.tracer().span("study.second_pass");
   for (const std::size_t i : full_modulus_indices) {
     for (const std::size_t j : full_modulus_indices) {
       if (i == j) continue;
@@ -272,10 +359,13 @@ void Study::factor_moduli() {
     }
   }
 
+  second_pass_span.end();
+
   // Quarantined degenerate moduli (zero/tiny/even) never reach the GCD
   // input — an even modulus alone would smear a factor of 2 across the whole
   // corpus — but the paper still accounts for them as malformed keys, so
   // triage each into the bit-error/other buckets here.
+  obs::Span triage_span = telemetry_.tracer().span("study.triage_degenerate");
   std::size_t triaged_bit_errors = 0;
   for (const auto& n : degenerate_moduli_) {
     if (fingerprint::triage_degenerate_modulus(n) ==
@@ -292,12 +382,31 @@ void Study::factor_moduli() {
         std::to_string(triaged_bit_errors) + " as bit errors)");
   }
 
+  triage_span.end();
+
   for (std::size_t i = 0; i < factored_.size(); ++i) {
     factored_index_[factored_[i].n.to_hex()] = i;
   }
+  record_factor_metrics();
   log("factored " + std::to_string(factored_.size()) + " moduli (" +
       std::to_string(stats_.bit_errors) + " bit errors excluded)");
   if (!factor_cache.empty()) save_factor_cache(factor_cache);
+}
+
+/// Mirrors FactorStats into `factor.*` counters (set, not inc: the stats
+/// struct is the authoritative total, whether computed or cache-loaded).
+void Study::record_factor_metrics() {
+  auto& metrics = telemetry_.metrics();
+  metrics.counter("factor.distinct_moduli").set(stats_.distinct_moduli);
+  metrics.counter("factor.nontrivial_divisors")
+      .set(stats_.nontrivial_divisors);
+  metrics.counter("factor.shared_prime").set(stats_.shared_prime);
+  metrics.counter("factor.full_modulus").set(stats_.full_modulus);
+  metrics.counter("factor.bit_errors").set(stats_.bit_errors);
+  metrics.counter("factor.other").set(stats_.other);
+  metrics.counter("factor.second_pass_factored")
+      .set(stats_.second_pass_factored);
+  metrics.counter("factor.factored_moduli").set(factored_.size());
 }
 
 const FactorRecord* Study::find_factor(const bn::BigInt& n) const {
@@ -306,7 +415,9 @@ const FactorRecord* Study::find_factor(const bn::BigInt& n) const {
 }
 
 void Study::fingerprint_corpus() {
+  obs::Span stage = telemetry_.tracer().span("study.fingerprint");
   // Degenerate-generator cliques.
+  obs::Span clique_span = telemetry_.tracer().span("fingerprint.cliques");
   std::vector<fingerprint::FactoredModulus> triples;
   triples.reserve(factored_.size());
   for (const auto& f : factored_) triples.push_back({f.p, f.q, f.n});
@@ -318,8 +429,12 @@ void Study::fingerprint_corpus() {
   }
   log("found " + std::to_string(cliques_.size()) +
       " degenerate-generator cliques");
+  telemetry_.metrics().counter("fingerprint.cliques").set(cliques_.size());
+  clique_span.end();
 
   // Subject labels per unique certificate, and per-modulus subject vendors.
+  obs::Span subject_span =
+      telemetry_.tracer().span("fingerprint.subject_labels");
   std::unordered_map<std::string, std::set<std::string>> subject_vendors;
   for (const auto& snap : dataset_.snapshots) {
     for (const auto& rec : snap.records) {
@@ -332,8 +447,11 @@ void Study::fingerprint_corpus() {
     }
   }
 
+  subject_span.end();
+
   // Vendor prime pools from subject-labeled factored moduli (clique primes
   // stay out: the clique label takes precedence, as in the paper).
+  obs::Span pools_span = telemetry_.tracer().span("fingerprint.prime_pools");
   for (const auto& f : factored_) {
     if (clique_moduli_.contains(f.n)) continue;
     const auto it = subject_vendors.find(f.n.to_hex());
@@ -343,7 +461,11 @@ void Study::fingerprint_corpus() {
     pools_.add(vendor, f.q);
   }
 
+  pools_span.end();
+
   // Shared-prime extrapolation for factored moduli with no subject label.
+  obs::Span extrapolate_span =
+      telemetry_.tracer().span("fingerprint.extrapolate");
   for (const auto& f : factored_) {
     if (clique_moduli_.contains(f.n)) continue;
     const std::string hex = f.n.to_hex();
@@ -353,13 +475,19 @@ void Study::fingerprint_corpus() {
   }
   log("shared-prime extrapolation labeled " +
       std::to_string(extrapolated_.size()) + " moduli");
+  telemetry_.metrics()
+      .counter("fingerprint.extrapolated")
+      .set(extrapolated_.size());
+  extrapolate_span.end();
 
   // Fixed-key MITM candidates.
+  obs::Span mitm_span = telemetry_.tracer().span("fingerprint.mitm");
   std::vector<std::string> factored_hex;
   factored_hex.reserve(factored_.size());
   for (const auto& f : factored_) factored_hex.push_back(f.n.to_hex());
   mitm_ = fingerprint::detect_fixed_key_mitm(dataset_, factored_hex,
                                              fingerprint::MitmOptions{});
+  telemetry_.metrics().counter("fingerprint.mitm_candidates").set(mitm_.size());
 }
 
 analysis::RecordLabeler Study::labeler() const {

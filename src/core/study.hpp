@@ -34,6 +34,7 @@
 #include "fingerprint/subject_rules.hpp"
 #include "netsim/internet.hpp"
 #include "netsim/noise.hpp"
+#include "obs/telemetry.hpp"
 
 namespace weakkeys::core {
 
@@ -61,8 +62,16 @@ struct StudyConfig {
   /// damage; results on the clean subset are invariant under any setting.
   netsim::NoiseConfig noise;
   /// Progress sink (the simulation and factoring take a while at full
-  /// scale); null discards.
+  /// scale). Null no longer discards events: everything is still counted
+  /// and ring-buffered by the telemetry sink (Study::telemetry()); this
+  /// callback only controls whether the text is *printed* somewhere.
   std::function<void(const std::string&)> log;
+  /// Write a Chrome trace_event JSON of the run here after run() finishes
+  /// (plus a metrics snapshot at `<trace_path>.metrics.json`). Empty falls
+  /// back to the WEAKKEYS_TRACE environment variable; still empty disables
+  /// the dump (spans and metrics are collected either way — see
+  /// Study::telemetry()). Load the trace in about://tracing or perfetto.
+  std::string trace_path;
 };
 
 /// One factored modulus with everything later stages need.
@@ -141,6 +150,13 @@ class Study {
   /// The factor record for modulus `n`, if it was factored.
   [[nodiscard]] const FactorRecord* find_factor(const bn::BigInt& n) const;
 
+  // -- Telemetry -----------------------------------------------------------
+  /// The run's metrics registry, span tracer, and structured event sink.
+  /// Live from construction; populated by run(). Metric names and the span
+  /// model are documented in DESIGN.md §5e.
+  [[nodiscard]] obs::Telemetry& telemetry() { return telemetry_; }
+  [[nodiscard]] const obs::Telemetry& telemetry() const { return telemetry_; }
+
  private:
   void build_dataset();
   void factor_moduli();
@@ -148,9 +164,13 @@ class Study {
   bool load_factor_cache(const std::string& path);
   void save_factor_cache(const std::string& path) const;
   void write_factor_cache_payload(class BinaryWriter& w) const;
-  void log(const std::string& message) const;
+  void log(const std::string& message);
+  void record_ingest_metrics();
+  void record_factor_metrics();
+  void write_trace_if_configured();
 
   StudyConfig config_;
+  obs::Telemetry telemetry_;
   bool ran_ = false;
   netsim::ScanDataset raw_dataset_;
   netsim::ScanDataset dataset_;

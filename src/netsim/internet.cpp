@@ -47,12 +47,23 @@ void Internet::seed_initial_population() {
 }
 
 void Internet::advance_month(const Date& month_start) {
+  obs::Counter* deployed = nullptr;
+  obs::Counter* retired = nullptr;
+  obs::Counter* regenerated = nullptr;
+  if (config_.telemetry) {
+    auto& m = config_.telemetry->metrics();
+    deployed = &m.counter("sim.devices_deployed");
+    retired = &m.counter("sim.devices_retired");
+    regenerated = &m.counter("sim.keys_regenerated");
+  }
+
   // New deployments, with fractional carry so low rates still deploy.
   for (std::size_t mi = 0; mi < models_.size(); ++mi) {
     const DeviceModel& model = models_[mi];
     deploy_accumulator_[mi] += deploy_rate(model, month_start);
     const auto n = static_cast<std::size_t>(deploy_accumulator_[mi]);
     deploy_accumulator_[mi] -= static_cast<double>(n);
+    if (deployed) deployed->inc(n);
     for (std::size_t i = 0; i < n; ++i) {
       const Date when =
           month_start.add_days(static_cast<std::int64_t>(events_rng_.below(28)));
@@ -73,6 +84,7 @@ void Internet::advance_month(const Date& month_start) {
       // publicity wave; the paper observed these never came back.
       device.alive = false;
       factory_.release_ip(device);
+      if (retired) retired->inc();
       continue;
     }
 
@@ -82,6 +94,7 @@ void Internet::advance_month(const Date& month_start) {
     if (events_rng_.chance(retire)) {
       device.alive = false;
       factory_.release_ip(device);
+      if (retired) retired->inc();
       continue;
     }
     if (events_rng_.chance(model.churn_rate)) {
@@ -91,6 +104,7 @@ void Internet::advance_month(const Date& month_start) {
       const Date when =
           month_start.add_days(static_cast<std::int64_t>(events_rng_.below(28)));
       factory_.regenerate(device, when);
+      if (regenerated) regenerated->inc();
     }
   }
 }
@@ -158,13 +172,33 @@ ScanDataset Internet::run(const std::vector<ScanCampaign>& campaigns) {
   ScanDataset dataset;
   const Date start = study_start().month_start();
   const int months = util::months_between(start, study_end()) + 1;
+  obs::Counter* scanned = config_.telemetry
+                              ? &config_.telemetry->metrics().counter(
+                                    "sim.records_scanned")
+                              : nullptr;
   for (int mi = 0; mi < months; ++mi) {
     const Date month = start.add_months(mi);
     advance_month(month);
     for (const auto& s : schedule) {
-      if (s.when.month_index() == month.month_index()) {
-        dataset.snapshots.push_back(scan(*s.campaign, s.when));
+      if (s.when.month_index() != month.month_index()) continue;
+      obs::Span span;
+      if (config_.telemetry) {
+        span = config_.telemetry->tracer().span("sim.scan");
+        span.arg("month", month.month_index());
       }
+      ScanSnapshot snap = scan(*s.campaign, s.when);
+      if (scanned) scanned->inc(snap.records.size());
+      dataset.snapshots.push_back(std::move(snap));
+    }
+    // One progress line per simulated year: the corpus build is the longest
+    // silent stretch of a cold-cache run.
+    if (config_.log && (mi + 1) % 12 == 0) {
+      std::size_t alive = 0;
+      for (const Device& d : devices_) alive += d.alive ? 1 : 0;
+      config_.log("year " + std::to_string(month.year()) + ": " +
+                  std::to_string(alive) + " devices alive, " +
+                  std::to_string(dataset.snapshots.size()) +
+                  " snapshots collected");
     }
   }
 

@@ -3,12 +3,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "netsim/catalog.hpp"
 #include "netsim/dataset.hpp"
 #include "netsim/device.hpp"
 #include "netsim/device_model.hpp"
+#include "obs/telemetry.hpp"
 #include "util/prng.hpp"
 
 namespace weakkeys::netsim {
@@ -26,6 +29,14 @@ struct SimConfig {
   /// Probability that a Rapid7 record of a CA-issued host also surfaces the
   /// unchained intermediate certificate (the Section 3.1 quirk).
   double rapid7_intermediate_rate = 0.10;
+  /// Simulation progress events (one line per simulated year); null
+  /// discards. core::Study routes this through its telemetry sink so the
+  /// multi-minute corpus build is never a silent gap.
+  std::function<void(const std::string&)> log;
+  /// Optional telemetry: one `sim.scan` span per executed scan snapshot and
+  /// `sim.*` population counters (deployed/retired/regenerated/records).
+  /// Must outlive the Internet. Does not affect the StoreKey cache identity.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 class Internet {

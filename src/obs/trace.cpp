@@ -1,0 +1,208 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+
+#include "obs/metrics.hpp"
+
+namespace weakkeys::obs {
+
+namespace {
+
+/// Tracer identity for thread-local bookkeeping. Keyed by a process-unique
+/// generation (not the Tracer address) so a Tracer allocated where a dead
+/// one used to live cannot inherit stale thread state.
+std::atomic<std::uint64_t> g_tracer_generation{1};
+
+}  // namespace
+
+struct Tracer::ThreadState {
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+Tracer::ThreadState& Tracer::thread_state() {
+  thread_local std::unordered_map<std::uint64_t, ThreadState> states;
+  auto [it, fresh] = states.try_emplace(generation_);
+  if (fresh) {
+    std::lock_guard lock(mu_);
+    it->second.tid = next_tid_++;
+  }
+  return it->second;
+}
+
+Tracer::Tracer(bool enabled)
+    : enabled_(enabled),
+      generation_(g_tracer_generation.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Span Tracer::span(std::string name) {
+  if (!enabled_) return Span();
+  return Span(this, std::move(name));
+}
+
+Span::Span(Tracer* tracer, std::string name)
+    : tracer_(tracer), name_(std::move(name)) {
+  Tracer::ThreadState& st = tracer_->thread_state();
+  tid_ = st.tid;
+  depth_ = st.depth++;
+  start_us_ = tracer_->now_us();
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    name_ = std::move(other.name_);
+    start_us_ = other.start_us_;
+    tid_ = other.tid_;
+    depth_ = other.depth_;
+    args_ = std::move(other.args_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::arg(std::string key, std::int64_t value) {
+  if (!tracer_) return;
+  args_.emplace_back(std::move(key), value);
+}
+
+void Span::end() {
+  if (!tracer_) return;
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  const std::uint64_t end_us = tracer->now_us();
+  --tracer->thread_state().depth;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.tid = tid_;
+  event.ts_us = start_us_;
+  event.dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  event.depth = depth_;
+  event.args = std::move(args_);
+  tracer->record(std::move(event));
+}
+
+void Tracer::record(TraceEvent event) {
+  std::lock_guard lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard lock(mu_);
+    out = events_;
+  }
+  // Per-thread timeline order, parents before children: spans end (and
+  // record) innermost-first, so raw order is children-first; sorting by
+  // start time with the longer span first at ties restores parent-first.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+                     return a.depth < b.depth;
+                   });
+  return out;
+}
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<TraceEvent> sorted = events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : sorted) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\":\"" + json_escape(e.name) +
+           "\",\"cat\":\"weakkeys\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
+           std::to_string(e.tid) + ",\"ts\":" + std::to_string(e.ts_us) +
+           ",\"dur\":" + std::to_string(e.dur_us);
+    if (!e.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + json_escape(e.args[i].first) +
+               "\":" + std::to_string(e.args[i].second);
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+namespace {
+
+struct StageNode {
+  std::uint64_t total_us = 0;
+  std::uint64_t child_us = 0;
+  std::size_t count = 0;
+  std::map<std::string, StageNode> children;
+};
+
+void render_stage(const std::string& name, const StageNode& node,
+                  std::size_t indent, std::string& out) {
+  const std::uint64_t self =
+      node.total_us >= node.child_us ? node.total_us - node.child_us : 0;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%*s%-*s total %10.3fms  self %10.3fms  x%zu\n",
+                static_cast<int>(indent * 2), "",
+                static_cast<int>(indent * 2 < 40 ? 40 - indent * 2 : 1),
+                name.c_str(), static_cast<double>(node.total_us) / 1000.0,
+                static_cast<double>(self) / 1000.0, node.count);
+  out += line;
+  for (const auto& [child_name, child] : node.children) {
+    render_stage(child_name, child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string Tracer::stage_tree() const {
+  const std::vector<TraceEvent> sorted = events();
+  // Rebuild each thread's span stack from (depth, order) and merge the
+  // resulting paths into one aggregate tree across threads.
+  StageNode root;
+  std::vector<StageNode*> stack;  // stack[d] = aggregate node at depth d
+  std::uint32_t tid = 0;
+  bool have_tid = false;
+  for (const TraceEvent& e : sorted) {
+    if (!have_tid || e.tid != tid) {
+      stack.clear();
+      tid = e.tid;
+      have_tid = true;
+    }
+    // A span whose parent is still open when the snapshot is taken shows up
+    // with no recorded ancestor; clamp it to the deepest known level rather
+    // than indexing past the rebuilt stack.
+    const std::size_t depth =
+        std::min<std::size_t>(e.depth, stack.size());
+    stack.resize(depth);
+    StageNode& parent = depth == 0 ? root : *stack[depth - 1];
+    StageNode& node = parent.children[e.name];
+    node.total_us += e.dur_us;
+    node.count += 1;
+    if (depth > 0) stack[depth - 1]->child_us += e.dur_us;
+    stack.push_back(&node);
+  }
+  std::string out;
+  for (const auto& [name, node] : root.children) {
+    render_stage(name, node, 0, out);
+  }
+  return out;
+}
+
+}  // namespace weakkeys::obs

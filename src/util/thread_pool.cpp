@@ -2,8 +2,13 @@
 
 namespace weakkeys::util {
 
-ThreadPool::ThreadPool(std::size_t workers) {
+ThreadPool::ThreadPool(std::size_t workers, obs::Telemetry* telemetry) {
   if (workers == 0) workers = std::max(1u, std::thread::hardware_concurrency());
+  if (telemetry) {
+    queue_depth_ = &telemetry->metrics().gauge("threadpool.queue_depth");
+    task_us_ = &telemetry->metrics().histogram("threadpool.task_us");
+    tasks_completed_ = &telemetry->metrics().counter("threadpool.tasks_completed");
+  }
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
@@ -29,7 +34,16 @@ void ThreadPool::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop();
     }
-    job();
+    if (queue_depth_) queue_depth_->add(-1);
+    if (task_us_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      job();
+      task_us_->record(
+          obs::elapsed_us(t0, std::chrono::steady_clock::now()));
+      tasks_completed_->inc();
+    } else {
+      job();
+    }
   }
 }
 

@@ -10,12 +10,19 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 namespace weakkeys::util {
 
 class ThreadPool {
  public:
   /// Starts `workers` threads (at least 1; 0 means hardware_concurrency).
-  explicit ThreadPool(std::size_t workers = 0);
+  /// With a telemetry bundle attached the pool reports `threadpool.*`
+  /// instruments: queue depth (gauge), per-task execution latency
+  /// (`threadpool.task_us` histogram), and tasks completed (counter). The
+  /// telemetry object must outlive the pool.
+  explicit ThreadPool(std::size_t workers = 0,
+                      obs::Telemetry* telemetry = nullptr);
 
   /// Drain guarantee: destruction runs every task already submitted to
   /// completion before joining — pending work is never discarded, so a
@@ -46,6 +53,7 @@ class ThreadPool {
       if (stopping_) throw std::runtime_error("submit on stopped ThreadPool");
       queue_.emplace([task] { (*task)(); });
     }
+    if (queue_depth_) queue_depth_->add(1);
     cv_.notify_one();
     return result;
   }
@@ -63,6 +71,11 @@ class ThreadPool {
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  // Instruments resolved once at construction (null when no telemetry):
+  // immutable afterwards, so workers read them without the queue lock.
+  obs::Gauge* queue_depth_ = nullptr;
+  obs::Histogram* task_us_ = nullptr;
+  obs::Counter* tasks_completed_ = nullptr;
 };
 
 }  // namespace weakkeys::util

@@ -227,7 +227,12 @@ TEST(Coordinator, SameSeedSameScheduleAcrossWorkerCounts) {
 class CoordinatorCheckpoint : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  const std::string path_ = "coordinator_ckpt_test.tmp";
+  // Unique per test: ctest runs each gtest case as its own process in a
+  // shared working directory, so a shared journal name lets concurrent
+  // tests delete each other's checkpoints mid-resume.
+  const std::string path_ =
+      std::string("coordinator_ckpt_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".tmp";
 };
 
 TEST_F(CoordinatorCheckpoint, KilledRunResumesExecutingOnlyUnfinishedTasks) {

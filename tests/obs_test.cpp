@@ -1,0 +1,334 @@
+// Unit tests for the obs/ telemetry subsystem: metrics instruments, the
+// span tracer (including multi-threaded use under the thread pool), the
+// Chrome trace exporter, and the structured event sink.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "json_lite.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace weakkeys {
+namespace {
+
+// ------------------------------------------------------------- metrics ----
+
+TEST(Counter, IncSetAndValue) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.set(7);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Counter, OverflowWrapsModulo64Bits) {
+  obs::Counter c;
+  c.set(std::numeric_limits<std::uint64_t>::max());
+  c.inc(2);  // unsigned wrap is defined behavior, not UB
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(Gauge, SetAddAndNegativeValues) {
+  obs::Gauge g;
+  g.set(10);
+  g.add(-25);
+  EXPECT_EQ(g.value(), -15);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperBounds) {
+  obs::Histogram h({10, 100});
+  // Bucket i counts values <= bounds[i]; the extra last bucket is overflow.
+  for (const std::uint64_t v : {0u, 10u, 11u, 100u, 101u, 5000u}) h.record(v);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], 2u);  // 0, 10
+  EXPECT_EQ(buckets[1], 2u);  // 11, 100
+  EXPECT_EQ(buckets[2], 2u);  // 101, 5000 (overflow)
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 100 + 101 + 5000);
+  EXPECT_EQ(h.max(), 5000u);
+}
+
+TEST(Histogram, BoundsAreSortedAndDeduped) {
+  const obs::Histogram h({100, 10, 100, 1});
+  const std::vector<std::uint64_t> expected{1, 10, 100};
+  EXPECT_EQ(h.bounds(), expected);
+}
+
+TEST(Histogram, DefaultLatencyBoundsCoverMicrosecondsToMinutes) {
+  const auto bounds = obs::Histogram::default_latency_bounds_us();
+  ASSERT_FALSE(bounds.empty());
+  EXPECT_EQ(bounds.front(), 1u);
+  EXPECT_GE(bounds.back(), 60u * 1000 * 1000);  // at least a minute
+  EXPECT_TRUE(std::is_sorted(bounds.begin(), bounds.end()));
+}
+
+TEST(MetricsRegistry, InstrumentReferencesAreStable) {
+  obs::MetricsRegistry registry;
+  obs::Counter& a = registry.counter("stable.counter");
+  a.inc(3);
+  // Creating more instruments must not invalidate earlier references.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("filler." + std::to_string(i));
+  }
+  EXPECT_EQ(&registry.counter("stable.counter"), &a);
+  EXPECT_EQ(registry.counter("stable.counter").value(), 3u);
+}
+
+TEST(MetricsRegistry, HistogramReRegistrationKeepsOriginalBounds) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("h", {1, 2, 3});
+  obs::Histogram& again = registry.histogram("h", {999});
+  EXPECT_EQ(&h, &again);
+  const std::vector<std::uint64_t> expected{1, 2, 3};
+  EXPECT_EQ(again.bounds(), expected);
+}
+
+TEST(MetricsRegistry, SnapshotReportsAllInstruments) {
+  obs::MetricsRegistry registry;
+  registry.counter("c.one").inc(11);
+  registry.gauge("g.depth").set(-4);
+  registry.histogram("h.lat_us", {10}).record(3);
+  const auto snap = registry.snapshot();
+  EXPECT_EQ(snap.counter("c.one"), 11u);
+  EXPECT_EQ(snap.counter("c.never_touched"), 0u);
+  EXPECT_EQ(snap.gauges.at("g.depth"), -4);
+  EXPECT_EQ(snap.histograms.at("h.lat_us").count, 1u);
+}
+
+TEST(MetricsRegistry, ToJsonParsesAndRoundTripsValues) {
+  obs::MetricsRegistry registry;
+  registry.counter("ingest.drop.even-modulus").inc(5);
+  registry.gauge("queue").set(-2);
+  auto& h = registry.histogram("task_us", {10, 100});
+  h.record(7);
+  h.record(250);
+  const auto doc = testjson::parse(registry.to_json());
+  EXPECT_EQ(doc.at("counters").at("ingest.drop.even-modulus").integer(), 5);
+  EXPECT_EQ(doc.at("gauges").at("queue").integer(), -2);
+  const auto& hist = doc.at("histograms").at("task_us");
+  EXPECT_EQ(hist.at("count").integer(), 2);
+  EXPECT_EQ(hist.at("sum").integer(), 257);
+  const auto& buckets = hist.at("buckets").array();
+  ASSERT_EQ(buckets.size(), 3u);  // two bounds + overflow
+  EXPECT_EQ(buckets[0].at("le").integer(), 10);
+  EXPECT_EQ(buckets[0].at("count").integer(), 1);
+  EXPECT_EQ(buckets[2].at("le").str(), "inf");
+  EXPECT_EQ(buckets[2].at("count").integer(), 1);
+}
+
+// --------------------------------------------------------------- tracer ----
+
+TEST(Tracer, SpansNestAndSortParentFirst) {
+  obs::Tracer tracer;
+  {
+    obs::Span outer = tracer.span("outer");
+    {
+      obs::Span middle = tracer.span("middle");
+      obs::Span inner = tracer.span("inner");
+      inner.arg("k", 42);
+    }
+  }
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Sorted (tid, start, -dur): parents precede their children.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "middle");
+  EXPECT_EQ(events[2].name, "inner");
+  EXPECT_EQ(events[0].depth, 0u);
+  EXPECT_EQ(events[1].depth, 1u);
+  EXPECT_EQ(events[2].depth, 2u);
+  // Parent intervals contain their children.
+  EXPECT_LE(events[0].ts_us, events[2].ts_us);
+  EXPECT_GE(events[0].ts_us + events[0].dur_us,
+            events[2].ts_us + events[2].dur_us);
+  ASSERT_EQ(events[2].args.size(), 1u);
+  EXPECT_EQ(events[2].args[0].first, "k");
+  EXPECT_EQ(events[2].args[0].second, 42);
+}
+
+TEST(Tracer, ExplicitEndIsIdempotent) {
+  obs::Tracer tracer;
+  obs::Span span = tracer.span("once");
+  span.end();
+  span.end();
+  EXPECT_EQ(tracer.events().size(), 1u);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  obs::Tracer tracer(/*enabled=*/false);
+  {
+    obs::Span span = tracer.span("ghost");
+    span.arg("x", 1);
+  }
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.chrome_trace_json().find("ghost"), std::string::npos);
+}
+
+TEST(Tracer, ParallelForSpansStayCoherentAcrossThreads) {
+  obs::Telemetry telemetry;
+  util::ThreadPool pool(4, &telemetry);
+  constexpr std::size_t kTasks = 64;
+  {
+    obs::Span outer = telemetry.tracer().span("parallel.outer");
+    pool.parallel_for(kTasks, [&](std::size_t i) {
+      obs::Span task = telemetry.tracer().span("parallel.task");
+      task.arg("i", static_cast<std::int64_t>(i));
+    });
+  }
+  const auto events = telemetry.tracer().events();
+  std::size_t tasks = 0;
+  std::set<std::uint32_t> tids;
+  std::set<std::int64_t> indices;
+  std::map<std::uint32_t, std::uint64_t> last_ts;
+  for (const auto& e : events) {
+    tids.insert(e.tid);
+    // events() orders each thread's timeline; starts must be monotonic.
+    const auto it = last_ts.find(e.tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(e.ts_us, it->second);
+    }
+    last_ts[e.tid] = e.ts_us;
+    if (e.name == "parallel.task") {
+      ++tasks;
+      ASSERT_EQ(e.args.size(), 1u);
+      indices.insert(e.args[0].second);
+    }
+  }
+  EXPECT_EQ(tasks, kTasks);
+  EXPECT_EQ(indices.size(), kTasks);  // every index seen exactly once
+  EXPECT_EQ(events.size(), kTasks + 1);
+  EXPECT_GE(tids.size(), 1u);
+
+  // The pool's instruments saw every task too.
+  const auto snap = telemetry.metrics().snapshot();
+  EXPECT_EQ(snap.counter("threadpool.tasks_completed"),
+            static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(snap.histograms.at("threadpool.task_us").count,
+            static_cast<std::uint64_t>(kTasks));
+  EXPECT_EQ(snap.gauges.at("threadpool.queue_depth"), 0);
+}
+
+TEST(Tracer, ChromeTraceJsonIsValidAndMonotonicPerThread) {
+  obs::Telemetry telemetry;
+  util::ThreadPool pool(3, &telemetry);
+  {
+    obs::Span outer = telemetry.tracer().span("chrome.outer");
+    pool.parallel_for(32, [&](std::size_t i) {
+      obs::Span task = telemetry.tracer().span("chrome.task");
+      task.arg("i", static_cast<std::int64_t>(i));
+    });
+  }
+  const auto doc = testjson::parse(telemetry.tracer().chrome_trace_json());
+  EXPECT_EQ(doc.at("displayTimeUnit").str(), "ms");
+  const auto& trace_events = doc.at("traceEvents").array();
+  ASSERT_EQ(trace_events.size(), 33u);
+  std::map<std::int64_t, double> last_ts;
+  for (const auto& e : trace_events) {
+    EXPECT_EQ(e.at("ph").str(), "X");
+    EXPECT_EQ(e.at("cat").str(), "weakkeys");
+    EXPECT_EQ(e.at("pid").integer(), 1);
+    EXPECT_FALSE(e.at("name").str().empty());
+    EXPECT_GE(e.at("dur").number(), 0.0);
+    const std::int64_t tid = e.at("tid").integer();
+    const double ts = e.at("ts").number();
+    // File order is per-thread timeline order: ts monotonic within a tid.
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second);
+    }
+    last_ts[tid] = ts;
+  }
+}
+
+TEST(Tracer, StageTreeAggregatesRepeatedStages) {
+  obs::Tracer tracer;
+  {
+    obs::Span outer = tracer.span("pipeline");
+    for (int i = 0; i < 3; ++i) {
+      obs::Span stage = tracer.span("stage");
+    }
+  }
+  const std::string tree = tracer.stage_tree();
+  EXPECT_NE(tree.find("pipeline"), std::string::npos);
+  EXPECT_NE(tree.find("stage"), std::string::npos);
+  EXPECT_NE(tree.find("x3"), std::string::npos);  // aggregated call count
+}
+
+// ---------------------------------------------------------------- sink ----
+
+TEST(TelemetrySink, CountsAndRingBufferWithoutTextSink) {
+  obs::TelemetrySink sink(/*ring_capacity=*/4);
+  for (int i = 0; i < 9; ++i) sink.info("event " + std::to_string(i));
+  sink.warn("trouble");
+  // Nothing is lost from the counts even though no text sink is attached.
+  EXPECT_EQ(sink.total_events(), 10u);
+  EXPECT_EQ(sink.events_emitted(obs::Level::kInfo), 9u);
+  EXPECT_EQ(sink.events_emitted(obs::Level::kWarn), 1u);
+  const auto recent = sink.recent();
+  ASSERT_EQ(recent.size(), 4u);  // bounded by ring capacity, oldest first
+  EXPECT_EQ(recent.front().message, "event 6");
+  EXPECT_EQ(recent.back().message, "trouble");
+  for (std::size_t i = 1; i < recent.size(); ++i) {
+    EXPECT_GT(recent[i].seq, recent[i - 1].seq);
+    EXPECT_GE(recent[i].ts_us, recent[i - 1].ts_us);
+  }
+}
+
+TEST(TelemetrySink, TextSinkReceivesMessagesAndCanBeCleared) {
+  obs::TelemetrySink sink;
+  std::vector<std::string> seen;
+  sink.set_text_sink([&](const std::string& m) { seen.push_back(m); });
+  sink.info("hello");
+  sink.set_text_sink(nullptr);
+  sink.info("silent");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "hello");
+  EXPECT_EQ(sink.total_events(), 2u);  // still counted after clearing
+}
+
+// ----------------------------------------------------------- telemetry ----
+
+TEST(Telemetry, WriteTraceFilesEmitsValidJsonPair) {
+  const std::string path =
+      "obs_trace_test_" + std::to_string(::getpid()) + ".json";
+  obs::Telemetry telemetry;
+  telemetry.metrics().counter("demo.counter").inc(3);
+  {
+    obs::Span span = telemetry.tracer().span("demo.span");
+  }
+  ASSERT_TRUE(telemetry.write_trace_files(path));
+  for (const std::string& file : {path, path + ".metrics.json"}) {
+    std::ifstream in(file);
+    ASSERT_TRUE(in.good()) << file;
+    const std::string text((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    EXPECT_NO_THROW(testjson::parse(text)) << file;
+  }
+  const auto trace = testjson::parse([&] {
+    std::ifstream in(path);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  }());
+  EXPECT_EQ(trace.at("traceEvents").array().size(), 1u);
+  std::remove(path.c_str());
+  std::remove((path + ".metrics.json").c_str());
+}
+
+}  // namespace
+}  // namespace weakkeys

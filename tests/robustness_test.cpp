@@ -1,8 +1,11 @@
 // Failure-injection and randomized property tests across module boundaries.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
+#include <string>
 
 #include "batchgcd/batch_gcd.hpp"
 #include "batchgcd/distributed.hpp"
@@ -24,7 +27,10 @@ namespace {
 class StoreTruncation : public ::testing::TestWithParam<int> {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  const std::string path_ = "truncation_test.tmp";
+  // Unique per param: parallel ctest runs each instance as its own process
+  // in the same directory, so a shared name would collide.
+  const std::string path_ =
+      "truncation_test_" + std::to_string(GetParam()) + ".tmp";
 };
 
 TEST_P(StoreTruncation, TruncatedFilesNeverCrash) {
@@ -70,8 +76,8 @@ INSTANTIATE_TEST_SUITE_P(CutPoints, StoreTruncation,
 class FactorCacheCorruption : public ::testing::TestWithParam<int> {
  protected:
   static void SetUpTestSuite() {
-    std::remove(kCachePath);
-    std::remove(kFactorsPath);
+    std::remove(kCachePath.c_str());
+    std::remove(kFactorsPath.c_str());
     core::Study study(study_config());
     study.run();
     baseline_factored_ = study.factored().size();
@@ -82,8 +88,8 @@ class FactorCacheCorruption : public ::testing::TestWithParam<int> {
     ASSERT_FALSE(pristine_.empty());
   }
   static void TearDownTestSuite() {
-    std::remove(kCachePath);
-    std::remove(kFactorsPath);
+    std::remove(kCachePath.c_str());
+    std::remove(kFactorsPath.c_str());
   }
 
   static core::StudyConfig study_config() {
@@ -101,13 +107,19 @@ class FactorCacheCorruption : public ::testing::TestWithParam<int> {
     out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
 
-  static constexpr const char* kCachePath = "factor_corruption_test.tmp";
-  static constexpr const char* kFactorsPath =
-      "factor_corruption_test.tmp.factors";
+  // Unique per process: ctest runs each param instance as its own process
+  // in a shared working directory, and every process rebuilds this cache in
+  // SetUpTestSuite — a shared name lets them corrupt each other mid-run.
+  static const std::string kCachePath;
+  static const std::string kFactorsPath;
   static std::string pristine_;
   static std::size_t baseline_factored_;
 };
 
+const std::string FactorCacheCorruption::kCachePath =
+    "factor_corruption_test_" + std::to_string(::getpid()) + ".tmp";
+const std::string FactorCacheCorruption::kFactorsPath =
+    FactorCacheCorruption::kCachePath + ".factors";
 std::string FactorCacheCorruption::pristine_;
 std::size_t FactorCacheCorruption::baseline_factored_ = 0;
 

@@ -231,7 +231,11 @@ TEST(StudyCache, RebuildReasonIsLoggedAndExposed) {
 class ScanStoreTest : public ::testing::Test {
  protected:
   void TearDown() override { std::remove(path_.c_str()); }
-  const std::string path_ = "test_scan_store.tmp";
+  // Unique per test: parallel ctest runs sibling tests as separate
+  // processes in the same directory, so a shared name would collide.
+  const std::string path_ =
+      std::string("test_scan_store_") +
+      ::testing::UnitTest::GetInstance()->current_test_info()->name() + ".tmp";
 };
 
 TEST_F(ScanStoreTest, RoundTripsDataset) {

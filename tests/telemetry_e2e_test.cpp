@@ -1,0 +1,174 @@
+// End-to-end telemetry test: a noisy, fault-injected Study::run() must
+// produce metrics that agree *exactly* with the pipeline's own accounting
+// structs (IngestStats, CoordinatorStats), a span for every pipeline stage
+// plus at least one per remainder-tree task, and valid trace/metrics JSON
+// files via StudyConfig::trace_path — all with a null text log, proving the
+// sink's always-counted guarantee.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/ingest.hpp"
+#include "core/study.hpp"
+#include "json_lite.hpp"
+
+namespace weakkeys {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+class TelemetryE2E : public ::testing::Test {
+ protected:
+  static core::StudyConfig noisy_config() {
+    core::StudyConfig config;
+    config.sim.seed = 424;
+    config.sim.scale = 0.01;
+    config.sim.miller_rabin_rounds = 4;
+    config.batch_gcd_subsets = 4;  // 16 remainder-tree tasks
+    config.threads = 4;
+    config.cache_path.clear();  // always simulate + factor from scratch
+    config.fault_tolerant = true;
+    config.faults.seed = 7;
+    config.faults.crash_probability = 0.25;
+    config.faults.straggle_probability = 0.10;
+    config.faults.corrupt_probability = 0.25;
+    config.faults.tree_loss_probability = 0.10;
+    config.noise.seed = 99;
+    config.noise.truncated_rate = 0.01;
+    config.noise.bitflip_rate = 0.01;
+    config.noise.zero_modulus_rate = 0.005;
+    config.noise.even_modulus_rate = 0.005;
+    config.noise.tiny_modulus_rate = 0.005;
+    config.noise.bad_exponent_rate = 0.005;
+    config.noise.inverted_validity_rate = 0.005;
+    config.noise.duplicate_serial_rate = 0.005;
+    // config.log stays null on purpose: events must still be counted.
+    config.trace_path =
+        "telemetry_e2e_" + std::to_string(::getpid()) + ".json";
+    return config;
+  }
+};
+
+TEST_F(TelemetryE2E, NoisyFaultInjectedRunTelemetryMatchesPipelineStats) {
+  const core::StudyConfig config = noisy_config();
+  core::Study study(config);
+  study.run();
+  const auto snap = study.telemetry().metrics().snapshot();
+
+  // --- ingest counters agree exactly with IngestStats -------------------
+  const core::IngestStats& ingest = study.ingest_stats();
+  EXPECT_GT(ingest.records_quarantined, 0u);  // the noise actually landed
+  EXPECT_EQ(snap.counter("ingest.records_seen"), ingest.records_seen);
+  EXPECT_EQ(snap.counter("ingest.records_kept"), ingest.records_kept);
+  EXPECT_EQ(snap.counter("ingest.records_quarantined"),
+            ingest.records_quarantined);
+  EXPECT_EQ(snap.counter("ingest.raw_records"), ingest.raw_records);
+  EXPECT_EQ(snap.counter("ingest.raw_recovered"), ingest.raw_recovered);
+  EXPECT_EQ(snap.counter("ingest.degenerate_moduli"),
+            ingest.degenerate_moduli);
+  std::uint64_t drop_total = 0;
+  for (std::size_t i = 0; i < core::kQuarantineReasonCount; ++i) {
+    const auto reason = static_cast<core::QuarantineReason>(i);
+    const std::uint64_t counted =
+        snap.counter(std::string("ingest.drop.") + core::to_string(reason));
+    EXPECT_EQ(counted, ingest.by_reason[i]) << core::to_string(reason);
+    drop_total += counted;
+  }
+  EXPECT_EQ(drop_total, ingest.records_quarantined);
+  EXPECT_EQ(snap.counter("noise.records_injected"),
+            study.noise_summary().total());
+  EXPECT_GT(study.noise_summary().total(), 0u);
+
+  // --- coordinator counters agree exactly with CoordinatorStats ---------
+  const batchgcd::CoordinatorStats& coord = study.coordinator_stats();
+  EXPECT_GT(coord.attempts, 0u);
+  EXPECT_GT(coord.retries, 0u);  // the fault injection actually bit
+  EXPECT_EQ(snap.counter("coordinator.attempts"), coord.attempts);
+  EXPECT_EQ(snap.counter("coordinator.retries"), coord.retries);
+  EXPECT_EQ(snap.counter("coordinator.crashes"), coord.crashes);
+  EXPECT_EQ(snap.counter("coordinator.stragglers_killed"),
+            coord.stragglers_killed);
+  EXPECT_EQ(snap.counter("coordinator.corruptions_caught"),
+            coord.corruptions_caught);
+  EXPECT_EQ(snap.counter("coordinator.trees_rebuilt"), coord.trees_rebuilt);
+  EXPECT_EQ(snap.counter("coordinator.tasks_resumed"), coord.tasks_resumed);
+  EXPECT_EQ(snap.counter("coordinator.tasks_executed"),
+            coord.tasks_executed);
+  // Per-worker counters partition the global ones.
+  std::uint64_t worker_attempts = 0;
+  for (std::size_t w = 0; w < config.threads; ++w) {
+    worker_attempts += snap.counter("coordinator.worker." +
+                                    std::to_string(w) + ".attempts");
+  }
+  EXPECT_EQ(worker_attempts, coord.attempts);
+  // One latency sample per attempt (failed attempts have latencies too).
+  EXPECT_EQ(snap.histograms.at("coordinator.task_us").count, coord.attempts);
+
+  // --- factor counters agree with FactorStats ---------------------------
+  EXPECT_EQ(snap.counter("factor.distinct_moduli"),
+            study.factor_stats().distinct_moduli);
+  EXPECT_EQ(snap.counter("factor.factored_moduli"), study.factored().size());
+
+  // --- every pipeline stage has a span; one per task attempt ------------
+  std::map<std::string, std::size_t> span_counts;
+  for (const auto& e : study.telemetry().tracer().events()) {
+    ++span_counts[e.name];
+  }
+  for (const char* stage :
+       {"study.run", "study.build_dataset", "study.simulate",
+        "study.apply_noise", "study.ingest", "study.exclude_intermediates",
+        "study.factor_moduli", "gcd.coordinated", "gcd.build_trees",
+        "gcd.task", "study.classify_divisors", "study.second_pass",
+        "study.triage_degenerate", "study.fingerprint",
+        "fingerprint.cliques", "fingerprint.subject_labels",
+        "fingerprint.prime_pools", "fingerprint.extrapolate",
+        "fingerprint.mitm", "sim.scan"}) {
+    EXPECT_GE(span_counts[stage], 1u) << "missing span: " << stage;
+  }
+  // One gcd.task span per attempt >= one per executed remainder-tree task.
+  EXPECT_EQ(span_counts["gcd.task"], coord.attempts);
+  EXPECT_GE(span_counts["gcd.task"], coord.tasks_executed);
+
+  // --- trace files written via trace_path, both valid JSON --------------
+  const std::string trace_text = slurp(config.trace_path);
+  const std::string metrics_text = slurp(config.trace_path + ".metrics.json");
+  ASSERT_FALSE(trace_text.empty());
+  ASSERT_FALSE(metrics_text.empty());
+  const auto trace = testjson::parse(trace_text);
+  const auto metrics = testjson::parse(metrics_text);
+  const auto& trace_events = trace.at("traceEvents").array();
+  EXPECT_GE(trace_events.size(), span_counts.size());
+  std::map<std::int64_t, double> last_ts;
+  for (const auto& e : trace_events) {
+    EXPECT_EQ(e.at("ph").str(), "X");
+    const std::int64_t tid = e.at("tid").integer();
+    const double ts = e.at("ts").number();
+    const auto it = last_ts.find(tid);
+    if (it != last_ts.end()) {
+      EXPECT_GE(ts, it->second);
+    }
+    last_ts[tid] = ts;
+  }
+  EXPECT_EQ(metrics.at("counters").at("coordinator.retries").integer(),
+            static_cast<std::int64_t>(coord.retries));
+
+  // --- null text log, yet the sink counted and retained events ----------
+  EXPECT_GT(study.telemetry().sink().total_events(), 0u);
+  EXPECT_FALSE(study.telemetry().sink().recent().empty());
+
+  std::remove(config.trace_path.c_str());
+  std::remove((config.trace_path + ".metrics.json").c_str());
+}
+
+}  // namespace
+}  // namespace weakkeys
