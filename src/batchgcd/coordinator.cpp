@@ -13,6 +13,7 @@
 #include "batchgcd/product_tree.hpp"
 #include "batchgcd/remainder_tree.hpp"
 #include "core/binary_io.hpp"
+#include "util/thread_pool.hpp"
 
 namespace weakkeys::batchgcd {
 
@@ -105,6 +106,14 @@ class Coordinator {
     }
     stats_.subsets = k_;
     stats_.tasks = total_;
+    if (config_.telemetry) {
+      // Totals for progress derivation (monitor heartbeats, /status): a
+      // live reader computes done/total from tasks_executed+tasks_resumed
+      // against this counter without waiting for CoordinatorStats.
+      auto& m = config_.telemetry->metrics();
+      m.counter("coordinator.tasks").set(total_);
+      m.counter("coordinator.subsets").set(k_);
+    }
 
     std::vector<bool> done(total_, false);
     if (!config_.checkpoint_path.empty()) open_journal(done);
@@ -270,23 +279,20 @@ class Coordinator {
     if (config_.telemetry) {
       span = config_.telemetry->tracer().span("gcd.build_trees");
     }
-    std::atomic<std::size_t> next{0};
-    const std::size_t nthreads = std::min(workers_n_, k_);
-    auto build = [this, &next] {
-      for (std::size_t a = next++; a < k_; a = next++) {
-        auto tree = std::make_shared<ProductTree>(subsets_[a].moduli);
-        std::lock_guard guard(tree_mu_);
-        trees_[a] = std::move(tree);
-      }
+    const auto build = [this](std::size_t a) {
+      auto tree = std::make_shared<ProductTree>(subsets_[a].moduli);
+      std::lock_guard guard(tree_mu_);
+      trees_[a] = std::move(tree);
     };
+    const std::size_t nthreads = std::min(workers_n_, k_);
     if (nthreads <= 1) {
-      build();
+      for (std::size_t a = 0; a < k_; ++a) build(a);
       return;
     }
-    std::vector<std::thread> builders;
-    builders.reserve(nthreads);
-    for (std::size_t t = 0; t < nthreads; ++t) builders.emplace_back(build);
-    for (auto& t : builders) t.join();
+    // Through the shared pool (not raw threads) so the builds show up in
+    // the `threadpool.*` instruments alongside the fast path's.
+    util::ThreadPool pool(nthreads, config_.telemetry);
+    pool.parallel_for(k_, build);
   }
 
   std::shared_ptr<const ProductTree> acquire_tree(std::size_t a) {
@@ -416,12 +422,14 @@ class Coordinator {
     obs::Counter* w_attempts = nullptr;
     obs::Counter* w_retries = nullptr;
     obs::Counter* w_straggles = nullptr;
+    obs::Counter* w_committed = nullptr;
     if (config_.telemetry) {
       auto& m = config_.telemetry->metrics();
       const std::string prefix = "coordinator.worker." + std::to_string(w);
       w_attempts = &m.counter(prefix + ".attempts");
       w_retries = &m.counter(prefix + ".retries");
       w_straggles = &m.counter(prefix + ".straggles");
+      w_committed = &m.counter(prefix + ".tasks_committed");
     }
     std::unique_lock lock(mu_);
     for (;;) {
@@ -487,6 +495,9 @@ class Coordinator {
 
       if (out.kind == OutcomeKind::kOk) {
         commit(p.task, out.claims);
+        // Summed over workers this equals coordinator.tasks_executed
+        // (resumed tasks belong to no worker), pinned by the e2e test.
+        if (w_committed) w_committed->inc();
       } else {
         switch (out.kind) {
           case OutcomeKind::kCrash:

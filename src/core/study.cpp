@@ -41,7 +41,12 @@ Study::Study(StudyConfig config)
   if (config_.log) telemetry_.sink().set_text_sink(config_.log);
 }
 
-Study::~Study() = default;
+Study::~Study() {
+  if (exit_flush_token_ != 0) obs::unregister_exit_flush(exit_flush_token_);
+  // A run that never reached its normal end (exception, early teardown)
+  // still closes the monitor time series and writes the trace artifacts.
+  flush_telemetry();
+}
 
 void Study::log(const std::string& message) {
   telemetry_.sink().info(message);
@@ -49,13 +54,63 @@ void Study::log(const std::string& message) {
 
 void Study::run() {
   if (ran_) return;
-  {
+  run_started_ = true;
+  flushed_.store(false);
+  start_observability();
+  try {
     obs::Span run_span = telemetry_.tracer().span("study.run");
     build_dataset();
     factor_moduli();
     fingerprint_corpus();
+  } catch (...) {
+    flush_telemetry();
+    throw;
   }
   ran_ = true;
+  flush_telemetry();
+}
+
+void Study::start_observability() {
+  std::string monitor_path = config_.monitor_path;
+  if (monitor_path.empty()) {
+    if (const char* env = std::getenv("WEAKKEYS_MONITOR")) monitor_path = env;
+  }
+  if (!monitor_path.empty() && !monitor_) {
+    obs::MonitorConfig mc;
+    mc.jsonl_path = monitor_path;
+    mc.interval = config_.monitor_interval;
+    monitor_ = std::make_unique<obs::Monitor>(telemetry_, mc);
+    monitor_->start();
+  }
+
+  int port = config_.status_port;
+  if (port < 0) {
+    if (const char* env = std::getenv("WEAKKEYS_STATUS_PORT")) {
+      port = std::atoi(env);
+    }
+  }
+  if (port >= 0 && port <= 65535 && !status_server_) {
+    obs::StatusServerConfig sc;
+    sc.port = static_cast<std::uint16_t>(port);
+    status_server_ = std::make_unique<obs::StatusServer>(telemetry_, sc);
+    if (status_server_->start()) {
+      log("status server listening on http://127.0.0.1:" +
+          std::to_string(status_server_->port()) + " (/metrics, /status)");
+    }
+  }
+
+  // An abnormal process exit (std::exit, uncaught exception unwinding to
+  // main) must not lose the run's telemetry. Destructor unregisters.
+  if (exit_flush_token_ == 0) {
+    exit_flush_token_ =
+        obs::register_exit_flush([this] { flush_telemetry(); });
+  }
+}
+
+void Study::flush_telemetry() {
+  if (!run_started_) return;  // nothing collected yet
+  if (flushed_.exchange(true)) return;
+  if (monitor_) monitor_->stop();  // writes the `"final":true` snapshot
   write_trace_if_configured();
 }
 

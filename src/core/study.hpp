@@ -14,6 +14,9 @@
 // Everything the table/figure binaries need hangs off the accessors.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -34,6 +37,8 @@
 #include "fingerprint/subject_rules.hpp"
 #include "netsim/internet.hpp"
 #include "netsim/noise.hpp"
+#include "obs/monitor.hpp"
+#include "obs/status_server.hpp"
 #include "obs/telemetry.hpp"
 
 namespace weakkeys::core {
@@ -72,6 +77,21 @@ struct StudyConfig {
   /// the dump (spans and metrics are collected either way — see
   /// Study::telemetry()). Load the trace in about://tracing or perfetto.
   std::string trace_path;
+  /// Live-monitor JSONL time-series path: run() starts a background
+  /// obs::Monitor appending one snapshot object per line (schema in
+  /// DESIGN.md §5f) plus human heartbeats through the sink. Empty falls
+  /// back to the WEAKKEYS_MONITOR environment variable; still empty
+  /// disables the monitor.
+  std::string monitor_path;
+  /// Monitor snapshot / heartbeat cadence.
+  std::chrono::milliseconds monitor_interval{250};
+  /// Embedded HTTP status server (GET /metrics Prometheus exposition,
+  /// GET /status JSON): the loopback port to bind, 0 for a kernel-assigned
+  /// ephemeral port (read the result from Study::status_port()). Negative
+  /// falls back to WEAKKEYS_STATUS_PORT; still negative disables the
+  /// server. It stays up until the Study is destroyed, so finished runs
+  /// remain scrapeable.
+  int status_port = -1;
 };
 
 /// One factored modulus with everything later stages need.
@@ -157,6 +177,23 @@ class Study {
   [[nodiscard]] obs::Telemetry& telemetry() { return telemetry_; }
   [[nodiscard]] const obs::Telemetry& telemetry() const { return telemetry_; }
 
+  /// The live monitor, if one was configured and started by run();
+  /// null otherwise (and before run()).
+  [[nodiscard]] obs::Monitor* monitor() { return monitor_.get(); }
+
+  /// The bound status-server port, or -1 when the server is off. Safe to
+  /// poll from another thread while run() executes.
+  [[nodiscard]] int status_port() const {
+    return status_server_ ? status_server_->port() : -1;
+  }
+
+  /// Closes the observability artifacts exactly once: stops the monitor
+  /// (writing the `"final":true` snapshot) and writes the trace/metrics
+  /// files if configured. Called automatically from run(), the destructor,
+  /// and a process-exit hook, so an aborted run still leaves its telemetry
+  /// on disk. The status server is untouched (it lives until destruction).
+  void flush_telemetry();
+
  private:
   void build_dataset();
   void factor_moduli();
@@ -167,10 +204,18 @@ class Study {
   void log(const std::string& message);
   void record_ingest_metrics();
   void record_factor_metrics();
+  void start_observability();
   void write_trace_if_configured();
 
   StudyConfig config_;
   obs::Telemetry telemetry_;
+  // Declared after telemetry_ (they hold references into it) so they are
+  // destroyed first.
+  std::unique_ptr<obs::Monitor> monitor_;
+  std::unique_ptr<obs::StatusServer> status_server_;
+  std::uint64_t exit_flush_token_ = 0;
+  bool run_started_ = false;
+  std::atomic<bool> flushed_{false};
   bool ran_ = false;
   netsim::ScanDataset raw_dataset_;
   netsim::ScanDataset dataset_;

@@ -1,0 +1,208 @@
+#include "obs/benchdiff.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/json_lite.hpp"
+
+namespace weakkeys::obs {
+
+namespace {
+
+/// Adaptive time formatting for the markdown table.
+std::string fmt_time_ns(double ns) {
+  char buf[48];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3g s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3g ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3g us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g ns", ns);
+  }
+  return buf;
+}
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+double bench_time_to_ns(double value, const std::string& unit) {
+  if (unit == "ns") return value;
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  throw std::runtime_error("benchdiff: unknown time unit \"" + unit + "\"");
+}
+
+BenchSuite parse_bench_json(const std::string& text) {
+  const jsonlite::Value doc = jsonlite::parse(text);
+  if (!doc.is_object() || !doc.has("suite") || !doc.has("runs")) {
+    throw std::runtime_error(
+        "benchdiff: not a BENCH_<suite>.json document (missing \"suite\" or "
+        "\"runs\")");
+  }
+  BenchSuite suite;
+  suite.suite = doc.at("suite").str();
+  // Average repeated names (benchmark repetitions emit one run each);
+  // preserve first-seen order.
+  std::map<std::string, std::size_t> index;
+  std::map<std::string, std::size_t> repeats;
+  for (const auto& run : doc.at("runs").array()) {
+    BenchRun parsed;
+    parsed.name = run.at("name").str();
+    const std::string unit =
+        run.has("time_unit") ? run.at("time_unit").str() : std::string("ns");
+    parsed.real_time_ns = bench_time_to_ns(run.at("real_time").number(), unit);
+    parsed.cpu_time_ns = bench_time_to_ns(run.at("cpu_time").number(), unit);
+    parsed.iterations =
+        static_cast<std::uint64_t>(run.at("iterations").number());
+    const auto it = index.find(parsed.name);
+    if (it == index.end()) {
+      index[parsed.name] = suite.runs.size();
+      repeats[parsed.name] = 1;
+      suite.runs.push_back(std::move(parsed));
+    } else {
+      BenchRun& agg = suite.runs[it->second];
+      const double n = static_cast<double>(++repeats[parsed.name]);
+      agg.real_time_ns += (parsed.real_time_ns - agg.real_time_ns) / n;
+      agg.cpu_time_ns += (parsed.cpu_time_ns - agg.cpu_time_ns) / n;
+      agg.iterations += parsed.iterations;
+    }
+  }
+  return suite;
+}
+
+const char* to_string(BenchVerdict verdict) {
+  switch (verdict) {
+    case BenchVerdict::kOk:
+      return "ok";
+    case BenchVerdict::kImproved:
+      return "improved";
+    case BenchVerdict::kRegressed:
+      return "regressed";
+    case BenchVerdict::kNew:
+      return "new";
+    case BenchVerdict::kMissing:
+      return "missing";
+  }
+  return "unknown";
+}
+
+BenchDiffReport diff_benchmarks(const BenchSuite& baseline,
+                                const BenchSuite& candidate,
+                                const BenchDiffOptions& options) {
+  BenchDiffReport report;
+  report.suite = candidate.suite.empty() ? baseline.suite : candidate.suite;
+  report.options = options;
+
+  std::map<std::string, const BenchRun*> candidates;
+  for (const auto& run : candidate.runs) candidates[run.name] = &run;
+
+  for (const auto& base : baseline.runs) {
+    BenchDelta row;
+    row.name = base.name;
+    row.baseline_ns = base.real_time_ns;
+    const auto it = candidates.find(base.name);
+    if (it == candidates.end()) {
+      row.verdict = BenchVerdict::kMissing;
+      ++report.missing;
+      report.rows.push_back(std::move(row));
+      continue;
+    }
+    row.candidate_ns = it->second->real_time_ns;
+    candidates.erase(it);
+    row.rel_delta = row.baseline_ns > 0
+                        ? row.candidate_ns / row.baseline_ns - 1.0
+                        : 0.0;
+    const double abs_delta = std::abs(row.candidate_ns - row.baseline_ns);
+    if (abs_delta > options.noise_floor_ns) {
+      if (row.rel_delta > options.threshold) {
+        row.verdict = BenchVerdict::kRegressed;
+        ++report.regressions;
+      } else if (row.rel_delta < -options.threshold) {
+        row.verdict = BenchVerdict::kImproved;
+        ++report.improvements;
+      }
+    }
+    report.rows.push_back(std::move(row));
+  }
+
+  for (const auto& run : candidate.runs) {
+    if (candidates.find(run.name) == candidates.end()) continue;  // matched
+    BenchDelta row;
+    row.name = run.name;
+    row.candidate_ns = run.real_time_ns;
+    row.verdict = BenchVerdict::kNew;
+    ++report.added;
+    report.rows.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string BenchDiffReport::markdown() const {
+  char buf[96];
+  std::string out = "# benchdiff: " + suite + "\n\n";
+  std::snprintf(buf, sizeof(buf),
+                "threshold: ±%.1f%% relative, noise floor %s\n\n",
+                options.threshold * 100.0,
+                fmt_time_ns(options.noise_floor_ns).c_str());
+  out += buf;
+  out += "| benchmark | baseline | candidate | delta | verdict |\n";
+  out += "|---|---:|---:|---:|---|\n";
+  for (const auto& row : rows) {
+    std::string delta = "—";
+    if (row.verdict != BenchVerdict::kNew &&
+        row.verdict != BenchVerdict::kMissing) {
+      std::snprintf(buf, sizeof(buf), "%+.1f%%", row.rel_delta * 100.0);
+      delta = buf;
+    }
+    out += "| " + row.name + " | " +
+           (row.verdict == BenchVerdict::kNew ? std::string("—")
+                                              : fmt_time_ns(row.baseline_ns)) +
+           " | " +
+           (row.verdict == BenchVerdict::kMissing
+                ? std::string("—")
+                : fmt_time_ns(row.candidate_ns)) +
+           " | " + delta + " | " + to_string(row.verdict) + " |\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "\n%zu regressed, %zu improved, %zu new, %zu missing (of %zu "
+                "benchmarks)\n",
+                regressions, improvements, added, missing, rows.size());
+  out += buf;
+  return out;
+}
+
+std::string BenchDiffReport::to_json() const {
+  std::string out = "{\"suite\":\"" + json_escape(suite) + "\"";
+  out += ",\"threshold\":" + fmt_double(options.threshold);
+  out += ",\"noise_floor_ns\":" + fmt_double(options.noise_floor_ns);
+  out += ",\"regressions\":" + std::to_string(regressions);
+  out += ",\"improvements\":" + std::to_string(improvements);
+  out += ",\"new\":" + std::to_string(added);
+  out += ",\"missing\":" + std::to_string(missing);
+  out += ",\"rows\":[";
+  bool first = true;
+  for (const auto& row : rows) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"" + json_escape(row.name) + "\"";
+    out += ",\"baseline_ns\":" + fmt_double(row.baseline_ns);
+    out += ",\"candidate_ns\":" + fmt_double(row.candidate_ns);
+    out += ",\"rel_delta\":" + fmt_double(row.rel_delta);
+    out += ",\"verdict\":\"" + std::string(to_string(row.verdict)) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace weakkeys::obs

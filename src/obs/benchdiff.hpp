@@ -1,0 +1,85 @@
+// Performance-regression observatory: compares two BENCH_<suite>.json
+// files (the machine-readable output of the perf_* google-benchmark
+// suites, see bench/bench_json.hpp) and issues per-benchmark verdicts.
+//
+// Threshold model (DESIGN.md §5f): a benchmark REGRESSES when its
+// candidate time exceeds baseline * (1 + threshold) AND the absolute
+// slowdown exceeds the noise floor — sub-floor benchmarks jitter by
+// scheduling luck, not by code, so a relative gate alone would flag pure
+// noise. Improvements are the symmetric condition. Everything between is
+// `ok`. Benchmarks present on only one side are reported (`new` /
+// `missing`) but never fail the diff on their own.
+//
+// Consumed by the tools/benchdiff CLI and the CI perf-baseline job, which
+// diffs fresh runs against the committed baselines in bench/baselines/.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace weakkeys::obs {
+
+/// One benchmark run parsed from a BENCH_<suite>.json file, normalized to
+/// nanoseconds. Repetitions of the same name are averaged at parse time.
+struct BenchRun {
+  std::string name;
+  double real_time_ns = 0;
+  double cpu_time_ns = 0;
+  std::uint64_t iterations = 0;
+};
+
+struct BenchSuite {
+  std::string suite;
+  std::vector<BenchRun> runs;  ///< unique names, file order
+};
+
+/// Parses the JSON text of a BENCH_<suite>.json file. Throws
+/// std::runtime_error with a message naming the defect on malformed input.
+BenchSuite parse_bench_json(const std::string& text);
+
+/// Converts a google-benchmark time value to ns ("ns", "us", "ms", "s").
+double bench_time_to_ns(double value, const std::string& unit);
+
+struct BenchDiffOptions {
+  /// Relative gate: candidate/baseline - 1 beyond this is a regression.
+  double threshold = 0.10;
+  /// Absolute gate: deltas smaller than this (ns) are noise, never a
+  /// verdict, regardless of the relative change.
+  double noise_floor_ns = 5000.0;
+};
+
+enum class BenchVerdict { kOk, kImproved, kRegressed, kNew, kMissing };
+
+const char* to_string(BenchVerdict verdict);
+
+struct BenchDelta {
+  std::string name;
+  double baseline_ns = 0;   ///< 0 for kNew
+  double candidate_ns = 0;  ///< 0 for kMissing
+  double rel_delta = 0;     ///< candidate/baseline - 1 (0 when undefined)
+  BenchVerdict verdict = BenchVerdict::kOk;
+};
+
+struct BenchDiffReport {
+  std::string suite;
+  BenchDiffOptions options;
+  std::vector<BenchDelta> rows;  ///< baseline order, then new benchmarks
+  std::size_t regressions = 0;
+  std::size_t improvements = 0;
+  std::size_t added = 0;
+  std::size_t missing = 0;
+
+  [[nodiscard]] bool ok() const { return regressions == 0; }
+  /// Human-facing markdown report (table + totals).
+  [[nodiscard]] std::string markdown() const;
+  /// Machine-facing JSON report (schema in DESIGN.md §5f).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Diffs candidate against baseline under the threshold model above.
+BenchDiffReport diff_benchmarks(const BenchSuite& baseline,
+                                const BenchSuite& candidate,
+                                const BenchDiffOptions& options = {});
+
+}  // namespace weakkeys::obs

@@ -1,0 +1,277 @@
+#include "obs/monitor.hpp"
+
+#include <cstdio>
+
+#include "obs/proc_stats.hpp"
+
+namespace weakkeys::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
+double rate_per_sec(std::uint64_t delta, std::uint64_t interval_us) {
+  if (interval_us == 0) return 0.0;
+  return static_cast<double>(delta) * 1e6 /
+         static_cast<double>(interval_us);
+}
+
+double eta_seconds(std::uint64_t done, std::uint64_t total,
+                   double rate_per_sec) {
+  if (done >= total) return 0.0;
+  if (rate_per_sec <= 0.0) return -1.0;
+  return static_cast<double>(total - done) / rate_per_sec;
+}
+
+std::string monitor_snapshot_json(const MetricsSnapshot& cur,
+                                  const MetricsSnapshot* prev,
+                                  std::uint64_t seq, std::uint64_t elapsed_us,
+                                  std::uint64_t interval_us,
+                                  std::int64_t wall_unix_ms, bool final) {
+  std::string out = "{\"seq\":" + std::to_string(seq);
+  out += ",\"final\":";
+  out += final ? "true" : "false";
+  out += ",\"wall_unix_ms\":" + std::to_string(wall_unix_ms);
+  out += ",\"elapsed_us\":" + std::to_string(elapsed_us);
+  out += ",\"interval_us\":" + std::to_string(interval_us);
+
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : cur.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(value);
+  }
+
+  // Deltas and rates only for counters that moved this interval: the
+  // cumulative block above is authoritative, these are the derivative view.
+  out += "},\"deltas\":{";
+  first = true;
+  if (prev != nullptr) {
+    for (const auto& [name, value] : cur.counters) {
+      const std::uint64_t delta = counter_delta(prev->counter(name), value);
+      if (delta == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + json_escape(name) + "\":" + std::to_string(delta);
+    }
+  }
+  out += "},\"rates_per_s\":{";
+  first = true;
+  if (prev != nullptr && interval_us > 0) {
+    for (const auto& [name, value] : cur.counters) {
+      const std::uint64_t delta = counter_delta(prev->counter(name), value);
+      if (delta == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + json_escape(name) +
+             "\":" + fmt_double(rate_per_sec(delta, interval_us));
+    }
+  }
+
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : cur.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":" + std::to_string(value);
+  }
+
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : cur.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(name) + "\":{\"count\":" +
+           std::to_string(h.count) + ",\"sum\":" + std::to_string(h.sum) +
+           ",\"max\":" + std::to_string(h.max) +
+           ",\"p50\":" + fmt_double(h.p50()) +
+           ",\"p90\":" + fmt_double(h.p90()) +
+           ",\"p99\":" + fmt_double(h.p99()) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+Monitor::Monitor(Telemetry& telemetry, MonitorConfig config)
+    : telemetry_(telemetry), config_(std::move(config)) {}
+
+Monitor::~Monitor() { stop(); }
+
+bool Monitor::start() {
+  if (running_.exchange(true)) return false;
+  epoch_ = std::chrono::steady_clock::now();
+  prev_tick_ = epoch_;
+  bool ok = true;
+  if (!config_.jsonl_path.empty()) {
+    std::lock_guard lock(mu_);
+    out_.open(config_.jsonl_path, std::ios::binary | std::ios::trunc);
+    if (!out_) {
+      telemetry_.sink().warn("monitor: cannot write " + config_.jsonl_path);
+      ok = false;
+    }
+  }
+  thread_ = std::thread(&Monitor::loop, this);
+  return ok;
+}
+
+void Monitor::stop() {
+  if (!running_.load()) return;
+  // One winner runs the shutdown; later (or concurrent) callers are no-ops.
+  if (stopped_.exchange(true)) return;
+  {
+    std::lock_guard lock(wake_mu_);
+    stop_requested_ = true;
+  }
+  wake_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // The ticking thread is gone: this final snapshot is the last line of the
+  // series and carries the registry's authoritative end-of-run totals.
+  tick(/*final=*/true);
+  {
+    std::lock_guard lock(mu_);
+    if (out_.is_open()) out_.close();
+  }
+  running_.store(false);
+}
+
+void Monitor::loop() {
+  std::unique_lock lock(wake_mu_);
+  while (!stop_requested_) {
+    if (wake_cv_.wait_for(lock, config_.interval,
+                          [this] { return stop_requested_; })) {
+      break;
+    }
+    lock.unlock();
+    tick(/*final=*/false);
+    lock.lock();
+  }
+}
+
+void Monitor::tick(bool final) {
+  if (config_.sample_process_stats) record_proc_self(telemetry_.metrics());
+  std::lock_guard lock(mu_);
+  const auto now = std::chrono::steady_clock::now();
+  const MetricsSnapshot cur = telemetry_.metrics().snapshot();
+  const std::uint64_t elapsed = elapsed_us(epoch_, now);
+  const std::uint64_t interval = have_prev_ ? elapsed_us(prev_tick_, now) : 0;
+  const std::int64_t wall_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  if (out_.is_open()) {
+    out_ << monitor_snapshot_json(cur, have_prev_ ? &prev_ : nullptr, seq_,
+                                  elapsed, interval, wall_ms, final)
+         << '\n';
+    out_.flush();
+  }
+  snapshots_.fetch_add(1);
+  if (config_.heartbeat) {
+    telemetry_.sink().info(heartbeat_line(cur, prev_, interval));
+  }
+  prev_ = std::move(cur);
+  have_prev_ = true;
+  prev_tick_ = now;
+  ++seq_;
+}
+
+std::string Monitor::heartbeat_line(const MetricsSnapshot& cur,
+                                    const MetricsSnapshot& prev,
+                                    std::uint64_t interval_us) const {
+  char buf[96];
+  const double up_s =
+      static_cast<double>(
+          elapsed_us(epoch_, std::chrono::steady_clock::now())) /
+      1e6;
+  std::snprintf(buf, sizeof(buf), "monitor: up %.1fs", up_s);
+  std::string line = buf;
+
+  const std::uint64_t seen = cur.counter("ingest.records_seen");
+  if (seen > 0) {
+    const double rate = rate_per_sec(
+        counter_delta(prev.counter("ingest.records_seen"), seen),
+        interval_us);
+    std::snprintf(buf, sizeof(buf), " | ingest %llu rec",
+                  static_cast<unsigned long long>(seen));
+    line += buf;
+    if (rate > 0) {
+      std::snprintf(buf, sizeof(buf), " (+%.0f/s)", rate);
+      line += buf;
+    }
+  }
+
+  const std::uint64_t total = cur.counter("coordinator.tasks");
+  if (total > 0) {
+    const std::uint64_t done = cur.counter("coordinator.tasks_executed") +
+                               cur.counter("coordinator.tasks_resumed");
+    const std::uint64_t prev_done =
+        prev.counter("coordinator.tasks_executed") +
+        prev.counter("coordinator.tasks_resumed");
+    const double rate =
+        rate_per_sec(counter_delta(prev_done, done), interval_us);
+    const double eta = eta_seconds(done, total, rate);
+    std::snprintf(buf, sizeof(buf), " | gcd %llu/%llu tasks",
+                  static_cast<unsigned long long>(done),
+                  static_cast<unsigned long long>(total));
+    line += buf;
+    if (done < total) {
+      if (eta >= 0) {
+        std::snprintf(buf, sizeof(buf), " (ETA %.1fs)", eta);
+      } else {
+        std::snprintf(buf, sizeof(buf), " (ETA ?)");
+      }
+      line += buf;
+    }
+  }
+
+  // Per-worker liveness: a worker is active this interval if its attempt
+  // counter moved. Counters appear as workers start, so the denominator is
+  // the workers observed so far.
+  std::size_t workers = 0;
+  std::size_t active = 0;
+  for (const auto& [name, value] : cur.counters) {
+    if (!starts_with(name, "coordinator.worker.") ||
+        !ends_with(name, ".attempts")) {
+      continue;
+    }
+    ++workers;
+    if (counter_delta(prev.counter(name), value) > 0) ++active;
+  }
+  if (workers > 0) {
+    std::snprintf(buf, sizeof(buf), " | workers %zu/%zu active", active,
+                  workers);
+    line += buf;
+  }
+
+  const auto queue = cur.gauges.find("threadpool.queue_depth");
+  if (queue != cur.gauges.end()) {
+    std::snprintf(buf, sizeof(buf), " | queue %lld",
+                  static_cast<long long>(queue->second));
+    line += buf;
+  }
+
+  const auto rss = cur.gauges.find("process.rss_kb");
+  if (rss != cur.gauges.end()) {
+    std::snprintf(buf, sizeof(buf), " | rss %.1f MB",
+                  static_cast<double>(rss->second) / 1024.0);
+    line += buf;
+  }
+  return line;
+}
+
+}  // namespace weakkeys::obs

@@ -1,0 +1,76 @@
+#include "obs/proc_stats.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define WEAKKEYS_HAVE_GETRUSAGE 1
+#endif
+
+namespace weakkeys::obs {
+
+namespace {
+
+#if defined(__linux__)
+/// Parses "VmRSS:   12345 kB" style lines out of /proc/self/status.
+bool read_proc_status_kb(std::int64_t* rss_kb, std::int64_t* peak_rss_kb) {
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return false;
+  bool saw_rss = false;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    long long value = 0;
+    if (std::sscanf(line, "VmRSS: %lld kB", &value) == 1) {
+      *rss_kb = value;
+      saw_rss = true;
+    } else if (std::sscanf(line, "VmHWM: %lld kB", &value) == 1) {
+      *peak_rss_kb = value;
+    }
+  }
+  std::fclose(f);
+  return saw_rss;
+}
+#endif
+
+#if defined(WEAKKEYS_HAVE_GETRUSAGE)
+std::uint64_t timeval_us(const timeval& tv) {
+  return static_cast<std::uint64_t>(tv.tv_sec) * 1000000ULL +
+         static_cast<std::uint64_t>(tv.tv_usec);
+}
+#endif
+
+}  // namespace
+
+ProcSelfStats sample_proc_self() {
+  ProcSelfStats stats;
+#if defined(__linux__)
+  stats.rss_available =
+      read_proc_status_kb(&stats.rss_kb, &stats.peak_rss_kb);
+#endif
+#if defined(WEAKKEYS_HAVE_GETRUSAGE)
+  rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    stats.cpu_user_us = timeval_us(usage.ru_utime);
+    stats.cpu_sys_us = timeval_us(usage.ru_stime);
+    stats.cpu_available = true;
+  }
+#endif
+  return stats;
+}
+
+void record_proc_self(MetricsRegistry& registry) {
+  const ProcSelfStats stats = sample_proc_self();
+  if (stats.rss_available) {
+    registry.gauge("process.rss_kb").set(stats.rss_kb);
+    registry.gauge("process.peak_rss_kb").set(stats.peak_rss_kb);
+  }
+  if (stats.cpu_available) {
+    registry.counter("process.cpu_user_us").set(stats.cpu_user_us);
+    registry.counter("process.cpu_sys_us").set(stats.cpu_sys_us);
+  }
+}
+
+}  // namespace weakkeys::obs

@@ -1,0 +1,238 @@
+#include "obs/status_server.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define WEAKKEYS_HAVE_POSIX_SOCKETS 1
+#endif
+
+namespace weakkeys::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out = "weakkeys_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = prometheus_metric_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = prometheus_metric_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string prom = prometheus_metric_name(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Prometheus buckets are cumulative; ours are per-bucket.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bucket_counts.size(); ++i) {
+      cumulative += h.bucket_counts[i];
+      const std::string le =
+          i < h.bounds.size() ? std::to_string(h.bounds[i]) : "+Inf";
+      out += prom + "_bucket{le=\"" + le +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_sum " + std::to_string(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+    // Pre-computed quantile estimates as plain gauges (the fixed-bucket
+    // interpolation of MetricsSnapshot::HistogramValue::quantile); `_p50`
+    // does not collide with the histogram's reserved suffixes.
+    for (const auto& [suffix, q] :
+         {std::pair<const char*, double>{"_p50", 0.50},
+          {"_p90", 0.90},
+          {"_p99", 0.99}}) {
+      out += "# TYPE " + prom + suffix + " gauge\n";
+      out += prom + suffix + " " + fmt_double(h.quantile(q)) + "\n";
+    }
+  }
+  return out;
+}
+
+StatusServer::StatusServer(Telemetry& telemetry, StatusServerConfig config)
+    : telemetry_(telemetry), config_(std::move(config)) {}
+
+StatusServer::~StatusServer() { stop(); }
+
+#if defined(WEAKKEYS_HAVE_POSIX_SOCKETS)
+
+bool StatusServer::start() {
+  if (running_.exchange(true)) return false;
+  started_at_ = std::chrono::steady_clock::now();
+
+  const int retries = config_.port == 0 ? 0 : std::max(config_.bind_retries, 0);
+  int bound_port = -1;
+  for (int offset = 0; offset <= retries; ++offset) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) break;
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.port + offset));
+    if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+      ::close(fd);
+      break;
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
+        ::listen(fd, 16) == 0) {
+      sockaddr_in actual{};
+      socklen_t len = sizeof(actual);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+        bound_port = ntohs(actual.sin_port);
+      }
+      listen_fd_ = fd;
+      break;
+    }
+    ::close(fd);  // EADDRINUSE (or anything else): try the next port
+  }
+
+  if (listen_fd_ < 0 || bound_port < 0) {
+    telemetry_.sink().warn(
+        "status server: could not bind " + config_.bind_address + ":" +
+        std::to_string(config_.port) + " (+" + std::to_string(retries) +
+        " retries)");
+    running_.store(false);
+    return false;
+  }
+  port_.store(bound_port);
+  stop_requested_.store(false);
+  thread_ = std::thread(&StatusServer::accept_loop, this);
+  return true;
+}
+
+void StatusServer::stop() {
+  if (!running_.load()) return;
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_.store(-1);
+  running_.store(false);
+}
+
+void StatusServer::accept_loop() {
+  for (;;) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    // Short poll timeout so stop() is honored promptly without needing a
+    // self-pipe; the cost is one syscall per 50ms while idle.
+    const int ready = ::poll(&pfd, 1, 50);
+    if (stop_requested_.load()) return;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void StatusServer::handle_connection(int fd) {
+  // Requests are one short GET line; bound the read and give slow clients
+  // a second before dropping them.
+  timeval timeout{1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  std::string request;
+  char buf[1024];
+  while (request.size() < 8192 &&
+         request.find("\r\n\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) return;
+  const std::size_t path_end = request.find(' ', method_end + 1);
+  if (path_end == std::string::npos) return;
+  const std::string method = request.substr(0, method_end);
+  const std::string path =
+      request.substr(method_end + 1, path_end - method_end - 1);
+  const std::string response =
+      method == "GET"
+          ? respond(path)
+          : std::string("HTTP/1.0 405 Method Not Allowed\r\n"
+                        "Content-Length: 0\r\nConnection: close\r\n\r\n");
+  requests_.fetch_add(1);
+  std::size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t n = ::send(fd, response.data() + sent,
+                             response.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+#else  // !WEAKKEYS_HAVE_POSIX_SOCKETS
+
+bool StatusServer::start() {
+  telemetry_.sink().warn("status server: unsupported on this platform");
+  return false;
+}
+void StatusServer::stop() {}
+void StatusServer::accept_loop() {}
+void StatusServer::handle_connection(int) {}
+
+#endif
+
+std::string StatusServer::respond(const std::string& path) const {
+  std::string body;
+  std::string content_type;
+  if (path == "/metrics") {
+    body = prometheus_text(telemetry_.metrics().snapshot());
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/status") {
+    body = "{\"pid\":" +
+           std::to_string(
+#if defined(WEAKKEYS_HAVE_POSIX_SOCKETS)
+               ::getpid()
+#else
+               0
+#endif
+                   ) +
+           ",\"uptime_us\":" +
+           std::to_string(elapsed_us(started_at_,
+                                     std::chrono::steady_clock::now())) +
+           ",\"requests_served\":" + std::to_string(requests_.load()) +
+           ",\"metrics\":" + telemetry_.metrics().to_json() + "}";
+    content_type = "application/json";
+  } else {
+    return "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n"
+           "Connection: close\r\n\r\n";
+  }
+  return "HTTP/1.0 200 OK\r\nContent-Type: " + content_type +
+         "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n" + body;
+}
+
+}  // namespace weakkeys::obs

@@ -8,15 +8,25 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 
+#include "batchgcd/coordinator.hpp"
 #include "core/ingest.hpp"
 #include "core/study.hpp"
 #include "json_lite.hpp"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#define WEAKKEYS_TEST_SOCKETS 1
+#endif
 
 namespace weakkeys {
 namespace {
@@ -168,6 +178,201 @@ TEST_F(TelemetryE2E, NoisyFaultInjectedRunTelemetryMatchesPipelineStats) {
 
   std::remove(config.trace_path.c_str());
   std::remove((config.trace_path + ".metrics.json").c_str());
+}
+
+// A fault-injected coordinated run with the live monitor on must leave a
+// JSONL time series whose final snapshot carries the registry's exact
+// end-of-run totals, and whose per-worker commit counters sum to the
+// coordinator's executed-task total.
+TEST_F(TelemetryE2E, MonitoredRunTimeSeriesClosesOnFinalTotals) {
+  core::StudyConfig config = noisy_config();
+  config.trace_path.clear();
+  config.monitor_path =
+      "telemetry_e2e_monitor_" + std::to_string(::getpid()) + ".jsonl";
+  config.monitor_interval = std::chrono::milliseconds(10);
+  core::Study study(config);
+  study.run();
+
+  ASSERT_NE(study.monitor(), nullptr);
+  EXPECT_FALSE(study.monitor()->running());  // run() closed the series
+  EXPECT_GE(study.monitor()->snapshots_written(), 3u);
+
+  std::ifstream in(config.monitor_path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::string last_line;
+  std::uint64_t lines = 0;
+  std::int64_t last_seq = -1;
+  while (std::getline(in, line)) {
+    ++lines;
+    const auto doc = jsonlite::parse(line);  // every snapshot parses
+    EXPECT_GT(doc.at("seq").integer(), last_seq);
+    last_seq = doc.at("seq").integer();
+    last_line = line;
+  }
+  EXPECT_EQ(lines, study.monitor()->snapshots_written());
+  ASSERT_GE(lines, 3u);
+
+  // The closing snapshot is final and matches the end-of-run registry
+  // exactly: same counter names, same values, nothing extra.
+  const auto final_doc = jsonlite::parse(last_line);
+  EXPECT_TRUE(final_doc.at("final").boolean());
+  const auto end_state = study.telemetry().metrics().snapshot();
+  const auto& counters = final_doc.at("counters").object();
+  EXPECT_EQ(counters.size(), end_state.counters.size());
+  for (const auto& [name, value] : end_state.counters) {
+    ASSERT_TRUE(final_doc.at("counters").has(name)) << name;
+    EXPECT_EQ(final_doc.at("counters").at(name).integer(),
+              static_cast<std::int64_t>(value))
+        << name;
+  }
+
+  // Per-worker commit counters partition the executed-task total, and the
+  // coordinator's task total matches k^2.
+  const batchgcd::CoordinatorStats& coord = study.coordinator_stats();
+  EXPECT_EQ(end_state.counter("coordinator.tasks"), coord.tasks);
+  EXPECT_EQ(end_state.counter("coordinator.subsets"), coord.subsets);
+  std::uint64_t committed = 0;
+  for (std::size_t w = 0; w < config.threads; ++w) {
+    committed += end_state.counter("coordinator.worker." + std::to_string(w) +
+                                   ".tasks_committed");
+  }
+  EXPECT_EQ(committed, coord.tasks_executed);
+  EXPECT_EQ(end_state.counter("coordinator.tasks_executed") +
+                end_state.counter("coordinator.tasks_resumed"),
+            coord.tasks);
+
+  // The monitor sampled process self-metrics along the way.
+#if defined(__linux__)
+  EXPECT_GT(end_state.gauges.at("process.rss_kb"), 0);
+#endif
+
+  std::remove(config.monitor_path.c_str());
+}
+
+#if defined(WEAKKEYS_TEST_SOCKETS)
+
+namespace {
+
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::string response;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const std::string request =
+        "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+    if (::send(fd, request.data(), request.size(), 0) ==
+        static_cast<ssize_t>(request.size())) {
+      char buf[4096];
+      ssize_t n;
+      while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+        response.append(buf, static_cast<std::size_t>(n));
+      }
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace
+
+// /metrics is scrapeable while run() executes on another thread, and the
+// server survives the end of the run with the full metric families.
+TEST_F(TelemetryE2E, StatusServerServesPrometheusDuringRun) {
+  core::StudyConfig config = noisy_config();
+  config.trace_path.clear();
+  config.status_port = 0;  // ephemeral: parallel ctest never collides
+  core::Study study(config);
+
+  std::thread runner([&study] { study.run(); });
+  int port = -1;
+  for (int i = 0; i < 500 && port <= 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    port = study.status_port();
+  }
+  ASSERT_GT(port, 0) << "status server never came up";
+
+  // Mid-run scrape: valid exposition. The server comes up before the first
+  // pipeline instrument exists, so poll until some family appears (the
+  // server outlives the run, so this converges even on a very fast run).
+  std::string mid_run;
+  for (int i = 0; i < 2000; ++i) {
+    mid_run = http_get(port, "/metrics");
+    if (mid_run.find("# TYPE weakkeys_") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(mid_run.rfind("HTTP/1.0 200", 0), 0u);
+  EXPECT_NE(mid_run.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(mid_run.find("# TYPE weakkeys_"), std::string::npos);
+  runner.join();
+
+  // Post-run the server is still up and exposes every family the pipeline
+  // touched.
+  const std::string text = http_get(port, "/metrics");
+  EXPECT_EQ(text.rfind("HTTP/1.0 200", 0), 0u);
+  for (const char* family :
+       {"weakkeys_ingest_records_seen", "weakkeys_coordinator_attempts",
+        "weakkeys_threadpool_tasks_completed",
+        "weakkeys_coordinator_task_us_bucket{le=\"+Inf\"}",
+        "weakkeys_coordinator_task_us_p99"}) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+
+  const std::string status = http_get(port, "/status");
+  const auto pos = status.find("\r\n\r\n");
+  ASSERT_NE(pos, std::string::npos);
+  const auto doc = jsonlite::parse(status.substr(pos + 4));
+  EXPECT_EQ(doc.at("pid").integer(), ::getpid());
+  EXPECT_GT(doc.at("metrics").at("counters").at("coordinator.attempts")
+                .integer(),
+            0);
+}
+
+#endif  // WEAKKEYS_TEST_SOCKETS
+
+// Regression test for silent telemetry loss: a run that dies mid-pipeline
+// (every attempt crash-faulted until max_attempts) must still flush the
+// trace, the metrics snapshot, and a final monitor line.
+TEST_F(TelemetryE2E, AbnormalRunEndStillFlushesTelemetryArtifacts) {
+  core::StudyConfig config = noisy_config();
+  config.faults.crash_probability = 1.0;  // no task can ever succeed
+  config.faults.straggle_probability = 0.0;
+  config.faults.corrupt_probability = 0.0;
+  config.faults.tree_loss_probability = 0.0;
+  config.trace_path =
+      "telemetry_e2e_abnormal_" + std::to_string(::getpid()) + ".json";
+  config.monitor_path = config.trace_path + ".monitor.jsonl";
+  config.monitor_interval = std::chrono::milliseconds(5);
+
+  {
+    core::Study study(config);
+    EXPECT_THROW(study.run(), batchgcd::CoordinatorError);
+    // The failed run still closed its artifacts on the way out.
+  }
+
+  const std::string trace_text = slurp(config.trace_path);
+  const std::string metrics_text = slurp(config.trace_path + ".metrics.json");
+  ASSERT_FALSE(trace_text.empty());
+  ASSERT_FALSE(metrics_text.empty());
+  const auto metrics = jsonlite::parse(metrics_text);
+  EXPECT_GT(metrics.at("counters").at("coordinator.crashes").integer(), 0);
+  EXPECT_TRUE(jsonlite::parse(trace_text).has("traceEvents"));
+
+  const std::string series = slurp(config.monitor_path);
+  ASSERT_FALSE(series.empty());
+  const std::string last_line =
+      series.substr(series.rfind('\n', series.size() - 2) + 1);
+  const auto final_doc = jsonlite::parse(last_line);
+  EXPECT_TRUE(final_doc.at("final").boolean());
+  EXPECT_GT(final_doc.at("counters").at("coordinator.crashes").integer(), 0);
+
+  std::remove(config.trace_path.c_str());
+  std::remove((config.trace_path + ".metrics.json").c_str());
+  std::remove(config.monitor_path.c_str());
 }
 
 }  // namespace

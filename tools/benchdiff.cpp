@@ -1,0 +1,110 @@
+// benchdiff: performance-regression gate for the perf_* suites.
+//
+//   benchdiff [--threshold T] [--noise-floor-ns N]
+//             [--markdown PATH] [--json PATH]
+//             <baseline.json> <candidate.json>
+//
+// Compares a fresh BENCH_<suite>.json against a committed baseline (see
+// bench/baselines/) under the threshold model in DESIGN.md §5f and prints
+// the markdown report to stdout.
+//
+// Exit codes: 0 = no regressions, 1 = at least one regression,
+//             2 = usage / IO / parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/benchdiff.hpp"
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: benchdiff [--threshold T] [--noise-floor-ns N]\n"
+    "                 [--markdown PATH] [--json PATH]\n"
+    "                 <baseline.json> <candidate.json>\n"
+    "\n"
+    "  --threshold T       relative delta beyond which a benchmark is a\n"
+    "                      regression/improvement (default 0.10 = 10%%)\n"
+    "  --noise-floor-ns N  absolute deltas below N ns are never a verdict\n"
+    "                      (default 5000)\n"
+    "  --markdown PATH     also write the markdown report to PATH\n"
+    "  --json PATH         also write the machine-readable report to PATH\n";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("benchdiff: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << body;
+  out.flush();
+  if (!out) throw std::runtime_error("benchdiff: cannot write " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  weakkeys::obs::BenchDiffOptions options;
+  std::string markdown_path;
+  std::string json_path;
+  std::string baseline_path;
+  std::string candidate_path;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto next = [&]() -> std::string {
+        if (i + 1 >= argc)
+          throw std::runtime_error("benchdiff: " + arg + " needs a value");
+        return argv[++i];
+      };
+      if (arg == "--threshold") {
+        options.threshold = std::stod(next());
+      } else if (arg == "--noise-floor-ns") {
+        options.noise_floor_ns = std::stod(next());
+      } else if (arg == "--markdown") {
+        markdown_path = next();
+      } else if (arg == "--json") {
+        json_path = next();
+      } else if (arg == "--help" || arg == "-h") {
+        std::fputs(kUsage, stdout);
+        return 0;
+      } else if (!arg.empty() && arg[0] == '-') {
+        throw std::runtime_error("benchdiff: unknown flag " + arg);
+      } else if (baseline_path.empty()) {
+        baseline_path = arg;
+      } else if (candidate_path.empty()) {
+        candidate_path = arg;
+      } else {
+        throw std::runtime_error("benchdiff: unexpected argument " + arg);
+      }
+    }
+    if (baseline_path.empty() || candidate_path.empty()) {
+      std::fputs(kUsage, stderr);
+      return 2;
+    }
+
+    const auto baseline =
+        weakkeys::obs::parse_bench_json(read_file(baseline_path));
+    const auto candidate =
+        weakkeys::obs::parse_bench_json(read_file(candidate_path));
+    const auto report =
+        weakkeys::obs::diff_benchmarks(baseline, candidate, options);
+
+    const std::string markdown = report.markdown();
+    std::fputs(markdown.c_str(), stdout);
+    if (!markdown_path.empty()) write_file(markdown_path, markdown);
+    if (!json_path.empty()) write_file(json_path, report.to_json() + "\n");
+    return report.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+}
