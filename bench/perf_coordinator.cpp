@@ -5,8 +5,11 @@
 // to the remainder trees themselves.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "batchgcd/coordinator.hpp"
@@ -138,6 +141,55 @@ BENCHMARK(BM_CoordinatorFaultRate)
     ->Arg(5)
     ->Arg(20)
     ->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+/// Time-to-quiescence after a cooperative cancel lands at Arg()% progress:
+/// a canceller thread watches the live `coordinator.tasks_executed` counter,
+/// trips the token once that fraction of the k^2 tasks has committed, and
+/// manual time measures trip -> batch_gcd_coordinated unwinding with
+/// util::Cancelled (worker drain + journal close). Bounded by the slowest
+/// in-flight task, so it should sit near one task latency regardless of
+/// progress point.
+void BM_CoordinatedCancel(benchmark::State& state) {
+  using clock = std::chrono::steady_clock;
+  const auto& moduli = corpus(512);
+  const double fraction = static_cast<double>(state.range(0)) / 100.0;
+  auto& executed =
+      bench_telemetry().metrics().counter("coordinator.tasks_executed");
+  for (auto _ : state) {
+    util::CancellationToken token;
+    auto config = base_config();
+    config.cancel = &token;
+    const std::uint64_t before = executed.value();
+    const std::uint64_t trip =
+        before +
+        static_cast<std::uint64_t>(fraction * kSubsets * kSubsets);
+    std::atomic<std::int64_t> tripped_at_ns{0};
+    std::thread canceller([&] {
+      while (executed.value() < trip) std::this_thread::yield();
+      tripped_at_ns.store(clock::now().time_since_epoch().count());
+      token.cancel("bench cancel");
+    });
+    double elapsed_s = 0.0;
+    try {
+      batchgcd::batch_gcd_coordinated(moduli, config);
+    } catch (const util::Cancelled&) {
+    }
+    canceller.join();
+    const std::int64_t t0 = tripped_at_ns.load();
+    if (t0 != 0) {
+      const auto dt = clock::now().time_since_epoch().count() - t0;
+      elapsed_s = static_cast<double>(dt) / 1e9;
+    }
+    if (elapsed_s <= 0.0) elapsed_s = 1e-9;  // lost the race: already done
+    state.SetIterationTime(elapsed_s);
+  }
+}
+BENCHMARK(BM_CoordinatedCancel)
+    ->Arg(25)
+    ->Arg(50)
+    ->Arg(75)
+    ->UseManualTime()
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -15,14 +15,18 @@ std::vector<std::size_t> BatchGcdResult::vulnerable_indices() const {
   return out;
 }
 
-BatchGcdResult batch_gcd(std::span<const BigInt> moduli) {
+BatchGcdResult batch_gcd(std::span<const BigInt> moduli,
+                         const util::CancellationToken* cancel) {
   BatchGcdResult result;
   result.divisors.resize(moduli.size());
   if (moduli.empty()) return result;
 
+  if (cancel) cancel->throw_if_cancelled();
   const ProductTree tree(moduli);
+  if (cancel) cancel->throw_if_cancelled();
   const std::vector<BigInt> rem = remainder_tree_squares(tree, tree.root());
   for (std::size_t i = 0; i < moduli.size(); ++i) {
+    if (cancel && (i % 64) == 0) cancel->throw_if_cancelled();
     // rem[i] = P mod N_i^2 = N_i * ((P/N_i) mod N_i), so the division is
     // exact and yields (P/N_i) mod N_i directly.
     result.divisors[i] = bn::gcd(moduli[i], rem[i] / moduli[i]);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "bn/bigint.hpp"
+#include "util/cancellation.hpp"
 
 namespace weakkeys::batchgcd {
 
@@ -27,8 +28,11 @@ struct BatchGcdResult {
 };
 
 /// Single-tree batch GCD. Inputs should be deduplicated: duplicates are
-/// reported with divisor == N_i, which factors nothing.
-BatchGcdResult batch_gcd(std::span<const bn::BigInt> moduli);
+/// reported with divisor == N_i, which factors nothing. A tripped `cancel`
+/// token aborts with util::Cancelled at the next phase boundary or leaf
+/// batch (the polls cost one relaxed atomic load each).
+BatchGcdResult batch_gcd(std::span<const bn::BigInt> moduli,
+                         const util::CancellationToken* cancel = nullptr);
 
 /// Quadratic baseline: pairwise gcd of every pair. Identical output
 /// semantics to batch_gcd(). Only viable for small n.

@@ -13,6 +13,7 @@
 #include "batchgcd/product_tree.hpp"
 #include "batchgcd/remainder_tree.hpp"
 #include "core/binary_io.hpp"
+#include "util/atomic_file.hpp"
 #include "util/thread_pool.hpp"
 
 namespace weakkeys::batchgcd {
@@ -69,6 +70,7 @@ class Coordinator {
       m_trees_rebuilt_ = &m.counter("coordinator.trees_rebuilt");
       m_tasks_resumed_ = &m.counter("coordinator.tasks_resumed");
       m_tasks_executed_ = &m.counter("coordinator.tasks_executed");
+      m_watchdog_reassigned_ = &m.counter("watchdog.tasks_reassigned");
       m_task_us_ = &m.histogram("coordinator.task_us");
     }
     k_ = std::clamp<std::size_t>(config.subsets, 1,
@@ -128,18 +130,31 @@ class Coordinator {
           std::to_string(total_) + " tasks from " + config_.checkpoint_path);
     }
 
-    if (!pending_.empty()) {
-      build_trees_parallel();
-      std::vector<std::thread> workers;
-      workers.reserve(workers_n_);
-      for (std::size_t w = 0; w < workers_n_; ++w) {
-        workers.emplace_back([this, w] { worker_loop(w); });
+    if (config_.cancel && config_.cancel->cancelled()) cancelled_ = true;
+    if (!pending_.empty() && !cancelled_) {
+      try {
+        build_trees_parallel();
+      } catch (const util::Cancelled&) {
+        cancelled_ = true;  // cancelled during tree builds: flush and report
       }
-      for (auto& t : workers) t.join();
+      if (!cancelled_) {
+        std::vector<std::thread> workers;
+        workers.reserve(workers_n_);
+        for (std::size_t w = 0; w < workers_n_; ++w) {
+          workers.emplace_back([this, w] { worker_loop(w); });
+        }
+        for (auto& t : workers) t.join();
+      }
     }
 
     if (stats) *stats = stats_;
     if (fatal_) std::rethrow_exception(fatal_);
+    if (cancelled_) {
+      // Flush and close: a cancelled run resumes exactly like a killed one.
+      journal_.reset();
+      throw util::Cancelled(config_.cancel ? config_.cancel->reason()
+                                           : "coordinator");
+    }
     if (halted_) {
       journal_.reset();  // flush and close: the journal is the resume point
       throw CoordinatorInterrupted(
@@ -213,16 +228,26 @@ class Coordinator {
       }
     }
 
-    journal_ = std::make_unique<core::BinaryWriter>(config_.checkpoint_path);
-    journal_->u32(kCheckpointMagic);
-    journal_->u32(kCheckpointVersion);
-    journal_->u64(fingerprint);
-    journal_->u32(static_cast<std::uint32_t>(total_));
-    for (const auto& payload : loaded) {
-      journal_->bytes(payload);
-      journal_->u32(core::crc32(payload));
+    // Rewrite the validated prefix through a temporary and rename it over
+    // the journal: an in-place truncate-rewrite would destroy the resume
+    // point if the process died between the truncate and the last record.
+    {
+      const std::string tmp = util::atomic_tmp_path(config_.checkpoint_path);
+      core::BinaryWriter w(tmp);
+      w.u32(kCheckpointMagic);
+      w.u32(kCheckpointVersion);
+      w.u64(fingerprint);
+      w.u32(static_cast<std::uint32_t>(total_));
+      for (const auto& payload : loaded) {
+        w.bytes(payload);
+        w.u32(core::crc32(payload));
+      }
+      w.flush();
     }
-    journal_->flush();
+    util::atomic_publish_file(util::atomic_tmp_path(config_.checkpoint_path),
+                              config_.checkpoint_path);
+    journal_ = std::make_unique<core::BinaryWriter>(
+        config_.checkpoint_path, core::BinaryWriter::Mode::kAppend);
   }
 
   /// Parses one journal record and folds its claims into partial_. False
@@ -286,13 +311,16 @@ class Coordinator {
     };
     const std::size_t nthreads = std::min(workers_n_, k_);
     if (nthreads <= 1) {
-      for (std::size_t a = 0; a < k_; ++a) build(a);
+      for (std::size_t a = 0; a < k_; ++a) {
+        if (config_.cancel) config_.cancel->throw_if_cancelled();
+        build(a);
+      }
       return;
     }
     // Through the shared pool (not raw threads) so the builds show up in
     // the `threadpool.*` instruments alongside the fast path's.
     util::ThreadPool pool(nthreads, config_.telemetry);
-    pool.parallel_for(k_, build);
+    pool.parallel_for(k_, build, config_.cancel);
   }
 
   std::shared_ptr<const ProductTree> acquire_tree(std::size_t a) {
@@ -434,6 +462,15 @@ class Coordinator {
     std::unique_lock lock(mu_);
     for (;;) {
       if (fatal_ || halted_) return;
+      // Poll the token between tasks: the first worker to observe the trip
+      // stops the whole queue, so cancel latency is one task, not a drain
+      // of everything pending.
+      if (config_.cancel && config_.cancel->cancelled()) {
+        cancelled_ = true;
+        cv_.notify_all();
+        return;
+      }
+      if (cancelled_) return;
       if (committed_ == total_) return;
 
       const auto now = Clock::now();
@@ -451,7 +488,13 @@ class Coordinator {
       if (pick == pending_.size()) {
         if (pending_.empty() && inflight_ == 0) return;  // fully drained
         if (earliest == Clock::time_point::max()) {
-          cv_.wait(lock);
+          if (config_.cancel) {
+            // Bounded wait: a deadline-tripped token has no thread to
+            // notify us, so re-poll on a short cadence instead.
+            cv_.wait_for(lock, std::chrono::milliseconds(50));
+          } else {
+            cv_.wait(lock);
+          }
         } else {
           cv_.wait_until(lock, earliest);
         }
@@ -505,9 +548,13 @@ class Coordinator {
             if (m_crashes_) m_crashes_->inc();
             break;
           case OutcomeKind::kStraggle:
+            // The per-task watchdog: the deadline-exceeded attempt is
+            // killed here and the requeue below reassigns it away from
+            // this worker.
             ++stats_.stragglers_killed;
             if (m_stragglers_) m_stragglers_->inc();
             if (w_straggles) w_straggles->inc();
+            if (m_watchdog_reassigned_) m_watchdog_reassigned_->inc();
             break;
           case OutcomeKind::kCorrupt:
             ++stats_.corruptions_caught;
@@ -570,6 +617,7 @@ class Coordinator {
   std::size_t inflight_ = 0;
   std::size_t committed_ = 0;  ///< resumed + executed
   bool halted_ = false;
+  bool cancelled_ = false;  ///< a worker observed config_.cancel tripped
   std::exception_ptr fatal_;
   std::vector<std::vector<BigInt>> partial_;  ///< per subset, per leaf
   std::unique_ptr<core::BinaryWriter> journal_;
@@ -586,6 +634,7 @@ class Coordinator {
   obs::Counter* m_trees_rebuilt_ = nullptr;
   obs::Counter* m_tasks_resumed_ = nullptr;
   obs::Counter* m_tasks_executed_ = nullptr;
+  obs::Counter* m_watchdog_reassigned_ = nullptr;
   obs::Histogram* m_task_us_ = nullptr;
 };
 

@@ -30,6 +30,7 @@
 
 #include "batchgcd/batch_gcd.hpp"
 #include "obs/telemetry.hpp"
+#include "util/cancellation.hpp"
 #include "util/fault_injector.hpp"
 
 namespace weakkeys::batchgcd {
@@ -59,6 +60,12 @@ struct CoordinatorConfig {
   /// throw CoordinatorInterrupted (0 = disabled). In-flight tasks still
   /// commit, so the journal may hold slightly more than this count.
   std::size_t halt_after_tasks = 0;
+  /// Cooperative cancellation; nullptr = not cancellable. Workers poll the
+  /// token between tasks (and once per attempt), so cancel latency is
+  /// bounded by the slowest single task. On cancel the journal is flushed
+  /// and *retained* — a cancelled run resumes exactly like a killed one —
+  /// and batch_gcd_coordinated throws util::Cancelled.
+  const util::CancellationToken* cancel = nullptr;
   /// Fault source; nullptr = fault-free run.
   const util::FaultInjector* injector = nullptr;
   /// Progress sink; null discards.
@@ -103,7 +110,8 @@ class CoordinatorInterrupted : public std::runtime_error {
 /// Runs the k-subset batch GCD through the fault-tolerant coordinator.
 /// Output is element-for-element identical to batch_gcd() under any fault
 /// schedule. Resumes from `config.checkpoint_path` when it holds a journal
-/// for the same moduli and k.
+/// for the same moduli and k. Throws util::Cancelled (journal retained)
+/// when `config.cancel` trips mid-run.
 BatchGcdResult batch_gcd_coordinated(std::span<const bn::BigInt> moduli,
                                      const CoordinatorConfig& config,
                                      CoordinatorStats* stats = nullptr);

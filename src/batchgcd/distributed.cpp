@@ -12,7 +12,8 @@ using bn::BigInt;
 
 BatchGcdResult batch_gcd_distributed(std::span<const BigInt> moduli,
                                      std::size_t k, util::ThreadPool* pool,
-                                     DistributedStats* stats) {
+                                     DistributedStats* stats,
+                                     const util::CancellationToken* cancel) {
   BatchGcdResult result;
   result.divisors.assign(moduli.size(), BigInt(1));
   if (moduli.empty()) return result;
@@ -36,11 +37,12 @@ BatchGcdResult batch_gcd_distributed(std::span<const BigInt> moduli,
       offset += len;
     }
   }
-  auto build_tree = [&subsets](std::size_t a) {
+  auto build_tree = [&subsets, cancel](std::size_t a) {
+    if (cancel) cancel->throw_if_cancelled();
     subsets[a].tree = std::make_unique<ProductTree>(subsets[a].moduli);
   };
   if (pool) {
-    pool->parallel_for(k, build_tree);
+    pool->parallel_for(k, build_tree, cancel);
   } else {
     for (std::size_t a = 0; a < k; ++a) build_tree(a);
   }
@@ -58,6 +60,7 @@ BatchGcdResult batch_gcd_distributed(std::span<const BigInt> moduli,
   std::vector<std::mutex> locks(k);
 
   auto run_task = [&](std::size_t task) {
+    if (cancel) cancel->throw_if_cancelled();
     const std::size_t b = task / k;  // product index
     const std::size_t a = task % k;  // subset index
     const Subset& subset = subsets[a];
@@ -79,7 +82,7 @@ BatchGcdResult batch_gcd_distributed(std::span<const BigInt> moduli,
     }
   };
   if (pool) {
-    pool->parallel_for(k * k, run_task);
+    pool->parallel_for(k * k, run_task, cancel);
   } else {
     for (std::size_t t = 0; t < k * k; ++t) run_task(t);
   }

@@ -26,9 +26,14 @@ struct DistributedStats {
 /// k-subset batch GCD. Output is element-for-element identical to
 /// batch_gcd(). `k` is clamped to [1, moduli.size()]. With a pool, the k^2
 /// remainder-tree tasks run concurrently; pass nullptr to run serially.
+/// A tripped `cancel` token stops dispatching at task granularity (both the
+/// tree builds and the k^2 remainder-tree tasks poll it) and the call
+/// throws util::Cancelled after draining in-flight work.
 BatchGcdResult batch_gcd_distributed(std::span<const bn::BigInt> moduli,
                                      std::size_t k,
                                      util::ThreadPool* pool = nullptr,
-                                     DistributedStats* stats = nullptr);
+                                     DistributedStats* stats = nullptr,
+                                     const util::CancellationToken* cancel =
+                                         nullptr);
 
 }  // namespace weakkeys::batchgcd

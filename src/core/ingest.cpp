@@ -156,13 +156,15 @@ std::string IngestStats::summary() const {
   return out + ")";
 }
 
-IngestResult ingest_dataset(const netsim::ScanDataset& raw) {
+IngestResult ingest_dataset(const netsim::ScanDataset& raw,
+                            const util::CancellationToken* cancel) {
   IngestResult result;
   Validator validator;
   std::unordered_set<std::string> degenerate_seen;
 
   result.kept.snapshots.reserve(raw.snapshots.size());
   for (const auto& snap : raw.snapshots) {
+    if (cancel) cancel->throw_if_cancelled();
     netsim::ScanSnapshot kept;
     kept.date = snap.date;
     kept.source = snap.source;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "netsim/dataset.hpp"
+#include "util/cancellation.hpp"
 
 namespace weakkeys::core {
 
@@ -74,7 +75,10 @@ struct IngestResult {
 };
 
 /// Validates every record of `raw`. Total: never throws on any input
-/// dataset, and a clean dataset passes through with kept == raw.
-IngestResult ingest_dataset(const netsim::ScanDataset& raw);
+/// dataset, and a clean dataset passes through with kept == raw. The one
+/// exception is cooperative cancellation: when `cancel` is non-null it is
+/// polled once per snapshot and an armed trip throws util::Cancelled.
+IngestResult ingest_dataset(const netsim::ScanDataset& raw,
+                            const util::CancellationToken* cancel = nullptr);
 
 }  // namespace weakkeys::core

@@ -1,6 +1,7 @@
 #include "core/scan_store.hpp"
 
 #include "core/binary_io.hpp"
+#include "util/atomic_file.hpp"
 
 #include <cstdio>
 #include <map>
@@ -51,8 +52,12 @@ void save_dataset(const netsim::ScanDataset& dataset, const StoreKey& key,
     }
   }
 
+  // Stream to <path>.tmp and publish with an atomic rename: a crash (or
+  // SIGKILL in the resume harness) mid-save must never leave a torn cache
+  // at the canonical path.
+  const std::string tmp = util::atomic_tmp_path(path);
   {
-    BinaryWriter w(path);
+    BinaryWriter w(tmp);
     w.u32(kMagic);
     w.u64(key.seed);
     w.u64(key.scale_millionths);
@@ -80,7 +85,8 @@ void save_dataset(const netsim::ScanDataset& dataset, const StoreKey& key,
     }
   }
   // Truncation/bit-rot guard; load_dataset refuses files without it.
-  append_checksum_footer(path);
+  append_checksum_footer(tmp);
+  util::atomic_publish_file(tmp, path);
 }
 
 std::optional<netsim::ScanDataset> load_dataset(const StoreKey& key,

@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <cstdlib>
 #include <set>
+#include <thread>
 #include <unordered_map>
+
+#if !defined(_WIN32)
+#include <csignal>
+#include <unistd.h>
+#define WEAKKEYS_HAVE_SIGNALS 1
+#endif
 
 #include "analysis/chains.hpp"
 #include "batchgcd/coordinator.hpp"
@@ -13,6 +20,7 @@
 #include "core/scan_store.hpp"
 #include "netsim/catalog.hpp"
 #include "netsim/noise.hpp"
+#include "util/atomic_file.hpp"
 #include "util/thread_pool.hpp"
 
 namespace weakkeys::core {
@@ -30,7 +38,98 @@ std::string metric_segment(std::string s) {
   }
   return s;
 }
+
+#if defined(WEAKKEYS_HAVE_SIGNALS)
+// Signal-handler state. One watcher owns these at a time (handlers are
+// process-global anyway); the handler itself is async-signal-safe — two
+// atomic loads, two atomic stores inside request_async, one write(2).
+std::atomic<util::CancellationToken*> g_signal_token{nullptr};
+std::atomic<int> g_signal_pipe_wr{-1};
+
+void lifecycle_signal_handler(int signum) {
+  if (auto* token = g_signal_token.load(std::memory_order_acquire)) {
+    token->request_async(signum);
+  }
+  const int fd = g_signal_pipe_wr.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const auto n = ::write(fd, &byte, 1);
+  }
+}
+#endif  // WEAKKEYS_HAVE_SIGNALS
 }  // namespace
+
+const char* to_string(RunState s) {
+  switch (s) {
+    case RunState::kIdle:
+      return "idle";
+    case RunState::kRunning:
+      return "running";
+    case RunState::kCancelled:
+      return "cancelled";
+    case RunState::kFailed:
+      return "failed";
+    case RunState::kDone:
+      return "done";
+  }
+  return "unknown";
+}
+
+/// Installs SIGINT/SIGTERM handlers that trip the run's token, plus a
+/// self-pipe watcher thread that promote()s the async trip (running the
+/// token's callbacks from a normal context) as soon as the signal lands —
+/// without it, callbacks would wait for the next poll/monitor tick. The
+/// destructor restores the previous handlers, so the Study's own teardown
+/// (dtor flush) still runs under graceful-shutdown semantics.
+class LifecycleSignalWatcher {
+#if defined(WEAKKEYS_HAVE_SIGNALS)
+ public:
+  explicit LifecycleSignalWatcher(util::CancellationToken* token) {
+    if (::pipe(fds_) != 0) {
+      fds_[0] = fds_[1] = -1;
+      return;
+    }
+    g_signal_token.store(token, std::memory_order_release);
+    g_signal_pipe_wr.store(fds_[1], std::memory_order_release);
+    struct sigaction sa{};
+    sa.sa_handler = lifecycle_signal_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_RESTART;
+    ::sigaction(SIGINT, &sa, &old_int_);
+    ::sigaction(SIGTERM, &sa, &old_term_);
+    installed_ = true;
+    watcher_ = std::thread([this, token] {
+      char byte;
+      while (::read(fds_[0], &byte, 1) > 0) token->promote();
+    });
+  }
+
+  ~LifecycleSignalWatcher() {
+    if (installed_) {
+      ::sigaction(SIGINT, &old_int_, nullptr);
+      ::sigaction(SIGTERM, &old_term_, nullptr);
+    }
+    g_signal_token.store(nullptr, std::memory_order_release);
+    g_signal_pipe_wr.store(-1, std::memory_order_release);
+    if (fds_[1] >= 0) ::close(fds_[1]);  // EOF stops the watcher thread
+    if (watcher_.joinable()) watcher_.join();
+    if (fds_[0] >= 0) ::close(fds_[0]);
+  }
+
+  LifecycleSignalWatcher(const LifecycleSignalWatcher&) = delete;
+  LifecycleSignalWatcher& operator=(const LifecycleSignalWatcher&) = delete;
+
+ private:
+  int fds_[2] = {-1, -1};
+  bool installed_ = false;
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+  std::thread watcher_;
+#else
+ public:
+  explicit LifecycleSignalWatcher(util::CancellationToken*) {}
+#endif  // WEAKKEYS_HAVE_SIGNALS
+};
 
 Study::Study(StudyConfig config)
     : config_(std::move(config)),
@@ -52,20 +151,168 @@ void Study::log(const std::string& message) {
   telemetry_.sink().info(message);
 }
 
+util::CancellationToken* Study::resolve_token() {
+  return config_.cancel ? config_.cancel : &own_token_;
+}
+
+void Study::cancel(const std::string& reason) {
+  resolve_token()->cancel(reason);
+}
+
+obs::LifecycleStatus Study::lifecycle() const {
+  obs::LifecycleStatus ls;
+  auto* self = const_cast<Study*>(this);
+  util::CancellationToken* token = self->resolve_token();
+  const RunState st = state_.load();
+  const bool tripped = token->cancelled();
+  ls.phase = to_string(st);
+  if (stalled_.load()) {
+    ls.phase = "stalled";
+  } else if (st == RunState::kRunning && tripped) {
+    ls.phase = "cancelling";
+  }
+  ls.healthy = !stalled_.load() && !tripped && st != RunState::kCancelled &&
+               st != RunState::kFailed;
+  ls.cancel_reason = tripped ? token->reason() : "";
+  ls.deadline_remaining_s = token->deadline_remaining_s();
+  {
+    std::lock_guard lock(lifecycle_mu_);
+    ls.stage = stage_name_;
+  }
+  return ls;
+}
+
+void Study::begin_stage(const std::string& name,
+                        std::chrono::milliseconds stage_deadline) {
+  {
+    std::lock_guard lock(lifecycle_mu_);
+    stage_name_ = name;
+  }
+  util::CancellationToken* token = resolve_token();
+  if (stage_deadline.count() > 0) {
+    auto at = std::chrono::steady_clock::now() + stage_deadline;
+    if (run_deadline_at_ && *run_deadline_at_ < at) at = *run_deadline_at_;
+    token->set_deadline(at, name);
+  } else if (run_deadline_at_) {
+    token->set_deadline(*run_deadline_at_, "run");
+  }
+  token->throw_if_cancelled();
+}
+
+std::string Study::checkpoint_path() const {
+  return config_.cache_path.empty() ? "" : config_.cache_path + ".study";
+}
+
+StudyCheckpointKey Study::checkpoint_key() const {
+  return StudyCheckpointKey{
+      config_.sim.seed,
+      static_cast<std::uint64_t>(config_.sim.scale * 1e6),
+      static_cast<std::uint32_t>(config_.sim.miller_rabin_rounds),
+      kCatalogVersion,
+      config_.noise.fingerprint(),
+      static_cast<std::uint32_t>(config_.batch_gcd_subsets),
+      config_.fault_tolerant ? 1u : 0u,
+  };
+}
+
+void Study::load_checkpoint_if_resuming() {
+  bool resume = config_.resume;
+  if (const char* env = std::getenv("WEAKKEYS_RESUME")) {
+    resume = std::atoi(env) != 0;
+  }
+  const std::string path = checkpoint_path();
+  if (!resume || path.empty()) return;
+  if (auto cp = load_study_checkpoint(checkpoint_key(), path)) {
+    checkpoint_generation_ = cp->generation;
+    resumed_stage_ = cp->stage;
+    auto& metrics = telemetry_.metrics();
+    metrics.counter("checkpoint.resume.stage")
+        .set(static_cast<std::uint64_t>(cp->stage));
+    metrics.counter("checkpoint.generation").set(cp->generation);
+    log("resuming from study checkpoint (generation " +
+        std::to_string(cp->generation) + ", last completed stage: " +
+        to_string(cp->stage) + ")");
+  }
+}
+
+void Study::save_stage_checkpoint(StudyStage stage) {
+  const std::string path = checkpoint_path();
+  if (path.empty()) return;
+  if (stage > resumed_stage_) resumed_stage_ = stage;  // highest completed
+  StudyCheckpoint cp;
+  cp.key = checkpoint_key();
+  cp.generation = ++checkpoint_generation_;
+  cp.stage = stage;
+  try {
+    save_study_checkpoint(cp, path);
+  } catch (const std::exception& e) {
+    telemetry_.sink().warn(std::string("study checkpoint write failed: ") +
+                           e.what());
+    return;
+  }
+  auto& metrics = telemetry_.metrics();
+  metrics.counter("checkpoint.writes").inc();
+  metrics.counter("checkpoint.generation").set(cp.generation);
+}
+
 void Study::run() {
   if (ran_) return;
-  run_started_ = true;
+  run_started_.store(true);
   flushed_.store(false);
+  state_.store(RunState::kRunning);
+  util::CancellationToken* token = resolve_token();
+
+  std::chrono::milliseconds run_deadline = config_.run_deadline;
+  if (run_deadline.count() == 0) {
+    if (const char* env = std::getenv("WEAKKEYS_DEADLINE")) {
+      const double seconds = std::atof(env);
+      if (seconds > 0) {
+        run_deadline = std::chrono::milliseconds(
+            static_cast<std::int64_t>(seconds * 1000.0));
+      }
+    }
+  }
+  if (run_deadline.count() > 0) {
+    run_deadline_at_ = std::chrono::steady_clock::now() + run_deadline;
+    token->set_deadline(*run_deadline_at_, "run");
+  }
+  if (config_.handle_signals && !signal_watcher_) {
+    signal_watcher_ = std::make_unique<LifecycleSignalWatcher>(token);
+  }
+
   start_observability();
+  load_checkpoint_if_resuming();
+
   try {
     obs::Span run_span = telemetry_.tracer().span("study.run");
+    begin_stage("build_dataset", config_.stage_deadlines.build_dataset);
     build_dataset();
+    save_stage_checkpoint(StudyStage::kIngested);
+    begin_stage("factor", config_.stage_deadlines.factor);
     factor_moduli();
+    save_stage_checkpoint(StudyStage::kFactored);
+    begin_stage("fingerprint", config_.stage_deadlines.fingerprint);
     fingerprint_corpus();
+  } catch (const util::Cancelled&) {
+    state_.store(RunState::kCancelled);
+    log("run cancelled: " + token->reason());
+    // The per-stage caches already hold everything completed; bump the
+    // generation so a resume is attributable to this interruption.
+    save_stage_checkpoint(resumed_stage_);
+    flush_telemetry();
+    throw;
   } catch (...) {
+    state_.store(RunState::kFailed);
     flush_telemetry();
     throw;
   }
+  token->clear_deadline();
+  {
+    std::lock_guard lock(lifecycle_mu_);
+    stage_name_.clear();
+  }
+  save_stage_checkpoint(StudyStage::kDone);
+  state_.store(RunState::kDone);
   ran_ = true;
   flush_telemetry();
 }
@@ -79,6 +326,22 @@ void Study::start_observability() {
     obs::MonitorConfig mc;
     mc.jsonl_path = monitor_path;
     mc.interval = config_.monitor_interval;
+    if (config_.watchdog_stall_ticks > 0 && !watchdog_) {
+      obs::WatchdogConfig wc;
+      wc.stall_ticks = config_.watchdog_stall_ticks;
+      wc.on_stall = [this](const std::string& diagnostic) {
+        stalled_.store(true);
+        resolve_token()->cancel("watchdog stall: " + diagnostic);
+      };
+      watchdog_ = std::make_unique<obs::Watchdog>(telemetry_, wc);
+    }
+    // The monitor tick doubles as the lifecycle heartbeat: it promotes
+    // signal/deadline trips (running the token's callbacks promptly even
+    // when no poll site is being hit) and feeds the stall watchdog.
+    mc.on_tick = [this](const obs::MetricsSnapshot& snapshot) {
+      resolve_token()->promote();
+      if (watchdog_) watchdog_->observe(snapshot);
+    };
     monitor_ = std::make_unique<obs::Monitor>(telemetry_, mc);
     monitor_->start();
   }
@@ -92,10 +355,12 @@ void Study::start_observability() {
   if (port >= 0 && port <= 65535 && !status_server_) {
     obs::StatusServerConfig sc;
     sc.port = static_cast<std::uint16_t>(port);
+    sc.lifecycle = [this] { return lifecycle(); };
     status_server_ = std::make_unique<obs::StatusServer>(telemetry_, sc);
     if (status_server_->start()) {
       log("status server listening on http://127.0.0.1:" +
-          std::to_string(status_server_->port()) + " (/metrics, /status)");
+          std::to_string(status_server_->port()) +
+          " (/metrics, /status, /healthz)");
     }
   }
 
@@ -108,7 +373,7 @@ void Study::start_observability() {
 }
 
 void Study::flush_telemetry() {
-  if (!run_started_) return;  // nothing collected yet
+  if (!run_started_.load()) return;  // nothing collected yet
   if (flushed_.exchange(true)) return;
   if (monitor_) monitor_->stop();  // writes the `"final":true` snapshot
   write_trace_if_configured();
@@ -165,6 +430,7 @@ void Study::build_dataset() {
     log("simulating six years of scans (first run builds the corpus cache)...");
     netsim::SimConfig sim = config_.sim;
     sim.telemetry = &telemetry_;
+    sim.cancel = resolve_token();
     sim.log = [this](const std::string& message) { log("sim: " + message); };
     internet_ = std::make_unique<netsim::Internet>(
         netsim::standard_models(config_.sim.scale), sim);
@@ -192,7 +458,7 @@ void Study::build_dataset() {
   // ingest_stats_ and (for degenerate moduli) rerouted to factor triage.
   {
     obs::Span ingest_span = telemetry_.tracer().span("study.ingest");
-    IngestResult ingest = ingest_dataset(raw_dataset_);
+    IngestResult ingest = ingest_dataset(raw_dataset_, resolve_token());
     ingest_stats_ = std::move(ingest.stats);
     degenerate_moduli_ = std::move(ingest.degenerate_moduli);
     record_ingest_metrics();
@@ -283,11 +549,15 @@ bool Study::load_factor_cache(const std::string& path) {
 }
 
 void Study::save_factor_cache(const std::string& path) const {
+  // Stream to <path>.tmp and publish atomically: a SIGKILL between the
+  // payload and the footer must never leave a torn factor cache behind.
+  const std::string tmp = util::atomic_tmp_path(path);
   {
-    BinaryWriter w(path);
+    BinaryWriter w(tmp);
     write_factor_cache_payload(w);
   }
-  append_checksum_footer(path);
+  append_checksum_footer(tmp);
+  util::atomic_publish_file(tmp, path);
 }
 
 void Study::write_factor_cache_payload(BinaryWriter& w) const {
@@ -343,6 +613,7 @@ void Study::factor_moduli() {
         config_.cache_path.empty() ? "" : config_.cache_path + ".gcdckpt";
     coord.log = [this](const std::string& message) { log(message); };
     coord.telemetry = &telemetry_;
+    coord.cancel = resolve_token();
     util::FaultInjector injector(config_.faults);
     if (config_.faults.any_faults()) coord.injector = &injector;
     result = batchgcd::batch_gcd_coordinated(moduli, coord, &coordinator_stats_);
@@ -360,8 +631,8 @@ void Study::factor_moduli() {
     // Fault-free fast path: every task assumed to succeed exactly once.
     obs::Span gcd_span = telemetry_.tracer().span("gcd.distributed");
     util::ThreadPool pool(config_.threads, &telemetry_);
-    result = batchgcd::batch_gcd_distributed(moduli,
-                                             config_.batch_gcd_subsets, &pool);
+    result = batchgcd::batch_gcd_distributed(
+        moduli, config_.batch_gcd_subsets, &pool, nullptr, resolve_token());
   }
 
   obs::Span classify_span = telemetry_.tracer().span("study.classify_divisors");
@@ -486,6 +757,7 @@ void Study::fingerprint_corpus() {
       " degenerate-generator cliques");
   telemetry_.metrics().counter("fingerprint.cliques").set(cliques_.size());
   clique_span.end();
+  resolve_token()->throw_if_cancelled();
 
   // Subject labels per unique certificate, and per-modulus subject vendors.
   obs::Span subject_span =
@@ -503,6 +775,7 @@ void Study::fingerprint_corpus() {
   }
 
   subject_span.end();
+  resolve_token()->throw_if_cancelled();
 
   // Vendor prime pools from subject-labeled factored moduli (clique primes
   // stay out: the clique label takes precedence, as in the paper).

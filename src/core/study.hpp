@@ -20,6 +20,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -34,12 +35,15 @@
 #include "fingerprint/prime_pools.hpp"
 #include "core/ingest.hpp"
 #include "core/scan_store.hpp"
+#include "core/study_checkpoint.hpp"
 #include "fingerprint/subject_rules.hpp"
 #include "netsim/internet.hpp"
 #include "netsim/noise.hpp"
 #include "obs/monitor.hpp"
 #include "obs/status_server.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/watchdog.hpp"
+#include "util/cancellation.hpp"
 
 namespace weakkeys::core {
 
@@ -86,12 +90,50 @@ struct StudyConfig {
   /// Monitor snapshot / heartbeat cadence.
   std::chrono::milliseconds monitor_interval{250};
   /// Embedded HTTP status server (GET /metrics Prometheus exposition,
-  /// GET /status JSON): the loopback port to bind, 0 for a kernel-assigned
-  /// ephemeral port (read the result from Study::status_port()). Negative
-  /// falls back to WEAKKEYS_STATUS_PORT; still negative disables the
-  /// server. It stays up until the Study is destroyed, so finished runs
-  /// remain scrapeable.
+  /// GET /status JSON, GET /healthz liveness): the loopback port to bind,
+  /// 0 for a kernel-assigned ephemeral port (read the result from
+  /// Study::status_port()). Negative falls back to WEAKKEYS_STATUS_PORT;
+  /// still negative disables the server. It stays up until the Study is
+  /// destroyed, so finished runs remain scrapeable.
   int status_port = -1;
+
+  // -- Run lifecycle (cancellation, deadlines, watchdog, resume) ---------
+
+  /// External cancellation token. When set, run() polls (and arms
+  /// deadlines on) this token instead of the Study's internal one, so one
+  /// token can span several studies or be shared with a driver. Must
+  /// outlive the Study.
+  util::CancellationToken* cancel = nullptr;
+  /// Whole-run wall-clock budget; the token's deadline trips once it is
+  /// exhausted and the run unwinds with util::Cancelled ("deadline
+  /// exceeded (run)"). Zero falls back to the WEAKKEYS_DEADLINE
+  /// environment variable (seconds, fractional allowed); still zero means
+  /// no deadline.
+  std::chrono::milliseconds run_deadline{0};
+  /// Optional per-stage budgets, each clamped to whatever remains of the
+  /// run deadline. Zero = that stage inherits the run deadline only.
+  struct StageDeadlines {
+    std::chrono::milliseconds build_dataset{0};
+    std::chrono::milliseconds factor{0};
+    std::chrono::milliseconds fingerprint{0};
+  } stage_deadlines;
+  /// Declare the run stalled (and cancel it) after this many consecutive
+  /// monitor ticks with zero movement across the progress counters. Rides
+  /// the monitor thread, so it needs monitor_path/WEAKKEYS_MONITOR to be
+  /// active. 0 disables the watchdog.
+  std::size_t watchdog_stall_ticks = 0;
+  /// Resume a previous run of the same configuration: load the WKC1 study
+  /// checkpoint (`cache_path + ".study"`) and continue its generation
+  /// count. The per-stage caches (corpus, gcdckpt journal, factors) do
+  /// the actual work-skipping; this flag additionally surfaces
+  /// `checkpoint.resume.stage` so callers can assert what was skipped.
+  /// False falls back to the WEAKKEYS_RESUME environment variable.
+  bool resume = false;
+  /// Install SIGINT/SIGTERM handlers for the duration of the Study that
+  /// trip the run's cancellation token (async-signal-safely) instead of
+  /// killing the process: the run unwinds, flushes telemetry, and writes
+  /// its checkpoint. Previous handlers are restored on destruction.
+  bool handle_signals = false;
 };
 
 /// One factored modulus with everything later stages need.
@@ -112,13 +154,43 @@ struct FactorStats {
   std::size_t second_pass_factored = 0;  ///< full-modulus cases split pairwise
 };
 
+/// Coarse run state for the lifecycle probe (/healthz, /status).
+enum class RunState : int {
+  kIdle = 0,       ///< constructed, run() not yet called
+  kRunning = 1,    ///< inside run()
+  kCancelled = 2,  ///< run() unwound with util::Cancelled
+  kFailed = 3,     ///< run() unwound with any other exception
+  kDone = 4,       ///< run() completed
+};
+
+const char* to_string(RunState s);
+
+class LifecycleSignalWatcher;  // SIGINT/SIGTERM -> token (study.cpp)
+
 class Study {
  public:
   explicit Study(StudyConfig config = {});
   ~Study();
 
-  /// Runs the full pipeline. Idempotent.
+  /// Runs the full pipeline. Idempotent. Throws util::Cancelled when the
+  /// run's token trips (signal, deadline, watchdog, or explicit cancel());
+  /// telemetry is flushed and the study checkpoint written first, so a
+  /// resume=true re-run continues from the last completed stage.
   void run();
+
+  /// Trips the run's cancellation token from any thread. Poll sites at
+  /// batch granularity (simulated month, scan snapshot, remainder-tree
+  /// task) pick it up, so cancel latency is bounded by one batch.
+  void cancel(const std::string& reason);
+
+  /// The run's current lifecycle state, as served by /healthz and /status.
+  /// Safe to call from any thread, including while run() executes.
+  [[nodiscard]] obs::LifecycleStatus lifecycle() const;
+  [[nodiscard]] RunState run_state() const { return state_.load(); }
+  /// The token run() polls: config.cancel when set, else the internal one.
+  [[nodiscard]] util::CancellationToken& cancellation_token() {
+    return *resolve_token();
+  }
 
   // -- Data ------------------------------------------------------------
   /// Records exactly as scanned (including Rapid7 intermediates).
@@ -206,6 +278,15 @@ class Study {
   void record_factor_metrics();
   void start_observability();
   void write_trace_if_configured();
+  [[nodiscard]] util::CancellationToken* resolve_token();
+  [[nodiscard]] std::string checkpoint_path() const;
+  [[nodiscard]] StudyCheckpointKey checkpoint_key() const;
+  void load_checkpoint_if_resuming();
+  void save_stage_checkpoint(StudyStage stage);
+  /// Marks `name` as the running stage and arms its deadline (clamped to
+  /// the run deadline); throws util::Cancelled if the token has tripped.
+  void begin_stage(const std::string& name,
+                   std::chrono::milliseconds stage_deadline);
 
   StudyConfig config_;
   obs::Telemetry telemetry_;
@@ -213,10 +294,23 @@ class Study {
   // destroyed first.
   std::unique_ptr<obs::Monitor> monitor_;
   std::unique_ptr<obs::StatusServer> status_server_;
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::unique_ptr<LifecycleSignalWatcher> signal_watcher_;
   std::uint64_t exit_flush_token_ = 0;
-  bool run_started_ = false;
+  std::atomic<bool> run_started_{false};
   std::atomic<bool> flushed_{false};
   bool ran_ = false;
+
+  // -- lifecycle state ----------------------------------------------------
+  util::CancellationToken own_token_;
+  std::atomic<RunState> state_{RunState::kIdle};
+  std::atomic<bool> stalled_{false};
+  /// Armed run deadline (steady clock), if any; stage deadlines clamp to it.
+  std::optional<std::chrono::steady_clock::time_point> run_deadline_at_;
+  mutable std::mutex lifecycle_mu_;  ///< guards stage_name_
+  std::string stage_name_;
+  std::uint64_t checkpoint_generation_ = 0;
+  StudyStage resumed_stage_ = StudyStage::kInit;
   netsim::ScanDataset raw_dataset_;
   netsim::ScanDataset dataset_;
   std::unique_ptr<netsim::Internet> internet_;

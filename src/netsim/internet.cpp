@@ -35,6 +35,9 @@ void Internet::seed_initial_population() {
     const auto count =
         static_cast<std::size_t>(std::llround(model.initial_count));
     for (std::size_t i = 0; i < count; ++i) {
+      // Seeding is keygen-bound and runs before the month loop, so it needs
+      // its own poll to keep cancel latency at one key, not one fleet.
+      if (config_.cancel) config_.cancel->throw_if_cancelled();
       // Manufacture dates spread over the years before the study window so
       // flawed_from / flawed_until windows partition the initial fleet.
       const auto back =
@@ -65,6 +68,8 @@ void Internet::advance_month(const Date& month_start) {
     deploy_accumulator_[mi] -= static_cast<double>(n);
     if (deployed) deployed->inc(n);
     for (std::size_t i = 0; i < n; ++i) {
+      // Deployment is keygen-bound too; poll per key like the seeding loop.
+      if (config_.cancel) config_.cancel->throw_if_cancelled();
       const Date when =
           month_start.add_days(static_cast<std::int64_t>(events_rng_.below(28)));
       devices_.push_back(factory_.create(model, when, when));
@@ -177,10 +182,12 @@ ScanDataset Internet::run(const std::vector<ScanCampaign>& campaigns) {
                                     "sim.records_scanned")
                               : nullptr;
   for (int mi = 0; mi < months; ++mi) {
+    if (config_.cancel) config_.cancel->throw_if_cancelled();
     const Date month = start.add_months(mi);
     advance_month(month);
     for (const auto& s : schedule) {
       if (s.when.month_index() != month.month_index()) continue;
+      if (config_.cancel) config_.cancel->throw_if_cancelled();
       obs::Span span;
       if (config_.telemetry) {
         span = config_.telemetry->tracer().span("sim.scan");

@@ -12,6 +12,7 @@
 #include "netsim/device.hpp"
 #include "netsim/device_model.hpp"
 #include "obs/telemetry.hpp"
+#include "util/cancellation.hpp"
 #include "util/prng.hpp"
 
 namespace weakkeys::netsim {
@@ -37,6 +38,12 @@ struct SimConfig {
   /// `sim.*` population counters (deployed/retired/regenerated/records).
   /// Must outlive the Internet. Does not affect the StoreKey cache identity.
   obs::Telemetry* telemetry = nullptr;
+  /// Cooperative cancellation: run() polls per simulated month, per scan
+  /// snapshot, and per generated key in the keygen-bound seeding/deployment
+  /// loops, then throws util::Cancelled — cancel latency is one key or one
+  /// snapshot, whichever is in flight.
+  /// Does not affect the StoreKey cache identity.
+  const util::CancellationToken* cancel = nullptr;
 };
 
 class Internet {

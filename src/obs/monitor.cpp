@@ -2,11 +2,30 @@
 
 #include <cstdio>
 
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#define WK_MONITOR_HAVE_FSYNC 1
+#endif
+
 #include "obs/proc_stats.hpp"
 
 namespace weakkeys::obs {
 
 namespace {
+
+// Best-effort durability for the closed time series (obs sits below util in
+// the layering, so it cannot use util::fsync_path).
+void fsync_file(const std::string& path) {
+#if defined(WK_MONITOR_HAVE_FSYNC)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
 
 std::string fmt_double(double v) {
   char buf[48];
@@ -145,7 +164,10 @@ void Monitor::stop() {
   tick(/*final=*/true);
   {
     std::lock_guard lock(mu_);
-    if (out_.is_open()) out_.close();
+    if (out_.is_open()) {
+      out_.close();
+      fsync_file(config_.jsonl_path);
+    }
   }
   running_.store(false);
 }
@@ -188,6 +210,10 @@ void Monitor::tick(bool final) {
   have_prev_ = true;
   prev_tick_ = now;
   ++seq_;
+  // prev_ now holds this tick's snapshot. Final ticks run on the stopping
+  // thread after lifecycle teardown has begun, so the hook only sees live
+  // ones.
+  if (!final && config_.on_tick) config_.on_tick(prev_);
 }
 
 std::string Monitor::heartbeat_line(const MetricsSnapshot& cur,

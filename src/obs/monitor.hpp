@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -73,6 +74,10 @@ struct MonitorConfig {
   bool heartbeat = true;
   /// Sample process RSS/CPU into `process.*` instruments each tick.
   bool sample_process_stats = true;
+  /// Invoked with each non-final tick's snapshot, on the monitor thread —
+  /// the hook the lifecycle layer hangs its Watchdog (and deadline
+  /// promotion) on. Must not call back into the monitor.
+  std::function<void(const MetricsSnapshot&)> on_tick;
 };
 
 class Monitor {

@@ -167,6 +167,8 @@ void StatusServer::handle_connection(int fd) {
   while (request.size() < 8192 &&
          request.find("\r\n\r\n") == std::string::npos &&
          request.find('\n') == std::string::npos) {
+    // A cancelled run must not wait out a slow client's recv timeout.
+    if (stop_requested_.load()) return;
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));
@@ -211,6 +213,21 @@ std::string StatusServer::respond(const std::string& path) const {
   if (path == "/metrics") {
     body = prometheus_text(telemetry_.metrics().snapshot());
     content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/healthz") {
+    // Liveness for schedulers and the kill/resume harness: cheap, no
+    // metrics serialization, flips to 503 the moment the run stops being
+    // able to make progress.
+    if (!config_.lifecycle) {
+      return "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\n"
+             "Content-Length: 2\r\nConnection: close\r\n\r\nok";
+    }
+    const LifecycleStatus ls = config_.lifecycle();
+    const std::string text = ls.healthy ? "ok" : ls.phase;
+    const std::string status_line =
+        ls.healthy ? "HTTP/1.0 200 OK" : "HTTP/1.0 503 Service Unavailable";
+    return status_line + "\r\nContent-Type: text/plain\r\nContent-Length: " +
+           std::to_string(text.size()) + "\r\nConnection: close\r\n\r\n" +
+           text;
   } else if (path == "/status") {
     body = "{\"pid\":" +
            std::to_string(
@@ -223,8 +240,17 @@ std::string StatusServer::respond(const std::string& path) const {
            ",\"uptime_us\":" +
            std::to_string(elapsed_us(started_at_,
                                      std::chrono::steady_clock::now())) +
-           ",\"requests_served\":" + std::to_string(requests_.load()) +
-           ",\"metrics\":" + telemetry_.metrics().to_json() + "}";
+           ",\"requests_served\":" + std::to_string(requests_.load());
+    if (config_.lifecycle) {
+      const LifecycleStatus ls = config_.lifecycle();
+      body += ",\"lifecycle\":{\"phase\":\"" + json_escape(ls.phase) +
+              "\",\"healthy\":" + (ls.healthy ? "true" : "false") +
+              ",\"stage\":\"" + json_escape(ls.stage) +
+              "\",\"cancel_reason\":\"" + json_escape(ls.cancel_reason) +
+              "\",\"deadline_remaining_s\":" +
+              fmt_double(ls.deadline_remaining_s) + "}";
+    }
+    body += ",\"metrics\":" + telemetry_.metrics().to_json() + "}";
     content_type = "application/json";
   } else {
     return "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n"

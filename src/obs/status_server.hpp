@@ -2,12 +2,16 @@
 // curl-polled or Prometheus-scraped while it works (see DESIGN.md §5f).
 //
 // Plain POSIX sockets, one background accept thread, loopback by default.
-// Two endpoints:
+// Three endpoints:
 //   GET /metrics  -> Prometheus text exposition (version 0.0.4) of the
 //                    whole MetricsRegistry: counters, gauges, histograms
 //                    (cumulative `_bucket{le=...}` + `_sum`/`_count`, plus
 //                    `_p50`/`_p90`/`_p99` estimate gauges);
-//   GET /status   -> JSON: pid, uptime, and the full metrics snapshot.
+//   GET /status   -> JSON: pid, uptime, lifecycle state (when a probe is
+//                    configured), and the full metrics snapshot;
+//   GET /healthz  -> liveness: 200 "ok" while the lifecycle probe reports
+//                    healthy (or none is configured), 503 with the phase
+//                    in the body once the run is cancelled or stalled.
 //
 // Lifecycle is race-free under parallel ctest: construction only records
 // config; start() binds (retrying port, port+1, ... on EADDRINUSE up to
@@ -20,6 +24,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -36,6 +41,23 @@ std::string prometheus_metric_name(const std::string& name);
 /// The full registry snapshot in Prometheus text exposition format.
 std::string prometheus_text(const MetricsSnapshot& snap);
 
+/// What the run's lifecycle layer reports through /healthz and /status.
+/// Plain data so obs stays below util in the layering: core::Study fills it
+/// from its CancellationToken and run state; the server just serializes it.
+struct LifecycleStatus {
+  /// Machine-readable state: "idle", "running", "cancelling", "cancelled",
+  /// "stalled", "failed", "done".
+  std::string phase = "running";
+  /// Health summary: /healthz answers 200 while true, 503 once false.
+  bool healthy = true;
+  /// Why the run was cancelled (empty while it wasn't).
+  std::string cancel_reason;
+  /// Seconds until the armed run/stage deadline; negative = no deadline.
+  double deadline_remaining_s = -1.0;
+  /// The pipeline stage currently executing ("ingest", "factor", ...).
+  std::string stage;
+};
+
 struct StatusServerConfig {
   /// Port to bind; 0 = kernel-assigned ephemeral port.
   std::uint16_t port = 0;
@@ -45,6 +67,10 @@ struct StatusServerConfig {
   /// Bind address; loopback by default (the status page is diagnostics,
   /// not a public service).
   std::string bind_address = "127.0.0.1";
+  /// Lifecycle probe, polled per request from the accept thread (so it must
+  /// be thread-safe and cheap). Null = no lifecycle reporting: /healthz
+  /// answers 200 unconditionally and /status omits the lifecycle object.
+  std::function<LifecycleStatus()> lifecycle;
 };
 
 class StatusServer {

@@ -1,0 +1,43 @@
+// Crash-safe file publication: tmp + fsync + rename.
+//
+// A process killed mid-write must never leave a half-written cache,
+// checkpoint, or report where a complete one is expected. Writers either
+// build the bytes in memory and call atomic_write_file(), or stream into
+// "<path>.tmp" themselves and call atomic_publish_file() — both fsync the
+// temporary and rename() it over the destination, so the final path only
+// ever holds a complete file (rename within a filesystem is atomic on
+// POSIX). The CRC footers on the cache formats remain the second line of
+// defense against torn writes on filesystems without those guarantees.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace weakkeys::util {
+
+/// The temporary sibling a path is staged through ("<path>.tmp"). The
+/// kill/resume tests assert no orphans with this suffix survive a resumed
+/// run, so every atomic writer must stage through exactly this name.
+std::string atomic_tmp_path(const std::string& path);
+
+/// Writes `size` bytes to `path` atomically (tmp + fsync + rename).
+/// Throws std::runtime_error on I/O failure; the temporary is removed on
+/// any failure path.
+void atomic_write_file(const std::string& path, const void* data,
+                       std::size_t size);
+void atomic_write_file(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes);
+void atomic_write_file(const std::string& path, const std::string& text);
+
+/// Publishes an already-written temporary over its destination: fsyncs
+/// `tmp_path`, then rename()s it to `path`. For writers that stream large
+/// payloads straight to disk (the corpus cache) instead of buffering.
+void atomic_publish_file(const std::string& tmp_path, const std::string& path);
+
+/// Flushes a file's data to stable storage by path (open + fsync + close).
+/// Returns false when the file cannot be opened or synced; best-effort
+/// durability points (the monitor's final JSONL line) tolerate that.
+bool fsync_path(const std::string& path);
+
+}  // namespace weakkeys::util

@@ -48,23 +48,37 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              const CancellationToken* cancel) {
   std::vector<std::future<void>> futures;
   futures.reserve(n);
+  bool stopped_enqueuing = false;
   for (std::size_t i = 0; i < n; ++i) {
+    if (cancel && cancel->cancelled()) {
+      stopped_enqueuing = true;
+      break;
+    }
     futures.push_back(submit([&fn, i] { fn(i); }));
   }
   // Drain every future before rethrowing: queued tasks reference `fn`, so
   // returning (or throwing) while any are outstanding would dangle.
   std::exception_ptr first;
+  bool task_cancelled = false;
   for (auto& f : futures) {
     try {
       f.get();
+    } catch (const Cancelled&) {
+      // Collapse per-task cancellations into the single report below.
+      task_cancelled = true;
     } catch (...) {
       if (!first) first = std::current_exception();
     }
   }
   if (first) std::rethrow_exception(first);
+  if (stopped_enqueuing || task_cancelled) {
+    throw Cancelled(cancel && cancel->cancelled() ? cancel->reason()
+                                                  : "parallel_for task");
+  }
 }
 
 }  // namespace weakkeys::util

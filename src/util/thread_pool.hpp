@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "obs/telemetry.hpp"
+#include "util/cancellation.hpp"
 
 namespace weakkeys::util {
 
@@ -61,7 +62,15 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
   /// Waits for *all* n tasks even when some throw — `fn` is only borrowed
   /// for the duration of the call — then rethrows the first exception.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// With a cancellation token: submission stops at the first index whose
+  /// poll sees the token tripped, every already-submitted task is still
+  /// drained (the drain guarantee is unconditional), and the call throws
+  /// exactly one util::Cancelled — task-thrown Cancelled exceptions are
+  /// collapsed into it rather than racing it. A non-cancellation exception
+  /// from a task takes precedence over the cancellation report.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    const CancellationToken* cancel = nullptr);
 
  private:
   void worker_loop();

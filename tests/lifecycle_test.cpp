@@ -1,0 +1,630 @@
+// Run lifecycle layer: cooperative cancellation semantics (token, thread
+// pool, coordinator), crash-safe atomic file publication, the stall
+// watchdog, deadline enforcement, signal-driven graceful shutdown, and the
+// WKC1 study checkpoint format.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define WEAKKEYS_TEST_POSIX 1
+#endif
+
+#include "batchgcd/batch_gcd.hpp"
+#include "batchgcd/coordinator.hpp"
+#include "core/study.hpp"
+#include "core/study_checkpoint.hpp"
+#include "obs/status_server.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/watchdog.hpp"
+#include "rng/prng_source.hpp"
+#include "rsa/keygen.hpp"
+#include "util/atomic_file.hpp"
+#include "util/cancellation.hpp"
+#include "util/fault_injector.hpp"
+#include "util/thread_pool.hpp"
+
+namespace weakkeys {
+namespace {
+
+using bn::BigInt;
+
+// ------------------------------------------------- CancellationToken ------
+
+TEST(CancellationToken, CancelTripsOnceWithFirstReason) {
+  util::CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.reason(), "");
+  token.cancel("operator request");
+  token.cancel("second caller loses");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), "operator request");
+  EXPECT_THROW(token.throw_if_cancelled(), util::Cancelled);
+}
+
+TEST(CancellationToken, CallbacksRunExactlyOnceAndLateRegistrantsImmediately) {
+  util::CancellationToken token;
+  std::atomic<int> runs{0};
+  token.add_callback([&] { ++runs; });
+  token.cancel("x");
+  token.cancel("again");
+  EXPECT_EQ(runs.load(), 1);
+  token.add_callback([&] { ++runs; });  // already drained: runs now
+  EXPECT_EQ(runs.load(), 2);
+}
+
+TEST(CancellationToken, RemovedCallbackDoesNotRun) {
+  util::CancellationToken token;
+  std::atomic<int> runs{0};
+  const auto id = token.add_callback([&] { ++runs; });
+  token.remove_callback(id);
+  token.cancel("x");
+  EXPECT_EQ(runs.load(), 0);
+}
+
+TEST(CancellationToken, AsyncRequestDefersCallbacksUntilPromote) {
+  util::CancellationToken token;
+  std::atomic<int> runs{0};
+  token.add_callback([&] { ++runs; });
+  token.request_async(SIGTERM);  // async-signal-safe path: no callbacks
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(runs.load(), 0);
+  EXPECT_EQ(token.signal(), SIGTERM);
+  EXPECT_TRUE(token.promote());
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_FALSE(token.promote());  // promotion happens once
+  EXPECT_EQ(token.reason(), "signal " + std::to_string(SIGTERM));
+}
+
+TEST(CancellationToken, DeadlineTripsAndLatches) {
+  util::CancellationToken token;
+  EXPECT_LT(token.deadline_remaining_s(), 0.0);  // unarmed
+  token.set_deadline(std::chrono::steady_clock::now() +
+                         std::chrono::hours(1),
+                     "factor");
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_GT(token.deadline_remaining_s(), 3500.0);
+  token.set_deadline(std::chrono::steady_clock::now() -
+                         std::chrono::milliseconds(1),
+                     "factor");
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(token.reason(), "deadline exceeded (factor)");
+  // Latched: re-arming a future deadline does not untrip.
+  token.set_deadline(std::chrono::steady_clock::now() +
+                     std::chrono::hours(1));
+  EXPECT_TRUE(token.cancelled());
+}
+
+// ---------------------------------------------------- atomic file I/O -----
+
+TEST(AtomicFile, WritePublishesAtomicallyAndLeavesNoTmp) {
+  const std::string path = "lifecycle_atomic_write.bin";
+  util::atomic_write_file(path, std::string("first"));
+  util::atomic_write_file(path, std::string("second"));
+  std::ifstream in(path, std::ios::binary);
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(body, "second");
+  std::ifstream tmp(util::atomic_tmp_path(path));
+  EXPECT_FALSE(tmp.good()) << "orphan tmp file left behind";
+  std::remove(path.c_str());
+}
+
+TEST(AtomicFile, PublishRenamesStreamedTmp) {
+  const std::string path = "lifecycle_atomic_publish.bin";
+  const std::string tmp = util::atomic_tmp_path(path);
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    out << "streamed";
+  }
+  util::atomic_publish_file(tmp, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_EQ(body, "streamed");
+  std::ifstream leftover(tmp);
+  EXPECT_FALSE(leftover.good());
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------ ThreadPool + cancel -----
+
+TEST(ThreadPoolCancel, PreTrippedTokenThrowsWithoutRunningTasks) {
+  util::ThreadPool pool(2);
+  util::CancellationToken token;
+  token.cancel("before submit");
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(
+      pool.parallel_for(64, [&](std::size_t) { ++ran; }, &token),
+      util::Cancelled);
+  EXPECT_EQ(ran.load(), 0u);
+}
+
+TEST(ThreadPoolCancel, MidRunTripStopsWorkAndThrowsExactlyOnce) {
+  util::ThreadPool pool(2);
+  util::CancellationToken token;
+  std::atomic<std::size_t> ran{0};
+  const std::size_t n = 10000;
+  std::size_t throws = 0;
+  try {
+    // Tasks poll the token like every real batch task does. Task 16 trips
+    // it; with only two workers in flight, thousands of queued tasks run
+    // after the trip and must throw (collapsed into one Cancelled report)
+    // rather than do their work.
+    pool.parallel_for(
+        n,
+        [&](std::size_t i) {
+          if (i == 16) token.cancel("mid-run");
+          token.throw_if_cancelled();
+          ++ran;
+        },
+        &token);
+  } catch (const util::Cancelled&) {
+    ++throws;
+  }
+  EXPECT_EQ(throws, 1u);
+  // Far fewer than n tasks did work, but everything already submitted
+  // drained (no lost workers, no dangling futures).
+  EXPECT_LT(ran.load(), n);
+  // The pool is still usable afterwards.
+  std::atomic<std::size_t> again{0};
+  pool.parallel_for(8, [&](std::size_t) { ++again; });
+  EXPECT_EQ(again.load(), 8u);
+}
+
+TEST(ThreadPoolCancel, TaskExceptionTakesPrecedenceOverCancellation) {
+  util::ThreadPool pool(2);
+  util::CancellationToken token;
+  EXPECT_THROW(
+      pool.parallel_for(
+          32,
+          [&](std::size_t i) {
+            if (i == 0) {
+              token.cancel("also tripped");
+              throw std::runtime_error("real failure");
+            }
+          },
+          &token),
+      std::runtime_error);
+}
+
+// ------------------------------------------------- coordinator cancel -----
+
+std::vector<BigInt> lifecycle_moduli(std::uint64_t seed, std::size_t healthy) {
+  std::vector<BigInt> moduli;
+  rng::PrngRandomSource rng(seed);
+  rsa::KeygenOptions opts;
+  opts.modulus_bits = 128;
+  opts.style = rsa::PrimeStyle::kPlain;
+  opts.miller_rabin_rounds = 6;
+  for (std::size_t i = 0; i < healthy; ++i) {
+    moduli.push_back(rsa::generate_key(rng, opts).pub.n);
+  }
+  std::vector<BigInt> primes;
+  for (int i = 0; i < 4; ++i) {
+    primes.push_back(rsa::generate_prime(rng, 64, opts));
+  }
+  moduli.push_back(primes[0] * primes[1]);
+  moduli.push_back(primes[0] * primes[2]);
+  moduli.push_back(primes[1] * primes[3]);
+  return moduli;
+}
+
+TEST(CoordinatorCancel, PreTrippedTokenThrowsBeforeAnyWork) {
+  const auto moduli = lifecycle_moduli(7, 12);
+  util::CancellationToken token;
+  token.cancel("pre-tripped");
+  batchgcd::CoordinatorConfig config;
+  config.subsets = 3;
+  config.workers = 2;
+  config.cancel = &token;
+  batchgcd::CoordinatorStats stats;
+  EXPECT_THROW(batchgcd::batch_gcd_coordinated(moduli, config, &stats),
+               util::Cancelled);
+  EXPECT_EQ(stats.tasks_executed, 0u);
+}
+
+TEST(CoordinatorCancel, MidRunCancelRetainsJournalAndResumes) {
+  const auto moduli = lifecycle_moduli(11, 16);
+  const std::string ckpt = "lifecycle_cancel.gcdckpt";
+  std::remove(ckpt.c_str());
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  obs::Telemetry telemetry(/*tracing_enabled=*/false);
+  util::CancellationToken token;
+  // Injected stragglers (30ms each at 60% per attempt) keep the run busy
+  // long enough that the cancel deterministically lands mid-flight; the
+  // tiny 128-bit tasks alone finish in a few milliseconds.
+  util::FaultConfig faults;
+  faults.seed = 3;
+  faults.straggle_probability = 0.6;
+  const util::FaultInjector injector(faults);
+  batchgcd::CoordinatorConfig config;
+  config.subsets = 4;
+  config.workers = 2;
+  config.straggler_deadline = std::chrono::milliseconds(30);
+  config.checkpoint_path = ckpt;
+  config.cancel = &token;
+  config.injector = &injector;
+  config.telemetry = &telemetry;
+  auto& executed = telemetry.metrics().counter("coordinator.tasks_executed");
+  std::thread canceller([&] {
+    while (executed.value() < 2) std::this_thread::yield();
+    token.cancel("mid-run cancel");
+  });
+  batchgcd::CoordinatorStats stats;
+  EXPECT_THROW(batchgcd::batch_gcd_coordinated(moduli, config, &stats),
+               util::Cancelled);
+  canceller.join();
+  EXPECT_GT(stats.tasks_executed, 0u);
+  EXPECT_LT(stats.tasks_executed, stats.tasks);
+  {
+    std::ifstream journal(ckpt, std::ios::binary);
+    EXPECT_TRUE(journal.good()) << "cancel must retain the journal";
+  }
+
+  // Resume without the token: only unfinished tasks execute, output is
+  // element-for-element the reference.
+  batchgcd::CoordinatorConfig resume = config;
+  resume.cancel = nullptr;
+  batchgcd::CoordinatorStats resumed;
+  const auto result = batchgcd::batch_gcd_coordinated(moduli, resume, &resumed);
+  EXPECT_GT(resumed.tasks_resumed, 0u);
+  EXPECT_EQ(resumed.tasks_resumed + resumed.tasks_executed, resumed.tasks);
+  ASSERT_EQ(result.divisors.size(), reference.divisors.size());
+  for (std::size_t i = 0; i < reference.divisors.size(); ++i) {
+    EXPECT_EQ(result.divisors[i], reference.divisors[i]) << "index " << i;
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(CoordinatorCancel, StragglerDeadlineReassignsAndCountsWatchdogMetric) {
+  const auto moduli = lifecycle_moduli(13, 12);
+  const auto reference = batchgcd::batch_gcd(moduli);
+  obs::Telemetry telemetry(/*tracing_enabled=*/false);
+  util::FaultConfig faults;
+  faults.seed = 5;
+  faults.straggle_probability = 0.4;
+  const util::FaultInjector injector(faults);
+  batchgcd::CoordinatorConfig config;
+  config.subsets = 3;
+  config.workers = 2;
+  config.straggler_deadline = std::chrono::milliseconds(1);
+  config.injector = &injector;
+  config.telemetry = &telemetry;
+  batchgcd::CoordinatorStats stats;
+  const auto result = batchgcd::batch_gcd_coordinated(moduli, config, &stats);
+  EXPECT_GT(stats.stragglers_killed, 0u);
+  // Each straggler kill is a per-task watchdog firing: deadline exceeded,
+  // task reassigned.
+  EXPECT_EQ(
+      telemetry.metrics().counter("watchdog.tasks_reassigned").value(),
+      stats.stragglers_killed);
+  for (std::size_t i = 0; i < reference.divisors.size(); ++i) {
+    EXPECT_EQ(result.divisors[i], reference.divisors[i]);
+  }
+}
+
+// ------------------------------------------------------------ watchdog ----
+
+TEST(Watchdog, DeclaresStallOnceAndRearmsOnMovement) {
+  obs::Telemetry telemetry(/*tracing_enabled=*/false);
+  auto& work = telemetry.metrics().counter("coordinator.tasks_executed");
+  std::vector<std::string> stalls;
+  obs::WatchdogConfig config;
+  config.stall_ticks = 3;
+  config.on_stall = [&](const std::string& diag) { stalls.push_back(diag); };
+  obs::Watchdog watchdog(telemetry, config);
+
+  work.inc();
+  EXPECT_FALSE(watchdog.observe(telemetry.metrics().snapshot()));  // baseline
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_FALSE(watchdog.observe(telemetry.metrics().snapshot()));
+  }
+  EXPECT_TRUE(watchdog.observe(telemetry.metrics().snapshot()));  // 3rd quiet
+  EXPECT_TRUE(watchdog.stalled());
+  EXPECT_EQ(watchdog.stalls_declared(), 1u);
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_NE(stalls[0].find("3 quiet ticks"), std::string::npos);
+  // Episode stays open without re-firing.
+  EXPECT_FALSE(watchdog.observe(telemetry.metrics().snapshot()));
+  EXPECT_EQ(watchdog.stalls_declared(), 1u);
+  // Movement closes the episode and re-arms.
+  work.inc();
+  EXPECT_FALSE(watchdog.observe(telemetry.metrics().snapshot()));
+  EXPECT_FALSE(watchdog.stalled());
+  for (int i = 0; i < 2; ++i) watchdog.observe(telemetry.metrics().snapshot());
+  EXPECT_TRUE(watchdog.observe(telemetry.metrics().snapshot()));
+  EXPECT_EQ(watchdog.stalls_declared(), 2u);
+  EXPECT_EQ(telemetry.metrics().counter("watchdog.stalls").value(), 2u);
+}
+
+TEST(Watchdog, UnwatchedCounterMovementDoesNotResetQuiet) {
+  obs::Telemetry telemetry(/*tracing_enabled=*/false);
+  auto& noise = telemetry.metrics().counter("other.background");
+  obs::WatchdogConfig config;
+  config.stall_ticks = 2;
+  config.watch_prefixes = {"coordinator."};
+  obs::Watchdog watchdog(telemetry, config);
+  watchdog.observe(telemetry.metrics().snapshot());  // baseline
+  noise.inc();
+  EXPECT_FALSE(watchdog.observe(telemetry.metrics().snapshot()));
+  noise.inc();
+  EXPECT_TRUE(watchdog.observe(telemetry.metrics().snapshot()));
+  EXPECT_TRUE(watchdog.stalled());
+}
+
+TEST(Watchdog, DiagnosticCarriesWorkerLivenessAndQueueDepth) {
+  obs::Telemetry telemetry(/*tracing_enabled=*/false);
+  telemetry.metrics().counter("coordinator.worker.0.attempts").inc(7);
+  telemetry.metrics().counter("coordinator.worker.1.attempts").inc(3);
+  telemetry.metrics().gauge("threadpool.queue_depth").set(11);
+  telemetry.metrics().counter("coordinator.tasks").set(9);
+  telemetry.metrics().counter("coordinator.tasks_executed").set(4);
+  obs::Watchdog watchdog(telemetry, {});
+  const std::string diag =
+      watchdog.diagnostic(telemetry.metrics().snapshot());
+  EXPECT_NE(diag.find("0:7"), std::string::npos);
+  EXPECT_NE(diag.find("1:3"), std::string::npos);
+  EXPECT_NE(diag.find("queue 11"), std::string::npos);
+  EXPECT_NE(diag.find("gcd 4/9"), std::string::npos);
+}
+
+// ------------------------------------------------- WKC1 checkpoint --------
+
+TEST(StudyCheckpointFormat, RoundTripsAndBindsToKey) {
+  const std::string path = "lifecycle_ckpt.study";
+  core::StudyCheckpoint cp;
+  cp.key = {1234, 30000, 4, 7, 99, 3, 1};
+  cp.generation = 5;
+  cp.stage = core::StudyStage::kFactored;
+  core::save_study_checkpoint(cp, path);
+  {
+    std::ifstream tmp(util::atomic_tmp_path(path));
+    EXPECT_FALSE(tmp.good());
+  }
+  const auto loaded = core::load_study_checkpoint(cp.key, path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->generation, 5u);
+  EXPECT_EQ(loaded->stage, core::StudyStage::kFactored);
+
+  // Any key mismatch invalidates the checkpoint.
+  auto other = cp.key;
+  other.seed = 4321;
+  EXPECT_FALSE(core::load_study_checkpoint(other, path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(StudyCheckpointFormat, RejectsTruncationAndBitFlips) {
+  const std::string path = "lifecycle_ckpt_corrupt.study";
+  core::StudyCheckpoint cp;
+  cp.key = {1, 2, 3, 4, 5, 6, 0};
+  cp.generation = 2;
+  cp.stage = core::StudyStage::kIngested;
+  core::save_study_checkpoint(cp, path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() - 5);  // truncate
+  }
+  EXPECT_FALSE(core::load_study_checkpoint(cp.key, path).has_value());
+  bytes[10] ^= 0x40;  // bit flip
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  EXPECT_FALSE(core::load_study_checkpoint(cp.key, path).has_value());
+  EXPECT_FALSE(
+      core::load_study_checkpoint(cp.key, "does_not_exist.study").has_value());
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------- study-level lifecycle ------
+
+core::StudyConfig tiny_study_config(std::uint64_t seed) {
+  core::StudyConfig config;
+  config.sim.seed = seed;
+  config.sim.scale = 0.02;
+  config.sim.miller_rabin_rounds = 4;
+  config.batch_gcd_subsets = 2;
+  config.threads = 2;
+  config.cache_path = "";
+  return config;
+}
+
+TEST(StudyLifecycle, RunDeadlineCancelsAndReportsState) {
+  auto config = tiny_study_config(777);
+  config.run_deadline = std::chrono::milliseconds(30);
+  core::Study study(config);
+  EXPECT_EQ(study.run_state(), core::RunState::kIdle);
+  EXPECT_THROW(study.run(), util::Cancelled);
+  EXPECT_EQ(study.run_state(), core::RunState::kCancelled);
+  const auto ls = study.lifecycle();
+  EXPECT_FALSE(ls.healthy);
+  EXPECT_NE(ls.cancel_reason.find("deadline exceeded"), std::string::npos);
+}
+
+TEST(StudyLifecycle, ExplicitCancelFromAnotherThreadUnwinds) {
+  auto config = tiny_study_config(778);
+  core::Study study(config);
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    study.cancel("test cancel");
+  });
+  EXPECT_THROW(study.run(), util::Cancelled);
+  canceller.join();
+  EXPECT_EQ(study.run_state(), core::RunState::kCancelled);
+  EXPECT_EQ(study.lifecycle().cancel_reason, "test cancel");
+}
+
+TEST(StudyLifecycle, CheckpointAdvancesThroughStagesAndSupportsResume) {
+  const std::string cache = "lifecycle_stages.cache";
+  for (const char* suffix : {"", ".factors", ".gcdckpt", ".study"}) {
+    std::remove((cache + suffix).c_str());
+  }
+  auto config = tiny_study_config(779);
+  config.cache_path = cache;
+  {
+    core::Study study(config);
+    study.run();
+    EXPECT_EQ(study.run_state(), core::RunState::kDone);
+    auto& m = study.telemetry().metrics();
+    EXPECT_EQ(m.counter("checkpoint.writes").value(), 3u);
+    EXPECT_EQ(m.counter("checkpoint.generation").value(), 3u);
+  }
+  // Second run with resume: continues the generation count and reports the
+  // resumed stage; the corpus and factor caches short-circuit the work.
+  auto again = config;
+  again.resume = true;
+  core::Study study(again);
+  study.run();
+  auto& m = study.telemetry().metrics();
+  EXPECT_EQ(m.counter("checkpoint.resume.stage").value(),
+            static_cast<std::uint64_t>(core::StudyStage::kDone));
+  EXPECT_EQ(m.counter("cache.corpus.hit").value(), 1u);
+  EXPECT_EQ(m.counter("cache.factors.hit").value(), 1u);
+  EXPECT_EQ(m.counter("checkpoint.generation").value(), 6u);
+  for (const char* suffix : {"", ".factors", ".gcdckpt", ".study"}) {
+    std::remove((cache + suffix).c_str());
+  }
+}
+
+TEST(StudyLifecycle, FlushTelemetryIsIdempotent) {
+  auto config = tiny_study_config(780);
+  config.monitor_path = "lifecycle_flush.monitor.jsonl";
+  core::Study study(config);
+  study.run();
+  ASSERT_NE(study.monitor(), nullptr);
+  const auto written = study.monitor()->snapshots_written();
+  EXPECT_GT(written, 0u);
+  study.flush_telemetry();  // run() already flushed: both are no-ops
+  study.flush_telemetry();
+  EXPECT_EQ(study.monitor()->snapshots_written(), written);
+  std::remove(config.monitor_path.c_str());
+}
+
+#if defined(WEAKKEYS_TEST_POSIX)
+
+TEST(StudyLifecycle, SigtermMidRunUnwindsGracefullyAndWritesCheckpoint) {
+  const std::string cache = "lifecycle_sigterm.cache";
+  for (const char* suffix : {"", ".factors", ".gcdckpt", ".study"}) {
+    std::remove((cache + suffix).c_str());
+  }
+  auto config = tiny_study_config(781);
+  config.cache_path = cache;
+  config.handle_signals = true;
+  core::Study study(config);
+  std::thread signaller([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ::raise(SIGTERM);  // handler trips the token; the process survives
+  });
+  EXPECT_THROW(study.run(), util::Cancelled);
+  signaller.join();
+  EXPECT_EQ(study.run_state(), core::RunState::kCancelled);
+  EXPECT_EQ(study.cancellation_token().signal(), SIGTERM);
+  EXPECT_NE(study.lifecycle().cancel_reason.find("signal"),
+            std::string::npos);
+  // The interruption checkpoint was written (atomically: no tmp orphan).
+  EXPECT_GT(
+      study.telemetry().metrics().counter("checkpoint.writes").value(), 0u);
+  std::ifstream tmp(util::atomic_tmp_path(cache + ".study"));
+  EXPECT_FALSE(tmp.good());
+  for (const char* suffix : {"", ".factors", ".gcdckpt", ".study"}) {
+    std::remove((cache + suffix).c_str());
+  }
+}
+
+TEST(StudyLifecycle, SigtermDuringDestructorFlushIsSafe) {
+  // A signal landing while the Study tears down (handlers are still
+  // installed until the watcher member is destroyed) must neither kill the
+  // process nor double-flush.
+  auto config = tiny_study_config(782);
+  config.handle_signals = true;
+  {
+    core::Study study(config);
+    study.run();
+    EXPECT_EQ(study.run_state(), core::RunState::kDone);
+    ::raise(SIGTERM);  // delivered with the run finished, dtor about to run
+    EXPECT_TRUE(study.cancellation_token().cancelled());
+  }  // dtor flush runs with the token tripped — must be a clean no-op
+  SUCCEED() << "destructor completed under a pending SIGTERM";
+}
+
+TEST(StatusServerLifecycle, HealthzFollowsLifecycleProbe) {
+  obs::Telemetry telemetry(/*tracing_enabled=*/false);
+  std::atomic<bool> healthy{true};
+  obs::StatusServerConfig config;
+  config.lifecycle = [&] {
+    obs::LifecycleStatus ls;
+    ls.healthy = healthy.load();
+    ls.phase = healthy.load() ? "running" : "cancelled";
+    ls.stage = "factor";
+    ls.cancel_reason = healthy.load() ? "" : "deadline exceeded (run)";
+    return ls;
+  };
+  obs::StatusServer server(telemetry, config);
+  ASSERT_TRUE(server.start());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+
+  const auto http_get = [port](const std::string& path) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    std::string response;
+    if (fd < 0) return response;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      const std::string request =
+          "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+      if (::send(fd, request.data(), request.size(), 0) ==
+          static_cast<ssize_t>(request.size())) {
+        char buf[4096];
+        ssize_t n;
+        while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+          response.append(buf, static_cast<std::size_t>(n));
+        }
+      }
+    }
+    ::close(fd);
+    return response;
+  };
+
+  std::string response = http_get("/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\nok"), std::string::npos);
+
+  healthy.store(false);
+  response = http_get("/healthz");
+  EXPECT_NE(response.find("503 Service Unavailable"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\ncancelled"), std::string::npos);
+
+  response = http_get("/status");
+  EXPECT_NE(response.find("\"lifecycle\":{\"phase\":\"cancelled\""),
+            std::string::npos);
+  EXPECT_NE(response.find("\"stage\":\"factor\""), std::string::npos);
+  EXPECT_NE(response.find("\"cancel_reason\":\"deadline exceeded (run)\""),
+            std::string::npos);
+  server.stop();
+}
+
+#endif  // WEAKKEYS_TEST_POSIX
+
+}  // namespace
+}  // namespace weakkeys

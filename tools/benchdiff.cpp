@@ -18,6 +18,7 @@
 #include <string>
 
 #include "obs/benchdiff.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -42,10 +43,9 @@ std::string read_file(const std::string& path) {
 }
 
 void write_file(const std::string& path, const std::string& body) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out << body;
-  out.flush();
-  if (!out) throw std::runtime_error("benchdiff: cannot write " + path);
+  // CI consumes these reports from another step; an interrupted benchdiff
+  // must leave either the old report or the new one, never a torn file.
+  weakkeys::util::atomic_write_file(path, body);
 }
 
 }  // namespace
