@@ -59,8 +59,8 @@ batchgcd::CoordinatorConfig base_config() {
   batchgcd::CoordinatorConfig config;
   config.subsets = kSubsets;
   config.workers = kWorkers;
-  config.backoff_base = std::chrono::milliseconds(1);
-  config.backoff_cap = std::chrono::milliseconds(8);
+  config.retry.base = std::chrono::milliseconds(1);
+  config.retry.cap = std::chrono::milliseconds(8);
   config.straggler_deadline = std::chrono::milliseconds(1);
   config.telemetry = &bench_telemetry();
   return config;

@@ -12,8 +12,7 @@
 
 #include "batchgcd/product_tree.hpp"
 #include "batchgcd/remainder_tree.hpp"
-#include "core/binary_io.hpp"
-#include "util/atomic_file.hpp"
+#include "batchgcd/task_journal.hpp"
 #include "util/thread_pool.hpp"
 
 namespace weakkeys::batchgcd {
@@ -23,38 +22,11 @@ namespace {
 using bn::BigInt;
 using Clock = std::chrono::steady_clock;
 
-constexpr std::uint32_t kCheckpointMagic = 0x574b4350;  // "WKCP"
-constexpr std::uint32_t kCheckpointVersion = 1;
 constexpr std::size_t kNoWorker = static_cast<std::size_t>(-1);
 
-/// Identity of (moduli, k) a checkpoint belongs to; FNV-1a over the input
-/// bytes. A mismatch on resume discards the journal and starts fresh.
-std::uint64_t corpus_fingerprint(std::span<const BigInt> moduli,
-                                 std::size_t k) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  const auto byte = [&h](std::uint8_t b) {
-    h ^= b;
-    h *= 0x100000001b3ULL;
-  };
-  const auto word = [&byte](std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
-  };
-  word(k);
-  word(moduli.size());
-  for (const auto& n : moduli) {
-    const auto bytes = n.to_bytes();
-    word(bytes.size());
-    for (const std::uint8_t b : bytes) byte(b);
-  }
-  return h;
-}
-
 /// One nontrivial divisor candidate claimed by a task: `leaf` indexes into
-/// the task's subset.
-struct Claim {
-  std::uint32_t leaf = 0;
-  BigInt divisor;
-};
+/// the task's subset (the journal's record unit).
+using Claim = TaskClaim;
 
 class Coordinator {
  public:
@@ -151,12 +123,12 @@ class Coordinator {
     if (fatal_) std::rethrow_exception(fatal_);
     if (cancelled_) {
       // Flush and close: a cancelled run resumes exactly like a killed one.
-      journal_.reset();
+      journal_.close();
       throw util::Cancelled(config_.cancel ? config_.cancel->reason()
                                            : "coordinator");
     }
     if (halted_) {
-      journal_.reset();  // flush and close: the journal is the resume point
+      journal_.close();  // flush and close: the journal is the resume point
       throw CoordinatorInterrupted(
           "coordinator halted after " + std::to_string(stats_.tasks_executed) +
           " tasks (checkpoint retained)");
@@ -168,7 +140,7 @@ class Coordinator {
             bn::gcd(subsets_[a].moduli[i], partial_[a][i]);
       }
     }
-    journal_.reset();
+    journal_.close();
     if (!config_.checkpoint_path.empty() &&
         config_.remove_checkpoint_on_success) {
       std::remove(config_.checkpoint_path.c_str());
@@ -205,96 +177,26 @@ class Coordinator {
 
   // -- checkpoint journal --------------------------------------------------
 
-  /// Loads any valid committed-task prefix from the journal, applies it to
-  /// partial_ and `done`, then rewrites the file to exactly that prefix
-  /// (dropping a torn tail) and leaves it open for appending new commits.
+  /// Opens the shared TaskJournal: replays the valid committed prefix into
+  /// partial_ and `done` (verifying every claim against its modulus), then
+  /// leaves the journal open for appending new commits.
   void open_journal(std::vector<bool>& done) {
-    const std::uint64_t fingerprint = corpus_fingerprint(moduli_, k_);
-    std::vector<std::vector<std::uint8_t>> loaded;
-    if (const auto file = core::read_file_bytes(config_.checkpoint_path)) {
-      core::BufferReader r(*file);
-      try {
-        if (r.u32() == kCheckpointMagic && r.u32() == kCheckpointVersion &&
-            r.u64() == fingerprint &&
-            r.u32() == static_cast<std::uint32_t>(total_)) {
-          while (!r.exhausted()) {
-            const auto payload = r.bytes();
-            if (r.u32() != core::crc32(payload)) break;  // corrupted: drop tail
-            if (apply_record(payload, done)) loaded.push_back(payload);
+    journal_.open(
+        config_.checkpoint_path, corpus_fingerprint(moduli_, k_),
+        static_cast<std::uint32_t>(total_),
+        [this, &done](std::uint32_t task, std::vector<Claim>&& claims) {
+          if (task >= total_ || done[task]) return false;
+          const std::size_t a = task % k_;
+          if (!verify(a, claims)) return false;
+          for (const auto& claim : claims) {
+            partial_[a][claim.leaf] = partial_[a][claim.leaf] * claim.divisor;
           }
-        }
-      } catch (const std::exception&) {
-        // Torn header or record framing: keep whatever applied cleanly.
-      }
-    }
-
-    // Rewrite the validated prefix through a temporary and rename it over
-    // the journal: an in-place truncate-rewrite would destroy the resume
-    // point if the process died between the truncate and the last record.
-    {
-      const std::string tmp = util::atomic_tmp_path(config_.checkpoint_path);
-      core::BinaryWriter w(tmp);
-      w.u32(kCheckpointMagic);
-      w.u32(kCheckpointVersion);
-      w.u64(fingerprint);
-      w.u32(static_cast<std::uint32_t>(total_));
-      for (const auto& payload : loaded) {
-        w.bytes(payload);
-        w.u32(core::crc32(payload));
-      }
-      w.flush();
-    }
-    util::atomic_publish_file(util::atomic_tmp_path(config_.checkpoint_path),
-                              config_.checkpoint_path);
-    journal_ = std::make_unique<core::BinaryWriter>(
-        config_.checkpoint_path, core::BinaryWriter::Mode::kAppend);
-  }
-
-  /// Parses one journal record and folds its claims into partial_. False
-  /// for duplicates/garbage (record is then not preserved on rewrite).
-  bool apply_record(const std::vector<std::uint8_t>& payload,
-                    std::vector<bool>& done) {
-    try {
-      core::BufferReader r(payload);
-      const std::uint32_t task = r.u32();
-      if (task >= total_ || done[task]) return false;
-      const std::size_t a = task % k_;
-      const std::uint32_t count = r.u32();
-      std::vector<Claim> claims;
-      claims.reserve(count);
-      for (std::uint32_t c = 0; c < count; ++c) {
-        Claim claim;
-        claim.leaf = r.u32();
-        claim.divisor = BigInt::from_bytes(r.bytes());
-        if (claim.leaf >= subsets_[a].moduli.size()) return false;
-        claims.push_back(std::move(claim));
-      }
-      if (!verify(a, claims)) return false;
-      for (const auto& claim : claims) {
-        partial_[a][claim.leaf] = partial_[a][claim.leaf] * claim.divisor;
-      }
-      done[task] = true;
-      ++committed_;
-      ++stats_.tasks_resumed;
-      if (m_tasks_resumed_) m_tasks_resumed_->inc();
-      return true;
-    } catch (const std::exception&) {
-      return false;
-    }
-  }
-
-  void journal_commit(std::size_t task, const std::vector<Claim>& claims) {
-    if (!journal_) return;
-    core::BufferWriter w;
-    w.u32(static_cast<std::uint32_t>(task));
-    w.u32(static_cast<std::uint32_t>(claims.size()));
-    for (const auto& claim : claims) {
-      w.u32(claim.leaf);
-      w.bytes(claim.divisor.to_bytes());
-    }
-    journal_->bytes(w.data());
-    journal_->u32(core::crc32(w.data()));
-    journal_->flush();
+          done[task] = true;
+          ++committed_;
+          ++stats_.tasks_resumed;
+          if (m_tasks_resumed_) m_tasks_resumed_->inc();
+          return true;
+        });
   }
 
   // -- product trees -------------------------------------------------------
@@ -437,15 +339,6 @@ class Coordinator {
 
   // -- scheduling ----------------------------------------------------------
 
-  std::chrono::milliseconds backoff_for(std::size_t failed_attempt) const {
-    auto delay = config_.backoff_base;
-    for (std::size_t i = 0; i < failed_attempt && delay < config_.backoff_cap;
-         ++i) {
-      delay *= 2;
-    }
-    return std::min(delay, config_.backoff_cap);
-  }
-
   void worker_loop(std::size_t w) {
     obs::Counter* w_attempts = nullptr;
     obs::Counter* w_retries = nullptr;
@@ -564,7 +457,7 @@ class Coordinator {
             break;
         }
         const std::size_t next_attempt = p.attempt + 1;
-        if (next_attempt >= config_.max_attempts) {
+        if (config_.retry.exhausted(next_attempt)) {
           if (!fatal_) {
             fatal_ = std::make_exception_ptr(CoordinatorError(
                 "task " + std::to_string(p.task) + " failed after " +
@@ -573,11 +466,13 @@ class Coordinator {
           cv_.notify_all();
           return;
         }
-        // Retry with capped exponential backoff, preferring a different
+        // Retry on the shared RetryPolicy schedule (capped exponential,
+        // deterministic jitter keyed on the task), preferring a different
         // worker (with a single worker there is no one else to blame).
-        pending_.push_back({p.task, next_attempt,
-                            Clock::now() + backoff_for(p.attempt),
-                            workers_n_ > 1 ? w : kNoWorker});
+        pending_.push_back(
+            {p.task, next_attempt,
+             Clock::now() + config_.retry.jittered_delay(p.task, p.attempt),
+             workers_n_ > 1 ? w : kNoWorker});
       }
       cv_.notify_all();
     }
@@ -590,7 +485,7 @@ class Coordinator {
     for (const auto& claim : claims) {
       partial_[a][claim.leaf] = partial_[a][claim.leaf] * claim.divisor;
     }
-    journal_commit(task, claims);
+    journal_.append(static_cast<std::uint32_t>(task), claims);
     ++committed_;
     ++stats_.tasks_executed;
     if (m_tasks_executed_) m_tasks_executed_->inc();
@@ -620,7 +515,7 @@ class Coordinator {
   bool cancelled_ = false;  ///< a worker observed config_.cancel tripped
   std::exception_ptr fatal_;
   std::vector<std::vector<BigInt>> partial_;  ///< per subset, per leaf
-  std::unique_ptr<core::BinaryWriter> journal_;
+  TaskJournal journal_;
   CoordinatorStats stats_;
 
   // Telemetry instruments, resolved once at construction (null without a

@@ -32,6 +32,7 @@
 #include "obs/telemetry.hpp"
 #include "util/cancellation.hpp"
 #include "util/fault_injector.hpp"
+#include "util/retry.hpp"
 
 namespace weakkeys::batchgcd {
 
@@ -41,11 +42,11 @@ struct CoordinatorConfig {
   std::size_t subsets = 4;
   /// Simulated workers (0 = hardware_concurrency).
   std::size_t workers = 0;
-  /// Attempts per task before the run is declared failed.
-  std::size_t max_attempts = 64;
-  /// Retry backoff: min(backoff_base * 2^(attempt-1), backoff_cap).
-  std::chrono::milliseconds backoff_base{1};
-  std::chrono::milliseconds backoff_cap{64};
+  /// Retry scheduling for failed attempts: capped exponential backoff with
+  /// optional deterministic jitter, and the per-task attempt budget. The
+  /// same policy type drives the multi-process cluster coordinator
+  /// (cluster::ClusterConfig), so both tiers share one delay schedule.
+  util::RetryPolicy retry;
   /// Deadline after which a straggling worker is killed and its (eventual)
   /// result discarded. In this in-process simulation the straggler sleeps
   /// to the deadline and then abandons the attempt.
@@ -94,7 +95,8 @@ struct CoordinatorStats {
   std::uint64_t max_task_ns = 0;       ///< slowest single attempt
 };
 
-/// A task exhausted max_attempts, or the checkpoint could not be written.
+/// A task exhausted its retry budget, or the checkpoint could not be
+/// written.
 class CoordinatorError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;

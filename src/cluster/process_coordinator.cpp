@@ -1,0 +1,1034 @@
+#include "cluster/process_coordinator.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "batchgcd/coordinator.hpp"
+#include "batchgcd/product_tree.hpp"
+#include "batchgcd/task_journal.hpp"
+#include "cluster/protocol.hpp"
+#include "util/net.hpp"
+#include "util/thread_pool.hpp"
+
+namespace weakkeys::cluster {
+
+#if defined(WEAKKEYS_HAVE_NET)
+
+namespace {
+
+using batchgcd::TaskClaim;
+using bn::BigInt;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::uint32_t kNoWorker = static_cast<std::uint32_t>(-1);
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+enum class SlotState : std::uint8_t {
+  kSpawning,  ///< process forked, waiting for Hello
+  kLive,      ///< handshake done, serving tasks
+  kLost,      ///< death observed, awaiting supervisor handling
+  kRetired,   ///< given up (restart budget exhausted or shutting down)
+};
+
+enum class TaskState : std::uint8_t { kQueued, kAssigned, kDone };
+
+struct Pending {
+  std::size_t task = 0;
+  std::size_t attempt = 0;  ///< 0-based attempt about to run
+  Clock::time_point ready_at;
+  std::uint32_t banned_worker = kNoWorker;
+};
+
+struct Slot {
+  std::uint32_t id = 0;
+  SlotState state = SlotState::kRetired;
+  pid_t pid = -1;
+  std::uint64_t incarnation = 0;  ///< bumped per (re)spawn; RX exit signal
+  util::net::UniqueFd fd;
+  std::unique_ptr<FrameConn> conn;
+  std::thread rx;
+  Clock::time_point spawn_at;
+  Clock::time_point last_pong;
+  Clock::time_point last_ping;
+  std::uint64_t ping_seq = 0;
+  bool busy = false;
+  Pending current;  ///< valid when busy
+  Clock::time_point assigned_at;
+  std::size_t strikes = 0;  ///< verification failures this incarnation
+  std::vector<bool> sent_subsets;
+  std::vector<bool> sent_products;
+  std::uint64_t worker_frames_sent = 0;  ///< worker-reported, via Pong
+  std::uint64_t worker_frames_dropped = 0;
+};
+
+class ProcessCoordinator {
+ public:
+  ProcessCoordinator(std::span<const BigInt> moduli,
+                     const ClusterConfig& config)
+      : config_(config), moduli_(moduli) {
+    if (config_.telemetry) {
+      auto& m = config_.telemetry->metrics();
+      m_workers_alive_ = &m.gauge("cluster.workers_alive");
+      m_respawns_ = &m.counter("cluster.respawns");
+      m_workers_lost_ = &m.counter("cluster.workers_lost");
+      m_tasks_executed_ = &m.counter("cluster.tasks_executed");
+      m_tasks_resumed_ = &m.counter("cluster.tasks_resumed");
+      m_tasks_reassigned_ = &m.counter("cluster.tasks_reassigned");
+      m_task_timeouts_ = &m.counter("cluster.task_timeouts");
+      m_quarantined_ = &m.counter("cluster.results_quarantined");
+      m_attempts_ = &m.counter("cluster.attempts");
+      m_retries_ = &m.counter("cluster.retries");
+      m_frames_sent_ = &m.counter("cluster.frames_sent");
+      m_frames_dropped_ = &m.counter("cluster.frames_dropped");
+      m_frames_corrupt_ = &m.counter("cluster.frames_corrupt");
+      m_rtt_us_ = &m.histogram("cluster.heartbeat_rtt_us");
+    }
+    k_ = std::clamp<std::size_t>(config.subsets, 1,
+                                 std::max<std::size_t>(moduli.size(), 1));
+    total_ = k_ * k_;
+    workers_n_ = std::max<std::size_t>(config.workers, 1);
+
+    subsets_.resize(k_);
+    const std::size_t base = moduli.size() / k_;
+    const std::size_t extra = moduli.size() % k_;
+    std::size_t offset = 0;
+    for (std::size_t a = 0; a < k_; ++a) {
+      const std::size_t len = base + (a < extra ? 1 : 0);
+      subsets_[a].offset = offset;
+      subsets_[a].moduli = moduli.subspan(offset, len);
+      offset += len;
+    }
+    partial_.resize(k_);
+    for (std::size_t a = 0; a < k_; ++a) {
+      partial_[a].assign(subsets_[a].moduli.size(), BigInt(1));
+    }
+  }
+
+  ~ProcessCoordinator() { cleanup(); }
+
+  batchgcd::BatchGcdResult run(ClusterStats* stats) {
+    batchgcd::BatchGcdResult result;
+    result.divisors.assign(moduli_.size(), BigInt(1));
+    if (moduli_.empty()) {
+      if (stats) *stats = stats_;
+      return result;
+    }
+    stats_.subsets = k_;
+    stats_.tasks = total_;
+    stats_.workers = workers_n_;
+    if (config_.telemetry) {
+      auto& m = config_.telemetry->metrics();
+      m.counter("cluster.tasks").set(total_);
+      m.counter("cluster.subsets").set(k_);
+      m.counter("cluster.workers").set(workers_n_);
+    }
+
+    tstate_.assign(total_, TaskState::kQueued);
+    fingerprint_ = batchgcd::corpus_fingerprint(moduli_, k_);
+    if (!config_.checkpoint_path.empty()) open_journal();
+
+    for (std::size_t t = 0; t < total_; ++t) {
+      if (tstate_[t] != TaskState::kDone) {
+        pending_.push_back({t, 0, Clock::now(), kNoWorker});
+      }
+    }
+    if (committed_ > 0) {
+      log("checkpoint: resumed " + std::to_string(committed_) + "/" +
+          std::to_string(total_) + " tasks from " + config_.checkpoint_path);
+    }
+
+    if (config_.cancel && config_.cancel->cancelled()) cancelled_ = true;
+    if (!pending_.empty() && !cancelled_) {
+      compute_products();
+      if (!cancelled_) supervise();
+    }
+
+    cleanup();
+    if (stats) *stats = stats_;
+    if (fatal_) std::rethrow_exception(fatal_);
+    if (cancelled_) {
+      journal_.close();
+      throw util::Cancelled(config_.cancel ? config_.cancel->reason()
+                                           : "cluster");
+    }
+    if (halted_) {
+      journal_.close();
+      throw batchgcd::CoordinatorInterrupted(
+          "cluster halted after " + std::to_string(stats_.tasks_executed) +
+          " tasks (checkpoint retained)");
+    }
+
+    for (std::size_t a = 0; a < k_; ++a) {
+      for (std::size_t i = 0; i < subsets_[a].moduli.size(); ++i) {
+        result.divisors[subsets_[a].offset + i] =
+            bn::gcd(subsets_[a].moduli[i], partial_[a][i]);
+      }
+    }
+    journal_.close();
+    if (!config_.checkpoint_path.empty() &&
+        config_.remove_checkpoint_on_success) {
+      std::remove(config_.checkpoint_path.c_str());
+    }
+    if (stats) *stats = stats_;
+    return result;
+  }
+
+ private:
+  struct Subset {
+    std::size_t offset = 0;
+    std::span<const BigInt> moduli;
+  };
+
+  void log(const std::string& message) const {
+    if (config_.log) config_.log(message);
+  }
+
+  // -- setup ---------------------------------------------------------------
+
+  void open_journal() {
+    journal_.open(
+        config_.checkpoint_path, fingerprint_,
+        static_cast<std::uint32_t>(total_),
+        [this](std::uint32_t task, std::vector<TaskClaim>&& claims) {
+          if (task >= total_ || tstate_[task] == TaskState::kDone)
+            return false;
+          const std::size_t a = task % k_;
+          if (!verify(a, claims)) return false;
+          for (const auto& claim : claims) {
+            partial_[a][claim.leaf] = partial_[a][claim.leaf] * claim.divisor;
+          }
+          tstate_[task] = TaskState::kDone;
+          ++committed_;
+          ++stats_.tasks_resumed;
+          if (m_tasks_resumed_) m_tasks_resumed_->inc();
+          return true;
+        });
+  }
+
+  /// Builds each subset's product tree just for its root — workers grow
+  /// their own leaf trees, the coordinator only ships products around.
+  void compute_products() {
+    products_.assign(k_, BigInt(1));
+    try {
+      const std::size_t nthreads =
+          std::min<std::size_t>(std::max<std::size_t>(workers_n_, 2), k_);
+      if (nthreads <= 1) {
+        for (std::size_t b = 0; b < k_; ++b) {
+          if (config_.cancel) config_.cancel->throw_if_cancelled();
+          products_[b] = batchgcd::ProductTree(subsets_[b].moduli).root();
+        }
+      } else {
+        util::ThreadPool pool(nthreads, config_.telemetry);
+        pool.parallel_for(
+            k_,
+            [this](std::size_t b) {
+              products_[b] = batchgcd::ProductTree(subsets_[b].moduli).root();
+            },
+            config_.cancel);
+      }
+    } catch (const util::Cancelled&) {
+      cancelled_ = true;
+    }
+  }
+
+  // -- process management --------------------------------------------------
+
+  void start_listener() {
+    int bound = 0;
+    listen_fd_.reset(util::net::listen_tcp(
+        config_.bind_address, config_.port,
+        static_cast<int>(std::max<std::size_t>(workers_n_, 4)), &bound));
+    if (!listen_fd_.valid()) {
+      throw ClusterError("cluster: cannot listen on " + config_.bind_address +
+                         ":" + std::to_string(config_.port) + ": " +
+                         std::strerror(errno));
+    }
+    bound_port_ = static_cast<std::uint16_t>(bound);
+  }
+
+  /// fork/execs one worker into `slot`. Caller holds mu_.
+  void spawn(Slot& slot) {
+    std::vector<std::string> args;
+    args.push_back(config_.worker_binary);
+    args.push_back("--port");
+    args.push_back(std::to_string(bound_port_));
+    args.push_back("--worker-id");
+    args.push_back(std::to_string(slot.id));
+    if (config_.injector) {
+      const util::FaultConfig& f = config_.injector->config();
+      args.push_back("--seed");
+      args.push_back(std::to_string(f.seed));
+      if (config_.worker_frame_faults && f.any_frame_faults()) {
+        args.push_back("--frame-drop");
+        args.push_back(std::to_string(f.frame_drop_probability));
+        args.push_back("--frame-garble");
+        args.push_back(std::to_string(f.frame_garble_probability));
+        args.push_back("--frame-delay");
+        args.push_back(std::to_string(f.frame_delay_probability));
+        args.push_back("--frame-delay-ms");
+        args.push_back(std::to_string(f.frame_delay_ms));
+      }
+      // Thread-tier faults run worker-side in the cluster: a kCrash is a
+      // real _exit mid-task, a kCorruptResult a real bad divisor on the
+      // wire, a kStraggle a real deadline miss (slept past task_timeout).
+      if (f.crash_probability > 0) {
+        args.push_back("--fault-crash");
+        args.push_back(std::to_string(f.crash_probability));
+      }
+      if (f.straggle_probability > 0) {
+        args.push_back("--fault-straggle");
+        args.push_back(std::to_string(f.straggle_probability));
+        args.push_back("--straggle-ms");
+        args.push_back(std::to_string(config_.task_timeout.count() * 3 / 2));
+      }
+      if (f.corrupt_probability > 0) {
+        args.push_back("--fault-corrupt");
+        args.push_back(std::to_string(f.corrupt_probability));
+      }
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw ClusterError(std::string("cluster: fork failed: ") +
+                         std::strerror(errno));
+    }
+    if (pid == 0) {
+      ::execv(argv[0], argv.data());
+      // exec failed: exit without running any parent-process atexit state.
+      std::fprintf(stderr, "gcd_worker exec failed: %s: %s\n", argv[0],
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    slot.pid = pid;
+    slot.state = SlotState::kSpawning;
+    ++slot.incarnation;
+    slot.spawn_at = Clock::now();
+    slot.last_pong = slot.spawn_at;
+    slot.last_ping = slot.spawn_at;
+    slot.busy = false;
+    slot.strikes = 0;
+    slot.sent_subsets.assign(k_, false);
+    slot.sent_products.assign(k_, false);
+    slot.worker_frames_sent = 0;
+    slot.worker_frames_dropped = 0;
+    ++stats_.workers_spawned;
+  }
+
+  /// Accepts any queued connections and completes their handshake. Runs
+  /// without mu_ (locks only to attach); a worker that connects but stalls
+  /// before Hello costs a bounded wait and is cleaned up by spawn_timeout.
+  void accept_pending() {
+    while (util::net::wait_readable(listen_fd_.get(),
+                                    std::chrono::milliseconds(0))) {
+      util::net::UniqueFd fd(util::net::accept_cloexec(listen_fd_.get()));
+      if (!fd.valid()) return;
+      const timeval send_timeout{5, 0};
+      ::setsockopt(fd.get(), SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                   sizeof(send_timeout));
+      handshake(std::move(fd));
+    }
+  }
+
+  void handshake(util::net::UniqueFd fd) {
+    FrameConn probe(fd.get(), 0, nullptr);
+    Frame frame;
+    const auto deadline = Clock::now() + std::chrono::milliseconds(250);
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return;
+      const RecvStatus status = probe.recv(&frame, left);
+      if (status == RecvStatus::kCorrupt) continue;
+      if (status != RecvStatus::kOk) return;
+      break;
+    }
+    if (frame.type != MsgType::kHello) return;
+    const auto hello = HelloMsg::decode(frame.body);
+    if (!hello || hello->version != kProtocolVersion) return;
+
+    std::lock_guard guard(mu_);
+    if (hello->worker_id >= slots_.size()) return;
+    Slot& slot = slots_[hello->worker_id];
+    if (slot.state != SlotState::kSpawning ||
+        slot.pid != static_cast<pid_t>(hello->pid)) {
+      return;  // stale or impostor connection; UniqueFd closes it
+    }
+    slot.fd = std::move(fd);
+    slot.conn = std::make_unique<FrameConn>(
+        slot.fd.get(), 2ull * slot.id,
+        config_.injector && config_.injector->config().any_frame_faults()
+            ? config_.injector
+            : nullptr);
+    HelloAckMsg ack;
+    ack.fingerprint = fingerprint_;
+    ack.heartbeat_interval_ms =
+        static_cast<std::uint32_t>(config_.heartbeat_interval.count());
+    if (!slot.conn->send(MsgType::kHelloAck, ack.encode())) {
+      slot.conn.reset();
+      slot.fd.reset();
+      return;
+    }
+    slot.state = SlotState::kLive;
+    slot.last_pong = Clock::now();
+    refresh_alive_gauge();
+    const std::uint64_t inc = slot.incarnation;
+    slot.rx = std::thread([this, id = slot.id, inc] { rx_loop(id, inc); });
+    log("cluster: worker " + std::to_string(slot.id) + " up (pid " +
+        std::to_string(slot.pid) + ")");
+  }
+
+  // -- RX path (one thread per live connection) ----------------------------
+
+  void rx_loop(std::uint32_t id, std::uint64_t inc) {
+    FrameConn* conn = nullptr;
+    {
+      std::lock_guard guard(mu_);
+      Slot& slot = slots_[id];
+      if (slot.incarnation != inc || !slot.conn) return;
+      conn = slot.conn.get();
+    }
+    for (;;) {
+      {
+        std::lock_guard guard(mu_);
+        Slot& slot = slots_[id];
+        if (stop_ || slot.incarnation != inc ||
+            slot.state != SlotState::kLive) {
+          return;
+        }
+      }
+      Frame frame;
+      switch (conn->recv(&frame, std::chrono::milliseconds(100))) {
+        case RecvStatus::kTimeout:
+          continue;
+        case RecvStatus::kCorrupt: {
+          std::lock_guard guard(mu_);
+          ++stats_.frames_corrupt;
+          if (m_frames_corrupt_) m_frames_corrupt_->inc();
+          continue;
+        }
+        case RecvStatus::kClosed: {
+          std::lock_guard guard(mu_);
+          Slot& slot = slots_[id];
+          if (slot.incarnation == inc && slot.state == SlotState::kLive) {
+            slot.state = SlotState::kLost;
+            cv_.notify_all();
+          }
+          return;
+        }
+        case RecvStatus::kOk:
+          break;
+      }
+      std::lock_guard guard(mu_);
+      Slot& slot = slots_[id];
+      if (slot.incarnation != inc || slot.state != SlotState::kLive) return;
+      switch (frame.type) {
+        case MsgType::kPong:
+          if (const auto pong = PongMsg::decode(frame.body)) {
+            on_pong(slot, *pong);
+          }
+          break;
+        case MsgType::kTaskResult:
+          if (auto result = TaskResultMsg::decode(frame.body)) {
+            on_result(slot, std::move(*result));
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  void on_pong(Slot& slot, const PongMsg& pong) {
+    slot.last_pong = Clock::now();
+    slot.worker_frames_sent = pong.frames_sent;
+    slot.worker_frames_dropped = pong.frames_dropped;
+    const std::int64_t rtt_ns = now_ns() - pong.t_send_ns;
+    if (rtt_ns >= 0) {
+      const auto rtt_us = static_cast<std::uint64_t>(rtt_ns / 1000);
+      stats_.max_heartbeat_rtt_us =
+          std::max(stats_.max_heartbeat_rtt_us, rtt_us);
+      if (m_rtt_us_) m_rtt_us_->record(rtt_us);
+    }
+  }
+
+  /// Handles one TaskResult under mu_: re-verify, then commit or
+  /// quarantine. Late results for reassigned/finished tasks are welcome
+  /// when valid and fresh (folding is commutative) and ignored when stale.
+  void on_result(Slot& slot, TaskResultMsg&& result) {
+    const std::size_t task = result.task;
+    const bool was_current = slot.busy && slot.current.task == task;
+    std::size_t attempt = 0;
+    if (was_current) {
+      attempt = slot.current.attempt;
+      slot.busy = false;  // the slot is schedulable again either way
+    }
+    if (task >= total_) return;
+    if (tstate_[task] == TaskState::kDone) {
+      cv_.notify_all();
+      return;  // duplicate of an already committed task
+    }
+
+    const std::size_t a = task % k_;
+    if (verify(a, result.claims)) {
+      // Commit even when this slot was already timed out for the task —
+      // the result is verified, and any later duplicate lands in the
+      // kDone branch above.
+      drop_from_pending(task);
+      commit(task, result.claims);
+    } else {
+      // Quarantine: the claims never touch the accumulators or the
+      // journal. The sender earns a strike; at the limit it is demoted.
+      ++stats_.results_quarantined;
+      if (m_quarantined_) m_quarantined_->inc();
+      ++slot.strikes;
+      log("cluster: worker " + std::to_string(slot.id) +
+          " returned a corrupt result for task " + std::to_string(task) +
+          " (strike " + std::to_string(slot.strikes) + ")");
+      if (slot.strikes >= config_.quarantine_strikes &&
+          slot.state == SlotState::kLive) {
+        ++stats_.workers_demoted;
+        slot.state = SlotState::kLost;  // supervisor kills + respawns
+      }
+      if (was_current) {
+        requeue(task, attempt + 1, slot.id);
+      }
+    }
+    cv_.notify_all();
+  }
+
+  // -- task bookkeeping (mu_ held) -----------------------------------------
+
+  [[nodiscard]] bool verify(std::size_t a,
+                            const std::vector<TaskClaim>& claims) const {
+    const BigInt one(1);
+    for (const auto& claim : claims) {
+      if (claim.leaf >= subsets_[a].moduli.size()) return false;
+      const BigInt& n = subsets_[a].moduli[claim.leaf];
+      if (!(claim.divisor > one) || claim.divisor > n) return false;
+      if (!(n % claim.divisor == BigInt(0))) return false;
+    }
+    return true;
+  }
+
+  void commit(std::size_t task, const std::vector<TaskClaim>& claims) {
+    const std::size_t a = task % k_;
+    for (const auto& claim : claims) {
+      partial_[a][claim.leaf] = partial_[a][claim.leaf] * claim.divisor;
+    }
+    journal_.append(static_cast<std::uint32_t>(task), claims);
+    tstate_[task] = TaskState::kDone;
+    ++committed_;
+    ++stats_.tasks_executed;
+    if (m_tasks_executed_) m_tasks_executed_->inc();
+    if (config_.halt_after_tasks != 0 &&
+        stats_.tasks_executed >= config_.halt_after_tasks &&
+        committed_ < total_) {
+      halted_ = true;
+    }
+  }
+
+  void drop_from_pending(std::size_t task) {
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->task == task) {
+        pending_.erase(it);
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_queued_or_assigned(std::size_t task) const {
+    if (tstate_[task] == TaskState::kAssigned) {
+      for (const Slot& slot : slots_) {
+        if (slot.busy && slot.current.task == task) return true;
+      }
+    }
+    for (const Pending& p : pending_) {
+      if (p.task == task) return true;
+    }
+    return false;
+  }
+
+  /// Requeues `task` for its next attempt, or records the fatal retry
+  /// exhaustion. No-op when the task is done or already queued/assigned
+  /// elsewhere.
+  void requeue(std::size_t task, std::size_t next_attempt,
+               std::uint32_t banned_worker) {
+    if (tstate_[task] == TaskState::kDone) return;
+    tstate_[task] = TaskState::kQueued;
+    if (is_queued_or_assigned(task)) return;
+    if (config_.retry.exhausted(next_attempt)) {
+      if (!fatal_) {
+        fatal_ = std::make_exception_ptr(ClusterError(
+            "cluster: task " + std::to_string(task) + " failed after " +
+            std::to_string(next_attempt) + " attempts"));
+      }
+      cv_.notify_all();
+      return;
+    }
+    pending_.push_back(
+        {task, next_attempt,
+         Clock::now() +
+             config_.retry.jittered_delay(task, next_attempt - 1),
+         slots_.size() > 1 ? banned_worker : kNoWorker});
+  }
+
+  // -- supervisor ----------------------------------------------------------
+
+  void supervise() {
+    start_listener();
+    {
+      std::lock_guard guard(mu_);
+      slots_.resize(workers_n_);
+      for (std::size_t w = 0; w < workers_n_; ++w) {
+        slots_[w].id = static_cast<std::uint32_t>(w);
+        spawn(slots_[w]);
+      }
+    }
+
+    for (;;) {
+      accept_pending();
+      std::unique_lock lock(mu_);
+      if (config_.cancel && config_.cancel->cancelled()) cancelled_ = true;
+      if (fatal_ || cancelled_ || halted_) return;
+      if (committed_ == total_) return;
+
+      tick_liveness();
+      tick_lost(lock);  // may drop the lock to join an RX thread
+      if (fatal_) return;
+      tick_timeouts();
+      tick_assign();
+      tick_frame_metrics();
+
+      if (!any_active_slots() && committed_ < total_) {
+        fatal_ = std::make_exception_ptr(
+            ClusterError("cluster: all workers lost (restart budget " +
+                         std::to_string(config_.restart_budget) +
+                         " exhausted) with " +
+                         std::to_string(total_ - committed_) +
+                         " tasks pending"));
+        return;
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+  }
+
+  [[nodiscard]] bool any_active_slots() const {
+    for (const Slot& slot : slots_) {
+      if (slot.state != SlotState::kRetired) return true;
+    }
+    return false;
+  }
+
+  /// Heartbeats: ping live workers on the configured cadence and declare
+  /// dead any that have not ponged within the miss budget. SIGSTOPped
+  /// workers are caught exactly here — their socket is open but silent.
+  void tick_liveness() {
+    const auto now = Clock::now();
+    const auto dead_after = config_.heartbeat_interval *
+                            static_cast<int>(config_.heartbeat_misses);
+    for (Slot& slot : slots_) {
+      if (slot.state == SlotState::kSpawning &&
+          now - slot.spawn_at > config_.spawn_timeout) {
+        log("cluster: worker " + std::to_string(slot.id) +
+            " failed to connect within spawn timeout");
+        slot.state = SlotState::kLost;
+        continue;
+      }
+      if (slot.state != SlotState::kLive) continue;
+      if (now - slot.last_pong > dead_after) {
+        log("cluster: worker " + std::to_string(slot.id) +
+            " missed heartbeats; declaring dead");
+        ++stats_.heartbeat_deaths;
+        slot.state = SlotState::kLost;
+        continue;
+      }
+      if (now - slot.last_ping >= config_.heartbeat_interval) {
+        slot.last_ping = now;
+        PingMsg ping;
+        ping.seq = slot.ping_seq++;
+        ping.t_send_ns = now_ns();
+        if (!slot.conn->send(MsgType::kPing, ping.encode())) {
+          slot.state = SlotState::kLost;
+        }
+      }
+    }
+  }
+
+  /// Buries lost workers: requeue their in-flight task, reap the process,
+  /// and respawn within the restart budget (else retire the slot). Joining
+  /// the RX thread requires dropping mu_ briefly.
+  void tick_lost(std::unique_lock<std::mutex>& lock) {
+    for (std::size_t w = 0; w < slots_.size(); ++w) {
+      Slot& slot = slots_[w];
+      if (slot.state != SlotState::kLost) continue;
+      ++stats_.workers_lost;
+      if (m_workers_lost_) m_workers_lost_->inc();
+      refresh_alive_gauge();
+
+      // Invalidate the incarnation so the RX thread exits, then wake it.
+      ++slot.incarnation;
+      if (slot.fd.valid()) ::shutdown(slot.fd.get(), SHUT_RDWR);
+      std::thread rx = std::move(slot.rx);
+      const pid_t pid = slot.pid;
+
+      if (slot.busy) {
+        slot.busy = false;
+        ++stats_.tasks_reassigned;
+        if (m_tasks_reassigned_) m_tasks_reassigned_->inc();
+        requeue(slot.current.task, slot.current.attempt + 1, slot.id);
+      }
+
+      lock.unlock();
+      if (rx.joinable()) rx.join();
+      if (pid > 0) {
+        ::kill(pid, SIGKILL);  // no-op if already gone; un-sticks SIGSTOP
+        int status = 0;
+        ::waitpid(pid, &status, 0);
+      }
+      lock.lock();
+
+      fold_conn_stats(slot);
+      slot.conn.reset();
+      slot.fd.reset();
+      slot.pid = -1;
+
+      if (respawns_used_ < config_.restart_budget) {
+        ++respawns_used_;
+        ++stats_.respawns;
+        if (m_respawns_) m_respawns_->inc();
+        log("cluster: respawning worker " + std::to_string(slot.id) + " (" +
+            std::to_string(respawns_used_) + "/" +
+            std::to_string(config_.restart_budget) + " restarts used)");
+        try {
+          spawn(slot);
+        } catch (const ClusterError&) {
+          slot.state = SlotState::kRetired;
+          ++stats_.workers_retired;
+        }
+      } else {
+        log("cluster: restart budget exhausted; retiring worker " +
+            std::to_string(slot.id) + " (degrading to fewer workers)");
+        slot.state = SlotState::kRetired;
+        ++stats_.workers_retired;
+      }
+    }
+  }
+
+  /// Per-assignment deadline: a task not answered in time is requeued on
+  /// another worker. The slow worker stays alive — if it is actually dead
+  /// the heartbeat says so.
+  void tick_timeouts() {
+    const auto now = Clock::now();
+    for (Slot& slot : slots_) {
+      if (slot.state != SlotState::kLive || !slot.busy) continue;
+      if (now - slot.assigned_at <= config_.task_timeout) continue;
+      ++stats_.task_timeouts;
+      if (m_task_timeouts_) m_task_timeouts_->inc();
+      ++stats_.tasks_reassigned;
+      if (m_tasks_reassigned_) m_tasks_reassigned_->inc();
+      log("cluster: task " + std::to_string(slot.current.task) +
+          " timed out on worker " + std::to_string(slot.id) + "; requeueing");
+      const Pending timed_out = slot.current;
+      slot.busy = false;
+      requeue(timed_out.task, timed_out.attempt + 1, slot.id);
+    }
+  }
+
+  void tick_assign() {
+    const auto now = Clock::now();
+    for (Slot& slot : slots_) {
+      if (slot.state != SlotState::kLive || slot.busy) continue;
+      std::size_t pick = pending_.size();
+      for (std::size_t i = 0; i < pending_.size(); ++i) {
+        const Pending& p = pending_[i];
+        if (p.banned_worker == slot.id && live_slots() > 1) continue;
+        if (p.ready_at <= now) {
+          pick = i;
+          break;
+        }
+      }
+      if (pick == pending_.size()) continue;
+      Pending p = pending_[pick];
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
+      assign(slot, p);
+    }
+  }
+
+  [[nodiscard]] std::size_t live_slots() const {
+    std::size_t n = 0;
+    for (const Slot& slot : slots_) {
+      if (slot.state == SlotState::kLive) ++n;
+    }
+    return n;
+  }
+
+  /// Ships one assignment: lazily fills the worker's subset/product caches
+  /// (clean frames), sends the TaskAssign (injectable), then applies any
+  /// process-tier fault decided for this (task, attempt).
+  void assign(Slot& slot, const Pending& p) {
+    const std::size_t b = p.task / k_;
+    const std::size_t a = p.task % k_;
+
+    if (!slot.sent_subsets[a]) {
+      SubsetDataMsg msg;
+      msg.subset = static_cast<std::uint32_t>(a);
+      msg.moduli.assign(subsets_[a].moduli.begin(), subsets_[a].moduli.end());
+      if (!slot.conn->send(MsgType::kSubsetData, msg.encode())) {
+        slot.state = SlotState::kLost;
+        pending_.push_back(p);
+        return;
+      }
+      slot.sent_subsets[a] = true;
+    }
+    if (!slot.sent_products[b]) {
+      ProductDataMsg msg;
+      msg.subset = static_cast<std::uint32_t>(b);
+      msg.product = products_[b];
+      if (!slot.conn->send(MsgType::kProductData, msg.encode())) {
+        slot.state = SlotState::kLost;
+        pending_.push_back(p);
+        return;
+      }
+      slot.sent_products[b] = true;
+    }
+
+    TaskAssignMsg msg;
+    msg.task = static_cast<std::uint32_t>(p.task);
+    msg.product_subset = static_cast<std::uint32_t>(b);
+    msg.leaf_subset = static_cast<std::uint32_t>(a);
+    msg.attempt = static_cast<std::uint32_t>(p.attempt);
+    if (!slot.conn->send(MsgType::kTaskAssign, msg.encode(),
+                         /*injectable=*/true)) {
+      slot.state = SlotState::kLost;
+      pending_.push_back(p);
+      return;
+    }
+    slot.busy = true;
+    slot.current = p;
+    slot.assigned_at = Clock::now();
+    tstate_[p.task] = TaskState::kAssigned;
+    ++stats_.attempts;
+    if (m_attempts_) m_attempts_->inc();
+    if (p.attempt > 0) {
+      ++stats_.retries;
+      if (m_retries_) m_retries_->inc();
+    }
+
+    // Process-tier fault injection: the decision is keyed on (task,
+    // attempt) like every other tier, so the schedule is independent of
+    // which worker drew the assignment.
+    if (config_.injector) {
+      switch (config_.injector->decide_process(p.task, p.attempt)) {
+        case util::ProcessFaultKind::kSigkill:
+          ++stats_.sigkills_injected;
+          ::kill(slot.pid, SIGKILL);
+          break;
+        case util::ProcessFaultKind::kSigstop:
+          ++stats_.sigstops_injected;
+          ::kill(slot.pid, SIGSTOP);
+          break;
+        case util::ProcessFaultKind::kNone:
+          break;
+      }
+    }
+  }
+
+  // -- metrics -------------------------------------------------------------
+
+  void refresh_alive_gauge() {
+    if (m_workers_alive_) {
+      m_workers_alive_->set(static_cast<std::int64_t>(live_slots()));
+    }
+  }
+
+  /// Folds a dead incarnation's transport counters into the run totals
+  /// (live connections are summed on top in tick_frame_metrics()).
+  void fold_conn_stats(Slot& slot) {
+    if (slot.conn) {
+      const FrameStats& s = slot.conn->stats();
+      retired_frames_sent_ += s.sent;
+      retired_frames_dropped_ += s.dropped + slot.worker_frames_dropped;
+      retired_frames_corrupt_ += s.corrupt;
+    }
+    if (config_.telemetry) {
+      auto& m = config_.telemetry->metrics();
+      const std::string prefix = "cluster.worker." + std::to_string(slot.id);
+      m.counter(prefix + ".deaths").inc();
+    }
+  }
+
+  void tick_frame_metrics() {
+    std::uint64_t sent = retired_frames_sent_;
+    std::uint64_t dropped = retired_frames_dropped_;
+    std::uint64_t corrupt = retired_frames_corrupt_;
+    for (const Slot& slot : slots_) {
+      if (!slot.conn) continue;
+      const FrameStats& s = slot.conn->stats();
+      sent += s.sent;
+      dropped += s.dropped + slot.worker_frames_dropped;
+      corrupt += s.corrupt;
+    }
+    stats_.frames_sent = sent;
+    stats_.frames_dropped = dropped;
+    stats_.frames_corrupt = corrupt;
+    if (m_frames_sent_) m_frames_sent_->set(sent);
+    if (m_frames_dropped_) m_frames_dropped_->set(dropped);
+    // frames_corrupt is inc()'d live by the RX threads.
+  }
+
+  // -- teardown ------------------------------------------------------------
+
+  /// Stops everything, in an order that cannot deadlock or leak: shutdown
+  /// frames (best effort), RX threads, sockets, then child processes (a
+  /// grace period for clean exits, SIGKILL for the rest — a SIGSTOPped
+  /// worker cannot process Shutdown). Idempotent.
+  void cleanup() {
+    std::vector<std::thread> rx_threads;
+    std::vector<pid_t> pids;
+    {
+      std::lock_guard guard(mu_);
+      if (cleaned_up_) return;
+      cleaned_up_ = true;
+      stop_ = true;
+      for (Slot& slot : slots_) {
+        if (slot.state == SlotState::kLive && slot.conn) {
+          slot.conn->send(MsgType::kShutdown, {});
+        }
+        ++slot.incarnation;
+        if (slot.fd.valid()) ::shutdown(slot.fd.get(), SHUT_RDWR);
+        if (slot.rx.joinable()) rx_threads.push_back(std::move(slot.rx));
+        if (slot.pid > 0) pids.push_back(slot.pid);
+      }
+    }
+    for (auto& t : rx_threads) t.join();
+    {
+      std::lock_guard guard(mu_);
+      for (Slot& slot : slots_) {
+        fold_conn_stats(slot);
+        slot.conn.reset();
+        slot.fd.reset();
+        slot.pid = -1;
+        if (slot.state != SlotState::kRetired) slot.state = SlotState::kRetired;
+      }
+      tick_frame_metrics();
+      if (m_workers_alive_) m_workers_alive_->set(0);
+    }
+    listen_fd_.reset();
+
+    // Grace period for clean exits, then SIGKILL stragglers and reap.
+    const auto deadline = Clock::now() + std::chrono::milliseconds(500);
+    std::vector<pid_t>& remaining = pids;
+    while (!remaining.empty() && Clock::now() < deadline) {
+      std::erase_if(remaining, [](pid_t pid) {
+        int status = 0;
+        return ::waitpid(pid, &status, WNOHANG) != 0;
+      });
+      if (!remaining.empty()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    for (const pid_t pid : remaining) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  }
+
+  // -- state ---------------------------------------------------------------
+
+  ClusterConfig config_;
+  std::span<const BigInt> moduli_;
+  std::size_t k_ = 1;
+  std::size_t total_ = 0;
+  std::size_t workers_n_ = 1;
+  std::uint64_t fingerprint_ = 0;
+  std::vector<Subset> subsets_;
+  std::vector<BigInt> products_;  ///< per-subset product-tree roots
+
+  util::net::UniqueFd listen_fd_;
+  std::uint16_t bound_port_ = 0;
+
+  std::mutex mu_;  ///< guards everything below
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;
+  std::deque<Pending> pending_;
+  std::vector<TaskState> tstate_;
+  std::size_t committed_ = 0;  ///< resumed + executed
+  std::size_t respawns_used_ = 0;
+  bool halted_ = false;
+  bool cancelled_ = false;
+  bool stop_ = false;
+  bool cleaned_up_ = false;
+  std::exception_ptr fatal_;
+  std::vector<std::vector<BigInt>> partial_;  ///< per subset, per leaf
+  batchgcd::TaskJournal journal_;
+  ClusterStats stats_;
+  std::uint64_t retired_frames_sent_ = 0;
+  std::uint64_t retired_frames_dropped_ = 0;
+  std::uint64_t retired_frames_corrupt_ = 0;
+
+  obs::Gauge* m_workers_alive_ = nullptr;
+  obs::Counter* m_respawns_ = nullptr;
+  obs::Counter* m_workers_lost_ = nullptr;
+  obs::Counter* m_tasks_executed_ = nullptr;
+  obs::Counter* m_tasks_resumed_ = nullptr;
+  obs::Counter* m_tasks_reassigned_ = nullptr;
+  obs::Counter* m_task_timeouts_ = nullptr;
+  obs::Counter* m_quarantined_ = nullptr;
+  obs::Counter* m_attempts_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_frames_sent_ = nullptr;
+  obs::Counter* m_frames_dropped_ = nullptr;
+  obs::Counter* m_frames_corrupt_ = nullptr;
+  obs::Histogram* m_rtt_us_ = nullptr;
+};
+
+}  // namespace
+
+batchgcd::BatchGcdResult batch_gcd_cluster(std::span<const BigInt> moduli,
+                                           const ClusterConfig& config,
+                                           ClusterStats* stats) {
+  if (config.worker_binary.empty()) {
+    throw ClusterError("cluster: worker_binary not configured");
+  }
+  if (::access(config.worker_binary.c_str(), X_OK) != 0) {
+    throw ClusterError("cluster: worker binary not executable: " +
+                       config.worker_binary);
+  }
+  ProcessCoordinator coordinator(moduli, config);
+  return coordinator.run(stats);
+}
+
+#else  // !WEAKKEYS_HAVE_NET
+
+batchgcd::BatchGcdResult batch_gcd_cluster(std::span<const bn::BigInt>,
+                                           const ClusterConfig&,
+                                           ClusterStats*) {
+  throw ClusterError("cluster: not supported on this platform");
+}
+
+#endif
+
+}  // namespace weakkeys::cluster

@@ -1,0 +1,156 @@
+// Multi-process batch-GCD cluster coordinator.
+//
+// Where batchgcd::batch_gcd_coordinated() *simulates* a cluster with
+// threads and injected outcomes, this coordinator makes the failure domain
+// real: it fork/execs N worker processes (tools/gcd_worker), distributes
+// the k^2 (product x subset) remainder-tree tasks over the framed TCP
+// protocol in cluster/protocol.hpp, and survives actual process death —
+// a SIGKILLed worker is a closed socket, a SIGSTOPped worker is a process
+// that silently stops answering heartbeats, a garbled frame is bytes that
+// fail CRC on the wire.
+//
+// Failure matrix -> policy:
+//
+//   worker exits / SIGKILL        socket EOF -> requeue its in-flight task,
+//                                 respawn within the restart budget
+//   worker wedged / SIGSTOP       heartbeat Pongs stop -> after
+//                                 heartbeat_misses intervals: SIGKILL,
+//                                 requeue, respawn (budget permitting)
+//   frame dropped or garbled      receiver CRC rejects / nothing arrives ->
+//                                 per-task timeout requeues the assignment
+//   corrupt result content        divisor re-verified on receipt; bad
+//                                 results quarantined (never folded), the
+//                                 sender accumulates strikes and is demoted
+//                                 (killed + respawned) at the strike limit
+//   task keeps failing            capped-exponential retry with jitter
+//                                 (util::RetryPolicy — the same schedule as
+//                                 the in-process coordinator), preferring a
+//                                 different worker each time
+//   restart budget exhausted      the slot retires; the run degrades to the
+//                                 remaining workers and fails only when no
+//                                 worker is left with tasks still pending
+//   coordinator killed            every committed task is in the CRC'd
+//                                 resume journal (batchgcd::TaskJournal,
+//                                 same file format as the in-process
+//                                 coordinator) — rerun to resume
+//
+// Verified divisor claims are folded commutatively, so the output is
+// element-for-element identical to batch_gcd() under any fault schedule —
+// the chaos e2e test pins exactly that.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "obs/telemetry.hpp"
+#include "util/cancellation.hpp"
+#include "util/fault_injector.hpp"
+#include "util/retry.hpp"
+
+namespace weakkeys::cluster {
+
+struct ClusterConfig {
+  /// Subset count k; k^2 tasks. Clamped to [1, moduli.size()].
+  std::size_t subsets = 4;
+  /// Worker processes to fork/exec (clamped to >= 1).
+  std::size_t workers = 2;
+  /// Path to the gcd_worker binary. Required; start fails without it.
+  std::string worker_binary;
+  /// Listen address for worker connections (loopback: this is a local
+  /// process cluster, not a network service).
+  std::string bind_address = "127.0.0.1";
+  /// Listen port; 0 = kernel-assigned ephemeral.
+  std::uint16_t port = 0;
+  /// Per-task retry schedule — the same policy type (and therefore delay
+  /// curve) as the in-process coordinator.
+  util::RetryPolicy retry;
+  /// An assignment not answered within this deadline is requeued (the
+  /// worker is left alive — slow is not dead; dead is the heartbeat's
+  /// call).
+  std::chrono::milliseconds task_timeout{10000};
+  /// Ping cadence per worker.
+  std::chrono::milliseconds heartbeat_interval{100};
+  /// Pongs may lag this many intervals before the worker is declared dead.
+  std::size_t heartbeat_misses = 10;
+  /// Total worker respawns allowed across the whole run (not per slot).
+  /// When exhausted, dead slots retire and the run degrades.
+  std::size_t restart_budget = 8;
+  /// Verification failures tolerated from one worker incarnation before it
+  /// is demoted (killed and respawned, budget permitting).
+  std::size_t quarantine_strikes = 3;
+  /// A spawned worker must connect and complete the handshake within this
+  /// deadline or it is killed and respawned (budget permitting).
+  std::chrono::milliseconds spawn_timeout{10000};
+  /// Resume journal path; empty disables journaling. Same file format as
+  /// the in-process coordinator — runs resume across engines.
+  std::string checkpoint_path;
+  bool remove_checkpoint_on_success = true;
+  /// Test hook: stop dispatching once this many tasks committed this run
+  /// and throw batchgcd::CoordinatorInterrupted (journal retained).
+  std::size_t halt_after_tasks = 0;
+  /// Cooperative cancellation; polled every supervisor tick.
+  const util::CancellationToken* cancel = nullptr;
+  /// Fault source for the process tier (SIGKILL/SIGSTOP per assignment)
+  /// and the coordinator's outbound frame tier. Worker-side outbound frame
+  /// faults are configured separately via worker argv (see
+  /// worker_frame_faults).
+  const util::FaultInjector* injector = nullptr;
+  /// When true, the injector's frame-fault probabilities are forwarded to
+  /// workers on their command line, so result frames suffer the same lossy
+  /// link as assignment frames.
+  bool worker_frame_faults = true;
+  std::function<void(const std::string&)> log;
+  /// Telemetry: cluster.* counters/gauges mirroring ClusterStats, a
+  /// cluster.heartbeat_rtt_us histogram, and per-worker
+  /// cluster.worker.<w>.* instruments. Must outlive the call.
+  obs::Telemetry* telemetry = nullptr;
+};
+
+struct ClusterStats {
+  std::size_t subsets = 0;
+  std::size_t tasks = 0;
+  std::size_t workers = 0;          ///< configured slot count
+  std::size_t workers_spawned = 0;  ///< all spawns, initial + respawns
+  std::size_t respawns = 0;         ///< spawns beyond each slot's first
+  std::size_t workers_lost = 0;     ///< deaths observed (EOF, heartbeat,
+                                    ///< spawn timeout, demotion)
+  std::size_t heartbeat_deaths = 0;  ///< of which: declared via heartbeat
+  std::size_t workers_demoted = 0;   ///< of which: quarantine strike-outs
+  std::size_t workers_retired = 0;   ///< slots given up (budget exhausted)
+  std::size_t attempts = 0;          ///< assignments sent
+  std::size_t retries = 0;           ///< assignments beyond a task's first
+  std::size_t task_timeouts = 0;     ///< assignments requeued by deadline
+  std::size_t tasks_reassigned = 0;  ///< in-flight work voided by a death
+  std::size_t results_quarantined = 0;  ///< results failing verification
+  std::size_t sigkills_injected = 0;
+  std::size_t sigstops_injected = 0;
+  std::size_t tasks_resumed = 0;   ///< from the journal, not re-run
+  std::size_t tasks_executed = 0;  ///< committed by this run's workers
+  std::uint64_t frames_sent = 0;     ///< coordinator-side frames written
+  std::uint64_t frames_dropped = 0;  ///< injected drops, both directions
+  std::uint64_t frames_corrupt = 0;  ///< frames rejected by CRC on receipt
+  std::uint64_t max_heartbeat_rtt_us = 0;
+};
+
+/// The cluster could not finish: no workers left, a task exhausted its
+/// retry budget, or setup failed (bind, spawn, missing binary).
+class ClusterError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Runs the k-subset batch GCD across real worker processes. Output is
+/// element-for-element identical to batch_gcd() under any fault schedule.
+/// Resumes from `config.checkpoint_path` (shared journal format with
+/// batch_gcd_coordinated). Throws util::Cancelled on cancellation (journal
+/// retained), batchgcd::CoordinatorInterrupted from the halt_after_tasks
+/// hook, ClusterError when the run cannot complete.
+batchgcd::BatchGcdResult batch_gcd_cluster(std::span<const bn::BigInt> moduli,
+                                           const ClusterConfig& config,
+                                           ClusterStats* stats = nullptr);
+
+}  // namespace weakkeys::cluster

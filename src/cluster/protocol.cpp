@@ -1,0 +1,263 @@
+#include "cluster/protocol.hpp"
+
+#include <thread>
+
+#include "core/binary_io.hpp"
+#include "util/net.hpp"
+
+namespace weakkeys::cluster {
+
+namespace {
+
+/// Wraps decode bodies: any short read inside `fn` (BufferReader throws)
+/// yields nullopt instead of an exception escaping the RX loop.
+template <typename T, typename Fn>
+std::optional<T> decode_guard(const std::vector<std::uint8_t>& body, Fn fn) {
+  try {
+    core::BufferReader r(body);
+    T msg = fn(r);
+    if (!r.exhausted()) return std::nullopt;  // trailing garbage
+    return msg;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+// -- message codecs ---------------------------------------------------------
+
+std::vector<std::uint8_t> HelloMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(worker_id);
+  w.u64(pid);
+  w.u32(version);
+  return w.data();
+}
+
+std::optional<HelloMsg> HelloMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<HelloMsg>(body, [](core::BufferReader& r) {
+    HelloMsg m;
+    m.worker_id = r.u32();
+    m.pid = r.u64();
+    m.version = r.u32();
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> HelloAckMsg::encode() const {
+  core::BufferWriter w;
+  w.u64(fingerprint);
+  w.u32(heartbeat_interval_ms);
+  return w.data();
+}
+
+std::optional<HelloAckMsg> HelloAckMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<HelloAckMsg>(body, [](core::BufferReader& r) {
+    HelloAckMsg m;
+    m.fingerprint = r.u64();
+    m.heartbeat_interval_ms = r.u32();
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> SubsetDataMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(subset);
+  w.u32(static_cast<std::uint32_t>(moduli.size()));
+  for (const auto& n : moduli) w.bytes(n.to_bytes());
+  return w.data();
+}
+
+std::optional<SubsetDataMsg> SubsetDataMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<SubsetDataMsg>(body, [](core::BufferReader& r) {
+    SubsetDataMsg m;
+    m.subset = r.u32();
+    const std::uint32_t count = r.u32();
+    m.moduli.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      m.moduli.push_back(bn::BigInt::from_bytes(r.bytes()));
+    }
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> ProductDataMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(subset);
+  w.bytes(product.to_bytes());
+  return w.data();
+}
+
+std::optional<ProductDataMsg> ProductDataMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<ProductDataMsg>(body, [](core::BufferReader& r) {
+    ProductDataMsg m;
+    m.subset = r.u32();
+    m.product = bn::BigInt::from_bytes(r.bytes());
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> TaskAssignMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(task);
+  w.u32(product_subset);
+  w.u32(leaf_subset);
+  w.u32(attempt);
+  return w.data();
+}
+
+std::optional<TaskAssignMsg> TaskAssignMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<TaskAssignMsg>(body, [](core::BufferReader& r) {
+    TaskAssignMsg m;
+    m.task = r.u32();
+    m.product_subset = r.u32();
+    m.leaf_subset = r.u32();
+    m.attempt = r.u32();
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> TaskResultMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(task);
+  w.u32(worker_id);
+  w.u32(static_cast<std::uint32_t>(claims.size()));
+  for (const auto& claim : claims) {
+    w.u32(claim.leaf);
+    w.bytes(claim.divisor.to_bytes());
+  }
+  return w.data();
+}
+
+std::optional<TaskResultMsg> TaskResultMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<TaskResultMsg>(body, [](core::BufferReader& r) {
+    TaskResultMsg m;
+    m.task = r.u32();
+    m.worker_id = r.u32();
+    const std::uint32_t count = r.u32();
+    m.claims.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      batchgcd::TaskClaim claim;
+      claim.leaf = r.u32();
+      claim.divisor = bn::BigInt::from_bytes(r.bytes());
+      m.claims.push_back(std::move(claim));
+    }
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> PingMsg::encode() const {
+  core::BufferWriter w;
+  w.u64(seq);
+  w.i64(t_send_ns);
+  return w.data();
+}
+
+std::optional<PingMsg> PingMsg::decode(const std::vector<std::uint8_t>& body) {
+  return decode_guard<PingMsg>(body, [](core::BufferReader& r) {
+    PingMsg m;
+    m.seq = r.u64();
+    m.t_send_ns = r.i64();
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> PongMsg::encode() const {
+  core::BufferWriter w;
+  w.u64(seq);
+  w.i64(t_send_ns);
+  w.u32(tasks_done);
+  w.u64(frames_sent);
+  w.u64(frames_dropped);
+  return w.data();
+}
+
+std::optional<PongMsg> PongMsg::decode(const std::vector<std::uint8_t>& body) {
+  return decode_guard<PongMsg>(body, [](core::BufferReader& r) {
+    PongMsg m;
+    m.seq = r.u64();
+    m.t_send_ns = r.i64();
+    m.tasks_done = r.u32();
+    m.frames_sent = r.u64();
+    m.frames_dropped = r.u64();
+    return m;
+  });
+}
+
+// -- framed connection ------------------------------------------------------
+
+FrameConn::FrameConn(int fd, std::uint64_t stream,
+                     const util::FaultInjector* injector)
+    : fd_(fd), stream_(stream), injector_(injector) {}
+
+bool FrameConn::send(MsgType type, const std::vector<std::uint8_t>& body,
+                     bool injectable) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<std::uint8_t>(type));
+  payload.insert(payload.end(), body.begin(), body.end());
+  const std::uint32_t crc = core::crc32(payload);
+
+  std::lock_guard guard(tx_mu_);
+  // The injector sequence advances only on injectable frames, so the fault
+  // schedule for the n-th data frame does not shift with heartbeat traffic.
+  const util::FrameFault fault =
+      (injectable && injector_) ? injector_->decide_frame(stream_, tx_seq_++)
+                                : util::FrameFault{};
+  if (fault.drop) {
+    ++stats_.dropped;
+    return true;  // a dropped frame is invisible to the sender too
+  }
+  if (fault.garble) {
+    // Flip one payload byte after the CRC: the receiver must reject it.
+    payload[payload.size() / 2] ^= 0xa5;
+    ++stats_.garbled;
+  }
+  if (fault.delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
+    ++stats_.delayed;
+  }
+
+  core::BufferWriter header;
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(crc);
+  if (!util::net::write_full(fd_, header.data().data(), header.data().size()))
+    return false;
+  if (!util::net::write_full(fd_, payload.data(), payload.size()))
+    return false;
+  ++stats_.sent;
+  return true;
+}
+
+RecvStatus FrameConn::recv(Frame* out, std::chrono::milliseconds timeout) {
+  if (!util::net::wait_readable(fd_, timeout)) return RecvStatus::kTimeout;
+
+  std::uint8_t header[8];
+  if (!util::net::read_full(fd_, header, sizeof header))
+    return RecvStatus::kClosed;
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+  std::memcpy(&length, header, 4);
+  std::memcpy(&crc, header + 4, 4);
+  if (length == 0 || length > kMaxFrameBytes) return RecvStatus::kClosed;
+
+  std::vector<std::uint8_t> payload(length);
+  if (!util::net::read_full(fd_, payload.data(), payload.size()))
+    return RecvStatus::kClosed;
+  if (core::crc32(payload) != crc) {
+    ++stats_.corrupt;
+    return RecvStatus::kCorrupt;
+  }
+  out->type = static_cast<MsgType>(payload[0]);
+  out->body.assign(payload.begin() + 1, payload.end());
+  return RecvStatus::kOk;
+}
+
+}  // namespace weakkeys::cluster

@@ -1,0 +1,224 @@
+// Wire protocol for the multi-process batch-GCD cluster.
+//
+// The coordinator and each worker speak length-prefixed, CRC-framed binary
+// messages over a TCP socket (127.0.0.1 — this models the paper's cluster
+// interconnect, it is not an internet-facing service):
+//
+//   frame: u32 payload-length | u32 crc32(payload) | payload
+//   payload: u8 message-type | message body (core::BufferWriter encoding)
+//
+// The CRC is not decorative: the fault injector's frame tier garbles
+// payload bytes *after* the checksum is computed, so a corrupted frame
+// reaches the receiver and must be rejected there. FrameConn::recv()
+// discards CRC-mismatched frames (reporting them as kCorrupt so the caller
+// can count and react) and keeps the connection alive — recovery happens at
+// the task layer via timeouts and reassignment, exactly as a real lossy
+// transport would force.
+//
+// Message flow:
+//
+//   worker -> coordinator   Hello        (identify: worker id, pid)
+//   coordinator -> worker   HelloAck     (corpus fingerprint, heartbeat rate)
+//   coordinator -> worker   SubsetData   (leaf subset a: the moduli)
+//   coordinator -> worker   ProductData  (subset b's product-tree root)
+//   coordinator -> worker   TaskAssign   (run task: product b x subset a)
+//   worker -> coordinator   TaskResult   (verified upstream: divisor claims)
+//   coordinator -> worker   Ping         (liveness probe, RTT timestamped)
+//   worker -> coordinator   Pong         (echo + worker-side frame stats)
+//   coordinator -> worker   Shutdown     (drain and exit 0)
+//
+// Subset moduli and product roots are sent once per (worker incarnation,
+// subset) and cached worker-side, so the k^2 TaskAssign frames stay tiny —
+// the same data-placement shape as the paper's cluster, where each node
+// holds its subset locally and products move between nodes.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "batchgcd/task_journal.hpp"
+#include "bn/bigint.hpp"
+#include "util/fault_injector.hpp"
+
+namespace weakkeys::cluster {
+
+/// Bumped on any incompatible frame/message change; Hello carries it and
+/// the coordinator refuses mismatched workers.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on a frame payload; a length prefix beyond this means the
+/// stream is garbage (or hostile) and the connection is dropped rather
+/// than letting read_full() wait on gigabytes that will never arrive.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 28;  // 256 MiB
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kSubsetData = 3,
+  kProductData = 4,
+  kTaskAssign = 5,
+  kTaskResult = 6,
+  kPing = 7,
+  kPong = 8,
+  kShutdown = 9,
+};
+
+struct Frame {
+  MsgType type = MsgType::kHello;
+  std::vector<std::uint8_t> body;  ///< payload minus the type byte
+};
+
+// -- messages ---------------------------------------------------------------
+// Each message encodes its body with core::BufferWriter (fixed-width
+// little-endian) and decodes with decode(), returning nullopt on any
+// malformed body (short reads throw inside and are caught — a frame that
+// passed the CRC can still be nonsense if the sender is broken).
+
+struct HelloMsg {
+  std::uint32_t worker_id = 0;
+  std::uint64_t pid = 0;
+  std::uint32_t version = kProtocolVersion;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<HelloMsg> decode(const std::vector<std::uint8_t>& body);
+};
+
+struct HelloAckMsg {
+  std::uint64_t fingerprint = 0;  ///< corpus identity (sanity check)
+  std::uint32_t heartbeat_interval_ms = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<HelloAckMsg> decode(
+      const std::vector<std::uint8_t>& body);
+};
+
+struct SubsetDataMsg {
+  std::uint32_t subset = 0;  ///< leaf subset index a
+  std::vector<bn::BigInt> moduli;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<SubsetDataMsg> decode(
+      const std::vector<std::uint8_t>& body);
+};
+
+struct ProductDataMsg {
+  std::uint32_t subset = 0;  ///< product subset index b
+  bn::BigInt product;        ///< root of subset b's product tree
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<ProductDataMsg> decode(
+      const std::vector<std::uint8_t>& body);
+};
+
+struct TaskAssignMsg {
+  std::uint32_t task = 0;            ///< task id = b * k + a
+  std::uint32_t product_subset = 0;  ///< b
+  std::uint32_t leaf_subset = 0;     ///< a
+  std::uint32_t attempt = 0;         ///< 0-based, for logging/tracing
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<TaskAssignMsg> decode(
+      const std::vector<std::uint8_t>& body);
+};
+
+struct TaskResultMsg {
+  std::uint32_t task = 0;
+  std::uint32_t worker_id = 0;
+  std::vector<batchgcd::TaskClaim> claims;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<TaskResultMsg> decode(
+      const std::vector<std::uint8_t>& body);
+};
+
+struct PingMsg {
+  std::uint64_t seq = 0;
+  std::int64_t t_send_ns = 0;  ///< coordinator steady-clock, echoed back
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<PingMsg> decode(const std::vector<std::uint8_t>& body);
+};
+
+struct PongMsg {
+  std::uint64_t seq = 0;
+  std::int64_t t_send_ns = 0;      ///< echoed from the Ping
+  std::uint32_t tasks_done = 0;    ///< tasks this incarnation completed
+  std::uint64_t frames_sent = 0;   ///< worker-side transport stats,
+  std::uint64_t frames_dropped = 0;  ///< surfaced in cluster.* metrics
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<PongMsg> decode(const std::vector<std::uint8_t>& body);
+};
+
+// Shutdown has an empty body.
+
+// -- framed connection ------------------------------------------------------
+
+/// What recv() observed. kCorrupt keeps the connection usable — the frame
+/// was consumed and discarded; kClosed/kError end it.
+enum class RecvStatus : std::uint8_t {
+  kOk = 0,
+  kTimeout,  ///< nothing arrived within the deadline
+  kCorrupt,  ///< a whole frame arrived but its CRC did not match
+  kClosed,   ///< EOF, oversized length prefix, or a hard socket error
+};
+
+/// Cumulative transport counters for one connection. Reads are racy-but-
+/// monotonic (plain loads mirrored into metrics); exactness is not needed.
+struct FrameStats {
+  std::uint64_t sent = 0;     ///< frames actually written
+  std::uint64_t dropped = 0;  ///< frames the injector swallowed
+  std::uint64_t garbled = 0;  ///< frames the injector corrupted on send
+  std::uint64_t delayed = 0;  ///< frames the injector delayed
+  std::uint64_t corrupt = 0;  ///< received frames rejected by CRC
+};
+
+/// One framed, fault-injectable connection endpoint. send() is thread-safe
+/// (the worker's RX thread answers pings while its compute thread sends
+/// results); recv() must only be called from one thread at a time. Does not
+/// own the fd.
+class FrameConn {
+ public:
+  /// `stream` seeds the injector's frame tier: each direction of each
+  /// worker connection is its own stream, so fault schedules are stable
+  /// per-direction regardless of traffic on other connections.
+  FrameConn(int fd, std::uint64_t stream,
+            const util::FaultInjector* injector = nullptr);
+
+  /// Frames and writes one message. When `injectable`, the injector is
+  /// consulted first: a drop decision skips the write entirely (the
+  /// receiver sees nothing), a garble flips a payload byte *after* the CRC
+  /// is computed, a delay sleeps before writing. Returns false only on a
+  /// hard socket error — an injected drop "succeeds" from the sender's
+  /// point of view, exactly like a lost packet.
+  ///
+  /// Callers mark only data-plane frames (TaskAssign, TaskResult)
+  /// injectable. Control frames (handshake, cache fills, heartbeats,
+  /// shutdown) are sent clean: a dropped data frame is recovered by the
+  /// task timeout + reassignment machinery, but a dropped Hello would only
+  /// replay deterministically into an identical drop on every respawn and
+  /// wedge the handshake — there is no retry layer above it to exercise.
+  bool send(MsgType type, const std::vector<std::uint8_t>& body,
+            bool injectable = false);
+
+  /// Reads the next frame. Blocks up to `timeout` for the *first* byte
+  /// (negative = forever); once a length prefix arrives the rest of the
+  /// frame is read to completion.
+  RecvStatus recv(Frame* out, std::chrono::milliseconds timeout);
+
+  [[nodiscard]] const FrameStats& stats() const { return stats_; }
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  std::uint64_t stream_;
+  std::uint64_t tx_seq_ = 0;
+  const util::FaultInjector* injector_;
+  std::mutex tx_mu_;
+  FrameStats stats_;
+};
+
+}  // namespace weakkeys::cluster

@@ -1,0 +1,279 @@
+#include "cluster/worker.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "batchgcd/product_tree.hpp"
+#include "batchgcd/remainder_tree.hpp"
+#include "cluster/protocol.hpp"
+#include "util/net.hpp"
+
+namespace weakkeys::cluster {
+
+#if defined(WEAKKEYS_HAVE_NET)
+
+namespace {
+
+using bn::BigInt;
+
+/// Stream id for the worker -> coordinator direction of worker `w`'s
+/// connection (the coordinator uses 2*w for its own direction).
+std::uint64_t tx_stream(std::uint32_t worker_id) {
+  return 2ull * worker_id + 1;
+}
+
+class Worker {
+ public:
+  explicit Worker(const WorkerConfig& config)
+      : config_(config), injector_(config.faults) {}
+
+  int run() {
+    util::net::UniqueFd fd(util::net::connect_tcp(
+        config_.coordinator_address, config_.port, config_.connect_timeout));
+    if (!fd.valid()) {
+      log("worker " + std::to_string(config_.worker_id) +
+          ": cannot connect to coordinator");
+      return kWorkerExitConnect;
+    }
+    conn_ = std::make_unique<FrameConn>(
+        fd.get(), tx_stream(config_.worker_id),
+        config_.faults.any_frame_faults() ? &injector_ : nullptr);
+
+    HelloMsg hello;
+    hello.worker_id = config_.worker_id;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    if (!conn_->send(MsgType::kHello, hello.encode()))
+      return kWorkerExitProtocol;
+    if (!await_hello_ack()) return kWorkerExitProtocol;
+
+    std::thread compute([this] { compute_loop(); });
+    const int code = rx_loop();
+    {
+      std::lock_guard guard(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    compute.join();
+    return code;
+  }
+
+ private:
+  void log(const std::string& message) const {
+    if (config_.log) config_.log(message);
+  }
+
+  bool await_hello_ack() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + config_.connect_timeout;
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) return false;
+      Frame frame;
+      switch (conn_->recv(&frame, left)) {
+        case RecvStatus::kOk:
+          if (frame.type != MsgType::kHelloAck) return false;
+          return HelloAckMsg::decode(frame.body).has_value();
+        case RecvStatus::kCorrupt:
+          continue;  // control frames are sent clean; be tolerant anyway
+        case RecvStatus::kTimeout:
+        case RecvStatus::kClosed:
+          return false;
+      }
+    }
+  }
+
+  /// The RX loop: answers pings inline (so liveness reflects the process,
+  /// not the compute queue), caches subset data, queues task assignments.
+  int rx_loop() {
+    for (;;) {
+      Frame frame;
+      switch (conn_->recv(&frame, std::chrono::milliseconds(500))) {
+        case RecvStatus::kTimeout:
+        case RecvStatus::kCorrupt:
+          // Corrupt = an injected garble consumed whole; the task layer
+          // (coordinator-side timeout) owns recovery. Keep serving.
+          continue;
+        case RecvStatus::kClosed:
+          log("worker " + std::to_string(config_.worker_id) +
+              ": coordinator connection lost");
+          return kWorkerExitProtocol;
+        case RecvStatus::kOk:
+          break;
+      }
+      switch (frame.type) {
+        case MsgType::kPing: {
+          if (const auto ping = PingMsg::decode(frame.body)) {
+            PongMsg pong;
+            pong.seq = ping->seq;
+            pong.t_send_ns = ping->t_send_ns;
+            pong.tasks_done = tasks_done_.load(std::memory_order_relaxed);
+            pong.frames_sent = conn_->stats().sent;
+            pong.frames_dropped = conn_->stats().dropped;
+            if (!conn_->send(MsgType::kPong, pong.encode()))
+              return kWorkerExitProtocol;
+          }
+          break;
+        }
+        case MsgType::kSubsetData: {
+          if (auto msg = SubsetDataMsg::decode(frame.body)) {
+            std::lock_guard guard(mu_);
+            subsets_[msg->subset] = std::move(msg->moduli);
+            trees_.erase(msg->subset);
+          }
+          break;
+        }
+        case MsgType::kProductData: {
+          if (auto msg = ProductDataMsg::decode(frame.body)) {
+            std::lock_guard guard(mu_);
+            products_[msg->subset] = std::move(msg->product);
+          }
+          break;
+        }
+        case MsgType::kTaskAssign: {
+          if (const auto msg = TaskAssignMsg::decode(frame.body)) {
+            {
+              std::lock_guard guard(mu_);
+              queue_.push_back(*msg);
+            }
+            cv_.notify_one();
+          }
+          break;
+        }
+        case MsgType::kShutdown:
+          return kWorkerExitOk;
+        default:
+          break;  // unknown/unexpected types are ignored, not fatal
+      }
+    }
+  }
+
+  void compute_loop() {
+    for (;;) {
+      TaskAssignMsg assign;
+      {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        assign = queue_.front();
+        queue_.pop_front();
+      }
+      execute(assign);
+    }
+  }
+
+  void execute(const TaskAssignMsg& assign) {
+    std::vector<BigInt> moduli;
+    BigInt product;
+    std::shared_ptr<batchgcd::ProductTree> tree;
+    {
+      std::lock_guard guard(mu_);
+      const auto subset_it = subsets_.find(assign.leaf_subset);
+      const auto product_it = products_.find(assign.product_subset);
+      if (subset_it == subsets_.end() || product_it == products_.end()) {
+        // A dropped/garbled cache fill upstream of this assignment; nothing
+        // to compute. The coordinator's task timeout requeues it (and the
+        // refreshed cache fill comes with the next assignment).
+        log("worker " + std::to_string(config_.worker_id) + ": task " +
+            std::to_string(assign.task) + " references missing subset data");
+        return;
+      }
+      moduli = subset_it->second;
+      product = product_it->second;
+      const auto tree_it = trees_.find(assign.leaf_subset);
+      if (tree_it != trees_.end()) tree = tree_it->second;
+    }
+    if (!tree) {
+      tree = std::make_shared<batchgcd::ProductTree>(moduli);
+      std::lock_guard guard(mu_);
+      trees_[assign.leaf_subset] = tree;
+    }
+
+    const util::FaultDecision decision =
+        config_.faults.any_faults()
+            ? injector_.decide(assign.task, assign.attempt)
+            : util::FaultDecision{};
+    if (decision.kind == util::FaultKind::kCrash) {
+      // A real mid-task crash: the coordinator sees socket EOF, requeues
+      // the task, and respawns this slot.
+      ::_exit(42);
+    }
+    if (decision.kind == util::FaultKind::kStraggle) {
+      // Sleep past the coordinator's task deadline, then send the (by now
+      // reassigned) result anyway — late results must be safe to receive.
+      std::this_thread::sleep_for(config_.straggle_sleep);
+    }
+
+    const std::vector<BigInt> rem =
+        batchgcd::remainder_tree_squares(*tree, product);
+    const bool diagonal = assign.product_subset == assign.leaf_subset;
+    const BigInt one(1);
+    TaskResultMsg result;
+    result.task = assign.task;
+    result.worker_id = config_.worker_id;
+    for (std::size_t i = 0; i < moduli.size(); ++i) {
+      const BigInt& n = moduli[i];
+      BigInt g = diagonal ? bn::gcd(n, rem[i] / n) : bn::gcd(n, rem[i] % n);
+      if (g > one) {
+        result.claims.push_back({static_cast<std::uint32_t>(i), std::move(g)});
+      }
+    }
+    if (decision.kind == util::FaultKind::kCorruptResult && !moduli.empty()) {
+      // Same guaranteed-rejectable corruption as the in-process simulation:
+      // n-1 never divides n for n > 2, so verification must catch it.
+      const std::size_t slot = decision.corrupt_slot % moduli.size();
+      const BigInt& n = moduli[slot];
+      if (n > BigInt(2)) {
+        const BigInt bogus = n - one;
+        const auto it = std::find_if(
+            result.claims.begin(), result.claims.end(),
+            [slot](const batchgcd::TaskClaim& c) { return c.leaf == slot; });
+        if (it != result.claims.end()) {
+          it->divisor = bogus;
+        } else {
+          result.claims.push_back({static_cast<std::uint32_t>(slot), bogus});
+        }
+      }
+    }
+    tasks_done_.fetch_add(1, std::memory_order_relaxed);
+    // Injectable: a dropped or garbled result is exactly the loss the
+    // coordinator's timeout/retry machinery must absorb.
+    conn_->send(MsgType::kTaskResult, result.encode(), /*injectable=*/true);
+  }
+
+  WorkerConfig config_;
+  util::FaultInjector injector_;
+  std::unique_ptr<FrameConn> conn_;
+
+  std::mutex mu_;  ///< guards queue_, caches, stop_
+  std::condition_variable cv_;
+  std::deque<TaskAssignMsg> queue_;
+  bool stop_ = false;
+  std::map<std::uint32_t, std::vector<BigInt>> subsets_;
+  std::map<std::uint32_t, BigInt> products_;
+  std::map<std::uint32_t, std::shared_ptr<batchgcd::ProductTree>> trees_;
+  std::atomic<std::uint32_t> tasks_done_{0};
+};
+
+}  // namespace
+
+int run_worker(const WorkerConfig& config) { return Worker(config).run(); }
+
+#else  // !WEAKKEYS_HAVE_NET
+
+int run_worker(const WorkerConfig&) { return kWorkerExitConnect; }
+
+#endif
+
+}  // namespace weakkeys::cluster

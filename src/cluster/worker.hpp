@@ -1,0 +1,56 @@
+// The cluster worker: one OS process executing remainder-tree tasks on
+// behalf of cluster::ProcessCoordinator. tools/gcd_worker.cpp is a thin
+// argv shim over run_worker(); tests can also run a worker in-process
+// (in a thread) to exercise the protocol without forking.
+//
+// Thread structure: the RX loop (the calling thread) answers Pings
+// immediately and queues TaskAssigns; a separate compute thread pops tasks,
+// builds/caches subset product trees, runs the remainder tree, and sends
+// TaskResults. Liveness is therefore real: a SIGSTOPped worker stops
+// answering pings because the whole process is frozen, not because a flag
+// was set — the coordinator's heartbeat detector has to notice on its own.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/fault_injector.hpp"
+
+namespace weakkeys::cluster {
+
+struct WorkerConfig {
+  std::string coordinator_address = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint32_t worker_id = 0;
+  std::chrono::milliseconds connect_timeout{10000};
+  /// Fault injection, worker side. Frame tier applies to the worker's
+  /// *outbound* frames (the coordinator injects its own side; each end
+  /// garbles only what it sends, like a real lossy link). The thread-tier
+  /// probabilities make the simulated outcomes real: kCrash is an _exit()
+  /// mid-task (socket EOF at the coordinator), kStraggle sleeps past the
+  /// task deadline then sends the late result anyway, kCorruptResult ships
+  /// a divisor that cannot divide its modulus (the coordinator's
+  /// re-verification must quarantine it).
+  util::FaultConfig faults;
+  /// How long a straggling task sleeps; meaningful only with
+  /// straggle_probability > 0. The coordinator forwards a value beyond its
+  /// task_timeout so a straggle is always a timeout there.
+  std::chrono::milliseconds straggle_sleep{300};
+  /// Progress/diagnostic sink; null discards (gcd_worker wires stderr).
+  std::function<void(const std::string&)> log;
+};
+
+/// Exit codes mirror process conventions: 0 = clean Shutdown from the
+/// coordinator, nonzero = connection lost or protocol violation (the
+/// coordinator treats any worker exit it did not request as a crash).
+inline constexpr int kWorkerExitOk = 0;
+inline constexpr int kWorkerExitConnect = 2;   ///< could not reach coordinator
+inline constexpr int kWorkerExitProtocol = 3;  ///< handshake/stream failure
+
+/// Connects, handshakes, and serves tasks until Shutdown or disconnect.
+/// Returns the process exit code.
+int run_worker(const WorkerConfig& config);
+
+}  // namespace weakkeys::cluster

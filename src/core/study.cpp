@@ -601,8 +601,53 @@ void Study::factor_moduli() {
   log("running batch GCD over " + std::to_string(moduli.size()) +
       " distinct moduli (k=" + std::to_string(config_.batch_gcd_subsets) + ")");
 
+  // Cluster knobs fall back to the environment so deployments can scale a
+  // study out to worker processes without a code change.
+  std::size_t worker_processes = config_.worker_processes;
+  if (worker_processes == 0) {
+    if (const char* env = std::getenv("WEAKKEYS_WORKERS"))
+      worker_processes = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+  std::string worker_binary = config_.worker_binary;
+  if (worker_binary.empty()) {
+    if (const char* env = std::getenv("WEAKKEYS_WORKER_BIN"))
+      worker_binary = env;
+  }
+  int worker_port = config_.worker_port;
+  if (worker_port < 0) {
+    worker_port = 0;
+    if (const char* env = std::getenv("WEAKKEYS_WORKER_PORT"))
+      worker_port = static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+
   batchgcd::BatchGcdResult result;
-  if (config_.fault_tolerant) {
+  if (worker_processes > 0) {
+    obs::Span gcd_span = telemetry_.tracer().span("gcd.cluster");
+    // Multi-process path: fork/exec gcd_worker processes, supervise them
+    // over TCP with heartbeats and per-task timeouts, survive crashes via
+    // respawn and the same resume journal the in-process coordinator uses.
+    cluster::ClusterConfig cc;
+    cc.subsets = config_.batch_gcd_subsets;
+    cc.workers = worker_processes;
+    cc.worker_binary = worker_binary;
+    cc.port = static_cast<std::uint16_t>(worker_port);
+    cc.checkpoint_path =
+        config_.cache_path.empty() ? "" : config_.cache_path + ".gcdckpt";
+    cc.log = [this](const std::string& message) { log(message); };
+    cc.telemetry = &telemetry_;
+    cc.cancel = resolve_token();
+    util::FaultInjector injector(config_.faults);
+    if (config_.faults.any_faults()) cc.injector = &injector;
+    result = cluster::batch_gcd_cluster(moduli, cc, &cluster_stats_);
+    gcd_span.end();
+    log("cluster: " + std::to_string(cluster_stats_.tasks_executed) +
+        " tasks on " + std::to_string(cluster_stats_.workers_spawned) +
+        " worker processes (" + std::to_string(cluster_stats_.respawns) +
+        " respawns, " + std::to_string(cluster_stats_.workers_lost) +
+        " lost, " + std::to_string(cluster_stats_.results_quarantined) +
+        " quarantined, " + std::to_string(cluster_stats_.tasks_resumed) +
+        " resumed from checkpoint)");
+  } else if (config_.fault_tolerant) {
     obs::Span gcd_span = telemetry_.tracer().span("gcd.coordinated");
     // Fault-tolerant path: verified results, retries, and a checkpoint
     // journal so a killed run resumes with only the unfinished tasks.

@@ -28,6 +28,7 @@
 #include "analysis/timeseries.hpp"
 #include "batchgcd/batch_gcd.hpp"
 #include "batchgcd/coordinator.hpp"
+#include "cluster/process_coordinator.hpp"
 #include "fingerprint/divisor_class.hpp"
 #include "fingerprint/ibm_clique.hpp"
 #include "fingerprint/mitm_detector.hpp"
@@ -65,6 +66,21 @@ struct StudyConfig {
   /// Fault injection for the coordinator (all-zero = no injected faults).
   /// Only meaningful with fault_tolerant = true.
   util::FaultConfig faults;
+  /// Route the factoring stage through the multi-process TCP cluster
+  /// (batch_gcd_cluster): fork/exec this many gcd_worker processes and
+  /// supervise them with heartbeats, per-task timeouts, and respawn.
+  /// 0 falls back to the WEAKKEYS_WORKERS environment variable; still 0
+  /// keeps factoring in-process (fault_tolerant / fast path as above).
+  /// The cluster path implies fault tolerance: it shares the coordinator's
+  /// journal format, so cluster and in-process runs resume each other.
+  std::size_t worker_processes = 0;
+  /// Path to the gcd_worker binary for the cluster path. Empty falls back
+  /// to the WEAKKEYS_WORKER_BIN environment variable; required (and
+  /// validated executable) when worker_processes resolves > 0.
+  std::string worker_binary;
+  /// Listener port for worker connections, 0 for kernel-assigned.
+  /// Negative falls back to WEAKKEYS_WORKER_PORT; still negative means 0.
+  int worker_port = -1;
   /// Scan-noise injection: appends corrupted records to the scanned corpus
   /// after simulation or cache load (the cache always stores the clean
   /// corpus). All-zero = pristine. The ingest quarantine pass absorbs the
@@ -210,6 +226,12 @@ class Study {
   /// Coordinator telemetry (attempts, retries, corruptions caught, ...).
   /// All zero when the fast path ran or the factor cache was hit.
   [[nodiscard]] const batchgcd::CoordinatorStats& coordinator_stats() const;
+  /// Process-cluster telemetry (respawns, heartbeat deaths, quarantined
+  /// results, frame loss, ...). All zero unless the factoring stage ran on
+  /// the multi-process cluster (worker_processes / WEAKKEYS_WORKERS).
+  [[nodiscard]] const cluster::ClusterStats& cluster_stats() const {
+    return cluster_stats_;
+  }
   [[nodiscard]] const std::vector<FactorRecord>& factored() const;
   /// Moduli counted as vulnerable: genuinely weak keys (shared-prime and
   /// clique factorizations; bit errors excluded, as in the paper).
@@ -322,6 +344,7 @@ class Study {
 
   FactorStats stats_;
   batchgcd::CoordinatorStats coordinator_stats_;
+  cluster::ClusterStats cluster_stats_;
   std::vector<FactorRecord> factored_;
   analysis::VulnerableSet vulnerable_;
 

@@ -241,13 +241,20 @@ std::string Monitor::heartbeat_line(const MetricsSnapshot& cur,
     }
   }
 
-  const std::uint64_t total = cur.counter("coordinator.tasks");
+  // The in-process coordinator and the multi-process cluster publish the
+  // same task-accounting shape under different prefixes; whichever one is
+  // running owns the gcd heartbeat.
+  const char* gcd = cur.counter("coordinator.tasks") > 0 ? "coordinator."
+                    : cur.counter("cluster.tasks") > 0   ? "cluster."
+                                                         : nullptr;
+  const std::uint64_t total = gcd ? cur.counter(std::string(gcd) + "tasks") : 0;
   if (total > 0) {
-    const std::uint64_t done = cur.counter("coordinator.tasks_executed") +
-                               cur.counter("coordinator.tasks_resumed");
+    const std::string executed = std::string(gcd) + "tasks_executed";
+    const std::string resumed = std::string(gcd) + "tasks_resumed";
+    const std::uint64_t done =
+        cur.counter(executed) + cur.counter(resumed);
     const std::uint64_t prev_done =
-        prev.counter("coordinator.tasks_executed") +
-        prev.counter("coordinator.tasks_resumed");
+        prev.counter(executed) + prev.counter(resumed);
     const double rate =
         rate_per_sec(counter_delta(prev_done, done), interval_us);
     const double eta = eta_seconds(done, total, rate);
@@ -281,6 +288,15 @@ std::string Monitor::heartbeat_line(const MetricsSnapshot& cur,
   if (workers > 0) {
     std::snprintf(buf, sizeof(buf), " | workers %zu/%zu active", active,
                   workers);
+    line += buf;
+  } else if (cur.counter("cluster.workers") > 0) {
+    // Multi-process cluster: liveness comes from the coordinator's
+    // heartbeat-tracked gauge rather than per-thread attempt counters.
+    const auto alive = cur.gauges.find("cluster.workers_alive");
+    std::snprintf(
+        buf, sizeof(buf), " | workers %lld/%llu alive",
+        alive != cur.gauges.end() ? static_cast<long long>(alive->second) : 0ll,
+        static_cast<unsigned long long>(cur.counter("cluster.workers")));
     line += buf;
   }
 

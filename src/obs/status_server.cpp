@@ -5,10 +5,10 @@
 #include <cstring>
 #include <utility>
 
-#if !defined(_WIN32)
-#include <arpa/inet.h>
+#include "util/net.hpp"
+
+#if defined(WEAKKEYS_HAVE_NET)
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #define WEAKKEYS_HAVE_POSIX_SOCKETS 1
@@ -91,29 +91,17 @@ bool StatusServer::start() {
   const int retries = config_.port == 0 ? 0 : std::max(config_.bind_retries, 0);
   int bound_port = -1;
   for (int offset = 0; offset <= retries; ++offset) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) break;
-    const int one = 1;
-    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(config_.port + offset));
-    if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) !=
-        1) {
-      ::close(fd);
-      break;
-    }
-    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0 &&
-        ::listen(fd, 16) == 0) {
-      sockaddr_in actual{};
-      socklen_t len = sizeof(actual);
-      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
-        bound_port = ntohs(actual.sin_port);
-      }
+    // The listener is CLOEXEC (util::net) so it never leaks into cluster
+    // worker processes forked while the server is up.
+    const int fd = util::net::listen_tcp(
+        config_.bind_address,
+        static_cast<std::uint16_t>(config_.port + offset), 16, &bound_port);
+    if (fd >= 0) {
       listen_fd_ = fd;
       break;
     }
-    ::close(fd);  // EADDRINUSE (or anything else): try the next port
+    if (errno == EINVAL) break;      // bad bind address: retrying won't help
+    // EADDRINUSE (or anything else): try the next port.
   }
 
   if (listen_fd_ < 0 || bound_port < 0) {
@@ -144,13 +132,13 @@ void StatusServer::stop() {
 
 void StatusServer::accept_loop() {
   for (;;) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
     // Short poll timeout so stop() is honored promptly without needing a
     // self-pipe; the cost is one syscall per 50ms while idle.
-    const int ready = ::poll(&pfd, 1, 50);
+    const bool ready =
+        util::net::wait_readable(listen_fd_, std::chrono::milliseconds(50));
     if (stop_requested_.load()) return;
-    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (!ready) continue;
+    const int fd = util::net::accept_cloexec(listen_fd_);
     if (fd < 0) continue;
     handle_connection(fd);
     ::close(fd);
@@ -170,6 +158,7 @@ void StatusServer::handle_connection(int fd) {
     // A cancelled run must not wait out a slow client's recv timeout.
     if (stop_requested_.load()) return;
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));
   }
@@ -186,13 +175,10 @@ void StatusServer::handle_connection(int fd) {
           : std::string("HTTP/1.0 405 Method Not Allowed\r\n"
                         "Content-Length: 0\r\nConnection: close\r\n\r\n");
   requests_.fetch_add(1);
-  std::size_t sent = 0;
-  while (sent < response.size()) {
-    const ssize_t n = ::send(fd, response.data() + sent,
-                             response.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
-  }
+  // write_full resumes partial writes and restarts EINTR — a large /metrics
+  // body (thousands of cluster/worker series) previously risked truncation
+  // when a signal landed mid-send.
+  util::net::write_full(fd, response.data(), response.size());
 }
 
 #else  // !WEAKKEYS_HAVE_POSIX_SOCKETS

@@ -39,4 +39,44 @@ FaultDecision FaultInjector::decide(std::uint64_t task,
   return decision;
 }
 
+ProcessFaultKind FaultInjector::decide_process(std::uint64_t task,
+                                               std::uint64_t attempt) const {
+  if (!config_.any_process_faults()) return ProcessFaultKind::kNone;
+  // A distinct stream constant keeps this tier's rolls independent of
+  // decide()'s for the same (task, attempt).
+  const std::uint64_t key =
+      mix(mix(config_.seed + 0xa0761d6478bd642fULL * (task + 1)) +
+          0xe7037ed1a0b428dbULL * (attempt + 1));
+  Xoshiro256 rng(key);
+  const double roll = rng.uniform();
+  if (roll < config_.sigkill_probability) return ProcessFaultKind::kSigkill;
+  if (roll < config_.sigkill_probability + config_.sigstop_probability) {
+    return ProcessFaultKind::kSigstop;
+  }
+  return ProcessFaultKind::kNone;
+}
+
+FrameFault FaultInjector::decide_frame(std::uint64_t stream,
+                                       std::uint64_t seq) const {
+  FrameFault fault;
+  if (!config_.any_frame_faults()) return fault;
+  const std::uint64_t key =
+      mix(mix(config_.seed + 0x8ebc6af09c88c6e3ULL * (stream + 1)) +
+          0x589965cc75374cc3ULL * (seq + 1));
+  Xoshiro256 rng(key);
+  // drop > garble > delay: at most one fault per frame, like decide().
+  const double roll = rng.uniform();
+  if (roll < config_.frame_drop_probability) {
+    fault.drop = true;
+  } else if (roll <
+             config_.frame_drop_probability + config_.frame_garble_probability) {
+    fault.garble = true;
+  } else if (roll < config_.frame_drop_probability +
+                        config_.frame_garble_probability +
+                        config_.frame_delay_probability) {
+    fault.delay_ms = config_.frame_delay_ms;
+  }
+  return fault;
+}
+
 }  // namespace weakkeys::util

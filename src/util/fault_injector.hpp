@@ -28,9 +28,43 @@ struct FaultConfig {
   /// abort. Orthogonal to the three failure outcomes above.
   double tree_loss_probability = 0.0;
 
+  // -- Process tier (multi-process cluster only) --------------------------
+  // Where the thread coordinator *simulates* crashes and stragglers, the
+  // cluster coordinator makes them real: a kSigkill decision SIGKILLs the
+  // assigned worker process mid-task, a kSigstop SIGSTOPs it so its socket
+  // stalls and heartbeats stop (the liveness detector must notice, not a
+  // flag). Decided per task assignment, like the thread-tier faults.
+
+  /// Per-assignment probability the assigned worker process is SIGKILLed.
+  double sigkill_probability = 0.0;
+  /// Per-assignment probability the assigned worker process is SIGSTOPped
+  /// (a real stalled socket; recovery requires heartbeat-based detection).
+  double sigstop_probability = 0.0;
+
+  // -- Socket frame tier (cluster transport) ------------------------------
+  // Applied per frame at the sending side of a cluster connection.
+
+  /// Probability a frame is silently dropped (never written to the socket).
+  double frame_drop_probability = 0.0;
+  /// Probability a frame's payload is garbled after the CRC is computed —
+  /// the receiver's CRC check must reject it.
+  double frame_garble_probability = 0.0;
+  /// Probability a frame is delayed by `frame_delay_ms` before sending.
+  double frame_delay_probability = 0.0;
+  /// How long a delayed frame waits, in milliseconds.
+  std::uint32_t frame_delay_ms = 5;
+
   [[nodiscard]] bool any_faults() const {
     return crash_probability > 0 || straggle_probability > 0 ||
-           corrupt_probability > 0 || tree_loss_probability > 0;
+           corrupt_probability > 0 || tree_loss_probability > 0 ||
+           any_process_faults() || any_frame_faults();
+  }
+  [[nodiscard]] bool any_process_faults() const {
+    return sigkill_probability > 0 || sigstop_probability > 0;
+  }
+  [[nodiscard]] bool any_frame_faults() const {
+    return frame_drop_probability > 0 || frame_garble_probability > 0 ||
+           frame_delay_probability > 0;
   }
 };
 
@@ -51,6 +85,23 @@ struct FaultDecision {
   std::uint64_t corrupt_slot = 0;
 };
 
+/// A process-tier fault decision: what (if anything) to do to the worker
+/// process a task was just assigned to.
+enum class ProcessFaultKind : std::uint8_t {
+  kNone = 0,
+  kSigkill,  ///< SIGKILL the worker: instant death, socket EOF
+  kSigstop   ///< SIGSTOP the worker: frozen process, stalled socket
+};
+
+/// A frame-tier fault decision for one outbound protocol frame.
+struct FrameFault {
+  bool drop = false;           ///< never write the frame
+  bool garble = false;         ///< flip payload bits after the CRC
+  std::uint32_t delay_ms = 0;  ///< sleep before writing (0 = no delay)
+
+  [[nodiscard]] bool any() const { return drop || garble || delay_ms > 0; }
+};
+
 /// Seeded source of per-(task, attempt) fault decisions. Stateless after
 /// construction; safe to share across worker threads.
 class FaultInjector {
@@ -61,6 +112,18 @@ class FaultInjector {
   /// Pure: the same (seed, task, attempt) always yields the same decision.
   [[nodiscard]] FaultDecision decide(std::uint64_t task,
                                      std::uint64_t attempt) const;
+
+  /// The process-tier outcome for assignment `attempt` of `task` (keyed on
+  /// the task, not the worker, so the schedule is independent of worker
+  /// count — same property as decide()). Drawn from a stream disjoint from
+  /// decide()'s, so enabling one tier never reshuffles the other.
+  [[nodiscard]] ProcessFaultKind decide_process(std::uint64_t task,
+                                                std::uint64_t attempt) const;
+
+  /// The frame-tier outcome for the `seq`-th frame on stream `stream`
+  /// (streams are per connection-direction). Pure in (seed, stream, seq).
+  [[nodiscard]] FrameFault decide_frame(std::uint64_t stream,
+                                        std::uint64_t seq) const;
 
   [[nodiscard]] const FaultConfig& config() const { return config_; }
 

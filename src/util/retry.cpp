@@ -1,0 +1,35 @@
+#include "util/retry.hpp"
+
+#include <algorithm>
+
+#include "util/prng.hpp"
+
+namespace weakkeys::util {
+
+std::chrono::milliseconds RetryPolicy::delay(std::size_t failed_attempt) const {
+  if (base.count() <= 0) return std::min(std::chrono::milliseconds(0), cap);
+  auto d = base;
+  // Stop doubling at the cap: for large attempt counts this also avoids
+  // shifting past 64 bits.
+  for (std::size_t i = 0; i < failed_attempt && d < cap; ++i) d *= 2;
+  return std::min(d, cap);
+}
+
+std::chrono::milliseconds RetryPolicy::jittered_delay(
+    std::uint64_t key, std::size_t failed_attempt) const {
+  const auto d = delay(failed_attempt);
+  if (jitter <= 0.0 || d.count() <= 0) return d;
+  const double j = std::min(jitter, 1.0);
+  // Keyed, not stateful: the same (seed, key, attempt) triple replays the
+  // same delay regardless of scheduling order or worker count.
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (key + 1)) ^
+                (0xd1b54a32d192ed03ULL * (failed_attempt + 1)));
+  const double unit =
+      static_cast<double>(sm.next() >> 11) * 0x1.0p-53;  // [0, 1)
+  const double scale = 1.0 - j + 2.0 * j * unit;         // [1-j, 1+j)
+  const auto scaled = std::chrono::milliseconds(static_cast<std::int64_t>(
+      static_cast<double>(d.count()) * scale));
+  return std::clamp(scaled, std::chrono::milliseconds(0), cap);
+}
+
+}  // namespace weakkeys::util

@@ -1,0 +1,528 @@
+// Multi-process cluster: protocol codecs and framing, fault-free output
+// equivalence across worker counts, chaos (SIGKILL/SIGSTOP + lossy frames +
+// real crashes/corruption/stragglers) with byte-identical output, resume
+// across engines via the shared journal, graceful degradation, and the
+// cluster.* metrics surface.
+//
+// Every test that spawns workers uses the real gcd_worker binary, resolved
+// at compile time from the build tree (WEAKKEYS_GCD_WORKER_BIN).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "batchgcd/coordinator.hpp"
+#include "cluster/process_coordinator.hpp"
+#include "cluster/protocol.hpp"
+#include "obs/telemetry.hpp"
+#include "rng/prng_source.hpp"
+#include "rsa/keygen.hpp"
+#include "util/fault_injector.hpp"
+#include "util/net.hpp"
+
+namespace weakkeys::cluster {
+namespace {
+
+using bn::BigInt;
+
+std::string worker_binary() { return WEAKKEYS_GCD_WORKER_BIN; }
+
+/// Small corpus with planted shared-prime structure (and a duplicate), so
+/// subsets carry real divisors for verification/quarantine to bite on.
+std::vector<BigInt> make_moduli(std::uint64_t seed, std::size_t healthy) {
+  std::vector<BigInt> moduli;
+  rng::PrngRandomSource rng(seed);
+  rsa::KeygenOptions opts;
+  opts.modulus_bits = 128;
+  opts.style = rsa::PrimeStyle::kPlain;
+  opts.miller_rabin_rounds = 6;
+  for (std::size_t i = 0; i < healthy; ++i) {
+    moduli.push_back(rsa::generate_key(rng, opts).pub.n);
+  }
+  std::vector<BigInt> primes;
+  for (int i = 0; i < 8; ++i) {
+    primes.push_back(rsa::generate_prime(rng, 64, opts));
+  }
+  moduli.push_back(primes[0] * primes[1]);
+  moduli.push_back(primes[0] * primes[2]);  // pair sharing primes[0]
+  moduli.push_back(primes[3] * primes[4]);  // star of three sharing primes[3]
+  moduli.push_back(primes[3] * primes[5]);
+  moduli.push_back(primes[3] * primes[6]);
+  moduli.push_back(primes[1] * primes[7]);
+  moduli.push_back(primes[1] * primes[7]);  // duplicate
+  return moduli;
+}
+
+/// Cluster config tuned for test latency: tight heartbeats and deadlines,
+/// fast retry schedule.
+ClusterConfig fast_config(std::size_t k, std::size_t workers) {
+  ClusterConfig config;
+  config.subsets = k;
+  config.workers = workers;
+  config.worker_binary = worker_binary();
+  config.retry.base = std::chrono::milliseconds(1);
+  config.retry.cap = std::chrono::milliseconds(8);
+  config.task_timeout = std::chrono::milliseconds(2000);
+  config.heartbeat_interval = std::chrono::milliseconds(25);
+  config.heartbeat_misses = 8;
+  config.spawn_timeout = std::chrono::milliseconds(10000);
+  config.restart_budget = 16;
+  return config;
+}
+
+std::string temp_checkpoint(const std::string& tag) {
+  return ::testing::TempDir() + "cluster_" + tag + ".gcdckpt";
+}
+
+// ------------------------------------------------------- protocol codecs ----
+
+TEST(ClusterProtocol, MessageRoundTrips) {
+  HelloMsg hello{7, 1234, kProtocolVersion};
+  const auto hello2 = HelloMsg::decode(hello.encode());
+  ASSERT_TRUE(hello2);
+  EXPECT_EQ(hello2->worker_id, 7u);
+  EXPECT_EQ(hello2->pid, 1234u);
+  EXPECT_EQ(hello2->version, kProtocolVersion);
+
+  SubsetDataMsg subset;
+  subset.subset = 3;
+  subset.moduli = {BigInt(77), BigInt(221), BigInt(1)};
+  const auto subset2 = SubsetDataMsg::decode(subset.encode());
+  ASSERT_TRUE(subset2);
+  EXPECT_EQ(subset2->subset, 3u);
+  EXPECT_EQ(subset2->moduli, subset.moduli);
+
+  ProductDataMsg product;
+  product.subset = 2;
+  product.product = BigInt(123456789);
+  const auto product2 = ProductDataMsg::decode(product.encode());
+  ASSERT_TRUE(product2);
+  EXPECT_EQ(product2->product, product.product);
+
+  TaskAssignMsg assign{11, 2, 3, 1};
+  const auto assign2 = TaskAssignMsg::decode(assign.encode());
+  ASSERT_TRUE(assign2);
+  EXPECT_EQ(assign2->task, 11u);
+  EXPECT_EQ(assign2->product_subset, 2u);
+  EXPECT_EQ(assign2->leaf_subset, 3u);
+  EXPECT_EQ(assign2->attempt, 1u);
+
+  TaskResultMsg result;
+  result.task = 5;
+  result.worker_id = 1;
+  result.claims.push_back({4, BigInt(17)});
+  result.claims.push_back({9, BigInt(1) << 80});
+  const auto result2 = TaskResultMsg::decode(result.encode());
+  ASSERT_TRUE(result2);
+  ASSERT_EQ(result2->claims.size(), 2u);
+  EXPECT_EQ(result2->claims[0].leaf, 4u);
+  EXPECT_EQ(result2->claims[0].divisor, BigInt(17));
+  EXPECT_EQ(result2->claims[1].divisor, BigInt(1) << 80);
+
+  PingMsg ping{42, 99999};
+  const auto ping2 = PingMsg::decode(ping.encode());
+  ASSERT_TRUE(ping2);
+  EXPECT_EQ(ping2->seq, 42u);
+  EXPECT_EQ(ping2->t_send_ns, 99999);
+
+  PongMsg pong{42, 99999, 3, 17, 2};
+  const auto pong2 = PongMsg::decode(pong.encode());
+  ASSERT_TRUE(pong2);
+  EXPECT_EQ(pong2->frames_sent, 17u);
+  EXPECT_EQ(pong2->frames_dropped, 2u);
+}
+
+TEST(ClusterProtocol, MalformedBodiesDecodeToNullopt) {
+  TaskResultMsg result;
+  result.task = 5;
+  result.claims.push_back({4, BigInt(17)});
+  auto body = result.encode();
+  // Truncate at every prefix: decode must fail cleanly, never throw.
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(body.begin(),
+                                           body.begin() + cut);
+    EXPECT_FALSE(TaskResultMsg::decode(prefix)) << "cut=" << cut;
+  }
+  // Trailing garbage is rejected too.
+  body.push_back(0xff);
+  EXPECT_FALSE(TaskResultMsg::decode(body));
+  EXPECT_FALSE(HelloMsg::decode({}));
+}
+
+// ------------------------------------------------------- frame transport ----
+
+class FramePair : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a_.reset(fds[0]);
+    b_.reset(fds[1]);
+  }
+  util::net::UniqueFd a_, b_;
+};
+
+TEST_F(FramePair, SendRecvRoundTrip) {
+  FrameConn tx(a_.get(), 0);
+  FrameConn rx(b_.get(), 1);
+  const PingMsg ping{9, 1234};
+  ASSERT_TRUE(tx.send(MsgType::kPing, ping.encode()));
+  Frame frame;
+  ASSERT_EQ(rx.recv(&frame, std::chrono::milliseconds(1000)),
+            RecvStatus::kOk);
+  EXPECT_EQ(frame.type, MsgType::kPing);
+  const auto decoded = PingMsg::decode(frame.body);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->seq, 9u);
+  EXPECT_EQ(tx.stats().sent, 1u);
+}
+
+TEST_F(FramePair, RecvTimesOutThenClosedOnEof) {
+  FrameConn rx(b_.get(), 1);
+  Frame frame;
+  EXPECT_EQ(rx.recv(&frame, std::chrono::milliseconds(10)),
+            RecvStatus::kTimeout);
+  a_.reset();  // peer closes
+  EXPECT_EQ(rx.recv(&frame, std::chrono::milliseconds(1000)),
+            RecvStatus::kClosed);
+}
+
+TEST_F(FramePair, GarbledFrameIsRejectedByCrcAndCounted) {
+  util::FaultConfig faults;
+  faults.seed = 5;
+  faults.frame_garble_probability = 1.0;
+  const util::FaultInjector injector(faults);
+  FrameConn tx(a_.get(), 0, &injector);
+  FrameConn rx(b_.get(), 1);
+
+  // Injectable frame: garbled on the wire, rejected by the receiver.
+  ASSERT_TRUE(tx.send(MsgType::kTaskAssign, TaskAssignMsg{1, 0, 1, 0}.encode(),
+                      /*injectable=*/true));
+  Frame frame;
+  EXPECT_EQ(rx.recv(&frame, std::chrono::milliseconds(1000)),
+            RecvStatus::kCorrupt);
+  EXPECT_EQ(tx.stats().garbled, 1u);
+  EXPECT_EQ(rx.stats().corrupt, 1u);
+
+  // Control frames bypass injection even at probability 1.
+  ASSERT_TRUE(tx.send(MsgType::kPing, PingMsg{1, 2}.encode()));
+  EXPECT_EQ(rx.recv(&frame, std::chrono::milliseconds(1000)),
+            RecvStatus::kOk);
+  EXPECT_EQ(frame.type, MsgType::kPing);
+}
+
+TEST_F(FramePair, DroppedFrameNeverArrives) {
+  util::FaultConfig faults;
+  faults.seed = 6;
+  faults.frame_drop_probability = 1.0;
+  const util::FaultInjector injector(faults);
+  FrameConn tx(a_.get(), 0, &injector);
+  FrameConn rx(b_.get(), 1);
+
+  ASSERT_TRUE(tx.send(MsgType::kTaskAssign, TaskAssignMsg{1, 0, 1, 0}.encode(),
+                      /*injectable=*/true));
+  EXPECT_EQ(tx.stats().dropped, 1u);
+  EXPECT_EQ(tx.stats().sent, 0u);
+  Frame frame;
+  EXPECT_EQ(rx.recv(&frame, std::chrono::milliseconds(20)),
+            RecvStatus::kTimeout);
+}
+
+// --------------------------------------------------------- fault-free e2e ----
+
+TEST(Cluster, FaultFreeMatchesBatchGcdAcrossWorkerCounts) {
+  const auto moduli = make_moduli(201, 20);
+  const auto reference = batchgcd::batch_gcd(moduli);
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    ClusterStats stats;
+    const auto result =
+        batch_gcd_cluster(moduli, fast_config(3, workers), &stats);
+    EXPECT_EQ(result.divisors, reference.divisors) << "workers=" << workers;
+    EXPECT_EQ(stats.tasks, 9u);
+    EXPECT_EQ(stats.tasks_executed, 9u);
+    EXPECT_EQ(stats.tasks_resumed, 0u);
+    EXPECT_EQ(stats.results_quarantined, 0u);
+    EXPECT_GE(stats.workers_spawned, workers);
+    EXPECT_GT(stats.frames_sent, 0u);
+  }
+}
+
+TEST(Cluster, EmptyInputAndMissingBinary) {
+  ClusterStats stats;
+  const auto empty = batch_gcd_cluster({}, fast_config(3, 2), &stats);
+  EXPECT_TRUE(empty.divisors.empty());
+
+  auto config = fast_config(2, 1);
+  config.worker_binary = "/nonexistent/gcd_worker";
+  const std::vector<BigInt> moduli = {BigInt(77), BigInt(221)};
+  EXPECT_THROW(batch_gcd_cluster(moduli, config), ClusterError);
+}
+
+// ------------------------------------------------------------- chaos e2e ----
+
+TEST(Cluster, ChaosSigkillSigstopAndLossyFramesMatchBatchGcd) {
+  // The acceptance gate: 4 workers under real SIGKILL/SIGSTOP plus frame
+  // corruption/drops plus real mid-task crashes, corrupt results, and
+  // stragglers — and the vulnerable set must be byte-identical to the
+  // fault-free single-process reference.
+  const auto moduli = make_moduli(202, 20);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 77;
+  faults.sigkill_probability = 0.08;
+  faults.sigstop_probability = 0.05;
+  faults.frame_drop_probability = 0.05;
+  faults.frame_garble_probability = 0.05;
+  faults.frame_delay_probability = 0.10;
+  faults.frame_delay_ms = 2;
+  faults.crash_probability = 0.05;
+  faults.corrupt_probability = 0.08;
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(4, 4);
+  config.task_timeout = std::chrono::milliseconds(600);
+  config.injector = &injector;
+  config.restart_budget = 64;
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_EQ(stats.tasks_executed + stats.tasks_resumed, 16u);
+  // The schedule is deterministic, so the chaos actually happened:
+  EXPECT_GT(stats.sigkills_injected + stats.sigstops_injected, 0u);
+  EXPECT_GT(stats.workers_lost, 0u);
+  EXPECT_GT(stats.respawns, 0u);
+  EXPECT_LE(stats.respawns, config.restart_budget);
+}
+
+TEST(Cluster, CorruptResultsAreQuarantinedAndWorkerDemoted) {
+  const auto moduli = make_moduli(203, 16);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 31;
+  faults.corrupt_probability = 0.6;  // most first attempts ship garbage
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(3, 2);
+  config.injector = &injector;
+  config.quarantine_strikes = 2;
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_GT(stats.results_quarantined, 0u);
+  EXPECT_GT(stats.workers_demoted, 0u);
+  EXPECT_GT(stats.retries, 0u);
+}
+
+TEST(Cluster, SigstopIsCaughtByHeartbeatNotTimeoutAlone) {
+  const auto moduli = make_moduli(204, 14);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 13;
+  faults.sigstop_probability = 0.3;
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(3, 2);
+  config.injector = &injector;
+  config.task_timeout = std::chrono::milliseconds(5000);  // heartbeat first
+  config.heartbeat_interval = std::chrono::milliseconds(20);
+  config.heartbeat_misses = 5;
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_GT(stats.sigstops_injected, 0u);
+  EXPECT_GT(stats.heartbeat_deaths, 0u);
+  EXPECT_GT(stats.max_heartbeat_rtt_us, 0u);
+}
+
+// -------------------------------------------------- degradation & failure ----
+
+TEST(Cluster, DegradesToFewerWorkersWhenBudgetExhausted) {
+  const auto moduli = make_moduli(205, 14);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 17;
+  faults.sigkill_probability = 0.25;
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(3, 4);
+  config.injector = &injector;
+  config.restart_budget = 0;  // the first death retires its slot
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_GT(stats.workers_lost, 0u);
+  EXPECT_EQ(stats.respawns, 0u);
+  EXPECT_GT(stats.workers_retired, 0u);  // degraded, still finished
+}
+
+TEST(Cluster, FailsCleanlyWhenAllWorkersExhausted) {
+  const auto moduli = make_moduli(206, 10);
+
+  util::FaultConfig faults;
+  faults.seed = 19;
+  faults.sigkill_probability = 1.0;  // every assignment kills its worker
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(2, 2);
+  config.injector = &injector;
+  config.restart_budget = 2;
+  EXPECT_THROW(batch_gcd_cluster(moduli, config), ClusterError);
+}
+
+// ------------------------------------------------------------ checkpoints ----
+
+TEST(Cluster, HaltedRunResumesFromJournal) {
+  const auto moduli = make_moduli(207, 18);
+  const auto reference = batchgcd::batch_gcd(moduli);
+  const std::string path = temp_checkpoint("resume");
+  std::remove(path.c_str());
+
+  auto config = fast_config(4, 2);
+  config.checkpoint_path = path;
+  config.halt_after_tasks = 5;
+  EXPECT_THROW(batch_gcd_cluster(moduli, config),
+               batchgcd::CoordinatorInterrupted);
+
+  config.halt_after_tasks = 0;
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_GE(stats.tasks_resumed, 5u);
+  EXPECT_EQ(stats.tasks_resumed + stats.tasks_executed, 16u);
+  // The journal is superseded by success and removed.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_EQ(f, nullptr);
+  if (f) std::fclose(f);
+}
+
+TEST(Cluster, JournalIsInterchangeableWithInProcessCoordinator) {
+  // A run halted under the cluster engine resumes under the in-process
+  // coordinator, and vice versa: one journal format, two engines.
+  const auto moduli = make_moduli(208, 18);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  {  // cluster -> in-process
+    const std::string path = temp_checkpoint("x_engine_a");
+    std::remove(path.c_str());
+    auto config = fast_config(4, 2);
+    config.checkpoint_path = path;
+    config.halt_after_tasks = 4;
+    EXPECT_THROW(batch_gcd_cluster(moduli, config),
+                 batchgcd::CoordinatorInterrupted);
+
+    batchgcd::CoordinatorConfig inproc;
+    inproc.subsets = 4;
+    inproc.workers = 2;
+    inproc.checkpoint_path = path;
+    batchgcd::CoordinatorStats stats;
+    const auto result = batchgcd::batch_gcd_coordinated(moduli, inproc, &stats);
+    EXPECT_EQ(result.divisors, reference.divisors);
+    EXPECT_GE(stats.tasks_resumed, 4u);
+  }
+  {  // in-process -> cluster
+    const std::string path = temp_checkpoint("x_engine_b");
+    std::remove(path.c_str());
+    batchgcd::CoordinatorConfig inproc;
+    inproc.subsets = 4;
+    inproc.workers = 2;
+    inproc.checkpoint_path = path;
+    inproc.halt_after_tasks = 4;
+    EXPECT_THROW(batchgcd::batch_gcd_coordinated(moduli, inproc),
+                 batchgcd::CoordinatorInterrupted);
+
+    auto config = fast_config(4, 2);
+    config.checkpoint_path = path;
+    ClusterStats stats;
+    const auto result = batch_gcd_cluster(moduli, config, &stats);
+    EXPECT_EQ(result.divisors, reference.divisors);
+    EXPECT_GE(stats.tasks_resumed, 4u);
+  }
+}
+
+TEST(Cluster, ChaosRunWithCheckpointLeavesNoTmpOrphans) {
+  const auto moduli = make_moduli(209, 14);
+  const std::string path = temp_checkpoint("no_orphans");
+  std::remove(path.c_str());
+
+  util::FaultConfig faults;
+  faults.seed = 23;
+  faults.sigkill_probability = 0.15;
+  faults.frame_garble_probability = 0.05;
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(3, 3);
+  config.task_timeout = std::chrono::milliseconds(600);
+  config.injector = &injector;
+  config.checkpoint_path = path;
+  config.remove_checkpoint_on_success = false;
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, batchgcd::batch_gcd(moduli).divisors);
+
+  // The journal exists (retained on request); its tmp sibling must not.
+  std::FILE* journal = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(journal, nullptr);
+  if (journal) std::fclose(journal);
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- metrics ----
+
+TEST(Cluster, MetricsSurfaceClusterCounters) {
+  const auto moduli = make_moduli(210, 14);
+  obs::Telemetry telemetry;
+
+  auto config = fast_config(3, 2);
+  config.telemetry = &telemetry;
+  ClusterStats stats;
+  batch_gcd_cluster(moduli, config, &stats);
+
+  const auto snapshot = telemetry.metrics().snapshot();
+  EXPECT_EQ(snapshot.counter("cluster.tasks"), 9u);
+  EXPECT_EQ(snapshot.counter("cluster.subsets"), 3u);
+  EXPECT_EQ(snapshot.counter("cluster.workers"), 2u);
+  EXPECT_EQ(snapshot.counter("cluster.tasks_executed"), 9u);
+  EXPECT_EQ(snapshot.counter("cluster.attempts"), stats.attempts);
+  EXPECT_GT(snapshot.counter("cluster.frames_sent"), 0u);
+  const auto gauge = snapshot.gauges.find("cluster.workers_alive");
+  ASSERT_NE(gauge, snapshot.gauges.end());
+  EXPECT_EQ(gauge->second, 0);  // all workers shut down at the end
+  const auto rtt = snapshot.histograms.find("cluster.heartbeat_rtt_us");
+  ASSERT_NE(rtt, snapshot.histograms.end());
+  EXPECT_GT(rtt->second.count, 0u);
+}
+
+// ----------------------------------------------------------- cancellation ----
+
+TEST(Cluster, CancellationStopsTheRunAndKeepsTheJournal) {
+  const auto moduli = make_moduli(211, 14);
+  const std::string path = temp_checkpoint("cancel");
+  std::remove(path.c_str());
+
+  util::CancellationToken token;
+  auto config = fast_config(3, 2);
+  config.checkpoint_path = path;
+  config.cancel = &token;
+  token.cancel("test cancel");
+  EXPECT_THROW(batch_gcd_cluster(moduli, config), util::Cancelled);
+
+  // Journal (possibly empty of records) survives for resume.
+  ClusterStats stats;
+  auto resume = fast_config(3, 2);
+  resume.checkpoint_path = path;
+  const auto result = batch_gcd_cluster(moduli, resume, &stats);
+  EXPECT_EQ(result.divisors, batchgcd::batch_gcd(moduli).divisors);
+}
+
+}  // namespace
+}  // namespace weakkeys::cluster

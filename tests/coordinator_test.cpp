@@ -47,8 +47,8 @@ CoordinatorConfig fast_config(std::size_t k, std::size_t workers) {
   CoordinatorConfig config;
   config.subsets = k;
   config.workers = workers;
-  config.backoff_base = std::chrono::milliseconds(1);
-  config.backoff_cap = std::chrono::milliseconds(8);
+  config.retry.base = std::chrono::milliseconds(1);
+  config.retry.cap = std::chrono::milliseconds(8);
   config.straggler_deadline = std::chrono::milliseconds(1);
   return config;
 }
@@ -143,7 +143,7 @@ TEST(Coordinator, ExhaustedRetriesThrow) {
 
   auto config = fast_config(2, 2);
   config.injector = &injector;
-  config.max_attempts = 3;
+  config.retry.max_attempts = 3;
   EXPECT_THROW(batch_gcd_coordinated(moduli, config), CoordinatorError);
 }
 
@@ -327,6 +327,73 @@ TEST_F(CoordinatorCheckpoint, TruncatedOrFlippedJournalIsDiscardedSafely) {
   }
   const auto result = batch_gcd_coordinated(moduli, config);
   EXPECT_EQ(result.divisors, reference.divisors);
+}
+
+TEST_F(CoordinatorCheckpoint, TornWriteAtEveryBoundaryResumesExactPrefix) {
+  // Systematic torn-tail sweep: cut the journal at *every* record boundary
+  // and mid-record, and assert the resumed run replays exactly the intact
+  // prefix and re-executes exactly the rest. This pins down the recovery
+  // contract the fractional-truncation test above only samples.
+  const auto moduli = make_moduli(306, 16);
+  const auto reference = batch_gcd(moduli);
+  const std::size_t k = 3;
+
+  auto config = fast_config(k, 2);
+  config.checkpoint_path = path_;
+  config.halt_after_tasks = 7;
+  CoordinatorStats first;
+  EXPECT_THROW(batch_gcd_coordinated(moduli, config, &first),
+               CoordinatorInterrupted);
+
+  std::ifstream in(path_, std::ios::binary);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  in.close();
+
+  // Walk the record framing: a 20-byte header (magic, version, fingerprint,
+  // total), then records of u32 payload-length | payload | u32 crc.
+  const auto u32_at = [&bytes](std::size_t at) {
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+      v = (v << 8) | static_cast<std::uint8_t>(bytes[at + i]);
+    return v;
+  };
+  std::vector<std::size_t> boundaries{20};
+  while (boundaries.back() + 4 <= bytes.size()) {
+    const std::size_t next =
+        boundaries.back() + 4 + u32_at(boundaries.back()) + 4;
+    if (next > bytes.size()) break;
+    boundaries.push_back(next);
+  }
+  ASSERT_EQ(boundaries.back(), bytes.size());  // halt left no torn tail
+  const std::size_t records = boundaries.size() - 1;
+  ASSERT_EQ(records, first.tasks_executed);
+
+  const auto truncate_to = [&](std::size_t size) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(size));
+  };
+  config.halt_after_tasks = 0;
+
+  for (std::size_t i = 0; i < boundaries.size(); ++i) {
+    // Cut exactly at a boundary: the first i records are intact.
+    truncate_to(boundaries[i]);
+    CoordinatorStats stats;
+    const auto result = batch_gcd_coordinated(moduli, config, &stats);
+    EXPECT_EQ(result.divisors, reference.divisors) << "boundary " << i;
+    EXPECT_EQ(stats.tasks_resumed, i) << "boundary " << i;
+    EXPECT_EQ(stats.tasks_executed, k * k - i) << "boundary " << i;
+  }
+  for (std::size_t i = 1; i < boundaries.size(); ++i) {
+    // Cut mid-record: record i is torn and must be dropped, records
+    // before it must all survive.
+    truncate_to(boundaries[i - 1] + (boundaries[i] - boundaries[i - 1]) / 2);
+    CoordinatorStats stats;
+    const auto result = batch_gcd_coordinated(moduli, config, &stats);
+    EXPECT_EQ(result.divisors, reference.divisors) << "mid-record " << i;
+    EXPECT_EQ(stats.tasks_resumed, i - 1) << "mid-record " << i;
+    EXPECT_EQ(stats.tasks_executed, k * k - (i - 1)) << "mid-record " << i;
+  }
 }
 
 TEST_F(CoordinatorCheckpoint, MismatchedCorpusInvalidatesJournal) {

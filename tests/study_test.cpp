@@ -290,5 +290,30 @@ TEST_F(ScanStoreTest, MissingAndCorruptFilesReturnNullopt) {
   EXPECT_FALSE(load_dataset(StoreKey{}, path_).has_value());
 }
 
+#if defined(WEAKKEYS_GCD_WORKER_BIN)
+TEST_F(StudyIntegration, ClusterPathMatchesInProcessPipeline) {
+  // Same corpus, factoring routed through real worker processes over TCP:
+  // the study must find exactly the same vulnerable keys.
+  StudyConfig config;
+  config.sim.seed = 424242;
+  config.sim.scale = 0.03;
+  config.sim.miller_rabin_rounds = 4;
+  config.batch_gcd_subsets = 3;
+  config.cache_path = "";
+  config.worker_processes = 2;
+  config.worker_binary = WEAKKEYS_GCD_WORKER_BIN;
+  Study clustered(config);
+  clustered.run();
+
+  EXPECT_GT(clustered.cluster_stats().workers_spawned, 0u);
+  EXPECT_GT(clustered.cluster_stats().tasks_executed, 0u);
+  const std::set<std::string> expected(study_->vulnerable().hex().begin(),
+                                       study_->vulnerable().hex().end());
+  const std::set<std::string> actual(clustered.vulnerable().hex().begin(),
+                                     clustered.vulnerable().hex().end());
+  EXPECT_EQ(actual, expected);
+}
+#endif
+
 }  // namespace
 }  // namespace weakkeys::core

@@ -6,7 +6,9 @@
 
 #include "util/date.hpp"
 #include "util/hex.hpp"
+#include "util/net.hpp"
 #include "util/prng.hpp"
+#include "util/retry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace weakkeys::util {
@@ -221,6 +223,124 @@ TEST(ThreadPool, ManyTasksDrainBeforeDestruction) {
   }
   EXPECT_EQ(count.load(), 500);
 }
+
+// --------------------------------------------------------- RetryPolicy ----
+
+TEST(RetryPolicy, DelayIsCappedExponential) {
+  RetryPolicy policy;
+  policy.base = std::chrono::milliseconds(3);
+  policy.cap = std::chrono::milliseconds(20);
+  EXPECT_EQ(policy.delay(0), std::chrono::milliseconds(3));
+  EXPECT_EQ(policy.delay(1), std::chrono::milliseconds(6));
+  EXPECT_EQ(policy.delay(2), std::chrono::milliseconds(12));
+  EXPECT_EQ(policy.delay(3), std::chrono::milliseconds(20));  // capped
+  EXPECT_EQ(policy.delay(63), std::chrono::milliseconds(20));
+  // Shift counts far past 64 bits must not wrap back below the cap.
+  EXPECT_EQ(policy.delay(1000), std::chrono::milliseconds(20));
+}
+
+TEST(RetryPolicy, ExhaustionIsZeroBased) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  EXPECT_FALSE(policy.exhausted(0));
+  EXPECT_FALSE(policy.exhausted(2));
+  EXPECT_TRUE(policy.exhausted(3));
+  EXPECT_TRUE(policy.exhausted(4));
+}
+
+TEST(RetryPolicy, JitterIsDeterministicBoundedAndKeyed) {
+  RetryPolicy policy;
+  policy.base = std::chrono::milliseconds(8);
+  policy.cap = std::chrono::milliseconds(64);
+  policy.jitter = 0.5;
+  policy.seed = 99;
+
+  bool spread = false;
+  for (std::uint64_t key = 0; key < 32; ++key) {
+    for (std::size_t attempt = 0; attempt < 4; ++attempt) {
+      const auto d = policy.jittered_delay(key, attempt);
+      // Identical (seed, key, attempt) always replays identically.
+      EXPECT_EQ(d, policy.jittered_delay(key, attempt));
+      const auto base = policy.delay(attempt);
+      EXPECT_GE(d, base / 2);
+      EXPECT_LE(d, std::min(base + base / 2, policy.cap));
+      if (d != policy.jittered_delay(key + 1, attempt)) spread = true;
+    }
+  }
+  EXPECT_TRUE(spread);  // keys actually de-synchronize
+
+  policy.jitter = 0.0;
+  EXPECT_EQ(policy.jittered_delay(7, 2), policy.delay(2));
+}
+
+// ---------------------------------------------------------------- net ----
+
+#if defined(WEAKKEYS_HAVE_NET)
+
+TEST(Net, ListenConnectAcceptRoundTrip) {
+  net::UniqueFd listener(net::listen_tcp("127.0.0.1", 0, 4));
+  ASSERT_TRUE(listener.valid());
+  const int port = net::local_port(listener.get());
+  ASSERT_GT(port, 0);
+
+  net::UniqueFd client(net::connect_tcp("127.0.0.1",
+                                        static_cast<std::uint16_t>(port),
+                                        std::chrono::milliseconds(2000)));
+  ASSERT_TRUE(client.valid());
+  net::UniqueFd server(net::accept_cloexec(listener.get()));
+  ASSERT_TRUE(server.valid());
+
+  const char out[] = "weak keys remain widespread";
+  ASSERT_TRUE(net::write_full(client.get(), out, sizeof out));
+  EXPECT_TRUE(net::wait_readable(server.get(), std::chrono::milliseconds(2000)));
+  char in[sizeof out] = {};
+  ASSERT_TRUE(net::read_full(server.get(), in, sizeof in));
+  EXPECT_STREQ(in, out);
+}
+
+TEST(Net, ReadFullFailsOnEofAndWaitReadableTimesOut) {
+  net::UniqueFd listener(net::listen_tcp("127.0.0.1", 0, 4));
+  ASSERT_TRUE(listener.valid());
+  net::UniqueFd client(net::connect_tcp(
+      "127.0.0.1", static_cast<std::uint16_t>(net::local_port(listener.get())),
+      std::chrono::milliseconds(2000)));
+  ASSERT_TRUE(client.valid());
+  net::UniqueFd server(net::accept_cloexec(listener.get()));
+  ASSERT_TRUE(server.valid());
+
+  // Nothing written yet: a short wait must time out, not block.
+  EXPECT_FALSE(net::wait_readable(server.get(), std::chrono::milliseconds(10)));
+  client.reset();
+  char buf[8];
+  EXPECT_FALSE(net::read_full(server.get(), buf, sizeof buf));
+}
+
+TEST(Net, ConnectToClosedPortFails) {
+  // Bind-then-close yields a port with (almost certainly) no listener.
+  int port = 0;
+  {
+    net::UniqueFd probe(net::listen_tcp("127.0.0.1", 0, 1));
+    ASSERT_TRUE(probe.valid());
+    port = net::local_port(probe.get());
+  }
+  net::UniqueFd fd(net::connect_tcp("127.0.0.1",
+                                    static_cast<std::uint16_t>(port),
+                                    std::chrono::milliseconds(250)));
+  EXPECT_FALSE(fd.valid());
+}
+
+TEST(Net, UniqueFdMovesAndCloses) {
+  net::UniqueFd a(net::listen_tcp("127.0.0.1", 0, 1));
+  ASSERT_TRUE(a.valid());
+  const int raw = a.get();
+  net::UniqueFd b(std::move(a));
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.get(), raw);
+  b.reset();
+  EXPECT_FALSE(b.valid());
+}
+
+#endif  // WEAKKEYS_HAVE_NET
 
 }  // namespace
 }  // namespace weakkeys::util

@@ -1,0 +1,85 @@
+// gcd_worker: one cluster worker process. Spawned by
+// cluster::ProcessCoordinator (never run by hand in normal operation);
+// connects back to the coordinator, receives subset data and task
+// assignments over the framed protocol, and streams back verified-upstream
+// divisor claims until told to shut down.
+//
+// Usage:
+//   gcd_worker --port P --worker-id W
+//              [--address 127.0.0.1] [--connect-timeout-ms 10000]
+//              [--seed S --frame-drop P --frame-garble P --frame-delay P
+//               --frame-delay-ms MS]
+//
+// The --frame-* flags enable deterministic fault injection on this worker's
+// *outbound* frames (chaos tests); the coordinator injects its own side.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "cluster/worker.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P --worker-id W [--address A] "
+               "[--connect-timeout-ms MS] [--seed S] [--frame-drop P] "
+               "[--frame-garble P] [--frame-delay P] [--frame-delay-ms MS]\n",
+               argv0);
+  return 64;  // EX_USAGE
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  weakkeys::cluster::WorkerConfig config;
+  bool have_port = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--port" && (value = next())) {
+      config.port = static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
+      have_port = true;
+    } else if (arg == "--worker-id" && (value = next())) {
+      config.worker_id =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--address" && (value = next())) {
+      config.coordinator_address = value;
+    } else if (arg == "--connect-timeout-ms" && (value = next())) {
+      config.connect_timeout =
+          std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else if (arg == "--seed" && (value = next())) {
+      config.faults.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--frame-drop" && (value = next())) {
+      config.faults.frame_drop_probability = std::strtod(value, nullptr);
+    } else if (arg == "--frame-garble" && (value = next())) {
+      config.faults.frame_garble_probability = std::strtod(value, nullptr);
+    } else if (arg == "--frame-delay" && (value = next())) {
+      config.faults.frame_delay_probability = std::strtod(value, nullptr);
+    } else if (arg == "--frame-delay-ms" && (value = next())) {
+      config.faults.frame_delay_ms =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--fault-crash" && (value = next())) {
+      config.faults.crash_probability = std::strtod(value, nullptr);
+    } else if (arg == "--fault-straggle" && (value = next())) {
+      config.faults.straggle_probability = std::strtod(value, nullptr);
+    } else if (arg == "--fault-corrupt" && (value = next())) {
+      config.faults.corrupt_probability = std::strtod(value, nullptr);
+    } else if (arg == "--straggle-ms" && (value = next())) {
+      config.straggle_sleep =
+          std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!have_port) return usage(argv[0]);
+
+  config.log = [](const std::string& line) {
+    std::fprintf(stderr, "gcd_worker: %s\n", line.c_str());
+  };
+  return weakkeys::cluster::run_worker(config);
+}
