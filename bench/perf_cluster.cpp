@@ -108,6 +108,37 @@ BENCHMARK(BM_ClusterUnderSigkill)
     ->Arg(15)
     ->Unit(benchmark::kMillisecond);
 
+/// Reconnect tax: links are abruptly severed at a 2/5% per-frame rate, but
+/// sessions survive — the worker dials back in, replays its outbox, and
+/// resumes any chunked transfer mid-stream instead of being respawned and
+/// re-shipped its data. Compare against BM_ClusterScaling/4 for the price
+/// of a healed disconnect versus BM_ClusterUnderSigkill for a full death.
+void BM_ClusterReconnectTax(benchmark::State& state) {
+  const auto& moduli = corpus(512);
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  util::FaultConfig faults;
+  faults.seed = 4243;
+  faults.conn_disconnect_probability = rate;
+  const util::FaultInjector injector(faults);
+  auto config = base_config(4);
+  config.injector = &injector;
+  config.session_grace = std::chrono::milliseconds(10000);
+  config.task_timeout = std::chrono::milliseconds(4000);
+  config.restart_budget = 1u << 20;
+  cluster::ClusterStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::batch_gcd_cluster(moduli, config, &stats));
+  }
+  state.counters["reconnects"] = static_cast<double>(stats.reconnects);
+  state.counters["stream_resumes"] = static_cast<double>(stats.stream_resumes);
+  state.counters["respawns"] = static_cast<double>(stats.respawns);
+}
+BENCHMARK(BM_ClusterReconnectTax)
+    ->Arg(2)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

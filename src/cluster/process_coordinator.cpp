@@ -20,6 +20,7 @@
 #include "batchgcd/product_tree.hpp"
 #include "batchgcd/task_journal.hpp"
 #include "cluster/protocol.hpp"
+#include "core/binary_io.hpp"
 #include "util/net.hpp"
 #include "util/thread_pool.hpp"
 
@@ -42,10 +43,11 @@ std::int64_t now_ns() {
 }
 
 enum class SlotState : std::uint8_t {
-  kSpawning,  ///< process forked, waiting for Hello
-  kLive,      ///< handshake done, serving tasks
-  kLost,      ///< death observed, awaiting supervisor handling
-  kRetired,   ///< given up (restart budget exhausted or shutting down)
+  kSpawning,      ///< process forked (or dial-in awaited), waiting for Hello
+  kLive,          ///< handshake done, serving tasks
+  kDisconnected,  ///< link lost but session held; awaiting ReconnectHello
+  kLost,          ///< death observed, awaiting supervisor handling
+  kRetired,       ///< given up (restart budget exhausted or shutting down)
 };
 
 enum class TaskState : std::uint8_t { kQueued, kAssigned, kDone };
@@ -57,11 +59,29 @@ struct Pending {
   std::uint32_t banned_worker = kNoWorker;
 };
 
+/// One in-progress chunked payload transfer to a worker (go-back-N sender
+/// side; the head of Slot::transfers is the active one).
+struct Transfer {
+  std::uint32_t stream_id = 0;
+  StreamKind kind = StreamKind::kSubset;
+  std::uint32_t subset = 0;
+  std::shared_ptr<const std::vector<std::uint8_t>> payload;
+  std::uint32_t crc = 0;       ///< crc32 of the whole payload
+  std::uint64_t acked = 0;     ///< receiver's contiguous prefix
+  std::uint64_t sent_off = 0;  ///< next byte to send
+  bool begin_sent = false;
+  Clock::time_point last_progress;
+};
+
 struct Slot {
   std::uint32_t id = 0;
+  bool is_remote = false;  ///< dial-in worker: never forked, killed or reaped
   SlotState state = SlotState::kRetired;
   pid_t pid = -1;
-  std::uint64_t incarnation = 0;  ///< bumped per (re)spawn; RX exit signal
+  /// Bumped per (re)spawn *and* per link attach/detach; the RX thread's
+  /// exit signal. A reconnect within one worker incarnation still retires
+  /// the old RX thread cleanly before the new link gets its own.
+  std::uint64_t epoch = 0;
   util::net::UniqueFd fd;
   std::unique_ptr<FrameConn> conn;
   std::thread rx;
@@ -73,10 +93,18 @@ struct Slot {
   Pending current;  ///< valid when busy
   Clock::time_point assigned_at;
   std::size_t strikes = 0;  ///< verification failures this incarnation
-  std::vector<bool> sent_subsets;
-  std::vector<bool> sent_products;
+  // -- session state: survives disconnects, reset per incarnation ----------
+  std::uint64_t session_id = 0;      ///< 0 = no session established yet
+  std::uint64_t rx_result_seq = 0;   ///< dedup high-water for result replays
+  Clock::time_point disconnected_at;
+  std::deque<Transfer> transfers;
+  std::vector<bool> delivered_subsets;   ///< fully acked by the worker
+  std::vector<bool> delivered_products;
+  std::uint64_t tx_seq_base = 0;    ///< injector counters carried across
+  std::uint64_t conn_seq_base = 0;  ///< reconnects (see FrameConn ctor)
   std::uint64_t worker_frames_sent = 0;  ///< worker-reported, via Pong
   std::uint64_t worker_frames_dropped = 0;
+  obs::Histogram* rtt_hist = nullptr;  ///< cluster.worker.<id>.rtt_us
 };
 
 class ProcessCoordinator {
@@ -99,12 +127,22 @@ class ProcessCoordinator {
       m_frames_sent_ = &m.counter("cluster.frames_sent");
       m_frames_dropped_ = &m.counter("cluster.frames_dropped");
       m_frames_corrupt_ = &m.counter("cluster.frames_corrupt");
+      m_reconnects_ = &m.counter("cluster.reconnects");
+      m_sessions_expired_ = &m.counter("cluster.sessions_expired");
+      m_duplicate_results_ = &m.counter("cluster.duplicate_results");
+      m_stream_chunks_ = &m.counter("cluster.stream_chunks");
+      m_stream_resumes_ = &m.counter("cluster.stream_resumes");
       m_rtt_us_ = &m.histogram("cluster.heartbeat_rtt_us");
     }
     k_ = std::clamp<std::size_t>(config.subsets, 1,
                                  std::max<std::size_t>(moduli.size(), 1));
     total_ = k_ * k_;
-    workers_n_ = std::max<std::size_t>(config.workers, 1);
+    remote_n_ = config.remote_workers;
+    workers_n_ = remote_n_ > 0 ? config.workers
+                               : std::max<std::size_t>(config.workers, 1);
+    chunk_bytes_ = std::clamp<std::size_t>(config.stream_chunk_bytes, 1,
+                                           kMaxFrameBytes / 2);
+    window_chunks_ = std::max<std::size_t>(config.stream_window_chunks, 1);
 
     subsets_.resize(k_);
     const std::size_t base = moduli.size() / k_;
@@ -120,6 +158,10 @@ class ProcessCoordinator {
     for (std::size_t a = 0; a < k_; ++a) {
       partial_[a].assign(subsets_[a].moduli.size(), BigInt(1));
     }
+    enc_subset_.resize(k_);
+    enc_subset_crc_.assign(k_, 0);
+    enc_product_.resize(k_);
+    enc_product_crc_.assign(k_, 0);
   }
 
   ~ProcessCoordinator() { cleanup(); }
@@ -133,12 +175,12 @@ class ProcessCoordinator {
     }
     stats_.subsets = k_;
     stats_.tasks = total_;
-    stats_.workers = workers_n_;
+    stats_.workers = workers_n_ + remote_n_;
     if (config_.telemetry) {
       auto& m = config_.telemetry->metrics();
       m.counter("cluster.tasks").set(total_);
       m.counter("cluster.subsets").set(k_);
-      m.counter("cluster.workers").set(workers_n_);
+      m.counter("cluster.workers").set(workers_n_ + remote_n_);
     }
 
     tstate_.assign(total_, TaskState::kQueued);
@@ -201,6 +243,10 @@ class ProcessCoordinator {
     if (config_.log) config_.log(message);
   }
 
+  [[nodiscard]] bool sessions_enabled() const {
+    return config_.session_grace.count() > 0;
+  }
+
   // -- setup ---------------------------------------------------------------
 
   void open_journal() {
@@ -228,8 +274,8 @@ class ProcessCoordinator {
   void compute_products() {
     products_.assign(k_, BigInt(1));
     try {
-      const std::size_t nthreads =
-          std::min<std::size_t>(std::max<std::size_t>(workers_n_, 2), k_);
+      const std::size_t nthreads = std::min<std::size_t>(
+          std::max<std::size_t>(workers_n_ + remote_n_, 2), k_);
       if (nthreads <= 1) {
         for (std::size_t b = 0; b < k_; ++b) {
           if (config_.cancel) config_.cancel->throw_if_cancelled();
@@ -255,13 +301,28 @@ class ProcessCoordinator {
     int bound = 0;
     listen_fd_.reset(util::net::listen_tcp(
         config_.bind_address, config_.port,
-        static_cast<int>(std::max<std::size_t>(workers_n_, 4)), &bound));
+        static_cast<int>(std::max<std::size_t>(workers_n_ + remote_n_, 4)),
+        &bound));
     if (!listen_fd_.valid()) {
       throw ClusterError("cluster: cannot listen on " + config_.bind_address +
                          ":" + std::to_string(config_.port) + ": " +
                          std::strerror(errno));
     }
     bound_port_ = static_cast<std::uint16_t>(bound);
+  }
+
+  /// Clears everything a fresh worker incarnation must not inherit. Caller
+  /// holds mu_.
+  void reset_session(Slot& slot) {
+    slot.session_id = 0;
+    slot.rx_result_seq = 0;
+    slot.transfers.clear();
+    slot.delivered_subsets.assign(k_, false);
+    slot.delivered_products.assign(k_, false);
+    slot.tx_seq_base = 0;
+    slot.conn_seq_base = 0;
+    slot.worker_frames_sent = 0;
+    slot.worker_frames_dropped = 0;
   }
 
   /// fork/execs one worker into `slot`. Caller holds mu_.
@@ -272,6 +333,11 @@ class ProcessCoordinator {
     args.push_back(std::to_string(bound_port_));
     args.push_back("--worker-id");
     args.push_back(std::to_string(slot.id));
+    if (sessions_enabled()) {
+      args.push_back("--session-reconnect");
+      args.push_back("--reconnect-window-ms");
+      args.push_back(std::to_string(config_.session_grace.count()));
+    }
     if (config_.injector) {
       const util::FaultConfig& f = config_.injector->config();
       args.push_back("--seed");
@@ -285,6 +351,20 @@ class ProcessCoordinator {
         args.push_back(std::to_string(f.frame_delay_probability));
         args.push_back("--frame-delay-ms");
         args.push_back(std::to_string(f.frame_delay_ms));
+      }
+      if (config_.worker_frame_faults && f.any_conn_faults()) {
+        args.push_back("--conn-disconnect");
+        args.push_back(std::to_string(f.conn_disconnect_probability));
+        args.push_back("--conn-partition");
+        args.push_back(std::to_string(f.conn_partition_probability));
+        args.push_back("--conn-half-open");
+        args.push_back(std::to_string(f.conn_half_open_probability));
+        args.push_back("--conn-drip");
+        args.push_back(std::to_string(f.conn_slow_drip_probability));
+        args.push_back("--conn-partition-ms");
+        args.push_back(std::to_string(f.conn_partition_ms));
+        args.push_back("--conn-drip-ms");
+        args.push_back(std::to_string(f.conn_drip_delay_ms));
       }
       // Thread-tier faults run worker-side in the cluster: a kCrash is a
       // real _exit mid-task, a kCorruptResult a real bad divisor on the
@@ -322,17 +402,25 @@ class ProcessCoordinator {
       ::_exit(127);
     }
     slot.pid = pid;
+    arm(slot);
+  }
+
+  /// Readies a dial-in slot for a (new) remote worker: same lifecycle as a
+  /// fork, minus the fork. The worker must Hello within spawn_timeout.
+  void arm_remote(Slot& slot) {
+    slot.pid = -1;
+    arm(slot);
+  }
+
+  void arm(Slot& slot) {
     slot.state = SlotState::kSpawning;
-    ++slot.incarnation;
+    ++slot.epoch;
     slot.spawn_at = Clock::now();
     slot.last_pong = slot.spawn_at;
     slot.last_ping = slot.spawn_at;
     slot.busy = false;
     slot.strikes = 0;
-    slot.sent_subsets.assign(k_, false);
-    slot.sent_products.assign(k_, false);
-    slot.worker_frames_sent = 0;
-    slot.worker_frames_dropped = 0;
+    reset_session(slot);
     ++stats_.workers_spawned;
   }
 
@@ -364,27 +452,47 @@ class ProcessCoordinator {
       if (status != RecvStatus::kOk) return;
       break;
     }
-    if (frame.type != MsgType::kHello) return;
-    const auto hello = HelloMsg::decode(frame.body);
-    if (!hello || hello->version != kProtocolVersion) return;
+    if (frame.type == MsgType::kHello) {
+      const auto hello = HelloMsg::decode(frame.body);
+      if (hello && hello->version == kProtocolVersion) {
+        attach_fresh(*hello, std::move(fd));
+      }
+      return;
+    }
+    if (frame.type == MsgType::kReconnectHello) {
+      const auto msg = ReconnectHelloMsg::decode(frame.body);
+      if (msg && msg->version == kProtocolVersion) {
+        reattach(*msg, std::move(fd), probe);
+      }
+      return;
+    }
+  }
 
+  [[nodiscard]] const util::FaultInjector* link_injector() const {
+    if (!config_.injector) return nullptr;
+    const util::FaultConfig& f = config_.injector->config();
+    return f.any_frame_faults() || f.any_conn_faults() ? config_.injector
+                                                       : nullptr;
+  }
+
+  void attach_fresh(const HelloMsg& hello, util::net::UniqueFd fd) {
     std::lock_guard guard(mu_);
-    if (hello->worker_id >= slots_.size()) return;
-    Slot& slot = slots_[hello->worker_id];
-    if (slot.state != SlotState::kSpawning ||
-        slot.pid != static_cast<pid_t>(hello->pid)) {
+    if (hello.worker_id >= slots_.size()) return;
+    Slot& slot = slots_[hello.worker_id];
+    if (slot.state != SlotState::kSpawning) return;
+    if (!slot.is_remote && slot.pid != static_cast<pid_t>(hello.pid)) {
       return;  // stale or impostor connection; UniqueFd closes it
     }
+    if (slot.is_remote) slot.pid = static_cast<pid_t>(hello.pid);
     slot.fd = std::move(fd);
-    slot.conn = std::make_unique<FrameConn>(
-        slot.fd.get(), 2ull * slot.id,
-        config_.injector && config_.injector->config().any_frame_faults()
-            ? config_.injector
-            : nullptr);
+    slot.conn = std::make_unique<FrameConn>(slot.fd.get(), 2ull * slot.id,
+                                            link_injector());
+    slot.session_id = next_session_id_++;
     HelloAckMsg ack;
     ack.fingerprint = fingerprint_;
     ack.heartbeat_interval_ms =
         static_cast<std::uint32_t>(config_.heartbeat_interval.count());
+    ack.session_id = slot.session_id;
     if (!slot.conn->send(MsgType::kHelloAck, ack.encode())) {
       slot.conn.reset();
       slot.fd.reset();
@@ -393,28 +501,151 @@ class ProcessCoordinator {
     slot.state = SlotState::kLive;
     slot.last_pong = Clock::now();
     refresh_alive_gauge();
-    const std::uint64_t inc = slot.incarnation;
-    slot.rx = std::thread([this, id = slot.id, inc] { rx_loop(id, inc); });
+    ++slot.epoch;
+    slot.rx = std::thread([this, id = slot.id, epoch = slot.epoch] {
+      rx_loop(id, epoch);
+    });
     log("cluster: worker " + std::to_string(slot.id) + " up (pid " +
-        std::to_string(slot.pid) + ")");
+        std::to_string(slot.pid) + ", session " +
+        std::to_string(slot.session_id) + ")");
+  }
+
+  /// A worker dialed back after link loss offering its session. Validate,
+  /// retire whatever link is still attached, splice the new one in (injector
+  /// counters carried over so the fault schedule continues instead of
+  /// replaying), tell the worker our result high-water mark, and resume the
+  /// in-flight transfer from its acked prefix.
+  void reattach(const ReconnectHelloMsg& msg, util::net::UniqueFd fd,
+                FrameConn& probe) {
+    const auto reject = [&probe] {
+      ReconnectAckMsg nack;
+      nack.accepted = 0;
+      probe.send(MsgType::kReconnectAck, nack.encode());
+    };
+    std::unique_lock lock(mu_);
+    if (!sessions_enabled() || stop_ || msg.worker_id >= slots_.size()) {
+      reject();
+      return;
+    }
+    Slot& slot = slots_[msg.worker_id];
+    if (slot.session_id == 0 || slot.session_id != msg.session_id ||
+        (slot.state != SlotState::kLive &&
+         slot.state != SlotState::kDisconnected) ||
+        (!slot.is_remote && slot.pid != static_cast<pid_t>(msg.pid))) {
+      reject();
+      return;
+    }
+    // The old link may still be attached: not yet torn down by
+    // tick_disconnected, or half-open (the worker noticed before we did).
+    detach_link(slot, lock);
+    if (slot.state != SlotState::kLive &&
+        slot.state != SlotState::kDisconnected) {
+      reject();  // demoted while we joined the old RX thread
+      return;
+    }
+    slot.fd = std::move(fd);
+    slot.conn = std::make_unique<FrameConn>(slot.fd.get(), 2ull * slot.id,
+                                            link_injector(),
+                                            slot.tx_seq_base,
+                                            slot.conn_seq_base);
+    ReconnectAckMsg ack;
+    ack.accepted = 1;
+    ack.ack_result_seq = slot.rx_result_seq;
+    ack.heartbeat_interval_ms =
+        static_cast<std::uint32_t>(config_.heartbeat_interval.count());
+    if (!slot.conn->send(MsgType::kReconnectAck, ack.encode())) {
+      slot.conn.reset();
+      slot.fd.reset();
+      slot.state = SlotState::kDisconnected;
+      return;  // still within grace; maybe the next dial works
+    }
+    const auto now = Clock::now();
+    slot.state = SlotState::kLive;
+    slot.last_pong = now;
+    slot.last_ping = now;
+    if (!slot.transfers.empty()) {
+      Transfer& t = slot.transfers.front();
+      if (t.begin_sent && t.sent_off > t.acked) {
+        ++stats_.stream_resumes;
+        if (m_stream_resumes_) m_stream_resumes_->inc();
+      }
+      t.sent_off = t.acked;
+      t.begin_sent = false;
+      t.last_progress = now;
+    }
+    ++stats_.reconnects;
+    if (m_reconnects_) m_reconnects_->inc();
+    refresh_alive_gauge();
+    ++slot.epoch;
+    slot.rx = std::thread([this, id = slot.id, epoch = slot.epoch] {
+      rx_loop(id, epoch);
+    });
+    log("cluster: worker " + std::to_string(slot.id) + " reconnected (session " +
+        std::to_string(slot.session_id) + ", replaying past seq " +
+        std::to_string(slot.rx_result_seq) + ")");
+    pump_streams(slot);
+    cv_.notify_all();
+  }
+
+  /// Declares the slot's link dead while holding mu_. With sessions enabled
+  /// the slot parks in kDisconnected (session kept, grace clock started and
+  /// the socket shut down so both the RX thread and a half-open peer see
+  /// EOF); otherwise PR 6 semantics: the worker is lost.
+  void link_lost(Slot& slot, const char* why) {
+    if (slot.state != SlotState::kLive) return;
+    if (sessions_enabled() && !stop_) {
+      slot.state = SlotState::kDisconnected;
+      slot.disconnected_at = Clock::now();
+      if (slot.fd.valid()) ::shutdown(slot.fd.get(), SHUT_RDWR);
+      log("cluster: worker " + std::to_string(slot.id) + " link lost (" +
+          std::string(why) + "); holding session " +
+          std::to_string(slot.session_id) + " for " +
+          std::to_string(config_.session_grace.count()) + "ms");
+    } else {
+      slot.state = SlotState::kLost;
+    }
+    refresh_alive_gauge();
+    cv_.notify_all();
+  }
+
+  /// Retires the slot's link without touching the session: bumps the epoch
+  /// so the RX thread exits, joins it (dropping mu_ briefly), banks the
+  /// injector counters for the next link, and folds transport stats. Safe
+  /// across the unlock: only the supervisor thread detaches links, and the
+  /// exiting RX thread touches the slot only under mu_ before the join
+  /// completes.
+  void detach_link(Slot& slot, std::unique_lock<std::mutex>& lock) {
+    if (!slot.conn && !slot.rx.joinable()) return;
+    ++slot.epoch;
+    if (slot.fd.valid()) ::shutdown(slot.fd.get(), SHUT_RDWR);
+    std::thread rx = std::move(slot.rx);
+    lock.unlock();
+    if (rx.joinable()) rx.join();
+    lock.lock();
+    if (slot.conn) {
+      slot.tx_seq_base = slot.conn->tx_seq();
+      slot.conn_seq_base = slot.conn->conn_seq();
+      fold_link_stats(slot);
+    }
+    slot.conn.reset();
+    slot.fd.reset();
   }
 
   // -- RX path (one thread per live connection) ----------------------------
 
-  void rx_loop(std::uint32_t id, std::uint64_t inc) {
+  void rx_loop(std::uint32_t id, std::uint64_t epoch) {
     FrameConn* conn = nullptr;
     {
       std::lock_guard guard(mu_);
       Slot& slot = slots_[id];
-      if (slot.incarnation != inc || !slot.conn) return;
+      if (slot.epoch != epoch || !slot.conn) return;
       conn = slot.conn.get();
     }
     for (;;) {
       {
         std::lock_guard guard(mu_);
         Slot& slot = slots_[id];
-        if (stop_ || slot.incarnation != inc ||
-            slot.state != SlotState::kLive) {
+        if (stop_ || slot.epoch != epoch || slot.state != SlotState::kLive) {
           return;
         }
       }
@@ -431,10 +662,7 @@ class ProcessCoordinator {
         case RecvStatus::kClosed: {
           std::lock_guard guard(mu_);
           Slot& slot = slots_[id];
-          if (slot.incarnation == inc && slot.state == SlotState::kLive) {
-            slot.state = SlotState::kLost;
-            cv_.notify_all();
-          }
+          if (slot.epoch == epoch) link_lost(slot, "connection closed");
           return;
         }
         case RecvStatus::kOk:
@@ -442,7 +670,7 @@ class ProcessCoordinator {
       }
       std::lock_guard guard(mu_);
       Slot& slot = slots_[id];
-      if (slot.incarnation != inc || slot.state != SlotState::kLive) return;
+      if (slot.epoch != epoch || slot.state != SlotState::kLive) return;
       switch (frame.type) {
         case MsgType::kPong:
           if (const auto pong = PongMsg::decode(frame.body)) {
@@ -452,6 +680,11 @@ class ProcessCoordinator {
         case MsgType::kTaskResult:
           if (auto result = TaskResultMsg::decode(frame.body)) {
             on_result(slot, std::move(*result));
+          }
+          break;
+        case MsgType::kStreamAck:
+          if (const auto ack = StreamAckMsg::decode(frame.body)) {
+            on_stream_ack(slot, *ack);
           }
           break;
         default:
@@ -470,13 +703,26 @@ class ProcessCoordinator {
       stats_.max_heartbeat_rtt_us =
           std::max(stats_.max_heartbeat_rtt_us, rtt_us);
       if (m_rtt_us_) m_rtt_us_->record(rtt_us);
+      if (slot.rtt_hist) slot.rtt_hist->record(rtt_us);
     }
   }
 
-  /// Handles one TaskResult under mu_: re-verify, then commit or
-  /// quarantine. Late results for reassigned/finished tasks are welcome
-  /// when valid and fresh (folding is commutative) and ignored when stale.
+  /// Handles one TaskResult under mu_: drop session replays we already
+  /// processed, then re-verify and commit or quarantine. Late results for
+  /// reassigned/finished tasks are welcome when valid and fresh (folding is
+  /// commutative) and counted as duplicates when the task already committed
+  /// — the journal therefore records every task exactly once.
   void on_result(Slot& slot, TaskResultMsg&& result) {
+    if (result.result_seq != 0) {
+      if (result.result_seq <= slot.rx_result_seq) {
+        // Replay of a frame this session already delivered (the worker's
+        // outbox is pruned by acks, but an ack can cross a replay in
+        // flight). Everything it carried was handled the first time.
+        ++stats_.results_replayed;
+        return;
+      }
+      slot.rx_result_seq = result.result_seq;
+    }
     const std::size_t task = result.task;
     const bool was_current = slot.busy && slot.current.task == task;
     std::size_t attempt = 0;
@@ -486,6 +732,8 @@ class ProcessCoordinator {
     }
     if (task >= total_) return;
     if (tstate_[task] == TaskState::kDone) {
+      ++stats_.duplicate_results;
+      if (m_duplicate_results_) m_duplicate_results_->inc();
       cv_.notify_all();
       return;  // duplicate of an already committed task
     }
@@ -516,6 +764,144 @@ class ProcessCoordinator {
       }
     }
     cv_.notify_all();
+  }
+
+  // -- chunked payload streaming (mu_ held) --------------------------------
+
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>>
+  encoded_payload(StreamKind kind, std::size_t idx, std::uint32_t* crc) {
+    auto& cache = kind == StreamKind::kSubset ? enc_subset_ : enc_product_;
+    auto& crcs =
+        kind == StreamKind::kSubset ? enc_subset_crc_ : enc_product_crc_;
+    if (!cache[idx]) {
+      std::vector<std::uint8_t> bytes;
+      if (kind == StreamKind::kSubset) {
+        SubsetDataMsg msg;
+        msg.subset = static_cast<std::uint32_t>(idx);
+        msg.moduli.assign(subsets_[idx].moduli.begin(),
+                          subsets_[idx].moduli.end());
+        bytes = msg.encode();
+      } else {
+        ProductDataMsg msg;
+        msg.subset = static_cast<std::uint32_t>(idx);
+        msg.product = products_[idx];
+        bytes = msg.encode();
+      }
+      crcs[idx] = core::crc32(bytes);
+      cache[idx] =
+          std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+    }
+    *crc = crcs[idx];
+    return cache[idx];
+  }
+
+  /// Queues a transfer for (kind, idx) unless delivered or already queued.
+  void ensure_transfer(Slot& slot, StreamKind kind, std::size_t idx) {
+    const bool delivered = kind == StreamKind::kSubset
+                               ? slot.delivered_subsets[idx]
+                               : slot.delivered_products[idx];
+    if (delivered) return;
+    for (const Transfer& t : slot.transfers) {
+      if (t.kind == kind && t.subset == idx) return;
+    }
+    Transfer t;
+    t.stream_id = next_stream_id_++;
+    t.kind = kind;
+    t.subset = static_cast<std::uint32_t>(idx);
+    t.payload = encoded_payload(kind, idx, &t.crc);
+    t.last_progress = Clock::now();
+    slot.transfers.push_back(std::move(t));
+  }
+
+  /// Drives the slot's head transfer: (re)announce with StreamBegin, then
+  /// send chunks up to the backpressure window beyond the acked prefix.
+  /// Chunks are injectable — a dropped chunk stalls the prefix and the
+  /// retransmit timer rewinds to it (go-back-N).
+  void pump_streams(Slot& slot) {
+    if (slot.state != SlotState::kLive || !slot.conn ||
+        slot.transfers.empty()) {
+      return;
+    }
+    Transfer& t = slot.transfers.front();
+    const std::uint64_t total = t.payload->size();
+    if (!t.begin_sent) {
+      StreamBeginMsg begin;
+      begin.stream_id = t.stream_id;
+      begin.kind = static_cast<std::uint8_t>(t.kind);
+      begin.subset = t.subset;
+      begin.total_bytes = total;
+      begin.payload_crc = t.crc;
+      if (!slot.conn->send(MsgType::kStreamBegin, begin.encode(),
+                           /*injectable=*/true)) {
+        link_lost(slot, "stream send failed");
+        return;
+      }
+      t.begin_sent = true;
+      t.last_progress = Clock::now();
+    }
+    const std::uint64_t window =
+        static_cast<std::uint64_t>(chunk_bytes_) * window_chunks_;
+    bool sent_any = false;
+    while (t.sent_off < total && t.sent_off - t.acked < window) {
+      const std::size_t n = static_cast<std::size_t>(
+          std::min<std::uint64_t>(chunk_bytes_, total - t.sent_off));
+      StreamChunkMsg chunk;
+      chunk.stream_id = t.stream_id;
+      chunk.offset = t.sent_off;
+      const auto* base = t.payload->data() + t.sent_off;
+      chunk.data.assign(base, base + n);
+      if (!slot.conn->send(MsgType::kStreamChunk, chunk.encode(),
+                           /*injectable=*/true)) {
+        link_lost(slot, "stream send failed");
+        return;
+      }
+      t.sent_off += n;
+      ++stats_.stream_chunks_sent;
+      if (m_stream_chunks_) m_stream_chunks_->inc();
+      sent_any = true;
+    }
+    if (sent_any) t.last_progress = Clock::now();
+  }
+
+  void on_stream_ack(Slot& slot, const StreamAckMsg& ack) {
+    if (slot.transfers.empty()) return;
+    Transfer& t = slot.transfers.front();
+    if (t.stream_id != ack.stream_id) return;
+    const std::uint64_t total = t.payload->size();
+    if (ack.received > total || ack.received <= t.acked) return;
+    t.acked = ack.received;
+    t.last_progress = Clock::now();
+    if (t.acked == total) {
+      if (t.kind == StreamKind::kSubset) {
+        slot.delivered_subsets[t.subset] = true;
+      } else {
+        slot.delivered_products[t.subset] = true;
+      }
+      slot.transfers.pop_front();
+      cv_.notify_all();  // a blocked assignment may now be satisfiable
+    }
+    pump_streams(slot);  // window slid, or the next transfer's Begin
+  }
+
+  /// Go-back-N retransmit: a head transfer with no ack progress for
+  /// stream_retransmit rewinds to the acked prefix and resends — recovery
+  /// for injected chunk/ack drops without any per-chunk bookkeeping.
+  void tick_streams() {
+    const auto now = Clock::now();
+    for (Slot& slot : slots_) {
+      if (slot.state != SlotState::kLive || slot.transfers.empty()) continue;
+      Transfer& t = slot.transfers.front();
+      if (now - t.last_progress > config_.stream_retransmit) {
+        if (t.begin_sent && t.sent_off > t.acked) {
+          ++stats_.stream_resumes;
+          if (m_stream_resumes_) m_stream_resumes_->inc();
+        }
+        t.sent_off = t.acked;
+        t.begin_sent = false;
+        t.last_progress = now;
+      }
+      pump_streams(slot);
+    }
   }
 
   // -- task bookkeeping (mu_ held) -----------------------------------------
@@ -598,12 +984,23 @@ class ProcessCoordinator {
 
   void supervise() {
     start_listener();
+    if (config_.on_listen) config_.on_listen(bound_port_);
     {
       std::lock_guard guard(mu_);
-      slots_.resize(workers_n_);
-      for (std::size_t w = 0; w < workers_n_; ++w) {
-        slots_[w].id = static_cast<std::uint32_t>(w);
-        spawn(slots_[w]);
+      slots_.resize(workers_n_ + remote_n_);
+      for (std::size_t w = 0; w < slots_.size(); ++w) {
+        Slot& slot = slots_[w];
+        slot.id = static_cast<std::uint32_t>(w);
+        if (config_.telemetry) {
+          slot.rtt_hist = &config_.telemetry->metrics().histogram(
+              "cluster.worker." + std::to_string(w) + ".rtt_us");
+        }
+        if (w < workers_n_) {
+          spawn(slot);
+        } else {
+          slot.is_remote = true;
+          arm_remote(slot);
+        }
       }
     }
 
@@ -615,9 +1012,11 @@ class ProcessCoordinator {
       if (committed_ == total_) return;
 
       tick_liveness();
-      tick_lost(lock);  // may drop the lock to join an RX thread
+      tick_disconnected(lock);  // may drop the lock to join an RX thread
+      tick_lost(lock);          // may drop the lock to join an RX thread
       if (fatal_) return;
       tick_timeouts();
+      tick_streams();
       tick_assign();
       tick_frame_metrics();
 
@@ -643,7 +1042,10 @@ class ProcessCoordinator {
 
   /// Heartbeats: ping live workers on the configured cadence and declare
   /// dead any that have not ponged within the miss budget. SIGSTOPped
-  /// workers are caught exactly here — their socket is open but silent.
+  /// workers are caught exactly here — their socket is open but silent. So
+  /// are half-open links: the socket looks fine to write, nothing ever
+  /// arrives. Pings carry the session's result high-water mark so the
+  /// worker can prune its replay outbox.
   void tick_liveness() {
     const auto now = Clock::now();
     const auto dead_after = config_.heartbeat_interval *
@@ -658,10 +1060,8 @@ class ProcessCoordinator {
       }
       if (slot.state != SlotState::kLive) continue;
       if (now - slot.last_pong > dead_after) {
-        log("cluster: worker " + std::to_string(slot.id) +
-            " missed heartbeats; declaring dead");
         ++stats_.heartbeat_deaths;
-        slot.state = SlotState::kLost;
+        link_lost(slot, "missed heartbeats");
         continue;
       }
       if (now - slot.last_ping >= config_.heartbeat_interval) {
@@ -669,9 +1069,31 @@ class ProcessCoordinator {
         PingMsg ping;
         ping.seq = slot.ping_seq++;
         ping.t_send_ns = now_ns();
+        ping.ack_result_seq = slot.rx_result_seq;
         if (!slot.conn->send(MsgType::kPing, ping.encode())) {
-          slot.state = SlotState::kLost;
+          link_lost(slot, "ping send failed");
         }
+      }
+    }
+  }
+
+  /// Tends parked sessions: tears down the dead link (the RX thread may
+  /// still be draining) so a redial can splice in cleanly, and expires
+  /// sessions whose grace window ran out — those become ordinary losses.
+  void tick_disconnected(std::unique_lock<std::mutex>& lock) {
+    for (std::size_t w = 0; w < slots_.size(); ++w) {
+      Slot& slot = slots_[w];
+      if (slot.state != SlotState::kDisconnected) continue;
+      detach_link(slot, lock);
+      if (slot.state != SlotState::kDisconnected) continue;
+      if (Clock::now() - slot.disconnected_at > config_.session_grace) {
+        log("cluster: worker " + std::to_string(slot.id) + " session " +
+            std::to_string(slot.session_id) + " expired after " +
+            std::to_string(config_.session_grace.count()) +
+            "ms grace; declaring lost");
+        ++stats_.sessions_expired;
+        if (m_sessions_expired_) m_sessions_expired_->inc();
+        slot.state = SlotState::kLost;
       }
     }
   }
@@ -687,11 +1109,11 @@ class ProcessCoordinator {
       if (m_workers_lost_) m_workers_lost_->inc();
       refresh_alive_gauge();
 
-      // Invalidate the incarnation so the RX thread exits, then wake it.
-      ++slot.incarnation;
+      // Invalidate the epoch so the RX thread exits, then wake it.
+      ++slot.epoch;
       if (slot.fd.valid()) ::shutdown(slot.fd.get(), SHUT_RDWR);
       std::thread rx = std::move(slot.rx);
-      const pid_t pid = slot.pid;
+      const pid_t pid = slot.is_remote ? -1 : slot.pid;
 
       if (slot.busy) {
         slot.busy = false;
@@ -721,11 +1143,15 @@ class ProcessCoordinator {
         log("cluster: respawning worker " + std::to_string(slot.id) + " (" +
             std::to_string(respawns_used_) + "/" +
             std::to_string(config_.restart_budget) + " restarts used)");
-        try {
-          spawn(slot);
-        } catch (const ClusterError&) {
-          slot.state = SlotState::kRetired;
-          ++stats_.workers_retired;
+        if (slot.is_remote) {
+          arm_remote(slot);  // re-open the slot for a fresh dial-in
+        } else {
+          try {
+            spawn(slot);
+          } catch (const ClusterError&) {
+            slot.state = SlotState::kRetired;
+            ++stats_.workers_retired;
+          }
         }
       } else {
         log("cluster: restart budget exhausted; retiring worker " +
@@ -738,11 +1164,17 @@ class ProcessCoordinator {
 
   /// Per-assignment deadline: a task not answered in time is requeued on
   /// another worker. The slow worker stays alive — if it is actually dead
-  /// the heartbeat says so.
+  /// the heartbeat says so. Disconnected slots keep their deadline running:
+  /// a partition that outlasts task_timeout surrenders the task to another
+  /// worker, and the healed session's late replay is deduplicated.
   void tick_timeouts() {
     const auto now = Clock::now();
     for (Slot& slot : slots_) {
-      if (slot.state != SlotState::kLive || !slot.busy) continue;
+      if ((slot.state != SlotState::kLive &&
+           slot.state != SlotState::kDisconnected) ||
+          !slot.busy) {
+        continue;
+      }
       if (now - slot.assigned_at <= config_.task_timeout) continue;
       ++stats_.task_timeouts;
       if (m_task_timeouts_) m_task_timeouts_->inc();
@@ -756,19 +1188,34 @@ class ProcessCoordinator {
     }
   }
 
+  /// Hands ready tasks to idle live workers. A task is only assignable to a
+  /// worker that holds its subset and product (fully acked streams); for
+  /// the first candidate that is missing data, the transfers are queued and
+  /// the scan keeps looking for one the worker can start right now.
   void tick_assign() {
     const auto now = Clock::now();
     for (Slot& slot : slots_) {
       if (slot.state != SlotState::kLive || slot.busy) continue;
       std::size_t pick = pending_.size();
+      bool enqueued = false;
       for (std::size_t i = 0; i < pending_.size(); ++i) {
         const Pending& p = pending_[i];
         if (p.banned_worker == slot.id && live_slots() > 1) continue;
-        if (p.ready_at <= now) {
+        if (p.ready_at > now) continue;
+        const std::size_t a = p.task % k_;
+        const std::size_t b = p.task / k_;
+        if (slot.delivered_subsets[a] && slot.delivered_products[b]) {
           pick = i;
           break;
         }
+        if (!enqueued) {
+          ensure_transfer(slot, StreamKind::kSubset, a);
+          ensure_transfer(slot, StreamKind::kProduct, b);
+          enqueued = true;
+        }
       }
+      if (enqueued) pump_streams(slot);
+      if (slot.state != SlotState::kLive) continue;  // pump lost the link
       if (pick == pending_.size()) continue;
       Pending p = pending_[pick];
       pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(pick));
@@ -784,35 +1231,12 @@ class ProcessCoordinator {
     return n;
   }
 
-  /// Ships one assignment: lazily fills the worker's subset/product caches
-  /// (clean frames), sends the TaskAssign (injectable), then applies any
-  /// process-tier fault decided for this (task, attempt).
+  /// Ships one assignment (the worker already holds the payloads — see
+  /// tick_assign), then applies any process-tier fault decided for this
+  /// (task, attempt).
   void assign(Slot& slot, const Pending& p) {
     const std::size_t b = p.task / k_;
     const std::size_t a = p.task % k_;
-
-    if (!slot.sent_subsets[a]) {
-      SubsetDataMsg msg;
-      msg.subset = static_cast<std::uint32_t>(a);
-      msg.moduli.assign(subsets_[a].moduli.begin(), subsets_[a].moduli.end());
-      if (!slot.conn->send(MsgType::kSubsetData, msg.encode())) {
-        slot.state = SlotState::kLost;
-        pending_.push_back(p);
-        return;
-      }
-      slot.sent_subsets[a] = true;
-    }
-    if (!slot.sent_products[b]) {
-      ProductDataMsg msg;
-      msg.subset = static_cast<std::uint32_t>(b);
-      msg.product = products_[b];
-      if (!slot.conn->send(MsgType::kProductData, msg.encode())) {
-        slot.state = SlotState::kLost;
-        pending_.push_back(p);
-        return;
-      }
-      slot.sent_products[b] = true;
-    }
 
     TaskAssignMsg msg;
     msg.task = static_cast<std::uint32_t>(p.task);
@@ -821,7 +1245,7 @@ class ProcessCoordinator {
     msg.attempt = static_cast<std::uint32_t>(p.attempt);
     if (!slot.conn->send(MsgType::kTaskAssign, msg.encode(),
                          /*injectable=*/true)) {
-      slot.state = SlotState::kLost;
+      link_lost(slot, "assign send failed");
       pending_.push_back(p);
       return;
     }
@@ -838,8 +1262,9 @@ class ProcessCoordinator {
 
     // Process-tier fault injection: the decision is keyed on (task,
     // attempt) like every other tier, so the schedule is independent of
-    // which worker drew the assignment.
-    if (config_.injector) {
+    // which worker drew the assignment. Remote workers are out of signal
+    // reach — their chaos comes from the connection tier.
+    if (config_.injector && !slot.is_remote && slot.pid > 0) {
       switch (config_.injector->decide_process(p.task, p.attempt)) {
         case util::ProcessFaultKind::kSigkill:
           ++stats_.sigkills_injected;
@@ -863,15 +1288,23 @@ class ProcessCoordinator {
     }
   }
 
-  /// Folds a dead incarnation's transport counters into the run totals
-  /// (live connections are summed on top in tick_frame_metrics()).
+  /// Folds a finished link's transport counters into the run totals (live
+  /// connections are summed on top in tick_frame_metrics()).
+  void fold_link_stats(Slot& slot) {
+    if (!slot.conn) return;
+    const FrameStats& s = slot.conn->stats();
+    retired_frames_sent_ += s.sent;
+    retired_frames_dropped_ += s.dropped + slot.worker_frames_dropped;
+    retired_frames_corrupt_ += s.corrupt;
+    retired_conn_faults_ +=
+        s.conn_disconnects + s.conn_partitions + s.conn_half_opens +
+        s.conn_drips;
+  }
+
+  /// fold_link_stats plus the per-slot death count — for links that ended
+  /// with the worker, not just the connection.
   void fold_conn_stats(Slot& slot) {
-    if (slot.conn) {
-      const FrameStats& s = slot.conn->stats();
-      retired_frames_sent_ += s.sent;
-      retired_frames_dropped_ += s.dropped + slot.worker_frames_dropped;
-      retired_frames_corrupt_ += s.corrupt;
-    }
+    fold_link_stats(slot);
     if (config_.telemetry) {
       auto& m = config_.telemetry->metrics();
       const std::string prefix = "cluster.worker." + std::to_string(slot.id);
@@ -883,16 +1316,20 @@ class ProcessCoordinator {
     std::uint64_t sent = retired_frames_sent_;
     std::uint64_t dropped = retired_frames_dropped_;
     std::uint64_t corrupt = retired_frames_corrupt_;
+    std::uint64_t conn_faults = retired_conn_faults_;
     for (const Slot& slot : slots_) {
       if (!slot.conn) continue;
       const FrameStats& s = slot.conn->stats();
       sent += s.sent;
       dropped += s.dropped + slot.worker_frames_dropped;
       corrupt += s.corrupt;
+      conn_faults += s.conn_disconnects + s.conn_partitions +
+                     s.conn_half_opens + s.conn_drips;
     }
     stats_.frames_sent = sent;
     stats_.frames_dropped = dropped;
     stats_.frames_corrupt = corrupt;
+    stats_.conn_faults_injected = conn_faults;
     if (m_frames_sent_) m_frames_sent_->set(sent);
     if (m_frames_dropped_) m_frames_dropped_->set(dropped);
     // frames_corrupt is inc()'d live by the RX threads.
@@ -903,7 +1340,9 @@ class ProcessCoordinator {
   /// Stops everything, in an order that cannot deadlock or leak: shutdown
   /// frames (best effort), RX threads, sockets, then child processes (a
   /// grace period for clean exits, SIGKILL for the rest — a SIGSTOPped
-  /// worker cannot process Shutdown). Idempotent.
+  /// worker cannot process Shutdown). Remote workers get the Shutdown frame
+  /// but are never signalled or reaped — they are not our children.
+  /// Idempotent.
   void cleanup() {
     std::vector<std::thread> rx_threads;
     std::vector<pid_t> pids;
@@ -916,10 +1355,10 @@ class ProcessCoordinator {
         if (slot.state == SlotState::kLive && slot.conn) {
           slot.conn->send(MsgType::kShutdown, {});
         }
-        ++slot.incarnation;
+        ++slot.epoch;
         if (slot.fd.valid()) ::shutdown(slot.fd.get(), SHUT_RDWR);
         if (slot.rx.joinable()) rx_threads.push_back(std::move(slot.rx));
-        if (slot.pid > 0) pids.push_back(slot.pid);
+        if (slot.pid > 0 && !slot.is_remote) pids.push_back(slot.pid);
       }
     }
     for (auto& t : rx_threads) t.join();
@@ -962,7 +1401,10 @@ class ProcessCoordinator {
   std::span<const BigInt> moduli_;
   std::size_t k_ = 1;
   std::size_t total_ = 0;
-  std::size_t workers_n_ = 1;
+  std::size_t workers_n_ = 1;  ///< local (forked) slots
+  std::size_t remote_n_ = 0;   ///< dial-in slots after the local ones
+  std::size_t chunk_bytes_ = 64 * 1024;
+  std::size_t window_chunks_ = 8;
   std::uint64_t fingerprint_ = 0;
   std::vector<Subset> subsets_;
   std::vector<BigInt> products_;  ///< per-subset product-tree roots
@@ -977,17 +1419,26 @@ class ProcessCoordinator {
   std::vector<TaskState> tstate_;
   std::size_t committed_ = 0;  ///< resumed + executed
   std::size_t respawns_used_ = 0;
+  std::uint64_t next_session_id_ = 1;
+  std::uint32_t next_stream_id_ = 1;
   bool halted_ = false;
   bool cancelled_ = false;
   bool stop_ = false;
   bool cleaned_up_ = false;
   std::exception_ptr fatal_;
   std::vector<std::vector<BigInt>> partial_;  ///< per subset, per leaf
+  // Encoded payload caches, shared across every slot's transfers (the
+  // bytes for subset a are identical no matter which worker needs them).
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> enc_subset_;
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> enc_product_;
+  std::vector<std::uint32_t> enc_subset_crc_;
+  std::vector<std::uint32_t> enc_product_crc_;
   batchgcd::TaskJournal journal_;
   ClusterStats stats_;
   std::uint64_t retired_frames_sent_ = 0;
   std::uint64_t retired_frames_dropped_ = 0;
   std::uint64_t retired_frames_corrupt_ = 0;
+  std::uint64_t retired_conn_faults_ = 0;
 
   obs::Gauge* m_workers_alive_ = nullptr;
   obs::Counter* m_respawns_ = nullptr;
@@ -1002,6 +1453,11 @@ class ProcessCoordinator {
   obs::Counter* m_frames_sent_ = nullptr;
   obs::Counter* m_frames_dropped_ = nullptr;
   obs::Counter* m_frames_corrupt_ = nullptr;
+  obs::Counter* m_reconnects_ = nullptr;
+  obs::Counter* m_sessions_expired_ = nullptr;
+  obs::Counter* m_duplicate_results_ = nullptr;
+  obs::Counter* m_stream_chunks_ = nullptr;
+  obs::Counter* m_stream_resumes_ = nullptr;
   obs::Histogram* m_rtt_us_ = nullptr;
 };
 
@@ -1010,12 +1466,16 @@ class ProcessCoordinator {
 batchgcd::BatchGcdResult batch_gcd_cluster(std::span<const BigInt> moduli,
                                            const ClusterConfig& config,
                                            ClusterStats* stats) {
-  if (config.worker_binary.empty()) {
-    throw ClusterError("cluster: worker_binary not configured");
-  }
-  if (::access(config.worker_binary.c_str(), X_OK) != 0) {
-    throw ClusterError("cluster: worker binary not executable: " +
-                       config.worker_binary);
+  const bool spawns_workers =
+      !(config.workers == 0 && config.remote_workers > 0);
+  if (spawns_workers) {
+    if (config.worker_binary.empty()) {
+      throw ClusterError("cluster: worker_binary not configured");
+    }
+    if (::access(config.worker_binary.c_str(), X_OK) != 0) {
+      throw ClusterError("cluster: worker binary not executable: " +
+                         config.worker_binary);
+    }
   }
   ProcessCoordinator coordinator(moduli, config);
   return coordinator.run(stats);

@@ -26,6 +26,15 @@
 //                                 (util::RetryPolicy — the same schedule as
 //                                 the in-process coordinator), preferring a
 //                                 different worker each time
+//   link drops / partitions       with session_grace > 0 a disconnect is
+//                                 not a death: the slot parks in
+//                                 kDisconnected keeping its session (cached
+//                                 payload delivery, transfer progress,
+//                                 result sequence); the worker redials with
+//                                 ReconnectHello and resumes — results it
+//                                 computed inside the partition replay and
+//                                 are deduplicated by sequence + journal,
+//                                 so every task still commits exactly once
 //   restart budget exhausted      the slot retires; the run degrades to the
 //                                 remaining workers and fails only when no
 //                                 worker is left with tasks still pending
@@ -56,15 +65,40 @@ namespace weakkeys::cluster {
 struct ClusterConfig {
   /// Subset count k; k^2 tasks. Clamped to [1, moduli.size()].
   std::size_t subsets = 4;
-  /// Worker processes to fork/exec (clamped to >= 1).
+  /// Worker processes to fork/exec. Clamped to >= 1 unless remote_workers
+  /// covers the compute (then 0 local workers is legal).
   std::size_t workers = 2;
-  /// Path to the gcd_worker binary. Required; start fails without it.
+  /// Extra dial-in slots for remote workers the coordinator does not spawn
+  /// itself (gcd_worker --connect host:port). Remote workers identify with
+  /// ids in [workers, workers + remote_workers); their pids are recorded
+  /// from Hello rather than validated, and a lost remote slot re-arms to
+  /// await a fresh dial-in (within the shared restart budget) instead of
+  /// being fork/exec'd.
+  std::size_t remote_workers = 0;
+  /// Path to the gcd_worker binary. Required when workers > 0.
   std::string worker_binary;
-  /// Listen address for worker connections (loopback: this is a local
-  /// process cluster, not a network service).
+  /// Listen address for worker connections. Loopback by default; bind a
+  /// routable address to accept remote workers.
   std::string bind_address = "127.0.0.1";
   /// Listen port; 0 = kernel-assigned ephemeral.
   std::uint16_t port = 0;
+  /// Invoked with the actually bound listen port once the coordinator is
+  /// accepting connections — how tests and tools launch dial-in workers
+  /// against an ephemeral port.
+  std::function<void(std::uint16_t)> on_listen;
+  /// How long a disconnected worker's *session* (cached subset/product
+  /// delivery state, in-flight transfer progress, result sequence) is kept
+  /// alive awaiting a ReconnectHello before the slot is declared lost and
+  /// respawned. 0 (default) = PR 6 behavior: disconnection is death.
+  std::chrono::milliseconds session_grace{0};
+  /// Chunk size for streaming subset/product payloads to workers.
+  std::size_t stream_chunk_bytes = 64 * 1024;
+  /// Backpressure: at most this many chunks may be in flight beyond the
+  /// worker's acked prefix on one transfer.
+  std::size_t stream_window_chunks = 8;
+  /// A transfer with no ack progress for this long rewinds to the acked
+  /// prefix and resends (go-back-N) — recovery for dropped chunks/acks.
+  std::chrono::milliseconds stream_retransmit{250};
   /// Per-task retry schedule — the same policy type (and therefore delay
   /// curve) as the in-process coordinator.
   util::RetryPolicy retry;
@@ -130,9 +164,16 @@ struct ClusterStats {
   std::size_t sigstops_injected = 0;
   std::size_t tasks_resumed = 0;   ///< from the journal, not re-run
   std::size_t tasks_executed = 0;  ///< committed by this run's workers
+  std::size_t reconnects = 0;      ///< sessions resumed after link loss
+  std::size_t sessions_expired = 0;   ///< grace windows that ran out
+  std::size_t duplicate_results = 0;  ///< results for already-done tasks
+  std::size_t results_replayed = 0;   ///< outbox replays already received
+  std::uint64_t stream_chunks_sent = 0;  ///< chunked payload frames written
+  std::uint64_t stream_resumes = 0;   ///< go-back-N rewinds (timeout/reconnect)
   std::uint64_t frames_sent = 0;     ///< coordinator-side frames written
   std::uint64_t frames_dropped = 0;  ///< injected drops, both directions
   std::uint64_t frames_corrupt = 0;  ///< frames rejected by CRC on receipt
+  std::uint64_t conn_faults_injected = 0;  ///< coordinator-side link events
   std::uint64_t max_heartbeat_rtt_us = 0;
 };
 

@@ -50,6 +50,7 @@ std::vector<std::uint8_t> HelloAckMsg::encode() const {
   core::BufferWriter w;
   w.u64(fingerprint);
   w.u32(heartbeat_interval_ms);
+  w.u64(session_id);
   return w.data();
 }
 
@@ -58,6 +59,49 @@ std::optional<HelloAckMsg> HelloAckMsg::decode(
   return decode_guard<HelloAckMsg>(body, [](core::BufferReader& r) {
     HelloAckMsg m;
     m.fingerprint = r.u64();
+    m.heartbeat_interval_ms = r.u32();
+    m.session_id = r.u64();
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> ReconnectHelloMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(worker_id);
+  w.u64(pid);
+  w.u64(session_id);
+  w.u64(last_committed_seq);
+  w.u32(version);
+  return w.data();
+}
+
+std::optional<ReconnectHelloMsg> ReconnectHelloMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<ReconnectHelloMsg>(body, [](core::BufferReader& r) {
+    ReconnectHelloMsg m;
+    m.worker_id = r.u32();
+    m.pid = r.u64();
+    m.session_id = r.u64();
+    m.last_committed_seq = r.u64();
+    m.version = r.u32();
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> ReconnectAckMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(accepted);
+  w.u64(ack_result_seq);
+  w.u32(heartbeat_interval_ms);
+  return w.data();
+}
+
+std::optional<ReconnectAckMsg> ReconnectAckMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<ReconnectAckMsg>(body, [](core::BufferReader& r) {
+    ReconnectAckMsg m;
+    m.accepted = static_cast<std::uint8_t>(r.u32());
+    m.ack_result_seq = r.u64();
     m.heartbeat_interval_ms = r.u32();
     return m;
   });
@@ -127,6 +171,7 @@ std::vector<std::uint8_t> TaskResultMsg::encode() const {
   core::BufferWriter w;
   w.u32(task);
   w.u32(worker_id);
+  w.u64(result_seq);
   w.u32(static_cast<std::uint32_t>(claims.size()));
   for (const auto& claim : claims) {
     w.u32(claim.leaf);
@@ -141,6 +186,7 @@ std::optional<TaskResultMsg> TaskResultMsg::decode(
     TaskResultMsg m;
     m.task = r.u32();
     m.worker_id = r.u32();
+    m.result_seq = r.u64();
     const std::uint32_t count = r.u32();
     m.claims.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
@@ -157,6 +203,7 @@ std::vector<std::uint8_t> PingMsg::encode() const {
   core::BufferWriter w;
   w.u64(seq);
   w.i64(t_send_ns);
+  w.u64(ack_result_seq);
   return w.data();
 }
 
@@ -165,6 +212,7 @@ std::optional<PingMsg> PingMsg::decode(const std::vector<std::uint8_t>& body) {
     PingMsg m;
     m.seq = r.u64();
     m.t_send_ns = r.i64();
+    m.ack_result_seq = r.u64();
     return m;
   });
 }
@@ -191,11 +239,85 @@ std::optional<PongMsg> PongMsg::decode(const std::vector<std::uint8_t>& body) {
   });
 }
 
+std::vector<std::uint8_t> StreamBeginMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(stream_id);
+  w.u32(kind);
+  w.u32(subset);
+  w.u64(total_bytes);
+  w.u32(payload_crc);
+  return w.data();
+}
+
+std::optional<StreamBeginMsg> StreamBeginMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<StreamBeginMsg>(body, [](core::BufferReader& r) {
+    StreamBeginMsg m;
+    m.stream_id = r.u32();
+    m.kind = static_cast<std::uint8_t>(r.u32());
+    m.subset = r.u32();
+    m.total_bytes = r.u64();
+    m.payload_crc = r.u32();
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> StreamChunkMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(stream_id);
+  w.u64(offset);
+  w.bytes(data);
+  return w.data();
+}
+
+std::optional<StreamChunkMsg> StreamChunkMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<StreamChunkMsg>(body, [](core::BufferReader& r) {
+    StreamChunkMsg m;
+    m.stream_id = r.u32();
+    m.offset = r.u64();
+    m.data = r.bytes();
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> StreamAckMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(stream_id);
+  w.u64(received);
+  return w.data();
+}
+
+std::optional<StreamAckMsg> StreamAckMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<StreamAckMsg>(body, [](core::BufferReader& r) {
+    StreamAckMsg m;
+    m.stream_id = r.u32();
+    m.received = r.u64();
+    return m;
+  });
+}
+
 // -- framed connection ------------------------------------------------------
 
+namespace {
+
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
 FrameConn::FrameConn(int fd, std::uint64_t stream,
-                     const util::FaultInjector* injector)
-    : fd_(fd), stream_(stream), injector_(injector) {}
+                     const util::FaultInjector* injector,
+                     std::uint64_t tx_seq_start, std::uint64_t conn_seq_start)
+    : fd_(fd),
+      stream_(stream),
+      tx_seq_(tx_seq_start),
+      conn_seq_(conn_seq_start),
+      injector_(injector) {}
 
 bool FrameConn::send(MsgType type, const std::vector<std::uint8_t>& body,
                      bool injectable) {
@@ -206,11 +328,60 @@ bool FrameConn::send(MsgType type, const std::vector<std::uint8_t>& body,
   const std::uint32_t crc = core::crc32(payload);
 
   std::lock_guard guard(tx_mu_);
+  // Connection tier first: a data frame may change the *link's* state.
+  // Like the frame tier, the decision sequence advances only on injectable
+  // frames so heartbeat traffic never shifts the schedule — but the state a
+  // decision opens (mute/drip windows, severance) applies to every frame,
+  // control included, until it closes. That is what makes it a connection
+  // event rather than frame loss.
+  if (injectable && injector_ && injector_->config().any_conn_faults()) {
+    const util::ConnFault conn = injector_->decide_conn(
+        stream_, conn_seq_.fetch_add(1, std::memory_order_relaxed));
+    const std::int64_t until =
+        steady_now_ns() + static_cast<std::int64_t>(conn.duration_ms) * 1000000;
+    switch (conn.kind) {
+      case util::ConnFaultKind::kNone:
+        break;
+      case util::ConnFaultKind::kDisconnect:
+        ++stats_.conn_disconnects;
+        severed_.store(true, std::memory_order_relaxed);
+        // Both directions die: the peer sees EOF, our own reader sees EOF.
+        ::shutdown(fd_, SHUT_RDWR);
+        return false;
+      case util::ConnFaultKind::kPartition:
+        ++stats_.conn_partitions;
+        tx_mute_until_ns_.store(until, std::memory_order_relaxed);
+        rx_mute_until_ns_.store(until, std::memory_order_relaxed);
+        break;
+      case util::ConnFaultKind::kHalfOpen:
+        ++stats_.conn_half_opens;
+        tx_mute_until_ns_.store(until, std::memory_order_relaxed);
+        break;
+      case util::ConnFaultKind::kSlowDrip:
+        ++stats_.conn_drips;
+        drip_until_ns_.store(until, std::memory_order_relaxed);
+        drip_delay_ms_.store(conn.drip_delay_ms, std::memory_order_relaxed);
+        break;
+    }
+  }
+  if (severed_.load(std::memory_order_relaxed)) return false;
+  if (steady_now_ns() < tx_mute_until_ns_.load(std::memory_order_relaxed)) {
+    ++stats_.tx_suppressed;
+    return true;  // swallowed by the partition; the sender cannot tell
+  }
+  if (steady_now_ns() < drip_until_ns_.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        drip_delay_ms_.load(std::memory_order_relaxed)));
+    ++stats_.dripped;
+  }
+
   // The injector sequence advances only on injectable frames, so the fault
   // schedule for the n-th data frame does not shift with heartbeat traffic.
   const util::FrameFault fault =
-      (injectable && injector_) ? injector_->decide_frame(stream_, tx_seq_++)
-                                : util::FrameFault{};
+      (injectable && injector_)
+          ? injector_->decide_frame(
+                stream_, tx_seq_.fetch_add(1, std::memory_order_relaxed))
+          : util::FrameFault{};
   if (fault.drop) {
     ++stats_.dropped;
     return true;  // a dropped frame is invisible to the sender too
@@ -237,27 +408,43 @@ bool FrameConn::send(MsgType type, const std::vector<std::uint8_t>& body,
 }
 
 RecvStatus FrameConn::recv(Frame* out, std::chrono::milliseconds timeout) {
-  if (!util::net::wait_readable(fd_, timeout)) return RecvStatus::kTimeout;
+  const bool bounded = timeout.count() >= 0;
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    auto wait = timeout;
+    if (bounded) {
+      wait = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (wait.count() < 0) wait = std::chrono::milliseconds(0);
+    }
+    if (!util::net::wait_readable(fd_, wait)) return RecvStatus::kTimeout;
 
-  std::uint8_t header[8];
-  if (!util::net::read_full(fd_, header, sizeof header))
-    return RecvStatus::kClosed;
-  std::uint32_t length = 0;
-  std::uint32_t crc = 0;
-  std::memcpy(&length, header, 4);
-  std::memcpy(&crc, header + 4, 4);
-  if (length == 0 || length > kMaxFrameBytes) return RecvStatus::kClosed;
+    std::uint8_t header[8];
+    if (!util::net::read_full(fd_, header, sizeof header))
+      return RecvStatus::kClosed;
+    std::uint32_t length = 0;
+    std::uint32_t crc = 0;
+    std::memcpy(&length, header, 4);
+    std::memcpy(&crc, header + 4, 4);
+    if (length == 0 || length > kMaxFrameBytes) return RecvStatus::kClosed;
 
-  std::vector<std::uint8_t> payload(length);
-  if (!util::net::read_full(fd_, payload.data(), payload.size()))
-    return RecvStatus::kClosed;
-  if (core::crc32(payload) != crc) {
-    ++stats_.corrupt;
-    return RecvStatus::kCorrupt;
+    std::vector<std::uint8_t> payload(length);
+    if (!util::net::read_full(fd_, payload.data(), payload.size()))
+      return RecvStatus::kClosed;
+    if (core::crc32(payload) != crc) {
+      ++stats_.corrupt;
+      return RecvStatus::kCorrupt;
+    }
+    if (steady_now_ns() < rx_mute_until_ns_.load(std::memory_order_relaxed)) {
+      // Inside an injected partition: the frame arrived at the socket but
+      // "the network" ate it. Consume, discard, keep waiting.
+      ++stats_.rx_discarded;
+      continue;
+    }
+    out->type = static_cast<MsgType>(payload[0]);
+    out->body.assign(payload.begin() + 1, payload.end());
+    return RecvStatus::kOk;
   }
-  out->type = static_cast<MsgType>(payload[0]);
-  out->body.assign(payload.begin() + 1, payload.end());
-  return RecvStatus::kOk;
 }
 
 }  // namespace weakkeys::cluster

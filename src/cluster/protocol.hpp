@@ -15,24 +15,42 @@
 // the task layer via timeouts and reassignment, exactly as a real lossy
 // transport would force.
 //
-// Message flow:
+// Message flow (protocol v2):
 //
-//   worker -> coordinator   Hello        (identify: worker id, pid)
-//   coordinator -> worker   HelloAck     (corpus fingerprint, heartbeat rate)
-//   coordinator -> worker   SubsetData   (leaf subset a: the moduli)
-//   coordinator -> worker   ProductData  (subset b's product-tree root)
-//   coordinator -> worker   TaskAssign   (run task: product b x subset a)
-//   worker -> coordinator   TaskResult   (verified upstream: divisor claims)
-//   coordinator -> worker   Ping         (liveness probe, RTT timestamped)
-//   worker -> coordinator   Pong         (echo + worker-side frame stats)
-//   coordinator -> worker   Shutdown     (drain and exit 0)
+//   worker -> coordinator   Hello          (identify: worker id, pid)
+//   coordinator -> worker   HelloAck       (fingerprint, heartbeat, session)
+//   coordinator -> worker   StreamBegin    (open a subset/product transfer)
+//   coordinator -> worker   StreamChunk    (offset-addressed payload slice)
+//   worker -> coordinator   StreamAck      (contiguous-prefix receipt)
+//   coordinator -> worker   TaskAssign     (run task: product b x subset a)
+//   worker -> coordinator   TaskResult     (divisor claims, session seq)
+//   coordinator -> worker   Ping           (liveness probe + result-seq ack)
+//   worker -> coordinator   Pong           (echo + worker-side frame stats)
+//   worker -> coordinator   ReconnectHello (resume session after link loss)
+//   coordinator -> worker   ReconnectAck   (accept/reject + replay point)
+//   coordinator -> worker   Shutdown       (drain and exit 0)
 //
-// Subset moduli and product roots are sent once per (worker incarnation,
-// subset) and cached worker-side, so the k^2 TaskAssign frames stay tiny —
-// the same data-placement shape as the paper's cluster, where each node
-// holds its subset locally and products move between nodes.
+// Subset moduli and product roots are streamed once per *session* in
+// chunked, offset-addressed frames (StreamBegin/Chunk/Ack — go-back-N with
+// a bounded send window for backpressure) and cached worker-side, so the
+// k^2 TaskAssign frames stay tiny — the same data-placement shape as the
+// paper's cluster, where each node holds its subset locally and products
+// move between nodes. A session survives TCP disconnection: the worker
+// dials back and offers ReconnectHello{session_id, last_committed_seq};
+// the coordinator resumes in-flight transfers from the acked prefix and
+// the worker replays unacknowledged TaskResults, which the coordinator
+// deduplicates by session-scoped result sequence and by task state — so
+// every task commits to the WKCP journal exactly once no matter how often
+// the link flaps.
+//
+// The connection tier of the fault injector perturbs the link itself
+// (abrupt disconnect, timed bidirectional partition, half-open, slow-drip
+// throttle); FrameConn implements those as link-state windows that mute or
+// throttle *all* frames — control included — which is what distinguishes a
+// partition from per-frame loss.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -46,8 +64,9 @@
 namespace weakkeys::cluster {
 
 /// Bumped on any incompatible frame/message change; Hello carries it and
-/// the coordinator refuses mismatched workers.
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// the coordinator refuses mismatched workers. v2 added sessions (reconnect
+/// handshake, result sequencing) and chunked subset/product streaming.
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 /// Upper bound on a frame payload; a length prefix beyond this means the
 /// stream is garbage (or hostile) and the connection is dropped rather
@@ -57,13 +76,18 @@ inline constexpr std::uint32_t kMaxFrameBytes = 1u << 28;  // 256 MiB
 enum class MsgType : std::uint8_t {
   kHello = 1,
   kHelloAck = 2,
-  kSubsetData = 3,
-  kProductData = 4,
+  kSubsetData = 3,   ///< retained as the *payload encoding* of a stream
+  kProductData = 4,  ///< retained as the *payload encoding* of a stream
   kTaskAssign = 5,
   kTaskResult = 6,
   kPing = 7,
   kPong = 8,
   kShutdown = 9,
+  kReconnectHello = 10,
+  kReconnectAck = 11,
+  kStreamBegin = 12,
+  kStreamChunk = 13,
+  kStreamAck = 14,
 };
 
 struct Frame {
@@ -89,9 +113,41 @@ struct HelloMsg {
 struct HelloAckMsg {
   std::uint64_t fingerprint = 0;  ///< corpus identity (sanity check)
   std::uint32_t heartbeat_interval_ms = 0;
+  std::uint64_t session_id = 0;  ///< minted per handshake; reconnect key
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static std::optional<HelloAckMsg> decode(
+      const std::vector<std::uint8_t>& body);
+};
+
+/// Offered by a worker dialing back after link loss: resume `session_id`
+/// instead of starting over. `last_committed_seq` is the highest result
+/// sequence the coordinator has acknowledged (via Ping) — everything the
+/// worker sent after it is replayed once the ReconnectAck names the
+/// coordinator's own high-water mark.
+struct ReconnectHelloMsg {
+  std::uint32_t worker_id = 0;
+  std::uint64_t pid = 0;
+  std::uint64_t session_id = 0;
+  std::uint64_t last_committed_seq = 0;
+  std::uint32_t version = kProtocolVersion;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<ReconnectHelloMsg> decode(
+      const std::vector<std::uint8_t>& body);
+};
+
+/// accepted == 0 means the session expired (grace window passed, or the
+/// coordinator restarted); the worker must exit and let the supervisor
+/// spawn a fresh incarnation. On acceptance the worker prunes its outbox
+/// through `ack_result_seq` and replays the rest.
+struct ReconnectAckMsg {
+  std::uint8_t accepted = 0;
+  std::uint64_t ack_result_seq = 0;
+  std::uint32_t heartbeat_interval_ms = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<ReconnectAckMsg> decode(
       const std::vector<std::uint8_t>& body);
 };
 
@@ -127,6 +183,9 @@ struct TaskAssignMsg {
 struct TaskResultMsg {
   std::uint32_t task = 0;
   std::uint32_t worker_id = 0;
+  /// Session-scoped monotonic sequence (1-based) assigned by the worker;
+  /// the coordinator's dedup key for replays after reconnect.
+  std::uint64_t result_seq = 0;
   std::vector<batchgcd::TaskClaim> claims;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
@@ -137,6 +196,9 @@ struct TaskResultMsg {
 struct PingMsg {
   std::uint64_t seq = 0;
   std::int64_t t_send_ns = 0;  ///< coordinator steady-clock, echoed back
+  /// Highest result_seq the coordinator has received this session; the
+  /// worker prunes its replay outbox through it.
+  std::uint64_t ack_result_seq = 0;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static std::optional<PingMsg> decode(const std::vector<std::uint8_t>& body);
@@ -151,6 +213,52 @@ struct PongMsg {
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static std::optional<PongMsg> decode(const std::vector<std::uint8_t>& body);
+};
+
+// -- chunked streaming ------------------------------------------------------
+// Large payloads (subset moduli, product roots) travel as a stream: one
+// StreamBegin announcing identity/size/checksum, then offset-addressed
+// StreamChunks. The receiver accepts only the chunk extending its
+// contiguous prefix (go-back-N) and acks the prefix length; the sender
+// keeps at most a window of unacked bytes in flight (backpressure) and
+// rewinds to the acked prefix on retransmit timeout or reconnect — which
+// is what makes a transfer resumable mid-stream.
+
+/// What a completed stream decodes into.
+enum class StreamKind : std::uint8_t {
+  kSubset = 0,   ///< payload is a SubsetDataMsg body
+  kProduct = 1,  ///< payload is a ProductDataMsg body
+};
+
+struct StreamBeginMsg {
+  std::uint32_t stream_id = 0;  ///< coordinator-unique transfer id
+  std::uint8_t kind = 0;        ///< StreamKind
+  std::uint32_t subset = 0;     ///< which subset/product this carries
+  std::uint64_t total_bytes = 0;
+  std::uint32_t payload_crc = 0;  ///< crc32 of the whole reassembled payload
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<StreamBeginMsg> decode(
+      const std::vector<std::uint8_t>& body);
+};
+
+struct StreamChunkMsg {
+  std::uint32_t stream_id = 0;
+  std::uint64_t offset = 0;  ///< byte offset of `data` within the payload
+  std::vector<std::uint8_t> data;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<StreamChunkMsg> decode(
+      const std::vector<std::uint8_t>& body);
+};
+
+struct StreamAckMsg {
+  std::uint32_t stream_id = 0;
+  std::uint64_t received = 0;  ///< contiguous prefix bytes now held
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static std::optional<StreamAckMsg> decode(
+      const std::vector<std::uint8_t>& body);
 };
 
 // Shutdown has an empty body.
@@ -174,6 +282,14 @@ struct FrameStats {
   std::uint64_t garbled = 0;  ///< frames the injector corrupted on send
   std::uint64_t delayed = 0;  ///< frames the injector delayed
   std::uint64_t corrupt = 0;  ///< received frames rejected by CRC
+  // Connection-tier events and their fallout:
+  std::uint64_t conn_disconnects = 0;  ///< link severed by the injector
+  std::uint64_t conn_partitions = 0;   ///< bidirectional mute windows opened
+  std::uint64_t conn_half_opens = 0;   ///< TX-only mute windows opened
+  std::uint64_t conn_drips = 0;        ///< slow-drip windows opened
+  std::uint64_t tx_suppressed = 0;     ///< frames swallowed while TX-muted
+  std::uint64_t rx_discarded = 0;      ///< frames discarded while RX-muted
+  std::uint64_t dripped = 0;           ///< frames throttled by slow-drip
 };
 
 /// One framed, fault-injectable connection endpoint. send() is thread-safe
@@ -185,8 +301,14 @@ class FrameConn {
   /// `stream` seeds the injector's frame tier: each direction of each
   /// worker connection is its own stream, so fault schedules are stable
   /// per-direction regardless of traffic on other connections.
+  /// `tx_seq_start`/`conn_seq_start` restore the injector counters of a
+  /// previous connection on the same stream: a reconnected link continues
+  /// the deterministic fault schedule where the old one left off instead
+  /// of replaying it from zero (which would re-sever a fresh link with the
+  /// exact fault that killed its predecessor, forever).
   FrameConn(int fd, std::uint64_t stream,
-            const util::FaultInjector* injector = nullptr);
+            const util::FaultInjector* injector = nullptr,
+            std::uint64_t tx_seq_start = 0, std::uint64_t conn_seq_start = 0);
 
   /// Frames and writes one message. When `injectable`, the injector is
   /// consulted first: a drop decision skips the write entirely (the
@@ -206,19 +328,39 @@ class FrameConn {
 
   /// Reads the next frame. Blocks up to `timeout` for the *first* byte
   /// (negative = forever); once a length prefix arrives the rest of the
-  /// frame is read to completion.
+  /// frame is read to completion. Frames arriving inside an RX-mute window
+  /// (injected partition) are consumed and discarded as if the network had
+  /// eaten them; the wait continues against the original deadline.
   RecvStatus recv(Frame* out, std::chrono::milliseconds timeout);
 
   [[nodiscard]] const FrameStats& stats() const { return stats_; }
   [[nodiscard]] int fd() const { return fd_; }
 
+  /// Injector-counter snapshots for carrying across a reconnect. Atomic so
+  /// a supervisor can snapshot them while a stray late send is in flight.
+  [[nodiscard]] std::uint64_t tx_seq() const {
+    return tx_seq_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t conn_seq() const {
+    return conn_seq_.load(std::memory_order_relaxed);
+  }
+
  private:
   int fd_;
   std::uint64_t stream_;
-  std::uint64_t tx_seq_ = 0;
+  std::atomic<std::uint64_t> tx_seq_;
+  std::atomic<std::uint64_t> conn_seq_;
   const util::FaultInjector* injector_;
   std::mutex tx_mu_;
   FrameStats stats_;
+  // Connection-tier link state. Deadlines are steady-clock nanoseconds;
+  // atomics because a send on any thread opens windows that the (single)
+  // recv thread must observe.
+  std::atomic<std::int64_t> tx_mute_until_ns_{0};
+  std::atomic<std::int64_t> rx_mute_until_ns_{0};
+  std::atomic<std::int64_t> drip_until_ns_{0};
+  std::atomic<std::uint32_t> drip_delay_ms_{0};
+  std::atomic<bool> severed_{false};
 };
 
 }  // namespace weakkeys::cluster

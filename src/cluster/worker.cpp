@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <map>
 #include <memory>
@@ -17,6 +18,7 @@
 #include "batchgcd/product_tree.hpp"
 #include "batchgcd/remainder_tree.hpp"
 #include "cluster/protocol.hpp"
+#include "core/binary_io.hpp"
 #include "util/net.hpp"
 
 namespace weakkeys::cluster {
@@ -26,6 +28,7 @@ namespace weakkeys::cluster {
 namespace {
 
 using bn::BigInt;
+using Clock = std::chrono::steady_clock;
 
 /// Stream id for the worker -> coordinator direction of worker `w`'s
 /// connection (the coordinator uses 2*w for its own direction).
@@ -33,100 +36,297 @@ std::uint64_t tx_stream(std::uint32_t worker_id) {
   return 2ull * worker_id + 1;
 }
 
+/// rx_loop() outcome that is not a process exit code: the transport died
+/// but the session may still be resumable.
+constexpr int kLinkLost = -1;
+
+/// One TCP connection: fd + framed endpoint. Sessions outlive links — the
+/// worker swaps in a fresh Link per reconnect while the compute thread may
+/// still hold a shared_ptr to the dead one (its sends fail harmlessly; the
+/// outbox replay owns delivery).
+struct Link {
+  util::net::UniqueFd fd;
+  FrameConn conn;
+  Link(int raw_fd, std::uint64_t stream, const util::FaultInjector* injector,
+       std::uint64_t tx_seq_start, std::uint64_t conn_seq_start)
+      : fd(raw_fd),
+        conn(raw_fd, stream, injector, tx_seq_start, conn_seq_start) {}
+};
+
 class Worker {
  public:
   explicit Worker(const WorkerConfig& config)
       : config_(config), injector_(config.faults) {}
 
   int run() {
-    util::net::UniqueFd fd(util::net::connect_tcp(
-        config_.coordinator_address, config_.port, config_.connect_timeout));
-    if (!fd.valid()) {
+    util::net::ignore_sigpipe();
+    int code = kWorkerExitProtocol;
+    std::thread compute;
+    bool compute_started = false;
+    auto backoff = config_.reconnect_backoff;
+    auto give_up_at = Clock::now() + config_.reconnect_window;
+
+    for (;;) {
+      const bool resuming = session_id_ != 0;
+      std::shared_ptr<Link> link = dial();
+      if (!link) {
+        if (!resuming) {
+          log("worker " + std::to_string(config_.worker_id) +
+              ": cannot connect to coordinator");
+          code = kWorkerExitConnect;
+          break;
+        }
+        if (Clock::now() >= give_up_at) {
+          log("worker " + std::to_string(config_.worker_id) +
+              ": reconnect window exhausted");
+          code = kWorkerExitConnect;
+          break;
+        }
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, std::chrono::milliseconds(1000));
+        continue;
+      }
+
+      const Handshake hs = resuming ? reconnect_handshake(link.get())
+                                    : hello_handshake(link.get());
+      if (hs == Handshake::kFatal) {
+        code = kWorkerExitProtocol;
+        break;
+      }
+      if (hs == Handshake::kRetry) {
+        if (!resuming || Clock::now() >= give_up_at) {
+          code = resuming ? kWorkerExitConnect : kWorkerExitProtocol;
+          break;
+        }
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, std::chrono::milliseconds(1000));
+        continue;
+      }
+
+      install_link(link);
+      if (resuming) replay_outbox(link.get());
+      if (!compute_started) {
+        compute = std::thread([this] { compute_loop(); });
+        compute_started = true;
+      }
+
+      code = rx_loop(link.get());
+      drop_link(link.get());
+      if (code != kLinkLost) break;
+      if (!config_.session_reconnect || session_id_ == 0) {
+        code = kWorkerExitProtocol;
+        break;
+      }
       log("worker " + std::to_string(config_.worker_id) +
-          ": cannot connect to coordinator");
-      return kWorkerExitConnect;
+          ": connection lost; attempting session resume");
+      give_up_at = Clock::now() + config_.reconnect_window;
+      backoff = config_.reconnect_backoff;
     }
-    conn_ = std::make_unique<FrameConn>(
-        fd.get(), tx_stream(config_.worker_id),
-        config_.faults.any_frame_faults() ? &injector_ : nullptr);
 
-    HelloMsg hello;
-    hello.worker_id = config_.worker_id;
-    hello.pid = static_cast<std::uint64_t>(::getpid());
-    if (!conn_->send(MsgType::kHello, hello.encode()))
-      return kWorkerExitProtocol;
-    if (!await_hello_ack()) return kWorkerExitProtocol;
-
-    std::thread compute([this] { compute_loop(); });
-    const int code = rx_loop();
-    {
-      std::lock_guard guard(mu_);
-      stop_ = true;
+    if (compute_started) {
+      {
+        std::lock_guard guard(mu_);
+        stop_ = true;
+      }
+      cv_.notify_all();
+      compute.join();
     }
-    cv_.notify_all();
-    compute.join();
-    return code;
+    return code == kLinkLost ? kWorkerExitProtocol : code;
   }
 
  private:
+  enum class Handshake : std::uint8_t { kOk, kRetry, kFatal };
+
   void log(const std::string& message) const {
     if (config_.log) config_.log(message);
   }
 
-  bool await_hello_ack() {
-    const auto deadline =
-        std::chrono::steady_clock::now() + config_.connect_timeout;
+  std::shared_ptr<Link> dial() {
+    const int raw = util::net::connect_tcp(
+        config_.coordinator_address, config_.port, config_.connect_timeout);
+    if (raw < 0) return nullptr;
+    if (config_.tcp_keepalive) util::net::enable_keepalive(raw);
+    const util::FaultInjector* injector =
+        (config_.faults.any_frame_faults() || config_.faults.any_conn_faults())
+            ? &injector_
+            : nullptr;
+    return std::make_shared<Link>(raw, tx_stream(config_.worker_id), injector,
+                                  tx_seq_base_, conn_seq_base_);
+  }
+
+  void install_link(const std::shared_ptr<Link>& link) {
+    std::lock_guard guard(mu_);
+    link_ = link;
+  }
+
+  /// Retires a dead link: detaches it from the compute thread and banks the
+  /// injector counters so the next connection continues the fault schedule
+  /// instead of replaying it.
+  void drop_link(Link* link) {
+    std::lock_guard guard(mu_);
+    tx_seq_base_ = link->conn.tx_seq();
+    conn_seq_base_ = link->conn.conn_seq();
+    if (link_.get() == link) link_.reset();
+  }
+
+  Handshake hello_handshake(Link* link) {
+    HelloMsg hello;
+    hello.worker_id = config_.worker_id;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    if (!link->conn.send(MsgType::kHello, hello.encode()))
+      return Handshake::kFatal;
+    const auto deadline = Clock::now() + config_.connect_timeout;
     for (;;) {
       const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
-          deadline - std::chrono::steady_clock::now());
-      if (left.count() <= 0) return false;
+          deadline - Clock::now());
+      if (left.count() <= 0) return Handshake::kFatal;
       Frame frame;
-      switch (conn_->recv(&frame, left)) {
-        case RecvStatus::kOk:
-          if (frame.type != MsgType::kHelloAck) return false;
-          return HelloAckMsg::decode(frame.body).has_value();
+      switch (link->conn.recv(&frame, left)) {
+        case RecvStatus::kOk: {
+          if (frame.type != MsgType::kHelloAck) return Handshake::kFatal;
+          const auto ack = HelloAckMsg::decode(frame.body);
+          if (!ack) return Handshake::kFatal;
+          session_id_ = ack->session_id;
+          hb_interval_ms_ = ack->heartbeat_interval_ms;
+          return Handshake::kOk;
+        }
         case RecvStatus::kCorrupt:
           continue;  // control frames are sent clean; be tolerant anyway
         case RecvStatus::kTimeout:
         case RecvStatus::kClosed:
-          return false;
+          return Handshake::kFatal;
+      }
+    }
+  }
+
+  Handshake reconnect_handshake(Link* link) {
+    ReconnectHelloMsg hello;
+    hello.worker_id = config_.worker_id;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    hello.session_id = session_id_;
+    {
+      std::lock_guard guard(mu_);
+      hello.last_committed_seq = acked_result_seq_;
+    }
+    if (!link->conn.send(MsgType::kReconnectHello, hello.encode()))
+      return Handshake::kRetry;
+    const auto deadline = Clock::now() + config_.connect_timeout;
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) return Handshake::kRetry;
+      Frame frame;
+      switch (link->conn.recv(&frame, left)) {
+        case RecvStatus::kOk: {
+          if (frame.type != MsgType::kReconnectAck) return Handshake::kRetry;
+          const auto ack = ReconnectAckMsg::decode(frame.body);
+          if (!ack) return Handshake::kRetry;
+          if (ack->accepted == 0) {
+            // Session expired coordinator-side: a fresh incarnation has
+            // been (or will be) spawned in our place. Nothing to resume.
+            log("worker " + std::to_string(config_.worker_id) +
+                ": session rejected by coordinator");
+            return Handshake::kFatal;
+          }
+          hb_interval_ms_ = ack->heartbeat_interval_ms;
+          prune_outbox(ack->ack_result_seq);
+          return Handshake::kOk;
+        }
+        case RecvStatus::kCorrupt:
+          continue;
+        case RecvStatus::kTimeout:
+        case RecvStatus::kClosed:
+          return Handshake::kRetry;
+      }
+    }
+  }
+
+  void prune_outbox(std::uint64_t ack_seq) {
+    std::lock_guard guard(mu_);
+    acked_result_seq_ = std::max(acked_result_seq_, ack_seq);
+    while (!outbox_.empty() && outbox_.front().result_seq <= acked_result_seq_)
+      outbox_.pop_front();
+  }
+
+  /// Resends every result the coordinator has not acknowledged. Replays are
+  /// injectable like first sends: a replayed frame can be dropped again,
+  /// and either a later Ping ack or the next reconnect settles it.
+  void replay_outbox(Link* link) {
+    std::vector<TaskResultMsg> replay;
+    {
+      std::lock_guard guard(mu_);
+      replay.assign(outbox_.begin(), outbox_.end());
+    }
+    for (const auto& result : replay) {
+      if (!link->conn.send(MsgType::kTaskResult, result.encode(),
+                           /*injectable=*/true)) {
+        return;  // link already dead again; rx_loop will notice
       }
     }
   }
 
   /// The RX loop: answers pings inline (so liveness reflects the process,
-  /// not the compute queue), caches subset data, queues task assignments.
-  int rx_loop() {
+  /// not the compute queue), reassembles data streams, queues task
+  /// assignments. Returns kWorkerExitOk on Shutdown, kLinkLost when the
+  /// transport died (EOF, send failure, or ping-deadline expiry).
+  int rx_loop(Link* link) {
+    auto last_rx = Clock::now();
     for (;;) {
+      // Half-open detection: a link that has gone silent past the ping
+      // deadline is dead even though the socket never errored — the classic
+      // half-open TCP state after a partition or peer freeze.
+      const auto deadline = ping_deadline();
+      if (deadline.count() > 0 && Clock::now() - last_rx > deadline) {
+        log("worker " + std::to_string(config_.worker_id) +
+            ": ping deadline passed; link presumed half-open");
+        return kLinkLost;
+      }
       Frame frame;
-      switch (conn_->recv(&frame, std::chrono::milliseconds(500))) {
+      switch (link->conn.recv(&frame, std::chrono::milliseconds(200))) {
         case RecvStatus::kTimeout:
+          continue;
         case RecvStatus::kCorrupt:
           // Corrupt = an injected garble consumed whole; the task layer
-          // (coordinator-side timeout) owns recovery. Keep serving.
+          // (coordinator-side timeout) owns recovery. Bytes arriving still
+          // prove the link is alive.
+          last_rx = Clock::now();
           continue;
         case RecvStatus::kClosed:
-          log("worker " + std::to_string(config_.worker_id) +
-              ": coordinator connection lost");
-          return kWorkerExitProtocol;
+          return kLinkLost;
         case RecvStatus::kOk:
+          last_rx = Clock::now();
           break;
       }
       switch (frame.type) {
         case MsgType::kPing: {
           if (const auto ping = PingMsg::decode(frame.body)) {
+            prune_outbox(ping->ack_result_seq);
             PongMsg pong;
             pong.seq = ping->seq;
             pong.t_send_ns = ping->t_send_ns;
             pong.tasks_done = tasks_done_.load(std::memory_order_relaxed);
-            pong.frames_sent = conn_->stats().sent;
-            pong.frames_dropped = conn_->stats().dropped;
-            if (!conn_->send(MsgType::kPong, pong.encode()))
-              return kWorkerExitProtocol;
+            pong.frames_sent = link->conn.stats().sent;
+            pong.frames_dropped = link->conn.stats().dropped;
+            if (!link->conn.send(MsgType::kPong, pong.encode()))
+              return kLinkLost;
+          }
+          break;
+        }
+        case MsgType::kStreamBegin: {
+          if (const auto msg = StreamBeginMsg::decode(frame.body)) {
+            if (!on_stream_begin(link, *msg)) return kLinkLost;
+          }
+          break;
+        }
+        case MsgType::kStreamChunk: {
+          if (auto msg = StreamChunkMsg::decode(frame.body)) {
+            if (!on_stream_chunk(link, *msg)) return kLinkLost;
           }
           break;
         }
         case MsgType::kSubsetData: {
+          // Legacy single-frame fill; the coordinator streams these now but
+          // the handler stays for protocol-level tests and compatibility.
           if (auto msg = SubsetDataMsg::decode(frame.body)) {
             std::lock_guard guard(mu_);
             subsets_[msg->subset] = std::move(msg->moduli);
@@ -158,6 +358,92 @@ class Worker {
       }
     }
   }
+
+  [[nodiscard]] std::chrono::milliseconds ping_deadline() const {
+    if (config_.ping_deadline.count() > 0) return config_.ping_deadline;
+    if (!config_.session_reconnect || hb_interval_ms_ == 0)
+      return std::chrono::milliseconds(0);  // disarmed (PR 6 behavior)
+    return std::chrono::milliseconds(10ull * hb_interval_ms_);
+  }
+
+  // -- stream reassembly (RX thread only) ---------------------------------
+
+  struct RxStream {
+    std::uint8_t kind = 0;
+    std::uint32_t subset = 0;
+    std::uint64_t total = 0;
+    std::uint32_t crc = 0;
+    std::vector<std::uint8_t> buf;
+    std::uint64_t prefix = 0;  ///< contiguous bytes held
+  };
+
+  bool send_stream_ack(Link* link, std::uint32_t stream_id,
+                       std::uint64_t received) {
+    StreamAckMsg ack;
+    ack.stream_id = stream_id;
+    ack.received = received;
+    return link->conn.send(MsgType::kStreamAck, ack.encode());
+  }
+
+  bool on_stream_begin(Link* link, const StreamBeginMsg& msg) {
+    if (msg.total_bytes == 0 || msg.total_bytes > kMaxFrameBytes) return true;
+    auto it = rx_streams_.find(msg.stream_id);
+    if (it == rx_streams_.end() || it->second.total != msg.total_bytes ||
+        it->second.crc != msg.payload_crc) {
+      // Fresh transfer (or the sender restarted it with different content).
+      RxStream stream;
+      stream.kind = msg.kind;
+      stream.subset = msg.subset;
+      stream.total = msg.total_bytes;
+      stream.crc = msg.payload_crc;
+      stream.buf.resize(msg.total_bytes);
+      rx_streams_[msg.stream_id] = std::move(stream);
+      it = rx_streams_.find(msg.stream_id);
+    }
+    // A duplicate Begin after reconnect keeps the existing prefix — acking
+    // it tells the sender where to resume mid-stream.
+    return send_stream_ack(link, msg.stream_id, it->second.prefix);
+  }
+
+  bool on_stream_chunk(Link* link, const StreamChunkMsg& msg) {
+    const auto it = rx_streams_.find(msg.stream_id);
+    if (it == rx_streams_.end()) return true;  // stale/unknown transfer
+    RxStream& stream = it->second;
+    // Go-back-N: only the chunk extending the contiguous prefix advances
+    // it; duplicates and holes are discarded and the ack re-states the
+    // prefix so the sender rewinds.
+    if (msg.offset == stream.prefix && !msg.data.empty() &&
+        msg.offset + msg.data.size() <= stream.total) {
+      std::memcpy(stream.buf.data() + msg.offset, msg.data.data(),
+                  msg.data.size());
+      stream.prefix += msg.data.size();
+    }
+    const std::uint32_t id = msg.stream_id;
+    const std::uint64_t prefix = stream.prefix;
+    if (prefix == stream.total) {
+      if (core::crc32(stream.buf) == stream.crc) deliver_stream(stream);
+      rx_streams_.erase(it);
+    }
+    return send_stream_ack(link, id, prefix);
+  }
+
+  void deliver_stream(const RxStream& stream) {
+    if (stream.kind == static_cast<std::uint8_t>(StreamKind::kSubset)) {
+      if (auto msg = SubsetDataMsg::decode(stream.buf)) {
+        std::lock_guard guard(mu_);
+        subsets_[msg->subset] = std::move(msg->moduli);
+        trees_.erase(msg->subset);
+      }
+    } else if (stream.kind ==
+               static_cast<std::uint8_t>(StreamKind::kProduct)) {
+      if (auto msg = ProductDataMsg::decode(stream.buf)) {
+        std::lock_guard guard(mu_);
+        products_[msg->subset] = std::move(msg->product);
+      }
+    }
+  }
+
+  // -- compute ------------------------------------------------------------
 
   void compute_loop() {
     for (;;) {
@@ -247,23 +533,50 @@ class Worker {
       }
     }
     tasks_done_.fetch_add(1, std::memory_order_relaxed);
-    // Injectable: a dropped or garbled result is exactly the loss the
-    // coordinator's timeout/retry machinery must absorb.
-    conn_->send(MsgType::kTaskResult, result.encode(), /*injectable=*/true);
+    post_result(std::move(result));
+  }
+
+  /// Sequences a finished result into the outbox, then attempts delivery on
+  /// whatever link is current. A failed or muted send is not an error: the
+  /// result stays outboxed until a Ping ack prunes it, and every reconnect
+  /// replays the unacked tail. Injectable: a dropped or garbled result is
+  /// exactly the loss the coordinator's timeout/retry machinery absorbs.
+  void post_result(TaskResultMsg result) {
+    std::shared_ptr<Link> link;
+    {
+      std::lock_guard guard(mu_);
+      result.result_seq = ++next_result_seq_;
+      outbox_.push_back(result);
+      link = link_;
+    }
+    if (link) {
+      link->conn.send(MsgType::kTaskResult, result.encode(),
+                      /*injectable=*/true);
+    }
   }
 
   WorkerConfig config_;
   util::FaultInjector injector_;
-  std::unique_ptr<FrameConn> conn_;
 
-  std::mutex mu_;  ///< guards queue_, caches, stop_
+  std::mutex mu_;  ///< guards queue_, caches, stop_, link_, outbox_
   std::condition_variable cv_;
   std::deque<TaskAssignMsg> queue_;
   bool stop_ = false;
+  std::shared_ptr<Link> link_;
   std::map<std::uint32_t, std::vector<BigInt>> subsets_;
   std::map<std::uint32_t, BigInt> products_;
   std::map<std::uint32_t, std::shared_ptr<batchgcd::ProductTree>> trees_;
   std::atomic<std::uint32_t> tasks_done_{0};
+
+  // Session state (main/RX thread unless noted).
+  std::uint64_t session_id_ = 0;
+  std::uint32_t hb_interval_ms_ = 0;
+  std::uint64_t tx_seq_base_ = 0;    ///< injector counters carried across
+  std::uint64_t conn_seq_base_ = 0;  ///< reconnects (see FrameConn ctor)
+  std::deque<TaskResultMsg> outbox_;     ///< unacked results (mu_)
+  std::uint64_t next_result_seq_ = 0;    ///< last assigned seq (mu_)
+  std::uint64_t acked_result_seq_ = 0;   ///< coordinator high-water (mu_)
+  std::map<std::uint32_t, RxStream> rx_streams_;  ///< RX thread only
 };
 
 }  // namespace

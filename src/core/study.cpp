@@ -619,9 +619,30 @@ void Study::factor_moduli() {
     if (const char* env = std::getenv("WEAKKEYS_WORKER_PORT"))
       worker_port = static_cast<int>(std::strtol(env, nullptr, 10));
   }
+  std::size_t remote_workers = config_.remote_workers;
+  if (remote_workers == 0) {
+    if (const char* env = std::getenv("WEAKKEYS_REMOTE_WORKERS"))
+      remote_workers = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+  int session_grace_ms = config_.session_grace_ms;
+  if (session_grace_ms < 0) {
+    session_grace_ms = 0;
+    if (const char* env = std::getenv("WEAKKEYS_WORKER_GRACE_MS"))
+      session_grace_ms = static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+  std::size_t chunk_bytes = config_.stream_chunk_bytes;
+  if (chunk_bytes == 0) {
+    if (const char* env = std::getenv("WEAKKEYS_CHUNK_BYTES"))
+      chunk_bytes = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
+  std::size_t stream_window = config_.stream_window_chunks;
+  if (stream_window == 0) {
+    if (const char* env = std::getenv("WEAKKEYS_STREAM_WINDOW"))
+      stream_window = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+  }
 
   batchgcd::BatchGcdResult result;
-  if (worker_processes > 0) {
+  if (worker_processes > 0 || remote_workers > 0) {
     obs::Span gcd_span = telemetry_.tracer().span("gcd.cluster");
     // Multi-process path: fork/exec gcd_worker processes, supervise them
     // over TCP with heartbeats and per-task timeouts, survive crashes via
@@ -629,8 +650,12 @@ void Study::factor_moduli() {
     cluster::ClusterConfig cc;
     cc.subsets = config_.batch_gcd_subsets;
     cc.workers = worker_processes;
+    cc.remote_workers = remote_workers;
     cc.worker_binary = worker_binary;
     cc.port = static_cast<std::uint16_t>(worker_port);
+    cc.session_grace = std::chrono::milliseconds(session_grace_ms);
+    if (chunk_bytes > 0) cc.stream_chunk_bytes = chunk_bytes;
+    if (stream_window > 0) cc.stream_window_chunks = stream_window;
     cc.checkpoint_path =
         config_.cache_path.empty() ? "" : config_.cache_path + ".gcdckpt";
     cc.log = [this](const std::string& message) { log(message); };
@@ -644,7 +669,8 @@ void Study::factor_moduli() {
         " tasks on " + std::to_string(cluster_stats_.workers_spawned) +
         " worker processes (" + std::to_string(cluster_stats_.respawns) +
         " respawns, " + std::to_string(cluster_stats_.workers_lost) +
-        " lost, " + std::to_string(cluster_stats_.results_quarantined) +
+        " lost, " + std::to_string(cluster_stats_.reconnects) +
+        " reconnects, " + std::to_string(cluster_stats_.results_quarantined) +
         " quarantined, " + std::to_string(cluster_stats_.tasks_resumed) +
         " resumed from checkpoint)");
   } else if (config_.fault_tolerant) {

@@ -81,6 +81,21 @@ struct StudyConfig {
   /// Listener port for worker connections, 0 for kernel-assigned.
   /// Negative falls back to WEAKKEYS_WORKER_PORT; still negative means 0.
   int worker_port = -1;
+  /// Extra dial-in slots for remote gcd_worker --connect processes the
+  /// study does not spawn. 0 falls back to WEAKKEYS_REMOTE_WORKERS. The
+  /// cluster path activates when local + remote workers resolve > 0.
+  std::size_t remote_workers = 0;
+  /// Session grace window (ms) for the cluster path: how long a
+  /// disconnected worker's session is held for reconnection before the
+  /// slot respawns. Negative falls back to WEAKKEYS_WORKER_GRACE_MS;
+  /// still negative means 0 (disconnect = death).
+  int session_grace_ms = -1;
+  /// Chunk size (bytes) for streaming subset/product payloads to workers.
+  /// 0 falls back to WEAKKEYS_CHUNK_BYTES, then the cluster default.
+  std::size_t stream_chunk_bytes = 0;
+  /// Backpressure window (chunks in flight beyond the acked prefix).
+  /// 0 falls back to WEAKKEYS_STREAM_WINDOW, then the cluster default.
+  std::size_t stream_window_chunks = 0;
   /// Scan-noise injection: appends corrupted records to the scanned corpus
   /// after simulation or cache load (the cache always stores the clean
   /// corpus). All-zero = pristine. The ingest quarantine pass absorbs the

@@ -298,6 +298,21 @@ std::string Monitor::heartbeat_line(const MetricsSnapshot& cur,
         alive != cur.gauges.end() ? static_cast<long long>(alive->second) : 0ll,
         static_cast<unsigned long long>(cur.counter("cluster.workers")));
     line += buf;
+    const std::uint64_t reconnects = cur.counter("cluster.reconnects");
+    if (reconnects > 0) {
+      std::snprintf(buf, sizeof(buf), " (%llu reconnects)",
+                    static_cast<unsigned long long>(reconnects));
+      line += buf;
+    }
+    // Link health at a glance: heartbeat round-trip percentiles across all
+    // workers this run.
+    const auto rtt = cur.histograms.find("cluster.heartbeat_rtt_us");
+    if (rtt != cur.histograms.end() && rtt->second.count > 0) {
+      std::snprintf(buf, sizeof(buf), " | rtt p50 %.0fus max %lluus",
+                    rtt->second.p50(),
+                    static_cast<unsigned long long>(rtt->second.max));
+      line += buf;
+    }
   }
 
   const auto queue = cur.gauges.find("threadpool.queue_depth");

@@ -24,6 +24,52 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+// /status worker-liveness block for the multi-process cluster: configured vs
+// alive workers, session reconnects, and per-worker link health (heartbeat
+// RTT percentiles plus death count). Empty when no cluster ran, so the JSON
+// stays unchanged for in-process studies.
+std::string cluster_workers_json(const MetricsSnapshot& snap) {
+  const std::uint64_t configured = snap.counter("cluster.workers");
+  if (configured == 0) return "";
+  std::string out =
+      ",\"workers\":{\"configured\":" + std::to_string(configured);
+  const auto alive = snap.gauges.find("cluster.workers_alive");
+  out += ",\"alive\":" +
+         std::to_string(alive != snap.gauges.end() ? alive->second : 0);
+  out += ",\"reconnects\":" +
+         std::to_string(snap.counter("cluster.reconnects"));
+  out += ",\"per_worker\":[";
+  constexpr const char* kPrefix = "cluster.worker.";
+  const std::string kSuffix = ".rtt_us";
+  bool first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    if (name.size() <= kSuffix.size() ||
+        name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+            0) {
+      continue;
+    }
+    const std::string id = name.substr(
+        std::strlen(kPrefix),
+        name.size() - std::strlen(kPrefix) - kSuffix.size());
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":\"" + json_escape(id) + "\"";
+    out += ",\"rtt_count\":" + std::to_string(h.count);
+    if (h.count > 0) {
+      out += ",\"rtt_p50_us\":" + fmt_double(h.p50());
+      out += ",\"rtt_p99_us\":" + fmt_double(h.p99());
+      out += ",\"rtt_max_us\":" + std::to_string(h.max);
+    }
+    out += ",\"deaths\":" +
+           std::to_string(
+               snap.counter(std::string(kPrefix) + id + ".deaths"));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 std::string prometheus_metric_name(const std::string& name) {
@@ -236,6 +282,8 @@ std::string StatusServer::respond(const std::string& path) const {
               "\",\"deadline_remaining_s\":" +
               fmt_double(ls.deadline_remaining_s) + "}";
     }
+    const MetricsSnapshot snap = telemetry_.metrics().snapshot();
+    body += cluster_workers_json(snap);
     body += ",\"metrics\":" + telemetry_.metrics().to_json() + "}";
     content_type = "application/json";
   } else {

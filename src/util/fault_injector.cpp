@@ -79,4 +79,35 @@ FrameFault FaultInjector::decide_frame(std::uint64_t stream,
   return fault;
 }
 
+ConnFault FaultInjector::decide_conn(std::uint64_t stream,
+                                     std::uint64_t seq) const {
+  ConnFault fault;
+  if (!config_.any_conn_faults()) return fault;
+  const std::uint64_t key =
+      mix(mix(config_.seed + 0x2545f4914f6cdd1dULL * (stream + 1)) +
+          0x9fb21c651e98df25ULL * (seq + 1));
+  Xoshiro256 rng(key);
+  // disconnect > partition > half-open > slow-drip: at most one event per
+  // draw, mirroring the other tiers' priority encoding.
+  const double roll = rng.uniform();
+  const double p_disc = config_.conn_disconnect_probability;
+  const double p_part = p_disc + config_.conn_partition_probability;
+  const double p_half = p_part + config_.conn_half_open_probability;
+  const double p_drip = p_half + config_.conn_slow_drip_probability;
+  if (roll < p_disc) {
+    fault.kind = ConnFaultKind::kDisconnect;
+  } else if (roll < p_part) {
+    fault.kind = ConnFaultKind::kPartition;
+    fault.duration_ms = config_.conn_partition_ms;
+  } else if (roll < p_half) {
+    fault.kind = ConnFaultKind::kHalfOpen;
+    fault.duration_ms = config_.conn_partition_ms;
+  } else if (roll < p_drip) {
+    fault.kind = ConnFaultKind::kSlowDrip;
+    fault.duration_ms = config_.conn_partition_ms;
+    fault.drip_delay_ms = config_.conn_drip_delay_ms;
+  }
+  return fault;
+}
+
 }  // namespace weakkeys::util

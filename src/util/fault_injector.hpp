@@ -54,10 +54,36 @@ struct FaultConfig {
   /// How long a delayed frame waits, in milliseconds.
   std::uint32_t frame_delay_ms = 5;
 
+  // -- Connection tier (cluster transport links) --------------------------
+  // Where the frame tier perturbs individual frames, this tier perturbs the
+  // *link*: a decision changes the connection's state for a window of time
+  // (or severs it outright), affecting every frame — control frames
+  // included — until the window closes. Decided per data frame at the
+  // sending endpoint, from a stream disjoint from the frame tier's.
+
+  /// Probability the link is abruptly severed (both directions; each end
+  /// sees EOF). Recovery is the session layer's reconnect handshake.
+  double conn_disconnect_probability = 0.0;
+  /// Probability of a timed bidirectional partition: this endpoint stops
+  /// transmitting *and* discards everything it receives for
+  /// `conn_partition_ms`. The peer experiences total silence.
+  double conn_partition_probability = 0.0;
+  /// Probability of a timed half-open window: this endpoint keeps
+  /// receiving but its own transmissions vanish for `conn_partition_ms` —
+  /// the classic "peer thinks we're alive, we think they're dead" split.
+  double conn_half_open_probability = 0.0;
+  /// Probability of a slow-drip window: every frame sent during the next
+  /// `conn_partition_ms` is throttled by `conn_drip_delay_ms`.
+  double conn_slow_drip_probability = 0.0;
+  /// Duration of partition / half-open / slow-drip windows, milliseconds.
+  std::uint32_t conn_partition_ms = 50;
+  /// Per-frame throttle during a slow-drip window, milliseconds.
+  std::uint32_t conn_drip_delay_ms = 2;
+
   [[nodiscard]] bool any_faults() const {
     return crash_probability > 0 || straggle_probability > 0 ||
            corrupt_probability > 0 || tree_loss_probability > 0 ||
-           any_process_faults() || any_frame_faults();
+           any_process_faults() || any_frame_faults() || any_conn_faults();
   }
   [[nodiscard]] bool any_process_faults() const {
     return sigkill_probability > 0 || sigstop_probability > 0;
@@ -65,6 +91,10 @@ struct FaultConfig {
   [[nodiscard]] bool any_frame_faults() const {
     return frame_drop_probability > 0 || frame_garble_probability > 0 ||
            frame_delay_probability > 0;
+  }
+  [[nodiscard]] bool any_conn_faults() const {
+    return conn_disconnect_probability > 0 || conn_partition_probability > 0 ||
+           conn_half_open_probability > 0 || conn_slow_drip_probability > 0;
   }
 };
 
@@ -102,6 +132,24 @@ struct FrameFault {
   [[nodiscard]] bool any() const { return drop || garble || delay_ms > 0; }
 };
 
+/// A connection-tier fault decision: what (if anything) happens to the
+/// link itself at this point in the send stream.
+enum class ConnFaultKind : std::uint8_t {
+  kNone = 0,
+  kDisconnect,  ///< sever the link; both ends see EOF
+  kPartition,   ///< timed bidirectional silence (TX muted, RX discarded)
+  kHalfOpen,    ///< timed one-directional silence (TX muted, RX intact)
+  kSlowDrip     ///< timed per-frame throttle
+};
+
+struct ConnFault {
+  ConnFaultKind kind = ConnFaultKind::kNone;
+  std::uint32_t duration_ms = 0;    ///< window length for timed kinds
+  std::uint32_t drip_delay_ms = 0;  ///< per-frame sleep for kSlowDrip
+
+  [[nodiscard]] bool any() const { return kind != ConnFaultKind::kNone; }
+};
+
 /// Seeded source of per-(task, attempt) fault decisions. Stateless after
 /// construction; safe to share across worker threads.
 class FaultInjector {
@@ -124,6 +172,13 @@ class FaultInjector {
   /// (streams are per connection-direction). Pure in (seed, stream, seq).
   [[nodiscard]] FrameFault decide_frame(std::uint64_t stream,
                                         std::uint64_t seq) const;
+
+  /// The connection-tier outcome for the `seq`-th data frame on `stream`.
+  /// Pure in (seed, stream, seq) and drawn from a stream disjoint from
+  /// decide_frame()'s; callers carry `seq` across reconnects so a healed
+  /// link never replays the fault that severed it.
+  [[nodiscard]] ConnFault decide_conn(std::uint64_t stream,
+                                      std::uint64_t seq) const;
 
   [[nodiscard]] const FaultConfig& config() const { return config_; }
 

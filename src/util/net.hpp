@@ -28,8 +28,10 @@
 #if !defined(_WIN32)
 #include <arpa/inet.h>
 #include <cerrno>
+#include <csignal>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -193,6 +195,49 @@ inline int listen_tcp(const std::string& address, std::uint16_t port,
   if (::listen(fd.get(), backlog) != 0) return -1;
   if (bound_port != nullptr) *bound_port = local_port(fd.get());
   return fd.release();
+}
+
+/// Ignores SIGPIPE process-wide (idempotent). write_full() already sends
+/// with MSG_NOSIGNAL, but third-party code and raw writes on cluster
+/// sockets can still raise it; both cluster endpoints call this once at
+/// startup so a peer vanishing mid-write is always an EPIPE error return,
+/// never process death. Deliberately does not clobber a handler the
+/// application installed itself.
+inline void ignore_sigpipe() {
+  struct sigaction current {};
+  if (::sigaction(SIGPIPE, nullptr, &current) == 0 &&
+      current.sa_handler != SIG_DFL) {
+    return;  // the application installed something; leave it alone
+  }
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  ::sigemptyset(&ignore.sa_mask);
+  ::sigaction(SIGPIPE, &ignore, nullptr);
+}
+
+/// Arms TCP keepalive probing on a connected socket so a remote peer that
+/// vanishes without a FIN (cable pull, NAT expiry) is eventually detected
+/// at the transport layer too — the protocol's ping deadline fires first,
+/// keepalive is the backstop for idle links. Returns false on any
+/// setsockopt failure (the socket still works without it).
+inline bool enable_keepalive(int fd, int idle_s = 30, int interval_s = 10,
+                             int count = 3) {
+  const int one = 1;
+  if (::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one)) != 0)
+    return false;
+  bool ok = true;
+#if defined(TCP_KEEPIDLE)
+  ok &= ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPIDLE, &idle_s, sizeof(idle_s)) ==
+        0;
+#endif
+#if defined(TCP_KEEPINTVL)
+  ok &= ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPINTVL, &interval_s,
+                     sizeof(interval_s)) == 0;
+#endif
+#if defined(TCP_KEEPCNT)
+  ok &= ::setsockopt(fd, IPPROTO_TCP, TCP_KEEPCNT, &count, sizeof(count)) == 0;
+#endif
+  return ok;
 }
 
 /// Accepts one connection from a listener, marking it CLOEXEC. Returns -1

@@ -9,7 +9,10 @@
 #include <gtest/gtest.h>
 
 #include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <thread>
 
@@ -113,26 +116,91 @@ TEST(ClusterProtocol, MessageRoundTrips) {
   TaskResultMsg result;
   result.task = 5;
   result.worker_id = 1;
+  result.result_seq = 0x1122334455667788ull;
   result.claims.push_back({4, BigInt(17)});
   result.claims.push_back({9, BigInt(1) << 80});
   const auto result2 = TaskResultMsg::decode(result.encode());
   ASSERT_TRUE(result2);
+  EXPECT_EQ(result2->result_seq, 0x1122334455667788ull);
   ASSERT_EQ(result2->claims.size(), 2u);
   EXPECT_EQ(result2->claims[0].leaf, 4u);
   EXPECT_EQ(result2->claims[0].divisor, BigInt(17));
   EXPECT_EQ(result2->claims[1].divisor, BigInt(1) << 80);
 
-  PingMsg ping{42, 99999};
+  PingMsg ping{42, 99999, 7};
   const auto ping2 = PingMsg::decode(ping.encode());
   ASSERT_TRUE(ping2);
   EXPECT_EQ(ping2->seq, 42u);
   EXPECT_EQ(ping2->t_send_ns, 99999);
+  EXPECT_EQ(ping2->ack_result_seq, 7u);
 
   PongMsg pong{42, 99999, 3, 17, 2};
   const auto pong2 = PongMsg::decode(pong.encode());
   ASSERT_TRUE(pong2);
   EXPECT_EQ(pong2->frames_sent, 17u);
   EXPECT_EQ(pong2->frames_dropped, 2u);
+}
+
+TEST(ClusterProtocol, SessionAndStreamMessageRoundTrips) {
+  HelloAckMsg ack{0xdeadbeef, 25, 31};
+  const auto ack2 = HelloAckMsg::decode(ack.encode());
+  ASSERT_TRUE(ack2);
+  EXPECT_EQ(ack2->fingerprint, 0xdeadbeefu);
+  EXPECT_EQ(ack2->heartbeat_interval_ms, 25u);
+  EXPECT_EQ(ack2->session_id, 31u);
+
+  ReconnectHelloMsg rh{3, 4242, 31, 16, kProtocolVersion};
+  const auto rh2 = ReconnectHelloMsg::decode(rh.encode());
+  ASSERT_TRUE(rh2);
+  EXPECT_EQ(rh2->worker_id, 3u);
+  EXPECT_EQ(rh2->pid, 4242u);
+  EXPECT_EQ(rh2->session_id, 31u);
+  EXPECT_EQ(rh2->last_committed_seq, 16u);
+  EXPECT_EQ(rh2->version, kProtocolVersion);
+
+  ReconnectAckMsg ra{1, 16, 25};
+  const auto ra2 = ReconnectAckMsg::decode(ra.encode());
+  ASSERT_TRUE(ra2);
+  EXPECT_EQ(ra2->accepted, 1u);
+  EXPECT_EQ(ra2->ack_result_seq, 16u);
+  EXPECT_EQ(ra2->heartbeat_interval_ms, 25u);
+
+  StreamBeginMsg begin{9, static_cast<std::uint8_t>(StreamKind::kProduct), 2,
+                       1u << 20, 0xabadcafe};
+  const auto begin2 = StreamBeginMsg::decode(begin.encode());
+  ASSERT_TRUE(begin2);
+  EXPECT_EQ(begin2->stream_id, 9u);
+  EXPECT_EQ(begin2->kind, static_cast<std::uint8_t>(StreamKind::kProduct));
+  EXPECT_EQ(begin2->subset, 2u);
+  EXPECT_EQ(begin2->total_bytes, 1u << 20);
+  EXPECT_EQ(begin2->payload_crc, 0xabadcafeu);
+
+  StreamChunkMsg chunk;
+  chunk.stream_id = 9;
+  chunk.offset = 65536;
+  chunk.data = {0x00, 0x7f, 0xff, 0x10};
+  const auto chunk2 = StreamChunkMsg::decode(chunk.encode());
+  ASSERT_TRUE(chunk2);
+  EXPECT_EQ(chunk2->stream_id, 9u);
+  EXPECT_EQ(chunk2->offset, 65536u);
+  EXPECT_EQ(chunk2->data, chunk.data);
+
+  StreamAckMsg sack{9, 65540};
+  const auto sack2 = StreamAckMsg::decode(sack.encode());
+  ASSERT_TRUE(sack2);
+  EXPECT_EQ(sack2->stream_id, 9u);
+  EXPECT_EQ(sack2->received, 65540u);
+
+  // The session/stream codecs reject truncation cleanly, like the rest.
+  const auto truncated = [](std::vector<std::uint8_t> body) {
+    body.pop_back();
+    return body;
+  };
+  EXPECT_FALSE(ReconnectHelloMsg::decode(truncated(rh.encode())));
+  EXPECT_FALSE(ReconnectAckMsg::decode(truncated(ra.encode())));
+  EXPECT_FALSE(StreamBeginMsg::decode(truncated(begin.encode())));
+  EXPECT_FALSE(StreamChunkMsg::decode(truncated(chunk.encode())));
+  EXPECT_FALSE(StreamAckMsg::decode(truncated(sack.encode())));
 }
 
 TEST(ClusterProtocol, MalformedBodiesDecodeToNullopt) {
@@ -229,6 +297,36 @@ TEST_F(FramePair, DroppedFrameNeverArrives) {
   Frame frame;
   EXPECT_EQ(rx.recv(&frame, std::chrono::milliseconds(20)),
             RecvStatus::kTimeout);
+}
+
+TEST_F(FramePair, PeerDeathBetweenFramesFailsSendWithoutSigpipe) {
+  // Regression for the SIGPIPE guard: a peer that dies between frames must
+  // turn subsequent sends into a clean `false`, not a process-killing
+  // signal. The child holds the far end, reads one frame, and exits
+  // abruptly without shutdown.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    FrameConn rx(b_.get(), 1);
+    Frame frame;
+    rx.recv(&frame, std::chrono::milliseconds(5000));
+    ::_exit(0);
+  }
+  b_.reset();  // the child now owns the only far-end descriptor
+
+  FrameConn tx(a_.get(), 0);
+  ASSERT_TRUE(tx.send(MsgType::kPing, PingMsg{1, 0, 0}.encode()));
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+  // The peer is gone. The first send may still land in the socket buffer;
+  // within a few frames the kernel reports the broken pipe and send()
+  // returns false — and this process is still here to notice.
+  bool failed = false;
+  for (int i = 0; i < 64 && !failed; ++i) {
+    failed = !tx.send(MsgType::kPing, PingMsg{2, 0, 0}.encode());
+  }
+  EXPECT_TRUE(failed);
 }
 
 // --------------------------------------------------------- fault-free e2e ----
@@ -522,6 +620,174 @@ TEST(Cluster, CancellationStopsTheRunAndKeepsTheJournal) {
   resume.checkpoint_path = path;
   const auto result = batch_gcd_cluster(moduli, resume, &stats);
   EXPECT_EQ(result.divisors, batchgcd::batch_gcd(moduli).divisors);
+}
+
+// ------------------------------------------------- sessions & streaming ----
+
+/// fast_config plus a session grace window: link loss parks the session for
+/// `grace_ms` instead of killing the worker.
+ClusterConfig session_config(std::size_t k, std::size_t workers,
+                             int grace_ms) {
+  auto config = fast_config(k, workers);
+  config.session_grace = std::chrono::milliseconds(grace_ms);
+  return config;
+}
+
+TEST(ClusterSession, ReconnectHealsAbruptDisconnects) {
+  // The tentpole invariant: deterministic abrupt disconnects on both sides
+  // of every link, and the run heals by session reconnect — same vulnerable
+  // set, no respawn storm.
+  const auto moduli = make_moduli(220, 20);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 41;
+  faults.conn_disconnect_probability = 0.04;
+  const util::FaultInjector injector(faults);
+
+  auto config = session_config(3, 2, /*grace_ms=*/5000);
+  config.injector = &injector;
+  config.task_timeout = std::chrono::milliseconds(1000);
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_GT(stats.conn_faults_injected + stats.reconnects, 0u);
+  EXPECT_GT(stats.reconnects, 0u);
+  EXPECT_EQ(stats.tasks_executed + stats.tasks_resumed, 9u);
+}
+
+TEST(ClusterSession, PartitionAndHalfOpenLinksHealWithinGrace) {
+  // Timed partitions mute a link without closing it: the heartbeat deadline
+  // declares the link lost, the shutdown() wakes the muted peer, and the
+  // worker dials back into its session.
+  const auto moduli = make_moduli(221, 18);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 43;
+  faults.conn_partition_probability = 0.03;
+  faults.conn_half_open_probability = 0.03;
+  faults.conn_partition_ms = 400;
+  const util::FaultInjector injector(faults);
+
+  auto config = session_config(3, 2, /*grace_ms=*/5000);
+  config.injector = &injector;
+  config.task_timeout = std::chrono::milliseconds(1500);
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_GT(stats.conn_faults_injected, 0u);
+  EXPECT_EQ(stats.tasks_executed + stats.tasks_resumed, 9u);
+}
+
+TEST(ClusterSession, GraceExpiryFallsBackToRespawn) {
+  // A SIGKILLed worker cannot dial back: its session must expire after the
+  // grace window and the slot respawn within the restart budget.
+  const auto moduli = make_moduli(222, 16);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 47;
+  faults.sigkill_probability = 0.2;
+  const util::FaultInjector injector(faults);
+
+  auto config = session_config(3, 2, /*grace_ms=*/100);
+  config.injector = &injector;
+  config.task_timeout = std::chrono::milliseconds(600);
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_GT(stats.sigkills_injected, 0u);
+  EXPECT_GT(stats.sessions_expired, 0u);
+  EXPECT_GT(stats.respawns, 0u);
+}
+
+TEST(ClusterStream, SmallChunksStreamPayloadsWithBackpressure) {
+  // Tiny chunks force every payload through the windowed go-back-N path;
+  // the output must not care.
+  const auto moduli = make_moduli(223, 40);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  auto config = session_config(2, 2, /*grace_ms=*/5000);
+  config.stream_chunk_bytes = 64;
+  config.stream_window_chunks = 2;
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  // Far more chunk frames than payloads: the payloads were actually split.
+  EXPECT_GT(stats.stream_chunks_sent, 2u * 2u * 2u);
+  EXPECT_EQ(stats.reconnects, 0u);
+}
+
+TEST(ClusterStream, MidStreamDisconnectResumesTransfer) {
+  // Disconnects landing inside a chunked transfer: after the reconnect the
+  // sender rewinds to the acked prefix (counted as a stream resume) instead
+  // of re-shipping or corrupting the payload.
+  const auto moduli = make_moduli(224, 40);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  util::FaultConfig faults;
+  faults.seed = 53;
+  faults.conn_disconnect_probability = 0.05;
+  const util::FaultInjector injector(faults);
+
+  auto config = session_config(2, 2, /*grace_ms=*/5000);
+  config.injector = &injector;
+  config.stream_chunk_bytes = 64;
+  config.stream_window_chunks = 2;
+  config.task_timeout = std::chrono::milliseconds(1500);
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_GT(stats.reconnects, 0u);
+  EXPECT_GT(stats.stream_resumes, 0u);
+}
+
+// ---------------------------------------------------- remote dial-in e2e ----
+
+TEST(ClusterRemote, DialInWorkersMatchBatchGcd) {
+  // workers = 0, remote_workers = 2: the coordinator spawns nothing; this
+  // test plays the operator, dialing two gcd_worker processes into the
+  // advertised port. Shutdown must reach them (exit 0) and the output must
+  // match the single-process reference.
+  const auto moduli = make_moduli(225, 20);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  auto config = session_config(3, 0, /*grace_ms=*/5000);
+  config.workers = 0;
+  config.remote_workers = 2;
+  config.worker_binary.clear();  // nothing to spawn, nothing to validate
+
+  std::vector<pid_t> pids;
+  config.on_listen = [&pids](std::uint16_t port) {
+    const std::string bin = worker_binary();
+    const std::string hostport = "127.0.0.1:" + std::to_string(port);
+    for (int i = 0; i < 2; ++i) {
+      const std::string id = std::to_string(i);
+      const pid_t pid = ::fork();
+      ASSERT_GE(pid, 0);
+      if (pid == 0) {
+        ::execl(bin.c_str(), bin.c_str(), "--connect", hostport.c_str(),
+                "--worker-id", id.c_str(), "--session-reconnect",
+                "--reconnect-window-ms", "5000", "--keepalive",
+                static_cast<char*>(nullptr));
+        ::_exit(127);
+      }
+      pids.push_back(pid);
+    }
+  };
+
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_EQ(stats.tasks_executed + stats.tasks_resumed, 9u);
+
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status)) << "worker " << pid << " did not exit";
+    EXPECT_EQ(WEXITSTATUS(status), 0) << "worker " << pid;
+  }
 }
 
 }  // namespace

@@ -394,6 +394,24 @@ TEST_F(CoordinatorCheckpoint, TornWriteAtEveryBoundaryResumesExactPrefix) {
     EXPECT_EQ(stats.tasks_resumed, i - 1) << "mid-record " << i;
     EXPECT_EQ(stats.tasks_executed, k * k - (i - 1)) << "mid-record " << i;
   }
+
+  // Duplicate-replay sweep: append a byte-exact copy of each record in
+  // turn. A session-layer replay that slips a duplicate past the network
+  // dedup lands here, and the journal must commit the task exactly once —
+  // resumed count unchanged, folded product unchanged.
+  for (std::size_t i = 1; i < boundaries.size(); ++i) {
+    {
+      std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+      out.write(bytes.data() + boundaries[i - 1],
+                static_cast<std::streamsize>(boundaries[i] - boundaries[i - 1]));
+    }
+    CoordinatorStats stats;
+    const auto result = batch_gcd_coordinated(moduli, config, &stats);
+    EXPECT_EQ(result.divisors, reference.divisors) << "duplicate of " << i;
+    EXPECT_EQ(stats.tasks_resumed, records) << "duplicate of " << i;
+    EXPECT_EQ(stats.tasks_executed, k * k - records) << "duplicate of " << i;
+  }
 }
 
 TEST_F(CoordinatorCheckpoint, MismatchedCorpusInvalidatesJournal) {

@@ -4,7 +4,10 @@
 #include <numeric>
 #include <set>
 
+#include <chrono>
+
 #include "util/date.hpp"
+#include "util/fault_injector.hpp"
 #include "util/hex.hpp"
 #include "util/net.hpp"
 #include "util/prng.hpp"
@@ -329,6 +332,48 @@ TEST(Net, ConnectToClosedPortFails) {
   EXPECT_FALSE(fd.valid());
 }
 
+TEST(Net, ConnectTimesOutAgainstBlackholedAddress) {
+  // A loopback blackhole that needs no external routing: a listener whose
+  // accept queue is full silently drops further SYNs, so the client's
+  // handshake never completes. connect_tcp must give up at its own
+  // deadline (ETIMEDOUT), not the kernel's minutes-long retry schedule.
+  net::UniqueFd listener(net::listen_tcp("127.0.0.1", 0, 1));
+  ASSERT_TRUE(listener.valid());
+  const auto port = static_cast<std::uint16_t>(net::local_port(listener.get()));
+
+  // Fill the accept queue (never accepting). Linux grants backlog+1-ish
+  // slots; keep the early fds open so the queue stays full.
+  std::vector<net::UniqueFd> parked;
+  bool timed_out = false;
+  for (int i = 0; i < 16 && !timed_out; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    net::UniqueFd fd(
+        net::connect_tcp("127.0.0.1", port, std::chrono::milliseconds(150)));
+    const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+        std::chrono::steady_clock::now() - t0);
+    if (fd.valid()) {
+      parked.push_back(std::move(fd));
+      continue;
+    }
+    EXPECT_EQ(errno, ETIMEDOUT);
+    EXPECT_GE(elapsed.count(), 140);   // honored the deadline...
+    EXPECT_LT(elapsed.count(), 2000);  // ...instead of the kernel's retries
+    timed_out = true;
+  }
+  EXPECT_TRUE(timed_out) << "accept queue never filled";
+}
+
+TEST(Net, EnableKeepaliveOnConnectedSocket) {
+  net::UniqueFd listener(net::listen_tcp("127.0.0.1", 0, 4));
+  ASSERT_TRUE(listener.valid());
+  net::UniqueFd client(net::connect_tcp(
+      "127.0.0.1", static_cast<std::uint16_t>(net::local_port(listener.get())),
+      std::chrono::milliseconds(2000)));
+  ASSERT_TRUE(client.valid());
+  EXPECT_TRUE(net::enable_keepalive(client.get(), 5, 2, 3));
+  EXPECT_FALSE(net::enable_keepalive(-1));
+}
+
 TEST(Net, UniqueFdMovesAndCloses) {
   net::UniqueFd a(net::listen_tcp("127.0.0.1", 0, 1));
   ASSERT_TRUE(a.valid());
@@ -341,6 +386,83 @@ TEST(Net, UniqueFdMovesAndCloses) {
 }
 
 #endif  // WEAKKEYS_HAVE_NET
+
+// ---------------------------------------------- fault injector, conn tier ----
+
+TEST(FaultInjector, ConnDecisionsAreDeterministicAndSeedKeyed) {
+  FaultConfig config;
+  config.seed = 11;
+  config.conn_disconnect_probability = 0.2;
+  config.conn_partition_probability = 0.2;
+  config.conn_half_open_probability = 0.2;
+  config.conn_slow_drip_probability = 0.2;
+  config.conn_partition_ms = 77;
+  config.conn_drip_delay_ms = 3;
+  const FaultInjector a(config);
+  const FaultInjector b(config);
+  config.seed = 12;
+  const FaultInjector other(config);
+
+  std::size_t faults = 0;
+  bool seed_matters = false;
+  std::set<ConnFaultKind> kinds;
+  for (std::uint64_t stream = 0; stream < 4; ++stream) {
+    for (std::uint64_t seq = 0; seq < 200; ++seq) {
+      const ConnFault x = a.decide_conn(stream, seq);
+      const ConnFault y = b.decide_conn(stream, seq);
+      EXPECT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind));
+      EXPECT_EQ(x.duration_ms, y.duration_ms);
+      EXPECT_EQ(x.drip_delay_ms, y.drip_delay_ms);
+      if (x.any()) {
+        ++faults;
+        kinds.insert(x.kind);
+        if (x.kind == ConnFaultKind::kPartition ||
+            x.kind == ConnFaultKind::kHalfOpen) {
+          EXPECT_EQ(x.duration_ms, 77u);
+        }
+        if (x.kind == ConnFaultKind::kSlowDrip) {
+          EXPECT_EQ(x.drip_delay_ms, 3u);
+        }
+      }
+      if (static_cast<int>(x.kind) !=
+          static_cast<int>(other.decide_conn(stream, seq).kind)) {
+        seed_matters = true;
+      }
+    }
+  }
+  // With 80% total probability over 800 draws every kind shows up.
+  EXPECT_GT(faults, 400u);
+  EXPECT_EQ(kinds.size(), 4u);
+  EXPECT_TRUE(seed_matters);
+}
+
+TEST(FaultInjector, ConnStreamIsDisjointFromFrameStream) {
+  // Enabling frame faults must not reshuffle the connection schedule:
+  // callers rely on carrying conn seq across reconnects for determinism.
+  FaultConfig conn_only;
+  conn_only.seed = 21;
+  conn_only.conn_disconnect_probability = 0.15;
+  FaultConfig both = conn_only;
+  both.frame_drop_probability = 0.3;
+  both.frame_garble_probability = 0.3;
+  const FaultInjector a(conn_only);
+  const FaultInjector b(both);
+  for (std::uint64_t seq = 0; seq < 500; ++seq) {
+    EXPECT_EQ(static_cast<int>(a.decide_conn(5, seq).kind),
+              static_cast<int>(b.decide_conn(5, seq).kind))
+        << "seq " << seq;
+  }
+}
+
+TEST(FaultInjector, ConnTierOffByDefault) {
+  FaultConfig config;
+  config.seed = 3;
+  EXPECT_FALSE(config.any_conn_faults());
+  const FaultInjector injector(config);
+  for (std::uint64_t seq = 0; seq < 100; ++seq) {
+    EXPECT_FALSE(injector.decide_conn(0, seq).any());
+  }
+}
 
 }  // namespace
 }  // namespace weakkeys::util

@@ -1,0 +1,200 @@
+// gcd_coordinator: run the multi-process batch-GCD cluster from the
+// command line — the operator-facing face of cluster::batch_gcd_cluster().
+//
+// Two modes over the same deterministic corpus (--corpus-seed/--corpus-count
+// regenerate bit-identical moduli in every process):
+//
+//   --reference           run single-process batch_gcd() and print the
+//                         vulnerable set; the ground truth a cluster run
+//                         must reproduce byte-for-byte
+//   (default)             coordinate a cluster: fork local workers and/or
+//                         listen for remote gcd_worker --connect dial-ins,
+//                         then print the vulnerable set in the same format
+//
+// The CI remote-chaos job diffs the two outputs under connection faults and
+// worker kills — the paper's core claim (the vulnerable set is a property
+// of the corpus, not of the execution) as a shell pipeline.
+//
+// Usage:
+//   gcd_coordinator --reference --corpus-seed S --corpus-count N
+//   gcd_coordinator [--corpus-seed S] [--corpus-count N] [--subsets K]
+//                   [--workers W] [--worker-binary PATH]
+//                   [--remote-workers R] [--bind ADDR] [--port P]
+//                   [--port-file PATH] [--grace-ms MS] [--chunk-bytes B]
+//                   [--window CHUNKS] [--retransmit-ms MS]
+//                   [--task-timeout-ms MS] [--spawn-timeout-ms MS]
+//                   [--restart-budget N] [--checkpoint PATH] [--quiet]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "cluster/process_coordinator.hpp"
+#include "rng/prng_source.hpp"
+#include "rsa/keygen.hpp"
+
+namespace {
+
+using weakkeys::bn::BigInt;
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--reference] [--corpus-seed S] [--corpus-count N]\n"
+      "  [--subsets K] [--workers W] [--worker-binary PATH]\n"
+      "  [--remote-workers R] [--bind ADDR] [--port P] [--port-file PATH]\n"
+      "  [--grace-ms MS] [--chunk-bytes B] [--window CHUNKS]\n"
+      "  [--retransmit-ms MS] [--task-timeout-ms MS] [--spawn-timeout-ms MS]\n"
+      "  [--restart-budget N] [--checkpoint PATH] [--quiet]\n",
+      argv0);
+  return 64;  // EX_USAGE
+}
+
+/// Same planted-structure corpus as the test suite: healthy keys plus
+/// shared-prime pairs, a triple star, and a duplicated modulus. Seeded, so
+/// --reference and cluster runs (even on other machines) see identical
+/// moduli.
+std::vector<BigInt> make_corpus(std::size_t healthy, std::uint64_t seed) {
+  namespace rsa = weakkeys::rsa;
+  std::vector<BigInt> moduli;
+  weakkeys::rng::PrngRandomSource rng(seed);
+  rsa::KeygenOptions opts;
+  opts.modulus_bits = 128;
+  opts.style = rsa::PrimeStyle::kPlain;
+  opts.miller_rabin_rounds = 8;
+  for (std::size_t i = 0; i < healthy; ++i) {
+    moduli.push_back(rsa::generate_key(rng, opts).pub.n);
+  }
+  std::vector<BigInt> p;
+  for (int i = 0; i < 12; ++i) {
+    p.push_back(rsa::generate_prime(rng, 64, opts));
+  }
+  moduli.push_back(p[0] * p[1]);  // pair sharing p[0]
+  moduli.push_back(p[0] * p[2]);
+  moduli.push_back(p[3] * p[4]);  // star of three sharing p[3]
+  moduli.push_back(p[3] * p[5]);
+  moduli.push_back(p[3] * p[6]);
+  moduli.push_back(p[7] * p[8]);  // duplicate pair
+  moduli.push_back(p[7] * p[8]);
+  return moduli;
+}
+
+/// The canonical output both modes share: one line per vulnerable modulus,
+/// index and nontrivial divisor. diff(1)-able across engines.
+void print_vulnerable(const std::vector<BigInt>& divisors) {
+  const BigInt one(1);
+  for (std::size_t i = 0; i < divisors.size(); ++i) {
+    if (divisors[i] > one) {
+      std::printf("%zu %s\n", i, divisors[i].to_hex().c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool reference = false;
+  bool quiet = false;
+  std::uint64_t corpus_seed = 1;
+  std::size_t corpus_count = 40;
+  std::string port_file;
+  weakkeys::cluster::ClusterConfig config;
+  config.workers = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* value = nullptr;
+    if (arg == "--reference") {
+      reference = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--corpus-seed" && (value = next())) {
+      corpus_seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--corpus-count" && (value = next())) {
+      corpus_count = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--subsets" && (value = next())) {
+      config.subsets = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--workers" && (value = next())) {
+      config.workers = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--worker-binary" && (value = next())) {
+      config.worker_binary = value;
+    } else if (arg == "--remote-workers" && (value = next())) {
+      config.remote_workers = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--bind" && (value = next())) {
+      config.bind_address = value;
+    } else if (arg == "--port" && (value = next())) {
+      config.port =
+          static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--port-file" && (value = next())) {
+      port_file = value;
+    } else if (arg == "--grace-ms" && (value = next())) {
+      config.session_grace =
+          std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else if (arg == "--chunk-bytes" && (value = next())) {
+      config.stream_chunk_bytes = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--window" && (value = next())) {
+      config.stream_window_chunks = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--retransmit-ms" && (value = next())) {
+      config.stream_retransmit =
+          std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else if (arg == "--task-timeout-ms" && (value = next())) {
+      config.task_timeout =
+          std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else if (arg == "--spawn-timeout-ms" && (value = next())) {
+      config.spawn_timeout =
+          std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else if (arg == "--restart-budget" && (value = next())) {
+      config.restart_budget = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--checkpoint" && (value = next())) {
+      config.checkpoint_path = value;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const std::vector<BigInt> moduli = make_corpus(corpus_count, corpus_seed);
+
+  if (reference) {
+    print_vulnerable(weakkeys::batchgcd::batch_gcd(moduli).divisors);
+    return 0;
+  }
+
+  if (!quiet) {
+    config.log = [](const std::string& line) {
+      std::fprintf(stderr, "gcd_coordinator: %s\n", line.c_str());
+    };
+  }
+  if (!port_file.empty()) {
+    config.on_listen = [&port_file](std::uint16_t port) {
+      std::FILE* f = std::fopen((port_file + ".part").c_str(), "w");
+      if (!f) return;
+      std::fprintf(f, "%u\n", port);
+      std::fclose(f);
+      // rename so readers polling the path never see a partial write
+      std::rename((port_file + ".part").c_str(), port_file.c_str());
+    };
+  }
+
+  try {
+    weakkeys::cluster::ClusterStats stats;
+    const auto result =
+        weakkeys::cluster::batch_gcd_cluster(moduli, config, &stats);
+    print_vulnerable(result.divisors);
+    std::fprintf(stderr,
+                 "gcd_coordinator: done (%zu tasks, %zu reconnects, "
+                 "%zu duplicate results, %llu chunks, %llu stream resumes)\n",
+                 stats.tasks_executed + stats.tasks_resumed, stats.reconnects,
+                 stats.duplicate_results,
+                 static_cast<unsigned long long>(stats.stream_chunks_sent),
+                 static_cast<unsigned long long>(stats.stream_resumes));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gcd_coordinator: %s\n", e.what());
+    return 1;
+  }
+}

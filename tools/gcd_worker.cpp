@@ -1,17 +1,24 @@
-// gcd_worker: one cluster worker process. Spawned by
-// cluster::ProcessCoordinator (never run by hand in normal operation);
-// connects back to the coordinator, receives subset data and task
-// assignments over the framed protocol, and streams back verified-upstream
-// divisor claims until told to shut down.
+// gcd_worker: one cluster worker process. Normally spawned by
+// cluster::ProcessCoordinator; with --connect it instead dials out to a
+// listening coordinator as a *remote* worker (same protocol, nobody forked
+// it). Either way it receives streamed subset data and task assignments
+// over the framed protocol and ships back verified-upstream divisor claims
+// until told to shut down.
 //
 // Usage:
-//   gcd_worker --port P --worker-id W
+//   gcd_worker --port P --worker-id W            (spawned, loopback)
+//   gcd_worker --connect HOST:PORT --worker-id W (dial-out remote worker)
 //              [--address 127.0.0.1] [--connect-timeout-ms 10000]
+//              [--session-reconnect] [--reconnect-window-ms MS]
+//              [--ping-deadline-ms MS] [--keepalive]
 //              [--seed S --frame-drop P --frame-garble P --frame-delay P
 //               --frame-delay-ms MS]
+//              [--conn-disconnect P --conn-partition P --conn-half-open P
+//               --conn-drip P --conn-partition-ms MS --conn-drip-ms MS]
 //
-// The --frame-* flags enable deterministic fault injection on this worker's
-// *outbound* frames (chaos tests); the coordinator injects its own side.
+// The --frame-* / --conn-* flags enable deterministic fault injection on
+// this worker's *outbound* link (chaos tests); the coordinator injects its
+// own side.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,11 +29,17 @@
 namespace {
 
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s --port P --worker-id W [--address A] "
-               "[--connect-timeout-ms MS] [--seed S] [--frame-drop P] "
-               "[--frame-garble P] [--frame-delay P] [--frame-delay-ms MS]\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s (--port P | --connect HOST:PORT) --worker-id W\n"
+      "  [--address A] [--connect-timeout-ms MS]\n"
+      "  [--session-reconnect] [--reconnect-window-ms MS]\n"
+      "  [--ping-deadline-ms MS] [--keepalive]\n"
+      "  [--seed S] [--frame-drop P] [--frame-garble P] [--frame-delay P]\n"
+      "  [--frame-delay-ms MS] [--conn-disconnect P] [--conn-partition P]\n"
+      "  [--conn-half-open P] [--conn-drip P] [--conn-partition-ms MS]\n"
+      "  [--conn-drip-ms MS]\n",
+      argv0);
   return 64;  // EX_USAGE
 }
 
@@ -44,6 +57,17 @@ int main(int argc, char** argv) {
     if (arg == "--port" && (value = next())) {
       config.port = static_cast<std::uint16_t>(std::strtoul(value, nullptr, 10));
       have_port = true;
+    } else if (arg == "--connect" && (value = next())) {
+      // HOST:PORT in one flag — the dial-out remote-worker mode.
+      const std::string target = value;
+      const std::size_t colon = target.rfind(':');
+      if (colon == std::string::npos || colon + 1 >= target.size()) {
+        return usage(argv[0]);
+      }
+      config.coordinator_address = target.substr(0, colon);
+      config.port = static_cast<std::uint16_t>(
+          std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+      have_port = true;
     } else if (arg == "--worker-id" && (value = next())) {
       config.worker_id =
           static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
@@ -52,6 +76,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--connect-timeout-ms" && (value = next())) {
       config.connect_timeout =
           std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else if (arg == "--session-reconnect") {
+      config.session_reconnect = true;
+    } else if (arg == "--reconnect-window-ms" && (value = next())) {
+      config.reconnect_window =
+          std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else if (arg == "--ping-deadline-ms" && (value = next())) {
+      config.ping_deadline =
+          std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else if (arg == "--keepalive") {
+      config.tcp_keepalive = true;
     } else if (arg == "--seed" && (value = next())) {
       config.faults.seed = std::strtoull(value, nullptr, 10);
     } else if (arg == "--frame-drop" && (value = next())) {
@@ -62,6 +96,20 @@ int main(int argc, char** argv) {
       config.faults.frame_delay_probability = std::strtod(value, nullptr);
     } else if (arg == "--frame-delay-ms" && (value = next())) {
       config.faults.frame_delay_ms =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--conn-disconnect" && (value = next())) {
+      config.faults.conn_disconnect_probability = std::strtod(value, nullptr);
+    } else if (arg == "--conn-partition" && (value = next())) {
+      config.faults.conn_partition_probability = std::strtod(value, nullptr);
+    } else if (arg == "--conn-half-open" && (value = next())) {
+      config.faults.conn_half_open_probability = std::strtod(value, nullptr);
+    } else if (arg == "--conn-drip" && (value = next())) {
+      config.faults.conn_slow_drip_probability = std::strtod(value, nullptr);
+    } else if (arg == "--conn-partition-ms" && (value = next())) {
+      config.faults.conn_partition_ms =
+          static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
+    } else if (arg == "--conn-drip-ms" && (value = next())) {
+      config.faults.conn_drip_delay_ms =
           static_cast<std::uint32_t>(std::strtoul(value, nullptr, 10));
     } else if (arg == "--fault-crash" && (value = next())) {
       config.faults.crash_probability = std::strtod(value, nullptr);
