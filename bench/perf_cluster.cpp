@@ -139,6 +139,32 @@ BENCHMARK(BM_ClusterReconnectTax)
     ->Arg(5)
     ->Unit(benchmark::kMillisecond);
 
+/// Telemetry ablation: the same 4-worker run with the fleet observability
+/// plane fully off (workers spawned with --no-telemetry, no trace context)
+/// versus fully on (50 ms export cadence, trace propagation, and the merged
+/// fleet trace written at the end). /1 against /0 is the tentpole's
+/// overhead budget: export + merge must stay within a few percent.
+void BM_ClusterTelemetry(benchmark::State& state) {
+  const auto& moduli = corpus(512);
+  const bool enabled = state.range(0) != 0;
+  auto config = base_config(4);
+  config.telemetry_interval = std::chrono::milliseconds(enabled ? 50 : 0);
+  const std::string trace_path = "bench_fleet_trace.json";
+  if (enabled) config.fleet_trace_path = trace_path;
+  cluster::ClusterStats stats;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cluster::batch_gcd_cluster(moduli, config, &stats));
+  }
+  state.counters["snapshots"] = static_cast<double>(stats.telemetry_snapshots);
+  state.counters["spans"] = static_cast<double>(stats.telemetry_spans);
+  if (enabled) {
+    std::remove(trace_path.c_str());
+    std::remove((trace_path + ".metrics.json").c_str());
+  }
+}
+BENCHMARK(BM_ClusterTelemetry)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {

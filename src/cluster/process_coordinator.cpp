@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -21,6 +22,7 @@
 #include "batchgcd/task_journal.hpp"
 #include "cluster/protocol.hpp"
 #include "core/binary_io.hpp"
+#include "obs/fleet.hpp"
 #include "util/net.hpp"
 #include "util/thread_pool.hpp"
 
@@ -89,13 +91,19 @@ struct Slot {
   Clock::time_point last_pong;
   Clock::time_point last_ping;
   std::uint64_t ping_seq = 0;
+  /// Negotiated protocol dialect for this incarnation, recorded from the
+  /// Hello: every frame the coordinator sends this worker is encoded for
+  /// this version (v2 workers get legacy bodies, no telemetry).
+  std::uint32_t version = kProtocolVersion;
   bool busy = false;
   Pending current;  ///< valid when busy
+  std::uint64_t assign_span = 0;  ///< open fleet assign span (valid when busy)
   Clock::time_point assigned_at;
   std::size_t strikes = 0;  ///< verification failures this incarnation
   // -- session state: survives disconnects, reset per incarnation ----------
   std::uint64_t session_id = 0;      ///< 0 = no session established yet
   std::uint64_t rx_result_seq = 0;   ///< dedup high-water for result replays
+  std::uint64_t rx_telemetry_seq = 0;  ///< dedup high-water for telemetry
   Clock::time_point disconnected_at;
   std::deque<Transfer> transfers;
   std::vector<bool> delivered_subsets;   ///< fully acked by the worker
@@ -111,7 +119,10 @@ class ProcessCoordinator {
  public:
   ProcessCoordinator(std::span<const BigInt> moduli,
                      const ClusterConfig& config)
-      : config_(config), moduli_(moduli) {
+      : config_(config),
+        moduli_(moduli),
+        fleet_(config.telemetry ? &config.telemetry->metrics() : nullptr,
+               /*trace_enabled=*/!config.fleet_trace_path.empty()) {
     if (config_.telemetry) {
       auto& m = config_.telemetry->metrics();
       m_workers_alive_ = &m.gauge("cluster.workers_alive");
@@ -316,6 +327,7 @@ class ProcessCoordinator {
   void reset_session(Slot& slot) {
     slot.session_id = 0;
     slot.rx_result_seq = 0;
+    slot.rx_telemetry_seq = 0;
     slot.transfers.clear();
     slot.delivered_subsets.assign(k_, false);
     slot.delivered_products.assign(k_, false);
@@ -337,6 +349,12 @@ class ProcessCoordinator {
       args.push_back("--session-reconnect");
       args.push_back("--reconnect-window-ms");
       args.push_back(std::to_string(config_.session_grace.count()));
+    }
+    if (config_.telemetry_interval.count() > 0) {
+      args.push_back("--telemetry-interval-ms");
+      args.push_back(std::to_string(config_.telemetry_interval.count()));
+    } else {
+      args.push_back("--no-telemetry");
     }
     if (config_.injector) {
       const util::FaultConfig& f = config_.injector->config();
@@ -383,6 +401,10 @@ class ProcessCoordinator {
         args.push_back("--fault-corrupt");
         args.push_back(std::to_string(f.corrupt_probability));
       }
+    }
+    // Last so they can override anything the coordinator generated.
+    for (const std::string& extra : config_.worker_extra_args) {
+      args.push_back(extra);
     }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
@@ -452,16 +474,20 @@ class ProcessCoordinator {
       if (status != RecvStatus::kOk) return;
       break;
     }
+    // Any dialect in [kMinProtocolVersion, kProtocolVersion] is served —
+    // the coordinator speaks each worker's negotiated version per link.
     if (frame.type == MsgType::kHello) {
       const auto hello = HelloMsg::decode(frame.body);
-      if (hello && hello->version == kProtocolVersion) {
+      if (hello && hello->version >= kMinProtocolVersion &&
+          hello->version <= kProtocolVersion) {
         attach_fresh(*hello, std::move(fd));
       }
       return;
     }
     if (frame.type == MsgType::kReconnectHello) {
       const auto msg = ReconnectHelloMsg::decode(frame.body);
-      if (msg && msg->version == kProtocolVersion) {
+      if (msg && msg->version >= kMinProtocolVersion &&
+          msg->version <= kProtocolVersion) {
         reattach(*msg, std::move(fd), probe);
       }
       return;
@@ -484,6 +510,8 @@ class ProcessCoordinator {
       return;  // stale or impostor connection; UniqueFd closes it
     }
     if (slot.is_remote) slot.pid = static_cast<pid_t>(hello.pid);
+    slot.version = hello.version;
+    fleet_.on_worker_fresh(slot.id);
     slot.fd = std::move(fd);
     slot.conn = std::make_unique<FrameConn>(slot.fd.get(), 2ull * slot.id,
                                             link_injector());
@@ -687,6 +715,11 @@ class ProcessCoordinator {
             on_stream_ack(slot, *ack);
           }
           break;
+        case MsgType::kTelemetrySnapshot:
+          if (auto snap = TelemetrySnapshotMsg::decode(frame.body)) {
+            on_telemetry(slot, *snap);
+          }
+          break;
         default:
           break;
       }
@@ -697,7 +730,13 @@ class ProcessCoordinator {
     slot.last_pong = Clock::now();
     slot.worker_frames_sent = pong.frames_sent;
     slot.worker_frames_dropped = pong.frames_dropped;
-    const std::int64_t rtt_ns = now_ns() - pong.t_send_ns;
+    const std::int64_t recv_ns = now_ns();
+    // v3 Pongs echo the worker's steady clock: one midpoint-method offset
+    // observation per heartbeat (worker_now_ns stays 0 on v2 links and is
+    // ignored). The Pong always precedes the worker's TelemetrySnapshot on
+    // the same link, so span rebasing never runs without an estimate.
+    fleet_.observe_clock(slot.id, pong.t_send_ns, recv_ns, pong.worker_now_ns);
+    const std::int64_t rtt_ns = recv_ns - pong.t_send_ns;
     if (rtt_ns >= 0) {
       const auto rtt_us = static_cast<std::uint64_t>(rtt_ns / 1000);
       stats_.max_heartbeat_rtt_us =
@@ -705,6 +744,41 @@ class ProcessCoordinator {
       if (m_rtt_us_) m_rtt_us_->record(rtt_us);
       if (slot.rtt_hist) slot.rtt_hist->record(rtt_us);
     }
+  }
+
+  /// One worker telemetry export under mu_: dedup outbox replays by
+  /// sequence, then hand the decoded snapshot to the fleet aggregator
+  /// (clock-rebased span merge + fleet.* metric fan-out).
+  void on_telemetry(Slot& slot, const TelemetrySnapshotMsg& msg) {
+    if (msg.seq <= slot.rx_telemetry_seq) {
+      ++stats_.telemetry_replays;
+      return;  // replayed export; everything in it was ingested already
+    }
+    slot.rx_telemetry_seq = msg.seq;
+    obs::FleetSnapshot snap;
+    snap.worker_id = slot.id;
+    snap.seq = msg.seq;
+    snap.first_span_index = msg.first_span_index;
+    snap.trace_epoch_ns = msg.trace_epoch_ns;
+    snap.rss_kb = msg.rss_kb;
+    snap.peak_rss_kb = msg.peak_rss_kb;
+    snap.cpu_user_us = msg.cpu_user_us;
+    snap.cpu_sys_us = msg.cpu_sys_us;
+    snap.counters = msg.counters;
+    snap.gauges = msg.gauges;
+    snap.spans.reserve(msg.spans.size());
+    for (const TelemetrySpan& s : msg.spans) {
+      obs::TraceEvent ev;
+      ev.name = s.name;
+      ev.tid = 0;  // worker spans all live on the compute thread's lane
+      ev.ts_us = s.ts_us;
+      ev.dur_us = s.dur_us;
+      ev.depth = s.depth;
+      ev.args = s.args;
+      snap.spans.push_back(std::move(ev));
+    }
+    ++stats_.telemetry_snapshots;
+    stats_.telemetry_spans += fleet_.ingest(snap);
   }
 
   /// Handles one TaskResult under mu_: drop session replays we already
@@ -726,12 +800,22 @@ class ProcessCoordinator {
     const std::size_t task = result.task;
     const bool was_current = slot.busy && slot.current.task == task;
     std::size_t attempt = 0;
+    std::uint64_t assign_span = 0;
     if (was_current) {
       attempt = slot.current.attempt;
       slot.busy = false;  // the slot is schedulable again either way
+      assign_span = slot.assign_span;
+      slot.assign_span = 0;
     }
-    if (task >= total_) return;
+    const auto close_span = [&](bool committed) {
+      fleet_.end_assign(assign_span, now_ns(), committed);
+    };
+    if (task >= total_) {
+      close_span(false);
+      return;
+    }
     if (tstate_[task] == TaskState::kDone) {
+      close_span(true);  // this attempt's work is done, just redundantly
       ++stats_.duplicate_results;
       if (m_duplicate_results_) m_duplicate_results_->inc();
       cv_.notify_all();
@@ -740,12 +824,14 @@ class ProcessCoordinator {
 
     const std::size_t a = task % k_;
     if (verify(a, result.claims)) {
+      close_span(true);
       // Commit even when this slot was already timed out for the task —
       // the result is verified, and any later duplicate lands in the
       // kDone branch above.
       drop_from_pending(task);
       commit(task, result.claims);
     } else {
+      close_span(false);
       // Quarantine: the claims never touch the accumulators or the
       // journal. The sender earns a strike; at the limit it is demoted.
       ++stats_.results_quarantined;
@@ -1070,7 +1156,8 @@ class ProcessCoordinator {
         ping.seq = slot.ping_seq++;
         ping.t_send_ns = now_ns();
         ping.ack_result_seq = slot.rx_result_seq;
-        if (!slot.conn->send(MsgType::kPing, ping.encode())) {
+        ping.ack_telemetry_seq = slot.rx_telemetry_seq;
+        if (!slot.conn->send(MsgType::kPing, ping.encode(slot.version))) {
           link_lost(slot, "ping send failed");
         }
       }
@@ -1117,6 +1204,8 @@ class ProcessCoordinator {
 
       if (slot.busy) {
         slot.busy = false;
+        fleet_.end_assign(slot.assign_span, now_ns(), /*committed=*/false);
+        slot.assign_span = 0;
         ++stats_.tasks_reassigned;
         if (m_tasks_reassigned_) m_tasks_reassigned_->inc();
         requeue(slot.current.task, slot.current.attempt + 1, slot.id);
@@ -1184,6 +1273,8 @@ class ProcessCoordinator {
           " timed out on worker " + std::to_string(slot.id) + "; requeueing");
       const Pending timed_out = slot.current;
       slot.busy = false;
+      fleet_.end_assign(slot.assign_span, now_ns(), /*committed=*/false);
+      slot.assign_span = 0;
       requeue(timed_out.task, timed_out.attempt + 1, slot.id);
     }
   }
@@ -1243,14 +1334,27 @@ class ProcessCoordinator {
     msg.product_subset = static_cast<std::uint32_t>(b);
     msg.leaf_subset = static_cast<std::uint32_t>(a);
     msg.attempt = static_cast<std::uint32_t>(p.attempt);
-    if (!slot.conn->send(MsgType::kTaskAssign, msg.encode(),
+    // Trace context (v3 only; the v2 body has no room for it): the worker
+    // parents its task spans under this attempt's assign span. trace_id 0
+    // means fleet tracing is off and the worker opens no spans.
+    std::uint64_t assign_span = 0;
+    if (slot.version >= 3) {
+      const std::int64_t t = now_ns();
+      assign_span = fleet_.begin_assign(msg.task, slot.id, msg.attempt, t);
+      msg.trace_id = fleet_.trace_id();
+      msg.parent_span = assign_span;
+      msg.assign_ts_ns = t;
+    }
+    if (!slot.conn->send(MsgType::kTaskAssign, msg.encode(slot.version),
                          /*injectable=*/true)) {
+      fleet_.end_assign(assign_span, now_ns(), /*committed=*/false);
       link_lost(slot, "assign send failed");
       pending_.push_back(p);
       return;
     }
     slot.busy = true;
     slot.current = p;
+    slot.assign_span = assign_span;
     slot.assigned_at = Clock::now();
     tstate_[p.task] = TaskState::kAssigned;
     ++stats_.attempts;
@@ -1344,17 +1448,39 @@ class ProcessCoordinator {
   /// but are never signalled or reaped — they are not our children.
   /// Idempotent.
   void cleanup() {
-    std::vector<std::thread> rx_threads;
-    std::vector<pid_t> pids;
     {
       std::lock_guard guard(mu_);
       if (cleaned_up_) return;
       cleaned_up_ = true;
-      stop_ = true;
       for (Slot& slot : slots_) {
         if (slot.state == SlotState::kLive && slot.conn) {
           slot.conn->send(MsgType::kShutdown, {});
         }
+      }
+    }
+    // Drain before severing: a Shutdown-ed worker flushes its final
+    // TelemetrySnapshot (the last tasks' spans and counter totals) and
+    // exits, closing its socket — each RX thread keeps ingesting until that
+    // EOF parks the slot. Bounded: a wedged (e.g. SIGSTOPped) worker cannot
+    // flush and is severed at the deadline instead.
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait_until(lock, Clock::now() + std::chrono::milliseconds(500),
+                     [this] {
+                       for (const Slot& slot : slots_) {
+                         if (slot.state == SlotState::kLive && slot.conn) {
+                           return false;
+                         }
+                       }
+                       return true;
+                     });
+    }
+    std::vector<std::thread> rx_threads;
+    std::vector<pid_t> pids;
+    {
+      std::lock_guard guard(mu_);
+      stop_ = true;
+      for (Slot& slot : slots_) {
         ++slot.epoch;
         if (slot.fd.valid()) ::shutdown(slot.fd.get(), SHUT_RDWR);
         if (slot.rx.joinable()) rx_threads.push_back(std::move(slot.rx));
@@ -1393,6 +1519,24 @@ class ProcessCoordinator {
       int status = 0;
       ::waitpid(pid, &status, 0);
     }
+
+    // All RX threads are joined: the merged timeline is final. Write the
+    // Chrome trace plus the fleet metrics JSON next to it.
+    if (!config_.fleet_trace_path.empty()) {
+      write_json_file(config_.fleet_trace_path, fleet_.chrome_trace_json());
+      write_json_file(config_.fleet_trace_path + ".metrics.json",
+                      fleet_.fleet_metrics_json());
+    }
+  }
+
+  void write_json_file(const std::string& path, const std::string& json) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      log("cluster: cannot write " + path);
+      return;
+    }
+    out << json << '\n';
+    log("cluster: wrote " + path);
   }
 
   // -- state ---------------------------------------------------------------
@@ -1411,6 +1555,10 @@ class ProcessCoordinator {
 
   util::net::UniqueFd listen_fd_;
   std::uint16_t bound_port_ = 0;
+  /// Fleet observability: clock alignment, merged trace, fleet.* metric
+  /// fan-out. Internally synchronized — called from RX threads and the
+  /// supervisor without mu_ ordering concerns.
+  obs::FleetAggregator fleet_;
 
   std::mutex mu_;  ///< guards everything below
   std::condition_variable cv_;

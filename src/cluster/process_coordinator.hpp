@@ -53,6 +53,7 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "batchgcd/batch_gcd.hpp"
 #include "obs/telemetry.hpp"
@@ -142,6 +143,21 @@ struct ClusterConfig {
   /// cluster.heartbeat_rtt_us histogram, and per-worker
   /// cluster.worker.<w>.* instruments. Must outlive the call.
   obs::Telemetry* telemetry = nullptr;
+  /// Telemetry export cadence forwarded to spawned workers (v3): each
+  /// worker ships a TelemetrySnapshot (metrics + spans + RSS/CPU) at most
+  /// this often, piggybacked on the heartbeat path. The coordinator fans
+  /// the snapshots into fleet.worker.<id>.* / fleet.* metrics on its
+  /// registry. 0 disables export (workers get --no-telemetry).
+  std::chrono::milliseconds telemetry_interval{500};
+  /// When non-empty, collect a fleet-merged Chrome trace — coordinator
+  /// assign spans plus clock-rebased worker task spans — and write it here
+  /// at the end of the run (plus fleet metrics JSON at
+  /// `<path>.metrics.json`). Implies trace context on v3 TaskAssigns.
+  std::string fleet_trace_path;
+  /// Extra argv appended verbatim to every spawned worker (after the
+  /// coordinator-generated flags, so they can override) — how tests pin
+  /// e.g. --protocol-v2 on a worker without a dedicated config knob.
+  std::vector<std::string> worker_extra_args;
 };
 
 struct ClusterStats {
@@ -175,6 +191,9 @@ struct ClusterStats {
   std::uint64_t frames_corrupt = 0;  ///< frames rejected by CRC on receipt
   std::uint64_t conn_faults_injected = 0;  ///< coordinator-side link events
   std::uint64_t max_heartbeat_rtt_us = 0;
+  std::uint64_t telemetry_snapshots = 0;  ///< fresh exports ingested
+  std::uint64_t telemetry_replays = 0;    ///< duplicate seqs (outbox replay)
+  std::uint64_t telemetry_spans = 0;      ///< worker spans merged
 };
 
 /// The cluster could not finish: no workers left, a task exhausted its

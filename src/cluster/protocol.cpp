@@ -146,12 +146,17 @@ std::optional<ProductDataMsg> ProductDataMsg::decode(
   });
 }
 
-std::vector<std::uint8_t> TaskAssignMsg::encode() const {
+std::vector<std::uint8_t> TaskAssignMsg::encode(std::uint32_t version) const {
   core::BufferWriter w;
   w.u32(task);
   w.u32(product_subset);
   w.u32(leaf_subset);
   w.u32(attempt);
+  if (version >= 3) {
+    w.u64(trace_id);
+    w.u64(parent_span);
+    w.i64(assign_ts_ns);
+  }
   return w.data();
 }
 
@@ -163,6 +168,11 @@ std::optional<TaskAssignMsg> TaskAssignMsg::decode(
     m.product_subset = r.u32();
     m.leaf_subset = r.u32();
     m.attempt = r.u32();
+    if (!r.exhausted()) {  // v3 trace-context tail
+      m.trace_id = r.u64();
+      m.parent_span = r.u64();
+      m.assign_ts_ns = r.i64();
+    }
     return m;
   });
 }
@@ -199,11 +209,12 @@ std::optional<TaskResultMsg> TaskResultMsg::decode(
   });
 }
 
-std::vector<std::uint8_t> PingMsg::encode() const {
+std::vector<std::uint8_t> PingMsg::encode(std::uint32_t version) const {
   core::BufferWriter w;
   w.u64(seq);
   w.i64(t_send_ns);
   w.u64(ack_result_seq);
+  if (version >= 3) w.u64(ack_telemetry_seq);
   return w.data();
 }
 
@@ -213,17 +224,19 @@ std::optional<PingMsg> PingMsg::decode(const std::vector<std::uint8_t>& body) {
     m.seq = r.u64();
     m.t_send_ns = r.i64();
     m.ack_result_seq = r.u64();
+    if (!r.exhausted()) m.ack_telemetry_seq = r.u64();  // v3 tail
     return m;
   });
 }
 
-std::vector<std::uint8_t> PongMsg::encode() const {
+std::vector<std::uint8_t> PongMsg::encode(std::uint32_t version) const {
   core::BufferWriter w;
   w.u64(seq);
   w.i64(t_send_ns);
   w.u32(tasks_done);
   w.u64(frames_sent);
   w.u64(frames_dropped);
+  if (version >= 3) w.i64(worker_now_ns);
   return w.data();
 }
 
@@ -235,6 +248,89 @@ std::optional<PongMsg> PongMsg::decode(const std::vector<std::uint8_t>& body) {
     m.tasks_done = r.u32();
     m.frames_sent = r.u64();
     m.frames_dropped = r.u64();
+    if (!r.exhausted()) m.worker_now_ns = r.i64();  // v3 tail
+    return m;
+  });
+}
+
+std::vector<std::uint8_t> TelemetrySnapshotMsg::encode() const {
+  core::BufferWriter w;
+  w.u32(worker_id);
+  w.u64(seq);
+  w.u64(first_span_index);
+  w.i64(trace_epoch_ns);
+  w.i64(rss_kb);
+  w.i64(peak_rss_kb);
+  w.i64(cpu_user_us);
+  w.i64(cpu_sys_us);
+  w.u32(static_cast<std::uint32_t>(counters.size()));
+  for (const auto& [name, value] : counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  w.u32(static_cast<std::uint32_t>(gauges.size()));
+  for (const auto& [name, value] : gauges) {
+    w.str(name);
+    w.i64(value);
+  }
+  w.u32(static_cast<std::uint32_t>(spans.size()));
+  for (const auto& span : spans) {
+    w.str(span.name);
+    w.u64(span.ts_us);
+    w.u64(span.dur_us);
+    w.u32(span.depth);
+    w.u32(static_cast<std::uint32_t>(span.args.size()));
+    for (const auto& [key, value] : span.args) {
+      w.str(key);
+      w.i64(value);
+    }
+  }
+  return w.data();
+}
+
+std::optional<TelemetrySnapshotMsg> TelemetrySnapshotMsg::decode(
+    const std::vector<std::uint8_t>& body) {
+  return decode_guard<TelemetrySnapshotMsg>(body, [](core::BufferReader& r) {
+    TelemetrySnapshotMsg m;
+    m.worker_id = r.u32();
+    m.seq = r.u64();
+    m.first_span_index = r.u64();
+    m.trace_epoch_ns = r.i64();
+    m.rss_kb = r.i64();
+    m.peak_rss_kb = r.i64();
+    m.cpu_user_us = r.i64();
+    m.cpu_sys_us = r.i64();
+    const std::uint32_t n_counters = r.u32();
+    m.counters.reserve(n_counters);
+    for (std::uint32_t i = 0; i < n_counters; ++i) {
+      std::string name = r.str();
+      const std::uint64_t value = r.u64();
+      m.counters.emplace_back(std::move(name), value);
+    }
+    const std::uint32_t n_gauges = r.u32();
+    m.gauges.reserve(n_gauges);
+    for (std::uint32_t i = 0; i < n_gauges; ++i) {
+      std::string name = r.str();
+      const std::int64_t value = r.i64();
+      m.gauges.emplace_back(std::move(name), value);
+    }
+    const std::uint32_t n_spans = r.u32();
+    m.spans.reserve(n_spans);
+    for (std::uint32_t i = 0; i < n_spans; ++i) {
+      TelemetrySpan span;
+      span.name = r.str();
+      span.ts_us = r.u64();
+      span.dur_us = r.u64();
+      span.depth = r.u32();
+      const std::uint32_t n_args = r.u32();
+      span.args.reserve(n_args);
+      for (std::uint32_t j = 0; j < n_args; ++j) {
+        std::string key = r.str();
+        const std::int64_t value = r.i64();
+        span.args.emplace_back(std::move(key), value);
+      }
+      m.spans.push_back(std::move(span));
+    }
     return m;
   });
 }

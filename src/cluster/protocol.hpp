@@ -15,20 +15,32 @@
 // the task layer via timeouts and reassignment, exactly as a real lossy
 // transport would force.
 //
-// Message flow (protocol v2):
+// Message flow (protocol v3):
 //
-//   worker -> coordinator   Hello          (identify: worker id, pid)
-//   coordinator -> worker   HelloAck       (fingerprint, heartbeat, session)
-//   coordinator -> worker   StreamBegin    (open a subset/product transfer)
-//   coordinator -> worker   StreamChunk    (offset-addressed payload slice)
-//   worker -> coordinator   StreamAck      (contiguous-prefix receipt)
-//   coordinator -> worker   TaskAssign     (run task: product b x subset a)
-//   worker -> coordinator   TaskResult     (divisor claims, session seq)
-//   coordinator -> worker   Ping           (liveness probe + result-seq ack)
-//   worker -> coordinator   Pong           (echo + worker-side frame stats)
-//   worker -> coordinator   ReconnectHello (resume session after link loss)
-//   coordinator -> worker   ReconnectAck   (accept/reject + replay point)
-//   coordinator -> worker   Shutdown       (drain and exit 0)
+//   worker -> coordinator   Hello             (identify: worker id, pid, ver)
+//   coordinator -> worker   HelloAck          (fingerprint, heartbeat, session)
+//   coordinator -> worker   StreamBegin       (open a subset/product transfer)
+//   coordinator -> worker   StreamChunk       (offset-addressed payload slice)
+//   worker -> coordinator   StreamAck         (contiguous-prefix receipt)
+//   coordinator -> worker   TaskAssign        (task + v3: trace context)
+//   worker -> coordinator   TaskResult        (divisor claims, session seq)
+//   coordinator -> worker   Ping              (liveness + result/telemetry ack)
+//   worker -> coordinator   Pong              (echo + stats + v3: worker clock)
+//   worker -> coordinator   TelemetrySnapshot (v3: metrics/spans/proc stats)
+//   worker -> coordinator   ReconnectHello    (resume session after link loss)
+//   coordinator -> worker   ReconnectAck      (accept/reject + replay point)
+//   coordinator -> worker   Shutdown          (drain, flush telemetry, exit 0)
+//
+// Version negotiation: Hello/ReconnectHello carry the worker's protocol
+// version and the coordinator accepts anything in [kMinProtocolVersion,
+// kProtocolVersion], then speaks the *worker's* dialect on that link. The
+// v3 extensions are strictly additive tail fields (TaskAssign trace
+// context, Ping telemetry ack, Pong worker-clock sample) plus one new
+// frame type (TelemetrySnapshot), so a v2 worker keeps working: it never
+// receives the extended encodings (per-slot version-aware encode) and the
+// coordinator simply gets no telemetry from it. Decoders read the tail
+// fields only when present, because decode_guard rejects trailing bytes —
+// an old decoder cannot skip fields it does not know about.
 //
 // Subset moduli and product roots are streamed once per *session* in
 // chunked, offset-addressed frames (StreamBegin/Chunk/Ack — go-back-N with
@@ -55,6 +67,8 @@
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "batchgcd/task_journal.hpp"
@@ -64,9 +78,16 @@
 namespace weakkeys::cluster {
 
 /// Bumped on any incompatible frame/message change; Hello carries it and
-/// the coordinator refuses mismatched workers. v2 added sessions (reconnect
-/// handshake, result sequencing) and chunked subset/product streaming.
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// the coordinator refuses workers outside [kMinProtocolVersion, this].
+/// v2 added sessions (reconnect handshake, result sequencing) and chunked
+/// subset/product streaming; v3 added the telemetry plane (TaskAssign trace
+/// context, TelemetrySnapshot export, Pong clock samples) as additive tail
+/// fields, so v2 remains speakable on a per-link basis.
+inline constexpr std::uint32_t kProtocolVersion = 3;
+
+/// Oldest dialect the coordinator still speaks (see version negotiation
+/// notes above).
+inline constexpr std::uint32_t kMinProtocolVersion = 2;
 
 /// Upper bound on a frame payload; a length prefix beyond this means the
 /// stream is garbage (or hostile) and the connection is dropped rather
@@ -88,6 +109,7 @@ enum class MsgType : std::uint8_t {
   kStreamBegin = 12,
   kStreamChunk = 13,
   kStreamAck = 14,
+  kTelemetrySnapshot = 15,  ///< v3: worker metrics/spans/proc-stats export
 };
 
 struct Frame {
@@ -174,8 +196,17 @@ struct TaskAssignMsg {
   std::uint32_t product_subset = 0;  ///< b
   std::uint32_t leaf_subset = 0;     ///< a
   std::uint32_t attempt = 0;         ///< 0-based, for logging/tracing
+  // v3 trace context: the worker's task spans become children of the
+  // coordinator's assign span so one task is one causally-linked tree
+  // across both processes. Zero trace_id = tracing off (worker opens none).
+  std::uint64_t trace_id = 0;        ///< run-unique trace identity
+  std::uint64_t parent_span = 0;     ///< coordinator-side assign span id
+  std::int64_t assign_ts_ns = 0;     ///< coordinator steady clock at send
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// v2 peers get the legacy 4-field body (decode_guard rejects trailing
+  /// bytes, so the tail must not be sent to them); v3 gets the full form.
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::uint32_t version = kProtocolVersion) const;
   static std::optional<TaskAssignMsg> decode(
       const std::vector<std::uint8_t>& body);
 };
@@ -199,8 +230,14 @@ struct PingMsg {
   /// Highest result_seq the coordinator has received this session; the
   /// worker prunes its replay outbox through it.
   std::uint64_t ack_result_seq = 0;
+  /// v3: highest TelemetrySnapshot seq the coordinator has ingested this
+  /// session; the worker prunes its telemetry outbox through it (same
+  /// loss-tolerance shape as results — unacked snapshots replay after a
+  /// reconnect).
+  std::uint64_t ack_telemetry_seq = 0;
 
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::uint32_t version = kProtocolVersion) const;
   static std::optional<PingMsg> decode(const std::vector<std::uint8_t>& body);
 };
 
@@ -210,9 +247,57 @@ struct PongMsg {
   std::uint32_t tasks_done = 0;    ///< tasks this incarnation completed
   std::uint64_t frames_sent = 0;   ///< worker-side transport stats,
   std::uint64_t frames_dropped = 0;  ///< surfaced in cluster.* metrics
+  /// v3: the worker's steady clock when this Pong was built. Combined with
+  /// the coordinator's send/receive timestamps for the same ping seq, this
+  /// is one clock-offset observation (midpoint method, error <= RTT/2) —
+  /// how the FleetAggregator rebases worker span timestamps.
+  std::int64_t worker_now_ns = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      std::uint32_t version = kProtocolVersion) const;
+  static std::optional<PongMsg> decode(const std::vector<std::uint8_t>& body);
+};
+
+// -- telemetry export (v3) --------------------------------------------------
+
+/// One completed worker-side span, timestamped on the worker's steady
+/// clock: `ts_us` is microseconds since the *epoch* named by the owning
+/// snapshot's `trace_epoch_ns`, so the coordinator can rebase it with the
+/// estimated clock offset. `depth` nests spans sharing a thread lane, and
+/// `args` carries small integer annotations (task id, attempt, claims).
+struct TelemetrySpan {
+  std::string name;
+  std::uint64_t ts_us = 0;
+  std::uint64_t dur_us = 0;
+  std::uint32_t depth = 0;
+  std::vector<std::pair<std::string, std::int64_t>> args;
+};
+
+/// Periodic worker → coordinator telemetry export (v3 only). Snapshots are
+/// sequenced per session and kept in a worker-side outbox until the Ping
+/// path acks them, so a link flap loses nothing: the worker replays unacked
+/// snapshots after reconnect, and the coordinator dedups by (seq) plus by
+/// each span's global index (`first_span_index` + offset). Counter/gauge
+/// values are absolute (last-write-wins on the coordinator), which makes
+/// replays and droppage harmless.
+struct TelemetrySnapshotMsg {
+  std::uint32_t worker_id = 0;
+  std::uint64_t seq = 0;               ///< session-scoped, 1-based
+  std::uint64_t first_span_index = 0;  ///< global index of spans[0]
+  /// Worker steady-clock ns at this incarnation's span epoch (ts_us == 0).
+  std::int64_t trace_epoch_ns = 0;
+  // Process stats (sample_proc_self at snapshot time; -1 = unavailable).
+  std::int64_t rss_kb = -1;
+  std::int64_t peak_rss_kb = -1;
+  std::int64_t cpu_user_us = -1;
+  std::int64_t cpu_sys_us = -1;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<TelemetrySpan> spans;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  static std::optional<PongMsg> decode(const std::vector<std::uint8_t>& body);
+  static std::optional<TelemetrySnapshotMsg> decode(
+      const std::vector<std::uint8_t>& body);
 };
 
 // -- chunked streaming ------------------------------------------------------

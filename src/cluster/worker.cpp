@@ -19,6 +19,7 @@
 #include "batchgcd/remainder_tree.hpp"
 #include "cluster/protocol.hpp"
 #include "core/binary_io.hpp"
+#include "obs/proc_stats.hpp"
 #include "util/net.hpp"
 
 namespace weakkeys::cluster {
@@ -40,6 +41,12 @@ std::uint64_t tx_stream(std::uint32_t worker_id) {
 /// but the session may still be resumable.
 constexpr int kLinkLost = -1;
 
+std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
 /// One TCP connection: fd + framed endpoint. Sessions outlive links — the
 /// worker swaps in a fresh Link per reconnect while the compute thread may
 /// still hold a shared_ptr to the dead one (its sends fail harmlessly; the
@@ -56,7 +63,13 @@ struct Link {
 class Worker {
  public:
   explicit Worker(const WorkerConfig& config)
-      : config_(config), injector_(config.faults) {}
+      : config_(config),
+        injector_(config.faults),
+        version_(config.protocol_version != 0 ? config.protocol_version
+                                              : kProtocolVersion),
+        telemetry_enabled_(version_ >= 3 &&
+                           config.telemetry_interval.count() > 0),
+        trace_epoch_ns_(steady_now_ns()) {}
 
   int run() {
     util::net::ignore_sigpipe();
@@ -173,6 +186,7 @@ class Worker {
     HelloMsg hello;
     hello.worker_id = config_.worker_id;
     hello.pid = static_cast<std::uint64_t>(::getpid());
+    hello.version = version_;
     if (!link->conn.send(MsgType::kHello, hello.encode()))
       return Handshake::kFatal;
     const auto deadline = Clock::now() + config_.connect_timeout;
@@ -204,6 +218,7 @@ class Worker {
     hello.worker_id = config_.worker_id;
     hello.pid = static_cast<std::uint64_t>(::getpid());
     hello.session_id = session_id_;
+    hello.version = version_;
     {
       std::lock_guard guard(mu_);
       hello.last_committed_seq = acked_result_seq_;
@@ -248,14 +263,28 @@ class Worker {
       outbox_.pop_front();
   }
 
+  void prune_telemetry(std::uint64_t ack_seq) {
+    std::lock_guard guard(mu_);
+    acked_telemetry_seq_ = std::max(acked_telemetry_seq_, ack_seq);
+    while (!telemetry_outbox_.empty() &&
+           telemetry_outbox_.front().seq <= acked_telemetry_seq_) {
+      telemetry_outbox_.pop_front();
+    }
+  }
+
   /// Resends every result the coordinator has not acknowledged. Replays are
   /// injectable like first sends: a replayed frame can be dropped again,
   /// and either a later Ping ack or the next reconnect settles it.
+  /// Unacked telemetry snapshots replay too (clean, like all telemetry
+  /// sends) — that is what makes export loss-tolerant across link flaps.
   void replay_outbox(Link* link) {
     std::vector<TaskResultMsg> replay;
+    std::vector<TelemetrySnapshotMsg> telemetry_replay;
     {
       std::lock_guard guard(mu_);
       replay.assign(outbox_.begin(), outbox_.end());
+      telemetry_replay.assign(telemetry_outbox_.begin(),
+                              telemetry_outbox_.end());
     }
     for (const auto& result : replay) {
       if (!link->conn.send(MsgType::kTaskResult, result.encode(),
@@ -263,6 +292,81 @@ class Worker {
         return;  // link already dead again; rx_loop will notice
       }
     }
+    for (const auto& snap : telemetry_replay) {
+      if (!link->conn.send(MsgType::kTelemetrySnapshot, snap.encode())) return;
+    }
+  }
+
+  // -- telemetry export (RX thread only) ----------------------------------
+
+  /// Packages pending spans + current counters + proc stats into a
+  /// sequenced TelemetrySnapshot, outboxes it, and sends it on `link`.
+  /// Throttled to telemetry_interval unless `force` (the Shutdown flush).
+  /// Returns false only on a hard send failure (link dead).
+  bool maybe_send_telemetry(Link* link, bool force) {
+    if (!telemetry_enabled_) return true;
+    const std::int64_t now = steady_now_ns();
+    if (!force && last_telemetry_ns_ != 0 &&
+        now - last_telemetry_ns_ <
+            config_.telemetry_interval.count() * 1000000) {
+      return true;
+    }
+    last_telemetry_ns_ = now;
+    TelemetrySnapshotMsg snap;
+    snap.worker_id = config_.worker_id;
+    snap.trace_epoch_ns = trace_epoch_ns_;
+    {
+      std::lock_guard guard(mu_);
+      snap.seq = ++next_telemetry_seq_;
+      snap.first_span_index = span_base_;
+      snap.spans = std::move(pending_spans_);
+      pending_spans_.clear();
+      span_base_ += snap.spans.size();
+      snap.gauges.emplace_back(
+          "queue_depth", static_cast<std::int64_t>(queue_.size()));
+    }
+    snap.counters = {
+        {"tasks_executed", tasks_done_.load(std::memory_order_relaxed)},
+        {"claims_found", claims_found_.load(std::memory_order_relaxed)},
+        {"compute_us", compute_us_.load(std::memory_order_relaxed)},
+    };
+    const obs::ProcSelfStats proc = obs::sample_proc_self();
+    if (proc.rss_available) {
+      snap.rss_kb = proc.rss_kb;
+      snap.peak_rss_kb = proc.peak_rss_kb;
+    }
+    if (proc.cpu_available) {
+      snap.cpu_user_us = static_cast<std::int64_t>(proc.cpu_user_us);
+      snap.cpu_sys_us = static_cast<std::int64_t>(proc.cpu_sys_us);
+    }
+    {
+      std::lock_guard guard(mu_);
+      telemetry_outbox_.push_back(snap);
+    }
+    // Clean (non-injectable) like other control-plane frames: in-window
+    // loss recovery would need its own retransmit layer, so loss tolerance
+    // lives at the reconnect/replay level instead.
+    return link->conn.send(MsgType::kTelemetrySnapshot, snap.encode());
+  }
+
+  /// Appends one completed task span (timestamps relative to
+  /// trace_epoch_ns_) to the pending buffer the next snapshot drains.
+  void record_span(const char* name, std::int64_t start_ns,
+                   std::int64_t end_ns, const TaskAssignMsg& assign) {
+    TelemetrySpan span;
+    span.name = name;
+    span.ts_us = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, (start_ns - trace_epoch_ns_) / 1000));
+    span.dur_us = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(0, (end_ns - start_ns) / 1000));
+    span.args = {
+        {"task", assign.task},
+        {"attempt", assign.attempt},
+        {"trace_id", static_cast<std::int64_t>(assign.trace_id)},
+        {"parent_span", static_cast<std::int64_t>(assign.parent_span)},
+    };
+    std::lock_guard guard(mu_);
+    pending_spans_.push_back(std::move(span));
   }
 
   /// The RX loop: answers pings inline (so liveness reflects the process,
@@ -301,13 +405,22 @@ class Worker {
         case MsgType::kPing: {
           if (const auto ping = PingMsg::decode(frame.body)) {
             prune_outbox(ping->ack_result_seq);
+            prune_telemetry(ping->ack_telemetry_seq);
             PongMsg pong;
             pong.seq = ping->seq;
             pong.t_send_ns = ping->t_send_ns;
             pong.tasks_done = tasks_done_.load(std::memory_order_relaxed);
             pong.frames_sent = link->conn.stats().sent;
             pong.frames_dropped = link->conn.stats().dropped;
-            if (!link->conn.send(MsgType::kPong, pong.encode()))
+            // The clock sample must be taken as close to the send as
+            // possible: it is one endpoint of the coordinator's midpoint
+            // offset estimate.
+            pong.worker_now_ns = steady_now_ns();
+            if (!link->conn.send(MsgType::kPong, pong.encode(version_)))
+              return kLinkLost;
+            // Telemetry rides the Pong path: the coordinator's heartbeat
+            // cadence is the export clock, throttled to telemetry_interval.
+            if (!maybe_send_telemetry(link, /*force=*/false))
               return kLinkLost;
           }
           break;
@@ -345,13 +458,18 @@ class Worker {
           if (const auto msg = TaskAssignMsg::decode(frame.body)) {
             {
               std::lock_guard guard(mu_);
-              queue_.push_back(*msg);
+              queue_.push_back(PendingTask{*msg, steady_now_ns()});
             }
             cv_.notify_one();
           }
           break;
         }
         case MsgType::kShutdown:
+          // Final telemetry flush before the link closes: the coordinator
+          // drains its RX side until EOF, so the last tasks' spans and the
+          // final counter values make it into the fleet view. Best-effort —
+          // a dead link at this point just loses the tail.
+          maybe_send_telemetry(link, /*force=*/true);
           return kWorkerExitOk;
         default:
           break;  // unknown/unexpected types are ignored, not fatal
@@ -445,21 +563,33 @@ class Worker {
 
   // -- compute ------------------------------------------------------------
 
+  /// A queued assignment plus its RX-thread arrival time: the gap between
+  /// the two ends of the pair is the task.recv (queue-wait) span.
+  struct PendingTask {
+    TaskAssignMsg assign;
+    std::int64_t recv_ns = 0;
+  };
+
   void compute_loop() {
     for (;;) {
-      TaskAssignMsg assign;
+      PendingTask task;
       {
         std::unique_lock lock(mu_);
         cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
         if (stop_ && queue_.empty()) return;
-        assign = queue_.front();
+        task = queue_.front();
         queue_.pop_front();
       }
-      execute(assign);
+      execute(task.assign, task.recv_ns);
     }
   }
 
-  void execute(const TaskAssignMsg& assign) {
+  void execute(const TaskAssignMsg& assign, std::int64_t recv_ns) {
+    // Clock reads only when telemetry is on; spans additionally only when
+    // the coordinator asked for them (trace_id 0 = fleet trace off).
+    const bool traced = telemetry_enabled_ && assign.trace_id != 0;
+    const std::int64_t t_dequeue = telemetry_enabled_ ? steady_now_ns() : 0;
+    if (traced) record_span("task.recv", recv_ns, t_dequeue, assign);
     std::vector<BigInt> moduli;
     BigInt product;
     std::shared_ptr<batchgcd::ProductTree> tree;
@@ -503,6 +633,8 @@ class Worker {
 
     const std::vector<BigInt> rem =
         batchgcd::remainder_tree_squares(*tree, product);
+    const std::int64_t t_computed = telemetry_enabled_ ? steady_now_ns() : 0;
+    if (traced) record_span("task.compute", t_dequeue, t_computed, assign);
     const bool diagonal = assign.product_subset == assign.leaf_subset;
     const BigInt one(1);
     TaskResultMsg result;
@@ -515,6 +647,14 @@ class Worker {
         result.claims.push_back({static_cast<std::uint32_t>(i), std::move(g)});
       }
     }
+    const std::int64_t t_verified = telemetry_enabled_ ? steady_now_ns() : 0;
+    if (traced) record_span("task.verify", t_computed, t_verified, assign);
+    if (telemetry_enabled_ && t_verified >= t_dequeue) {
+      compute_us_.fetch_add(
+          static_cast<std::uint64_t>((t_verified - t_dequeue) / 1000),
+          std::memory_order_relaxed);
+    }
+    claims_found_.fetch_add(result.claims.size(), std::memory_order_relaxed);
     if (decision.kind == util::FaultKind::kCorruptResult && !moduli.empty()) {
       // Same guaranteed-rejectable corruption as the in-process simulation:
       // n-1 never divides n for n > 2, so verification must catch it.
@@ -533,7 +673,9 @@ class Worker {
       }
     }
     tasks_done_.fetch_add(1, std::memory_order_relaxed);
+    const std::int64_t t_send = traced ? steady_now_ns() : 0;
     post_result(std::move(result));
+    if (traced) record_span("task.send", t_send, steady_now_ns(), assign);
   }
 
   /// Sequences a finished result into the outbox, then attempts delivery on
@@ -557,16 +699,21 @@ class Worker {
 
   WorkerConfig config_;
   util::FaultInjector injector_;
+  const std::uint32_t version_;       ///< negotiated dialect (Hello)
+  const bool telemetry_enabled_;      ///< v3 and interval > 0
+  const std::int64_t trace_epoch_ns_; ///< span-timestamp epoch, this clock
 
-  std::mutex mu_;  ///< guards queue_, caches, stop_, link_, outbox_
+  std::mutex mu_;  ///< guards queue_, caches, stop_, link_, outboxes, spans
   std::condition_variable cv_;
-  std::deque<TaskAssignMsg> queue_;
+  std::deque<PendingTask> queue_;
   bool stop_ = false;
   std::shared_ptr<Link> link_;
   std::map<std::uint32_t, std::vector<BigInt>> subsets_;
   std::map<std::uint32_t, BigInt> products_;
   std::map<std::uint32_t, std::shared_ptr<batchgcd::ProductTree>> trees_;
   std::atomic<std::uint32_t> tasks_done_{0};
+  std::atomic<std::uint64_t> claims_found_{0};
+  std::atomic<std::uint64_t> compute_us_{0};
 
   // Session state (main/RX thread unless noted).
   std::uint64_t session_id_ = 0;
@@ -577,6 +724,16 @@ class Worker {
   std::uint64_t next_result_seq_ = 0;    ///< last assigned seq (mu_)
   std::uint64_t acked_result_seq_ = 0;   ///< coordinator high-water (mu_)
   std::map<std::uint32_t, RxStream> rx_streams_;  ///< RX thread only
+
+  // Telemetry export state. Spans accumulate under mu_ (compute thread
+  // writes, RX thread drains); the outbox/seq bookkeeping is RX-thread
+  // owned but kept under mu_ for uniformity.
+  std::vector<TelemetrySpan> pending_spans_;        ///< not yet snapshotted
+  std::uint64_t span_base_ = 0;  ///< global index of pending_spans_[0]
+  std::deque<TelemetrySnapshotMsg> telemetry_outbox_;  ///< unacked exports
+  std::uint64_t next_telemetry_seq_ = 0;
+  std::uint64_t acked_telemetry_seq_ = 0;
+  std::int64_t last_telemetry_ns_ = 0;  ///< RX thread only (throttle)
 };
 
 }  // namespace

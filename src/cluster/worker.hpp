@@ -67,6 +67,17 @@ struct WorkerConfig {
   /// straggle_probability > 0. The coordinator forwards a value beyond its
   /// task_timeout so a straggle is always a timeout there.
   std::chrono::milliseconds straggle_sleep{300};
+  /// Telemetry export cadence (protocol v3): a Ping arriving at least this
+  /// long after the previous export triggers a TelemetrySnapshot frame
+  /// (metrics + completed task spans + RSS/CPU) back to the coordinator.
+  /// 0 disables export entirely; exports are also disabled when
+  /// protocol_version < 3.
+  std::chrono::milliseconds telemetry_interval{500};
+  /// Protocol version to advertise in the Hello. 0 = newest
+  /// (kProtocolVersion); 2 pins the legacy v2 dialect — no telemetry
+  /// export, legacy Pong encoding — for compatibility testing against a
+  /// v3 coordinator.
+  std::uint32_t protocol_version = 0;
   /// Progress/diagnostic sink; null discards (gcd_worker wires stderr).
   std::function<void(const std::string&)> log;
 };

@@ -640,6 +640,17 @@ void Study::factor_moduli() {
     if (const char* env = std::getenv("WEAKKEYS_STREAM_WINDOW"))
       stream_window = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
   }
+  int telemetry_interval_ms = config_.telemetry_interval_ms;
+  if (telemetry_interval_ms < 0) {
+    if (const char* env = std::getenv("WEAKKEYS_TELEMETRY_INTERVAL_MS"))
+      telemetry_interval_ms =
+          static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+  std::string fleet_trace_path = config_.fleet_trace_path;
+  if (fleet_trace_path.empty()) {
+    if (const char* env = std::getenv("WEAKKEYS_FLEET_TRACE"))
+      fleet_trace_path = env;
+  }
 
   batchgcd::BatchGcdResult result;
   if (worker_processes > 0 || remote_workers > 0) {
@@ -656,6 +667,10 @@ void Study::factor_moduli() {
     cc.session_grace = std::chrono::milliseconds(session_grace_ms);
     if (chunk_bytes > 0) cc.stream_chunk_bytes = chunk_bytes;
     if (stream_window > 0) cc.stream_window_chunks = stream_window;
+    if (telemetry_interval_ms >= 0) {
+      cc.telemetry_interval = std::chrono::milliseconds(telemetry_interval_ms);
+    }
+    cc.fleet_trace_path = fleet_trace_path;
     cc.checkpoint_path =
         config_.cache_path.empty() ? "" : config_.cache_path + ".gcdckpt";
     cc.log = [this](const std::string& message) { log(message); };

@@ -96,6 +96,19 @@ struct StudyConfig {
   /// Backpressure window (chunks in flight beyond the acked prefix).
   /// 0 falls back to WEAKKEYS_STREAM_WINDOW, then the cluster default.
   std::size_t stream_window_chunks = 0;
+  /// Telemetry export cadence (ms) for the cluster path: each v3 worker
+  /// ships a TelemetrySnapshot (metrics + task spans + RSS/CPU) at most
+  /// this often, fanned into fleet.worker.<id>.* / fleet.* metrics on the
+  /// study registry (visible via /metrics, /status, and the monitor).
+  /// Negative falls back to WEAKKEYS_TELEMETRY_INTERVAL_MS; still negative
+  /// keeps the cluster default (500ms). 0 disables worker export.
+  int telemetry_interval_ms = -1;
+  /// Fleet-merged Chrome trace path for the cluster path: coordinator
+  /// assign spans plus clock-rebased worker task spans on one timeline,
+  /// written when the factoring stage ends (plus fleet metrics JSON at
+  /// `<path>.metrics.json`). Empty falls back to WEAKKEYS_FLEET_TRACE;
+  /// still empty disables the merged trace (metric fan-in is unaffected).
+  std::string fleet_trace_path;
   /// Scan-noise injection: appends corrupted records to the scanned corpus
   /// after simulation or cache load (the cache always stores the clean
   /// corpus). All-zero = pristine. The ingest quarantine pass absorbs the

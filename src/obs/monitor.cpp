@@ -313,6 +313,22 @@ std::string Monitor::heartbeat_line(const MetricsSnapshot& cur,
                     static_cast<unsigned long long>(rtt->second.max));
       line += buf;
     }
+    // Fleet telemetry (v3 workers): what the workers reported about
+    // themselves — aggregate compute time and resident memory.
+    const auto fleet = cur.gauges.find("fleet.workers_reporting");
+    if (fleet != cur.gauges.end() && fleet->second > 0) {
+      std::snprintf(buf, sizeof(buf), " | fleet %lld reporting %.1fs compute",
+                    static_cast<long long>(fleet->second),
+                    static_cast<double>(cur.counter("fleet.compute_us")) /
+                        1e6);
+      line += buf;
+      const auto fleet_rss = cur.gauges.find("fleet.rss_kb");
+      if (fleet_rss != cur.gauges.end() && fleet_rss->second > 0) {
+        std::snprintf(buf, sizeof(buf), " %.1f MB rss",
+                      static_cast<double>(fleet_rss->second) / 1024.0);
+        line += buf;
+      }
+    }
   }
 
   const auto queue = cur.gauges.find("threadpool.queue_depth");

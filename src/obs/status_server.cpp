@@ -70,6 +70,60 @@ std::string cluster_workers_json(const MetricsSnapshot& snap) {
   return out;
 }
 
+// /status fleet block: rollups plus per-worker process stats merged from v3
+// telemetry exports (the fleet.worker.<id>.* / fleet.* registry metrics
+// published by obs::FleetAggregator). Empty until a worker has reported, so
+// the JSON stays unchanged for in-process studies and v2 fleets.
+std::string fleet_status_json(const MetricsSnapshot& snap) {
+  const auto reporting = snap.gauges.find("fleet.workers_reporting");
+  if (reporting == snap.gauges.end() || reporting->second <= 0) return "";
+  std::string out = ",\"fleet\":{\"workers_reporting\":" +
+                    std::to_string(reporting->second);
+  out += ",\"telemetry_snapshots\":" +
+         std::to_string(snap.counter("fleet.telemetry_snapshots"));
+  out += ",\"tasks_executed\":" +
+         std::to_string(snap.counter("fleet.tasks_executed"));
+  out += ",\"compute_us\":" + std::to_string(snap.counter("fleet.compute_us"));
+  const auto rss = snap.gauges.find("fleet.rss_kb");
+  if (rss != snap.gauges.end()) {
+    out += ",\"rss_kb\":" + std::to_string(rss->second);
+  }
+  out += ",\"per_worker\":[";
+  constexpr const char* kPrefix = "fleet.worker.";
+  // Worker ids come from the gauge namespace — every reporting worker
+  // publishes at least one fleet.worker.<id>.* gauge — and arrive grouped
+  // because the snapshot maps are ordered.
+  std::string last_id;
+  bool first = true;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const std::size_t id_end = name.find('.', std::strlen(kPrefix));
+    if (id_end == std::string::npos) continue;
+    const std::string id =
+        name.substr(std::strlen(kPrefix), id_end - std::strlen(kPrefix));
+    if (id == last_id) continue;
+    last_id = id;
+    const std::string p = std::string(kPrefix) + id + ".";
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":\"" + json_escape(id) + "\"";
+    for (const char* g : {"rss_kb", "peak_rss_kb", "cpu_user_us",
+                          "cpu_sys_us", "queue_depth"}) {
+      const auto it = snap.gauges.find(p + g);
+      if (it != snap.gauges.end()) {
+        out += ",\"" + std::string(g) + "\":" + std::to_string(it->second);
+      }
+    }
+    for (const char* c : {"tasks_executed", "compute_us", "claims_found"}) {
+      out += ",\"" + std::string(c) +
+             "\":" + std::to_string(snap.counter(p + c));
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
 }  // namespace
 
 std::string prometheus_metric_name(const std::string& name) {
@@ -215,11 +269,21 @@ void StatusServer::handle_connection(int fd) {
   const std::string method = request.substr(0, method_end);
   const std::string path =
       request.substr(method_end + 1, path_end - method_end - 1);
-  const std::string response =
-      method == "GET"
-          ? respond(path)
-          : std::string("HTTP/1.0 405 Method Not Allowed\r\n"
-                        "Content-Length: 0\r\nConnection: close\r\n\r\n");
+  std::string response;
+  if (method == "GET") {
+    response = respond(path);
+  } else if (method == "HEAD") {
+    // Headers only, per RFC: same status line and Content-Length as the
+    // GET would carry, body stripped — `curl -I /healthz` and HEAD-probing
+    // load balancers get liveness without paying for a /metrics body.
+    response = respond(path);
+    const std::size_t header_end = response.find("\r\n\r\n");
+    if (header_end != std::string::npos) response.resize(header_end + 4);
+  } else {
+    response =
+        "HTTP/1.0 405 Method Not Allowed\r\n"
+        "Content-Length: 0\r\nConnection: close\r\n\r\n";
+  }
   requests_.fetch_add(1);
   // write_full resumes partial writes and restarts EINTR — a large /metrics
   // body (thousands of cluster/worker series) previously risked truncation
@@ -284,6 +348,7 @@ std::string StatusServer::respond(const std::string& path) const {
     }
     const MetricsSnapshot snap = telemetry_.metrics().snapshot();
     body += cluster_workers_json(snap);
+    body += fleet_status_json(snap);
     body += ",\"metrics\":" + telemetry_.metrics().to_json() + "}";
     content_type = "application/json";
   } else {

@@ -203,6 +203,100 @@ TEST(ClusterProtocol, SessionAndStreamMessageRoundTrips) {
   EXPECT_FALSE(StreamAckMsg::decode(truncated(sack.encode())));
 }
 
+TEST(ClusterProtocol, TraceContextTailsRoundTripAndDegradeToV2) {
+  // v3 appends trace/telemetry tails to TaskAssign/Ping/Pong. The default
+  // encode() carries them; encode(2) emits the legacy body, which must
+  // still decode — with the tails at their zero defaults — so a v3
+  // coordinator can speak each link's negotiated dialect.
+  TaskAssignMsg assign{11, 2, 3, 1};
+  assign.trace_id = 0xfeedfacecafef00dull;
+  assign.parent_span = 77;
+  assign.assign_ts_ns = 123456789012345;
+  const auto assign3 = TaskAssignMsg::decode(assign.encode());
+  ASSERT_TRUE(assign3);
+  EXPECT_EQ(assign3->task, 11u);
+  EXPECT_EQ(assign3->trace_id, 0xfeedfacecafef00dull);
+  EXPECT_EQ(assign3->parent_span, 77u);
+  EXPECT_EQ(assign3->assign_ts_ns, 123456789012345);
+  const auto assign_v2_body = assign.encode(2);
+  EXPECT_LT(assign_v2_body.size(), assign.encode().size());
+  const auto assign2 = TaskAssignMsg::decode(assign_v2_body);
+  ASSERT_TRUE(assign2);
+  EXPECT_EQ(assign2->task, 11u);
+  EXPECT_EQ(assign2->attempt, 1u);
+  EXPECT_EQ(assign2->trace_id, 0u);
+  EXPECT_EQ(assign2->parent_span, 0u);
+  EXPECT_EQ(assign2->assign_ts_ns, 0);
+
+  PingMsg ping{42, 99999, 7};
+  ping.ack_telemetry_seq = 5;
+  const auto ping3 = PingMsg::decode(ping.encode());
+  ASSERT_TRUE(ping3);
+  EXPECT_EQ(ping3->ack_telemetry_seq, 5u);
+  const auto ping2 = PingMsg::decode(ping.encode(2));
+  ASSERT_TRUE(ping2);
+  EXPECT_EQ(ping2->seq, 42u);
+  EXPECT_EQ(ping2->ack_telemetry_seq, 0u);
+
+  PongMsg pong{42, 99999, 3, 17, 2};
+  pong.worker_now_ns = 31337;
+  const auto pong3 = PongMsg::decode(pong.encode());
+  ASSERT_TRUE(pong3);
+  EXPECT_EQ(pong3->worker_now_ns, 31337);
+  const auto pong2 = PongMsg::decode(pong.encode(2));
+  ASSERT_TRUE(pong2);
+  EXPECT_EQ(pong2->frames_sent, 17u);
+  EXPECT_EQ(pong2->worker_now_ns, 0);
+}
+
+TEST(ClusterProtocol, TelemetrySnapshotRoundTripsAndRejectsMalformed) {
+  TelemetrySnapshotMsg msg;
+  msg.worker_id = 3;
+  msg.seq = 9;
+  msg.first_span_index = 40;
+  msg.trace_epoch_ns = 1726000000;
+  msg.rss_kb = 2048;
+  msg.peak_rss_kb = 4096;
+  msg.cpu_user_us = 1234;
+  msg.cpu_sys_us = 56;
+  msg.counters = {{"tasks_executed", 7}, {"compute_us", 88000}};
+  msg.gauges = {{"queue_depth", 2}};
+  TelemetrySpan span;
+  span.name = "task.compute";
+  span.ts_us = 10;
+  span.dur_us = 20;
+  span.depth = 0;
+  span.args = {{"task", 11}, {"attempt", 1}};
+  msg.spans = {span};
+
+  auto body = msg.encode();
+  const auto decoded = TelemetrySnapshotMsg::decode(body);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->worker_id, 3u);
+  EXPECT_EQ(decoded->seq, 9u);
+  EXPECT_EQ(decoded->first_span_index, 40u);
+  EXPECT_EQ(decoded->trace_epoch_ns, 1726000000);
+  EXPECT_EQ(decoded->rss_kb, 2048);
+  EXPECT_EQ(decoded->peak_rss_kb, 4096);
+  EXPECT_EQ(decoded->cpu_user_us, 1234);
+  EXPECT_EQ(decoded->cpu_sys_us, 56);
+  EXPECT_EQ(decoded->counters, msg.counters);
+  EXPECT_EQ(decoded->gauges, msg.gauges);
+  ASSERT_EQ(decoded->spans.size(), 1u);
+  EXPECT_EQ(decoded->spans[0].name, "task.compute");
+  EXPECT_EQ(decoded->spans[0].ts_us, 10u);
+  EXPECT_EQ(decoded->spans[0].dur_us, 20u);
+  EXPECT_EQ(decoded->spans[0].args, span.args);
+
+  // Truncate at every prefix: decode must fail cleanly, never throw.
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    const std::vector<std::uint8_t> prefix(body.begin(), body.begin() + cut);
+    EXPECT_FALSE(TelemetrySnapshotMsg::decode(prefix)) << "cut=" << cut;
+  }
+  body.push_back(0xff);  // trailing garbage is rejected too
+  EXPECT_FALSE(TelemetrySnapshotMsg::decode(body));
+}
+
 TEST(ClusterProtocol, MalformedBodiesDecodeToNullopt) {
   TaskResultMsg result;
   result.task = 5;
@@ -598,6 +692,136 @@ TEST(Cluster, MetricsSurfaceClusterCounters) {
   const auto rtt = snapshot.histograms.find("cluster.heartbeat_rtt_us");
   ASSERT_NE(rtt, snapshot.histograms.end());
   EXPECT_GT(rtt->second.count, 0u);
+}
+
+// --------------------------------------------------------- fleet telemetry ----
+
+/// Reads a whole file into a string; empty when the file cannot be opened.
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ClusterTelemetry, FleetCountersSumToCoordinatorCommitsUnderLinkFaults) {
+  // The fleet accounting invariant: the fleet.tasks_executed rollup (summed
+  // worker-side counters, shipped over a faulted link with outbox replay
+  // across reconnects) must equal the coordinator's committed-task count.
+  // Disconnect faults heal by session reconnect, so no task is reassigned
+  // or re-executed — which the test asserts as its own precondition; replay
+  // after reconnect must then be idempotent, not double-counted.
+  const auto moduli = make_moduli(230, 18);
+  const auto reference = batchgcd::batch_gcd(moduli);
+  obs::Telemetry telemetry;
+
+  util::FaultConfig faults;
+  faults.seed = 41;
+  faults.conn_disconnect_probability = 0.04;
+  const util::FaultInjector injector(faults);
+
+  auto config = fast_config(3, 2);
+  config.session_grace = std::chrono::milliseconds(5000);
+  config.injector = &injector;
+  config.task_timeout = std::chrono::milliseconds(5000);
+  config.telemetry = &telemetry;
+  config.telemetry_interval = std::chrono::milliseconds(10);
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  // Accounting precondition: every commit was executed exactly once.
+  ASSERT_EQ(stats.tasks_reassigned, 0u);
+  ASSERT_EQ(stats.task_timeouts, 0u);
+  EXPECT_EQ(stats.tasks_executed, 9u);
+  EXPECT_GT(stats.telemetry_snapshots, 0u);
+
+  const auto snap = telemetry.metrics().snapshot();
+  EXPECT_EQ(snap.counter("fleet.tasks_executed"), stats.tasks_executed);
+  EXPECT_EQ(snap.counter("fleet.tasks_executed"),
+            snap.counter("fleet.worker.0.tasks_executed") +
+                snap.counter("fleet.worker.1.tasks_executed"));
+  EXPECT_EQ(snap.counter("fleet.telemetry_snapshots"),
+            stats.telemetry_snapshots);
+  const auto reporting = snap.gauges.find("fleet.workers_reporting");
+  ASSERT_NE(reporting, snap.gauges.end());
+  EXPECT_EQ(reporting->second, 2);
+}
+
+TEST(ClusterTelemetry, LegacyV2WorkerCompletesAgainstV3Coordinator) {
+  // Version-compat gate: a worker pinned to the v2 dialect (no telemetry,
+  // legacy Hello/Pong bodies, v2 TaskAssign bodies from the coordinator)
+  // still completes a run against the v3 coordinator with identical output.
+  const auto moduli = make_moduli(231, 14);
+  const auto reference = batchgcd::batch_gcd(moduli);
+
+  auto config = fast_config(3, 2);
+  config.worker_extra_args = {"--protocol-v2"};
+  ClusterStats stats;
+  const auto result = batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(result.divisors, reference.divisors);
+  EXPECT_EQ(stats.tasks_executed, 9u);
+  // v2 workers export nothing; the fleet plane simply stays empty.
+  EXPECT_EQ(stats.telemetry_snapshots, 0u);
+  EXPECT_EQ(stats.telemetry_spans, 0u);
+}
+
+TEST(ClusterTelemetry, MergedFleetTraceCoversEveryCommittedTask) {
+  // The tentpole artifact: a run with fleet_trace_path set produces one
+  // merged Chrome trace where every committed task contributes a
+  // coordinator assign span plus the worker-side recv/compute/verify/send
+  // spans, and a fleet metrics JSON lands next to it.
+  const auto moduli = make_moduli(232, 14);
+  const std::string trace_path = ::testing::TempDir() + "fleet_trace.json";
+  const std::string metrics_path = trace_path + ".metrics.json";
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+
+  auto config = fast_config(3, 2);
+  config.fleet_trace_path = trace_path;
+  config.telemetry_interval = std::chrono::milliseconds(10);
+  ClusterStats stats;
+  batch_gcd_cluster(moduli, config, &stats);
+  EXPECT_EQ(stats.tasks_executed, 9u);
+  EXPECT_GT(stats.telemetry_spans, 0u);
+
+  const std::string trace = slurp(trace_path);
+  ASSERT_FALSE(trace.empty()) << trace_path;
+  // Chrome trace_event envelope with a lane per process.
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"coordinator\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker 0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"worker 1\""), std::string::npos);
+  // One assign span per attempt, one worker span quartet per execution.
+  EXPECT_EQ(count_occurrences(trace, "\"task.assign\""), stats.attempts);
+  EXPECT_EQ(count_occurrences(trace, "\"task.recv\""), 9u);
+  EXPECT_EQ(count_occurrences(trace, "\"task.compute\""), 9u);
+  EXPECT_EQ(count_occurrences(trace, "\"task.verify\""), 9u);
+  EXPECT_EQ(count_occurrences(trace, "\"task.send\""), 9u);
+  // Worker spans carry the propagated trace context.
+  EXPECT_NE(trace.find("\"trace_id\""), std::string::npos);
+  EXPECT_NE(trace.find("\"parent_span\""), std::string::npos);
+
+  const std::string metrics = slurp(metrics_path);
+  ASSERT_FALSE(metrics.empty()) << metrics_path;
+  EXPECT_NE(metrics.find("\"fleet\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"tasks_executed\""), std::string::npos);
+
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
 }
 
 // ----------------------------------------------------------- cancellation ----

@@ -390,6 +390,32 @@ std::string body_of(const std::string& response) {
   return pos == std::string::npos ? std::string() : response.substr(pos + 4);
 }
 
+/// Like http_get but with a caller-chosen method (HEAD, POST, ...).
+std::string http_request(int port, const std::string& method,
+                         const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  std::string response;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    const std::string request =
+        method + " " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n\r\n";
+    if (::send(fd, request.data(), request.size(), 0) ==
+        static_cast<ssize_t>(request.size())) {
+      char buf[4096];
+      ssize_t n;
+      while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+        response.append(buf, static_cast<std::size_t>(n));
+      }
+    }
+  }
+  ::close(fd);
+  return response;
+}
+
 TEST(StatusServer, ServesMetricsAndStatusOverHttp) {
   obs::Telemetry telemetry;
   telemetry.metrics().counter("ingest.records_seen").inc(77);
@@ -419,6 +445,81 @@ TEST(StatusServer, ServesMetricsAndStatusOverHttp) {
   EXPECT_FALSE(server.running());
   EXPECT_EQ(server.port(), -1);
   server.stop();  // idempotent
+}
+
+TEST(StatusServer, HeadRequestsAnswerHeadersOnly) {
+  obs::Telemetry telemetry;
+  telemetry.metrics().counter("demo.counter").inc(1);
+  obs::StatusServer server(telemetry, {});
+  ASSERT_TRUE(server.start());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+
+  // HEAD mirrors the GET's status line and Content-Length but ships no
+  // body — `curl -I /healthz` for load-balancer probes.
+  const std::string get = http_get(port, "/healthz");
+  const std::string head = http_request(port, "HEAD", "/healthz");
+  EXPECT_EQ(head.rfind("HTTP/1.0 200", 0), 0u) << head;
+  EXPECT_TRUE(body_of(head).empty()) << head;
+  const std::string content_length =
+      "Content-Length: " + std::to_string(body_of(get).size());
+  EXPECT_NE(head.find(content_length), std::string::npos) << head;
+
+  // HEAD of a missing path reports the 404 status, still bodyless.
+  const std::string missing = http_request(port, "HEAD", "/nope");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404", 0), 0u);
+  EXPECT_TRUE(body_of(missing).empty());
+
+  // Anything else is rejected outright.
+  EXPECT_EQ(http_request(port, "POST", "/healthz").rfind("HTTP/1.0 405", 0),
+            0u);
+}
+
+TEST(StatusServer, StatusReportsFleetBlockWhenWorkersReport) {
+  obs::Telemetry telemetry;
+  auto& m = telemetry.metrics();
+  // No fleet block before any worker reports.
+  obs::StatusServer server(telemetry, {});
+  ASSERT_TRUE(server.start());
+  const int port = server.port();
+  ASSERT_GT(port, 0);
+  {
+    const auto doc = jsonlite::parse(body_of(http_get(port, "/status")));
+    EXPECT_FALSE(doc.has("fleet"));
+  }
+
+  // Publish what a FleetAggregator would after two workers exported.
+  m.gauge("fleet.workers_reporting").set(2);
+  m.counter("fleet.telemetry_snapshots").set(6);
+  m.counter("fleet.tasks_executed").set(9);
+  m.counter("fleet.compute_us").set(120000);
+  m.gauge("fleet.rss_kb").set(3072);
+  m.counter("fleet.worker.0.tasks_executed").set(5);
+  m.gauge("fleet.worker.0.rss_kb").set(1024);
+  m.gauge("fleet.worker.0.cpu_user_us").set(90000);
+  m.gauge("fleet.worker.0.queue_depth").set(1);
+  m.counter("fleet.worker.1.tasks_executed").set(4);
+  m.counter("fleet.worker.1.claims_found").set(3);
+  m.gauge("fleet.worker.1.rss_kb").set(2048);
+
+  const auto doc = jsonlite::parse(body_of(http_get(port, "/status")));
+  const auto& fleet = doc.at("fleet");
+  EXPECT_EQ(fleet.at("workers_reporting").integer(), 2);
+  EXPECT_EQ(fleet.at("telemetry_snapshots").integer(), 6);
+  EXPECT_EQ(fleet.at("tasks_executed").integer(), 9);
+  EXPECT_EQ(fleet.at("compute_us").integer(), 120000);
+  EXPECT_EQ(fleet.at("rss_kb").integer(), 3072);
+  const auto& per_worker = fleet.at("per_worker").array();
+  ASSERT_EQ(per_worker.size(), 2u);
+  EXPECT_EQ(per_worker[0].at("id").str(), "0");
+  EXPECT_EQ(per_worker[0].at("rss_kb").integer(), 1024);
+  EXPECT_EQ(per_worker[0].at("cpu_user_us").integer(), 90000);
+  EXPECT_EQ(per_worker[0].at("queue_depth").integer(), 1);
+  EXPECT_EQ(per_worker[0].at("tasks_executed").integer(), 5);
+  EXPECT_EQ(per_worker[1].at("id").str(), "1");
+  EXPECT_EQ(per_worker[1].at("rss_kb").integer(), 2048);
+  EXPECT_EQ(per_worker[1].at("tasks_executed").integer(), 4);
+  EXPECT_EQ(per_worker[1].at("claims_found").integer(), 3);
 }
 
 TEST(StatusServer, BindRetryWalksPastABusyPort) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "json_lite.hpp"
+#include "obs/fleet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/trace.hpp"
@@ -328,6 +329,225 @@ TEST(Telemetry, WriteTraceFilesEmitsValidJsonPair) {
   EXPECT_EQ(trace.at("traceEvents").array().size(), 1u);
   std::remove(path.c_str());
   std::remove((path + ".metrics.json").c_str());
+}
+
+// ---------------------------------------------------------- json_escape ----
+
+TEST(JsonEscape, ControlCharsQuotesAndBackslashesStayParseable) {
+  // Hostile name: every escape class at once — quote, backslash, the named
+  // control chars, and raw low control bytes that need \uXXXX.
+  const std::string hostile = "a\"b\\c\nd\re\tf\x01g\x1f h";
+  const std::string escaped = obs::json_escape(hostile);
+  // No raw control byte survives into the JSON text.
+  for (const char c : escaped) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  EXPECT_NE(escaped.find("\\u0001"), std::string::npos);
+  EXPECT_NE(escaped.find("\\u001f"), std::string::npos);
+  // Embedded in a document, it parses back to the original bytes.
+  const auto doc = testjson::parse("{\"k\":\"" + escaped + "\"}");
+  EXPECT_EQ(doc.at("k").str(), hostile);
+}
+
+TEST(JsonEscape, HostileSpanNamesAndArgsYieldParseableChromeTrace) {
+  // A span name and arg key chosen to break naive JSON emitters must still
+  // produce a chrome_trace_json that a strict parser accepts.
+  obs::Tracer tracer;
+  {
+    obs::Span span = tracer.span("evil\"span\\\n\x02name");
+    span.arg("arg\"key\twith\x03junk", 7);
+  }
+  const auto doc = testjson::parse(tracer.chrome_trace_json());
+  const auto& events = doc.at("traceEvents").array();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].at("name").str(), "evil\"span\\\n\x02name");
+  EXPECT_EQ(events[0].at("args").at("arg\"key\twith\x03junk").integer(), 7);
+}
+
+// --------------------------------------------------- clock offset & fleet ----
+
+TEST(ClockOffsetEstimator, RecoversKnownSkewUnderSymmetricDelay) {
+  // Remote clock = local clock + 5 ms. The remote sample lands exactly at
+  // the RTT midpoint, so the midpoint method recovers the skew exactly.
+  constexpr std::int64_t kSkewNs = 5'000'000;
+  obs::ClockOffsetEstimator est;
+  EXPECT_FALSE(est.valid());
+  EXPECT_EQ(est.rebase(42), 42);  // identity until an observation arrives
+
+  const std::int64_t send = 1'000'000;
+  const std::int64_t recv = 1'002'000;  // RTT 2 us... ns scale: 2000 ns
+  const std::int64_t midpoint = (send + recv) / 2;
+  est.observe(send, recv, midpoint + kSkewNs);
+  ASSERT_TRUE(est.valid());
+  EXPECT_EQ(est.offset_ns(), kSkewNs);
+  EXPECT_EQ(est.best_rtt_ns(), recv - send);
+  EXPECT_EQ(est.rebase(midpoint + kSkewNs), midpoint);
+}
+
+TEST(ClockOffsetEstimator, AsymmetricDelayErrorIsBoundedByHalfRtt) {
+  // Forward path 100 ns, return path 900 ns: the remote sample is taken
+  // well before the midpoint, so the estimate is off — but by no more than
+  // RTT/2, the method's guaranteed bound.
+  constexpr std::int64_t kSkewNs = 1'000'000;
+  obs::ClockOffsetEstimator est;
+  const std::int64_t send = 0;
+  const std::int64_t remote_sample_local = 100;  // after the 100 ns hop
+  const std::int64_t recv = 1000;                // + 900 ns return hop
+  est.observe(send, recv, remote_sample_local + kSkewNs);
+  ASSERT_TRUE(est.valid());
+  const std::int64_t error = est.offset_ns() - kSkewNs;
+  EXPECT_LE(error < 0 ? -error : error, est.best_rtt_ns() / 2);
+}
+
+TEST(ClockOffsetEstimator, KeepsTheMinimumRttObservation) {
+  obs::ClockOffsetEstimator est;
+  est.observe(0, 1000, 500 + 111);     // RTT 1000, offset 111
+  est.observe(0, 10000, 5000 + 999);   // worse RTT: ignored
+  EXPECT_EQ(est.offset_ns(), 111);
+  EXPECT_EQ(est.best_rtt_ns(), 1000);
+  est.observe(0, 400, 200 + 77);       // tighter RTT: adopted
+  EXPECT_EQ(est.offset_ns(), 77);
+  EXPECT_EQ(est.best_rtt_ns(), 400);
+}
+
+namespace {
+
+/// A worker snapshot whose spans are stamped on a skewed worker clock:
+/// the worker's steady clock reads coordinator_time + skew.
+obs::FleetSnapshot make_snapshot(std::uint32_t worker, std::uint64_t seq,
+                                 std::uint64_t first_span_index,
+                                 std::int64_t worker_epoch_ns) {
+  obs::FleetSnapshot snap;
+  snap.worker_id = worker;
+  snap.seq = seq;
+  snap.first_span_index = first_span_index;
+  snap.trace_epoch_ns = worker_epoch_ns;
+  return snap;
+}
+
+}  // namespace
+
+TEST(FleetAggregator, RebasesWorkerSpansIntoTheCoordinatorTimeline) {
+  obs::FleetAggregator fleet(nullptr, /*trace_enabled=*/true);
+  ASSERT_NE(fleet.trace_id(), 0u);
+  const std::int64_t epoch = fleet.epoch_ns();
+  constexpr std::int64_t kSkewNs = 7'000'000;  // worker clock runs ahead
+
+  // One exact clock observation: worker_now sampled at the RTT midpoint.
+  fleet.observe_clock(0, epoch, epoch + 2000, epoch + 1000 + kSkewNs);
+
+  // Coordinator assign span: [1 ms, 10 ms] on the coordinator clock.
+  const std::uint64_t span =
+      fleet.begin_assign(/*task=*/3, /*worker=*/0, /*attempt=*/0,
+                         epoch + 1'000'000);
+  ASSERT_NE(span, 0u);
+  fleet.end_assign(span, epoch + 10'000'000, /*committed=*/true);
+
+  // Worker compute span at coordinator time [2 ms, 5 ms], but stamped on
+  // the worker clock: its epoch is the skewed image of the coordinator's.
+  auto snap = make_snapshot(0, 1, 0, epoch + kSkewNs);
+  obs::TraceEvent compute;
+  compute.name = "task.compute";
+  compute.ts_us = 2000;
+  compute.dur_us = 3000;
+  snap.spans = {compute};
+  EXPECT_EQ(fleet.ingest(snap), 1u);
+
+  const auto events = fleet.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Coordinator lane first, then the worker lane; both on one timeline.
+  EXPECT_EQ(events[0].pid, obs::FleetAggregator::kCoordinatorPid);
+  EXPECT_EQ(events[0].event.name, "task.assign");
+  EXPECT_EQ(events[0].event.ts_us, 1000u);
+  EXPECT_EQ(events[0].event.dur_us, 9000u);
+  EXPECT_EQ(events[1].pid, obs::FleetAggregator::kWorkerPidBase + 0);
+  EXPECT_EQ(events[1].event.name, "task.compute");
+  // The 7 ms skew is gone: the span rebased to its true coordinator time
+  // and nests causally inside the assign window.
+  EXPECT_EQ(events[1].event.ts_us, 2000u);
+  EXPECT_GE(events[1].event.ts_us, events[0].event.ts_us);
+  EXPECT_LE(events[1].event.ts_us + events[1].event.dur_us,
+            events[0].event.ts_us + events[0].event.dur_us);
+}
+
+TEST(FleetAggregator, ReplayAndRespawnKeepCountersAndSpansExact) {
+  obs::MetricsRegistry registry;
+  obs::FleetAggregator fleet(&registry, /*trace_enabled=*/true);
+  fleet.on_worker_fresh(4);
+
+  auto snap = make_snapshot(4, 1, 0, 0);
+  snap.counters = {{"tasks_executed", 3}};
+  snap.rss_kb = 1024;
+  obs::TraceEvent span;
+  span.name = "task.compute";
+  span.ts_us = 5;
+  span.dur_us = 1;
+  snap.spans = {span, span};
+  EXPECT_EQ(fleet.ingest(snap), 2u);
+  // An outbox replay of the same snapshot: spans below the dedup
+  // high-water are skipped, and the absolute counter re-lands harmlessly.
+  EXPECT_EQ(fleet.ingest(snap), 0u);
+
+  auto snap2 = make_snapshot(4, 2, 2, 0);
+  snap2.counters = {{"tasks_executed", 5}};  // absolute, not a delta
+  snap2.spans = {span};
+  EXPECT_EQ(fleet.ingest(snap2), 1u);
+
+  auto metrics = registry.snapshot();
+  EXPECT_EQ(metrics.counter("fleet.worker.4.tasks_executed"), 5u);
+  EXPECT_EQ(metrics.counter("fleet.tasks_executed"), 5u);
+  EXPECT_EQ(metrics.gauges.at("fleet.worker.4.rss_kb"), 1024);
+
+  // Respawn: the incarnation's totals fold into the base; the fresh
+  // incarnation restarts its absolute counters and span indices from zero.
+  fleet.on_worker_fresh(4);
+  auto snap3 = make_snapshot(4, 1, 0, 0);
+  snap3.counters = {{"tasks_executed", 2}};
+  snap3.spans = {span};
+  EXPECT_EQ(fleet.ingest(snap3), 1u);
+
+  metrics = registry.snapshot();
+  EXPECT_EQ(metrics.counter("fleet.worker.4.tasks_executed"), 7u);
+  EXPECT_EQ(metrics.counter("fleet.tasks_executed"), 7u);
+
+  const auto summary = fleet.summary();
+  EXPECT_EQ(summary.workers_reporting, 1u);
+  EXPECT_EQ(summary.snapshots, 4u);  // every ingest call, replay included
+  EXPECT_EQ(summary.tasks_executed, 7u);
+  EXPECT_EQ(summary.rss_kb, 1024);
+}
+
+TEST(FleetAggregator, HostileNamesStillEmitParseableJson) {
+  obs::MetricsRegistry registry;
+  obs::FleetAggregator fleet(&registry, /*trace_enabled=*/true);
+  const std::uint64_t span =
+      fleet.begin_assign(1, 0, 0, fleet.epoch_ns());
+  fleet.end_assign(span, fleet.epoch_ns() + 1000, true);
+
+  auto snap = make_snapshot(0, 1, 0, fleet.epoch_ns());
+  obs::TraceEvent evil;
+  evil.name = "span\"\\\n\x1bname";
+  evil.args = {{"arg\"key\n", 9}};
+  snap.spans = {evil};
+  snap.counters = {{"cnt\"with\tjunk", 2}};
+  fleet.ingest(snap);
+
+  const auto trace = testjson::parse(fleet.chrome_trace_json());
+  bool found = false;
+  for (const auto& e : trace.at("traceEvents").array()) {
+    if (e.at("ph").str() != "X") continue;
+    if (e.at("name").str() == "span\"\\\n\x1bname") {
+      found = true;
+      EXPECT_EQ(e.at("args").at("arg\"key\n").integer(), 9);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  const auto metrics = testjson::parse(fleet.fleet_metrics_json());
+  const auto& workers = metrics.at("workers").array();
+  ASSERT_EQ(workers.size(), 1u);
+  EXPECT_EQ(workers[0].at("counters").at("cnt\"with\tjunk").integer(), 2);
+  EXPECT_EQ(metrics.at("fleet").at("workers_reporting").integer(), 1);
 }
 
 }  // namespace

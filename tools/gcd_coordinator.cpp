@@ -47,7 +47,8 @@ int usage(const char* argv0) {
       "  [--remote-workers R] [--bind ADDR] [--port P] [--port-file PATH]\n"
       "  [--grace-ms MS] [--chunk-bytes B] [--window CHUNKS]\n"
       "  [--retransmit-ms MS] [--task-timeout-ms MS] [--spawn-timeout-ms MS]\n"
-      "  [--restart-budget N] [--checkpoint PATH] [--quiet]\n",
+      "  [--restart-budget N] [--checkpoint PATH] [--quiet]\n"
+      "  [--fleet-trace PATH] [--telemetry-interval-ms MS]\n",
       argv0);
   return 64;  // EX_USAGE
 }
@@ -152,6 +153,13 @@ int main(int argc, char** argv) {
       config.restart_budget = std::strtoull(value, nullptr, 10);
     } else if (arg == "--checkpoint" && (value = next())) {
       config.checkpoint_path = value;
+    } else if (arg == "--fleet-trace" && (value = next())) {
+      // Fleet-merged Chrome trace (assign spans + clock-rebased worker task
+      // spans); fleet metrics JSON lands next to it at <PATH>.metrics.json.
+      config.fleet_trace_path = value;
+    } else if (arg == "--telemetry-interval-ms" && (value = next())) {
+      config.telemetry_interval =
+          std::chrono::milliseconds(std::strtol(value, nullptr, 10));
     } else {
       return usage(argv[0]);
     }

@@ -35,6 +35,7 @@ int usage(const char* argv0) {
       "  [--address A] [--connect-timeout-ms MS]\n"
       "  [--session-reconnect] [--reconnect-window-ms MS]\n"
       "  [--ping-deadline-ms MS] [--keepalive]\n"
+      "  [--telemetry-interval-ms MS] [--no-telemetry] [--protocol-v2]\n"
       "  [--seed S] [--frame-drop P] [--frame-garble P] [--frame-delay P]\n"
       "  [--frame-delay-ms MS] [--conn-disconnect P] [--conn-partition P]\n"
       "  [--conn-half-open P] [--conn-drip P] [--conn-partition-ms MS]\n"
@@ -86,6 +87,15 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(std::strtol(value, nullptr, 10));
     } else if (arg == "--keepalive") {
       config.tcp_keepalive = true;
+    } else if (arg == "--telemetry-interval-ms" && (value = next())) {
+      config.telemetry_interval =
+          std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else if (arg == "--no-telemetry") {
+      config.telemetry_interval = std::chrono::milliseconds(0);
+    } else if (arg == "--protocol-v2") {
+      // Pin the legacy dialect: v2 Hello/Pong bodies, no telemetry export.
+      // Compatibility testing against a v3 coordinator.
+      config.protocol_version = 2;
     } else if (arg == "--seed" && (value = next())) {
       config.faults.seed = std::strtoull(value, nullptr, 10);
     } else if (arg == "--frame-drop" && (value = next())) {
