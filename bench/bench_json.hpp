@@ -15,11 +15,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/mem.hpp"
 #include "obs/metrics.hpp"
+#include "obs/proc_stats.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
+#include "util/atomic_file.hpp"
 
 namespace weakkeys::bench {
 
@@ -89,6 +95,13 @@ inline void write_bench_json(const std::string& suite,
     first = false;
   }
   out << "\n  ]";
+  // Whole-process peak RSS (VmHWM), so benchdiff can gate memory
+  // regressions alongside timing ones. Optional in the schema: absent on
+  // platforms without /proc.
+  const obs::ProcSelfStats proc = obs::sample_proc_self();
+  if (proc.peak_rss_available) {
+    out << ",\n  \"peak_rss_bytes\": " << proc.peak_rss_kb * 1024;
+  }
   if (telemetry != nullptr) {
     out << ",\n  \"metrics\": " << telemetry->metrics().to_json();
   }
@@ -101,11 +114,52 @@ inline void write_bench_json(const std::string& suite,
 /// metrics snapshot is embedded in the JSON.
 inline int run_benchmarks_with_json(const std::string& suite, int argc,
                                     char** argv,
-                                    const obs::Telemetry* telemetry = nullptr) {
+                                    obs::Telemetry* telemetry = nullptr) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Opt-in resource attribution for ad-hoc profiling runs: with
+  // WEAKKEYS_PROFILE_HZ set, the whole suite runs under the sampling
+  // profiler (collapsed stacks land next to the JSON as
+  // PROFILE_<suite>.folded unless WEAKKEYS_PROFILE_OUT says otherwise) and
+  // heap attribution is switched on so per-label gauges reach the embedded
+  // metrics snapshot.
+  const double profile_hz = obs::profile_hz_from_env();
+  std::unique_ptr<obs::Profiler> profiler;
+  if (profile_hz > 0) {
+    if (obs::mem::supported()) obs::mem::enable();
+    obs::ProfilerConfig prof_config;
+    prof_config.hz = profile_hz;
+    if (telemetry != nullptr) prof_config.registry = &telemetry->metrics();
+    prof_config.out_path = obs::profile_out_from_env();
+    if (prof_config.out_path.empty()) {
+      std::string path = "PROFILE_" + suite + ".folded";
+      if (const char* dir = std::getenv("WEAKKEYS_BENCH_OUT")) {
+        std::string prefix(dir);
+        if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+        path = prefix + path;
+      }
+      prof_config.out_path = path;
+    }
+    prof_config.writer = [](const std::string& path,
+                            const std::string& body) {
+      try {
+        util::atomic_write_file(path, body);
+        return true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "bench: %s\n", e.what());
+        return false;
+      }
+    };
+    profiler = std::make_unique<obs::Profiler>(std::move(prof_config));
+    profiler->start();
+  }
   CollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (profiler) {
+    profiler->stop();
+    std::fprintf(stderr, "bench: profiler captured %llu samples\n",
+                 static_cast<unsigned long long>(profiler->samples()));
+  }
   write_bench_json(suite, reporter.runs(), telemetry);
   benchmark::Shutdown();
   return 0;

@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "batchgcd/batch_gcd.hpp"
@@ -13,9 +15,11 @@
 #include "batchgcd/remainder_tree.hpp"
 #include "bench_json.hpp"
 #include "obs/monitor.hpp"
+#include "obs/profiler.hpp"
 #include "obs/telemetry.hpp"
 #include "rng/prng_source.hpp"
 #include "rsa/keygen.hpp"
+#include "util/tracked_arena.hpp"
 
 namespace {
 
@@ -40,12 +44,30 @@ const std::vector<BigInt>& corpus(std::size_t count) {
   return moduli;
 }
 
+/// Suite-wide telemetry: the enabled arms of the overhead ablations record
+/// into it, and its metrics snapshot is embedded in BENCH_perf_batchgcd.json.
+obs::Telemetry& bench_telemetry() {
+  static obs::Telemetry telemetry(/*tracing_enabled=*/true);
+  return telemetry;
+}
+
 void BM_ProductTree(benchmark::State& state) {
   const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  util::TrackedArena arena;
+  {
+    // Census build: per-level byte/node gauges into the suite metrics
+    // snapshot (batchgcd.product_tree.level<k>.* + bytes_peak). One tree at
+    // a time ever lives in the arena, so Σ level bytes == arena peak —
+    // the identity the profiled-run acceptance check asserts.
+    batchgcd::ProductTree census(moduli, &arena);
+    census.publish_level_stats(bench_telemetry().metrics());
+  }
   for (auto _ : state) {
-    batchgcd::ProductTree tree(moduli);
+    batchgcd::ProductTree tree(moduli, &arena);
     benchmark::DoNotOptimize(tree.root());
   }
+  state.counters["arena_peak_bytes"] =
+      static_cast<double>(arena.peak_bytes());
 }
 BENCHMARK(BM_ProductTree)->Arg(256)->Arg(1024)->Arg(4096);
 
@@ -102,13 +124,6 @@ void BM_DistributedK(benchmark::State& state) {
 }
 BENCHMARK(BM_DistributedK)->Arg(1)->Arg(4)->Arg(16)->Unit(benchmark::kMillisecond);
 
-/// Suite-wide telemetry: the enabled arm of the overhead ablation records
-/// into it, and its metrics snapshot is embedded in BENCH_perf_batchgcd.json.
-obs::Telemetry& bench_telemetry() {
-  static obs::Telemetry telemetry(/*tracing_enabled=*/true);
-  return telemetry;
-}
-
 /// Telemetry overhead ablation: the fault-tolerant coordinator with full
 /// instrumentation (one span per task attempt, mirrored global and
 /// per-worker counters, task-latency histogram) vs the identical run with
@@ -153,6 +168,41 @@ void BM_CoordinatedMonitor(benchmark::State& state) {
   if (monitored) monitor.stop();
 }
 BENCHMARK(BM_CoordinatedMonitor)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/// Sampling-profiler overhead ablation: the same instrumented coordinated
+/// run with the wall-clock sampler attached at the conventional 97 Hz vs
+/// without it. Arg: 0 = profiler off, 1 = on. The acceptance bar is <= 5%
+/// overhead for the profiled arm (and ~0% for the off arm, which pays one
+/// relaxed load per span): sampling cost scales with thread count and
+/// cadence, not with span rate.
+void BM_CoordinatedProfile(benchmark::State& state) {
+  const auto& moduli = corpus(512);
+  const bool profiled = state.range(0) != 0;
+  batchgcd::CoordinatorConfig config;
+  config.subsets = 8;
+  config.workers = 4;
+  config.telemetry = &bench_telemetry();
+  std::unique_ptr<obs::Profiler> profiler;
+  if (profiled) {
+    obs::ProfilerConfig prof_config;
+    prof_config.hz = 97.0;
+    prof_config.registry = &bench_telemetry().metrics();
+    profiler = std::make_unique<obs::Profiler>(std::move(prof_config));
+    profiler->start();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(batchgcd::batch_gcd_coordinated(moduli, config));
+  }
+  if (profiler) {
+    profiler->stop();
+    state.counters["profile_samples"] =
+        static_cast<double>(profiler->samples());
+  }
+}
+BENCHMARK(BM_CoordinatedProfile)
     ->Arg(0)
     ->Arg(1)
     ->Unit(benchmark::kMillisecond);

@@ -217,12 +217,23 @@ class Coordinator {
         if (config_.cancel) config_.cancel->throw_if_cancelled();
         build(a);
       }
+      publish_tree_census();
       return;
     }
     // Through the shared pool (not raw threads) so the builds show up in
     // the `threadpool.*` instruments alongside the fast path's.
     util::ThreadPool pool(nthreads, config_.telemetry);
     pool.parallel_for(k_, build, config_.cancel);
+    publish_tree_census();
+  }
+
+  /// Per-level byte/node gauges from the first subset's tree — one
+  /// representative tree, so the level gauges always sum to `bytes_peak`.
+  void publish_tree_census() {
+    if (!config_.telemetry) return;
+    std::lock_guard guard(tree_mu_);
+    if (trees_.empty() || !trees_[0]) return;
+    trees_[0]->publish_level_stats(config_.telemetry->metrics());
   }
 
   std::shared_ptr<const ProductTree> acquire_tree(std::size_t a) {

@@ -13,7 +13,8 @@ using bn::BigInt;
 BatchGcdResult batch_gcd_distributed(std::span<const BigInt> moduli,
                                      std::size_t k, util::ThreadPool* pool,
                                      DistributedStats* stats,
-                                     const util::CancellationToken* cancel) {
+                                     const util::CancellationToken* cancel,
+                                     obs::MetricsRegistry* registry) {
   BatchGcdResult result;
   result.divisors.assign(moduli.size(), BigInt(1));
   if (moduli.empty()) return result;
@@ -46,6 +47,7 @@ BatchGcdResult batch_gcd_distributed(std::span<const BigInt> moduli,
   } else {
     for (std::size_t a = 0; a < k; ++a) build_tree(a);
   }
+  if (registry) subsets[0].tree->publish_level_stats(*registry);
 
   // Every product P_b against every subset S_a: k^2 independent tasks.
   // Each task computes, for each N_i in S_a, a shared-factor candidate:

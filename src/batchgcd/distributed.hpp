@@ -14,6 +14,10 @@
 #include "batchgcd/batch_gcd.hpp"
 #include "util/thread_pool.hpp"
 
+namespace weakkeys::obs {
+class MetricsRegistry;
+}  // namespace weakkeys::obs
+
 namespace weakkeys::batchgcd {
 
 struct DistributedStats {
@@ -29,11 +33,15 @@ struct DistributedStats {
 /// A tripped `cancel` token stops dispatching at task granularity (both the
 /// tree builds and the k^2 remainder-tree tasks poll it) and the call
 /// throws util::Cancelled after draining in-flight work.
+/// With `registry`, the first subset's product tree publishes its per-level
+/// byte/node census (`batchgcd.product_tree.level<k>.*` + `bytes_peak`) —
+/// one representative tree, so the level gauges always sum to the peak.
 BatchGcdResult batch_gcd_distributed(std::span<const bn::BigInt> moduli,
                                      std::size_t k,
                                      util::ThreadPool* pool = nullptr,
                                      DistributedStats* stats = nullptr,
                                      const util::CancellationToken* cancel =
-                                         nullptr);
+                                         nullptr,
+                                     obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace weakkeys::batchgcd

@@ -1,11 +1,58 @@
 #include "batchgcd/product_tree.hpp"
 
+#include <string>
+
+#include "obs/mem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prof_stack.hpp"
+
 namespace weakkeys::batchgcd {
 
-ProductTree::ProductTree(std::span<const bn::BigInt> inputs) {
+namespace {
+
+/// Heap-attribution label + interned profiler frame for level `k`. Both
+/// tables are keyed by the level-index string, so every tree build in the
+/// process shares one slot per level index (level counts are logarithmic
+/// in corpus size — a 4096-leaf tree has 13).
+struct LevelLabel {
+  int mem_label;
+  const char* frame;
+};
+
+LevelLabel level_label(std::size_t k) {
+  const std::string name =
+      "batchgcd.product_tree.level" + std::to_string(k);
+  return {obs::mem::register_label(name), obs::prof::intern(name)};
+}
+
+std::uint64_t level_bytes(const std::vector<bn::BigInt>& level) {
+  std::uint64_t bytes = 0;
+  for (const bn::BigInt& node : level) {
+    bytes += static_cast<std::uint64_t>(node.limb_count()) * 8;
+  }
+  return bytes;
+}
+
+}  // namespace
+
+ProductTree::ProductTree(std::span<const bn::BigInt> inputs,
+                         util::TrackedArena* arena)
+    : arena_(arena) {
   if (inputs.empty()) return;
-  levels_.emplace_back(inputs.begin(), inputs.end());
+  obs::prof::Frame build_frame("batchgcd.product_tree.build");
+  {
+    const LevelLabel label = level_label(0);
+    obs::MemScope mem_scope(label.mem_label);
+    obs::prof::Frame frame(label.frame);
+    levels_.emplace_back(inputs.begin(), inputs.end());
+  }
+  level_stats_.push_back(
+      {levels_.back().size(), level_bytes(levels_.back())});
+  if (arena_ != nullptr) arena_->charge(level_stats_.back().bytes);
   while (levels_.back().size() > 1) {
+    const LevelLabel label = level_label(levels_.size());
+    obs::MemScope mem_scope(label.mem_label);
+    obs::prof::Frame frame(label.frame);
     const auto& prev = levels_.back();
     std::vector<bn::BigInt> next;
     next.reserve((prev.size() + 1) / 2);
@@ -14,11 +61,59 @@ ProductTree::ProductTree(std::span<const bn::BigInt> inputs) {
     }
     if (prev.size() % 2 == 1) next.push_back(prev.back());
     levels_.push_back(std::move(next));
+    level_stats_.push_back(
+        {levels_.back().size(), level_bytes(levels_.back())});
+    if (arena_ != nullptr) arena_->charge(level_stats_.back().bytes);
   }
+}
+
+ProductTree::~ProductTree() {
+  if (arena_ != nullptr) arena_->release(retained_bytes());
+}
+
+ProductTree::ProductTree(ProductTree&& other) noexcept
+    : levels_(std::move(other.levels_)),
+      level_stats_(std::move(other.level_stats_)),
+      arena_(other.arena_) {
+  other.levels_.clear();
+  other.level_stats_.clear();
+  other.arena_ = nullptr;
+}
+
+ProductTree& ProductTree::operator=(ProductTree&& other) noexcept {
+  if (this != &other) {
+    if (arena_ != nullptr) arena_->release(retained_bytes());
+    levels_ = std::move(other.levels_);
+    level_stats_ = std::move(other.level_stats_);
+    arena_ = other.arena_;
+    other.levels_.clear();
+    other.level_stats_.clear();
+    other.arena_ = nullptr;
+  }
+  return *this;
 }
 
 const bn::BigInt& ProductTree::root() const {
   return levels_.empty() ? one_ : levels_.back().front();
+}
+
+std::uint64_t ProductTree::retained_bytes() const {
+  std::uint64_t total = 0;
+  for (const LevelStats& stats : level_stats_) total += stats.bytes;
+  return total;
+}
+
+void ProductTree::publish_level_stats(obs::MetricsRegistry& registry) const {
+  for (std::size_t k = 0; k < level_stats_.size(); ++k) {
+    const std::string prefix =
+        "batchgcd.product_tree.level" + std::to_string(k);
+    registry.gauge(prefix + ".bytes")
+        .set(static_cast<std::int64_t>(level_stats_[k].bytes));
+    registry.gauge(prefix + ".nodes")
+        .set(static_cast<std::int64_t>(level_stats_[k].nodes));
+  }
+  registry.gauge("batchgcd.product_tree.bytes_peak")
+      .set(static_cast<std::int64_t>(retained_bytes()));
 }
 
 std::size_t ProductTree::total_limbs() const {

@@ -3,20 +3,46 @@
 //
 // The whole tree is held in RAM — the paper's key optimization over the
 // original factorable.net code, which spilled levels to disk (Section 3.2).
+// The per-level byte census recorded at build time (level_stats(),
+// publish_level_stats()) is the measurement that will decide where the
+// out-of-core split points go when corpus-scale trees stop fitting.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
 #include "bn/bigint.hpp"
+#include "util/tracked_arena.hpp"
+
+namespace weakkeys::obs {
+class MetricsRegistry;
+}
 
 namespace weakkeys::batchgcd {
 
 class ProductTree {
  public:
+  /// Retained storage for one level: node count and exact payload bytes
+  /// (limb_count * 8 summed over the level's nodes), recorded when the
+  /// level is built.
+  struct LevelStats {
+    std::size_t nodes = 0;
+    std::uint64_t bytes = 0;
+  };
+
   /// Builds the tree over `inputs` (level 0 = the inputs themselves).
-  /// An empty input set yields a tree whose root is 1.
-  explicit ProductTree(std::span<const bn::BigInt> inputs);
+  /// An empty input set yields a tree whose root is 1. When `arena` is
+  /// non-null each level's retained bytes are charged to it as the level
+  /// completes and released on destruction, so the arena peak equals the
+  /// sum of level_stats() bytes by construction.
+  explicit ProductTree(std::span<const bn::BigInt> inputs,
+                       util::TrackedArena* arena = nullptr);
+  ~ProductTree();
+  ProductTree(const ProductTree&) = delete;
+  ProductTree& operator=(const ProductTree&) = delete;
+  ProductTree(ProductTree&& other) noexcept;
+  ProductTree& operator=(ProductTree&& other) noexcept;
 
   [[nodiscard]] std::size_t leaf_count() const {
     return levels_.empty() ? 0 : levels_.front().size();
@@ -30,6 +56,20 @@ class ProductTree {
     return levels_;
   }
 
+  /// Per-level byte/node census, index-aligned with levels().
+  [[nodiscard]] const std::vector<LevelStats>& level_stats() const {
+    return level_stats_;
+  }
+
+  /// Sum of level_stats() bytes — the tree's exact retained payload.
+  [[nodiscard]] std::uint64_t retained_bytes() const;
+
+  /// Mirrors the census into `registry`:
+  /// `batchgcd.product_tree.level<k>.bytes` / `.nodes` gauges per level
+  /// plus `batchgcd.product_tree.bytes_peak` (= retained_bytes(), the
+  /// arena peak when the tree was built against a fresh arena).
+  void publish_level_stats(obs::MetricsRegistry& registry) const;
+
   /// Total storage across all levels, in limbs (the paper reports 70-100 GB
   /// per cluster node at full scale; this is the equivalent metric here).
   [[nodiscard]] std::size_t total_limbs() const;
@@ -40,6 +80,8 @@ class ProductTree {
 
  private:
   std::vector<std::vector<bn::BigInt>> levels_;
+  std::vector<LevelStats> level_stats_;
+  util::TrackedArena* arena_ = nullptr;
   bn::BigInt one_{1};
 };
 

@@ -1,5 +1,8 @@
 #include "batchgcd/remainder_tree.hpp"
 
+#include "obs/mem.hpp"
+#include "obs/prof_stack.hpp"
+
 namespace weakkeys::batchgcd {
 
 using bn::BigInt;
@@ -19,6 +22,10 @@ BigInt reduce_mod_square(const BigInt& x, const BigInt& node) {
 
 std::vector<BigInt> remainder_tree_squares(const ProductTree& tree,
                                            const BigInt& x) {
+  static const int mem_label =
+      obs::mem::register_label("batchgcd.remainder_tree");
+  obs::MemScope mem_scope(mem_label);
+  obs::prof::Frame frame("batchgcd.remainder_tree");
   const auto& levels = tree.levels();
   if (levels.empty()) return {};
 

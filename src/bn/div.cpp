@@ -17,6 +17,8 @@
 #include <stdexcept>
 
 #include "bn/detail.hpp"
+#include "obs/mem.hpp"
+#include "obs/prof_stack.hpp"
 
 namespace weakkeys::bn {
 
@@ -228,12 +230,16 @@ void divmod_newton(const LimbVec& a, const LimbVec& b, LimbVec& q, LimbVec& r) {
 }
 
 void divmod(const LimbVec& a, const LimbVec& b, LimbVec& q, LimbVec& r) {
+  static const int limbs_label = obs::mem::register_label("bn.limbs");
+  obs::MemScope mem_scope(limbs_label, /*only_if_unattributed=*/true);
   const std::size_t threshold = Tuning::newton_div_threshold();
   const bool big_divisor = b.size() >= threshold;
   const bool big_quotient = a.size() >= b.size() + threshold / 2;
   if (big_divisor && big_quotient) {
+    obs::prof::Frame frame("bn.div.newton");
     divmod_newton(a, b, q, r);
   } else {
+    obs::prof::Frame frame("bn.div.knuth");
     divmod_knuth(a, b, q, r);
   }
 }

@@ -5,6 +5,8 @@
 // computation infeasible (Section 3.2 of the paper), so the subquadratic path
 // is load-bearing, not an optimization nicety.
 #include "bn/detail.hpp"
+#include "obs/mem.hpp"
+#include "obs/prof_stack.hpp"
 
 namespace weakkeys::bn {
 
@@ -168,9 +170,23 @@ LimbVec mul_toom3(const LimbVec& a, const LimbVec& b) {
 }
 
 LimbVec mul(const LimbVec& a, const LimbVec& b) {
+  // Attribute limb storage to "bn.limbs" only when no higher-level scope
+  // (a product-tree level, the remainder tree) already claims it, and tag
+  // the chosen kernel so the sampling profiler can split Toom-3 vs
+  // Karatsuba vs schoolbook time. Both cost one relaxed load when the
+  // corresponding plane is off.
+  static const int limbs_label = obs::mem::register_label("bn.limbs");
+  obs::MemScope mem_scope(limbs_label, /*only_if_unattributed=*/true);
   const std::size_t smaller = std::min(a.size(), b.size());
-  if (smaller >= Tuning::toom3_threshold()) return mul_toom3(a, b);
-  if (smaller >= Tuning::karatsuba_threshold()) return mul_karatsuba(a, b);
+  if (smaller >= Tuning::toom3_threshold()) {
+    obs::prof::Frame frame("bn.mul.toom3");
+    return mul_toom3(a, b);
+  }
+  if (smaller >= Tuning::karatsuba_threshold()) {
+    obs::prof::Frame frame("bn.mul.karatsuba");
+    return mul_karatsuba(a, b);
+  }
+  obs::prof::Frame frame("bn.mul.schoolbook");
   return mul_schoolbook(a, b);
 }
 

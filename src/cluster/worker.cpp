@@ -19,7 +19,11 @@
 #include "batchgcd/remainder_tree.hpp"
 #include "cluster/protocol.hpp"
 #include "core/binary_io.hpp"
+#include "obs/mem.hpp"
 #include "obs/proc_stats.hpp"
+#include "obs/prof_stack.hpp"
+#include "obs/profiler.hpp"
+#include "util/atomic_file.hpp"
 #include "util/net.hpp"
 
 namespace weakkeys::cluster {
@@ -330,6 +334,22 @@ class Worker {
         {"claims_found", claims_found_.load(std::memory_order_relaxed)},
         {"compute_us", compute_us_.load(std::memory_order_relaxed)},
     };
+    // Resource-attribution plane (generic fields: the coordinator's fleet
+    // aggregator republishes them as fleet.worker.<id>.<name> untouched).
+    if (obs::mem::enabled()) {
+      const obs::mem::Totals mem = obs::mem::totals();
+      snap.gauges.emplace_back("mem_live_kb", mem.live_bytes / 1024);
+      snap.gauges.emplace_back(
+          "mem_peak_kb", static_cast<std::int64_t>(mem.peak_bytes / 1024));
+      if (obs::mem::consume_budget_alarm()) {
+        log("worker " + std::to_string(config_.worker_id) +
+            ": memory budget exceeded (soft alarm; run continues)");
+        budget_alarms_.fetch_add(1, std::memory_order_relaxed);
+      }
+      const std::uint64_t alarms =
+          budget_alarms_.load(std::memory_order_relaxed);
+      if (alarms > 0) snap.counters.emplace_back("mem_budget_alarms", alarms);
+    }
     const obs::ProcSelfStats proc = obs::sample_proc_self();
     if (proc.rss_available) {
       snap.rss_kb = proc.rss_kb;
@@ -340,6 +360,9 @@ class Worker {
       snap.cpu_sys_us = static_cast<std::int64_t>(proc.cpu_sys_us);
     }
     {
+      static const int outbox_label =
+          obs::mem::register_label("cluster.outbox");
+      obs::MemScope mem_scope(outbox_label);
       std::lock_guard guard(mu_);
       telemetry_outbox_.push_back(snap);
     }
@@ -585,6 +608,9 @@ class Worker {
   }
 
   void execute(const TaskAssignMsg& assign, std::int64_t recv_ns) {
+    // Root frame for the compute thread: everything below (tree build,
+    // remainder walk, bn kernels) nests under it in this worker's profile.
+    obs::prof::Frame prof_frame("cluster.task");
     // Clock reads only when telemetry is on; spans additionally only when
     // the coordinator asked for them (trace_id 0 = fleet trace off).
     const bool traced = telemetry_enabled_ && assign.trace_id != 0;
@@ -686,6 +712,9 @@ class Worker {
   void post_result(TaskResultMsg result) {
     std::shared_ptr<Link> link;
     {
+      static const int outbox_label =
+          obs::mem::register_label("cluster.outbox");
+      obs::MemScope mem_scope(outbox_label);
       std::lock_guard guard(mu_);
       result.result_seq = ++next_result_seq_;
       outbox_.push_back(result);
@@ -714,6 +743,7 @@ class Worker {
   std::atomic<std::uint32_t> tasks_done_{0};
   std::atomic<std::uint64_t> claims_found_{0};
   std::atomic<std::uint64_t> compute_us_{0};
+  std::atomic<std::uint64_t> budget_alarms_{0};
 
   // Session state (main/RX thread unless noted).
   std::uint64_t session_id_ = 0;
@@ -738,7 +768,38 @@ class Worker {
 
 }  // namespace
 
-int run_worker(const WorkerConfig& config) { return Worker(config).run(); }
+int run_worker(const WorkerConfig& config) {
+  // Resource-attribution plane for this worker process: memory accounting
+  // feeds the mem gauges in every TelemetrySnapshot (and arms the soft
+  // budget), the profiler writes this worker's collapsed stacks at exit.
+  // Both default off and cost one relaxed load per alloc/span when off.
+  if (config.profile_hz > 0 || config.mem_budget_mb > 0) {
+    obs::mem::enable();
+    if (config.mem_budget_mb > 0) {
+      obs::mem::set_budget_bytes(
+          static_cast<std::uint64_t>(config.mem_budget_mb) * 1024 * 1024);
+    }
+  }
+  std::unique_ptr<obs::Profiler> profiler;
+  if (config.profile_hz > 0) {
+    obs::ProfilerConfig pc;
+    pc.hz = config.profile_hz;
+    pc.out_path = config.profile_out;
+    pc.writer = [](const std::string& path, const std::string& content) {
+      try {
+        util::atomic_write_file(path, content);
+        return true;
+      } catch (const std::exception&) {
+        return false;
+      }
+    };
+    profiler = std::make_unique<obs::Profiler>(std::move(pc));
+    profiler->start();
+  }
+  const int code = Worker(config).run();
+  if (profiler) profiler->stop();
+  return code;
+}
 
 #else  // !WEAKKEYS_HAVE_NET
 

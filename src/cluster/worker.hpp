@@ -78,6 +78,17 @@ struct WorkerConfig {
   /// export, legacy Pong encoding — for compatibility testing against a
   /// v3 coordinator.
   std::uint32_t protocol_version = 0;
+  /// Sampling-profiler cadence for this worker process (DESIGN.md §5k);
+  /// 0 disables. When on, memory accounting is enabled too and
+  /// mem_live_kb / mem_peak_kb gauges ride every TelemetrySnapshot so the
+  /// fleet view shows per-worker peak bytes.
+  double profile_hz = 0;
+  /// Collapsed-stack output path for this worker's profile; empty keeps the
+  /// profile in metrics only.
+  std::string profile_out;
+  /// Soft memory budget in MiB (0 = off). Crossing it raises the alarm
+  /// counter in the telemetry stream; the worker never aborts.
+  std::size_t mem_budget_mb = 0;
   /// Progress/diagnostic sink; null discards (gcd_worker wires stderr).
   std::function<void(const std::string&)> log;
 };

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "cert/certificate.hpp"
+#include "obs/mem.hpp"
 
 namespace weakkeys::core {
 
@@ -201,8 +202,11 @@ IngestResult ingest_dataset(const netsim::ScanDataset& raw,
       }
 
       // Undecoded wire bytes: attempt a total decode, then the same
-      // semantic validation as everything else.
+      // semantic validation as everything else. Decode allocations are
+      // attributed to cert.parse for the memory census.
       ++result.stats.raw_records;
+      static const int parse_label = obs::mem::register_label("cert.parse");
+      obs::MemScope parse_scope(parse_label);
       auto decoded = cert::Certificate::try_decode(rec.raw_der);
       if (!decoded.ok()) {
         quarantine(reason_for(decoded.error), nullptr);

@@ -20,6 +20,7 @@
 #include "core/scan_store.hpp"
 #include "netsim/catalog.hpp"
 #include "netsim/noise.hpp"
+#include "obs/mem.hpp"
 #include "util/atomic_file.hpp"
 #include "util/thread_pool.hpp"
 
@@ -184,6 +185,7 @@ obs::LifecycleStatus Study::lifecycle() const {
 
 void Study::begin_stage(const std::string& name,
                         std::chrono::milliseconds stage_deadline) {
+  poll_mem_budget();
   {
     std::lock_guard lock(lifecycle_mu_);
     stage_name_ = name;
@@ -364,6 +366,49 @@ void Study::start_observability() {
     }
   }
 
+  // Resource-attribution plane (DESIGN.md §5k). Both knobs resolve through
+  // the usual env fallbacks; enabling either turns on memory accounting so
+  // mem.* gauges flow into the monitor/status exports.
+  double profile_hz = config_.profile_hz;
+  if (profile_hz < 0) profile_hz = obs::profile_hz_from_env();
+  long long budget_mb = config_.mem_budget_mb;
+  if (budget_mb < 0) {
+    budget_mb = 0;
+    if (const char* env = std::getenv("WEAKKEYS_MEM_BUDGET_MB")) {
+      budget_mb = std::atoll(env);
+    }
+  }
+  if ((profile_hz > 0 || budget_mb > 0) && obs::mem::supported()) {
+    obs::mem::enable(&telemetry_.metrics());
+    if (budget_mb > 0) {
+      obs::mem::set_budget_bytes(static_cast<std::uint64_t>(budget_mb) *
+                                 1024 * 1024);
+      log("memory accounting on (soft budget " + std::to_string(budget_mb) +
+          " MiB; alarm only, never aborts)");
+    }
+  }
+  if (profile_hz > 0 && !profiler_) {
+    std::string profile_out = config_.profile_out;
+    if (profile_out.empty()) profile_out = obs::profile_out_from_env();
+    obs::ProfilerConfig pc;
+    pc.hz = profile_hz;
+    pc.out_path = profile_out;
+    pc.registry = &telemetry_.metrics();
+    pc.writer = [](const std::string& path, const std::string& content) {
+      try {
+        util::atomic_write_file(path, content);
+        return true;
+      } catch (const std::exception&) {
+        return false;
+      }
+    };
+    profiler_ = std::make_unique<obs::Profiler>(std::move(pc));
+    profiler_->start();
+    log("profiler sampling at " + std::to_string(profile_hz) + " Hz" +
+        (profile_out.empty() ? std::string(" (metrics only)")
+                             : " -> " + profile_out));
+  }
+
   // An abnormal process exit (std::exit, uncaught exception unwinding to
   // main) must not lose the run's telemetry. Destructor unregisters.
   if (exit_flush_token_ == 0) {
@@ -372,9 +417,25 @@ void Study::start_observability() {
   }
 }
 
+void Study::poll_mem_budget() {
+  if (!obs::mem::enabled()) return;
+  if (obs::mem::consume_budget_alarm()) {
+    telemetry_.metrics().counter("mem.budget.alarms").inc();
+    telemetry_.sink().warn(
+        "memory budget exceeded: live heap bytes crossed " +
+        std::to_string(obs::mem::budget_bytes()) +
+        " (soft alarm; the run continues)");
+  }
+}
+
 void Study::flush_telemetry() {
   if (!run_started_.load()) return;  // nothing collected yet
   if (flushed_.exchange(true)) return;
+  // Profiler first: its final rollups and the mem census must be in the
+  // registry before the monitor writes the `"final":true` snapshot.
+  if (profiler_) profiler_->stop();  // also writes the collapsed-stack file
+  if (obs::mem::enabled()) obs::mem::publish(telemetry_.metrics());
+  poll_mem_budget();
   if (monitor_) monitor_->stop();  // writes the `"final":true` snapshot
   write_trace_if_configured();
 }
@@ -718,7 +779,8 @@ void Study::factor_moduli() {
     obs::Span gcd_span = telemetry_.tracer().span("gcd.distributed");
     util::ThreadPool pool(config_.threads, &telemetry_);
     result = batchgcd::batch_gcd_distributed(
-        moduli, config_.batch_gcd_subsets, &pool, nullptr, resolve_token());
+        moduli, config_.batch_gcd_subsets, &pool, nullptr, resolve_token(),
+        &telemetry_.metrics());
   }
 
   obs::Span classify_span = telemetry_.tracer().span("study.classify_divisors");

@@ -41,6 +41,7 @@
 #include "netsim/internet.hpp"
 #include "netsim/noise.hpp"
 #include "obs/monitor.hpp"
+#include "obs/profiler.hpp"
 #include "obs/status_server.hpp"
 #include "obs/telemetry.hpp"
 #include "obs/watchdog.hpp"
@@ -140,6 +141,24 @@ struct StudyConfig {
   /// still negative disables the server. It stays up until the Study is
   /// destroyed, so finished runs remain scrapeable.
   int status_port = -1;
+  /// Sampling-profiler cadence in Hz (DESIGN.md §5k): run() starts an
+  /// obs::Profiler snapshotting every thread's span/kernel stack and
+  /// feeding `profiler.*` rollups into the registry (visible via /metrics,
+  /// /status, the monitor, and the heartbeat line). Negative falls back to
+  /// WEAKKEYS_PROFILE_HZ; <= 0 after fallback disables profiling. Enabling
+  /// the profiler also enables memory accounting (mem.* gauges).
+  double profile_hz = -1;
+  /// Collapsed-stack (flamegraph) output path, written atomically when
+  /// telemetry flushes. Empty falls back to WEAKKEYS_PROFILE_OUT; still
+  /// empty keeps the profile in metrics only.
+  std::string profile_out;
+  /// Soft memory budget in MiB: enables memory accounting and latches a
+  /// watchdog-visible alarm (`mem.budget.alarms` counter + sink warning)
+  /// the first time live heap bytes cross the watermark. The run is never
+  /// aborted — results stay identical to an unconstrained run. Negative
+  /// falls back to WEAKKEYS_MEM_BUDGET_MB; <= 0 after fallback disables
+  /// the budget.
+  long long mem_budget_mb = -1;
 
   // -- Run lifecycle (cancellation, deadlines, watchdog, resume) ---------
 
@@ -327,6 +346,10 @@ class Study {
   void record_ingest_metrics();
   void record_factor_metrics();
   void start_observability();
+  /// Reports the soft-budget alarm (once per run) through the sink and the
+  /// `mem.budget.alarms` counter. Called at stage boundaries and the final
+  /// flush; the monitor tick polls too, whichever fires first reports.
+  void poll_mem_budget();
   void write_trace_if_configured();
   [[nodiscard]] util::CancellationToken* resolve_token();
   [[nodiscard]] std::string checkpoint_path() const;
@@ -345,6 +368,7 @@ class Study {
   std::unique_ptr<obs::Monitor> monitor_;
   std::unique_ptr<obs::StatusServer> status_server_;
   std::unique_ptr<obs::Watchdog> watchdog_;
+  std::unique_ptr<obs::Profiler> profiler_;
   std::unique_ptr<LifecycleSignalWatcher> signal_watcher_;
   std::uint64_t exit_flush_token_ = 0;
   std::atomic<bool> run_started_{false};

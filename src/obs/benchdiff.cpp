@@ -33,6 +33,21 @@ std::string fmt_double(double v) {
   return buf;
 }
 
+/// Adaptive byte formatting for the peak-RSS row.
+std::string fmt_bytes(double bytes) {
+  char buf[48];
+  if (bytes >= 1024.0 * 1024 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.3g GiB", bytes / (1024.0 * 1024 * 1024));
+  } else if (bytes >= 1024.0 * 1024) {
+    std::snprintf(buf, sizeof(buf), "%.3g MiB", bytes / (1024.0 * 1024));
+  } else if (bytes >= 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.3g KiB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g B", bytes);
+  }
+  return buf;
+}
+
 }  // namespace
 
 double bench_time_to_ns(double value, const std::string& unit) {
@@ -52,6 +67,10 @@ BenchSuite parse_bench_json(const std::string& text) {
   }
   BenchSuite suite;
   suite.suite = doc.at("suite").str();
+  if (doc.has("peak_rss_bytes")) {
+    suite.peak_rss_bytes = doc.at("peak_rss_bytes").number();
+    suite.has_peak_rss = true;
+  }
   // Average repeated names (benchmark repetitions emit one run each);
   // preserve first-seen order.
   std::map<std::string, std::size_t> index;
@@ -145,6 +164,30 @@ BenchDiffReport diff_benchmarks(const BenchSuite& baseline,
     ++report.added;
     report.rows.push_back(std::move(row));
   }
+
+  // Suite-level peak RSS rides the same threshold model as a timing row:
+  // relative gate AND absolute floor, compared only when both files carry
+  // the field so old baselines never fail on its absence.
+  if (baseline.has_peak_rss && candidate.has_peak_rss) {
+    report.has_mem = true;
+    report.baseline_peak_rss_bytes = baseline.peak_rss_bytes;
+    report.candidate_peak_rss_bytes = candidate.peak_rss_bytes;
+    report.mem_rel_delta =
+        baseline.peak_rss_bytes > 0
+            ? candidate.peak_rss_bytes / baseline.peak_rss_bytes - 1.0
+            : 0.0;
+    const double abs_delta =
+        std::abs(candidate.peak_rss_bytes - baseline.peak_rss_bytes);
+    if (abs_delta > options.mem_floor_bytes) {
+      if (report.mem_rel_delta > options.mem_threshold) {
+        report.mem_verdict = BenchVerdict::kRegressed;
+        ++report.regressions;
+      } else if (report.mem_rel_delta < -options.mem_threshold) {
+        report.mem_verdict = BenchVerdict::kImproved;
+        ++report.improvements;
+      }
+    }
+  }
   return report;
 }
 
@@ -174,6 +217,12 @@ std::string BenchDiffReport::markdown() const {
                 : fmt_time_ns(row.candidate_ns)) +
            " | " + delta + " | " + to_string(row.verdict) + " |\n";
   }
+  if (has_mem) {
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", mem_rel_delta * 100.0);
+    out += "| peak RSS | " + fmt_bytes(baseline_peak_rss_bytes) + " | " +
+           fmt_bytes(candidate_peak_rss_bytes) + " | " + buf + " | " +
+           to_string(mem_verdict) + " |\n";
+  }
   std::snprintf(buf, sizeof(buf),
                 "\n%zu regressed, %zu improved, %zu new, %zu missing (of %zu "
                 "benchmarks)\n",
@@ -201,7 +250,16 @@ std::string BenchDiffReport::to_json() const {
     out += ",\"rel_delta\":" + fmt_double(row.rel_delta);
     out += ",\"verdict\":\"" + std::string(to_string(row.verdict)) + "\"}";
   }
-  out += "]}";
+  out += "]";
+  if (has_mem) {
+    out += ",\"memory\":{\"baseline_peak_rss_bytes\":" +
+           fmt_double(baseline_peak_rss_bytes);
+    out += ",\"candidate_peak_rss_bytes\":" +
+           fmt_double(candidate_peak_rss_bytes);
+    out += ",\"rel_delta\":" + fmt_double(mem_rel_delta);
+    out += ",\"verdict\":\"" + std::string(to_string(mem_verdict)) + "\"}";
+  }
+  out += "}";
   return out;
 }
 

@@ -32,6 +32,10 @@ struct BenchRun {
 struct BenchSuite {
   std::string suite;
   std::vector<BenchRun> runs;  ///< unique names, file order
+  /// Optional whole-process peak RSS (VmHWM) recorded after the suite ran;
+  /// absent in files written before the field existed.
+  double peak_rss_bytes = 0;
+  bool has_peak_rss = false;
 };
 
 /// Parses the JSON text of a BENCH_<suite>.json file. Throws
@@ -47,6 +51,11 @@ struct BenchDiffOptions {
   /// Absolute gate: deltas smaller than this (ns) are noise, never a
   /// verdict, regardless of the relative change.
   double noise_floor_ns = 5000.0;
+  /// Relative gate for the suite-level peak-RSS comparison.
+  double mem_threshold = 0.10;
+  /// Absolute gate for peak RSS: allocator and page-cache jitter make small
+  /// RSS deltas meaningless, so anything under this many bytes is noise.
+  double mem_floor_bytes = 16.0 * 1024 * 1024;
 };
 
 enum class BenchVerdict { kOk, kImproved, kRegressed, kNew, kMissing };
@@ -69,6 +78,14 @@ struct BenchDiffReport {
   std::size_t improvements = 0;
   std::size_t added = 0;
   std::size_t missing = 0;
+  /// Suite-level peak-RSS comparison; meaningful only when both files
+  /// carried the field. A memory regression counts into `regressions` and
+  /// therefore fails ok().
+  bool has_mem = false;
+  double baseline_peak_rss_bytes = 0;
+  double candidate_peak_rss_bytes = 0;
+  double mem_rel_delta = 0;
+  BenchVerdict mem_verdict = BenchVerdict::kOk;
 
   [[nodiscard]] bool ok() const { return regressions == 0; }
   /// Human-facing markdown report (table + totals).

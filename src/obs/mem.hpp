@@ -1,0 +1,106 @@
+// Per-subsystem memory accounting (DESIGN.md §5k).
+//
+// A single translation unit (mem.cpp) replaces the global operator
+// new/delete pair with thin wrappers that, while accounting is enabled,
+// attribute every heap allocation to the subsystem label currently on the
+// calling thread's MemScope stack ("bn.limbs",
+// "batchgcd.product_tree.level<k>", "cluster.outbox", ...). Accounting is
+// symmetric — both the allocation and the free are measured with
+// malloc_usable_size — so the *global* live-byte figure is exact no matter
+// when accounting was switched on. Per-label live bytes are approximate:
+// a free is charged to the label active where the free happens, which for
+// scope-local temporaries (the overwhelming majority of bignum traffic)
+// is the same label that allocated them.
+//
+// A soft budget (`WEAKKEYS_MEM_BUDGET_MB`) latches an alarm the first time
+// global live bytes cross the watermark. Nothing ever aborts: pollers
+// (monitor tick, Study stage boundaries) call consume_budget_alarm() and
+// emit exactly one watchdog-visible event.
+//
+// Cost when disabled (the default): one relaxed atomic load and a branch
+// per allocation and per free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace weakkeys::obs {
+
+class MetricsRegistry;
+
+namespace mem {
+
+/// True when the platform supports usable-size queries (glibc); accounting
+/// is a silent no-op elsewhere.
+bool supported();
+
+/// Enables attribution. Idempotent. When `registry` is non-null, an
+/// allocation-size histogram `mem.alloc_bytes` (power-of-two byte buckets)
+/// is created up front and fed from the hook.
+void enable(MetricsRegistry* registry = nullptr);
+void disable();
+bool enabled();
+
+/// Arms (or clears, with 0) the soft budget in bytes. Crossing it latches
+/// the alarm once per arm; the run is never interrupted.
+void set_budget_bytes(std::uint64_t bytes);
+std::uint64_t budget_bytes();
+
+/// True exactly once after live bytes first cross the armed budget.
+bool consume_budget_alarm();
+
+/// Registers `label`, returning a small id for MemScope. Idempotent; the
+/// label string is copied with process lifetime. Returns -1 when the slot
+/// table is full (such scopes attribute to the untracked bucket).
+int register_label(const std::string& label);
+
+struct LabelStats {
+  std::string label;
+  std::int64_t live_bytes = 0;  ///< approximate (see header comment)
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t cumulative_bytes = 0;
+  std::uint64_t allocations = 0;
+};
+
+struct Totals {
+  std::int64_t live_bytes = 0;  ///< exact while enabled
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t cumulative_bytes = 0;
+  std::uint64_t allocations = 0;
+  bool budget_alarmed = false;  ///< latched view (does not consume)
+};
+
+Totals totals();
+std::vector<LabelStats> label_stats();
+
+/// Mirrors totals and per-label stats into `registry` as gauges
+/// `mem.live_bytes` / `mem.peak_bytes`, counter `mem.cumulative_bytes`,
+/// and `mem.<label>.live_bytes` / `.peak_bytes` / `.cumulative_bytes`.
+void publish(MetricsRegistry& registry);
+
+/// Test hook: zeroes every counter, the budget, and the alarm latch.
+/// Label registrations survive (call sites cache their ids in statics).
+/// Only meaningful while accounting is disabled.
+void reset_for_test();
+
+}  // namespace mem
+
+/// RAII subsystem attribution scope. Construct with an id from
+/// mem::register_label(); nested scopes shadow outer ones. When
+/// `only_if_unattributed` is set the scope engages only when no label is
+/// active — how bn tags its own traffic without stealing allocations from
+/// a batchgcd/cluster scope further up the stack.
+class MemScope {
+ public:
+  explicit MemScope(int label_id, bool only_if_unattributed = false);
+  ~MemScope();
+  MemScope(const MemScope&) = delete;
+  MemScope& operator=(const MemScope&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+}  // namespace weakkeys::obs

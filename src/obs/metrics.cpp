@@ -41,6 +41,14 @@ std::vector<std::uint64_t> Histogram::default_latency_bounds_us() {
   return bounds;
 }
 
+std::vector<std::uint64_t> Histogram::default_bytes_bounds() {
+  // 16B .. 1GiB in powers of two: 27 buckets plus overflow spans a single
+  // limb vector header up to a whole product-tree level.
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 16; b <= (1ULL << 30); b *= 2) bounds.push_back(b);
+  return bounds;
+}
+
 double MetricsSnapshot::HistogramValue::quantile(double q) const {
   if (count == 0 || bucket_counts.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);

@@ -85,6 +85,12 @@ class Histogram {
   /// Latency buckets in microseconds: 1us .. ~67s in powers of four.
   static std::vector<std::uint64_t> default_latency_bounds_us();
 
+  /// Allocation-size buckets in bytes: 16B .. 1GiB in powers of two. The
+  /// latency buckets are the wrong shape for sizes — allocators quantize
+  /// by powers of two, so power-of-four bounds smear adjacent size classes
+  /// into one bucket.
+  static std::vector<std::uint64_t> default_bytes_bounds();
+
  private:
   std::vector<std::uint64_t> bounds_;  ///< ascending upper bounds
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;

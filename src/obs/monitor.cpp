@@ -8,6 +8,7 @@
 #define WK_MONITOR_HAVE_FSYNC 1
 #endif
 
+#include "obs/mem.hpp"
 #include "obs/proc_stats.hpp"
 
 namespace weakkeys::obs {
@@ -187,6 +188,19 @@ void Monitor::loop() {
 
 void Monitor::tick(bool final) {
   if (config_.sample_process_stats) record_proc_self(telemetry_.metrics());
+  // Resource-attribution plane: mirror the heap census into the registry
+  // every tick, and surface the soft-budget alarm (latched once) as a
+  // watchdog-visible counter + warning the moment a tick observes it.
+  if (mem::enabled()) {
+    mem::publish(telemetry_.metrics());
+    if (mem::consume_budget_alarm()) {
+      telemetry_.metrics().counter("mem.budget.alarms").inc();
+      telemetry_.sink().warn(
+          "memory budget exceeded: live heap bytes crossed " +
+          std::to_string(mem::budget_bytes()) +
+          " (soft alarm; the run continues)");
+    }
+  }
   std::lock_guard lock(mu_);
   const auto now = std::chrono::steady_clock::now();
   const MetricsSnapshot cur = telemetry_.metrics().snapshot();
@@ -343,7 +357,25 @@ std::string Monitor::heartbeat_line(const MetricsSnapshot& cur,
     std::snprintf(buf, sizeof(buf), " | rss %.1f MB",
                   static_cast<double>(rss->second) / 1024.0);
     line += buf;
+    // VmHWM alongside VmRSS: a tree that ballooned and shrank is invisible
+    // in the current figure but decides whether the run ever fit.
+    const auto peak = cur.gauges.find("process.peak_rss_kb");
+    if (peak != cur.gauges.end() && peak->second > rss->second) {
+      std::snprintf(buf, sizeof(buf), " (peak %.1f MB)",
+                    static_cast<double>(peak->second) / 1024.0);
+      line += buf;
+    }
   }
+
+  const std::uint64_t samples = cur.counter("profiler.samples");
+  if (samples > 0) {
+    std::snprintf(buf, sizeof(buf), " | prof %llu samples",
+                  static_cast<unsigned long long>(samples));
+    line += buf;
+  }
+
+  const std::uint64_t alarms = cur.counter("mem.budget.alarms");
+  if (alarms > 0) line += " | MEM BUDGET EXCEEDED";
   return line;
 }
 

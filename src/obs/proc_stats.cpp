@@ -15,23 +15,25 @@ namespace weakkeys::obs {
 namespace {
 
 #if defined(__linux__)
-/// Parses "VmRSS:   12345 kB" style lines out of /proc/self/status.
-bool read_proc_status_kb(std::int64_t* rss_kb, std::int64_t* peak_rss_kb) {
+/// Parses "VmRSS:   12345 kB" style lines out of /proc/self/status. VmRSS
+/// and VmHWM availability are tracked separately: a kernel that reports
+/// only one must not make the other's stale zero look authoritative.
+void read_proc_status_kb(std::int64_t* rss_kb, bool* saw_rss,
+                         std::int64_t* peak_rss_kb, bool* saw_peak) {
   std::FILE* f = std::fopen("/proc/self/status", "re");
-  if (f == nullptr) return false;
-  bool saw_rss = false;
+  if (f == nullptr) return;
   char line[256];
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     long long value = 0;
     if (std::sscanf(line, "VmRSS: %lld kB", &value) == 1) {
       *rss_kb = value;
-      saw_rss = true;
+      *saw_rss = true;
     } else if (std::sscanf(line, "VmHWM: %lld kB", &value) == 1) {
       *peak_rss_kb = value;
+      *saw_peak = true;
     }
   }
   std::fclose(f);
-  return saw_rss;
 }
 #endif
 
@@ -47,8 +49,8 @@ std::uint64_t timeval_us(const timeval& tv) {
 ProcSelfStats sample_proc_self() {
   ProcSelfStats stats;
 #if defined(__linux__)
-  stats.rss_available =
-      read_proc_status_kb(&stats.rss_kb, &stats.peak_rss_kb);
+  read_proc_status_kb(&stats.rss_kb, &stats.rss_available,
+                      &stats.peak_rss_kb, &stats.peak_rss_available);
 #endif
 #if defined(WEAKKEYS_HAVE_GETRUSAGE)
   rusage usage{};
@@ -65,6 +67,8 @@ void record_proc_self(MetricsRegistry& registry) {
   const ProcSelfStats stats = sample_proc_self();
   if (stats.rss_available) {
     registry.gauge("process.rss_kb").set(stats.rss_kb);
+  }
+  if (stats.peak_rss_available) {
     registry.gauge("process.peak_rss_kb").set(stats.peak_rss_kb);
   }
   if (stats.cpu_available) {

@@ -19,8 +19,9 @@ struct ProcSelfStats {
   std::int64_t peak_rss_kb = 0;  ///< peak resident set (VmHWM), KiB
   std::uint64_t cpu_user_us = 0;  ///< cumulative user CPU time
   std::uint64_t cpu_sys_us = 0;   ///< cumulative system CPU time
-  bool rss_available = false;     ///< /proc/self/status parsed (Linux)
-  bool cpu_available = false;     ///< getrusage succeeded (POSIX)
+  bool rss_available = false;      ///< VmRSS parsed (Linux)
+  bool peak_rss_available = false;  ///< VmHWM parsed (Linux)
+  bool cpu_available = false;       ///< getrusage succeeded (POSIX)
 };
 
 /// Best-effort sample of the current process. Never throws; unavailable

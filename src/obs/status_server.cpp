@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/mem.hpp"
+#include "obs/proc_stats.hpp"
 #include "util/net.hpp"
 
 #if defined(WEAKKEYS_HAVE_NET)
@@ -108,7 +110,8 @@ std::string fleet_status_json(const MetricsSnapshot& snap) {
     first = false;
     out += "{\"id\":\"" + json_escape(id) + "\"";
     for (const char* g : {"rss_kb", "peak_rss_kb", "cpu_user_us",
-                          "cpu_sys_us", "queue_depth"}) {
+                          "cpu_sys_us", "queue_depth", "mem_live_kb",
+                          "mem_peak_kb"}) {
       const auto it = snap.gauges.find(p + g);
       if (it != snap.gauges.end()) {
         out += ",\"" + std::string(g) + "\":" + std::to_string(it->second);
@@ -121,6 +124,90 @@ std::string fleet_status_json(const MetricsSnapshot& snap) {
     out += "}";
   }
   out += "]}";
+  return out;
+}
+
+// /status sampling-profiler block: tick/sample totals plus the top self-time
+// frames from the profiler.self.<frame> rollup counters the sampler publishes
+// every tick. Empty until the profiler has taken a sample, so the JSON stays
+// unchanged for unprofiled runs.
+std::string profile_status_json(const MetricsSnapshot& snap) {
+  const std::uint64_t samples = snap.counter("profiler.samples");
+  if (samples == 0) return "";
+  std::string out = ",\"profile\":{\"ticks\":" +
+                    std::to_string(snap.counter("profiler.ticks"));
+  out += ",\"samples\":" + std::to_string(samples);
+  constexpr const char* kPrefix = "profiler.self.";
+  std::vector<std::pair<std::uint64_t, std::string>> frames;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    frames.emplace_back(value, name.substr(std::strlen(kPrefix)));
+  }
+  std::sort(frames.begin(), frames.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first > b.first
+                                        : a.second < b.second;
+            });
+  constexpr std::size_t kTopN = 10;
+  if (frames.size() > kTopN) frames.resize(kTopN);
+  out += ",\"top_self\":[";
+  bool first = true;
+  for (const auto& [count, frame] : frames) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"frame\":\"" + json_escape(frame) +
+           "\",\"samples\":" + std::to_string(count) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+// /status memory block: live process RSS/peak sampled on request (fresher
+// than the last monitor tick) plus per-subsystem attribution from the heap
+// hooks when accounting is on. Empty when accounting never ran and /proc has
+// nothing, so the JSON stays unchanged on unsupported platforms.
+std::string memory_status_json() {
+  const ProcSelfStats proc = sample_proc_self();
+  const bool accounting = mem::enabled() || mem::totals().cumulative_bytes > 0;
+  if (!proc.rss_available && !accounting) return "";
+  std::string out = ",\"memory\":{";
+  bool first = true;
+  const auto field = [&](const std::string& key, std::int64_t value) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + key + "\":" + std::to_string(value);
+  };
+  if (proc.rss_available) field("rss_kb", proc.rss_kb);
+  if (proc.peak_rss_available) field("peak_rss_kb", proc.peak_rss_kb);
+  if (accounting) {
+    const mem::Totals totals = mem::totals();
+    field("tracked_live_bytes",
+          static_cast<std::int64_t>(totals.live_bytes));
+    field("tracked_peak_bytes",
+          static_cast<std::int64_t>(totals.peak_bytes));
+    field("tracked_cumulative_bytes",
+          static_cast<std::int64_t>(totals.cumulative_bytes));
+    field("allocations", static_cast<std::int64_t>(totals.allocations));
+    if (mem::budget_bytes() > 0) {
+      field("budget_bytes", static_cast<std::int64_t>(mem::budget_bytes()));
+      out += ",\"budget_alarmed\":";
+      out += totals.budget_alarmed ? "true" : "false";
+    }
+    out += ",\"by_label\":[";
+    bool first_label = true;
+    for (const auto& ls : mem::label_stats()) {
+      if (ls.cumulative_bytes == 0) continue;
+      if (!first_label) out += ",";
+      first_label = false;
+      out += "{\"label\":\"" + json_escape(ls.label) +
+             "\",\"live_bytes\":" + std::to_string(ls.live_bytes) +
+             ",\"peak_bytes\":" + std::to_string(ls.peak_bytes) +
+             ",\"cumulative_bytes\":" + std::to_string(ls.cumulative_bytes) +
+             ",\"allocations\":" + std::to_string(ls.allocations) + "}";
+    }
+    out += "]";
+  }
+  out += "}";
   return out;
 }
 
@@ -349,6 +436,8 @@ std::string StatusServer::respond(const std::string& path) const {
     const MetricsSnapshot snap = telemetry_.metrics().snapshot();
     body += cluster_workers_json(snap);
     body += fleet_status_json(snap);
+    body += profile_status_json(snap);
+    body += memory_status_json();
     body += ",\"metrics\":" + telemetry_.metrics().to_json() + "}";
     content_type = "application/json";
   } else {

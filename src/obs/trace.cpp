@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "obs/metrics.hpp"
+#include "obs/prof_stack.hpp"
 
 namespace weakkeys::obs {
 
@@ -57,6 +58,13 @@ Span::Span(Tracer* tracer, std::string name)
   tid_ = st.tid;
   depth_ = st.depth++;
   start_us_ = tracer_->now_us();
+  // Mirror the span onto the profiler's per-thread frame stack while a
+  // sampler is live. Interning makes the pointer stable for samples taken
+  // after this span (and even this tracer) is gone.
+  if (prof::enabled()) {
+    prof::push_frame(prof::intern(name_));
+    prof_pushed_ = true;
+  }
 }
 
 Span& Span::operator=(Span&& other) noexcept {
@@ -67,8 +75,10 @@ Span& Span::operator=(Span&& other) noexcept {
     start_us_ = other.start_us_;
     tid_ = other.tid_;
     depth_ = other.depth_;
+    prof_pushed_ = other.prof_pushed_;
     args_ = std::move(other.args_);
     other.tracer_ = nullptr;
+    other.prof_pushed_ = false;
   }
   return *this;
 }
@@ -82,6 +92,12 @@ void Span::end() {
   if (!tracer_) return;
   Tracer* tracer = tracer_;
   tracer_ = nullptr;
+  // Pop exactly what the constructor pushed, even if profiling was turned
+  // off mid-span — the per-thread stack must stay balanced.
+  if (prof_pushed_) {
+    prof::pop_frame();
+    prof_pushed_ = false;
+  }
   const std::uint64_t end_us = tracer->now_us();
   --tracer->thread_state().depth;
   TraceEvent event;

@@ -64,6 +64,7 @@ class Span {
   std::uint64_t start_us_ = 0;
   std::uint32_t tid_ = 0;
   std::uint32_t depth_ = 0;
+  bool prof_pushed_ = false;  ///< frame pushed on the profiler stack
   std::vector<std::pair<std::string, std::int64_t>> args_;
 };
 

@@ -1,0 +1,59 @@
+// Explicit byte accounting for long-lived structures (DESIGN.md §5k).
+//
+// The heap hooks in obs/mem.hpp measure what the allocator hands out —
+// including capacity slop and rounding — and attribute frees to whichever
+// scope is active when they happen. That is the right truth for "where did
+// the process's RSS go", but the wrong one for acceptance math like
+// "Σ per-level product-tree bytes == tree peak": those need exact charges
+// for exactly the bytes a structure retains. TrackedArena is that second
+// truth: owners charge() the payload bytes they retain and release() them
+// on teardown, so live/peak/cumulative are exact by construction and the
+// per-level census sums to the arena peak with zero slop.
+//
+// Header-only and allocation-free; safe to update from pool threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace weakkeys::util {
+
+class TrackedArena {
+ public:
+  void charge(std::uint64_t bytes) {
+    const std::int64_t live =
+        live_.fetch_add(static_cast<std::int64_t>(bytes),
+                        std::memory_order_relaxed) +
+        static_cast<std::int64_t>(bytes);
+    cumulative_.fetch_add(bytes, std::memory_order_relaxed);
+    if (live > 0) {
+      const auto value = static_cast<std::uint64_t>(live);
+      std::uint64_t seen = peak_.load(std::memory_order_relaxed);
+      while (value > seen && !peak_.compare_exchange_weak(
+                                 seen, value, std::memory_order_relaxed)) {
+      }
+    }
+  }
+
+  void release(std::uint64_t bytes) {
+    live_.fetch_sub(static_cast<std::int64_t>(bytes),
+                    std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::int64_t live_bytes() const {
+    return live_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t peak_bytes() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t cumulative_bytes() const {
+    return cumulative_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> live_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::atomic<std::uint64_t> cumulative_{0};
+};
+
+}  // namespace weakkeys::util

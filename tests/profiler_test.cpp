@@ -1,0 +1,404 @@
+// Tests for the resource-attribution plane (DESIGN.md §5k): the per-thread
+// frame stacks, the sampling wall-clock profiler and its collapsed-stack
+// output, per-subsystem memory accounting with the soft budget alarm, and
+// the TrackedArena-backed product-tree byte census.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "batchgcd/batch_gcd.hpp"
+#include "batchgcd/product_tree.hpp"
+#include "obs/mem.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prof_stack.hpp"
+#include "obs/profiler.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+#include "util/tracked_arena.hpp"
+
+namespace weakkeys {
+namespace {
+
+using bn::BigInt;
+
+// ---------------------------------------------------------- prof stacks ----
+
+TEST(ProfStack, OffByDefaultFramesAreInert) {
+  ASSERT_FALSE(obs::prof::enabled());
+  {
+    obs::prof::Frame frame("should.not.appear");
+    obs::prof::Frame nested("also.not");
+    for (const auto& stack : obs::prof::sample_all_stacks()) {
+      for (const char* label : stack) {
+        EXPECT_STRNE(label, "should.not.appear");
+        EXPECT_STRNE(label, "also.not");
+      }
+    }
+  }
+}
+
+TEST(ProfStack, PushPopVisibleToSampler) {
+  obs::prof::set_enabled(true);
+  {
+    obs::prof::Frame outer("test.outer");
+    obs::prof::Frame inner("test.inner");
+    bool found = false;
+    for (const auto& stack : obs::prof::sample_all_stacks()) {
+      if (stack.size() >= 2 && std::string(stack[stack.size() - 2]) ==
+                                   "test.outer" &&
+          std::string(stack.back()) == "test.inner") {
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+    EXPECT_GE(obs::prof::registered_threads(), 1u);
+  }
+  obs::prof::set_enabled(false);
+  // Popped cleanly: this thread contributes no stack anymore.
+  for (const auto& stack : obs::prof::sample_all_stacks()) {
+    for (const char* label : stack) {
+      EXPECT_STRNE(label, "test.outer");
+    }
+  }
+}
+
+TEST(ProfStack, InternIsIdempotent) {
+  const char* a = obs::prof::intern("some.span.name");
+  const char* b = obs::prof::intern("some.span.name");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "some.span.name");
+}
+
+// ------------------------------------------------------------- profiler ----
+
+/// Parses collapsed-stack text ("frame;frame count\n") and returns the
+/// total sample count, failing the test on any malformed line.
+std::uint64_t parse_collapsed(const std::string& text) {
+  std::uint64_t total = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << "no count in: " << line;
+    if (space == std::string::npos) continue;
+    EXPECT_GT(space, 0u) << "empty stack in: " << line;
+    const std::string stack = line.substr(0, space);
+    EXPECT_FALSE(stack.empty());
+    EXPECT_NE(stack.front(), ';') << "empty leading frame in: " << line;
+    EXPECT_NE(stack.back(), ';') << "empty trailing frame in: " << line;
+    total += std::strtoull(line.c_str() + space + 1, nullptr, 10);
+  }
+  return total;
+}
+
+TEST(Profiler, SamplesSpanChurnIntoParseableCollapsedStacks) {
+  obs::Telemetry telemetry(/*tracing_enabled=*/true);
+  std::string written_path;
+  std::string written_body;
+  obs::ProfilerConfig config;
+  config.hz = 997;  // fast cadence so the test finishes quickly
+  config.out_path = "profiler_test.folded";
+  config.registry = &telemetry.metrics();
+  config.writer = [&](const std::string& path, const std::string& body) {
+    written_path = path;
+    written_body = body;
+    return true;
+  };
+  obs::Profiler profiler(std::move(config));
+  profiler.start();
+  EXPECT_TRUE(profiler.running());
+
+  // Churn: worker threads create and destroy nested spans while the
+  // sampler snapshots their stacks; TSan builds exercise the lock-free
+  // stack protocol here.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&telemetry, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        obs::Span outer = telemetry.tracer().span("churn.outer");
+        obs::Span inner = telemetry.tracer().span("churn.inner");
+      }
+    });
+  }
+  {
+    // A long-lived frame the sampler is guaranteed to catch.
+    obs::prof::Frame frame("churn.main");
+    while (profiler.ticks() < 20) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  profiler.stop();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_FALSE(obs::prof::enabled());  // stop() switches collection off
+
+  EXPECT_GE(profiler.ticks(), 20u);
+  EXPECT_GT(profiler.samples(), 0u);
+  // The writer received the same aggregate collapsed() reports, and the
+  // per-line counts sum exactly to the sample counter.
+  EXPECT_EQ(written_path, "profiler_test.folded");
+  EXPECT_EQ(written_body, profiler.collapsed());
+  EXPECT_EQ(parse_collapsed(written_body), profiler.samples());
+  EXPECT_NE(written_body.find("churn.main"), std::string::npos);
+
+  // Registry rollups: tick/sample counters plus self-time counters that
+  // also sum to the sample count.
+  const obs::MetricsSnapshot snap = telemetry.metrics().snapshot();
+  EXPECT_EQ(snap.counter("profiler.ticks"), profiler.ticks());
+  EXPECT_EQ(snap.counter("profiler.samples"), profiler.samples());
+  std::uint64_t self_total = 0;
+  for (const auto& [name, value] : snap.counters) {
+    if (name.rfind("profiler.self.", 0) == 0) self_total += value;
+  }
+  EXPECT_EQ(self_total, profiler.samples());
+
+  // Ranked self times agree with the raw counters.
+  const auto top = profiler.self_times(3);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(snap.counter("profiler.self." + top[0].first), top[0].second);
+}
+
+TEST(Profiler, ZeroHzNeverStarts) {
+  obs::ProfilerConfig config;
+  config.hz = 0;
+  obs::Profiler profiler(std::move(config));
+  profiler.start();
+  EXPECT_FALSE(profiler.running());
+  EXPECT_FALSE(obs::prof::enabled());
+  profiler.stop();
+}
+
+TEST(Profiler, EnvKnobs) {
+  ::setenv("WEAKKEYS_PROFILE_HZ", "43.5", 1);
+  ::setenv("WEAKKEYS_PROFILE_OUT", "/tmp/p.folded", 1);
+  EXPECT_DOUBLE_EQ(obs::profile_hz_from_env(), 43.5);
+  EXPECT_EQ(obs::profile_out_from_env(), "/tmp/p.folded");
+  ::setenv("WEAKKEYS_PROFILE_HZ", "not-a-number", 1);
+  EXPECT_EQ(obs::profile_hz_from_env(), 0.0);
+  ::unsetenv("WEAKKEYS_PROFILE_HZ");
+  ::unsetenv("WEAKKEYS_PROFILE_OUT");
+  EXPECT_EQ(obs::profile_hz_from_env(), 0.0);
+  EXPECT_EQ(obs::profile_out_from_env(), "");
+}
+
+// ------------------------------------------------------- mem accounting ----
+
+TEST(MemAccounting, AttributesScopedAllocationsToLabels) {
+  if (!obs::mem::supported()) GTEST_SKIP() << "no malloc_usable_size";
+  obs::mem::reset_for_test();
+  static const int label = obs::mem::register_label("test.subsystem");
+  ASSERT_GE(label, 0);
+  obs::mem::enable();
+  constexpr std::size_t kBytes = 1 << 20;
+  {
+    obs::MemScope scope(label);
+    std::vector<char> block(kBytes, 'x');
+    const auto totals = obs::mem::totals();
+    EXPECT_GE(totals.live_bytes, static_cast<std::int64_t>(kBytes));
+    EXPECT_GE(totals.peak_bytes, kBytes);
+  }
+  obs::mem::disable();
+  bool found = false;
+  for (const auto& ls : obs::mem::label_stats()) {
+    if (ls.label != "test.subsystem") continue;
+    found = true;
+    EXPECT_GE(ls.cumulative_bytes, kBytes);
+    EXPECT_GE(ls.peak_bytes, kBytes);
+    // Symmetric accounting: the block was freed inside the same scope.
+    EXPECT_LT(ls.live_bytes, static_cast<std::int64_t>(kBytes));
+    EXPECT_GE(ls.allocations, 1u);
+  }
+  EXPECT_TRUE(found);
+  obs::mem::reset_for_test();
+}
+
+TEST(MemAccounting, OnlyIfUnattributedDoesNotStealFromOuterScope) {
+  if (!obs::mem::supported()) GTEST_SKIP() << "no malloc_usable_size";
+  obs::mem::reset_for_test();
+  static const int outer = obs::mem::register_label("test.outer");
+  static const int inner = obs::mem::register_label("test.inner");
+  obs::mem::enable();
+  constexpr std::size_t kBytes = 1 << 18;
+  {
+    obs::MemScope outer_scope(outer);
+    // Engages only when nothing is attributed — here the outer label is,
+    // so this scope must be a no-op.
+    obs::MemScope inner_scope(inner, /*only_if_unattributed=*/true);
+    std::vector<char> block(kBytes, 'y');
+    (void)block;
+  }
+  obs::mem::disable();
+  std::uint64_t outer_cum = 0;
+  std::uint64_t inner_cum = 0;
+  for (const auto& ls : obs::mem::label_stats()) {
+    if (ls.label == "test.outer") outer_cum = ls.cumulative_bytes;
+    if (ls.label == "test.inner") inner_cum = ls.cumulative_bytes;
+  }
+  EXPECT_GE(outer_cum, kBytes);
+  EXPECT_EQ(inner_cum, 0u);
+  obs::mem::reset_for_test();
+}
+
+TEST(MemAccounting, BudgetAlarmLatchesAndConsumesExactlyOnce) {
+  if (!obs::mem::supported()) GTEST_SKIP() << "no malloc_usable_size";
+  obs::mem::reset_for_test();
+  obs::mem::enable();
+  obs::mem::set_budget_bytes(64 * 1024);
+  {
+    std::vector<char> over(1 << 20, 'z');  // crosses the 64 KiB budget
+    (void)over;
+  }
+  EXPECT_TRUE(obs::mem::totals().budget_alarmed);
+  EXPECT_TRUE(obs::mem::consume_budget_alarm());
+  EXPECT_FALSE(obs::mem::consume_budget_alarm());  // latched, not repeated
+  EXPECT_TRUE(obs::mem::totals().budget_alarmed);  // view survives consume
+  obs::mem::disable();
+  obs::mem::reset_for_test();
+  EXPECT_FALSE(obs::mem::totals().budget_alarmed);
+}
+
+TEST(MemAccounting, PublishMirrorsIntoRegistry) {
+  if (!obs::mem::supported()) GTEST_SKIP() << "no malloc_usable_size";
+  obs::mem::reset_for_test();
+  static const int label = obs::mem::register_label("test.publish");
+  obs::Telemetry telemetry;
+  obs::mem::enable(&telemetry.metrics());
+  {
+    obs::MemScope scope(label);
+    std::vector<char> block(1 << 16, 'p');
+    (void)block;
+  }
+  obs::mem::disable();
+  obs::mem::publish(telemetry.metrics());
+  const obs::MetricsSnapshot snap = telemetry.metrics().snapshot();
+  EXPECT_GE(snap.counter("mem.cumulative_bytes"), 1u << 16);
+  EXPECT_GE(snap.counter("mem.test.publish.cumulative_bytes"), 1u << 16);
+  ASSERT_NE(snap.gauges.find("mem.peak_bytes"), snap.gauges.end());
+  EXPECT_GE(snap.gauges.at("mem.peak_bytes"),
+            static_cast<std::int64_t>(1 << 16));
+  // The allocation-size histogram was pre-created and fed by the hook.
+  const auto hist = snap.histograms.find("mem.alloc_bytes");
+  ASSERT_NE(hist, snap.histograms.end());
+  EXPECT_GT(hist->second.count, 0u);
+  obs::mem::reset_for_test();
+}
+
+// --------------------------------------------- arena + product-tree census ----
+
+TEST(TrackedArena, ChargeReleasePeak) {
+  util::TrackedArena arena;
+  arena.charge(100);
+  arena.charge(50);
+  EXPECT_EQ(arena.live_bytes(), 150u);
+  EXPECT_EQ(arena.peak_bytes(), 150u);
+  arena.release(100);
+  EXPECT_EQ(arena.live_bytes(), 50u);
+  EXPECT_EQ(arena.peak_bytes(), 150u);
+  arena.charge(10);
+  EXPECT_EQ(arena.peak_bytes(), 150u);  // below the high-water mark
+  EXPECT_EQ(arena.cumulative_bytes(), 160u);
+}
+
+std::vector<BigInt> census_corpus(std::size_t count) {
+  std::vector<BigInt> moduli;
+  moduli.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    moduli.emplace_back(1000003u + 2 * i);  // odd, pairwise distinct
+  }
+  return moduli;
+}
+
+TEST(ProductTreeCensus, LevelBytesSumToArenaPeak) {
+  const auto moduli = census_corpus(64);
+  util::TrackedArena arena;
+  batchgcd::ProductTree tree(moduli, &arena);
+  const auto& levels = tree.level_stats();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front().nodes, moduli.size());
+  EXPECT_EQ(levels.back().nodes, 1u);
+  std::uint64_t level_sum = 0;
+  for (const auto& level : levels) {
+    EXPECT_GT(level.bytes, 0u);
+    level_sum += level.bytes;
+  }
+  // The identity the acceptance check rides on: per-level bytes are exact
+  // payload counts, so their sum IS the retained footprint and the arena
+  // peak (one tree lives in the arena at a time).
+  EXPECT_EQ(level_sum, tree.retained_bytes());
+  EXPECT_EQ(level_sum, arena.peak_bytes());
+  EXPECT_EQ(arena.live_bytes(), arena.peak_bytes());
+
+  obs::Telemetry telemetry;
+  tree.publish_level_stats(telemetry.metrics());
+  const obs::MetricsSnapshot snap = telemetry.metrics().snapshot();
+  std::int64_t gauge_sum = 0;
+  for (const auto& [name, value] : snap.gauges) {
+    if (name.rfind("batchgcd.product_tree.level", 0) == 0 &&
+        name.size() > 6 &&
+        name.compare(name.size() - 6, 6, ".bytes") == 0) {
+      gauge_sum += value;
+    }
+  }
+  ASSERT_NE(snap.gauges.find("batchgcd.product_tree.bytes_peak"),
+            snap.gauges.end());
+  EXPECT_EQ(gauge_sum, snap.gauges.at("batchgcd.product_tree.bytes_peak"));
+}
+
+TEST(ProductTreeCensus, ArenaReleasedOnDestructionAndMove) {
+  const auto moduli = census_corpus(32);
+  util::TrackedArena arena;
+  {
+    batchgcd::ProductTree tree(moduli, &arena);
+    EXPECT_GT(arena.live_bytes(), 0u);
+    batchgcd::ProductTree moved = std::move(tree);
+    EXPECT_GT(arena.live_bytes(), 0u);  // single release, after the move
+  }
+  EXPECT_EQ(arena.live_bytes(), 0u);
+  EXPECT_GT(arena.peak_bytes(), 0u);
+}
+
+// ------------------------------------------------- budget-constrained e2e ----
+
+std::vector<std::string> run_batch_gcd_hex(const std::vector<BigInt>& moduli) {
+  std::vector<std::string> out;
+  for (const auto& d : batchgcd::batch_gcd(moduli).divisors) {
+    out.push_back(d.to_hex());
+  }
+  return out;
+}
+
+TEST(MemBudgetE2E, ConstrainedRunIsByteIdenticalAndAlarmsOnce) {
+  if (!obs::mem::supported()) GTEST_SKIP() << "no malloc_usable_size";
+  // Planted structure: two pairs sharing a prime plus healthy moduli.
+  std::vector<BigInt> moduli = census_corpus(200);
+  const BigInt p(1000003), q(1000033), r(1000037);
+  moduli[10] = p * q;
+  moduli[20] = p * r;
+  const std::vector<std::string> reference = run_batch_gcd_hex(moduli);
+  ASSERT_FALSE(reference.empty());
+
+  obs::mem::reset_for_test();
+  obs::mem::enable();
+  obs::mem::set_budget_bytes(1024);  // guaranteed to be crossed
+  const std::vector<std::string> constrained = run_batch_gcd_hex(moduli);
+  obs::mem::disable();
+
+  // The alarm is advisory: it fired (exactly once) and the math is
+  // untouched.
+  EXPECT_TRUE(obs::mem::consume_budget_alarm());
+  EXPECT_FALSE(obs::mem::consume_budget_alarm());
+  EXPECT_EQ(constrained, reference);
+  obs::mem::reset_for_test();
+}
+
+}  // namespace
+}  // namespace weakkeys

@@ -1,6 +1,7 @@
 // benchdiff: performance-regression gate for the perf_* suites.
 //
 //   benchdiff [--threshold T] [--noise-floor-ns N]
+//             [--mem-threshold T] [--mem-floor-bytes N]
 //             [--markdown PATH] [--json PATH]
 //             <baseline.json> <candidate.json>
 //
@@ -24,15 +25,21 @@ namespace {
 
 constexpr const char* kUsage =
     "usage: benchdiff [--threshold T] [--noise-floor-ns N]\n"
+    "                 [--mem-threshold T] [--mem-floor-bytes N]\n"
     "                 [--markdown PATH] [--json PATH]\n"
     "                 <baseline.json> <candidate.json>\n"
     "\n"
-    "  --threshold T       relative delta beyond which a benchmark is a\n"
-    "                      regression/improvement (default 0.10 = 10%%)\n"
-    "  --noise-floor-ns N  absolute deltas below N ns are never a verdict\n"
-    "                      (default 5000)\n"
-    "  --markdown PATH     also write the markdown report to PATH\n"
-    "  --json PATH         also write the machine-readable report to PATH\n";
+    "  --threshold T        relative delta beyond which a benchmark is a\n"
+    "                       regression/improvement (default 0.10 = 10%%)\n"
+    "  --noise-floor-ns N   absolute deltas below N ns are never a verdict\n"
+    "                       (default 5000)\n"
+    "  --mem-threshold T    relative gate for the suite peak-RSS comparison\n"
+    "                       (default 0.10; ignored when either file lacks\n"
+    "                       peak_rss_bytes)\n"
+    "  --mem-floor-bytes N  peak-RSS deltas below N bytes are never a\n"
+    "                       verdict (default 16777216 = 16 MiB)\n"
+    "  --markdown PATH      also write the markdown report to PATH\n"
+    "  --json PATH          also write the machine-readable report to PATH\n";
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -69,6 +76,10 @@ int main(int argc, char** argv) {
         options.threshold = std::stod(next());
       } else if (arg == "--noise-floor-ns") {
         options.noise_floor_ns = std::stod(next());
+      } else if (arg == "--mem-threshold") {
+        options.mem_threshold = std::stod(next());
+      } else if (arg == "--mem-floor-bytes") {
+        options.mem_floor_bytes = std::stod(next());
       } else if (arg == "--markdown") {
         markdown_path = next();
       } else if (arg == "--json") {

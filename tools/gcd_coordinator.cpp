@@ -24,16 +24,23 @@
 //                   [--window CHUNKS] [--retransmit-ms MS]
 //                   [--task-timeout-ms MS] [--spawn-timeout-ms MS]
 //                   [--restart-budget N] [--checkpoint PATH] [--quiet]
+//                   [--profile HZ] [--profile-out PATH] [--mem-budget-mb N]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "batchgcd/batch_gcd.hpp"
 #include "cluster/process_coordinator.hpp"
+#include "obs/mem.hpp"
+#include "obs/profiler.hpp"
 #include "rng/prng_source.hpp"
 #include "rsa/keygen.hpp"
+#include "util/atomic_file.hpp"
 
 namespace {
 
@@ -48,7 +55,8 @@ int usage(const char* argv0) {
       "  [--grace-ms MS] [--chunk-bytes B] [--window CHUNKS]\n"
       "  [--retransmit-ms MS] [--task-timeout-ms MS] [--spawn-timeout-ms MS]\n"
       "  [--restart-budget N] [--checkpoint PATH] [--quiet]\n"
-      "  [--fleet-trace PATH] [--telemetry-interval-ms MS]\n",
+      "  [--fleet-trace PATH] [--telemetry-interval-ms MS]\n"
+      "  [--profile HZ] [--profile-out PATH] [--mem-budget-mb N]\n",
       argv0);
   return 64;  // EX_USAGE
 }
@@ -101,6 +109,9 @@ int main(int argc, char** argv) {
   std::uint64_t corpus_seed = 1;
   std::size_t corpus_count = 40;
   std::string port_file;
+  double profile_hz = 0;
+  std::string profile_out;
+  std::uint64_t mem_budget_mb = 0;
   weakkeys::cluster::ClusterConfig config;
   config.workers = 2;
 
@@ -160,15 +171,61 @@ int main(int argc, char** argv) {
     } else if (arg == "--telemetry-interval-ms" && (value = next())) {
       config.telemetry_interval =
           std::chrono::milliseconds(std::strtol(value, nullptr, 10));
+    } else if (arg == "--profile" && (value = next())) {
+      profile_hz = std::strtod(value, nullptr);
+    } else if (arg == "--profile-out" && (value = next())) {
+      profile_out = value;
+    } else if (arg == "--mem-budget-mb" && (value = next())) {
+      mem_budget_mb = std::strtoull(value, nullptr, 10);
     } else {
       return usage(argv[0]);
     }
+  }
+
+  // Env fallback mirrors gcd_worker, so one environment profiles the whole
+  // process tree (spawned workers inherit it). Explicit flags win.
+  if (profile_hz <= 0) profile_hz = weakkeys::obs::profile_hz_from_env();
+  if (mem_budget_mb == 0) {
+    if (const char* mb = std::getenv("WEAKKEYS_MEM_BUDGET_MB")) {
+      mem_budget_mb = std::strtoull(mb, nullptr, 10);
+    }
+  }
+  if (profile_hz > 0 && profile_out.empty()) {
+    const std::string env_out = weakkeys::obs::profile_out_from_env();
+    profile_out =
+        env_out.empty() ? "PROFILE_gcd_coordinator.folded" : env_out;
+  }
+  if (profile_hz > 0 || mem_budget_mb > 0) {
+    if (weakkeys::obs::mem::supported()) weakkeys::obs::mem::enable();
+    if (mem_budget_mb > 0) {
+      weakkeys::obs::mem::set_budget_bytes(mem_budget_mb * 1024 * 1024);
+    }
+  }
+  std::unique_ptr<weakkeys::obs::Profiler> profiler;
+  if (profile_hz > 0) {
+    weakkeys::obs::ProfilerConfig prof_config;
+    prof_config.hz = profile_hz;
+    prof_config.out_path = profile_out;
+    prof_config.writer = [](const std::string& path,
+                            const std::string& content) {
+      try {
+        weakkeys::util::atomic_write_file(path, content);
+        return true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "gcd_coordinator: %s\n", e.what());
+        return false;
+      }
+    };
+    profiler = std::make_unique<weakkeys::obs::Profiler>(
+        std::move(prof_config));
+    profiler->start();
   }
 
   const std::vector<BigInt> moduli = make_corpus(corpus_count, corpus_seed);
 
   if (reference) {
     print_vulnerable(weakkeys::batchgcd::batch_gcd(moduli).divisors);
+    if (profiler) profiler->stop();
     return 0;
   }
 
@@ -192,6 +249,17 @@ int main(int argc, char** argv) {
     weakkeys::cluster::ClusterStats stats;
     const auto result =
         weakkeys::cluster::batch_gcd_cluster(moduli, config, &stats);
+    if (profiler) {
+      profiler->stop();
+      std::fprintf(stderr, "gcd_coordinator: profiler wrote %s (%llu samples)\n",
+                   profile_out.c_str(),
+                   static_cast<unsigned long long>(profiler->samples()));
+    }
+    if (weakkeys::obs::mem::consume_budget_alarm()) {
+      std::fprintf(stderr,
+                   "gcd_coordinator: memory budget exceeded "
+                   "(soft alarm; run completed)\n");
+    }
     print_vulnerable(result.divisors);
     std::fprintf(stderr,
                  "gcd_coordinator: done (%zu tasks, %zu reconnects, "

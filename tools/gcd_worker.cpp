@@ -25,6 +25,7 @@
 #include <string>
 
 #include "cluster/worker.hpp"
+#include "obs/profiler.hpp"
 
 namespace {
 
@@ -36,6 +37,7 @@ int usage(const char* argv0) {
       "  [--session-reconnect] [--reconnect-window-ms MS]\n"
       "  [--ping-deadline-ms MS] [--keepalive]\n"
       "  [--telemetry-interval-ms MS] [--no-telemetry] [--protocol-v2]\n"
+      "  [--profile HZ] [--profile-out PATH] [--mem-budget-mb N]\n"
       "  [--seed S] [--frame-drop P] [--frame-garble P] [--frame-delay P]\n"
       "  [--frame-delay-ms MS] [--conn-disconnect P] [--conn-partition P]\n"
       "  [--conn-half-open P] [--conn-drip P] [--conn-partition-ms MS]\n"
@@ -92,6 +94,12 @@ int main(int argc, char** argv) {
           std::chrono::milliseconds(std::strtol(value, nullptr, 10));
     } else if (arg == "--no-telemetry") {
       config.telemetry_interval = std::chrono::milliseconds(0);
+    } else if (arg == "--profile" && (value = next())) {
+      config.profile_hz = std::strtod(value, nullptr);
+    } else if (arg == "--profile-out" && (value = next())) {
+      config.profile_out = value;
+    } else if (arg == "--mem-budget-mb" && (value = next())) {
+      config.mem_budget_mb = std::strtoull(value, nullptr, 10);
     } else if (arg == "--protocol-v2") {
       // Pin the legacy dialect: v2 Hello/Pong bodies, no telemetry export.
       // Compatibility testing against a v3 coordinator.
@@ -135,6 +143,28 @@ int main(int argc, char** argv) {
     }
   }
   if (!have_port) return usage(argv[0]);
+
+  // Env fallback: coordinator-spawned workers inherit the parent's
+  // environment, so WEAKKEYS_PROFILE_HZ / WEAKKEYS_MEM_BUDGET_MB on the
+  // coordinator reach every worker without new spawn plumbing. Explicit
+  // flags win.
+  if (config.profile_hz <= 0) {
+    config.profile_hz = weakkeys::obs::profile_hz_from_env();
+  }
+  if (config.mem_budget_mb == 0) {
+    if (const char* mb = std::getenv("WEAKKEYS_MEM_BUDGET_MB")) {
+      config.mem_budget_mb = std::strtoull(mb, nullptr, 10);
+    }
+  }
+  if (config.profile_hz > 0 && config.profile_out.empty()) {
+    // Every worker process needs its own collapsed-stack file; derive a
+    // per-worker name from the shared env path (or a cwd default).
+    const std::string env_out = weakkeys::obs::profile_out_from_env();
+    const std::string id = std::to_string(config.worker_id);
+    config.profile_out = env_out.empty()
+                             ? "PROFILE_worker" + id + ".folded"
+                             : env_out + ".worker" + id;
+  }
 
   config.log = [](const std::string& line) {
     std::fprintf(stderr, "gcd_worker: %s\n", line.c_str());
