@@ -114,6 +114,65 @@ BENCHMARK(BM_RemainderTreeRecompute)
     ->Arg(4096)
     ->Unit(benchmark::kMillisecond);
 
+/// Storage policy for the out-of-core arms: spill every level (threshold 0)
+/// into a scratch dir next to the binary, two-level resident window.
+batchgcd::TreeStorage bench_storage(const char* base,
+                                    util::TrackedArena* arena) {
+  batchgcd::TreeStorage storage;
+  storage.spill_dir = "bench_spill.d";
+  storage.spill_threshold_bytes = 0;
+  storage.base = base;
+  storage.registry = &bench_telemetry().metrics();
+  storage.arena = arena;
+  return storage;
+}
+
+/// Out-of-core ablation of BM_ProductTree: the same build spilling every
+/// level to a CRC-framed file with a two-level resident window. The
+/// arena_peak_bytes counter is the bounded-memory proof — it charges only
+/// the resident window, so it stays near-flat while tree_bytes grows with
+/// the corpus; BM_ProductTree's arena peak is the whole tree. Time deltas
+/// against the in-RAM arm price the spill I/O.
+void BM_ProductTreeOutOfCore(benchmark::State& state) {
+  const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  util::TrackedArena arena;
+  const batchgcd::TreeStorage storage = bench_storage("bm_build", &arena);
+  std::uint64_t tree_bytes = 0;
+  for (auto _ : state) {
+    batchgcd::ProductTree tree(moduli, storage, &arena);
+    benchmark::DoNotOptimize(tree.root());
+    tree_bytes = tree.retained_bytes();
+  }
+  state.counters["arena_peak_bytes"] =
+      static_cast<double>(arena.peak_bytes());
+  state.counters["tree_bytes"] = static_cast<double>(tree_bytes);
+}
+BENCHMARK(BM_ProductTreeOutOfCore)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+/// Streamed remainder walk over a spilled tree: levels are re-read (and
+/// CRC-verified) from disk as the walk descends, against
+/// BM_RemainderTreeRam's resident levels. Completes the paper's ablation
+/// triangle: RAM-resident vs recompute vs factorable.net-style disk tier.
+void BM_RemainderTreeStreamed(benchmark::State& state) {
+  const auto& moduli = corpus(static_cast<std::size_t>(state.range(0)));
+  util::TrackedArena arena;
+  const batchgcd::TreeStorage storage = bench_storage("bm_walk", &arena);
+  const batchgcd::ProductTree tree(moduli, storage, &arena);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        batchgcd::remainder_tree_squares(tree, tree.root()));
+  }
+  state.counters["arena_peak_bytes"] =
+      static_cast<double>(arena.peak_bytes());
+}
+BENCHMARK(BM_RemainderTreeStreamed)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_DistributedK(benchmark::State& state) {
   const auto& moduli = corpus(2048);
   const auto k = static_cast<std::size_t>(state.range(0));

@@ -16,13 +16,16 @@ std::vector<std::size_t> BatchGcdResult::vulnerable_indices() const {
 }
 
 BatchGcdResult batch_gcd(std::span<const BigInt> moduli,
-                         const util::CancellationToken* cancel) {
+                         const util::CancellationToken* cancel,
+                         const TreeStorage* storage) {
   BatchGcdResult result;
   result.divisors.resize(moduli.size());
   if (moduli.empty()) return result;
 
   if (cancel) cancel->throw_if_cancelled();
-  const ProductTree tree(moduli);
+  const ProductTree tree = storage != nullptr
+                               ? ProductTree(moduli, *storage)
+                               : ProductTree(moduli);
   if (cancel) cancel->throw_if_cancelled();
   const std::vector<BigInt> rem = remainder_tree_squares(tree, tree.root());
   for (std::size_t i = 0; i < moduli.size(); ++i) {

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "batchgcd/level_store.hpp"
 #include "bn/bigint.hpp"
 #include "util/cancellation.hpp"
 
@@ -31,8 +32,15 @@ struct BatchGcdResult {
 /// reported with divisor == N_i, which factors nothing. A tripped `cancel`
 /// token aborts with util::Cancelled at the next phase boundary or leaf
 /// batch (the polls cost one relaxed atomic load each).
+///
+/// When `storage` is set and its policy fires, the product tree spills to
+/// disk and the remainder tree streams it back with a bounded resident
+/// window — output is byte-identical to the in-RAM path. Storage failures
+/// beyond the degradation ladder surface as util::StorageError (a clean
+/// cancel, like util::Cancelled).
 BatchGcdResult batch_gcd(std::span<const bn::BigInt> moduli,
-                         const util::CancellationToken* cancel = nullptr);
+                         const util::CancellationToken* cancel = nullptr,
+                         const TreeStorage* storage = nullptr);
 
 /// Quadratic baseline: pairwise gcd of every pair. Identical output
 /// semantics to batch_gcd(). Only viable for small n.

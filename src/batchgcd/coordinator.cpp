@@ -207,7 +207,7 @@ class Coordinator {
       span = config_.telemetry->tracer().span("gcd.build_trees");
     }
     const auto build = [this](std::size_t a) {
-      auto tree = std::make_shared<ProductTree>(subsets_[a].moduli);
+      auto tree = make_tree(a);
       std::lock_guard guard(tree_mu_);
       trees_[a] = std::move(tree);
     };
@@ -236,10 +236,23 @@ class Coordinator {
     trees_[0]->publish_level_stats(config_.telemetry->metrics());
   }
 
+  /// Builds subset a's tree under the configured spill policy. A rebuilt
+  /// tree reuses the same file base / fault stream, so a lost tree heals
+  /// from (or overwrites) its own level files, never a sibling's.
+  std::shared_ptr<ProductTree> make_tree(std::size_t a) const {
+    if (config_.storage != nullptr && config_.storage->enabled()) {
+      TreeStorage subset_storage = *config_.storage;
+      subset_storage.base = config_.storage->base + ".s" + std::to_string(a);
+      subset_storage.fault_stream = config_.storage->fault_stream + a;
+      return std::make_shared<ProductTree>(subsets_[a].moduli, subset_storage);
+    }
+    return std::make_shared<ProductTree>(subsets_[a].moduli);
+  }
+
   std::shared_ptr<const ProductTree> acquire_tree(std::size_t a) {
     std::lock_guard guard(tree_mu_);
     if (!trees_[a]) {
-      trees_[a] = std::make_shared<ProductTree>(subsets_[a].moduli);
+      trees_[a] = make_tree(a);
     }
     return trees_[a];
   }

@@ -69,6 +69,12 @@ struct CoordinatorConfig {
   const util::CancellationToken* cancel = nullptr;
   /// Fault source; nullptr = fault-free run.
   const util::FaultInjector* injector = nullptr;
+  /// Out-of-core spill policy for the subset product trees (nullptr or a
+  /// disabled policy keeps every tree in RAM). Each subset tree gets its
+  /// own file base ("<base>.s<subset>") and fault stream, exactly like
+  /// batch_gcd_distributed; rebuilt-after-loss trees reuse the same
+  /// identity. Must outlive the call.
+  const TreeStorage* storage = nullptr;
   /// Progress sink; null discards.
   std::function<void(const std::string&)> log;
   /// Telemetry bundle; nullptr disables instrumentation. When set, the

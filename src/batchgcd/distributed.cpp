@@ -14,7 +14,8 @@ BatchGcdResult batch_gcd_distributed(std::span<const BigInt> moduli,
                                      std::size_t k, util::ThreadPool* pool,
                                      DistributedStats* stats,
                                      const util::CancellationToken* cancel,
-                                     obs::MetricsRegistry* registry) {
+                                     obs::MetricsRegistry* registry,
+                                     const TreeStorage* storage) {
   BatchGcdResult result;
   result.divisors.assign(moduli.size(), BigInt(1));
   if (moduli.empty()) return result;
@@ -38,9 +39,19 @@ BatchGcdResult batch_gcd_distributed(std::span<const BigInt> moduli,
       offset += len;
     }
   }
-  auto build_tree = [&subsets, cancel](std::size_t a) {
+  auto build_tree = [&subsets, cancel, storage](std::size_t a) {
     if (cancel) cancel->throw_if_cancelled();
-    subsets[a].tree = std::make_unique<ProductTree>(subsets[a].moduli);
+    if (storage != nullptr && storage->enabled()) {
+      // Per-subset spill identity: distinct file base and fault stream so
+      // k trees in one dir never collide and chaos schedules stay pure.
+      TreeStorage subset_storage = *storage;
+      subset_storage.base = storage->base + ".s" + std::to_string(a);
+      subset_storage.fault_stream = storage->fault_stream + a;
+      subsets[a].tree =
+          std::make_unique<ProductTree>(subsets[a].moduli, subset_storage);
+    } else {
+      subsets[a].tree = std::make_unique<ProductTree>(subsets[a].moduli);
+    }
   };
   if (pool) {
     pool->parallel_for(k, build_tree, cancel);

@@ -36,12 +36,18 @@ struct DistributedStats {
 /// With `registry`, the first subset's product tree publishes its per-level
 /// byte/node census (`batchgcd.product_tree.level<k>.*` + `bytes_peak`) —
 /// one representative tree, so the level gauges always sum to the peak.
+/// With `storage`, each subset tree applies the spill policy independently
+/// (file base "<base>.s<subset>", fault stream offset by subset index) so
+/// corpus-scale runs bound per-process memory; note the k remainder walks
+/// that share a subset's spilled tree re-read its levels, trading disk
+/// reads for the bounded window.
 BatchGcdResult batch_gcd_distributed(std::span<const bn::BigInt> moduli,
                                      std::size_t k,
                                      util::ThreadPool* pool = nullptr,
                                      DistributedStats* stats = nullptr,
                                      const util::CancellationToken* cancel =
                                          nullptr,
-                                     obs::MetricsRegistry* registry = nullptr);
+                                     obs::MetricsRegistry* registry = nullptr,
+                                     const TreeStorage* storage = nullptr);
 
 }  // namespace weakkeys::batchgcd

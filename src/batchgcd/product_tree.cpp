@@ -1,7 +1,9 @@
 #include "batchgcd/product_tree.hpp"
 
+#include <stdexcept>
 #include <string>
 
+#include "batchgcd/spill_store.hpp"
 #include "obs/mem.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prof_stack.hpp"
@@ -25,111 +27,103 @@ LevelLabel level_label(std::size_t k) {
   return {obs::mem::register_label(name), obs::prof::intern(name)};
 }
 
-std::uint64_t level_bytes(const std::vector<bn::BigInt>& level) {
-  std::uint64_t bytes = 0;
-  for (const bn::BigInt& node : level) {
-    bytes += static_cast<std::uint64_t>(node.limb_count()) * 8;
-  }
-  return bytes;
-}
-
 }  // namespace
+
+std::uint64_t estimate_tree_bytes(std::span<const bn::BigInt> inputs) {
+  std::uint64_t leaf_bytes = 0;
+  for (const bn::BigInt& n : inputs) {
+    leaf_bytes += static_cast<std::uint64_t>(n.limb_count()) * 8;
+  }
+  std::uint64_t levels = 1;
+  for (std::size_t n = inputs.size(); n > 1; n = (n + 1) / 2) ++levels;
+  // Every level's payload is roughly the leaf payload (products conserve
+  // bit length up to carries), so the whole tree is ~leaf_bytes * depth.
+  return leaf_bytes * levels;
+}
 
 ProductTree::ProductTree(std::span<const bn::BigInt> inputs,
                          util::TrackedArena* arena)
-    : arena_(arena) {
+    : store_(std::make_unique<RamLevelStore>(arena)) {
+  build(inputs);
+}
+
+ProductTree::ProductTree(std::span<const bn::BigInt> inputs,
+                         const TreeStorage& storage,
+                         util::TrackedArena* arena) {
+  if (storage.should_spill(estimate_tree_bytes(inputs)) && !inputs.empty()) {
+    TreeStorage resolved = storage;
+    if (resolved.generation == 0) {
+      resolved.generation = fingerprint_moduli(inputs);
+    }
+    if (resolved.arena == nullptr) resolved.arena = arena;
+    // Heal source for level 0: a copy of the inputs. The copy is the price
+    // of self-healing — without it a corrupt leaf file would be fatal.
+    std::vector<bn::BigInt> leaves(inputs.begin(), inputs.end());
+    store_ = std::make_unique<SpillLevelStore>(
+        resolved, [leaves = std::move(leaves)]() {
+          return Level(leaves.begin(), leaves.end());
+        });
+  } else {
+    store_ = std::make_unique<RamLevelStore>(arena);
+  }
+  build(inputs);
+}
+
+void ProductTree::build(std::span<const bn::BigInt> inputs) {
   if (inputs.empty()) return;
   obs::prof::Frame build_frame("batchgcd.product_tree.build");
-  {
+  std::size_t have = store_->level_stats().size();  // resumed levels
+  if (have == 0) {
     const LevelLabel label = level_label(0);
     obs::MemScope mem_scope(label.mem_label);
     obs::prof::Frame frame(label.frame);
-    levels_.emplace_back(inputs.begin(), inputs.end());
+    store_->append_level(Level(inputs.begin(), inputs.end()));
+    have = 1;
   }
-  level_stats_.push_back(
-      {levels_.back().size(), level_bytes(levels_.back())});
-  if (arena_ != nullptr) arena_->charge(level_stats_.back().bytes);
-  while (levels_.back().size() > 1) {
-    const LevelLabel label = level_label(levels_.size());
+  while (store_->level_stats().back().nodes > 1) {
+    const LevelLabel label = level_label(have);
     obs::MemScope mem_scope(label.mem_label);
     obs::prof::Frame frame(label.frame);
-    const auto& prev = levels_.back();
-    std::vector<bn::BigInt> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
-      next.push_back(prev[i] * prev[i + 1]);
-    }
-    if (prev.size() % 2 == 1) next.push_back(prev.back());
-    levels_.push_back(std::move(next));
-    level_stats_.push_back(
-        {levels_.back().size(), level_bytes(levels_.back())});
-    if (arena_ != nullptr) arena_->charge(level_stats_.back().bytes);
+    const LevelHandle prev = store_->load_level(have - 1);
+    Level next = pair_level(*prev);
+    store_->release_level(have - 1);
+    store_->append_level(std::move(next));
+    ++have;
   }
+  const std::size_t top = store_->level_stats().size() - 1;
+  const LevelHandle root_level = store_->load_level(top);
+  root_ = root_level->front();
+  store_->release_level(top);
 }
 
-ProductTree::~ProductTree() {
-  if (arena_ != nullptr) arena_->release(retained_bytes());
-}
-
-ProductTree::ProductTree(ProductTree&& other) noexcept
-    : levels_(std::move(other.levels_)),
-      level_stats_(std::move(other.level_stats_)),
-      arena_(other.arena_) {
-  other.levels_.clear();
-  other.level_stats_.clear();
-  other.arena_ = nullptr;
-}
-
-ProductTree& ProductTree::operator=(ProductTree&& other) noexcept {
-  if (this != &other) {
-    if (arena_ != nullptr) arena_->release(retained_bytes());
-    levels_ = std::move(other.levels_);
-    level_stats_ = std::move(other.level_stats_);
-    arena_ = other.arena_;
-    other.levels_.clear();
-    other.level_stats_.clear();
-    other.arena_ = nullptr;
+const std::vector<Level>& ProductTree::levels() const {
+  const auto* ram = dynamic_cast<const RamLevelStore*>(store_.get());
+  if (ram == nullptr) {
+    throw std::logic_error(
+        "ProductTree::levels() is only available on the in-RAM backend; "
+        "stream spilled trees through store()");
   }
-  return *this;
-}
-
-const bn::BigInt& ProductTree::root() const {
-  return levels_.empty() ? one_ : levels_.back().front();
+  return ram->levels();
 }
 
 std::uint64_t ProductTree::retained_bytes() const {
   std::uint64_t total = 0;
-  for (const LevelStats& stats : level_stats_) total += stats.bytes;
+  for (const LevelStats& stats : store_->level_stats()) total += stats.bytes;
   return total;
 }
 
 void ProductTree::publish_level_stats(obs::MetricsRegistry& registry) const {
-  for (std::size_t k = 0; k < level_stats_.size(); ++k) {
+  const auto& level_stats = store_->level_stats();
+  for (std::size_t k = 0; k < level_stats.size(); ++k) {
     const std::string prefix =
         "batchgcd.product_tree.level" + std::to_string(k);
     registry.gauge(prefix + ".bytes")
-        .set(static_cast<std::int64_t>(level_stats_[k].bytes));
+        .set(static_cast<std::int64_t>(level_stats[k].bytes));
     registry.gauge(prefix + ".nodes")
-        .set(static_cast<std::int64_t>(level_stats_[k].nodes));
+        .set(static_cast<std::int64_t>(level_stats[k].nodes));
   }
   registry.gauge("batchgcd.product_tree.bytes_peak")
       .set(static_cast<std::int64_t>(retained_bytes()));
-}
-
-std::size_t ProductTree::total_limbs() const {
-  std::size_t total = 0;
-  for (const auto& level : levels_) {
-    for (const auto& node : level) total += node.limb_count();
-  }
-  return total;
-}
-
-std::size_t ProductTree::max_node_limbs() const {
-  std::size_t max = 0;
-  for (const auto& level : levels_) {
-    for (const auto& node : level) max = std::max(max, node.limb_count());
-  }
-  return max;
 }
 
 }  // namespace weakkeys::batchgcd

@@ -1,17 +1,24 @@
 // Product tree (Bernstein): computes the product of n inputs as a binary
 // tree, keeping every level. The remainder tree walks the levels back down.
 //
-// The whole tree is held in RAM — the paper's key optimization over the
-// original factorable.net code, which spilled levels to disk (Section 3.2).
-// The per-level byte census recorded at build time (level_stats(),
-// publish_level_stats()) is the measurement that will decide where the
-// out-of-core split points go when corpus-scale trees stop fitting.
+// Levels live behind the LevelStore abstraction (level_store.hpp). The
+// default backend holds the whole tree in RAM — the paper's key
+// optimization over the original factorable.net code, which spilled levels
+// to disk (Section 3.2). At corpus scale (10^6+ moduli) the tree stops
+// fitting and the TreeStorage-configured build spills each level to a
+// CRC-framed, generation-stamped file instead, streaming with a bounded
+// resident window — factorable.net's disk tier, rebuilt on this codebase's
+// crash- and corruption-safety conventions (see spill_store.hpp). The
+// per-level byte census (level_stats(), publish_level_stats()) is recorded
+// identically by both backends.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "batchgcd/level_store.hpp"
 #include "bn/bigint.hpp"
 #include "util/tracked_arena.hpp"
 
@@ -23,66 +30,98 @@ namespace weakkeys::batchgcd {
 
 class ProductTree {
  public:
-  /// Retained storage for one level: node count and exact payload bytes
-  /// (limb_count * 8 summed over the level's nodes), recorded when the
-  /// level is built.
-  struct LevelStats {
-    std::size_t nodes = 0;
-    std::uint64_t bytes = 0;
-  };
+  using LevelStats = batchgcd::LevelStats;
 
-  /// Builds the tree over `inputs` (level 0 = the inputs themselves).
-  /// An empty input set yields a tree whose root is 1. When `arena` is
-  /// non-null each level's retained bytes are charged to it as the level
-  /// completes and released on destruction, so the arena peak equals the
-  /// sum of level_stats() bytes by construction.
+  /// Builds the tree over `inputs` (level 0 = the inputs themselves),
+  /// entirely in RAM. An empty input set yields a tree whose root is 1.
+  /// When `arena` is non-null each level's retained bytes are charged to
+  /// it as the level completes and released on destruction, so the arena
+  /// peak equals the sum of level_stats() bytes by construction.
   explicit ProductTree(std::span<const bn::BigInt> inputs,
                        util::TrackedArena* arena = nullptr);
-  ~ProductTree();
+
+  /// Builds through `storage`: when the policy says spill (spill_dir set
+  /// and the estimated tree size reaches the threshold), levels go to disk
+  /// and only storage.max_resident_levels stay in memory — and a build
+  /// interrupted by SIGKILL resumes from the published levels on the next
+  /// run. Otherwise identical to the in-RAM constructor. With an `arena`,
+  /// the spilling backend charges only its resident window, which is the
+  /// bounded-peak-memory proof. Throws util::StorageError when storage
+  /// fails beyond the degradation ladder.
+  ProductTree(std::span<const bn::BigInt> inputs, const TreeStorage& storage,
+              util::TrackedArena* arena = nullptr);
+
+  ~ProductTree() = default;
   ProductTree(const ProductTree&) = delete;
   ProductTree& operator=(const ProductTree&) = delete;
-  ProductTree(ProductTree&& other) noexcept;
-  ProductTree& operator=(ProductTree&& other) noexcept;
+  ProductTree(ProductTree&&) noexcept = default;
+  ProductTree& operator=(ProductTree&&) noexcept = default;
 
   [[nodiscard]] std::size_t leaf_count() const {
-    return levels_.empty() ? 0 : levels_.front().size();
+    const auto& stats = store_->level_stats();
+    return stats.empty() ? 0 : stats.front().nodes;
   }
 
-  /// The product of all inputs (1 for an empty tree).
-  [[nodiscard]] const bn::BigInt& root() const;
+  /// The product of all inputs (1 for an empty tree). Cached at build
+  /// time, so it is available without touching storage.
+  [[nodiscard]] const bn::BigInt& root() const { return root_; }
 
-  /// levels()[0] are the leaves; levels().back() is {root}.
-  [[nodiscard]] const std::vector<std::vector<bn::BigInt>>& levels() const {
-    return levels_;
+  /// Number of levels (0 for an empty tree).
+  [[nodiscard]] std::size_t level_count() const {
+    return store_->level_stats().size();
   }
 
-  /// Per-level byte/node census, index-aligned with levels().
+  /// The level storage. The remainder tree streams levels through this
+  /// (load, walk, release) so it works identically over both backends.
+  [[nodiscard]] LevelStore& store() const { return *store_; }
+
+  /// True when this tree's levels live on disk.
+  [[nodiscard]] bool spilled() const { return store_->spilled(); }
+
+  /// levels()[0] are the leaves; levels().back() is {root}. Only valid for
+  /// the in-RAM backend (throws std::logic_error on a spilled tree) — the
+  /// streaming callers use store() instead.
+  [[nodiscard]] const std::vector<Level>& levels() const;
+
+  /// Per-level byte/node census, index-aligned with the levels.
   [[nodiscard]] const std::vector<LevelStats>& level_stats() const {
-    return level_stats_;
+    return store_->level_stats();
   }
 
-  /// Sum of level_stats() bytes — the tree's exact retained payload.
+  /// Sum of level_stats() bytes — the tree's exact payload (on disk plus
+  /// in RAM for a spilled tree).
   [[nodiscard]] std::uint64_t retained_bytes() const;
 
   /// Mirrors the census into `registry`:
   /// `batchgcd.product_tree.level<k>.bytes` / `.nodes` gauges per level
   /// plus `batchgcd.product_tree.bytes_peak` (= retained_bytes(), the
-  /// arena peak when the tree was built against a fresh arena).
+  /// arena peak when an in-RAM tree was built against a fresh arena).
   void publish_level_stats(obs::MetricsRegistry& registry) const;
 
   /// Total storage across all levels, in limbs (the paper reports 70-100 GB
   /// per cluster node at full scale; this is the equivalent metric here).
-  [[nodiscard]] std::size_t total_limbs() const;
+  [[nodiscard]] std::size_t total_limbs() const {
+    return retained_bytes() / 8;
+  }
 
   /// Size of the largest node, in limbs — the central-bottleneck metric the
-  /// distributed variant exists to shrink.
-  [[nodiscard]] std::size_t max_node_limbs() const;
+  /// distributed variant exists to shrink. The root is always the largest
+  /// node (it is the product of every other one).
+  [[nodiscard]] std::size_t max_node_limbs() const {
+    return root_.limb_count() * (level_count() > 0 ? 1 : 0);
+  }
 
  private:
-  std::vector<std::vector<bn::BigInt>> levels_;
-  std::vector<LevelStats> level_stats_;
-  util::TrackedArena* arena_ = nullptr;
-  bn::BigInt one_{1};
+  void build(std::span<const bn::BigInt> inputs);
+
+  std::unique_ptr<LevelStore> store_;
+  bn::BigInt root_{1};
 };
+
+/// Estimated retained bytes of a product tree over `inputs`: input bytes
+/// times the level count. The spill policy compares this against
+/// TreeStorage::spill_threshold_bytes before the build starts.
+[[nodiscard]] std::uint64_t estimate_tree_bytes(
+    std::span<const bn::BigInt> inputs);
 
 }  // namespace weakkeys::batchgcd

@@ -637,7 +637,21 @@ class Worker {
       if (tree_it != trees_.end()) tree = tree_it->second;
     }
     if (!tree) {
-      tree = std::make_shared<batchgcd::ProductTree>(moduli);
+      if (!config_.spill_dir.empty()) {
+        // Out-of-core build: the spill policy bounds this worker's tree
+        // memory; the per-worker file base keeps a shared spill dir safe.
+        batchgcd::TreeStorage storage;
+        storage.spill_dir = config_.spill_dir;
+        storage.spill_threshold_bytes =
+            static_cast<std::uint64_t>(config_.spill_threshold_mb) * 1024 *
+            1024;
+        storage.base = "worker" + std::to_string(config_.worker_id) + ".s" +
+                       std::to_string(assign.leaf_subset);
+        storage.fault_stream = assign.leaf_subset;
+        tree = std::make_shared<batchgcd::ProductTree>(moduli, storage);
+      } else {
+        tree = std::make_shared<batchgcd::ProductTree>(moduli);
+      }
       std::lock_guard guard(mu_);
       trees_[assign.leaf_subset] = tree;
     }

@@ -89,6 +89,14 @@ struct WorkerConfig {
   /// Soft memory budget in MiB (0 = off). Crossing it raises the alarm
   /// counter in the telemetry stream; the worker never aborts.
   std::size_t mem_budget_mb = 0;
+  /// Out-of-core spill directory for this worker's subset product trees
+  /// (DESIGN.md §5l); empty disables spilling. Level files are named
+  /// "worker<id>.s<subset>.*" so workers sharing one directory never
+  /// collide. gcd_worker wires --spill-dir / WEAKKEYS_SPILL_DIR here.
+  std::string spill_dir;
+  /// Estimated per-tree bytes at which spilling kicks in, in MiB
+  /// (0 = always spill when a dir is set).
+  std::size_t spill_threshold_mb = 256;
   /// Progress/diagnostic sink; null discards (gcd_worker wires stderr).
   std::function<void(const std::string&)> log;
 };

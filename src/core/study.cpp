@@ -461,11 +461,20 @@ void Study::build_dataset() {
       static_cast<std::uint32_t>(config_.sim.miller_rabin_rounds),
       kCatalogVersion,
   };
+  std::uint32_t cache_shards = config_.cache_shards;
+  if (cache_shards == 0) {
+    if (const char* env = std::getenv("WEAKKEYS_CACHE_SHARDS"))
+      cache_shards = static_cast<std::uint32_t>(std::strtoul(env, nullptr, 10));
+  }
   bool have_corpus = false;
   if (!config_.cache_path.empty()) {
     obs::Span probe = telemetry_.tracer().span("study.load_corpus");
     if (auto cached =
-            load_dataset(key, config_.cache_path, &dataset_cache_status_)) {
+            cache_shards > 1
+                ? load_dataset_sharded(key, config_.cache_path,
+                                       &dataset_cache_status_)
+                : load_dataset(key, config_.cache_path,
+                               &dataset_cache_status_)) {
       log("loaded corpus from " + config_.cache_path);
       metrics.counter("cache.corpus.hit").inc();
       raw_dataset_ = std::move(*cached);
@@ -499,8 +508,15 @@ void Study::build_dataset() {
     log("simulated " + std::to_string(raw_dataset_.total_host_records()) +
         " host records");
     if (!config_.cache_path.empty()) {
-      save_dataset(raw_dataset_, key, config_.cache_path);
-      log("corpus cached to " + config_.cache_path);
+      if (cache_shards > 1) {
+        save_dataset_sharded(raw_dataset_, key, config_.cache_path,
+                             cache_shards);
+        log("corpus cached to " + config_.cache_path + " (" +
+            std::to_string(cache_shards) + " shards)");
+      } else {
+        save_dataset(raw_dataset_, key, config_.cache_path);
+        log("corpus cached to " + config_.cache_path);
+      }
     }
   }
 
@@ -713,6 +729,46 @@ void Study::factor_moduli() {
       fleet_trace_path = env;
   }
 
+  // Out-of-core spill policy (DESIGN.md §5l). One TreeStorage parameterizes
+  // every subset tree this run builds; generation 0 means each tree stamps
+  // its level files with its own subset fingerprint, which is stable across
+  // runs of the same corpus — exactly what SIGKILL resume needs.
+  std::string spill_dir = config_.spill_dir;
+  if (spill_dir.empty()) {
+    if (const char* env = std::getenv("WEAKKEYS_SPILL_DIR")) spill_dir = env;
+  }
+  long long spill_threshold_mb = config_.spill_threshold_mb;
+  if (spill_threshold_mb < 0) {
+    if (const char* env = std::getenv("WEAKKEYS_SPILL_THRESHOLD_MB"))
+      spill_threshold_mb = std::strtoll(env, nullptr, 10);
+  }
+  if (spill_threshold_mb < 0) spill_threshold_mb = 256;
+  long long spill_ram_fallback_mb = config_.spill_ram_fallback_mb;
+  if (spill_ram_fallback_mb < 0) {
+    if (const char* env = std::getenv("WEAKKEYS_SPILL_RAM_FALLBACK_MB"))
+      spill_ram_fallback_mb = std::strtoll(env, nullptr, 10);
+  }
+  util::FaultInjector storage_injector(config_.faults);
+  batchgcd::TreeStorage tree_storage;
+  tree_storage.spill_dir = spill_dir;
+  tree_storage.spill_threshold_bytes =
+      static_cast<std::uint64_t>(spill_threshold_mb) * 1024 * 1024;
+  tree_storage.base = "study";
+  tree_storage.registry = &metrics;
+  if (spill_ram_fallback_mb > 0) {
+    tree_storage.ram_fallback_budget_bytes =
+        static_cast<std::uint64_t>(spill_ram_fallback_mb) * 1024 * 1024;
+  }
+  if (config_.faults.any_storage_faults()) {
+    tree_storage.injector = &storage_injector;
+  }
+  const batchgcd::TreeStorage* storage =
+      tree_storage.enabled() ? &tree_storage : nullptr;
+  if (storage != nullptr) {
+    log("spill: dir=" + spill_dir + " threshold=" +
+        std::to_string(spill_threshold_mb) + " MiB");
+  }
+
   batchgcd::BatchGcdResult result;
   if (worker_processes > 0 || remote_workers > 0) {
     obs::Span gcd_span = telemetry_.tracer().span("gcd.cluster");
@@ -739,6 +795,14 @@ void Study::factor_moduli() {
     cc.cancel = resolve_token();
     util::FaultInjector injector(config_.faults);
     if (config_.faults.any_faults()) cc.injector = &injector;
+    if (storage != nullptr) {
+      // Worker processes inherit the environment, so exporting the spill
+      // knobs here reaches every spawned gcd_worker without new spawn
+      // plumbing (the same pattern the profiler knobs use).
+      ::setenv("WEAKKEYS_SPILL_DIR", spill_dir.c_str(), 0);
+      ::setenv("WEAKKEYS_SPILL_THRESHOLD_MB",
+               std::to_string(spill_threshold_mb).c_str(), 0);
+    }
     result = cluster::batch_gcd_cluster(moduli, cc, &cluster_stats_);
     gcd_span.end();
     log("cluster: " + std::to_string(cluster_stats_.tasks_executed) +
@@ -763,6 +827,7 @@ void Study::factor_moduli() {
     coord.cancel = resolve_token();
     util::FaultInjector injector(config_.faults);
     if (config_.faults.any_faults()) coord.injector = &injector;
+    coord.storage = storage;
     result = batchgcd::batch_gcd_coordinated(moduli, coord, &coordinator_stats_);
     gcd_span.end();
     log("coordinator: " + std::to_string(coordinator_stats_.attempts) +
@@ -780,7 +845,7 @@ void Study::factor_moduli() {
     util::ThreadPool pool(config_.threads, &telemetry_);
     result = batchgcd::batch_gcd_distributed(
         moduli, config_.batch_gcd_subsets, &pool, nullptr, resolve_token(),
-        &telemetry_.metrics());
+        &telemetry_.metrics(), storage);
   }
 
   obs::Span classify_span = telemetry_.tracer().span("study.classify_divisors");

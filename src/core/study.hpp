@@ -58,6 +58,13 @@ struct StudyConfig {
   /// Dataset cache path; empty disables caching. A stale or mismatched
   /// cache is silently rebuilt.
   std::string cache_path = "weakkeys_corpus.cache";
+  /// Corpus cache shard count: > 1 splits the record stream round-robin
+  /// across "<cache_path>.shard<i>" files (each CRC-footed and atomically
+  /// published) so 10^6-host corpora don't serialize through one multi-GB
+  /// file, and ingest streams the shards back in original order — study
+  /// results are byte-identical to the single-file cache. 0 falls back to
+  /// WEAKKEYS_CACHE_SHARDS; still 0 (or 1) keeps the single file.
+  std::uint32_t cache_shards = 0;
   /// Route the factoring stage through the fault-tolerant cluster
   /// coordinator (batch_gcd_coordinated) instead of the fault-free
   /// batch_gcd_distributed fast path. Enables checkpoint/resume: completed
@@ -159,6 +166,24 @@ struct StudyConfig {
   /// falls back to WEAKKEYS_MEM_BUDGET_MB; <= 0 after fallback disables
   /// the budget.
   long long mem_budget_mb = -1;
+  /// Out-of-core batch GCD: directory for product-tree level spills
+  /// (DESIGN.md §5l). When the spill policy fires, each subset's product
+  /// tree keeps at most two levels resident and streams the rest through
+  /// CRC-framed level files here, bounding factoring memory at corpus
+  /// scale. Empty falls back to WEAKKEYS_SPILL_DIR; still empty disables
+  /// spilling. Level files are generation-stamped with the corpus
+  /// fingerprint, so a killed run that left them behind resumes from them.
+  std::string spill_dir;
+  /// Estimated per-tree bytes at which spilling kicks in, in MiB. 0 spills
+  /// every tree (chaos/CI mode); negative falls back to
+  /// WEAKKEYS_SPILL_THRESHOLD_MB (still negative = 256 MiB). Only
+  /// meaningful with a spill dir.
+  long long spill_threshold_mb = -1;
+  /// Last-rung budget for the spill degradation ladder, in MiB: when
+  /// storage keeps failing, levels are pinned in RAM up to this budget
+  /// before the run cancels with util::StorageError. Negative falls back
+  /// to WEAKKEYS_SPILL_RAM_FALLBACK_MB; still negative = 0 = unlimited.
+  long long spill_ram_fallback_mb = -1;
 
   // -- Run lifecycle (cancellation, deadlines, watchdog, resume) ---------
 

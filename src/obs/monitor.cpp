@@ -367,6 +367,27 @@ std::string Monitor::heartbeat_line(const MetricsSnapshot& cur,
     }
   }
 
+  // Out-of-core factoring at a glance: cumulative spill traffic, the
+  // bounded resident window, and any corruption the store had to repair.
+  const std::uint64_t spilled = cur.counter("spill.bytes_written");
+  if (spilled > 0) {
+    const auto resident = cur.gauges.find("spill.resident_bytes");
+    std::snprintf(buf, sizeof(buf), " | spill %.1f MB out, %.1f MB resident",
+                  static_cast<double>(spilled) / (1024.0 * 1024.0),
+                  resident != cur.gauges.end()
+                      ? static_cast<double>(resident->second) /
+                            (1024.0 * 1024.0)
+                      : 0.0);
+    line += buf;
+    const std::uint64_t repairs =
+        cur.counter("spill.heals") + cur.counter("spill.rebuilds");
+    if (repairs > 0) {
+      std::snprintf(buf, sizeof(buf), " (%llu repairs)",
+                    static_cast<unsigned long long>(repairs));
+      line += buf;
+    }
+  }
+
   const std::uint64_t samples = cur.counter("profiler.samples");
   if (samples > 0) {
     std::snprintf(buf, sizeof(buf), " | prof %llu samples",

@@ -28,6 +28,23 @@ bool fsync_fd([[maybe_unused]] int fd) {
 
 std::string atomic_tmp_path(const std::string& path) { return path + ".tmp"; }
 
+bool fsync_parent_dir(const std::string& path) {
+#if defined(WEAKKEYS_HAVE_FSYNC)
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : (slash == 0 ? "/" : path.substr(0, slash));
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = fsync_fd(fd);
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
 bool fsync_path(const std::string& path) {
 #if defined(WEAKKEYS_HAVE_FSYNC)
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -60,6 +77,7 @@ void atomic_write_file(const std::string& path, const void* data,
     std::remove(tmp.c_str());
     throw std::runtime_error("cannot publish " + tmp + " -> " + path);
   }
+  fsync_parent_dir(path);
 }
 
 void atomic_write_file(const std::string& path,
@@ -81,6 +99,7 @@ void atomic_publish_file(const std::string& tmp_path,
     std::remove(tmp_path.c_str());
     throw std::runtime_error("cannot publish " + tmp_path + " -> " + path);
   }
+  fsync_parent_dir(path);
 }
 
 }  // namespace weakkeys::util

@@ -1,4 +1,4 @@
-// Crash-safe file publication: tmp + fsync + rename.
+// Crash-safe file publication: tmp + fsync + rename + parent fsync.
 //
 // A process killed mid-write must never leave a half-written cache,
 // checkpoint, or report where a complete one is expected. Writers either
@@ -6,8 +6,12 @@
 // "<path>.tmp" themselves and call atomic_publish_file() — both fsync the
 // temporary and rename() it over the destination, so the final path only
 // ever holds a complete file (rename within a filesystem is atomic on
-// POSIX). The CRC footers on the cache formats remain the second line of
-// defense against torn writes on filesystems without those guarantees.
+// POSIX). After the rename both publishers fsync the destination's parent
+// directory: rename() alone only updates the directory in memory, so a
+// power loss immediately after publication could lose the *entry* while
+// keeping the (synced) data — the classic rename-durability gap. The CRC
+// footers on the cache formats remain the second line of defense against
+// torn writes on filesystems without those guarantees.
 #pragma once
 
 #include <cstdint>
@@ -31,13 +35,22 @@ void atomic_write_file(const std::string& path,
 void atomic_write_file(const std::string& path, const std::string& text);
 
 /// Publishes an already-written temporary over its destination: fsyncs
-/// `tmp_path`, then rename()s it to `path`. For writers that stream large
-/// payloads straight to disk (the corpus cache) instead of buffering.
+/// `tmp_path`, rename()s it to `path`, then fsyncs the parent directory so
+/// the new entry itself is durable. For writers that stream large payloads
+/// straight to disk (the corpus cache) instead of buffering.
 void atomic_publish_file(const std::string& tmp_path, const std::string& path);
 
 /// Flushes a file's data to stable storage by path (open + fsync + close).
 /// Returns false when the file cannot be opened or synced; best-effort
 /// durability points (the monitor's final JSONL line) tolerate that.
 bool fsync_path(const std::string& path);
+
+/// Fsyncs the directory containing `path` (open(O_RDONLY) on the parent +
+/// fsync + close), making a just-renamed entry durable. Returns false when
+/// the parent cannot be opened or synced; publishers treat that as
+/// best-effort (the rename already happened — atomicity is intact, only
+/// the durability of the entry is weakened) because some filesystems
+/// refuse fsync on directories.
+bool fsync_parent_dir(const std::string& path);
 
 }  // namespace weakkeys::util

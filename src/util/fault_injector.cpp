@@ -110,4 +110,36 @@ ConnFault FaultInjector::decide_conn(std::uint64_t stream,
   return fault;
 }
 
+StorageFault FaultInjector::decide_storage(std::uint64_t stream,
+                                           std::uint64_t seq) const {
+  StorageFault fault;
+  if (!config_.any_storage_faults()) return fault;
+  const std::uint64_t key =
+      mix(mix(config_.seed + 0x6a09e667f3bcc909ULL * (stream + 1)) +
+          0xbb67ae8584caa73bULL * (seq + 1));
+  Xoshiro256 rng(key);
+  // short write > fsync > bit flip > enospc > slow: at most one fault per
+  // operation, mirroring the other tiers' priority encoding.
+  const double roll = rng.uniform();
+  const double p_short = config_.storage_short_write_probability;
+  const double p_fsync = p_short + config_.storage_fsync_fail_probability;
+  const double p_flip = p_fsync + config_.storage_bit_flip_probability;
+  const double p_nospc = p_flip + config_.storage_enospc_probability;
+  const double p_slow = p_nospc + config_.storage_slow_probability;
+  if (roll < p_short) {
+    fault.kind = StorageFaultKind::kShortWrite;
+  } else if (roll < p_fsync) {
+    fault.kind = StorageFaultKind::kFsyncFail;
+  } else if (roll < p_flip) {
+    fault.kind = StorageFaultKind::kBitFlip;
+    fault.flip_seed = rng();
+  } else if (roll < p_nospc) {
+    fault.kind = StorageFaultKind::kEnospc;
+  } else if (roll < p_slow) {
+    fault.kind = StorageFaultKind::kSlowIo;
+    fault.delay_ms = config_.storage_slow_ms;
+  }
+  return fault;
+}
+
 }  // namespace weakkeys::util

@@ -80,10 +80,35 @@ struct FaultConfig {
   /// Per-frame throttle during a slow-drip window, milliseconds.
   std::uint32_t conn_drip_delay_ms = 2;
 
+  // -- Storage tier (spill store / disk I/O) ------------------------------
+  // Applied per spill-file operation (one write-and-publish or one read).
+  // Where the frame tier garbles what the network carries, this tier
+  // perturbs what the disk keeps: a short write or failed fsync surfaces as
+  // a StorageError the spill store must retry or degrade around; a
+  // post-publish bit flip silently corrupts the *published* file so the
+  // next read's CRC verification (and the heal path behind it) is what
+  // gets exercised; ENOSPC drives the degradation ladder; slow I/O models
+  // a saturated disk.
+
+  /// Probability a spill write tears mid-payload (detected: StorageError).
+  double storage_short_write_probability = 0.0;
+  /// Probability the pre-publish fsync fails (detected: StorageError).
+  double storage_fsync_fail_probability = 0.0;
+  /// Probability one bit of the *published* file is flipped after a
+  /// successful publish (silent: only CRC verification on load catches it).
+  double storage_bit_flip_probability = 0.0;
+  /// Probability a spill write fails with ENOSPC semantics.
+  double storage_enospc_probability = 0.0;
+  /// Probability an operation is delayed by `storage_slow_ms`.
+  double storage_slow_probability = 0.0;
+  /// How long a slow storage operation stalls, in milliseconds.
+  std::uint32_t storage_slow_ms = 2;
+
   [[nodiscard]] bool any_faults() const {
     return crash_probability > 0 || straggle_probability > 0 ||
            corrupt_probability > 0 || tree_loss_probability > 0 ||
-           any_process_faults() || any_frame_faults() || any_conn_faults();
+           any_process_faults() || any_frame_faults() || any_conn_faults() ||
+           any_storage_faults();
   }
   [[nodiscard]] bool any_process_faults() const {
     return sigkill_probability > 0 || sigstop_probability > 0;
@@ -95,6 +120,12 @@ struct FaultConfig {
   [[nodiscard]] bool any_conn_faults() const {
     return conn_disconnect_probability > 0 || conn_partition_probability > 0 ||
            conn_half_open_probability > 0 || conn_slow_drip_probability > 0;
+  }
+  [[nodiscard]] bool any_storage_faults() const {
+    return storage_short_write_probability > 0 ||
+           storage_fsync_fail_probability > 0 ||
+           storage_bit_flip_probability > 0 ||
+           storage_enospc_probability > 0 || storage_slow_probability > 0;
   }
 };
 
@@ -150,6 +181,27 @@ struct ConnFault {
   [[nodiscard]] bool any() const { return kind != ConnFaultKind::kNone; }
 };
 
+/// A storage-tier fault decision: what (if anything) happens to the `seq`-th
+/// spill-file operation on a store's stream.
+enum class StorageFaultKind : std::uint8_t {
+  kNone = 0,
+  kShortWrite,  ///< tear the write mid-payload; writer reports StorageError
+  kFsyncFail,   ///< the pre-publish fsync fails; writer reports StorageError
+  kBitFlip,     ///< flip one bit of the published file (silent until read)
+  kEnospc,      ///< the write fails with ENOSPC semantics
+  kSlowIo       ///< stall the operation by `delay_ms`
+};
+
+struct StorageFault {
+  StorageFaultKind kind = StorageFaultKind::kNone;
+  std::uint32_t delay_ms = 0;  ///< stall length for kSlowIo
+  /// Seed for picking the flipped bit's offset when kind == kBitFlip (taken
+  /// modulo the file size by the writer).
+  std::uint64_t flip_seed = 0;
+
+  [[nodiscard]] bool any() const { return kind != StorageFaultKind::kNone; }
+};
+
 /// Seeded source of per-(task, attempt) fault decisions. Stateless after
 /// construction; safe to share across worker threads.
 class FaultInjector {
@@ -179,6 +231,13 @@ class FaultInjector {
   /// link never replays the fault that severed it.
   [[nodiscard]] ConnFault decide_conn(std::uint64_t stream,
                                       std::uint64_t seq) const;
+
+  /// The storage-tier outcome for the `seq`-th spill-file operation on
+  /// `stream` (streams are per spill store). Pure in (seed, stream, seq)
+  /// and drawn from a stream disjoint from every other tier's, so a storage
+  /// schedule replays identically whatever else is enabled.
+  [[nodiscard]] StorageFault decide_storage(std::uint64_t stream,
+                                            std::uint64_t seq) const;
 
   [[nodiscard]] const FaultConfig& config() const { return config_; }
 

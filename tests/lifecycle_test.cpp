@@ -17,6 +17,7 @@
 #include <csignal>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #define WEAKKEYS_TEST_POSIX 1
 #endif
@@ -137,6 +138,33 @@ TEST(AtomicFile, PublishRenamesStreamedTmp) {
   EXPECT_FALSE(leftover.good());
   std::remove(path.c_str());
 }
+
+#if defined(WEAKKEYS_TEST_POSIX)
+TEST(AtomicFile, ParentDirFsyncAfterPublish) {
+  // Regression: rename() alone leaves the new directory entry only in
+  // memory; both publishers must follow it with fsync_parent_dir so a
+  // power cut after "publication" cannot lose the entry. Exercise the
+  // helper's contract directly: bare names and subdirectory paths sync
+  // their parent, a missing parent reports false instead of throwing.
+  EXPECT_TRUE(util::fsync_parent_dir("lifecycle_bare_name.bin"));
+
+  const std::string dir = "lifecycle_fsync_dir.d";
+  ::mkdir(dir.c_str(), 0777);
+  const std::string nested = dir + "/entry.bin";
+  util::atomic_write_file(nested, std::string("payload"));
+  EXPECT_TRUE(util::fsync_parent_dir(nested));
+  std::ifstream in(nested, std::ios::binary);
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  EXPECT_EQ(body, "payload");
+
+  EXPECT_FALSE(util::fsync_parent_dir("no_such_dir.d/entry.bin"));
+
+  std::remove(nested.c_str());
+  ::rmdir(dir.c_str());
+}
+#endif
 
 // ------------------------------------------------ ThreadPool + cancel -----
 

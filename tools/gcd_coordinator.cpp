@@ -25,6 +25,11 @@
 //                   [--task-timeout-ms MS] [--spawn-timeout-ms MS]
 //                   [--restart-budget N] [--checkpoint PATH] [--quiet]
 //                   [--profile HZ] [--profile-out PATH] [--mem-budget-mb N]
+//                   [--spill-dir DIR] [--spill-threshold-mb N]
+//                   [--spill-metrics PATH] [--storage-seed S]
+//                   [--storage-short-write P] [--storage-fsync-fail P]
+//                   [--storage-bit-flip P] [--storage-enospc P]
+//                   [--storage-slow P]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +42,7 @@
 #include "batchgcd/batch_gcd.hpp"
 #include "cluster/process_coordinator.hpp"
 #include "obs/mem.hpp"
+#include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "rng/prng_source.hpp"
 #include "rsa/keygen.hpp"
@@ -56,7 +62,10 @@ int usage(const char* argv0) {
       "  [--retransmit-ms MS] [--task-timeout-ms MS] [--spawn-timeout-ms MS]\n"
       "  [--restart-budget N] [--checkpoint PATH] [--quiet]\n"
       "  [--fleet-trace PATH] [--telemetry-interval-ms MS]\n"
-      "  [--profile HZ] [--profile-out PATH] [--mem-budget-mb N]\n",
+      "  [--profile HZ] [--profile-out PATH] [--mem-budget-mb N]\n"
+      "  [--spill-dir DIR] [--spill-threshold-mb N] [--spill-metrics PATH]\n"
+      "  [--storage-seed S] [--storage-short-write P] [--storage-fsync-fail P]\n"
+      "  [--storage-bit-flip P] [--storage-enospc P] [--storage-slow P]\n",
       argv0);
   return 64;  // EX_USAGE
 }
@@ -112,6 +121,11 @@ int main(int argc, char** argv) {
   double profile_hz = 0;
   std::string profile_out;
   std::uint64_t mem_budget_mb = 0;
+  std::string spill_dir;
+  std::uint64_t spill_threshold_mb = 0;  // 0 = always spill when dir set
+  bool have_spill_threshold = false;
+  std::string spill_metrics_path;
+  weakkeys::util::FaultConfig storage_faults;
   weakkeys::cluster::ClusterConfig config;
   config.workers = 2;
 
@@ -177,6 +191,28 @@ int main(int argc, char** argv) {
       profile_out = value;
     } else if (arg == "--mem-budget-mb" && (value = next())) {
       mem_budget_mb = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--spill-dir" && (value = next())) {
+      spill_dir = value;
+    } else if (arg == "--spill-threshold-mb" && (value = next())) {
+      spill_threshold_mb = std::strtoull(value, nullptr, 10);
+      have_spill_threshold = true;
+    } else if (arg == "--spill-metrics" && (value = next())) {
+      spill_metrics_path = value;
+    } else if (arg == "--storage-seed" && (value = next())) {
+      storage_faults.seed = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--storage-short-write" && (value = next())) {
+      storage_faults.storage_short_write_probability =
+          std::strtod(value, nullptr);
+    } else if (arg == "--storage-fsync-fail" && (value = next())) {
+      storage_faults.storage_fsync_fail_probability =
+          std::strtod(value, nullptr);
+    } else if (arg == "--storage-bit-flip" && (value = next())) {
+      storage_faults.storage_bit_flip_probability =
+          std::strtod(value, nullptr);
+    } else if (arg == "--storage-enospc" && (value = next())) {
+      storage_faults.storage_enospc_probability = std::strtod(value, nullptr);
+    } else if (arg == "--storage-slow" && (value = next())) {
+      storage_faults.storage_slow_probability = std::strtod(value, nullptr);
     } else {
       return usage(argv[0]);
     }
@@ -221,12 +257,61 @@ int main(int argc, char** argv) {
     profiler->start();
   }
 
+  // Spill knobs fall back to the environment (like the profiler knobs) so
+  // one environment configures the whole process tree; explicit flags win.
+  if (spill_dir.empty()) {
+    if (const char* dir = std::getenv("WEAKKEYS_SPILL_DIR")) spill_dir = dir;
+  }
+  if (!have_spill_threshold) {
+    if (const char* mb = std::getenv("WEAKKEYS_SPILL_THRESHOLD_MB")) {
+      spill_threshold_mb = std::strtoull(mb, nullptr, 10);
+    }
+  }
+
   const std::vector<BigInt> moduli = make_corpus(corpus_count, corpus_seed);
 
   if (reference) {
-    print_vulnerable(weakkeys::batchgcd::batch_gcd(moduli).divisors);
+    // Single-process ground truth; with --spill-dir it runs out-of-core
+    // (the disk-chaos CI path: deterministic storage faults via the
+    // --storage-* schedule, SIGKILL/resume via the generation-stamped
+    // level files, spill.* counters dumped for invariant checks).
+    weakkeys::obs::MetricsRegistry registry;
+    weakkeys::util::FaultInjector storage_injector(storage_faults);
+    weakkeys::batchgcd::TreeStorage storage;
+    storage.spill_dir = spill_dir;
+    storage.spill_threshold_bytes = spill_threshold_mb * 1024 * 1024;
+    storage.registry = &registry;
+    if (storage_faults.any_storage_faults()) {
+      storage.injector = &storage_injector;
+    }
+    try {
+      print_vulnerable(
+          weakkeys::batchgcd::batch_gcd(
+              moduli, nullptr, storage.enabled() ? &storage : nullptr)
+              .divisors);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gcd_coordinator: %s\n", e.what());
+      if (profiler) profiler->stop();
+      return 1;
+    }
+    if (!spill_metrics_path.empty()) {
+      try {
+        weakkeys::util::atomic_write_file(spill_metrics_path,
+                                          registry.to_json());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "gcd_coordinator: %s\n", e.what());
+      }
+    }
     if (profiler) profiler->stop();
     return 0;
+  }
+
+  if (!spill_dir.empty()) {
+    // Cluster mode: the workers build the trees, so export the spill knobs
+    // for the spawned gcd_worker processes to inherit.
+    ::setenv("WEAKKEYS_SPILL_DIR", spill_dir.c_str(), 0);
+    ::setenv("WEAKKEYS_SPILL_THRESHOLD_MB",
+             std::to_string(spill_threshold_mb).c_str(), 0);
   }
 
   if (!quiet) {

@@ -38,6 +38,7 @@ int usage(const char* argv0) {
       "  [--ping-deadline-ms MS] [--keepalive]\n"
       "  [--telemetry-interval-ms MS] [--no-telemetry] [--protocol-v2]\n"
       "  [--profile HZ] [--profile-out PATH] [--mem-budget-mb N]\n"
+      "  [--spill-dir DIR] [--spill-threshold-mb N]\n"
       "  [--seed S] [--frame-drop P] [--frame-garble P] [--frame-delay P]\n"
       "  [--frame-delay-ms MS] [--conn-disconnect P] [--conn-partition P]\n"
       "  [--conn-half-open P] [--conn-drip P] [--conn-partition-ms MS]\n"
@@ -51,6 +52,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   weakkeys::cluster::WorkerConfig config;
   bool have_port = false;
+  bool have_spill_threshold = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
@@ -100,6 +102,11 @@ int main(int argc, char** argv) {
       config.profile_out = value;
     } else if (arg == "--mem-budget-mb" && (value = next())) {
       config.mem_budget_mb = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--spill-dir" && (value = next())) {
+      config.spill_dir = value;
+    } else if (arg == "--spill-threshold-mb" && (value = next())) {
+      config.spill_threshold_mb = std::strtoull(value, nullptr, 10);
+      have_spill_threshold = true;
     } else if (arg == "--protocol-v2") {
       // Pin the legacy dialect: v2 Hello/Pong bodies, no telemetry export.
       // Compatibility testing against a v3 coordinator.
@@ -154,6 +161,16 @@ int main(int argc, char** argv) {
   if (config.mem_budget_mb == 0) {
     if (const char* mb = std::getenv("WEAKKEYS_MEM_BUDGET_MB")) {
       config.mem_budget_mb = std::strtoull(mb, nullptr, 10);
+    }
+  }
+  if (config.spill_dir.empty()) {
+    if (const char* dir = std::getenv("WEAKKEYS_SPILL_DIR")) {
+      config.spill_dir = dir;
+    }
+  }
+  if (!have_spill_threshold) {
+    if (const char* mb = std::getenv("WEAKKEYS_SPILL_THRESHOLD_MB")) {
+      config.spill_threshold_mb = std::strtoull(mb, nullptr, 10);
     }
   }
   if (config.profile_hz > 0 && config.profile_out.empty()) {
